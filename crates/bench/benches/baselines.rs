@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the comparator paths: the CPU ("MKL") baseline
+//! that Figures 11-12 measure, the hybrid (MAGMA-style) model, and the
+//! analytic model evaluation itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use regla_bench::workloads::f32_batch;
+use regla_cpu::{run_batch, CpuAlg};
+use regla_gpu_sim::GpuConfig;
+use regla_hybrid::{blocked_qr_in_place, hybrid_time, HybridCfg, Start};
+use regla_model::{block_plan, per_block, Algorithm, ModelParams};
+use std::hint::black_box;
+
+fn bench_cpu_baseline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu_baseline");
+    g.sample_size(10);
+    for n in [16usize, 56] {
+        let a = f32_batch(n, n, 64, true, 20);
+        g.bench_with_input(BenchmarkId::new("qr_x64", n), &n, |b, _| {
+            b.iter(|| black_box(run_batch(CpuAlg::Qr, &a, 1)))
+        });
+        g.bench_with_input(BenchmarkId::new("lu_pivot_x64", n), &n, |b, _| {
+            b.iter(|| black_box(run_batch(CpuAlg::LuPivot, &a, 1)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hybrid(c: &mut Criterion) {
+    let cfg = GpuConfig::quadro_6000();
+    let hybrid = HybridCfg::magma_like(&cfg);
+    let mut g = c.benchmark_group("hybrid_baseline");
+    g.sample_size(20);
+    g.bench_function("blocked_qr_256x256_functional", |b| {
+        let a = f32_batch(256, 256, 1, true, 21).mat(0);
+        b.iter(|| {
+            let mut m = a.clone();
+            black_box(blocked_qr_in_place(&mut m, 96));
+        })
+    });
+    g.bench_function("magma_time_model_4096", |b| {
+        b.iter(|| black_box(hybrid_time(&hybrid, Algorithm::Qr, 4096, 4096, Start::Cpu).total_s))
+    });
+    g.finish();
+}
+
+fn bench_model(c: &mut Criterion) {
+    let p = ModelParams::table_iv();
+    let cfg = GpuConfig::quadro_6000();
+    let mut g = c.benchmark_group("analytic_model");
+    g.sample_size(50);
+    g.bench_function("predict_block_sweep_fig9", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in (8..=144).step_by(8) {
+                acc += per_block::predict_block(&p, &cfg, Algorithm::Qr, n, n, 0, 1, 8000).gflops;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("qr_panels_56", |b| {
+        let plan = block_plan(56, 56, 0, 1);
+        b.iter(|| black_box(per_block::qr_panels(&p, &plan, 8).len()))
+    });
+    g.bench_function("dispatch_decision", |b| {
+        b.iter(|| black_box(regla_model::choose(&p, &cfg, Algorithm::Qr, 56, 56, 5000, 1).choice))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cpu_baseline, bench_hybrid, bench_model);
+criterion_main!(benches);

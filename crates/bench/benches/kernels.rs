@@ -1,0 +1,114 @@
+//! Criterion wall-clock benchmarks of the simulator kernel launches that
+//! power Tables V/VII and Figures 4 and 7-12. These measure the cost of
+//! *running the reproduction* (simulation throughput); the simulated-GPU
+//! performance numbers themselves come from the figure binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use regla_bench::workloads::{c32_batch, f32_batch};
+use regla_core::{api, Layout, RunOpts};
+use regla_gpu_sim::{ExecMode, Gpu};
+use regla_model::Approach;
+use std::hint::black_box;
+
+fn rep(approach: Approach) -> RunOpts {
+    RunOpts {
+        exec: ExecMode::Representative,
+        approach: Some(approach),
+        ..Default::default()
+    }
+}
+
+/// Figure 4's hot path: the per-thread kernels.
+fn bench_per_thread(c: &mut Criterion) {
+    let gpu = Gpu::quadro_6000();
+    let mut g = c.benchmark_group("per_thread");
+    g.sample_size(20);
+    for n in [4usize, 8, 12] {
+        let a = f32_batch(n, n, 4096, true, 4);
+        g.bench_with_input(BenchmarkId::new("qr", n), &n, |b, _| {
+            b.iter(|| black_box(api::qr_batch(&gpu, &a, &rep(Approach::PerThread)).gflops()))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 9 / Table V hot path: per-block factorization launches.
+fn bench_per_block(c: &mut Criterion) {
+    let gpu = Gpu::quadro_6000();
+    let mut g = c.benchmark_group("per_block");
+    g.sample_size(10);
+    for n in [24usize, 56, 104] {
+        let a = f32_batch(n, n, 1120, true, 5);
+        g.bench_with_input(BenchmarkId::new("qr", n), &n, |b, _| {
+            b.iter(|| black_box(api::qr_batch(&gpu, &a, &rep(Approach::PerBlock)).gflops()))
+        });
+        g.bench_with_input(BenchmarkId::new("lu", n), &n, |b, _| {
+            b.iter(|| black_box(api::lu_batch(&gpu, &a, &rep(Approach::PerBlock)).gflops()))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 7's layout variants.
+fn bench_layouts(c: &mut Criterion) {
+    let gpu = Gpu::quadro_6000();
+    let mut g = c.benchmark_group("layouts_fig7");
+    g.sample_size(10);
+    let n = 48;
+    let a = f32_batch(n, n, 560, true, 7);
+    let b2 = f32_batch(n, 1, 560, false, 8);
+    for layout in [Layout::TwoDCyclic, Layout::ColCyclic, Layout::RowCyclic] {
+        let opts = RunOpts {
+            exec: ExecMode::Representative,
+            approach: Some(Approach::PerBlock),
+            layout,
+            ..Default::default()
+        };
+        g.bench_function(layout.name(), |bch| {
+            bch.iter(|| black_box(api::qr_solve_batch(&gpu, &a, &b2, &opts).gflops()))
+        });
+    }
+    g.finish();
+}
+
+/// Table VII's hot path: batched complex QR (per-block and tiled).
+fn bench_stap(c: &mut Criterion) {
+    let gpu = Gpu::quadro_6000();
+    let mut g = c.benchmark_group("stap_table7");
+    g.sample_size(10);
+    let small = c32_batch(80, 16, 64, false, 9);
+    g.bench_function("complex_qr_80x16", |b| {
+        b.iter(|| {
+            black_box(
+                api::qr_batch(&gpu, &small, &rep(Approach::PerBlock)).gflops(),
+            )
+        })
+    });
+    let tall = c32_batch(240, 66, 8, false, 10);
+    g.bench_function("complex_qr_240x66_tiled", |b| {
+        b.iter(|| black_box(api::qr_batch(&gpu, &tall, &rep(Approach::Tiled)).gflops()))
+    });
+    g.finish();
+}
+
+/// Full functional execution (all blocks computed), the correctness path.
+fn bench_full_exec(c: &mut Criterion) {
+    let gpu = Gpu::quadro_6000();
+    let mut g = c.benchmark_group("full_exec");
+    g.sample_size(10);
+    let a = f32_batch(24, 24, 256, true, 11);
+    g.bench_function("qr_24x24_x256_full", |b| {
+        b.iter(|| black_box(api::qr_batch(&gpu, &a, &RunOpts::default()).gflops()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_per_thread,
+    bench_per_block,
+    bench_layouts,
+    bench_stap,
+    bench_full_exec
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the Section II microbenchmark suite (Tables
+//! II-IV, Figures 1-2): how long each characterisation takes to run on
+//! the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use regla_gpu_sim::Gpu;
+use regla_microbench as mb;
+use std::hint::black_box;
+
+fn bench_bandwidth(c: &mut Criterion) {
+    let gpu = Gpu::quadro_6000();
+    let mut g = c.benchmark_group("microbench_bandwidth");
+    g.sample_size(20);
+    g.bench_function("shared_table2", |b| {
+        b.iter(|| black_box(mb::measure_shared_bandwidth(&gpu).all_sms_gbs))
+    });
+    g.bench_function("global_table2", |b| {
+        b.iter(|| black_box(mb::measure_global_bandwidth(&gpu).kernel_gbs))
+    });
+    g.finish();
+}
+
+fn bench_latency(c: &mut Criterion) {
+    let gpu = Gpu::quadro_6000();
+    let mut g = c.benchmark_group("microbench_latency");
+    g.sample_size(20);
+    g.bench_function("shared_chase_table3", |b| {
+        b.iter(|| black_box(mb::measure_shared_latency(&gpu).byte_chain_cycles))
+    });
+    g.bench_function("global_stride_fig1_point", |b| {
+        b.iter(|| {
+            black_box(mb::global_latency::measure_latency_at_stride(
+                &gpu,
+                1 << 22,
+                1 << 10,
+            ))
+        })
+    });
+    g.bench_function("sync_fig2_point", |b| {
+        b.iter(|| black_box(mb::sync_latency::measure_sync_latency(&gpu, 256)))
+    });
+    g.finish();
+}
+
+fn bench_param_derivation(c: &mut Criterion) {
+    let gpu = Gpu::quadro_6000();
+    let mut g = c.benchmark_group("microbench_params");
+    g.sample_size(10);
+    g.bench_function("derive_table4", |b| {
+        b.iter(|| black_box(mb::derive_params(&gpu).alpha_glb))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bandwidth, bench_latency, bench_param_derivation);
+criterion_main!(benches);

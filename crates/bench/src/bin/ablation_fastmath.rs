@@ -1,0 +1,5 @@
+//! Regenerates "ablation_fastmath" (see DESIGN.md's ablation list).
+fn main() {
+    let fast = regla_bench::fast_mode();
+    print!("{}", regla_bench::experiments::ablation_fastmath(fast));
+}

@@ -1,0 +1,5 @@
+//! Regenerates "ablation_reduction" (see DESIGN.md's ablation list).
+fn main() {
+    let fast = regla_bench::fast_mode();
+    print!("{}", regla_bench::experiments::ablation_reduction(fast));
+}

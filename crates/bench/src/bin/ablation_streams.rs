@@ -1,0 +1,5 @@
+//! Regenerates "ablation_streams" (Section VI-C: global-level CUBLAS + streams).
+fn main() {
+    let fast = regla_bench::fast_mode();
+    print!("{}", regla_bench::experiments::ablation_streams(fast));
+}

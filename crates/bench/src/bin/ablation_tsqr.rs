@@ -1,0 +1,5 @@
+//! Regenerates "ablation_tsqr" (sequential tiled vs communication-avoiding QR).
+fn main() {
+    let fast = regla_bench::fast_mode();
+    print!("{}", regla_bench::experiments::ablation_tsqr(fast));
+}

@@ -1,0 +1,5 @@
+//! Regenerates "fig11_vs_libraries" (see DESIGN.md's experiment index).
+fn main() {
+    let fast = regla_bench::fast_mode();
+    print!("{}", regla_bench::experiments::fig11(fast));
+}

@@ -1,0 +1,5 @@
+//! Regenerates "fig12_solvers" (see DESIGN.md's experiment index).
+fn main() {
+    let fast = regla_bench::fast_mode();
+    print!("{}", regla_bench::experiments::fig12(fast));
+}

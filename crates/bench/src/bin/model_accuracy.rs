@@ -1,0 +1,5 @@
+//! Regenerates the model-accuracy summary (DESIGN.md's headline claim).
+fn main() {
+    let fast = regla_bench::fast_mode();
+    print!("{}", regla_bench::experiments::model_accuracy(fast));
+}

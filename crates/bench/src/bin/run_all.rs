@@ -1,0 +1,50 @@
+//! Regenerates every table and figure into `results/` (markdown + CSV).
+use std::fs;
+use std::time::Instant;
+
+/// Extract the data rows of a rendered markdown table as CSV.
+fn md_to_csv(report: &str) -> String {
+    let mut out = String::new();
+    for line in report.lines() {
+        let l = line.trim();
+        if !l.starts_with('|') || l.starts_with("|-") || l.starts_with("| -") {
+            continue;
+        }
+        if l.chars().all(|c| "|-: ".contains(c)) {
+            continue; // separator row
+        }
+        let cells: Vec<String> = l
+            .trim_matches('|')
+            .split('|')
+            .map(|c| {
+                let c = c.trim();
+                if c.contains(',') {
+                    format!("\"{c}\"")
+                } else {
+                    c.to_string()
+                }
+            })
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let fast = regla_bench::fast_mode();
+    fs::create_dir_all("results").expect("create results dir");
+    let mut index = String::from("# regla experiment results\n\n");
+    for (id, title, run) in regla_bench::experiments::ALL {
+        let t0 = Instant::now();
+        eprintln!("running {id} ...");
+        let report = run(fast);
+        let secs = t0.elapsed().as_secs_f64();
+        fs::write(format!("results/{id}.md"), &report).expect("write report");
+        fs::write(format!("results/{id}.csv"), md_to_csv(&report)).expect("write csv");
+        println!("{report}");
+        index.push_str(&format!("- [{title}]({id}.md) ({secs:.1}s)\n"));
+    }
+    fs::write("results/README.md", index).expect("write index");
+    eprintln!("all experiments written to results/ (markdown + CSV)");
+}

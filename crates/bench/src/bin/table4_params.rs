@@ -1,0 +1,5 @@
+//! Regenerates "table4_params" (see DESIGN.md's experiment index).
+fn main() {
+    let fast = regla_bench::fast_mode();
+    print!("{}", regla_bench::experiments::table4(fast));
+}

@@ -1,0 +1,5 @@
+//! Regenerates "table7_stap" (see DESIGN.md's experiment index).
+fn main() {
+    let fast = regla_bench::fast_mode();
+    print!("{}", regla_bench::experiments::table7(fast));
+}

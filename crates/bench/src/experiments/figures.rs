@@ -1,0 +1,365 @@
+//! Figure reproductions (Figures 1, 2, 4, 7, 8, 9, 10, 11, 12).
+
+use crate::report::{f, Table};
+use crate::workloads::{f32_batch, sweep_count};
+use regla_core::{api, Layout, RunOpts};
+use regla_cpu::{mkl_reference_gflops, timed_batch, CpuAlg};
+use regla_gpu_sim::{ExecMode, Gpu};
+use regla_hybrid::{hybrid_batch_gflops, HybridCfg, Start};
+use regla_microbench as mb;
+use regla_model::{per_thread, predict_block, qr_panels, Algorithm, Approach, ModelParams};
+
+fn rep_opts(approach: Approach) -> RunOpts {
+    RunOpts {
+        exec: ExecMode::Representative,
+        approach: Some(approach),
+        ..Default::default()
+    }
+}
+
+/// Figure 1 — global memory latency as a function of access stride.
+pub fn fig1(fast: bool) -> String {
+    let gpu = Gpu::quadro_6000();
+    let max_log2 = if fast { 20 } else { 26 };
+    let curve = mb::measure_global_latency_curve(&gpu, max_log2);
+    let mut t = Table::new(
+        "Figure 1 — global memory latency vs stride (cycles)",
+        &["log2(stride words)", "Latency (sim)"],
+    );
+    for p in &curve {
+        t.row(&[p.log2_stride.to_string(), f(p.cycles)]);
+    }
+    t.note(
+        "Paper's curve rises in steps from ~300 to ~570 cycles as strides defeat \
+         first the L2 line, then the DRAM row buffer, then the TLB reach. Table III's \
+         570-cycle alpha_glb is the large-stride plateau.",
+    );
+    t.render()
+}
+
+/// Figure 2 — synchronization latency vs threads per multiprocessor.
+pub fn fig2(_fast: bool) -> String {
+    let gpu = Gpu::quadro_6000();
+    let curve = mb::measure_sync_latency_curve(&gpu);
+    let mut t = Table::new(
+        "Figure 2 — __syncthreads() latency vs block size (cycles)",
+        &["Threads", "Latency (sim)"],
+    );
+    for p in &curve {
+        t.row(&[p.threads.to_string(), f(p.cycles)]);
+    }
+    t.note("Paper: ~46 cycles at 64 threads (Table IV), rising to ~190 at 1024.");
+    t.render()
+}
+
+/// Figure 4 — one problem per thread, measured vs the bandwidth roofline.
+pub fn fig4(fast: bool) -> String {
+    let gpu = Gpu::quadro_6000();
+    let params = ModelParams::table_iv();
+    let full = if fast { 6400 } else { 64000 };
+    let mut t = Table::new(
+        "Figure 4 — 64000 per-thread factorizations (GFLOPS)",
+        &[
+            "n", "QR measured", "QR predicted", "LU measured", "LU predicted", "spills",
+        ],
+    );
+    for n in 3..=12 {
+        let count = sweep_count(n, full);
+        let a = f32_batch(n, n, count, true, 0x40 + n as u64);
+        let qr = api::qr_batch(&gpu, &a, &rep_opts(Approach::PerThread));
+        let lu = api::lu_batch(&gpu, &a, &rep_opts(Approach::PerThread));
+        let qr_pred = per_thread::predicted_gflops(&params, Algorithm::Qr, n, 4);
+        let lu_pred = per_thread::predicted_gflops(&params, Algorithm::Lu, n, 4);
+        let spilled = lu.stats.launches[0].occupancy.regs_spilled > 0;
+        t.row(&[
+            n.to_string(),
+            f(qr.gflops()),
+            f(qr_pred),
+            f(lu.gflops()),
+            f(lu_pred),
+            if spilled { "yes" } else { "no" }.into(),
+        ]);
+    }
+    t.note(
+        "The model is arithmetic intensity x 108 GB/s (FLOPs free, latency hidden). \
+         Measurement follows it until the matrix exceeds the 64-register budget at \
+         n = 8 and spills to local memory — the paper's collapse point.",
+    );
+    t.render()
+}
+
+/// Figure 7 — 2D cyclic vs 1D row/column cyclic layouts for QR solves.
+pub fn fig7(fast: bool) -> String {
+    let gpu = Gpu::quadro_6000();
+    let full = if fast { 560 } else { 2016 };
+    let mut t = Table::new(
+        "Figure 7 — solving linear systems with QR, layouts compared (GFLOPS)",
+        &["n", "2D cyclic", "1D column cyclic", "1D row cyclic"],
+    );
+    for n in (16..=96).step_by(16) {
+        let count = sweep_count(n, full);
+        let a = f32_batch(n, n, count, true, 0x70 + n as u64);
+        let b = f32_batch(n, 1, count, false, 0x71 + n as u64);
+        let mut cells = vec![n.to_string()];
+        for layout in [Layout::TwoDCyclic, Layout::ColCyclic, Layout::RowCyclic] {
+            let opts = RunOpts {
+                exec: ExecMode::Representative,
+                approach: Some(Approach::PerBlock),
+                layout,
+                ..Default::default()
+            };
+            let run = api::qr_solve_batch(&gpu, &a, &b, &opts);
+            cells.push(f(run.gflops()));
+        }
+        t.row(&cells);
+    }
+    t.note(
+        "Paper (10,000 systems): the 2D layout dominates both 1D layouts at every \
+         size; 1D row cyclic is worst because Householder QR's column operations \
+         serialise across all p threads.",
+    );
+    t.render()
+}
+
+/// Figure 8 — per-panel cycle breakdown of the 56x56 QR.
+pub fn fig8(fast: bool) -> String {
+    let gpu = Gpu::quadro_6000();
+    let count = if fast { 1120 } else { 8000 };
+    let a = f32_batch(56, 56, count, true, 0x88);
+    let run = api::qr_batch(&gpu, &a, &rep_opts(Approach::PerBlock));
+    let stats = &run.stats.launches[0];
+    let params = ModelParams::table_iv();
+    let plan = regla_model::block_plan(56, 56, 0, 1);
+    let model = qr_panels(&params, &plan, 8);
+    let mut t = Table::new(
+        "Figure 8 — cycles per panel of a 56x56 QR (measured sim | model)",
+        &[
+            "Panel", "Form HH (sim)", "Form HH (model)", "MatVec (sim)", "MatVec (model)",
+            "Rank-1 (sim)", "Rank-1 (model)", "Total (sim)", "Total (model)",
+        ],
+    );
+    for est in &model {
+        let p = est.panel;
+        let hh = stats.cycles_for(&format!("panel {p}: form-hh"));
+        let mv = stats.cycles_for(&format!("panel {p}: matvec"));
+        let r1 = stats.cycles_for(&format!("panel {p}: rank-1"));
+        t.row(&[
+            p.to_string(),
+            f(hh),
+            f(est.form_hh),
+            f(mv),
+            f(est.matvec),
+            f(r1),
+            f(est.rank1),
+            f(hh + mv + r1),
+            f(est.total()),
+        ]);
+    }
+    t.note(
+        "As in the paper, each panel is cheaper than the last (the trailing matrix \
+         shrinks by sqrt(p) rows and columns per panel) and the matrix-vector \
+         multiply dominates.",
+    );
+    t.render()
+}
+
+/// Shared machinery for Figures 9-12: measured per-block GFLOPS.
+fn per_block_gflops(gpu: &Gpu, alg: CpuAlg, n: usize, count: usize) -> f64 {
+    let a = f32_batch(n, n, count, true, 0x90 + n as u64);
+    match alg {
+        CpuAlg::LuNoPivot | CpuAlg::LuPivot => {
+            api::lu_batch(gpu, &a, &rep_opts(Approach::PerBlock)).gflops()
+        }
+        CpuAlg::Qr => api::qr_batch(gpu, &a, &rep_opts(Approach::PerBlock)).gflops(),
+        CpuAlg::QrSolve => {
+            let b = f32_batch(n, 1, count, false, 0x91 + n as u64);
+            api::qr_solve_batch(gpu, &a, &b, &rep_opts(Approach::PerBlock)).gflops()
+        }
+        CpuAlg::GjSolve => {
+            let b = f32_batch(n, 1, count, false, 0x92 + n as u64);
+            api::gj_solve_batch(gpu, &a, &b, &rep_opts(Approach::PerBlock)).gflops()
+        }
+        CpuAlg::Cholesky => api::cholesky_batch(gpu, &a, &rep_opts(Approach::PerBlock)).gflops(),
+    }
+}
+
+/// Figure 9 — one problem per block, measured vs model.
+pub fn fig9(fast: bool) -> String {
+    let gpu = Gpu::quadro_6000();
+    let cfgd = &gpu.cfg;
+    let params = ModelParams::table_iv();
+    let full = if fast { 1120 } else { 8000 };
+    let step = if fast { 16 } else { 8 };
+    let mut t = Table::new(
+        "Figure 9 — 8000 per-block factorizations (GFLOPS)",
+        &[
+            "n", "threads", "QR measured", "QR predicted", "LU measured", "LU predicted",
+        ],
+    );
+    let mut n = 8;
+    while n <= 144 {
+        let count = sweep_count(n, full);
+        let qr = per_block_gflops(&gpu, CpuAlg::Qr, n, count);
+        let lu = per_block_gflops(&gpu, CpuAlg::LuNoPivot, n, count);
+        let qr_pred = predict_block(&params, cfgd, Algorithm::Qr, n, n, 0, 1, count).gflops;
+        let lu_pred = predict_block(&params, cfgd, Algorithm::Lu, n, n, 0, 1, count).gflops;
+        let plan = regla_model::block_plan(n, n, 0, 1);
+        t.row(&[
+            n.to_string(),
+            plan.threads.to_string(),
+            f(qr),
+            f(qr_pred),
+            f(lu),
+            f(lu_pred),
+        ]);
+        n += step;
+    }
+    t.note(
+        "Paper's shape: performance climbs to ~200 GFLOPS, drops sharply at n = 80 \
+         (the switch from 64 to 256 threads cuts blocks/SM), and the model over-\
+         predicts at n = 64 and beyond 112 where register spilling (not modelled) \
+         slows the measurement.",
+    );
+    t.render()
+}
+
+/// Figure 10 — the design space: per-thread, per-block, hybrid.
+pub fn fig10(fast: bool) -> String {
+    let gpu = Gpu::quadro_6000();
+    let hybrid = HybridCfg::magma_like(&gpu.cfg);
+    let mut t = Table::new(
+        "Figure 10 — many QR factorizations: three approaches (GFLOPS)",
+        &["n", "per-thread", "per-block", "hybrid CPU+GPU"],
+    );
+    let sizes: &[usize] = if fast {
+        &[2, 8, 32, 64, 128, 512, 2048, 8192]
+    } else {
+        &[2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192]
+    };
+    let mut last_pt = 0.0;
+    let mut last_pb = 0.0;
+    for &n in sizes {
+        // Per-thread: measured until the functional cost explodes.
+        let pt = if n <= 128 {
+            let count = sweep_count(n, 64000);
+            let a = f32_batch(n, n, count, true, 0xA0 + n as u64);
+            let g = api::qr_batch(&gpu, &a, &rep_opts(Approach::PerThread)).gflops();
+            last_pt = g;
+            f(g)
+        } else {
+            format!("~{} (extrap.)", f(last_pt))
+        };
+        // Per-block: measured while a block can still hold (or spill) it.
+        let pb = if (8..=512).contains(&n) {
+            let count = sweep_count(n, 8000);
+            let g = per_block_gflops(&gpu, CpuAlg::Qr, n, count);
+            last_pb = g;
+            f(g)
+        } else if n < 8 {
+            "-".into()
+        } else {
+            format!("~{} (extrap.)", f(last_pb))
+        };
+        let hy = hybrid_batch_gflops(&hybrid, Algorithm::Qr, n, n, 1.max(8192 / n), Start::Cpu);
+        t.row(&[n.to_string(), pt, pb, f(hy)]);
+    }
+    t.note(
+        "The design space is not flat (paper, Section VI): per-thread wins tiny \
+         sizes, per-block wins the small-to-medium batched regime, and the hybrid \
+         blocked library wins single large factorizations. Extrapolated entries \
+         continue the spilled (DRAM-bound) plateau where functional simulation is \
+         impractical.",
+    );
+    t.render()
+}
+
+/// Figure 11 — per-block QR/LU vs MKL and MAGMA.
+pub fn fig11(fast: bool) -> String {
+    let gpu = Gpu::quadro_6000();
+    let hybrid = HybridCfg::magma_like(&gpu.cfg);
+    let full = if fast { 1120 } else { 8000 };
+    let step = if fast { 32 } else { 16 };
+    let threads = regla_cpu::default_threads();
+    let mut t = Table::new(
+        "Figure 11 — 8000 factorizations vs MKL and MAGMA (GFLOPS)",
+        &[
+            "alg", "n", "per-block (sim)", "CPU ours", "MKL (paper)",
+            "MAGMA CPU-start (model)", "MAGMA GPU-start (model)",
+        ],
+    );
+    for (alg, cpu_alg, malg) in [
+        ("QR", CpuAlg::Qr, Algorithm::Qr),
+        ("LU", CpuAlg::LuNoPivot, Algorithm::Lu),
+    ] {
+        let mut n = 8;
+        while n <= 144 {
+            let count = sweep_count(n, full);
+            let gpu_g = per_block_gflops(&gpu, cpu_alg, n, count);
+            let cpu_count = (2_000_000 / (n * n * n).max(1)).clamp(8, 512);
+            let a = f32_batch(n, n, cpu_count, true, 0xB0 + n as u64);
+            let cpu_run = timed_batch(cpu_alg, &a, n, threads);
+            let magma_c = hybrid_batch_gflops(&hybrid, malg, n, n, count, Start::Cpu);
+            let magma_g = hybrid_batch_gflops(&hybrid, malg, n, n, count, Start::Gpu);
+            t.row(&[
+                alg.into(),
+                n.to_string(),
+                f(gpu_g),
+                f(cpu_run.gflops()),
+                f(mkl_reference_gflops(n)),
+                f(magma_c),
+                f(magma_g),
+            ]);
+            n += step;
+        }
+    }
+    t.note(
+        "Paper (log scale): the per-block kernels sit 1-2 orders above MKL and \
+         MAGMA across n = 8..144; MAGMA's CPU-start beats its GPU-start because \
+         these sizes are factored on the CPU anyway and GPU-start pays the round \
+         trip. Our CPU baseline is plain Rust; the MKL column holds the paper's \
+         anchored values.",
+    );
+    t.render()
+}
+
+/// Figure 12 — solving linear systems (QR solve and Gauss-Jordan) vs MKL.
+pub fn fig12(fast: bool) -> String {
+    let gpu = Gpu::quadro_6000();
+    let full = if fast { 1120 } else { 8000 };
+    let step = if fast { 32 } else { 16 };
+    let threads = regla_cpu::default_threads();
+    let mut t = Table::new(
+        "Figure 12 — solving 8000 linear systems (GFLOPS)",
+        &[
+            "solver", "n", "per-block (sim)", "CPU ours", "MKL (paper, pivoting)",
+        ],
+    );
+    for (name, cpu_alg) in [
+        ("QR solve", CpuAlg::QrSolve),
+        ("Gauss-Jordan (no pivot)", CpuAlg::GjSolve),
+    ] {
+        let mut n = 8;
+        while n <= 144 {
+            let count = sweep_count(n, full);
+            let gpu_g = per_block_gflops(&gpu, cpu_alg, n, count);
+            let cpu_count = (2_000_000 / (n * n * n).max(1)).clamp(8, 512);
+            let a = f32_batch(n, n, cpu_count, true, 0xC0 + n as u64);
+            let b = f32_batch(n, 1, cpu_count, false, 0xC1 + n as u64);
+            let aug = regla_core::MatBatch::augment(&a, &b);
+            let cpu_run = timed_batch(cpu_alg, &aug, n, threads);
+            t.row(&[
+                name.into(),
+                n.to_string(),
+                f(gpu_g),
+                f(cpu_run.gflops()),
+                f(mkl_reference_gflops(n)),
+            ]);
+            n += step;
+        }
+    }
+    t.note(
+        "As in the paper, the GPU kernels do not pivot (benchmarked on diagonally \
+         dominant systems) while the MKL reference pivots.",
+    );
+    t.render()
+}

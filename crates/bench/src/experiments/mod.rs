@@ -1,0 +1,74 @@
+//! One function per paper artifact. Every function returns the rendered
+//! report (also suitable for writing into `results/`).
+
+pub mod ablations;
+pub mod accuracy;
+pub mod figures;
+pub mod tables;
+
+pub use ablations::*;
+pub use accuracy::*;
+pub use figures::*;
+pub use tables::*;
+
+/// (id, title, runner) for every experiment, in paper order.
+pub type Runner = fn(bool) -> String;
+
+pub const ALL: &[(&str, &str, Runner)] = &[
+    ("table1_config", "Table I — device summary", tables::table1),
+    ("table2_bandwidth", "Table II — bandwidths", tables::table2),
+    ("table3_latency", "Table III — latencies", tables::table3),
+    ("table4_params", "Table IV — model parameters", tables::table4),
+    ("table5_cycles", "Table V — 56x56 cycle counts", tables::table5),
+    ("table6_estimates", "Table VI — cost model estimates", tables::table6),
+    ("table7_stap", "Table VII — RT_STAP complex QR", tables::table7),
+    ("fig1_global_latency", "Figure 1 — global latency vs stride", figures::fig1),
+    ("fig2_sync_latency", "Figure 2 — synchronization latency", figures::fig2),
+    ("fig4_per_thread", "Figure 4 — one problem per thread", figures::fig4),
+    ("fig7_layouts", "Figure 7 — 1D vs 2D layouts", figures::fig7),
+    ("fig8_panels", "Figure 8 — QR per-panel breakdown", figures::fig8),
+    ("fig9_per_block", "Figure 9 — one problem per block", figures::fig9),
+    ("fig10_design_space", "Figure 10 — three approaches", figures::fig10),
+    ("fig11_vs_libraries", "Figure 11 — vs MKL and MAGMA", figures::fig11),
+    ("fig12_solvers", "Figure 12 — linear solvers vs MKL", figures::fig12),
+    (
+        "ablation_fastmath",
+        "Ablation — fast vs precise math",
+        ablations::ablation_fastmath,
+    ),
+    (
+        "ablation_reduction",
+        "Ablation — serial vs tree reductions",
+        ablations::ablation_reduction,
+    ),
+    (
+        "ablation_threads",
+        "Ablation — 64 vs 256 threads per block",
+        ablations::ablation_threads,
+    ),
+    (
+        "ablation_batch",
+        "Ablation — batch-size saturation",
+        ablations::ablation_batch,
+    ),
+    (
+        "ablation_lu_style",
+        "Ablation — LU trailing-update style",
+        ablations::ablation_lu_style,
+    ),
+    (
+        "ablation_streams",
+        "Section VI-C — CUBLAS + streams",
+        ablations::ablation_streams,
+    ),
+    (
+        "ablation_tsqr",
+        "Ablation — tiled vs TSQR",
+        ablations::ablation_tsqr,
+    ),
+    (
+        "model_accuracy",
+        "Model accuracy summary",
+        accuracy::model_accuracy,
+    ),
+];

@@ -1,0 +1,324 @@
+//! Table reproductions (Tables I-VII).
+
+use crate::report::{f, Table};
+use regla_core::{api, RunOpts};
+use regla_gpu_sim::{ExecMode, Gpu};
+use regla_microbench as mb;
+use regla_model::{block_plan, qr_panels, Algorithm, ModelParams};
+
+/// Table I — summary of the GF100 chip and the Quadro 6000.
+pub fn table1(_fast: bool) -> String {
+    let cfg = regla_gpu_sim::GpuConfig::quadro_6000();
+    let mut t = Table::new(
+        "Table I — NVIDIA GF100 / Quadro 6000 (simulated)",
+        &["Property", "Paper", "This configuration"],
+    );
+    let rows: Vec<(&str, String, String)> = vec![
+        ("Multiprocessors (SIMT units)", "14".into(), cfg.num_sms.to_string()),
+        (
+            "Total FPUs",
+            "448".into(),
+            (cfg.num_sms * cfg.fpus_per_sm).to_string(),
+        ),
+        ("Core clock", "1.15 GHz".into(), format!("{} GHz", cfg.core_clock_ghz)),
+        (
+            "Max registers per FPU",
+            "64".into(),
+            cfg.max_regs_per_thread.to_string(),
+        ),
+        (
+            "Shared memory per SIMT unit",
+            "64 kB".into(),
+            format!(
+                "{} kB (48 shared + 16 L1)",
+                (cfg.shared_bytes_per_sm + cfg.l1_bytes_per_sm) / 1024
+            ),
+        ),
+        (
+            "Global memory bandwidth",
+            "144 GB/s".into(),
+            format!("{} GB/s", cfg.dram_peak_gbs),
+        ),
+        (
+            "Peak SP throughput",
+            "1.03 TFlop/s".into(),
+            format!("{:.2} TFlop/s", cfg.peak_sp_gflops() / 1000.0),
+        ),
+        (
+            "Peak SP per FPU",
+            "2.3 GFlop/s".into(),
+            format!(
+                "{:.1} GFlop/s",
+                cfg.peak_sp_gflops() / (cfg.num_sms * cfg.fpus_per_sm) as f64
+            ),
+        ),
+    ];
+    for (p, a, b) in rows {
+        t.row(&[p.into(), a, b]);
+    }
+    t.render()
+}
+
+/// Table II — bandwidth of each level of the memory hierarchy.
+pub fn table2(_fast: bool) -> String {
+    let gpu = Gpu::quadro_6000();
+    let s = mb::measure_shared_bandwidth(&gpu);
+    let g = mb::measure_global_bandwidth(&gpu);
+    let mut t = Table::new(
+        "Table II — bandwidths (GB/s)",
+        &["Level", "Paper", "Measured (sim)"],
+    );
+    t.row(&["Shared memory (per core)".into(), "62.8".into(), f(s.per_sm_gbs)]);
+    t.row(&["Shared memory (all cores)".into(), "880".into(), f(s.all_sms_gbs)]);
+    t.row(&["Global memory (copy kernel)".into(), "108".into(), f(g.kernel_gbs)]);
+    t.row(&["Global memory (cudaMemcpy)".into(), "84".into(), f(g.memcpy_gbs)]);
+    t.note(format!(
+        "Theoretical peaks: shared {} GB/s ({}% achieved), global {} GB/s ({}% achieved).",
+        f(s.theoretical_gbs),
+        f(100.0 * s.fraction_of_peak),
+        f(g.peak_gbs),
+        f(100.0 * g.kernel_fraction)
+    ));
+    t.render()
+}
+
+/// Table III — latency of each level of the memory hierarchy.
+pub fn table3(_fast: bool) -> String {
+    let gpu = Gpu::quadro_6000();
+    let sl = mb::measure_shared_latency(&gpu);
+    let gl = mb::global_latency::measure_latency_at_stride(&gpu, 64 << 20, 1 << 20);
+    let mut t = Table::new(
+        "Table III — latencies (cycles)",
+        &["Level", "Paper", "Measured (sim)"],
+    );
+    t.row(&["Shared memory".into(), "27".into(), f(sl.byte_chain_cycles)]);
+    t.row(&[
+        "Global memory".into(),
+        "570".into(),
+        f(gl - sl.shift_cycles),
+    ]);
+    t.note(format!(
+        "Shared latency via byte pointer chase {}; int chase (load+SHL) {} with the \
+         {}-cycle shift backed out, matching the paper's two methods.",
+        f(sl.byte_chain_cycles),
+        f(sl.int_chain_cycles),
+        f(sl.shift_cycles)
+    ));
+    t.render()
+}
+
+/// Table IV — the model parameters, derived from the microbenchmarks.
+pub fn table4(_fast: bool) -> String {
+    let gpu = Gpu::quadro_6000();
+    let m = mb::derive_params(&gpu);
+    let p = ModelParams::table_iv();
+    let mut t = Table::new(
+        "Table IV — model parameters",
+        &["Parameter", "Paper", "Derived from microbenchmarks (sim)"],
+    );
+    t.row(&["alpha_glb (cycles)".into(), f(p.alpha_glb), f(m.alpha_glb)]);
+    t.row(&[
+        "beta_glb (GB/s achievable)".into(),
+        f(p.beta_glb_gbs),
+        f(m.beta_glb_gbs),
+    ]);
+    t.row(&["alpha_sh (cycles)".into(), f(p.alpha_sh), f(m.alpha_sh)]);
+    t.row(&[
+        "beta_sh (GB/s achievable)".into(),
+        f(p.beta_sh_gbs),
+        f(m.beta_sh_gbs),
+    ]);
+    t.row(&[
+        "alpha_sync @ 64 threads (cycles)".into(),
+        "46".into(),
+        f(m.alpha_sync(64)),
+    ]);
+    t.row(&["gamma (cycles)".into(), f(p.gamma), f(m.gamma)]);
+    t.render()
+}
+
+/// Table V — load/compute/store cycle counts for 56x56 LU and QR.
+pub fn table5(fast: bool) -> String {
+    let gpu = Gpu::quadro_6000();
+    let count = if fast { 1120 } else { 8000 };
+    let opts = RunOpts {
+        exec: ExecMode::Representative,
+        approach: Some(regla_model::Approach::PerBlock),
+        ..Default::default()
+    };
+    let mut t = Table::new(
+        "Table V — cycle counts for 56x56 decompositions (per block)",
+        &[
+            "Alg", "Load (paper)", "Load (sim)", "Compute (paper)", "Compute (sim)",
+            "Store (paper)", "Store (sim)",
+        ],
+    );
+    let run = |alg: &str| -> (f64, f64, f64) {
+        let a = crate::workloads::f32_batch(56, 56, count, true, 0x55);
+        let stats = match alg {
+            "LU" => api::lu_batch(&gpu, &a, &opts).stats,
+            "LU-listing7" => {
+                let o = RunOpts {
+                    lu_listing7: true,
+                    ..opts
+                };
+                api::lu_batch(&gpu, &a, &o).stats
+            }
+            _ => api::qr_batch(&gpu, &a, &opts).stats,
+        };
+        let s = &stats.launches[0];
+        let load = s.cycles_for("load");
+        let store = s.cycles_for("store");
+        let compute = s.wave_cycles() - load - store;
+        (load, compute, store)
+    };
+    let (l, c, s) = run("LU");
+    t.row(&[
+        "LU (hoisted)".into(), "8800".into(), f(l), "68250".into(), f(c), "8740".into(), f(s),
+    ]);
+    let (l, c, s) = run("LU-listing7");
+    t.row(&[
+        "LU (Listing 7)".into(), "8800".into(), f(l), "68250".into(), f(c), "8740".into(), f(s),
+    ]);
+    let (l, c, s) = run("QR");
+    t.row(&[
+        "QR".into(), "9120".into(), f(l), "150203".into(), f(c), "9762".into(), f(s),
+    ]);
+    t.note(
+        "Paper: 64 threads/block, 8 blocks/SM (112 problems in flight). The simulator \
+         does not overlap global loads with compute, so its load/store cycles are the \
+         full wave's DRAM time; the paper observed partial overlap (Section V-C). \
+         The 'Listing 7' LU re-reads shared memory inside the rank-1 update exactly \
+         like the paper's published kernel, reproducing its measured 68k cycles; the \
+         default hoisted kernel is faster.",
+    );
+    t.render()
+}
+
+/// Table VI — the cost-model estimates, symbolic and evaluated at 56x56.
+pub fn table6(_fast: bool) -> String {
+    let p = ModelParams::table_iv();
+    let plan = block_plan(56, 56, 0, 1);
+    let mut t = Table::new(
+        "Table VI — per-column cost estimates (paper's expressions)",
+        &["Operation", "Expression (paper)", "Evaluated at n=56, p=64 (cycles)"],
+    );
+    let c = |x: f64| f(x);
+    let n_t = plan.hreg as f64;
+    let rdim = plan.rdim as f64;
+    let sync = p.alpha_sync(plan.threads);
+    let bc = p.beta_chain();
+    // LU rows.
+    t.row(&[
+        "LU column: scale factor".into(),
+        "gamma_div + alpha_sync".into(),
+        c(p.gamma_div + sync),
+    ]);
+    t.row(&[
+        "LU column: write/read scale".into(),
+        "2 beta".into(),
+        c(2.0 * bc),
+    ]);
+    t.row(&["LU column: scale l".into(), "N gamma".into(), c(n_t + p.gamma)]);
+    t.row(&[
+        "LU column: write l & u".into(),
+        "2N beta + alpha_sync".into(),
+        c(4.0 * n_t + p.alpha_sh + sync),
+    ]);
+    t.row(&[
+        "LU trailing: read l & u".into(),
+        "2N beta".into(),
+        c(3.0 * 2.0 * n_t + p.alpha_sh),
+    ]);
+    t.row(&[
+        "LU trailing: rank-1".into(),
+        "N^2 gamma + alpha_sync".into(),
+        c(n_t * n_t + p.gamma + sync),
+    ]);
+    // QR rows.
+    t.row(&["QR column: norm".into(), "N gamma".into(), c(n_t * p.gamma)]);
+    t.row(&[
+        "QR column: norm reduction".into(),
+        "(1+sqrt(p)) beta + sqrt(p) gamma".into(),
+        c(rdim * (bc + p.gamma)),
+    ]);
+    t.row(&[
+        "QR column: scale factor".into(),
+        "gamma_sqrt + 2 gamma_div + 2 gamma".into(),
+        c(p.gamma_sqrt + 2.0 * p.gamma_div + 2.0 * p.gamma),
+    ]);
+    t.row(&[
+        "QR column: scale & publish".into(),
+        "N gamma + N beta + alpha_sync".into(),
+        c(n_t + p.gamma + 2.0 * n_t + p.alpha_sh + sync),
+    ]);
+    t.row(&[
+        "QR trailing: matvec".into(),
+        "N beta + N^2 gamma".into(),
+        c(3.0 * n_t + p.alpha_sh + n_t * n_t * p.gamma),
+    ]);
+    t.row(&[
+        "QR trailing: mv reduction".into(),
+        "2 alpha_sync + (1+sqrt(p)) beta + sqrt(p) gamma".into(),
+        c(2.0 * sync + rdim * (bc + p.gamma)),
+    ]);
+    t.row(&[
+        "QR trailing: rank-1".into(),
+        "N beta + N^2 gamma + alpha_sync".into(),
+        c(3.0 * n_t + p.alpha_sh + n_t * n_t + p.gamma + sync),
+    ]);
+    t.note(
+        "Expressions are the paper's; evaluations use this reproduction's calibration \
+         (dependent shared access = alpha_sh + address arithmetic; independent FMAs \
+         pipeline at one per cycle).",
+    );
+    let lu = regla_model::per_block::block_compute_cycles(&p, &plan, Algorithm::Lu, 8);
+    let qr: f64 = qr_panels(&p, &plan, 8).iter().map(|e| e.total()).sum();
+    t.note(format!(
+        "Model totals for 56x56: LU {} cycles, QR {} cycles (paper measured 68k / 150k).",
+        f(lu),
+        f(qr)
+    ));
+    t.render()
+}
+
+/// Table VII — RT_STAP complex QR factorizations.
+pub fn table7(fast: bool) -> String {
+    let gpu = Gpu::quadro_6000();
+    let mut t = Table::new(
+        "Table VII — single-precision complex QR from RT_STAP",
+        &[
+            "Size", "# Matrices", "GPU GFLOPS (paper)", "GPU GFLOPS (sim)",
+            "MKL GFLOPS (paper)", "CPU GFLOPS (ours)", "Speedup (paper)", "Speedup (sim vs ours)",
+        ],
+    );
+    for case in &regla_stap::RT_STAP_CASES {
+        let c = if fast {
+            regla_stap::StapCase {
+                count: (case.count / 16).max(4),
+                ..*case
+            }
+        } else {
+            *case
+        };
+        let r = regla_stap::run_case(&gpu, &c, ExecMode::Representative, regla_cpu::default_threads());
+        let paper_speedup = case.paper_gpu_gflops / case.paper_mkl_gflops;
+        t.row(&[
+            format!("{}x{}", case.m, case.n),
+            c.count.to_string(),
+            f(case.paper_gpu_gflops),
+            f(r.gpu_gflops),
+            f(case.paper_mkl_gflops),
+            f(r.cpu_gflops),
+            format!("{}x", f(paper_speedup)),
+            format!("{}x", f(r.speedup)),
+        ]);
+    }
+    t.note(
+        "Our CPU baseline is plain Rust (no SSE intrinsics), so its absolute GFLOPS sit \
+         below MKL's; the paper's MKL column is reprinted for the intended comparison. \
+         Shape check: 80x16 is fastest on the GPU (fits one block), 240x66 is slowest \
+         of the three (tiled, register file partially wasted) — as in the paper.",
+    );
+    t.render()
+}

@@ -1,0 +1,18 @@
+//! # regla-bench — harnesses that regenerate every table and figure
+//!
+//! One binary per experiment (`cargo run -p regla-bench --release --bin
+//! fig9_per_block`), each printing the paper's rows/series next to our
+//! measured (simulator) and predicted (analytic model) values. `run_all`
+//! regenerates everything into `results/`.
+
+pub mod experiments;
+pub mod report;
+pub mod workloads;
+
+pub use report::Table;
+
+/// Scale factor for quick runs: set `REGLA_FAST=1` to shrink batches and
+/// sweeps (used by smoke runs; the full harness uses the paper's sizes).
+pub fn fast_mode() -> bool {
+    std::env::var("REGLA_FAST").map(|v| v != "0").unwrap_or(false)
+}

@@ -1,0 +1,146 @@
+//! Markdown table rendering for the experiment reports.
+
+use std::fmt::Write as _;
+
+/// A simple markdown table builder.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Render as markdown with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (w, c) in widths.iter_mut().zip(r) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}\n", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                let _ = write!(s, " {c:>w$} |");
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", line(r, &widths));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "\n> {n}");
+        }
+        out.push('\n');
+        out
+    }
+
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Render as CSV (plot-ready; notes are omitted).
+    pub fn to_csv(&self) -> String {
+        let esc = |c: &str| -> String {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with sensible precision for tables.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("Demo", &["n", "GFLOPS"]);
+        t.row(&["8".into(), "12.5".into()]);
+        t.row(&["144".into(), "200".into()]);
+        t.note("a note");
+        let r = t.render();
+        assert!(r.contains("## Demo"));
+        assert!(r.contains("| GFLOPS |"));
+        assert!(r.contains("> a note"));
+        assert!(r.matches('\n').count() >= 6);
+    }
+
+    #[test]
+    fn float_formatting_scales() {
+        // {:.0} rounds ties to even.
+        assert_eq!(f(1234.5), "1234");
+        assert_eq!(f(56.78), "56.8");
+        assert_eq!(f(1.234), "1.23");
+        assert_eq!(f(0.0), "0");
+    }
+
+    #[test]
+    fn csv_escapes_and_lists_rows() {
+        let mut t = Table::new("t", &["a,b", "c"]);
+        t.row(&["1".into(), "x\"y".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("\"a,b\",c\n"));
+        assert!(csv.contains("1,\"x\"\"y\"\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+}

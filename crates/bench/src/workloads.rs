@@ -1,0 +1,80 @@
+//! Workload generators shared by the experiment harnesses.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use regla_core::{C32, MatBatch};
+
+/// Random single-precision batch; `dd` makes each matrix diagonally
+/// dominant (the paper benchmarks its pivot-free LU/GJ on diagonally
+/// dominant matrices, Section VI-B).
+pub fn f32_batch(m: usize, n: usize, count: usize, dd: bool, seed: u64) -> MatBatch<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = MatBatch::from_fn(m, n, count, |_, _, _| rng.random_range(-1.0f32..1.0));
+    if dd {
+        for k in 0..count {
+            let mut mk = b.mat(k);
+            mk.make_diagonally_dominant();
+            b.set_mat(k, &mk);
+        }
+    }
+    b
+}
+
+/// Random complex batch.
+pub fn c32_batch(m: usize, n: usize, count: usize, dd: bool, seed: u64) -> MatBatch<C32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = MatBatch::from_fn(m, n, count, |_, _, _| {
+        C32::new(rng.random_range(-1.0f32..1.0), rng.random_range(-1.0f32..1.0))
+    });
+    if dd {
+        for k in 0..count {
+            let mut mk = b.mat(k);
+            mk.make_diagonally_dominant();
+            b.set_mat(k, &mk);
+        }
+    }
+    b
+}
+
+/// Batch size for a performance sweep at dimension `n`: enough blocks to
+/// saturate the chip for many waves, capped so host memory stays sane.
+/// (Throughput is wave-periodic, so this matches the paper's 8000-problem
+/// batches to within tail-wave effects.)
+pub fn sweep_count(n: usize, full: usize) -> usize {
+    let cap = (48_000_000 / (n * n).max(1)).max(1024);
+    full.min(cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dd_batches_are_dominant() {
+        let b = f32_batch(8, 8, 3, true, 7);
+        for k in 0..3 {
+            let m = b.mat(k);
+            for i in 0..8 {
+                let off: f64 = (0..8)
+                    .filter(|&j| j != i)
+                    .map(|j| regla_core::Scalar::abs(m[(i, j)]))
+                    .sum();
+                assert!(regla_core::Scalar::abs(m[(i, i)]) > off);
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_are_reproducible() {
+        let a = f32_batch(4, 4, 2, false, 42);
+        let b = f32_batch(4, 4, 2, false, 42);
+        assert_eq!(a.max_frob_dist(&b), 0.0);
+    }
+
+    #[test]
+    fn sweep_count_caps_large_sizes() {
+        assert_eq!(sweep_count(8, 64000), 64000);
+        assert!(sweep_count(144, 8000) <= 8000);
+        assert!(sweep_count(1024, 8000) >= 1024);
+    }
+}

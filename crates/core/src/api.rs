@@ -1,0 +1,559 @@
+//! Public batched API: upload a batch, pick an approach (per-thread,
+//! per-block or tiled — via the predictive model's plan rules), launch the
+//! kernel on the simulated GPU, download the results.
+
+use crate::batch::MatBatch;
+use crate::elem::DeviceScalar;
+use crate::layout::{Layout, LayoutMap};
+use crate::per_block::{
+    CholeskyBlockKernel, GemmBlockKernel, GjBlockKernel, LuBlockKernel, QrBlockKernel, SubMat,
+};
+use crate::per_thread::{PerThreadKernel, PtAlg};
+use crate::tiled::{tiled_qr, MultiLaunch, TiledOpts};
+use regla_gpu_sim::{ExecMode, GlobalMemory, Gpu, LaunchConfig, MathMode};
+use regla_model::{block_plan, thread_plan, Approach};
+use std::marker::PhantomData;
+
+/// Options controlling a batched run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOpts {
+    /// Register-file data layout for the per-block kernels.
+    pub layout: Layout,
+    pub math: MathMode,
+    pub exec: ExecMode,
+    /// Force an approach instead of letting the plan choose.
+    pub approach: Option<Approach>,
+    /// Panel width for the tiled path.
+    pub panel: usize,
+    /// Use tree reductions in the per-block QR (ablation; the paper uses
+    /// serial reductions).
+    pub tree_reduction: bool,
+    /// Follow Listing 7 literally in the LU trailing update (fidelity
+    /// ablation; slower).
+    pub lu_listing7: bool,
+    /// Force the per-block thread count (must be a perfect square for the
+    /// 2D layout); `None` uses the paper's 64/256 rule. Occupancy ablation.
+    pub force_threads: Option<usize>,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            layout: Layout::TwoDCyclic,
+            math: MathMode::Fast,
+            exec: ExecMode::Full,
+            approach: None,
+            panel: 16,
+            tree_reduction: false,
+            lu_listing7: false,
+            force_threads: None,
+        }
+    }
+}
+
+/// Result of a batched operation.
+pub struct BatchRun<T> {
+    /// The output batch (factored matrices / reduced augmented systems).
+    pub out: MatBatch<T>,
+    pub approach: Approach,
+    pub stats: MultiLaunch,
+    /// Householder reflector scales (QR factorizations only; `n x 1` per
+    /// problem, LAPACK `geqrf` convention).
+    pub taus: Option<MatBatch<T>>,
+    /// Per-problem "not solved" flags (zero pivot hit in LU/GJ — the
+    /// paper's `*notsolved = 1`). Empty when the algorithm cannot fail.
+    pub not_solved: Vec<bool>,
+}
+
+impl<T> BatchRun<T> {
+    pub fn gflops(&self) -> f64 {
+        self.stats.gflops()
+    }
+
+    pub fn time_s(&self) -> f64 {
+        self.stats.time_s
+    }
+}
+
+fn choose_approach(m: usize, n: usize, rhs: usize, ew: usize, opts: &RunOpts) -> Approach {
+    if let Some(a) = opts.approach {
+        return a;
+    }
+    if m == n && thread_plan(n, rhs, ew).fits_registers() {
+        Approach::PerThread
+    } else if m >= n && block_plan(m, n, rhs, ew).regs_per_thread <= 110 {
+        Approach::PerBlock
+    } else {
+        Approach::Tiled
+    }
+}
+
+/// Threads and layout map for a per-block launch under the chosen layout.
+fn layout_for(opts: &RunOpts, m: usize, cols: usize, ew: usize) -> LayoutMap {
+    match opts.layout {
+        Layout::TwoDCyclic => {
+            // Same 64/256 rule as `block_plan`, but directly on the full
+            // augmented shape (which may be wider than tall).
+            let tile64 = m.div_ceil(8) * cols.div_ceil(8) * ew;
+            let threads = opts.force_threads.unwrap_or(if tile64
+                <= regla_model::plan::TILE_WORDS_64T_MAX
+            {
+                64
+            } else {
+                256
+            });
+            LayoutMap::new(Layout::TwoDCyclic, threads, m, cols)
+        }
+        // The 1D comparisons of Figure 7 run with the paper's 64 threads.
+        l => LayoutMap::new(l, 64, m, cols),
+    }
+}
+
+fn device_for<T: DeviceScalar>(batch: &MatBatch<T>, extra_words: usize) -> GlobalMemory {
+    let words = batch.words_per_mat() * batch.count() + extra_words + 4096;
+    GlobalMemory::new(words)
+}
+
+struct Launched<T> {
+    out: MatBatch<T>,
+    stats: MultiLaunch,
+    taus: Option<MatBatch<T>>,
+    flags: Vec<bool>,
+}
+
+/// Run one of the in-place factorization kernels over a batch.
+fn run_inplace<T: DeviceScalar>(
+    gpu: &Gpu,
+    aug: &MatBatch<T>,
+    nfac: usize,
+    alg: PtAlg,
+    approach: Approach,
+    opts: &RunOpts,
+    back_substitute: bool,
+) -> Launched<T> {
+    let (m, cols, count) = (aug.rows(), aug.cols(), aug.count());
+    let rhs = cols - nfac;
+    let ew = T::WORDS;
+    let tau_words = count * nfac * ew;
+    let mut gmem = device_for(aug, tau_words + count);
+    let ptr = aug.to_device(&mut gmem);
+    let d_tau = gmem.alloc(tau_words.max(1));
+    let d_flag = gmem.alloc(count);
+    let view = SubMat::whole(ptr, m, cols);
+    let mut stats = MultiLaunch::default();
+
+    match approach {
+        Approach::PerThread => {
+            assert_eq!(m, nfac, "per-thread kernels handle square systems");
+            let mut kern = PerThreadKernel::<T::Dev>::new(view, nfac, rhs, count, alg);
+            if alg == PtAlg::Qr {
+                kern = kern.with_tau(d_tau);
+            }
+            let tpb = 64;
+            let lc = LaunchConfig::new(count.div_ceil(tpb), tpb)
+                .regs(kern.regs_per_thread())
+                .shared_words(0)
+                .math(opts.math)
+                .exec(opts.exec);
+            stats.push(gpu.launch(&kern, &lc, &mut gmem));
+        }
+        Approach::PerBlock => {
+            let lm = layout_for(opts, m, cols, ew);
+            let regs = lm.local_len() * ew + 14;
+            let (shared_words, launch): (usize, Box<dyn regla_gpu_sim::BlockKernel>) = match alg
+            {
+                PtAlg::Lu => {
+                    let mut k = LuBlockKernel::<T::Dev>::new(view, lm, count).with_flag(d_flag);
+                    if opts.lu_listing7 {
+                        k = k.listing7();
+                    }
+                    (k.shared_words(), Box::new(k))
+                }
+                PtAlg::Gj => {
+                    let mut k = GjBlockKernel::<T::Dev>::new(view, lm, count, rhs);
+                    k.d_flag = Some(d_flag);
+                    (k.shared_words(), Box::new(k))
+                }
+                PtAlg::Cholesky => {
+                    let mut k = CholeskyBlockKernel::<T::Dev>::new(view, lm, count);
+                    k.d_flag = Some(d_flag);
+                    (k.shared_words(), Box::new(k))
+                }
+                PtAlg::Qr | PtAlg::QrSolve => {
+                    let mut k = QrBlockKernel::<T::Dev>::new(view, lm, count)
+                        .with_rhs(rhs)
+                        .with_tau(d_tau);
+                    if back_substitute {
+                        k = k.solving();
+                    }
+                    if opts.tree_reduction && opts.layout == Layout::TwoDCyclic {
+                        k = k.with_tree_reduction();
+                    }
+                    (k.shared_words(), Box::new(k))
+                }
+            };
+            let lc = LaunchConfig::new(count, lm.p)
+                .regs(regs)
+                .shared_words(shared_words)
+                .math(opts.math)
+                .exec(opts.exec);
+            stats.push(gpu.launch(launch.as_ref(), &lc, &mut gmem));
+        }
+        Approach::Tiled => {
+            assert!(
+                matches!(alg, PtAlg::Qr | PtAlg::QrSolve),
+                "the tiled path implements QR-based algorithms only"
+            );
+            let topts = TiledOpts {
+                panel: opts.panel,
+                math: opts.math,
+                exec: opts.exec,
+            };
+            let agg = tiled_qr::<T::Dev>(gpu, &mut gmem, view, m, nfac, rhs, count, d_tau, topts);
+            for l in agg.launches {
+                stats.push(l);
+            }
+        }
+        Approach::Hybrid => panic!("the hybrid baseline lives in regla-hybrid"),
+    }
+
+    let out = MatBatch::<T>::from_device(m, cols, count, &gmem, ptr);
+    // The per-thread and per-block QR kernels leave LAPACK-style taus in
+    // the scratch buffer; the tiled path reuses it per panel, so no
+    // coherent tau set survives there.
+    let taus = if alg == PtAlg::Qr && approach != Approach::Tiled {
+        Some(MatBatch::<T>::from_device(nfac, 1, count, &gmem, d_tau))
+    } else {
+        None
+    };
+    // Per-problem singularity flags (the paper's `*notsolved`), written by
+    // the per-block LU/GJ kernels on a zero pivot.
+    let mut flag_words = vec![0.0f32; count];
+    gmem.d2h(d_flag, &mut flag_words);
+    let flags = flag_words.into_iter().map(|w| w != 0.0).collect();
+    Launched {
+        out,
+        stats,
+        taus,
+        flags,
+    }
+}
+
+/// Batched in-place Householder QR (R above the diagonal, reflectors
+/// below), dispatched across the paper's approaches.
+pub fn qr_batch<T: DeviceScalar>(gpu: &Gpu, a: &MatBatch<T>, opts: &RunOpts) -> BatchRun<T> {
+    let approach = choose_approach(a.rows(), a.cols(), 0, T::WORDS, opts);
+    let r = run_inplace(gpu, a, a.cols(), PtAlg::Qr, approach, opts, false);
+    BatchRun {
+        out: r.out,
+        approach,
+        stats: r.stats,
+        taus: r.taus,
+        not_solved: r.flags,
+    }
+}
+
+/// Batched in-place LU without pivoting.
+pub fn lu_batch<T: DeviceScalar>(gpu: &Gpu, a: &MatBatch<T>, opts: &RunOpts) -> BatchRun<T> {
+    let approach = match choose_approach(a.rows(), a.cols(), 0, T::WORDS, opts) {
+        Approach::Tiled => Approach::PerBlock, // large LU runs with spills
+        other => other,
+    };
+    let r = run_inplace(gpu, a, a.cols(), PtAlg::Lu, approach, opts, false);
+    BatchRun {
+        out: r.out,
+        approach,
+        stats: r.stats,
+        taus: None,
+        not_solved: r.flags,
+    }
+}
+
+/// Batched Gauss-Jordan solve of `A x = b` (no pivoting). `out` is the
+/// reduced augmented system; `solution()` extracts x.
+pub fn gj_solve_batch<T: DeviceScalar>(
+    gpu: &Gpu,
+    a: &MatBatch<T>,
+    b: &MatBatch<T>,
+    opts: &RunOpts,
+) -> BatchRun<T> {
+    assert_eq!(a.rows(), a.cols());
+    let aug = MatBatch::augment(a, b);
+    let approach = match choose_approach(a.rows(), a.cols(), b.cols(), T::WORDS, opts) {
+        Approach::Tiled => Approach::PerBlock,
+        other => other,
+    };
+    let r = run_inplace(gpu, &aug, a.cols(), PtAlg::Gj, approach, opts, false);
+    BatchRun {
+        out: r.out,
+        approach,
+        stats: r.stats,
+        taus: None,
+        not_solved: r.flags,
+    }
+}
+
+/// Batched linear solve via QR: factor `[A|b]`, then eliminate R
+/// (Figure 12's "Solving Linear Systems with QR").
+pub fn qr_solve_batch<T: DeviceScalar>(
+    gpu: &Gpu,
+    a: &MatBatch<T>,
+    b: &MatBatch<T>,
+    opts: &RunOpts,
+) -> BatchRun<T> {
+    assert_eq!(a.rows(), a.cols());
+    assert_eq!(b.cols(), 1);
+    let aug = MatBatch::augment(a, b);
+    let approach = match choose_approach(a.rows(), a.cols(), 1, T::WORDS, opts) {
+        Approach::Tiled => Approach::PerBlock,
+        other => other,
+    };
+    let r = run_inplace(gpu, &aug, a.cols(), PtAlg::QrSolve, approach, opts, true);
+    BatchRun {
+        out: r.out,
+        approach,
+        stats: r.stats,
+        taus: None,
+        not_solved: r.flags,
+    }
+}
+
+/// Batched least squares `min ‖Ax − b‖` for tall A via QR of `[A|b]`.
+/// Uses the per-block kernel when the problem fits, the tiled path
+/// otherwise (with the final triangular solve on the host, as the radar
+/// pipeline does).
+pub fn least_squares_batch<T: DeviceScalar>(
+    gpu: &Gpu,
+    a: &MatBatch<T>,
+    b: &MatBatch<T>,
+    opts: &RunOpts,
+) -> (BatchRun<T>, MatBatch<T>) {
+    let (m, n) = (a.rows(), a.cols());
+    assert!(m >= n);
+    assert_eq!(b.cols(), 1);
+    let aug = MatBatch::augment(a, b);
+    let approach = choose_approach(m, n, 1, T::WORDS, opts);
+    match approach {
+        Approach::PerThread | Approach::PerBlock => {
+            let approach = if m == n { approach } else { Approach::PerBlock };
+            let r = run_inplace(gpu, &aug, n, PtAlg::QrSolve, approach, opts, true);
+            let x = r.out.sub(0, n, n, 1);
+            (
+                BatchRun {
+                    out: r.out,
+                    approach,
+                    stats: r.stats,
+                    taus: None,
+                    not_solved: r.flags,
+                },
+                x,
+            )
+        }
+        _ => {
+            let r = run_inplace(gpu, &aug, n, PtAlg::Qr, Approach::Tiled, opts, false);
+            // Host back-substitution of R x = (Qᴴ b)[..n].
+            let mut x = MatBatch::zeros(n, 1, aug.count());
+            for k in 0..aug.count() {
+                let f = r.out.mat(k);
+                let y: Vec<T> = (0..n).map(|i| f[(i, n)]).collect();
+                let sol = crate::host::qr::back_substitute(&f.submatrix(0, 0, n, n), &y);
+                for (i, v) in sol.into_iter().enumerate() {
+                    x.set(k, i, 0, v);
+                }
+            }
+            (
+                BatchRun {
+                    out: r.out,
+                    approach: Approach::Tiled,
+                    stats: r.stats,
+                    taus: None,
+                    not_solved: r.flags,
+                },
+                x,
+            )
+        }
+    }
+}
+
+/// Batched GEMM `C = A·B` with one problem per block.
+pub fn gemm_batch<T: DeviceScalar>(
+    gpu: &Gpu,
+    a: &MatBatch<T>,
+    b: &MatBatch<T>,
+    opts: &RunOpts,
+) -> BatchRun<T> {
+    let (m, kdim, n, count) = (a.rows(), a.cols(), b.cols(), a.count());
+    assert_eq!(b.rows(), kdim);
+    assert_eq!(b.count(), count);
+    let ew = T::WORDS;
+    let c = MatBatch::<T>::zeros(m, n, count);
+    let total_words = (a.words_per_mat() + b.words_per_mat() + c.words_per_mat()) * count;
+    let mut gmem = GlobalMemory::new(total_words + 4096);
+    let pa = a.to_device(&mut gmem);
+    let pb = b.to_device(&mut gmem);
+    let pc = c.to_device(&mut gmem);
+
+    let plan = block_plan(m.max(n), n.min(m), 0, ew);
+    let lm = LayoutMap::new(Layout::TwoDCyclic, plan.threads, m, n);
+    let kern = GemmBlockKernel::<T::Dev> {
+        a: SubMat::whole(pa, m, kdim),
+        b: SubMat::whole(pb, kdim, n),
+        c: SubMat::whole(pc, m, n),
+        lm,
+        kdim,
+        count,
+        accumulate: false,
+        _e: PhantomData,
+    };
+    let lc = LaunchConfig::new(count, lm.p)
+        .regs(lm.local_len() * ew + 14)
+        .shared_words(kern.shared_words())
+        .math(opts.math)
+        .exec(opts.exec);
+    let mut stats = MultiLaunch::default();
+    stats.push(gpu.launch(&kern, &lc, &mut gmem));
+    let out = MatBatch::<T>::from_device(m, n, count, &gmem, pc);
+    BatchRun {
+        out,
+        approach: Approach::PerBlock,
+        stats,
+        taus: None,
+        not_solved: Vec::new(),
+    }
+}
+
+/// Batched least squares via TSQR (communication-avoiding tall-skinny QR;
+/// extension — see `tiled::tsqr`): factors the row blocks independently
+/// and combines R factors in a tree, then back-substitutes on the host.
+/// Preferred over the sequential tiled path when the batch is too small
+/// to fill the chip.
+pub fn tsqr_least_squares<T: DeviceScalar>(
+    gpu: &Gpu,
+    a: &MatBatch<T>,
+    b: &MatBatch<T>,
+    opts: &RunOpts,
+) -> (MatBatch<T>, crate::tiled::MultiLaunch) {
+    use crate::tiled::tsqr::{tsqr, TsqrOpts};
+    let (m, n, count) = (a.rows(), a.cols(), a.count());
+    assert!(m >= n);
+    assert_eq!(b.cols(), 1);
+    let aug = MatBatch::augment(a, b);
+    // TSQR roughly triples the footprint (stages + scratch).
+    let mut gmem = device_for(&aug, 4 * aug.words_per_mat() * count);
+    let ptr = aug.to_device(&mut gmem);
+    let view = SubMat::whole(ptr, m, n + 1);
+    let topts = TsqrOpts {
+        math: opts.math,
+        exec: opts.exec,
+        ..Default::default()
+    };
+    let (rptr, stats) = tsqr::<T::Dev>(gpu, &mut gmem, view, m, n, 1, count, topts);
+    let compact = MatBatch::<T>::from_device(n, n + 1, count, &gmem, rptr);
+    let mut x = MatBatch::zeros(n, 1, count);
+    for k in 0..count {
+        let f = compact.mat(k);
+        let y: Vec<T> = (0..n).map(|i| f[(i, n)]).collect();
+        let sol = crate::host::qr::back_substitute(&f.submatrix(0, 0, n, n), &y);
+        for (i, v) in sol.into_iter().enumerate() {
+            x.set(k, i, 0, v);
+        }
+    }
+    (x, stats)
+}
+
+/// Batched Cholesky factorization of SPD / Hermitian-positive-definite
+/// matrices (extension beyond the paper's four algorithms): L overwrites
+/// the lower triangle; `not_solved[k]` is set when problem k is not
+/// positive definite.
+pub fn cholesky_batch<T: DeviceScalar>(
+    gpu: &Gpu,
+    a: &MatBatch<T>,
+    opts: &RunOpts,
+) -> BatchRun<T> {
+    assert_eq!(a.rows(), a.cols());
+    let approach = match choose_approach(a.rows(), a.cols(), 0, T::WORDS, opts) {
+        Approach::Tiled => Approach::PerBlock,
+        other => other,
+    };
+    let r = run_inplace(gpu, a, a.cols(), PtAlg::Cholesky, approach, opts, false);
+    BatchRun {
+        out: r.out,
+        approach,
+        stats: r.stats,
+        taus: None,
+        not_solved: r.flags,
+    }
+}
+
+/// Batched matrix inversion by Gauss-Jordan reduction of `[A | I]`
+/// (no pivoting; intended for diagonally dominant / well-conditioned
+/// batches, like the paper's solver benchmarks). Returns the inverses.
+pub fn invert_batch<T: DeviceScalar>(
+    gpu: &Gpu,
+    a: &MatBatch<T>,
+    opts: &RunOpts,
+) -> (MatBatch<T>, BatchRun<T>) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n);
+    let eye = MatBatch::from_fn(n, n, a.count(), |_, i, j| {
+        if i == j {
+            T::one()
+        } else {
+            T::zero()
+        }
+    });
+    let run = gj_solve_multi(gpu, a, &eye, opts);
+    let inv = run.out.sub(0, n, n, n);
+    (inv, run)
+}
+
+/// Batched QR solve with multiple right-hand sides: factor `[A | B]`
+/// carrying every column of B, then back-substitute each one.
+pub fn qr_solve_multi<T: DeviceScalar>(
+    gpu: &Gpu,
+    a: &MatBatch<T>,
+    b: &MatBatch<T>,
+    opts: &RunOpts,
+) -> BatchRun<T> {
+    assert_eq!(a.rows(), a.cols());
+    assert_eq!(b.rows(), a.rows());
+    let aug = MatBatch::augment(a, b);
+    let approach = match choose_approach(a.rows(), a.cols(), b.cols(), T::WORDS, opts) {
+        Approach::Tiled | Approach::PerThread => Approach::PerBlock,
+        other => other,
+    };
+    let r = run_inplace(gpu, &aug, a.cols(), PtAlg::QrSolve, approach, opts, true);
+    BatchRun {
+        out: r.out,
+        approach,
+        stats: r.stats,
+        taus: None,
+        not_solved: r.flags,
+    }
+}
+
+/// Batched Gauss-Jordan with multiple right-hand sides: reduces
+/// `[A | B]` so the trailing columns hold `A^-1 B`.
+pub fn gj_solve_multi<T: DeviceScalar>(
+    gpu: &Gpu,
+    a: &MatBatch<T>,
+    b: &MatBatch<T>,
+    opts: &RunOpts,
+) -> BatchRun<T> {
+    assert_eq!(a.rows(), a.cols());
+    assert_eq!(b.rows(), a.rows());
+    let aug = MatBatch::augment(a, b);
+    // Multi-rhs problems are wider; the per-thread path rarely fits.
+    let approach = match choose_approach(a.rows(), a.cols(), b.cols(), T::WORDS, opts) {
+        Approach::Tiled => Approach::PerBlock,
+        other => other,
+    };
+    let r = run_inplace(gpu, &aug, a.cols(), PtAlg::Gj, approach, opts, false);
+    BatchRun {
+        out: r.out,
+        approach,
+        stats: r.stats,
+        taus: None,
+        not_solved: r.flags,
+    }
+}

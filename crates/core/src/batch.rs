@@ -1,0 +1,215 @@
+//! Batches of equally-shaped matrices, on the host and on the device.
+//!
+//! The device layout is one column-major matrix after another, which is the
+//! layout the paper's kernels consume: the per-block loader (Listing 4)
+//! offsets `d_A` to its problem and gathers the 2D-cyclic tile from it.
+
+use crate::matrix::Mat;
+use crate::scalar::Scalar;
+use regla_gpu_sim::{DPtr, GlobalMemory};
+
+/// A batch of `count` matrices, each `rows x cols`, stored contiguously.
+#[derive(Clone, Debug)]
+pub struct MatBatch<T> {
+    rows: usize,
+    cols: usize,
+    count: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> MatBatch<T> {
+    pub fn zeros(rows: usize, cols: usize, count: usize) -> Self {
+        MatBatch {
+            rows,
+            cols,
+            count,
+            data: vec![T::zero(); rows * cols * count],
+        }
+    }
+
+    /// Build each matrix entry with `f(problem, row, col)`.
+    pub fn from_fn(
+        rows: usize,
+        cols: usize,
+        count: usize,
+        mut f: impl FnMut(usize, usize, usize) -> T,
+    ) -> Self {
+        let mut b = Self::zeros(rows, cols, count);
+        for k in 0..count {
+            for j in 0..cols {
+                for i in 0..rows {
+                    b.set(k, i, j, f(k, i, j));
+                }
+            }
+        }
+        b
+    }
+
+    /// Replicate one matrix `count` times.
+    pub fn replicate(mat: &Mat<T>, count: usize) -> Self {
+        Self::from_fn(mat.rows(), mat.cols(), count, |_, i, j| mat[(i, j)])
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Elements per problem.
+    pub fn elems_per_mat(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Device words per problem.
+    pub fn words_per_mat(&self) -> usize {
+        self.elems_per_mat() * T::WORDS
+    }
+
+    #[inline]
+    pub fn get(&self, k: usize, i: usize, j: usize) -> T {
+        self.data[k * self.elems_per_mat() + j * self.rows + i]
+    }
+
+    #[inline]
+    pub fn set(&mut self, k: usize, i: usize, j: usize, v: T) {
+        let e = self.elems_per_mat();
+        self.data[k * e + j * self.rows + i] = v;
+    }
+
+    /// Copy problem `k` out as a standalone matrix.
+    pub fn mat(&self, k: usize) -> Mat<T> {
+        let e = self.elems_per_mat();
+        Mat::from_col_major(self.rows, self.cols, &self.data[k * e..(k + 1) * e])
+    }
+
+    /// Overwrite problem `k`.
+    pub fn set_mat(&mut self, k: usize, m: &Mat<T>) {
+        assert_eq!((m.rows(), m.cols()), (self.rows, self.cols));
+        let e = self.elems_per_mat();
+        self.data[k * e..(k + 1) * e].copy_from_slice(m.data());
+    }
+
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Upload the batch to the device; returns the device pointer.
+    pub fn to_device(&self, gmem: &mut GlobalMemory) -> DPtr {
+        let words = self.words_per_mat() * self.count;
+        let ptr = gmem.alloc(words);
+        let mut buf = Vec::with_capacity(words);
+        for x in &self.data {
+            let w = x.to_words();
+            buf.extend_from_slice(&w[..T::WORDS]);
+        }
+        gmem.h2d(ptr, &buf);
+        ptr
+    }
+
+    /// Download the batch from the device (shape must match).
+    pub fn from_device(
+        rows: usize,
+        cols: usize,
+        count: usize,
+        gmem: &GlobalMemory,
+        ptr: DPtr,
+    ) -> Self {
+        let words = rows * cols * T::WORDS * count;
+        let mut buf = vec![0.0f32; words];
+        gmem.d2h(ptr, &mut buf);
+        let mut data = Vec::with_capacity(rows * cols * count);
+        for chunk in buf.chunks(T::WORDS) {
+            let mut w = [0.0f32; 2];
+            w[..T::WORDS].copy_from_slice(chunk);
+            data.push(T::from_words(w));
+        }
+        MatBatch {
+            rows,
+            cols,
+            count,
+            data,
+        }
+    }
+
+    /// Horizontally concatenate two batches: `[A | B]` per problem (the
+    /// augmented systems the solvers consume).
+    pub fn augment(a: &MatBatch<T>, b: &MatBatch<T>) -> MatBatch<T> {
+        assert_eq!(a.rows, b.rows, "row mismatch");
+        assert_eq!(a.count, b.count, "batch size mismatch");
+        MatBatch::from_fn(a.rows, a.cols + b.cols, a.count, |k, i, j| {
+            if j < a.cols {
+                a.get(k, i, j)
+            } else {
+                b.get(k, i, j - a.cols)
+            }
+        })
+    }
+
+    /// Extract a rectangular sub-batch from every problem.
+    pub fn sub(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> MatBatch<T> {
+        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols);
+        MatBatch::from_fn(rows, cols, self.count, |k, i, j| {
+            self.get(k, r0 + i, c0 + j)
+        })
+    }
+
+    /// Extract one column from every problem as an `rows x 1` batch.
+    pub fn column(&self, j: usize) -> MatBatch<T> {
+        self.sub(0, j, self.rows, 1)
+    }
+
+    /// Max Frobenius distance to another batch, per problem.
+    pub fn max_frob_dist(&self, other: &MatBatch<T>) -> f64 {
+        assert_eq!(self.count, other.count);
+        (0..self.count)
+            .map(|k| self.mat(k).frob_dist(&other.mat(k)))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::C32;
+
+    #[test]
+    fn per_problem_indexing() {
+        let b = MatBatch::from_fn(2, 2, 3, |k, i, j| (100 * k + 10 * i + j) as f32);
+        assert_eq!(b.get(2, 1, 0), 210.0);
+        assert_eq!(b.mat(1)[(0, 1)], 101.0);
+    }
+
+    #[test]
+    fn device_round_trip_f32() {
+        let b = MatBatch::from_fn(3, 2, 4, |k, i, j| (k + i * 7 + j * 13) as f32);
+        let mut mem = GlobalMemory::with_bytes(1 << 16);
+        let ptr = b.to_device(&mut mem);
+        let back = MatBatch::<f32>::from_device(3, 2, 4, &mem, ptr);
+        assert_eq!(back.max_frob_dist(&b), 0.0);
+    }
+
+    #[test]
+    fn device_round_trip_complex() {
+        let b = MatBatch::from_fn(2, 2, 2, |k, i, j| C32::new(k as f32 + i as f32, j as f32));
+        let mut mem = GlobalMemory::with_bytes(1 << 16);
+        let ptr = b.to_device(&mut mem);
+        assert_eq!(mem.allocated_words(), 2 * 2 * 2 * 2);
+        let back = MatBatch::<C32>::from_device(2, 2, 2, &mem, ptr);
+        assert_eq!(back.max_frob_dist(&b), 0.0);
+    }
+
+    #[test]
+    fn replicate_copies_the_prototype() {
+        let m = Mat::from_fn(2, 2, |i, j| (i + j) as f32);
+        let b = MatBatch::replicate(&m, 5);
+        assert_eq!(b.count(), 5);
+        assert_eq!(b.mat(4), m);
+    }
+}

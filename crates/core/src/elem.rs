@@ -1,0 +1,205 @@
+//! Device element abstraction: one kernel source for real and complex.
+//!
+//! The paper's CUDA kernels are templated over the scalar type; here the
+//! same role is played by [`Elem`], implemented for tracked real ([`Rv`])
+//! and complex ([`CRv`]) register values. All arithmetic goes through the
+//! simulator's counted operations, so complex kernels automatically cost
+//! ~4x the FLOPs and 2x the memory traffic of their real counterparts.
+
+use crate::scalar::{Scalar, C32};
+use regla_gpu_sim::{CRv, DPtr, RegVal, Rv, ThreadCtx};
+
+/// A value that lives in device registers and can flow through the
+/// simulated shared/global memories.
+pub trait Elem: RegVal + 'static {
+    /// The host scalar this element marshals to/from.
+    type Host: Scalar;
+    /// 32-bit words per element.
+    const WORDS: usize;
+
+    /// Immediate (compile-time constant).
+    fn imm(re: f32) -> Self;
+    /// Promote a real register value (imaginary part zero).
+    fn from_re(rv: Rv) -> Self;
+    /// Load element `idx` (element units) from global memory.
+    fn gload(t: &mut ThreadCtx, p: DPtr, idx: usize) -> Self;
+    fn gstore(t: &mut ThreadCtx, p: DPtr, idx: usize, v: Self);
+    /// Load element `idx` (element units) from block shared memory.
+    fn sload(t: &mut ThreadCtx, idx: usize) -> Self;
+    fn sstore(t: &mut ThreadCtx, idx: usize, v: Self);
+
+    fn add(t: &mut ThreadCtx, a: Self, b: Self) -> Self;
+    fn sub(t: &mut ThreadCtx, a: Self, b: Self) -> Self;
+    fn mul(t: &mut ThreadCtx, a: Self, b: Self) -> Self;
+    /// `acc + a*b`.
+    fn fma(t: &mut ThreadCtx, a: Self, b: Self, acc: Self) -> Self;
+    /// `acc - a*b`.
+    fn fnma(t: &mut ThreadCtx, a: Self, b: Self, acc: Self) -> Self;
+    /// `acc + conj(a)*b` (plain fma for real elements).
+    fn conj_fma(t: &mut ThreadCtx, a: Self, b: Self, acc: Self) -> Self;
+    fn conj(t: &mut ThreadCtx, a: Self) -> Self;
+    /// Multiply by a real register value.
+    fn scale_re(t: &mut ThreadCtx, a: Self, s: Rv) -> Self;
+    /// Squared magnitude as a real register value.
+    fn abs2(t: &mut ThreadCtx, a: Self) -> Rv;
+    /// Multiplicative inverse.
+    fn recip(t: &mut ThreadCtx, a: Self) -> Self;
+    fn is_zero(t: &mut ThreadCtx, a: Self) -> bool;
+    /// The real component as a register value (free: register renaming).
+    fn re(self) -> Rv;
+    /// Host-side readback of the functional value.
+    fn host(self) -> Self::Host;
+    /// Construct from a host value (immediate).
+    fn from_host(v: Self::Host) -> Self;
+}
+
+impl Elem for Rv {
+    type Host = f32;
+    const WORDS: usize = 1;
+
+    fn imm(re: f32) -> Self {
+        Rv::imm(re)
+    }
+    fn from_re(rv: Rv) -> Self {
+        rv
+    }
+    fn gload(t: &mut ThreadCtx, p: DPtr, idx: usize) -> Self {
+        t.gload(p, idx)
+    }
+    fn gstore(t: &mut ThreadCtx, p: DPtr, idx: usize, v: Self) {
+        t.gstore(p, idx, v)
+    }
+    fn sload(t: &mut ThreadCtx, idx: usize) -> Self {
+        t.shared_load(idx)
+    }
+    fn sstore(t: &mut ThreadCtx, idx: usize, v: Self) {
+        t.shared_store(idx, v)
+    }
+    fn add(t: &mut ThreadCtx, a: Self, b: Self) -> Self {
+        t.add(a, b)
+    }
+    fn sub(t: &mut ThreadCtx, a: Self, b: Self) -> Self {
+        t.sub(a, b)
+    }
+    fn mul(t: &mut ThreadCtx, a: Self, b: Self) -> Self {
+        t.mul(a, b)
+    }
+    fn fma(t: &mut ThreadCtx, a: Self, b: Self, acc: Self) -> Self {
+        t.fma(a, b, acc)
+    }
+    fn fnma(t: &mut ThreadCtx, a: Self, b: Self, acc: Self) -> Self {
+        t.fnma(a, b, acc)
+    }
+    fn conj_fma(t: &mut ThreadCtx, a: Self, b: Self, acc: Self) -> Self {
+        t.fma(a, b, acc)
+    }
+    fn conj(_t: &mut ThreadCtx, a: Self) -> Self {
+        a
+    }
+    fn scale_re(t: &mut ThreadCtx, a: Self, s: Rv) -> Self {
+        t.mul(a, s)
+    }
+    fn abs2(t: &mut ThreadCtx, a: Self) -> Rv {
+        t.mul(a, a)
+    }
+    fn recip(t: &mut ThreadCtx, a: Self) -> Self {
+        t.recip(a)
+    }
+    fn is_zero(t: &mut ThreadCtx, a: Self) -> bool {
+        t.is_zero(a)
+    }
+    fn re(self) -> Rv {
+        self
+    }
+    fn host(self) -> f32 {
+        self.val()
+    }
+    fn from_host(v: f32) -> Self {
+        Rv::imm(v)
+    }
+}
+
+impl Elem for CRv {
+    type Host = C32;
+    const WORDS: usize = 2;
+
+    fn imm(re: f32) -> Self {
+        CRv::imm(re, 0.0)
+    }
+    fn from_re(rv: Rv) -> Self {
+        CRv {
+            re: rv,
+            im: Rv::imm(0.0),
+        }
+    }
+    fn gload(t: &mut ThreadCtx, p: DPtr, idx: usize) -> Self {
+        t.cgload(p, idx)
+    }
+    fn gstore(t: &mut ThreadCtx, p: DPtr, idx: usize, v: Self) {
+        t.cgstore(p, idx, v)
+    }
+    fn sload(t: &mut ThreadCtx, idx: usize) -> Self {
+        t.cshared_load(2 * idx)
+    }
+    fn sstore(t: &mut ThreadCtx, idx: usize, v: Self) {
+        t.cshared_store(2 * idx, v)
+    }
+    fn add(t: &mut ThreadCtx, a: Self, b: Self) -> Self {
+        t.cadd(a, b)
+    }
+    fn sub(t: &mut ThreadCtx, a: Self, b: Self) -> Self {
+        t.csub(a, b)
+    }
+    fn mul(t: &mut ThreadCtx, a: Self, b: Self) -> Self {
+        t.cmul(a, b)
+    }
+    fn fma(t: &mut ThreadCtx, a: Self, b: Self, acc: Self) -> Self {
+        t.cfma(a, b, acc)
+    }
+    fn fnma(t: &mut ThreadCtx, a: Self, b: Self, acc: Self) -> Self {
+        t.cfnma(a, b, acc)
+    }
+    fn conj_fma(t: &mut ThreadCtx, a: Self, b: Self, acc: Self) -> Self {
+        let ac = t.conj(a);
+        t.cfma(ac, b, acc)
+    }
+    fn conj(t: &mut ThreadCtx, a: Self) -> Self {
+        t.conj(a)
+    }
+    fn scale_re(t: &mut ThreadCtx, a: Self, s: Rv) -> Self {
+        t.cscale(a, s)
+    }
+    fn abs2(t: &mut ThreadCtx, a: Self) -> Rv {
+        t.cnorm_sq(a)
+    }
+    fn recip(t: &mut ThreadCtx, a: Self) -> Self {
+        t.crecip(a)
+    }
+    fn is_zero(t: &mut ThreadCtx, a: Self) -> bool {
+        let n = t.cnorm_sq(a);
+        t.is_zero(n)
+    }
+    fn re(self) -> Rv {
+        self.re
+    }
+    fn host(self) -> C32 {
+        let (re, im) = self.val();
+        C32::new(re, im)
+    }
+    fn from_host(v: C32) -> Self {
+        CRv::imm(v.re, v.im)
+    }
+}
+
+/// Host scalars that have a device representation.
+pub trait DeviceScalar: Scalar {
+    type Dev: Elem<Host = Self>;
+}
+
+impl DeviceScalar for f32 {
+    type Dev = Rv;
+}
+
+impl DeviceScalar for C32 {
+    type Dev = CRv;
+}

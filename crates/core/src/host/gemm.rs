@@ -1,0 +1,106 @@
+//! General matrix multiply — host reference (used by the hybrid baseline's
+//! panel updates, the speech-GMM example, and as a correctness oracle).
+
+use crate::matrix::Mat;
+use crate::scalar::Scalar;
+
+/// Operand transposition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    None,
+    /// Conjugate transpose (plain transpose for real scalars).
+    ConjTrans,
+}
+
+fn dims<T: Scalar>(a: &Mat<T>, op: Op) -> (usize, usize) {
+    match op {
+        Op::None => (a.rows(), a.cols()),
+        Op::ConjTrans => (a.cols(), a.rows()),
+    }
+}
+
+#[inline]
+fn at<T: Scalar>(a: &Mat<T>, op: Op, i: usize, j: usize) -> T {
+    match op {
+        Op::None => a[(i, j)],
+        Op::ConjTrans => a[(j, i)].conj(),
+    }
+}
+
+/// `C = alpha * op(A) * op(B) + beta * C`.
+pub fn gemm<T: Scalar>(
+    alpha: T,
+    a: &Mat<T>,
+    opa: Op,
+    b: &Mat<T>,
+    opb: Op,
+    beta: T,
+    c: &mut Mat<T>,
+) {
+    let (m, ka) = dims(a, opa);
+    let (kb, n) = dims(b, opb);
+    assert_eq!(ka, kb, "inner dimension mismatch");
+    assert_eq!((c.rows(), c.cols()), (m, n), "output shape mismatch");
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = T::zero();
+            for k in 0..ka {
+                acc += at(a, opa, i, k) * at(b, opb, k, j);
+            }
+            c[(i, j)] = alpha * acc + beta * c[(i, j)];
+        }
+    }
+}
+
+/// Convenience: `A * B`.
+pub fn matmul<T: Scalar>(a: &Mat<T>, b: &Mat<T>) -> Mat<T> {
+    let mut c = Mat::zeros(a.rows(), b.cols());
+    gemm(T::one(), a, Op::None, b, Op::None, T::zero(), &mut c);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::C32;
+
+    #[test]
+    fn matches_naive_matmul() {
+        let a = Mat::from_fn(3, 4, |i, j| (i * 4 + j) as f64);
+        let b = Mat::from_fn(4, 2, |i, j| (i as f64) - (j as f64));
+        let c = matmul(&a, &b);
+        assert!(c.frob_dist(&a.matmul(&b)) < 1e-14);
+    }
+
+    #[test]
+    fn conj_trans_multiplies_gram_matrix() {
+        let a = Mat::from_fn(5, 3, |i, j| C32::new(i as f32, j as f32));
+        let mut g = Mat::zeros(3, 3);
+        gemm(
+            C32::one(),
+            &a,
+            Op::ConjTrans,
+            &a,
+            Op::None,
+            C32::zero(),
+            &mut g,
+        );
+        // The Gram matrix is Hermitian with real diagonal.
+        for i in 0..3 {
+            assert!(g[(i, i)].im.abs() < 1e-5);
+            for j in 0..3 {
+                assert!((g[(i, j)] - g[(j, i)].conj()).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_beta_accumulate() {
+        let a = Mat::<f64>::identity(2);
+        let b = Mat::from_fn(2, 2, |i, j| (i + j) as f64);
+        let mut c = Mat::from_fn(2, 2, |_, _| 10.0);
+        gemm(2.0, &a, Op::None, &b, Op::None, 0.5, &mut c);
+        assert_eq!(c[(0, 0)], 5.0);
+        assert_eq!(c[(1, 0)], 7.0);
+    }
+}

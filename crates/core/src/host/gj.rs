@@ -1,0 +1,143 @@
+//! Gauss-Jordan elimination (Section III-A) — host reference.
+//!
+//! Solves `A x = b` by reducing `[A | b]` to reduced row echelon form with
+//! row operations, without pivoting, exactly as the paper's kernel does:
+//! proceed left to right, scale each row by the diagonal element, and
+//! update everything to the right of the current column with an outer
+//! product of the scaled row and the current column. n^3 FLOPs.
+
+use crate::host::lu::ZeroPivot;
+use crate::matrix::Mat;
+use crate::scalar::Scalar;
+
+/// Reduce the augmented system in place; `aug` is `n x (n + k)` where the
+/// trailing `k` columns are right-hand sides. On success the trailing
+/// columns hold the solutions.
+pub fn gj_reduce_in_place<T: Scalar>(aug: &mut Mat<T>) -> Result<(), ZeroPivot> {
+    let n = aug.rows();
+    assert!(aug.cols() >= n, "augmented matrix must have >= n columns");
+    for k in 0..n {
+        let piv = aug[(k, k)];
+        if piv == T::zero() {
+            return Err(ZeroPivot { column: k });
+        }
+        let inv = T::one() / piv;
+        // Scale the pivot row across the remaining columns.
+        for j in k..aug.cols() {
+            let v = aug[(k, j)] * inv;
+            aug[(k, j)] = v;
+        }
+        // Eliminate the column above and below the pivot.
+        for i in 0..n {
+            if i == k {
+                continue;
+            }
+            let f = aug[(i, k)];
+            if f == T::zero() {
+                continue;
+            }
+            for j in k..aug.cols() {
+                let upd = aug[(k, j)] * f;
+                aug[(i, j)] -= upd;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Solve `A x = b` by Gauss-Jordan elimination of `[A|b]` (no pivoting).
+pub fn gj_solve<T: Scalar>(a: &Mat<T>, b: &[T]) -> Result<Vec<T>, ZeroPivot> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n);
+    assert_eq!(b.len(), n);
+    let mut aug = Mat::from_fn(n, n + 1, |i, j| if j < n { a[(i, j)] } else { b[i] });
+    gj_reduce_in_place(&mut aug)?;
+    Ok((0..n).map(|i| aug[(i, n)]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::C32;
+
+    fn dd_mat(n: usize) -> Mat<f64> {
+        let mut a = Mat::from_fn(n, n, |i, j| ((i + 2 * j) as f64).cos());
+        a.make_diagonally_dominant();
+        a
+    }
+
+    #[test]
+    fn solves_diagonally_dominant_system() {
+        let a = dd_mat(9);
+        let xs: Vec<f64> = (0..9).map(|i| 0.5 * i as f64 - 2.0).collect();
+        let mut b = vec![0.0; 9];
+        for i in 0..9 {
+            for j in 0..9 {
+                b[i] += a[(i, j)] * xs[j];
+            }
+        }
+        let x = gj_solve(&a, &b).unwrap();
+        for (xi, ei) in x.iter().zip(&xs) {
+            assert!((xi - ei).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn reduces_identity_to_identity() {
+        let mut aug = Mat::from_fn(4, 5, |i, j| {
+            if i == j {
+                1.0
+            } else if j == 4 {
+                (i + 1) as f64
+            } else {
+                0.0
+            }
+        });
+        gj_reduce_in_place(&mut aug).unwrap();
+        for i in 0..4 {
+            assert_eq!(aug[(i, 4)], (i + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn multiple_rhs_solved_simultaneously() {
+        let a = dd_mat(5);
+        let mut aug = Mat::from_fn(5, 7, |i, j| if j < 5 { a[(i, j)] } else { 0.0 });
+        // rhs0 = A * e0, rhs1 = A * ones
+        for i in 0..5 {
+            aug[(i, 5)] = a[(i, 0)];
+            aug[(i, 6)] = (0..5).map(|j| a[(i, j)]).sum();
+        }
+        gj_reduce_in_place(&mut aug).unwrap();
+        for i in 0..5 {
+            let e0 = if i == 0 { 1.0 } else { 0.0 };
+            assert!((aug[(i, 5)] - e0).abs() < 1e-10);
+            assert!((aug[(i, 6)] - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn zero_pivot_detected() {
+        let mut a = Mat::<f64>::zeros(2, 2);
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        assert!(gj_solve(&a, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn complex_system_solves() {
+        let mut a = Mat::from_fn(4, 4, |i, j| C32::new((i + j) as f32, (i * j) as f32 * 0.1));
+        a.make_diagonally_dominant();
+        let xs: Vec<C32> = (0..4).map(|i| C32::new(i as f32, -(i as f32))).collect();
+        let mut b = vec![C32::default(); 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                b[i] += a[(i, j)] * xs[j];
+            }
+        }
+        let x = gj_solve(&a, &b).unwrap();
+        for (xi, ei) in x.iter().zip(&xs) {
+            assert!((*xi - *ei).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Least squares via QR (Section III-D) — host reference.
+//!
+//! `min ‖Ax − b‖` for tall `A` is solved by rewriting the normal equations
+//! in terms of Q and R: `R x = Qᴴ b`. The right-hand side is appended to
+//! the matrix during factorization (as the paper's kernel does), which is
+//! numerically equivalent to applying the reflectors to b.
+
+use crate::host::qr::{apply_qh, back_substitute, householder_qr_in_place};
+use crate::matrix::Mat;
+use crate::scalar::Scalar;
+
+/// Solve the least-squares problem `min ‖Ax − b‖` (m >= n).
+pub fn least_squares<T: Scalar>(a: &Mat<T>, b: &[T]) -> Vec<T> {
+    let (m, n) = (a.rows(), a.cols());
+    assert!(m >= n, "least squares requires m >= n");
+    assert_eq!(b.len(), m);
+    let mut f = a.clone();
+    let taus = householder_qr_in_place(&mut f);
+    let mut y = b.to_vec();
+    apply_qh(&f, &taus, &mut y);
+    back_substitute(&f, &y)
+}
+
+/// Residual norm ‖Ax − b‖ (testing / benchmark verification helper).
+pub fn residual_norm<T: Scalar>(a: &Mat<T>, x: &[T], b: &[T]) -> f64 {
+    let m = a.rows();
+    let mut r2 = 0.0;
+    for i in 0..m {
+        let mut s = -b[i];
+        for j in 0..a.cols() {
+            s += a[(i, j)] * x[j];
+        }
+        r2 += s.abs2();
+    }
+    r2.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::C32;
+
+    #[test]
+    fn exact_system_recovered_when_consistent() {
+        // b in range(A): residual ~ 0 and x is exact. The pseudo-random
+        // generator keeps the columns linearly independent (a plain
+        // sin(i*3+j) family is rank-3 and would admit null-space drift).
+        let a = Mat::from_fn(10, 4, |i, j| {
+            let h = (i * 37 + j * 101) % 97;
+            (h as f64) / 97.0 + if i == j { 2.0 } else { 0.0 }
+        });
+        let xs = [1.0, -2.0, 0.5, 3.0];
+        let mut b = vec![0.0; 10];
+        for i in 0..10 {
+            for j in 0..4 {
+                b[i] += a[(i, j)] * xs[j];
+            }
+        }
+        let x = least_squares(&a, &b);
+        for (xi, ei) in x.iter().zip(&xs) {
+            assert!((xi - ei).abs() < 1e-9);
+        }
+        assert!(residual_norm(&a, &x, &b) < 1e-9);
+    }
+
+    #[test]
+    fn residual_is_orthogonal_to_columns() {
+        // The optimality condition: Aᴴ(Ax − b) = 0.
+        let a = Mat::from_fn(12, 3, |i, j| ((i as f64 + 1.0).ln() * (j as f64 + 1.0)).cos());
+        let b: Vec<f64> = (0..12).map(|i| (i as f64 * 0.37).sin()).collect();
+        let x = least_squares(&a, &b);
+        for j in 0..3 {
+            let mut dot = 0.0;
+            for i in 0..12 {
+                let mut ri = -b[i];
+                for k in 0..3 {
+                    ri += a[(i, k)] * x[k];
+                }
+                dot += a[(i, j)] * ri;
+            }
+            assert!(dot.abs() < 1e-9, "column {j} gradient {dot}");
+        }
+    }
+
+    #[test]
+    fn beats_or_matches_any_perturbed_solution() {
+        let a = Mat::from_fn(9, 3, |i, j| ((i * j + 1) as f64).sqrt());
+        let b: Vec<f64> = (0..9).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let x = least_squares(&a, &b);
+        let best = residual_norm(&a, &x, &b);
+        for d in 0..3 {
+            let mut xp = x.clone();
+            xp[d] += 1e-3;
+            assert!(residual_norm(&a, &xp, &b) >= best - 1e-12);
+        }
+    }
+
+    #[test]
+    fn complex_least_squares_consistent_case() {
+        let a = Mat::from_fn(8, 3, |i, j| {
+            let h = ((i * 13 + j * 29) % 31) as f32 / 31.0;
+            let g = ((i * 7 + j * 17) % 23) as f32 / 23.0;
+            C32::new(h + if i == j { 1.5 } else { 0.0 }, g - 0.4)
+        });
+        let xs = [C32::new(1.0, 1.0), C32::new(-0.5, 0.0), C32::new(0.0, 2.0)];
+        let mut b = vec![C32::default(); 8];
+        for i in 0..8 {
+            for j in 0..3 {
+                b[i] += a[(i, j)] * xs[j];
+            }
+        }
+        let x = least_squares(&a, &b);
+        for (xi, ei) in x.iter().zip(&xs) {
+            assert!((*xi - *ei).abs() < 1e-3);
+        }
+    }
+}

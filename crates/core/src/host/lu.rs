@@ -1,0 +1,227 @@
+//! LU factorization (Section III-B) — host reference.
+//!
+//! The paper's GPU kernels do not pivot (they are benchmarked on diagonally
+//! dominant matrices); the pivoting variant is provided for the MKL-style
+//! CPU baseline and for correctness oracles.
+
+use crate::matrix::Mat;
+use crate::scalar::Scalar;
+
+/// Error for a structurally singular (zero-pivot) factorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroPivot {
+    pub column: usize,
+}
+
+impl std::fmt::Display for ZeroPivot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "zero pivot encountered in column {}", self.column)
+    }
+}
+
+impl std::error::Error for ZeroPivot {}
+
+/// In-place LU without pivoting: L (unit diagonal, below) and U (upper)
+/// overwrite A, exactly like the paper's kernel output.
+pub fn lu_nopivot_in_place<T: Scalar>(a: &mut Mat<T>) -> Result<(), ZeroPivot> {
+    let n = a.rows().min(a.cols());
+    for k in 0..n {
+        let piv = a[(k, k)];
+        if piv == T::zero() {
+            return Err(ZeroPivot { column: k });
+        }
+        let inv = T::one() / piv;
+        for i in k + 1..a.rows() {
+            let l = a[(i, k)] * inv;
+            a[(i, k)] = l;
+        }
+        for j in k + 1..a.cols() {
+            let u = a[(k, j)];
+            for i in k + 1..a.rows() {
+                let upd = a[(i, k)] * u;
+                a[(i, j)] -= upd;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// In-place LU with partial (row) pivoting; returns the pivot vector
+/// (`piv[k]` = row swapped into position k at step k).
+pub fn lu_partial_pivot_in_place<T: Scalar>(a: &mut Mat<T>) -> Result<Vec<usize>, ZeroPivot> {
+    let n = a.rows().min(a.cols());
+    let mut piv = Vec::with_capacity(n);
+    for k in 0..n {
+        // Select the largest magnitude pivot in column k.
+        let (mut best, mut best_abs) = (k, a[(k, k)].abs());
+        for i in k + 1..a.rows() {
+            let v = a[(i, k)].abs();
+            if v > best_abs {
+                best = i;
+                best_abs = v;
+            }
+        }
+        if best_abs == 0.0 {
+            return Err(ZeroPivot { column: k });
+        }
+        if best != k {
+            for j in 0..a.cols() {
+                let t = a[(k, j)];
+                a[(k, j)] = a[(best, j)];
+                a[(best, j)] = t;
+            }
+        }
+        piv.push(best);
+        let inv = T::one() / a[(k, k)];
+        for i in k + 1..a.rows() {
+            let l = a[(i, k)] * inv;
+            a[(i, k)] = l;
+        }
+        for j in k + 1..a.cols() {
+            let u = a[(k, j)];
+            for i in k + 1..a.rows() {
+                let upd = a[(i, k)] * u;
+                a[(i, j)] -= upd;
+            }
+        }
+    }
+    Ok(piv)
+}
+
+/// Solve `A x = b` from a pivoted in-place factorization.
+pub fn lu_solve<T: Scalar>(lu: &Mat<T>, piv: &[usize], b: &[T]) -> Vec<T> {
+    let n = lu.rows();
+    assert_eq!(lu.rows(), lu.cols());
+    let mut x = b.to_vec();
+    // Apply the row exchanges in factorization order.
+    for (k, &p) in piv.iter().enumerate() {
+        x.swap(k, p);
+    }
+    // Forward substitution with unit-diagonal L.
+    for j in 0..n {
+        let xj = x[j];
+        for i in j + 1..n {
+            let upd = lu[(i, j)] * xj;
+            x[i] -= upd;
+        }
+    }
+    // Backward substitution with U.
+    for j in (0..n).rev() {
+        let xj = x[j] / lu[(j, j)];
+        x[j] = xj;
+        for i in 0..j {
+            let upd = lu[(i, j)] * xj;
+            x[i] -= upd;
+        }
+    }
+    x
+}
+
+/// Solve from a non-pivoted factorization (`piv` implicitly identity).
+pub fn lu_nopivot_solve<T: Scalar>(lu: &Mat<T>, b: &[T]) -> Vec<T> {
+    lu_solve(lu, &[], b)
+}
+
+/// Reconstruct `P A = L U` products for testing: returns (L, U).
+pub fn split_lu<T: Scalar>(lu: &Mat<T>) -> (Mat<T>, Mat<T>) {
+    let (m, n) = (lu.rows(), lu.cols());
+    let k = m.min(n);
+    let l = Mat::from_fn(m, k, |i, j| {
+        use std::cmp::Ordering::*;
+        match i.cmp(&j) {
+            Greater => lu[(i, j)],
+            Equal => T::one(),
+            Less => T::zero(),
+        }
+    });
+    let u = Mat::from_fn(k, n, |i, j| if i <= j { lu[(i, j)] } else { T::zero() });
+    (l, u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::C32;
+
+    fn dd_mat(n: usize) -> Mat<f64> {
+        let mut a = Mat::from_fn(n, n, |i, j| ((i * 7 + j * 3) as f64).sin());
+        a.make_diagonally_dominant();
+        a
+    }
+
+    #[test]
+    fn nopivot_reconstructs_dd_matrix() {
+        let a = dd_mat(8);
+        let mut f = a.clone();
+        lu_nopivot_in_place(&mut f).unwrap();
+        let (l, u) = split_lu(&f);
+        assert!(l.matmul(&u).frob_dist(&a) < 1e-12 * a.frob_norm());
+    }
+
+    #[test]
+    fn pivoted_reconstructs_general_matrix() {
+        let a = Mat::from_fn(6, 6, |i, j| ((i as f64 - j as f64) * 1.3).cos());
+        let mut f = a.clone();
+        let piv = lu_partial_pivot_in_place(&mut f).unwrap();
+        let (l, u) = split_lu(&f);
+        // Apply the same row exchanges to A and compare.
+        let mut pa = a.clone();
+        for (k, &p) in piv.iter().enumerate() {
+            if p != k {
+                for j in 0..6 {
+                    let t = pa[(k, j)];
+                    pa[(k, j)] = pa[(p, j)];
+                    pa[(p, j)] = t;
+                }
+            }
+        }
+        assert!(l.matmul(&u).frob_dist(&pa) < 1e-12 * a.frob_norm());
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let a = dd_mat(7);
+        let xs: Vec<f64> = (0..7).map(|i| 1.0 + i as f64).collect();
+        let mut b = vec![0.0; 7];
+        for i in 0..7 {
+            for j in 0..7 {
+                b[i] += a[(i, j)] * xs[j];
+            }
+        }
+        let mut f = a.clone();
+        let piv = lu_partial_pivot_in_place(&mut f).unwrap();
+        let x = lu_solve(&f, &piv, &b);
+        for (xi, ei) in x.iter().zip(&xs) {
+            assert!((xi - ei).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn zero_pivot_is_reported() {
+        let mut a = Mat::<f64>::zeros(3, 3);
+        a[(0, 1)] = 1.0;
+        let e = lu_nopivot_in_place(&mut a).unwrap_err();
+        assert_eq!(e.column, 0);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let mut a = Mat::<f64>::zeros(2, 2);
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 2.0;
+        let piv = lu_partial_pivot_in_place(&mut a).unwrap();
+        assert_eq!(piv[0], 1);
+    }
+
+    #[test]
+    fn complex_lu_reconstructs() {
+        let mut a = Mat::from_fn(5, 5, |i, j| {
+            C32::new((i as f32 * 0.7).cos(), (j as f32 * 0.3).sin())
+        });
+        a.make_diagonally_dominant();
+        let mut f = a.clone();
+        lu_nopivot_in_place(&mut f).unwrap();
+        let (l, u) = split_lu(&f);
+        assert!(l.matmul(&u).frob_dist(&a) < 1e-5 * a.frob_norm());
+    }
+}

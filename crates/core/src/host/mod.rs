@@ -1,0 +1,23 @@
+//! Host (CPU) reference implementations of the paper's four algorithms
+//! (Section III) plus GEMM. These serve as correctness oracles for the GPU
+//! kernels, as the panel factorizations of the tiled and hybrid paths, and
+//! as the building blocks of the `regla-cpu` MKL-style baseline.
+
+pub mod cholesky;
+pub mod gemm;
+pub mod gj;
+pub mod lu;
+pub mod ls;
+pub mod qr;
+
+pub use cholesky::{cholesky_in_place, cholesky_solve, extract_l, NotPositiveDefinite};
+pub use gemm::{gemm, matmul, Op};
+pub use gj::{gj_reduce_in_place, gj_solve};
+pub use lu::{
+    lu_nopivot_in_place, lu_nopivot_solve, lu_partial_pivot_in_place, lu_solve, split_lu,
+    ZeroPivot,
+};
+pub use ls::{least_squares, residual_norm};
+pub use qr::{
+    apply_qh, back_substitute, extract_r, form_q, householder_qr_in_place, qr_solve,
+};

@@ -1,0 +1,241 @@
+//! Householder QR factorization (Section III-C) — host reference.
+//!
+//! The paper uses Householder reflectors "because it is consistent with
+//! LAPACK". This implementation follows the LAPACK `geqrf`/`larfg`
+//! conventions: reflectors are stored below the diagonal with an implicit
+//! unit leading element, R overwrites the upper triangle, and the
+//! factorization applies `H_k = I - τ v vᴴ` from the left, so
+//! `R = H_n ⋯ H_1 A` and `Q = H_1ᴴ ⋯ H_nᴴ`.
+
+use crate::matrix::Mat;
+use crate::scalar::Scalar;
+
+/// In-place Householder QR. Returns the reflector scales τ (one per
+/// factored column, zero where the column was already triangular).
+pub fn householder_qr_in_place<T: Scalar>(a: &mut Mat<T>) -> Vec<T> {
+    let (m, n) = (a.rows(), a.cols());
+    let kmax = m.min(n);
+    let mut taus = Vec::with_capacity(kmax);
+    for k in 0..kmax {
+        let alpha = a[(k, k)];
+        let xnorm2: f64 = (k + 1..m).map(|i| a[(i, k)].abs2()).sum();
+        if xnorm2 == 0.0 && (!T::IS_COMPLEX || alpha.conj() == alpha) {
+            taus.push(T::zero());
+            continue;
+        }
+        let anorm = (alpha.abs2() + xnorm2).sqrt();
+        let beta = if alpha.real() >= 0.0 { -anorm } else { anorm };
+        let beta_s = T::from_f64(beta);
+        let tau = (beta_s - alpha) / beta_s;
+        let inv = T::one() / (alpha - beta_s);
+        for i in k + 1..m {
+            let v = a[(i, k)] * inv;
+            a[(i, k)] = v;
+        }
+        a[(k, k)] = beta_s;
+        // Apply H_kᴴ = I - conj(tau) v vᴴ to the trailing columns (LAPACK's
+        // larfg builds H whose *adjoint* annihilates the column, so the
+        // factorization is R = H_nᴴ ⋯ H_1ᴴ A and Q = H_1 ⋯ H_n).
+        let tch = tau.conj();
+        for j in k + 1..n {
+            let mut w = a[(k, j)];
+            for i in k + 1..m {
+                w += a[(i, k)].conj() * a[(i, j)];
+            }
+            let tw = tch * w;
+            a[(k, j)] -= tw;
+            for i in k + 1..m {
+                let upd = a[(i, k)] * tw;
+                a[(i, j)] -= upd;
+            }
+        }
+        taus.push(tau);
+    }
+    taus
+}
+
+/// Apply `Qᴴ = H_nᴴ ⋯ H_1ᴴ` to a vector (the factorization-order
+/// reflector sweep), as needed for least squares: `Qᴴ b`.
+pub fn apply_qh<T: Scalar>(a: &Mat<T>, taus: &[T], b: &mut [T]) {
+    let m = a.rows();
+    assert_eq!(b.len(), m);
+    for (k, &tau) in taus.iter().enumerate() {
+        if tau == T::zero() {
+            continue;
+        }
+        let mut w = b[k];
+        for i in k + 1..m {
+            w += a[(i, k)].conj() * b[i];
+        }
+        let tw = tau.conj() * w;
+        b[k] -= tw;
+        for i in k + 1..m {
+            let upd = a[(i, k)] * tw;
+            b[i] -= upd;
+        }
+    }
+}
+
+/// Materialise the m x m unitary Q from the compact factorization.
+pub fn form_q<T: Scalar>(a: &Mat<T>, taus: &[T]) -> Mat<T> {
+    let m = a.rows();
+    let mut q = Mat::<T>::identity(m);
+    // Q = H_1 H_2 ⋯ : apply H_k = I - tau v vᴴ to the columns of the
+    // accumulating identity, innermost reflector first.
+    for k in (0..taus.len()).rev() {
+        let tau = taus[k];
+        if tau == T::zero() {
+            continue;
+        }
+        for j in 0..m {
+            let mut w = q[(k, j)];
+            for i in k + 1..m {
+                w += a[(i, k)].conj() * q[(i, j)];
+            }
+            let tw = tau * w;
+            q[(k, j)] -= tw;
+            for i in k + 1..m {
+                let upd = a[(i, k)] * tw;
+                q[(i, j)] -= upd;
+            }
+        }
+    }
+    q
+}
+
+/// Extract the upper-triangular (actually upper-trapezoidal) R.
+pub fn extract_r<T: Scalar>(a: &Mat<T>) -> Mat<T> {
+    let (m, n) = (a.rows(), a.cols());
+    Mat::from_fn(m.min(n.max(m)).min(m), n, |i, j| {
+        if i <= j {
+            a[(i, j)]
+        } else {
+            T::zero()
+        }
+    })
+}
+
+/// Solve the square system `R x = y` by back substitution, using the top
+/// n x n triangle of the factored matrix.
+pub fn back_substitute<T: Scalar>(a: &Mat<T>, y: &[T]) -> Vec<T> {
+    let n = a.cols();
+    let mut x = y[..n].to_vec();
+    for j in (0..n).rev() {
+        let xj = x[j] / a[(j, j)];
+        x[j] = xj;
+        for i in 0..j {
+            let upd = a[(i, j)] * xj;
+            x[i] -= upd;
+        }
+    }
+    x
+}
+
+/// Solve `A x = b` (square A) via QR: factor, apply Qᴴ to b, back-solve.
+pub fn qr_solve<T: Scalar>(a: &Mat<T>, b: &[T]) -> Vec<T> {
+    assert_eq!(a.rows(), a.cols(), "qr_solve requires a square system");
+    let mut f = a.clone();
+    let taus = householder_qr_in_place(&mut f);
+    let mut y = b.to_vec();
+    apply_qh(&f, &taus, &mut y);
+    back_substitute(&f, &y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::C32;
+
+    fn test_mat(m: usize, n: usize) -> Mat<f64> {
+        Mat::from_fn(m, n, |i, j| {
+            ((i * 31 + j * 17) as f64).sin() + if i == j { 3.0 } else { 0.0 }
+        })
+    }
+
+    #[test]
+    fn qr_reconstructs_square_matrix() {
+        let a = test_mat(6, 6);
+        let mut f = a.clone();
+        let taus = householder_qr_in_place(&mut f);
+        let q = form_q(&f, &taus);
+        let r = extract_r(&f);
+        let qr = q.matmul(&r);
+        assert!(qr.frob_dist(&a) < 1e-12 * a.frob_norm());
+    }
+
+    #[test]
+    fn qr_reconstructs_tall_matrix() {
+        let a = test_mat(12, 5);
+        let mut f = a.clone();
+        let taus = householder_qr_in_place(&mut f);
+        let q = form_q(&f, &taus);
+        let r = extract_r(&f);
+        assert!(q.matmul(&r).frob_dist(&a) < 1e-12 * a.frob_norm());
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let a = test_mat(8, 8);
+        let mut f = a.clone();
+        let taus = householder_qr_in_place(&mut f);
+        let q = form_q(&f, &taus);
+        let qtq = q.hermitian_transpose().matmul(&q);
+        assert!(qtq.frob_dist(&Mat::identity(8)) < 1e-12);
+    }
+
+    #[test]
+    fn r_diagonal_is_nonpositive_leading() {
+        // Our sign convention: beta = -sign(re alpha) * norm.
+        let a = test_mat(5, 5);
+        let mut f = a.clone();
+        householder_qr_in_place(&mut f);
+        for j in 1..5 {
+            for i in j + 1..5 {
+                // below-diagonal holds reflectors, not zeros — extract_r
+                // must mask them.
+                let r = extract_r(&f);
+                assert_eq!(r[(i, j - 1)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn complex_qr_reconstructs() {
+        let a = Mat::from_fn(6, 4, |i, j| {
+            let h = ((i * 11 + j * 23) % 19) as f32 / 19.0;
+            let g = ((i * 5 + j * 13) % 17) as f32 / 17.0;
+            C32::new(h + if i == j { 2.0 } else { 0.0 }, g - 0.5)
+        });
+        let mut f = a.clone();
+        let taus = householder_qr_in_place(&mut f);
+        let q = form_q(&f, &taus);
+        let r = extract_r(&f);
+        assert!(q.matmul(&r).frob_dist(&a) < 1e-5 * a.frob_norm() + 1e-5);
+        let qhq = q.hermitian_transpose().matmul(&q);
+        assert!(qhq.frob_dist(&Mat::identity(6)) < 1e-4);
+    }
+
+    #[test]
+    fn qr_solve_recovers_known_solution() {
+        let a = test_mat(7, 7);
+        let xs: Vec<f64> = (0..7).map(|i| (i as f64) - 3.0).collect();
+        let mut b = vec![0.0; 7];
+        for i in 0..7 {
+            for j in 0..7 {
+                b[i] += a[(i, j)] * xs[j];
+            }
+        }
+        let x = qr_solve(&a, &b);
+        for (xi, ei) in x.iter().zip(&xs) {
+            assert!((xi - ei).abs() < 1e-10, "{xi} vs {ei}");
+        }
+    }
+
+    #[test]
+    fn zero_lower_column_gives_zero_tau() {
+        let mut a = Mat::<f64>::identity(4);
+        let taus = householder_qr_in_place(&mut a);
+        assert!(taus.iter().all(|&t| t == 0.0));
+        assert!(a.frob_dist(&Mat::identity(4)) < 1e-15);
+    }
+}

@@ -1,0 +1,57 @@
+//! # regla-core — batched small dense linear algebra in GPU registers
+//!
+//! The primary contribution of *"A Predictive Model for Solving Small
+//! Linear Algebra Problems in GPU Registers"* (IPPS 2012), reproduced on
+//! the `regla-gpu-sim` substrate:
+//!
+//! * **One problem per thread** (§IV) — for n < 16 each thread factors a
+//!   whole matrix serially in its register file; performance is bounded by
+//!   arithmetic intensity × DRAM bandwidth until the registers spill.
+//! * **One problem per block** (§V) — the matrix is distributed over a
+//!   thread block's register files (2D cyclic by default; 1D row/column
+//!   cyclic for the Figure 7 comparison) and factored cooperatively
+//!   through shared memory.
+//! * **Tiled within blocks** (§VII) — tall matrices (the 240x66 radar
+//!   problems) are factored panel by panel, streaming through DRAM.
+//!
+//! Four algorithms are provided in all paths: Gauss-Jordan solve, LU
+//! without pivoting, Householder QR, and least squares / linear solve via
+//! QR, for both `f32` and single-precision complex [`C32`].
+//!
+//! ```
+//! use regla_core::{api, MatBatch, RunOpts};
+//! use regla_gpu_sim::Gpu;
+//!
+//! // Factor 128 diagonally-dominant 6x6 systems on the simulated GPU.
+//! let gpu = Gpu::quadro_6000();
+//! let mut proto = regla_core::Mat::from_fn(6, 6, |i, j| ((i * j) as f32).sin());
+//! proto.make_diagonally_dominant();
+//! let batch = MatBatch::replicate(&proto, 128);
+//! let run = api::lu_batch(&gpu, &batch, &RunOpts::default());
+//! assert!(run.gflops() > 0.0);
+//! ```
+
+pub mod api;
+pub mod batch;
+pub mod elem;
+pub mod global_level;
+pub mod host;
+pub mod layout;
+pub mod matrix;
+pub mod per_block;
+pub mod per_thread;
+pub mod scalar;
+pub mod tiled;
+
+pub use api::{
+    cholesky_batch, gemm_batch, gj_solve_batch, gj_solve_multi, invert_batch, qr_solve_multi,
+    least_squares_batch, lu_batch, tsqr_least_squares,
+    qr_batch, qr_solve_batch, BatchRun, RunOpts,
+};
+pub use batch::MatBatch;
+pub use elem::{DeviceScalar, Elem};
+pub use layout::{Layout, LayoutMap};
+pub use matrix::Mat;
+pub use scalar::{Scalar, C32};
+pub use global_level::{global_level_qr, GlobalLevelOpts};
+pub use tiled::{MultiLaunch, TiledOpts};

@@ -1,0 +1,163 @@
+//! Apply the reflectors of a factored panel to trailing columns —
+//! the update step of the sequential tiled QR used for matrices that do
+//! not fit a single block's register file (Section VII's 240x66 STAP QR).
+//!
+//! One block per problem: the factored panel V (reflectors below the
+//! diagonal, unit leading elements implicit) is loaded into registers and
+//! each trailing column is streamed through shared memory, having the nb
+//! reflectors applied in sequence.
+
+use crate::elem::Elem;
+use crate::layout::LayoutMap;
+use crate::per_block::common::{load_tile, OwnTables, SubMat};
+use regla_gpu_sim::{BlockCtx, BlockKernel, DPtr, RegArray};
+use std::marker::PhantomData;
+
+pub struct QrApplyKernel<E: Elem> {
+    /// The factored panel (rows x nb), reflectors below the diagonal.
+    pub v: SubMat,
+    /// The trailing columns to update (rows x tcols).
+    pub a: SubMat,
+    /// Reflector scales: element `bid * tau_stride + tau_off + k`.
+    pub d_tau: DPtr,
+    pub tau_stride: usize,
+    pub tau_off: usize,
+    /// Layout of the V panel over the block.
+    pub lm: LayoutMap,
+    pub nb: usize,
+    pub tcols: usize,
+    pub count: usize,
+    pub _e: PhantomData<E>,
+}
+
+impl<E: Elem> QrApplyKernel<E> {
+    /// Shared layout: column buffer (rows), reduction partials
+    /// (red_width), staged taus (nb), scalars (2).
+    pub fn shared_words(&self) -> usize {
+        (self.lm.rows + self.lm.red_width() + self.nb + 2) * E::WORDS
+    }
+}
+
+impl<E: Elem> BlockKernel for QrApplyKernel<E> {
+    fn run(&self, blk: &mut BlockCtx) {
+        if blk.block_id >= self.count {
+            return;
+        }
+        let lm = self.lm;
+        let own = OwnTables::new(&lm);
+        let rows = lm.rows;
+        let nb = self.nb;
+        let bid = blk.block_id;
+        let p = lm.p;
+        let rw = lm.red_width();
+        // Shared slots (element units).
+        let s_col = 0;
+        let s_part = rows;
+        let s_tau = rows + rw;
+        let s_tw = rows + rw + nb;
+
+        let mut vregs: Vec<RegArray<E>> =
+            (0..p).map(|_| RegArray::zeroed(lm.local_len())).collect();
+        load_tile(blk, &lm, &own, &self.v, &mut vregs);
+
+        // Stage this panel's taus once.
+        let (d_tau, tau_stride, tau_off) = (self.d_tau, self.tau_stride, self.tau_off);
+        blk.phase_label("stage-tau");
+        blk.for_each(|t| {
+            if t.tid < nb {
+                let tau = E::gload(t, d_tau, bid * tau_stride + tau_off + t.tid);
+                E::sstore(t, s_tau + t.tid, tau);
+            }
+        });
+        blk.sync();
+
+        let a = self.a;
+        for c in 0..self.tcols {
+            // Cooperative load of the trailing column into shared memory.
+            blk.phase_label("apply: stage");
+            blk.for_each(|t| {
+                let mut i = t.tid;
+                while i < rows {
+                    let v = E::gload(t, a.ptr, a.index(bid, i, c));
+                    E::sstore(t, s_col + i, v);
+                    i += p;
+                }
+            });
+            blk.sync();
+
+            for k in 0..nb {
+                let diag_owner = lm.owner(k, k);
+                // Partials of w = vᴴ a over each thread's rows.
+                blk.phase_label("apply: matvec");
+                blk.for_each(|t| {
+                    if !lm.owns_col(t.tid, k) {
+                        return;
+                    }
+                    let mut acc = E::imm(0.0);
+                    for &i in own.rows_from(t.tid, k + 1) {
+                        let v = vregs[t.tid].get(t, lm.local_index(i, k));
+                        let x = E::sload(t, s_col + i);
+                        acc = E::conj_fma(t, v, x, acc);
+                    }
+                    if t.tid == diag_owner {
+                        // v_k = 1 implicit.
+                        let x = E::sload(t, s_col + k);
+                        acc = E::add(t, acc, x);
+                    }
+                    E::sstore(t, s_part + lm.owner_rank(t.tid), acc);
+                });
+                blk.sync();
+
+                // Serial reduction and tau multiply by the diagonal owner.
+                blk.for_each(|t| {
+                    if t.tid != diag_owner {
+                        return;
+                    }
+                    let mut w = E::imm(0.0);
+                    for r in 0..rw {
+                        let pr = E::sload(t, s_part + r);
+                        w = E::add(t, pr, w);
+                    }
+                    let tau = E::sload(t, s_tau + k);
+                    let tch = E::conj(t, tau);
+                    let tw = E::mul(t, tch, w);
+                    E::sstore(t, s_tw, tw);
+                });
+                blk.sync();
+
+                // a -= v * tw over the column.
+                blk.phase_label("apply: update");
+                blk.for_each(|t| {
+                    if !lm.owns_col(t.tid, k) {
+                        return;
+                    }
+                    let tw = E::sload(t, s_tw);
+                    if t.tid == diag_owner {
+                        let x = E::sload(t, s_col + k);
+                        let nx = E::sub(t, x, tw);
+                        E::sstore(t, s_col + k, nx);
+                    }
+                    for &i in own.rows_from(t.tid, k + 1) {
+                        let v = vregs[t.tid].get(t, lm.local_index(i, k));
+                        let x = E::sload(t, s_col + i);
+                        let nx = E::fnma(t, v, tw, x);
+                        E::sstore(t, s_col + i, nx);
+                    }
+                });
+                blk.sync();
+            }
+
+            // Write the updated column back.
+            blk.phase_label("apply: store");
+            blk.for_each(|t| {
+                let mut i = t.tid;
+                while i < rows {
+                    let v = E::sload(t, s_col + i);
+                    E::gstore(t, a.ptr, a.index(bid, i, c), v);
+                    i += p;
+                }
+            });
+            blk.sync();
+        }
+    }
+}

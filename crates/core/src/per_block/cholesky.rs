@@ -1,0 +1,135 @@
+//! One-problem-per-block Cholesky factorization (extension): the same
+//! column-sweep skeleton as the paper's LU — scale factor from the
+//! diagonal thread, column published through shared memory, outer-product
+//! trailing update — but restricted to the lower triangle and using a
+//! square root on the pivot.
+
+use crate::elem::Elem;
+use crate::layout::LayoutMap;
+use crate::per_block::common::{load_tile, store_tile, OwnTables, SharedMap, SubMat};
+use regla_gpu_sim::{BlockCtx, BlockKernel, DPtr, RegArray};
+use std::marker::PhantomData;
+
+/// Cholesky kernel; L overwrites the lower triangle in place.
+pub struct CholeskyBlockKernel<E: Elem> {
+    pub a: SubMat,
+    pub lm: LayoutMap,
+    pub count: usize,
+    /// Set to 1 when a non-positive pivot is encountered.
+    pub d_flag: Option<DPtr>,
+    pub _e: PhantomData<E>,
+}
+
+impl<E: Elem> CholeskyBlockKernel<E> {
+    pub fn new(a: SubMat, lm: LayoutMap, count: usize) -> Self {
+        CholeskyBlockKernel {
+            a,
+            lm,
+            count,
+            d_flag: None,
+            _e: PhantomData,
+        }
+    }
+
+    pub fn shared_words(&self) -> usize {
+        SharedMap::new(&self.lm).words::<E>()
+    }
+}
+
+impl<E: Elem> BlockKernel for CholeskyBlockKernel<E> {
+    fn run(&self, blk: &mut BlockCtx) {
+        if blk.block_id >= self.count {
+            return;
+        }
+        let lm = self.lm;
+        let sm = SharedMap::new(&lm);
+        let own = OwnTables::new(&lm);
+        let n = lm.rows;
+        assert_eq!(lm.cols, n, "Cholesky needs a square matrix");
+        let bid = blk.block_id;
+        let d_flag = self.d_flag;
+
+        let mut regs: Vec<RegArray<E>> = (0..lm.p)
+            .map(|_| RegArray::zeroed(lm.local_len()))
+            .collect();
+        load_tile(blk, &lm, &own, &self.a, &mut regs);
+
+        for k in 0..n {
+            let panel = k / lm.rdim + 1;
+            let diag_owner = lm.owner(k, k);
+
+            // Pivot: l_kk = sqrt(a_kk), published with its reciprocal.
+            blk.phase_label(format!("panel {panel}: pivot"));
+            blk.for_each(|t| {
+                if t.tid != diag_owner {
+                    return;
+                }
+                let akk = regs[t.tid].get(t, lm.local_index(k, k));
+                let d = akk.re();
+                let zero = t.lit(0.0);
+                if !t.gt(d, zero) {
+                    E::sstore(t, sm.se(2), E::imm(0.0));
+                    if let Some(f) = d_flag {
+                        let one = t.lit(1.0);
+                        t.gstore(f, bid, one);
+                    }
+                    return;
+                }
+                let lkk = t.sqrt(d);
+                let inv = t.recip(lkk);
+                regs[t.tid].set(t, lm.local_index(k, k), E::from_re(lkk));
+                E::sstore(t, sm.se(2), E::from_re(inv));
+            });
+            blk.sync();
+
+            // Scale the pivot column and publish it.
+            blk.for_each(|t| {
+                if !lm.owns_col(t.tid, k) {
+                    return;
+                }
+                let rows = own.rows_from(t.tid, k + 1);
+                if rows.is_empty() {
+                    return;
+                }
+                let inv = E::sload(t, sm.se(2));
+                let inv_re = inv.re();
+                for &i in rows {
+                    let idx = lm.local_index(i, k);
+                    let a = regs[t.tid].get(t, idx);
+                    let l = E::scale_re(t, a, inv_re);
+                    regs[t.tid].set(t, idx, l);
+                    E::sstore(t, sm.sv(i), l);
+                }
+            });
+            blk.sync();
+
+            // Symmetric trailing update of the lower triangle:
+            // a_ij -= l_i * conj(l_j) for k < j <= i.
+            blk.phase_label(format!("panel {panel}: syrk"));
+            blk.for_each(|t| {
+                let trows = own.rows_from(t.tid, k + 1);
+                let tcols = own.cols_from(t.tid, k + 1);
+                if trows.is_empty() || tcols.is_empty() {
+                    return;
+                }
+                let l: Vec<E> = trows.iter().map(|&i| E::sload(t, sm.sv(i))).collect();
+                for &j in tcols {
+                    let lj = E::sload(t, sm.sv(j));
+                    let ljc = E::conj(t, lj);
+                    for (li, &i) in l.iter().zip(trows) {
+                        if i < j {
+                            continue;
+                        }
+                        let idx = lm.local_index(i, j);
+                        let a = regs[t.tid].get(t, idx);
+                        let na = E::fnma(t, *li, ljc, a);
+                        regs[t.tid].set(t, idx, na);
+                    }
+                }
+            });
+            blk.sync();
+        }
+
+        store_tile(blk, &lm, &own, &self.a, &mut regs);
+    }
+}

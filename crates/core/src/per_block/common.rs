@@ -1,0 +1,236 @@
+//! Shared machinery for the one-problem-per-block kernels.
+
+use crate::elem::Elem;
+use crate::layout::LayoutMap;
+use regla_gpu_sim::{BlockCtx, DPtr, RegArray, ThreadCtx};
+
+/// A (sub)matrix view into a device batch: problem `b`'s element (i, j)
+/// lives at `b*stride + (col0 + j)*lda + row0 + i` (element units).
+#[derive(Clone, Copy, Debug)]
+pub struct SubMat {
+    pub ptr: DPtr,
+    /// Leading dimension of the stored matrix, in elements.
+    pub lda: usize,
+    pub row0: usize,
+    pub col0: usize,
+    /// Elements between consecutive problems.
+    pub stride: usize,
+}
+
+impl SubMat {
+    /// View of whole `rows x cols` matrices stored contiguously.
+    pub fn whole(ptr: DPtr, rows: usize, cols: usize) -> Self {
+        SubMat {
+            ptr,
+            lda: rows,
+            row0: 0,
+            col0: 0,
+            stride: rows * cols,
+        }
+    }
+
+    /// Shift the view to a submatrix at (row0 + r, col0 + c).
+    pub fn offset(self, r: usize, c: usize) -> Self {
+        SubMat {
+            row0: self.row0 + r,
+            col0: self.col0 + c,
+            ..self
+        }
+    }
+
+    /// Element index of (i, j) in problem `b`.
+    #[inline]
+    pub fn index(&self, b: usize, i: usize, j: usize) -> usize {
+        b * self.stride + (self.col0 + j) * self.lda + self.row0 + i
+    }
+}
+
+/// Shared-memory slot map for the factorization kernels (element units):
+/// a column vector, a row vector, four scalars, and per-column reduction
+/// partials of width `red_width`.
+#[derive(Clone, Copy, Debug)]
+pub struct SharedMap {
+    pub m: usize,
+    pub cols: usize,
+    pub red_width: usize,
+}
+
+impl SharedMap {
+    pub fn new(lm: &LayoutMap) -> Self {
+        SharedMap {
+            m: lm.rows,
+            cols: lm.cols,
+            red_width: lm.red_width(),
+        }
+    }
+
+    /// Column-vector slot (v of the Householder step / l of LU).
+    #[inline]
+    pub fn sv(&self, i: usize) -> usize {
+        i
+    }
+
+    /// Row-vector slot (u of LU / τ·w of QR).
+    #[inline]
+    pub fn sr(&self, j: usize) -> usize {
+        self.m + j
+    }
+
+    /// Scalar slots: 0 = alpha/pivot, 1 = tau, 2 = inverse/scale, 3 = xj.
+    #[inline]
+    pub fn se(&self, k: usize) -> usize {
+        debug_assert!(k < 4);
+        self.m + self.cols + k
+    }
+
+    /// Reduction partial for column `j`, owner rank `r`.
+    #[inline]
+    pub fn part(&self, j: usize, r: usize) -> usize {
+        debug_assert!(r < self.red_width);
+        self.m + self.cols + 4 + j * self.red_width + r
+    }
+
+    /// Total shared elements needed.
+    pub fn elems(&self) -> usize {
+        self.m + self.cols + 4 + self.cols * self.red_width
+    }
+
+    /// Total shared 32-bit words for element type `E`.
+    pub fn words<E: Elem>(&self) -> usize {
+        self.elems() * E::WORDS
+    }
+}
+
+/// Per-thread ownership tables, precomputed once per block to keep the
+/// functional simulation fast. Suffix slices stand in for the loop bounds
+/// a CUDA kernel would resolve at compile time.
+pub struct OwnTables {
+    /// Sorted owned global rows, per thread.
+    pub rows: Vec<Vec<usize>>,
+    /// Sorted owned global columns, per thread.
+    pub cols: Vec<Vec<usize>>,
+}
+
+impl OwnTables {
+    pub fn new(lm: &LayoutMap) -> Self {
+        OwnTables {
+            rows: (0..lm.p).map(|t| lm.owned_rows(t, 0)).collect(),
+            cols: (0..lm.p).map(|t| lm.owned_cols(t, 0, lm.cols)).collect(),
+        }
+    }
+
+    /// Owned rows >= r0 for thread `t`.
+    #[inline]
+    pub fn rows_from(&self, t: usize, r0: usize) -> &[usize] {
+        let v = &self.rows[t];
+        &v[v.partition_point(|&i| i < r0)..]
+    }
+
+    /// Owned cols >= c0 for thread `t`.
+    #[inline]
+    pub fn cols_from(&self, t: usize, c0: usize) -> &[usize] {
+        let v = &self.cols[t];
+        &v[v.partition_point(|&j| j < c0)..]
+    }
+}
+
+/// Load each thread's 2D-cyclic (or 1D) register tile from global memory
+/// (the paper's Listing 4).
+pub fn load_tile<E: Elem>(
+    blk: &mut BlockCtx,
+    lm: &LayoutMap,
+    own: &OwnTables,
+    a: &SubMat,
+    regs: &mut [RegArray<E>],
+) {
+    let bid = blk.block_id;
+    blk.phase_label("load");
+    blk.for_each(|t| {
+        for &i in own.rows_from(t.tid, 0) {
+            for &j in own.cols_from(t.tid, 0) {
+                let v = E::gload(t, a.ptr, a.index(bid, i, j));
+                regs[t.tid].set(t, lm.local_index(i, j), v);
+            }
+        }
+    });
+    blk.sync();
+}
+
+/// Store the register tiles back to global memory.
+pub fn store_tile<E: Elem>(
+    blk: &mut BlockCtx,
+    lm: &LayoutMap,
+    own: &OwnTables,
+    a: &SubMat,
+    regs: &mut [RegArray<E>],
+) {
+    let bid = blk.block_id;
+    blk.phase_label("store");
+    blk.for_each(|t| {
+        for &i in own.rows_from(t.tid, 0) {
+            for &j in own.cols_from(t.tid, 0) {
+                let v = regs[t.tid].get(t, lm.local_index(i, j));
+                E::gstore(t, a.ptr, a.index(bid, i, j), v);
+            }
+        }
+    });
+}
+
+/// Serial reduction of the partials for column `j` (ranks `0..red_width`),
+/// performed by the calling thread; returns the sum.
+pub fn reduce_column<E: Elem>(t: &mut ThreadCtx, sm: &SharedMap, j: usize) -> E {
+    let mut acc = E::imm(0.0);
+    for r in 0..sm.red_width {
+        let p = E::sload(t, sm.part(j, r));
+        acc = E::add(t, p, acc);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+    use regla_gpu_sim::Rv;
+
+    #[test]
+    fn submat_indexing_walks_problems_and_offsets() {
+        let s = SubMat::whole(regla_gpu_sim::DPtr::new(0), 8, 4).offset(2, 1);
+        // problem 1, local (0,0) -> 1*32 + 1*8 + 2 = 42
+        assert_eq!(s.index(1, 0, 0), 42);
+        assert_eq!(s.index(0, 3, 2), 3 * 8 + 2 + 3);
+    }
+
+    #[test]
+    fn shared_map_slots_do_not_overlap() {
+        let lm = LayoutMap::new(Layout::TwoDCyclic, 64, 24, 25);
+        let sm = SharedMap::new(&lm);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..sm.m {
+            assert!(seen.insert(sm.sv(i)));
+        }
+        for j in 0..sm.cols {
+            assert!(seen.insert(sm.sr(j)));
+        }
+        for k in 0..4 {
+            assert!(seen.insert(sm.se(k)));
+        }
+        for j in 0..sm.cols {
+            for r in 0..sm.red_width {
+                assert!(seen.insert(sm.part(j, r)));
+            }
+        }
+        assert_eq!(seen.len(), sm.elems());
+        assert_eq!(sm.words::<Rv>(), sm.elems());
+    }
+
+    #[test]
+    fn own_tables_suffixes_match_layout() {
+        let lm = LayoutMap::new(Layout::TwoDCyclic, 16, 10, 10);
+        let own = OwnTables::new(&lm);
+        for t in 0..16 {
+            assert_eq!(own.rows_from(t, 5), &lm.owned_rows(t, 5)[..]);
+            assert_eq!(own.cols_from(t, 7), &lm.owned_cols(t, 7, 10)[..]);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! One-problem-per-block GEMM: `C += A · B` with C held in the register
+//! files (2D cyclic) and the k-th column of A / row of B staged through
+//! shared memory each iteration. Used by the batched multiply workloads
+//! (the speech-recognition GMM example) and by the hybrid baseline's
+//! trailing-matrix updates.
+
+use crate::elem::Elem;
+use crate::layout::LayoutMap;
+use crate::per_block::common::{load_tile, store_tile, OwnTables, SubMat};
+use regla_gpu_sim::{BlockCtx, BlockKernel, RegArray};
+use std::marker::PhantomData;
+
+/// Batched `C = A·B + beta*C` kernel (beta = 0 or 1).
+pub struct GemmBlockKernel<E: Elem> {
+    pub a: SubMat,
+    pub b: SubMat,
+    pub c: SubMat,
+    /// Layout of C over the block's threads.
+    pub lm: LayoutMap,
+    /// Inner dimension.
+    pub kdim: usize,
+    pub count: usize,
+    /// When false, C is overwritten instead of accumulated.
+    pub accumulate: bool,
+    pub _e: PhantomData<E>,
+}
+
+impl<E: Elem> GemmBlockKernel<E> {
+    /// Shared words: one column of A (m) plus one row of B (n).
+    pub fn shared_words(&self) -> usize {
+        (self.lm.rows + self.lm.cols) * E::WORDS
+    }
+}
+
+impl<E: Elem> BlockKernel for GemmBlockKernel<E> {
+    fn run(&self, blk: &mut BlockCtx) {
+        if blk.block_id >= self.count {
+            return;
+        }
+        let lm = self.lm;
+        let own = OwnTables::new(&lm);
+        let (m, n) = (lm.rows, lm.cols);
+        let bid = blk.block_id;
+        let p = lm.p;
+        let kdim = self.kdim;
+        let (a, b) = (self.a, self.b);
+
+        let mut regs: Vec<RegArray<E>> = (0..p).map(|_| RegArray::zeroed(lm.local_len())).collect();
+        if self.accumulate {
+            load_tile(blk, &lm, &own, &self.c, &mut regs);
+        } else {
+            blk.phase_label("zero");
+            blk.for_each(|t| {
+                for l in 0..lm.local_len() {
+                    regs[t.tid].set(t, l, E::imm(0.0));
+                }
+            });
+            blk.sync();
+        }
+
+        for kk in 0..kdim {
+            // Stage A[:, kk] and B[kk, :] into shared memory cooperatively.
+            blk.phase_label("stage");
+            blk.for_each(|t| {
+                let mut i = t.tid;
+                while i < m {
+                    let v = E::gload(t, a.ptr, a.index(bid, i, kk));
+                    E::sstore(t, i, v);
+                    i += p;
+                }
+                let mut j = t.tid;
+                while j < n {
+                    let v = E::gload(t, b.ptr, b.index(bid, kk, j));
+                    E::sstore(t, m + j, v);
+                    j += p;
+                }
+            });
+            blk.sync();
+
+            blk.phase_label("update");
+            blk.for_each(|t| {
+                let trows = own.rows_from(t.tid, 0);
+                let tcols = own.cols_from(t.tid, 0);
+                if trows.is_empty() || tcols.is_empty() {
+                    return;
+                }
+                let av: Vec<E> = trows.iter().map(|&i| E::sload(t, i)).collect();
+                let bv: Vec<E> = tcols.iter().map(|&j| E::sload(t, m + j)).collect();
+                for (bj, &j) in bv.iter().zip(tcols) {
+                    for (ai, &i) in av.iter().zip(trows) {
+                        let idx = lm.local_index(i, j);
+                        let c = regs[t.tid].get(t, idx);
+                        let nc = E::fma(t, *ai, *bj, c);
+                        regs[t.tid].set(t, idx, nc);
+                    }
+                }
+            });
+            blk.sync();
+        }
+
+        store_tile(blk, &lm, &own, &self.c, &mut regs);
+    }
+}

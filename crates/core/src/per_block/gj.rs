@@ -1,0 +1,152 @@
+//! One-problem-per-block Gauss-Jordan elimination (Section III-A).
+//!
+//! Solves `A x = b` by reducing the augmented `[A | b]` to reduced row
+//! echelon form without pivoting: the pivot row is scaled by 1/a_kk and an
+//! outer product of the scaled row and the pivot column updates everything
+//! to the right, above and below the pivot.
+
+use crate::elem::Elem;
+use crate::layout::LayoutMap;
+use crate::per_block::common::{load_tile, store_tile, OwnTables, SharedMap, SubMat};
+use regla_gpu_sim::{BlockCtx, BlockKernel, DPtr, RegArray};
+use std::marker::PhantomData;
+
+/// Gauss-Jordan kernel over `n x (n + rhs)` augmented matrices; on return
+/// the rhs columns hold the solutions.
+pub struct GjBlockKernel<E: Elem> {
+    pub a: SubMat,
+    pub lm: LayoutMap,
+    pub count: usize,
+    /// Columns that are right-hand sides (>= 1).
+    pub rhs_cols: usize,
+    pub d_flag: Option<DPtr>,
+    pub _e: PhantomData<E>,
+}
+
+impl<E: Elem> GjBlockKernel<E> {
+    pub fn new(a: SubMat, lm: LayoutMap, count: usize, rhs_cols: usize) -> Self {
+        assert!(rhs_cols >= 1);
+        GjBlockKernel {
+            a,
+            lm,
+            count,
+            rhs_cols,
+            d_flag: None,
+            _e: PhantomData,
+        }
+    }
+
+    pub fn shared_words(&self) -> usize {
+        SharedMap::new(&self.lm).words::<E>()
+    }
+}
+
+impl<E: Elem> BlockKernel for GjBlockKernel<E> {
+    fn run(&self, blk: &mut BlockCtx) {
+        if blk.block_id >= self.count {
+            return;
+        }
+        let lm = self.lm;
+        let sm = SharedMap::new(&lm);
+        let own = OwnTables::new(&lm);
+        let n = lm.cols - self.rhs_cols;
+        assert_eq!(lm.rows, n, "Gauss-Jordan needs a square system");
+        let bid = blk.block_id;
+        let d_flag = self.d_flag;
+
+        let mut regs: Vec<RegArray<E>> = (0..lm.p)
+            .map(|_| RegArray::zeroed(lm.local_len()))
+            .collect();
+        load_tile(blk, &lm, &own, &self.a, &mut regs);
+
+        for k in 0..n {
+            let panel = k / lm.rdim + 1;
+            let diag_owner = lm.owner(k, k);
+
+            blk.phase_label(format!("panel {panel}: column"));
+            blk.for_each(|t| {
+                if t.tid != diag_owner {
+                    return;
+                }
+                let akk = regs[t.tid].get(t, lm.local_index(k, k));
+                if E::is_zero(t, akk) {
+                    E::sstore(t, sm.se(2), E::imm(0.0));
+                    if let Some(f) = d_flag {
+                        let one = t.lit(1.0);
+                        t.gstore(f, bid, one);
+                    }
+                } else {
+                    let s = E::recip(t, akk);
+                    E::sstore(t, sm.se(2), s);
+                }
+            });
+            blk.sync();
+
+            // Scale the pivot row (j >= k) and publish it; publish the
+            // pivot column as the elimination multipliers l_i.
+            blk.for_each(|t| {
+                if own.rows_from(t.tid, k).first() == Some(&k) {
+                    let s = E::sload(t, sm.se(2));
+                    for &j in own.cols_from(t.tid, k) {
+                        let idx = lm.local_index(k, j);
+                        let a = regs[t.tid].get(t, idx);
+                        let u = E::mul(t, a, s);
+                        regs[t.tid].set(t, idx, u);
+                        if j > k {
+                            E::sstore(t, sm.sr(j), u);
+                        }
+                    }
+                }
+                if lm.owns_col(t.tid, k) {
+                    for &i in own.rows_from(t.tid, 0) {
+                        if i == k {
+                            continue;
+                        }
+                        let l = regs[t.tid].get(t, lm.local_index(i, k));
+                        E::sstore(t, sm.sv(i), l);
+                    }
+                }
+            });
+            blk.sync();
+
+            // Outer-product update of every row but the pivot row, columns
+            // right of the pivot, and zero the pivot column.
+            blk.phase_label(format!("panel {panel}: rank-1"));
+            blk.for_each(|t| {
+                let tcols = own.cols_from(t.tid, k + 1);
+                let trows: Vec<usize> = own
+                    .rows_from(t.tid, 0)
+                    .iter()
+                    .copied()
+                    .filter(|&i| i != k)
+                    .collect();
+                if !trows.is_empty() && !tcols.is_empty() {
+                    let l: Vec<E> = trows.iter().map(|&i| E::sload(t, sm.sv(i))).collect();
+                    let u: Vec<E> = tcols.iter().map(|&j| E::sload(t, sm.sr(j))).collect();
+                    for (uj, &j) in u.iter().zip(tcols) {
+                        for (li, &i) in l.iter().zip(&trows) {
+                            let idx = lm.local_index(i, j);
+                            let a = regs[t.tid].get(t, idx);
+                            let na = E::fnma(t, *li, *uj, a);
+                            regs[t.tid].set(t, idx, na);
+                        }
+                    }
+                }
+                // Clear the pivot column (RREF) and set the pivot to one.
+                if lm.owns_col(t.tid, k) {
+                    for &i in own.rows_from(t.tid, 0) {
+                        let idx = lm.local_index(i, k);
+                        if i == k {
+                            regs[t.tid].set(t, idx, E::imm(1.0));
+                        } else {
+                            regs[t.tid].set(t, idx, E::imm(0.0));
+                        }
+                    }
+                }
+            });
+            blk.sync();
+        }
+
+        store_tile(blk, &lm, &own, &self.a, &mut regs);
+    }
+}

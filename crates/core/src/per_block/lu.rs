@@ -1,0 +1,165 @@
+//! One-problem-per-block LU factorization without pivoting (Section V,
+//! Listings 5-7): scale the pivot column, publish l and u through shared
+//! memory, rank-1 update of the Schur complement.
+
+use crate::elem::Elem;
+use crate::layout::LayoutMap;
+use crate::per_block::common::{load_tile, store_tile, OwnTables, SharedMap, SubMat};
+use regla_gpu_sim::{BlockCtx, BlockKernel, DPtr, RegArray};
+use std::marker::PhantomData;
+
+/// LU kernel; L (unit diagonal) and U overwrite the matrix in place.
+pub struct LuBlockKernel<E: Elem> {
+    pub a: SubMat,
+    pub lm: LayoutMap,
+    pub count: usize,
+    /// Optional singularity flag array (one word per problem, set to 1 when
+    /// a zero pivot is hit — the paper's `*notsolved = 1`).
+    pub d_flag: Option<DPtr>,
+    /// Follow the paper's Listing 7 literally in the rank-1 update: re-read
+    /// `u` from shared memory inside the inner loop (with `l` hoisted per
+    /// row, as nvcc does for the loop-invariant operand) instead of
+    /// pre-loading both vectors into registers. Slower; used by the
+    /// fidelity ablation against Table V's measured LU cycles.
+    pub listing7: bool,
+    pub _e: PhantomData<E>,
+}
+
+impl<E: Elem> LuBlockKernel<E> {
+    pub fn new(a: SubMat, lm: LayoutMap, count: usize) -> Self {
+        LuBlockKernel {
+            a,
+            lm,
+            count,
+            d_flag: None,
+            listing7: false,
+            _e: PhantomData,
+        }
+    }
+
+    pub fn with_flag(mut self, d_flag: DPtr) -> Self {
+        self.d_flag = Some(d_flag);
+        self
+    }
+
+    /// Enable the Listing-7-literal trailing update (see `listing7`).
+    pub fn listing7(mut self) -> Self {
+        self.listing7 = true;
+        self
+    }
+
+    pub fn shared_words(&self) -> usize {
+        SharedMap::new(&self.lm).words::<E>()
+    }
+}
+
+impl<E: Elem> BlockKernel for LuBlockKernel<E> {
+    fn run(&self, blk: &mut BlockCtx) {
+        if blk.block_id >= self.count {
+            return;
+        }
+        let lm = self.lm;
+        let sm = SharedMap::new(&lm);
+        let own = OwnTables::new(&lm);
+        let (m, cols) = (lm.rows, lm.cols);
+        let kmax = m.min(cols);
+        let bid = blk.block_id;
+        let d_flag = self.d_flag;
+
+        let mut regs: Vec<RegArray<E>> = (0..lm.p)
+            .map(|_| RegArray::zeroed(lm.local_len()))
+            .collect();
+        load_tile(blk, &lm, &own, &self.a, &mut regs);
+
+        for k in 0..kmax {
+            let panel = k / lm.rdim + 1;
+            let diag_owner = lm.owner(k, k);
+
+            // The thread on the diagonal determines the scaling factor and
+            // assigns it to shared memory (Listing 5).
+            blk.phase_label(format!("panel {panel}: column"));
+            blk.for_each(|t| {
+                if t.tid != diag_owner {
+                    return;
+                }
+                let akk = regs[t.tid].get(t, lm.local_index(k, k));
+                if E::is_zero(t, akk) {
+                    E::sstore(t, sm.se(2), E::imm(0.0));
+                    if let Some(f) = d_flag {
+                        let one = t.lit(1.0);
+                        t.gstore(f, bid, one);
+                    }
+                } else {
+                    let s = E::recip(t, akk);
+                    E::sstore(t, sm.se(2), s);
+                }
+            });
+            blk.sync();
+
+            // Scale the column into l while extracting it to shared memory
+            // (Listing 6), and publish the pivot row as u.
+            blk.for_each(|t| {
+                if lm.owns_col(t.tid, k) {
+                    let rows = own.rows_from(t.tid, k + 1);
+                    if !rows.is_empty() {
+                        let s = E::sload(t, sm.se(2));
+                        for &i in rows {
+                            let idx = lm.local_index(i, k);
+                            let a = regs[t.tid].get(t, idx);
+                            let l = E::mul(t, a, s);
+                            regs[t.tid].set(t, idx, l);
+                            E::sstore(t, sm.sv(i), l);
+                        }
+                    }
+                }
+                if own.rows_from(t.tid, k).first() == Some(&k) {
+                    for &j in own.cols_from(t.tid, k + 1) {
+                        let u = regs[t.tid].get(t, lm.local_index(k, j));
+                        E::sstore(t, sm.sr(j), u);
+                    }
+                }
+            });
+            blk.sync();
+
+            // Rank-1 update of the Schur complement (Listing 7). By default
+            // both shared vectors are hoisted into registers first; the
+            // `listing7` variant re-reads u per inner iteration, as the
+            // paper's source does.
+            blk.phase_label(format!("panel {panel}: rank-1"));
+            let listing7 = self.listing7;
+            blk.for_each(|t| {
+                let trows = own.rows_from(t.tid, k + 1);
+                let tcols = own.cols_from(t.tid, k + 1);
+                if trows.is_empty() || tcols.is_empty() {
+                    return;
+                }
+                if listing7 {
+                    for &i in trows {
+                        let li = E::sload(t, sm.sv(i));
+                        for &j in tcols {
+                            let uj = E::sload(t, sm.sr(j));
+                            let idx = lm.local_index(i, j);
+                            let a = regs[t.tid].get(t, idx);
+                            let na = E::fnma(t, li, uj, a);
+                            regs[t.tid].set(t, idx, na);
+                        }
+                    }
+                } else {
+                    let l: Vec<E> = trows.iter().map(|&i| E::sload(t, sm.sv(i))).collect();
+                    let u: Vec<E> = tcols.iter().map(|&j| E::sload(t, sm.sr(j))).collect();
+                    for (uj, &j) in u.iter().zip(tcols) {
+                        for (li, &i) in l.iter().zip(trows) {
+                            let idx = lm.local_index(i, j);
+                            let a = regs[t.tid].get(t, idx);
+                            let na = E::fnma(t, *li, *uj, a);
+                            regs[t.tid].set(t, idx, na);
+                        }
+                    }
+                }
+            });
+            blk.sync();
+        }
+
+        store_tile(blk, &lm, &own, &self.a, &mut regs);
+    }
+}

@@ -1,0 +1,19 @@
+//! One-problem-per-block kernels (Section V): the matrix lives in the
+//! block's distributed register files; shared memory carries column/row
+//! vectors, scale factors and reduction partials between threads.
+
+pub mod apply;
+pub mod cholesky;
+pub mod common;
+pub mod gemm;
+pub mod gj;
+pub mod lu;
+pub mod qr;
+
+pub use apply::QrApplyKernel;
+pub use cholesky::CholeskyBlockKernel;
+pub use common::{OwnTables, SharedMap, SubMat};
+pub use gemm::GemmBlockKernel;
+pub use gj::GjBlockKernel;
+pub use lu::LuBlockKernel;
+pub use qr::QrBlockKernel;

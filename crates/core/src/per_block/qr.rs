@@ -1,0 +1,407 @@
+//! One-problem-per-block Householder QR (Section V).
+//!
+//! The matrix (with optionally appended right-hand-side columns) lives in
+//! the block's register files in a distributed layout. Each column step:
+//! partial column norms -> serial reduction by the diagonal owner -> scale
+//! factor (sqrt + divisions on one thread) -> column scaled and published
+//! to shared memory -> matrix-vector multiply with per-column serial
+//! reductions -> rank-1 update. This is the cost structure of Table VI and
+//! the per-panel breakdown of Figure 8.
+
+use crate::elem::Elem;
+use crate::layout::LayoutMap;
+use crate::per_block::common::{load_tile, store_tile, OwnTables, SharedMap, SubMat};
+use regla_gpu_sim::{BlockCtx, BlockKernel, DPtr, RegArray};
+use std::marker::PhantomData;
+
+/// How cross-thread reductions are performed.
+///
+/// The paper: "For the QR factorization we choose to do serial reductions
+/// instead of parallel" — a single thread walks the √p partials. The tree
+/// variant halves the partials in log2(√p) barrier-separated rounds; it
+/// trades fewer dependent loads for more synchronizations, which is why
+/// the paper's choice wins at these sizes (see the `ablation_reduction`
+/// harness).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Reduction {
+    #[default]
+    Serial,
+    Tree,
+}
+
+/// QR factorization kernel (optionally a full linear solve).
+pub struct QrBlockKernel<E: Elem> {
+    pub a: SubMat,
+    pub lm: LayoutMap,
+    /// Number of problems in the batch (blocks beyond it idle).
+    pub count: usize,
+    /// Trailing columns that are carried (updated) but not factored.
+    pub rhs_cols: usize,
+    /// Where to store the reflector scales τ (count x n elements).
+    pub d_tau: Option<DPtr>,
+    /// After factorization, eliminate R against the single right-hand side
+    /// (requires `rhs_cols == 1`): the QR linear solver of Figure 12.
+    pub back_substitute: bool,
+    /// Reduction strategy (Section V-D design choice).
+    pub reduction: Reduction,
+    pub _e: PhantomData<E>,
+}
+
+impl<E: Elem> QrBlockKernel<E> {
+    pub fn new(a: SubMat, lm: LayoutMap, count: usize) -> Self {
+        QrBlockKernel {
+            a,
+            lm,
+            count,
+            rhs_cols: 0,
+            d_tau: None,
+            back_substitute: false,
+            reduction: Reduction::Serial,
+            _e: PhantomData,
+        }
+    }
+
+    /// Use barrier-separated tree reductions instead of the paper's serial
+    /// ones (the design-choice ablation).
+    pub fn with_tree_reduction(mut self) -> Self {
+        assert_eq!(
+            self.lm.layout,
+            crate::layout::Layout::TwoDCyclic,
+            "tree reductions are implemented for the 2D layout"
+        );
+        self.reduction = Reduction::Tree;
+        self
+    }
+
+    pub fn with_rhs(mut self, rhs_cols: usize) -> Self {
+        self.rhs_cols = rhs_cols;
+        self
+    }
+
+    pub fn with_tau(mut self, d_tau: DPtr) -> Self {
+        self.d_tau = Some(d_tau);
+        self
+    }
+
+    pub fn solving(mut self) -> Self {
+        assert!(self.rhs_cols >= 1, "solve needs right-hand-side columns");
+        self.back_substitute = true;
+        self
+    }
+
+    /// Shared-memory words this kernel needs.
+    pub fn shared_words(&self) -> usize {
+        SharedMap::new(&self.lm).words::<E>()
+    }
+}
+
+impl<E: Elem> BlockKernel for QrBlockKernel<E> {
+    fn run(&self, blk: &mut BlockCtx) {
+        if blk.block_id >= self.count {
+            return;
+        }
+        let lm = self.lm;
+        let sm = SharedMap::new(&lm);
+        let own = OwnTables::new(&lm);
+        let (m, cols) = (lm.rows, lm.cols);
+        let nfac = cols - self.rhs_cols;
+        let kmax = nfac.min(m);
+        let bid = blk.block_id;
+
+        let mut regs: Vec<RegArray<E>> = (0..lm.p)
+            .map(|_| RegArray::zeroed(lm.local_len()))
+            .collect();
+        load_tile(blk, &lm, &own, &self.a, &mut regs);
+
+        for k in 0..kmax {
+            let panel = k / lm.rdim + 1;
+            let diag_owner = lm.owner(k, k);
+
+            // ---- Form the Householder vector ------------------------------
+            blk.phase_label(format!("panel {panel}: form-hh"));
+            // Partial squared norms of column k below the diagonal, plus the
+            // diagonal element published for the reducer.
+            blk.for_each(|t| {
+                if !lm.owns_col(t.tid, k) {
+                    return;
+                }
+                let mut acc = t.lit(0.0);
+                for &i in own.rows_from(t.tid, k + 1) {
+                    let a = regs[t.tid].get(t, lm.local_index(i, k));
+                    let a2 = E::abs2(t, a);
+                    acc = t.add(acc, a2);
+                }
+                E::sstore(t, sm.part(k, lm.owner_rank(t.tid)), E::from_re(acc));
+                if t.tid == diag_owner {
+                    let alpha = regs[t.tid].get(t, lm.local_index(k, k));
+                    E::sstore(t, sm.se(0), alpha);
+                }
+            });
+            blk.sync();
+
+            // Optional tree combine: halve the live partial ranks of
+            // column k in log2 rounds, leaving the sum in rank 0.
+            if self.reduction == Reduction::Tree {
+                let mut width = sm.red_width;
+                while width > 1 {
+                    let half = width / 2;
+                    blk.for_each(|t| {
+                        if !lm.owns_col(t.tid, k) {
+                            return;
+                        }
+                        let r = lm.owner_rank(t.tid);
+                        if r < half {
+                            let a = E::sload(t, sm.part(k, r));
+                            let b = E::sload(t, sm.part(k, r + half));
+                            let s = E::add(t, a, b);
+                            E::sstore(t, sm.part(k, r), s);
+                        }
+                    });
+                    blk.sync();
+                    width = half;
+                }
+            }
+
+            // The diagonal owner reduces, forms beta / tau / inv and keeps
+            // beta as the new R(k,k).
+            let d_tau = self.d_tau;
+            let tree = self.reduction == Reduction::Tree;
+            blk.for_each(|t| {
+                if t.tid != diag_owner {
+                    return;
+                }
+                let x2e = if tree {
+                    E::sload(t, sm.part(k, 0))
+                } else {
+                    crate::per_block::common::reduce_column::<E>(t, &sm, k)
+                };
+                let x2 = x2e.re();
+                let alpha = E::sload(t, sm.se(0));
+                let a2 = E::abs2(t, alpha);
+                let n2 = t.add(x2, a2);
+                if t.is_zero(n2) {
+                    // Degenerate column: no reflector.
+                    E::sstore(t, sm.se(1), E::imm(0.0));
+                    E::sstore(t, sm.se(2), E::imm(0.0));
+                    if let Some(dt) = d_tau {
+                        E::gstore(t, dt, bid * kmax + k, E::imm(0.0));
+                    }
+                    return;
+                }
+                let anorm = t.sqrt(n2);
+                // beta = -sign(Re alpha) * ||x|| (one comparison).
+                let zero = t.lit(0.0);
+                let beta = if t.gt(alpha.re(), zero) {
+                    t.neg(anorm)
+                } else {
+                    anorm
+                };
+                let beta_e = E::from_re(beta);
+                // tau = (beta - alpha) / beta
+                let num = E::sub(t, beta_e, alpha);
+                let binv = E::recip(t, beta_e);
+                let tau = E::mul(t, num, binv);
+                // inv = 1 / (alpha - beta), used to normalise v.
+                let den = E::sub(t, alpha, beta_e);
+                let inv = E::recip(t, den);
+                E::sstore(t, sm.se(1), tau);
+                E::sstore(t, sm.se(2), inv);
+                regs[t.tid].set(t, lm.local_index(k, k), beta_e);
+                if let Some(dt) = d_tau {
+                    E::gstore(t, dt, bid * kmax + k, tau);
+                }
+            });
+            blk.sync();
+
+            // Scale the column into the reflector and publish it (the
+            // paper's Listing 6 shape), with an implicit v_k = 1.
+            blk.for_each(|t| {
+                if t.tid == diag_owner {
+                    E::sstore(t, sm.sv(k), E::imm(1.0));
+                }
+                if !lm.owns_col(t.tid, k) {
+                    return;
+                }
+                let rows = own.rows_from(t.tid, k + 1);
+                if rows.is_empty() {
+                    return;
+                }
+                let inv = E::sload(t, sm.se(2));
+                for &i in rows {
+                    let idx = lm.local_index(i, k);
+                    let a = regs[t.tid].get(t, idx);
+                    let v = E::mul(t, a, inv);
+                    regs[t.tid].set(t, idx, v);
+                    E::sstore(t, sm.sv(i), v);
+                }
+            });
+            blk.sync();
+
+            // ---- w = vᴴ A for the trailing columns ------------------------
+            blk.phase_label(format!("panel {panel}: matvec"));
+            blk.for_each(|t| {
+                let tcols = own.cols_from(t.tid, k + 1);
+                if tcols.is_empty() {
+                    return;
+                }
+                // Hoist the reflector entries for this thread's rows.
+                let trows = own.rows_from(t.tid, k);
+                let v: Vec<E> = trows.iter().map(|&i| E::sload(t, sm.sv(i))).collect();
+                let rank = lm.owner_rank(t.tid);
+                for &j in tcols {
+                    let mut acc = E::imm(0.0);
+                    for (vi, &i) in v.iter().zip(trows) {
+                        let a = regs[t.tid].get(t, lm.local_index(i, j));
+                        acc = E::conj_fma(t, *vi, a, acc);
+                    }
+                    E::sstore(t, sm.part(j, rank), acc);
+                }
+            });
+            blk.sync();
+
+            // Tree combine of every trailing column's partials.
+            if self.reduction == Reduction::Tree {
+                let mut width = sm.red_width;
+                while width > 1 {
+                    let half = width / 2;
+                    blk.for_each(|t| {
+                        let r = lm.owner_rank(t.tid);
+                        if r >= half {
+                            return;
+                        }
+                        for &j in own.cols_from(t.tid, k + 1) {
+                            let a = E::sload(t, sm.part(j, r));
+                            let b = E::sload(t, sm.part(j, r + half));
+                            let s = E::add(t, a, b);
+                            E::sstore(t, sm.part(j, r), s);
+                        }
+                    });
+                    blk.sync();
+                    width = half;
+                }
+            }
+
+            // Per-column serial reductions, spread round-robin over ALL
+            // threads (the paper: "we assume that there are at least as
+            // many threads as columns so the total cost will be the
+            // cost of one reduction"). The partials live in shared memory,
+            // so any thread can reduce any column. Under tree reduction
+            // only the finishing tau-multiply remains.
+            let p_threads = lm.p;
+            let tree = self.reduction == Reduction::Tree;
+            blk.for_each(|t| {
+                let mut j = k + 1 + t.tid;
+                if j > cols {
+                    return;
+                }
+                let tau = E::sload(t, sm.se(1));
+                let tch = E::conj(t, tau);
+                while j < cols {
+                    let w = if tree {
+                        E::sload(t, sm.part(j, 0))
+                    } else {
+                        crate::per_block::common::reduce_column::<E>(t, &sm, j)
+                    };
+                    let tw = E::mul(t, tch, w);
+                    E::sstore(t, sm.sr(j), tw);
+                    j += p_threads;
+                }
+            });
+            blk.sync();
+
+            // ---- Rank-1 update: A -= v (tau w)ᵀ ---------------------------
+            blk.phase_label(format!("panel {panel}: rank-1"));
+            blk.for_each(|t| {
+                let tcols = own.cols_from(t.tid, k + 1);
+                let trows = own.rows_from(t.tid, k);
+                if tcols.is_empty() || trows.is_empty() {
+                    return;
+                }
+                let v: Vec<E> = trows.iter().map(|&i| E::sload(t, sm.sv(i))).collect();
+                let tw: Vec<E> = tcols.iter().map(|&j| E::sload(t, sm.sr(j))).collect();
+                for (twj, &j) in tw.iter().zip(tcols) {
+                    for (vi, &i) in v.iter().zip(trows) {
+                        let idx = lm.local_index(i, j);
+                        let a = regs[t.tid].get(t, idx);
+                        let na = E::fnma(t, *vi, *twj, a);
+                        regs[t.tid].set(t, idx, na);
+                    }
+                }
+            });
+            blk.sync();
+        }
+
+        // ---- Optional back substitution (solve R X = Qᴴ B for every
+        // right-hand-side column) ------------------------------------------
+        if self.back_substitute {
+            for rc in nfac..cols {
+                for j in (0..nfac).rev() {
+                    blk.phase_label("back-substitute");
+                    let rjj_owner = lm.owner(j, j);
+                    let xj_owner = lm.owner(j, rc);
+                    // Publish R(j,j).
+                    blk.for_each(|t| {
+                        if t.tid == rjj_owner {
+                            let r = regs[t.tid].get(t, lm.local_index(j, j));
+                            E::sstore(t, sm.se(0), r);
+                        }
+                    });
+                    blk.sync();
+                    // x_j = y_j / R(j,j), published for the column owners.
+                    blk.for_each(|t| {
+                        if t.tid == xj_owner {
+                            let rjj = E::sload(t, sm.se(0));
+                            let y = regs[t.tid].get(t, lm.local_index(j, rc));
+                            let inv = E::recip(t, rjj);
+                            let x = E::mul(t, y, inv);
+                            regs[t.tid].set(t, lm.local_index(j, rc), x);
+                            E::sstore(t, sm.se(3), x);
+                        }
+                    });
+                    blk.sync();
+                    // Column-j owners publish R(i,j) * x_j for i < j.
+                    blk.for_each(|t| {
+                        if !lm.owns_col(t.tid, j) {
+                            return;
+                        }
+                        let rows: Vec<usize> = own
+                            .rows_from(t.tid, 0)
+                            .iter()
+                            .copied()
+                            .take_while(|&i| i < j)
+                            .collect();
+                        if rows.is_empty() {
+                            return;
+                        }
+                        let xj = E::sload(t, sm.se(3));
+                        for i in rows {
+                            let r = regs[t.tid].get(t, lm.local_index(i, j));
+                            let c = E::mul(t, r, xj);
+                            E::sstore(t, sm.sv(i), c);
+                        }
+                    });
+                    blk.sync();
+                    // Right-hand-side owners subtract the contributions.
+                    blk.for_each(|t| {
+                        if !lm.owns_col(t.tid, rc) {
+                            return;
+                        }
+                        for &i in own.rows_from(t.tid, 0) {
+                            if i >= j {
+                                break;
+                            }
+                            let c = E::sload(t, sm.sv(i));
+                            let idx = lm.local_index(i, rc);
+                            let y = regs[t.tid].get(t, idx);
+                            let ny = E::sub(t, y, c);
+                            regs[t.tid].set(t, idx, ny);
+                        }
+                    });
+                    blk.sync();
+                }
+            }
+        }
+
+        store_tile(blk, &lm, &own, &self.a, &mut regs);
+    }
+}

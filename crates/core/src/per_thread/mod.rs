@@ -1,0 +1,285 @@
+//! One-problem-per-thread kernels (Section IV).
+//!
+//! For very small problems (n < 16) each thread stores an entire matrix in
+//! its register file and factors it serially; threads never communicate.
+//! The register array is the simulator's [`RegArray`], so sizes past the
+//! 64-register budget spill to local memory exactly like the `#pragma
+//! unroll`ed CUDA original — producing Figure 4's collapse at n = 8.
+
+use crate::elem::Elem;
+use crate::per_block::common::SubMat;
+use regla_gpu_sim::{BlockCtx, BlockKernel, DPtr, RegArray, ThreadCtx};
+use std::marker::PhantomData;
+
+/// Which serial algorithm the kernel runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PtAlg {
+    /// LU without pivoting (L and U in place).
+    Lu,
+    /// Householder QR (R and reflectors in place).
+    Qr,
+    /// Gauss-Jordan reduction of `[A | b]` (solution in the rhs columns).
+    Gj,
+    /// QR factorization of `[A | b]` followed by back substitution.
+    QrSolve,
+    /// Cholesky factorization `A = L Lᴴ` (SPD matrices; extension).
+    Cholesky,
+}
+
+/// Serial in-register kernel: one `n x (n + rhs_cols)` problem per thread.
+pub struct PerThreadKernel<E: Elem> {
+    pub a: SubMat,
+    pub n: usize,
+    pub rhs_cols: usize,
+    pub count: usize,
+    pub alg: PtAlg,
+    /// Where QR stores its reflector scales (count x n elements).
+    pub d_tau: Option<DPtr>,
+    pub _e: PhantomData<E>,
+}
+
+impl<E: Elem> PerThreadKernel<E> {
+    pub fn new(a: SubMat, n: usize, rhs_cols: usize, count: usize, alg: PtAlg) -> Self {
+        PerThreadKernel {
+            a,
+            n,
+            rhs_cols,
+            count,
+            alg,
+            d_tau: None,
+            _e: PhantomData,
+        }
+    }
+
+    pub fn with_tau(mut self, d_tau: DPtr) -> Self {
+        self.d_tau = Some(d_tau);
+        self
+    }
+
+    pub fn cols(&self) -> usize {
+        self.n + self.rhs_cols
+    }
+
+    /// Registers per thread this kernel wants (the matrix plus overhead).
+    pub fn regs_per_thread(&self) -> usize {
+        self.n * self.cols() * E::WORDS + 12
+    }
+}
+
+#[inline]
+fn idx(n: usize, i: usize, j: usize) -> usize {
+    j * n + i
+}
+
+fn lu_serial<E: Elem>(t: &mut ThreadCtx, a: &mut RegArray<E>, n: usize, cols: usize) {
+    for k in 0..n {
+        let akk = a.get(t, idx(n, k, k));
+        if E::is_zero(t, akk) {
+            continue;
+        }
+        let inv = E::recip(t, akk);
+        for i in k + 1..n {
+            let v = a.get(t, idx(n, i, k));
+            let l = E::mul(t, v, inv);
+            a.set(t, idx(n, i, k), l);
+        }
+        for j in k + 1..cols {
+            let u = a.get(t, idx(n, k, j));
+            for i in k + 1..n {
+                let l = a.get(t, idx(n, i, k));
+                let v = a.get(t, idx(n, i, j));
+                let nv = E::fnma(t, l, u, v);
+                a.set(t, idx(n, i, j), nv);
+            }
+        }
+    }
+}
+
+fn gj_serial<E: Elem>(t: &mut ThreadCtx, a: &mut RegArray<E>, n: usize, cols: usize) {
+    for k in 0..n {
+        let akk = a.get(t, idx(n, k, k));
+        if E::is_zero(t, akk) {
+            continue;
+        }
+        let s = E::recip(t, akk);
+        for j in k..cols {
+            let v = a.get(t, idx(n, k, j));
+            let u = E::mul(t, v, s);
+            a.set(t, idx(n, k, j), u);
+        }
+        for i in 0..n {
+            if i == k {
+                continue;
+            }
+            let f = a.get(t, idx(n, i, k));
+            for j in k..cols {
+                let u = a.get(t, idx(n, k, j));
+                let v = a.get(t, idx(n, i, j));
+                let nv = E::fnma(t, f, u, v);
+                a.set(t, idx(n, i, j), nv);
+            }
+        }
+    }
+}
+
+fn qr_serial<E: Elem>(
+    t: &mut ThreadCtx,
+    a: &mut RegArray<E>,
+    n: usize,
+    cols: usize,
+    tau_out: Option<(DPtr, usize)>,
+) {
+    for k in 0..n {
+        let mut x2 = t.lit(0.0);
+        for i in k + 1..n {
+            let v = a.get(t, idx(n, i, k));
+            let v2 = E::abs2(t, v);
+            x2 = t.add(x2, v2);
+        }
+        let alpha = a.get(t, idx(n, k, k));
+        let a2 = E::abs2(t, alpha);
+        let n2 = t.add(x2, a2);
+        if t.is_zero(n2) {
+            if let Some((dt, base)) = tau_out {
+                E::gstore(t, dt, base + k, E::imm(0.0));
+            }
+            continue;
+        }
+        let anorm = t.sqrt(n2);
+        let zero = t.lit(0.0);
+        let beta = if t.gt(alpha.re(), zero) {
+            t.neg(anorm)
+        } else {
+            anorm
+        };
+        let beta_e = E::from_re(beta);
+        let num = E::sub(t, beta_e, alpha);
+        let binv = E::recip(t, beta_e);
+        let tau = E::mul(t, num, binv);
+        let den = E::sub(t, alpha, beta_e);
+        let inv = E::recip(t, den);
+        if let Some((dt, base)) = tau_out {
+            E::gstore(t, dt, base + k, tau);
+        }
+        for i in k + 1..n {
+            let v = a.get(t, idx(n, i, k));
+            let nv = E::mul(t, v, inv);
+            a.set(t, idx(n, i, k), nv);
+        }
+        a.set(t, idx(n, k, k), beta_e);
+        let tch = E::conj(t, tau);
+        for j in k + 1..cols {
+            let mut w = a.get(t, idx(n, k, j));
+            for i in k + 1..n {
+                let v = a.get(t, idx(n, i, k));
+                let x = a.get(t, idx(n, i, j));
+                w = E::conj_fma(t, v, x, w);
+            }
+            let tw = E::mul(t, tch, w);
+            let x = a.get(t, idx(n, k, j));
+            let nx = E::sub(t, x, tw);
+            a.set(t, idx(n, k, j), nx);
+            for i in k + 1..n {
+                let v = a.get(t, idx(n, i, k));
+                let x = a.get(t, idx(n, i, j));
+                let nx = E::fnma(t, v, tw, x);
+                a.set(t, idx(n, i, j), nx);
+            }
+        }
+    }
+}
+
+fn cholesky_serial<E: Elem>(t: &mut ThreadCtx, a: &mut RegArray<E>, n: usize) {
+    for k in 0..n {
+        let akk = a.get(t, idx(n, k, k));
+        let d = akk.re();
+        let zero = t.lit(0.0);
+        if !t.gt(d, zero) {
+            continue;
+        }
+        let lkk = t.sqrt(d);
+        let inv = t.recip(lkk);
+        a.set(t, idx(n, k, k), E::from_re(lkk));
+        for i in k + 1..n {
+            let v = a.get(t, idx(n, i, k));
+            let l = E::scale_re(t, v, inv);
+            a.set(t, idx(n, i, k), l);
+        }
+        for j in k + 1..n {
+            let lj = a.get(t, idx(n, j, k));
+            let ljc = E::conj(t, lj);
+            for i in j..n {
+                let li = a.get(t, idx(n, i, k));
+                let v = a.get(t, idx(n, i, j));
+                let nv = E::fnma(t, li, ljc, v);
+                a.set(t, idx(n, i, j), nv);
+            }
+        }
+    }
+}
+
+fn back_substitute_serial<E: Elem>(
+    t: &mut ThreadCtx,
+    a: &mut RegArray<E>,
+    n: usize,
+    rc: usize,
+) {
+    for j in (0..n).rev() {
+        let rjj = a.get(t, idx(n, j, j));
+        let inv = E::recip(t, rjj);
+        let y = a.get(t, idx(n, j, rc));
+        let x = E::mul(t, y, inv);
+        a.set(t, idx(n, j, rc), x);
+        for i in 0..j {
+            let r = a.get(t, idx(n, i, j));
+            let y = a.get(t, idx(n, i, rc));
+            let ny = E::fnma(t, r, x, y);
+            a.set(t, idx(n, i, rc), ny);
+        }
+    }
+}
+
+impl<E: Elem> BlockKernel for PerThreadKernel<E> {
+    fn run(&self, blk: &mut BlockCtx) {
+        let tpb = blk.num_threads();
+        let bid = blk.block_id;
+        let (n, cols) = (self.n, self.cols());
+        let a = self.a;
+        let alg = self.alg;
+        let count = self.count;
+        let d_tau = self.d_tau;
+        blk.phase_label("per-thread");
+        blk.for_each(|t| {
+            let pid = bid * tpb + t.tid;
+            if pid >= count {
+                return;
+            }
+            let mut regs = RegArray::<E>::zeroed(n * cols);
+            for j in 0..cols {
+                for i in 0..n {
+                    let v = E::gload(t, a.ptr, a.index(pid, i, j));
+                    regs.set(t, idx(n, i, j), v);
+                }
+            }
+            match alg {
+                PtAlg::Lu => lu_serial(t, &mut regs, n, cols),
+                PtAlg::Gj => gj_serial(t, &mut regs, n, cols),
+                PtAlg::Qr => {
+                    let sink = d_tau.map(|dt| (dt, pid * n));
+                    qr_serial(t, &mut regs, n, cols, sink)
+                }
+                PtAlg::QrSolve => {
+                    qr_serial(t, &mut regs, n, cols, None);
+                    back_substitute_serial(t, &mut regs, n, n);
+                }
+                PtAlg::Cholesky => cholesky_serial(t, &mut regs, n),
+            }
+            for j in 0..cols {
+                for i in 0..n {
+                    let v = regs.get(t, idx(n, i, j));
+                    E::gstore(t, a.ptr, a.index(pid, i, j), v);
+                }
+            }
+        });
+    }
+}

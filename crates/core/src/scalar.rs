@@ -1,0 +1,274 @@
+//! Host-side scalar types: real and complex, with device marshalling.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Single-precision complex number (the paper's radar workloads are
+/// single-precision complex; Section VII).
+#[derive(Clone, Copy, Default, PartialEq)]
+pub struct C32 {
+    pub re: f32,
+    pub im: f32,
+}
+
+impl C32 {
+    pub const fn new(re: f32, im: f32) -> Self {
+        C32 { re, im }
+    }
+
+    pub fn conj(self) -> Self {
+        C32::new(self.re, -self.im)
+    }
+
+    pub fn abs2(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    pub fn abs(self) -> f32 {
+        self.abs2().sqrt()
+    }
+}
+
+impl fmt::Debug for C32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}{:+}i)", self.re, self.im)
+    }
+}
+
+impl Add for C32 {
+    type Output = C32;
+    fn add(self, o: C32) -> C32 {
+        C32::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for C32 {
+    type Output = C32;
+    fn sub(self, o: C32) -> C32 {
+        C32::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for C32 {
+    type Output = C32;
+    fn mul(self, o: C32) -> C32 {
+        C32::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Div for C32 {
+    type Output = C32;
+    fn div(self, o: C32) -> C32 {
+        let d = o.abs2();
+        C32::new(
+            (self.re * o.re + self.im * o.im) / d,
+            (self.im * o.re - self.re * o.im) / d,
+        )
+    }
+}
+
+impl Neg for C32 {
+    type Output = C32;
+    fn neg(self) -> C32 {
+        C32::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for C32 {
+    fn add_assign(&mut self, o: C32) {
+        *self = *self + o;
+    }
+}
+
+impl SubAssign for C32 {
+    fn sub_assign(&mut self, o: C32) {
+        *self = *self - o;
+    }
+}
+
+impl MulAssign for C32 {
+    fn mul_assign(&mut self, o: C32) {
+        *self = *self * o;
+    }
+}
+
+impl Sum for C32 {
+    fn sum<I: Iterator<Item = C32>>(iter: I) -> C32 {
+        iter.fold(C32::default(), |a, b| a + b)
+    }
+}
+
+/// Field scalar usable in the host linear-algebra reference algorithms and
+/// marshallable to the simulated device (32-bit words).
+pub trait Scalar:
+    Copy
+    + Default
+    + PartialEq
+    + fmt::Debug
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    const IS_COMPLEX: bool;
+    /// 32-bit device words per element.
+    const WORDS: usize;
+
+    fn zero() -> Self {
+        Self::default()
+    }
+    fn one() -> Self;
+    fn from_f64(x: f64) -> Self;
+    /// Real part as f64.
+    fn real(self) -> f64;
+    fn conj(self) -> Self;
+    /// Squared magnitude as f64 (exact for norms).
+    fn abs2(self) -> f64;
+    fn abs(self) -> f64 {
+        self.abs2().sqrt()
+    }
+    /// Multiply by a real scalar.
+    fn scale(self, s: f64) -> Self;
+    /// Marshal to device words (unused slots zero).
+    fn to_words(self) -> [f32; 2];
+    fn from_words(w: [f32; 2]) -> Self;
+}
+
+impl Scalar for f32 {
+    const IS_COMPLEX: bool = false;
+    const WORDS: usize = 1;
+
+    fn one() -> Self {
+        1.0
+    }
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    fn real(self) -> f64 {
+        self as f64
+    }
+    fn conj(self) -> Self {
+        self
+    }
+    fn abs2(self) -> f64 {
+        (self as f64) * (self as f64)
+    }
+    fn scale(self, s: f64) -> Self {
+        (self as f64 * s) as f32
+    }
+    fn to_words(self) -> [f32; 2] {
+        [self, 0.0]
+    }
+    fn from_words(w: [f32; 2]) -> Self {
+        w[0]
+    }
+}
+
+impl Scalar for f64 {
+    const IS_COMPLEX: bool = false;
+    const WORDS: usize = 1; // host-only reference type; device stores f32
+
+    fn one() -> Self {
+        1.0
+    }
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    fn real(self) -> f64 {
+        self
+    }
+    fn conj(self) -> Self {
+        self
+    }
+    fn abs2(self) -> f64 {
+        self * self
+    }
+    fn scale(self, s: f64) -> Self {
+        self * s
+    }
+    fn to_words(self) -> [f32; 2] {
+        [self as f32, 0.0]
+    }
+    fn from_words(w: [f32; 2]) -> Self {
+        w[0] as f64
+    }
+}
+
+impl Scalar for C32 {
+    const IS_COMPLEX: bool = true;
+    const WORDS: usize = 2;
+
+    fn one() -> Self {
+        C32::new(1.0, 0.0)
+    }
+    fn from_f64(x: f64) -> Self {
+        C32::new(x as f32, 0.0)
+    }
+    fn real(self) -> f64 {
+        self.re as f64
+    }
+    fn conj(self) -> Self {
+        self.conj()
+    }
+    fn abs2(self) -> f64 {
+        (self.re as f64).powi(2) + (self.im as f64).powi(2)
+    }
+    fn scale(self, s: f64) -> Self {
+        C32::new((self.re as f64 * s) as f32, (self.im as f64 * s) as f32)
+    }
+    fn to_words(self) -> [f32; 2] {
+        [self.re, self.im]
+    }
+    fn from_words(w: [f32; 2]) -> Self {
+        C32::new(w[0], w[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complex_field_axioms_spot_checks() {
+        let a = C32::new(1.0, 2.0);
+        let b = C32::new(-3.0, 0.5);
+        assert_eq!(a + b, C32::new(-2.0, 2.5));
+        assert_eq!(a * C32::one(), a);
+        let q = (a / b) * b;
+        assert!((q - a).abs() < 1e-5);
+    }
+
+    #[test]
+    fn conj_mul_gives_abs2() {
+        let a = C32::new(3.0, -4.0);
+        let p = a * a.conj();
+        assert_eq!(p.re, 25.0);
+        assert!(p.im.abs() < 1e-6);
+        assert_eq!(Scalar::abs2(a), 25.0);
+    }
+
+    #[test]
+    fn marshalling_round_trips() {
+        let a = C32::new(1.5, -2.5);
+        assert_eq!(C32::from_words(a.to_words()), a);
+        let x = 3.25f32;
+        assert_eq!(f32::from_words(x.to_words()), x);
+    }
+
+    #[test]
+    fn scale_is_real_multiplication() {
+        let a = C32::new(2.0, -6.0);
+        assert_eq!(a.scale(0.5), C32::new(1.0, -3.0));
+    }
+}

@@ -1,0 +1,282 @@
+//! Block-level execution context.
+//!
+//! A kernel runs once per thread block and is written from the block's
+//! perspective: `for_each` executes a closure for every thread (the SIMT
+//! lanes), `sync()` is `__syncthreads()`, and `phase_label` names the
+//! current section for the per-phase breakdowns of Table V and Figure 8.
+//! Phases are delimited by synchronizations; at each boundary the context
+//! performs the warp-level analyses (bank conflicts, coalescing, distinct
+//! DRAM lines) and folds them into a [`PhaseRecord`].
+
+use crate::config::{GpuConfig, MathMode};
+use crate::exec::thread::{AccessRec, PhaseAccum, SpillInfo, ThreadCtx, ThreadTiming};
+use crate::mem::shared::{bank_conflict_replays, coalesced_transactions, distinct_lines};
+use crate::mem::{GlobalMemory, MemHier};
+use crate::timing::PhaseRecord;
+
+/// Execution context for one thread block.
+pub struct BlockCtx<'a> {
+    pub block_id: usize,
+    pub grid_blocks: usize,
+    nthreads: usize,
+    traced: bool,
+    cfg: &'a GpuConfig,
+    math: MathMode,
+    spill: SpillInfo,
+    shared: Vec<f32>,
+    shared_ready: Vec<u64>,
+    threads: Vec<ThreadTiming>,
+    phase: PhaseAccum,
+    phase_start: u64,
+    label: String,
+    records: Vec<PhaseRecord>,
+    gmem: &'a mut GlobalMemory,
+    memhier: &'a mut MemHier,
+}
+
+impl<'a> BlockCtx<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        block_id: usize,
+        grid_blocks: usize,
+        traced: bool,
+        nthreads: usize,
+        shared_words: usize,
+        cfg: &'a GpuConfig,
+        math: MathMode,
+        spill: SpillInfo,
+        gmem: &'a mut GlobalMemory,
+        memhier: &'a mut MemHier,
+    ) -> Self {
+        BlockCtx {
+            block_id,
+            grid_blocks,
+            nthreads,
+            traced,
+            cfg,
+            math,
+            spill,
+            shared: vec![0.0; shared_words],
+            shared_ready: vec![0; shared_words],
+            threads: vec![ThreadTiming::default(); nthreads],
+            phase: PhaseAccum::default(),
+            phase_start: 0,
+            label: String::new(),
+            records: Vec::new(),
+            gmem,
+            memhier,
+        }
+    }
+
+    /// Reuse this context for another (untraced) block without reallocating.
+    pub(crate) fn reset_for_block(&mut self, block_id: usize) {
+        self.block_id = block_id;
+        self.shared.fill(0.0);
+        self.shared_ready.fill(0);
+        for t in &mut self.threads {
+            t.reset_phase(0);
+            t.regctr = 0;
+        }
+        self.phase.clear();
+        self.phase_start = 0;
+        self.label.clear();
+        self.records.clear();
+    }
+
+    pub fn num_threads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Size of the shared-memory allocation in 32-bit words.
+    pub fn shared_words(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Name the current phase (applies when the phase closes).
+    pub fn phase_label(&mut self, label: impl Into<String>) {
+        if self.traced {
+            self.label = label.into();
+        }
+    }
+
+    /// Execute `f` once per thread, in SIMT order.
+    pub fn for_each(&mut self, mut f: impl FnMut(&mut ThreadCtx)) {
+        for tid in 0..self.nthreads {
+            let mut t = ThreadCtx {
+                tid,
+                block_id: self.block_id,
+                traced: self.traced,
+                cfg: self.cfg,
+                math: self.math,
+                tt: &mut self.threads[tid],
+                shared: &mut self.shared,
+                shared_ready: &mut self.shared_ready,
+                gmem: self.gmem,
+                phase: &mut self.phase,
+                memhier: self.memhier,
+                spill: self.spill,
+            };
+            f(&mut t);
+        }
+    }
+
+    /// `__syncthreads()`: barrier plus phase boundary.
+    pub fn sync(&mut self) {
+        self.close_phase(true);
+    }
+
+    fn close_phase(&mut self, with_sync: bool) {
+        if !self.traced {
+            return;
+        }
+        let raw_end = self
+            .threads
+            .iter()
+            .map(|t| t.clock.max(t.horizon))
+            .max()
+            .unwrap_or(self.phase_start);
+        let mut critical = raw_end - self.phase_start;
+
+        // ---- bank-conflict analysis: group shared accesses by (warp, seq).
+        let shared_accesses = self.phase.shared_rec.len() as u64;
+        let (conflict_replays, max_warp_replays) = self.analyze_shared();
+        let replay_interval = self.cfg.ldst_issue_interval;
+        critical += max_warp_replays * replay_interval;
+
+        // ---- global coalescing and distinct-line DRAM traffic.
+        let (transactions, line_bytes) = self.analyze_global();
+
+        // ---- warp-level instruction totals.
+        let ws = self.cfg.warp_size;
+        let mut fp_instrs = 0u64;
+        let mut ldst_instrs = 0u64;
+        let mut sfu_instrs = 0u64;
+        let mut block_issue = 0u64;
+        for warp in self.threads.chunks(ws) {
+            let wfp = warp.iter().map(|t| t.fp).max().unwrap_or(0);
+            let wldst = warp.iter().map(|t| t.ldst).max().unwrap_or(0);
+            let wsfu = warp.iter().map(|t| t.sfu).max().unwrap_or(0);
+            fp_instrs += wfp;
+            ldst_instrs += wldst;
+            sfu_instrs += wsfu;
+            let fp_cyc = wfp * self.cfg.fp_issue_interval;
+            let ld_cyc = (wldst as f64
+                * self.cfg.ldst_issue_interval as f64
+                * self.cfg.ldst_sustained_factor)
+                .round() as u64;
+            block_issue += if self.cfg.dual_issue {
+                fp_cyc.max(ld_cyc)
+            } else {
+                fp_cyc + ld_cyc
+            } + wsfu * self.cfg.sfu_issue_interval;
+        }
+        block_issue += conflict_replays * replay_interval;
+
+        let flops: u64 = self.threads.iter().map(|t| t.flops).sum();
+
+        let sync_cycles = if with_sync {
+            self.cfg.sync_cycles(self.nthreads)
+        } else {
+            0
+        };
+        critical += sync_cycles;
+
+        self.records.push(PhaseRecord {
+            // The label persists across syncs until the kernel changes it,
+            // so multi-phase sections aggregate under one name.
+            label: self.label.clone(),
+            critical_cycles: critical,
+            sync_cycles,
+            block_issue_cycles: block_issue,
+            fp_instrs,
+            ldst_instrs,
+            sfu_instrs,
+            flops,
+            shared_accesses,
+            conflict_replays,
+            global_transactions: transactions,
+            global_line_bytes: line_bytes,
+            spill_dram_bytes: (self.phase.spill_words as f64 * 4.0 * self.spill.dram_frac)
+                .round() as u64,
+            had_sync: with_sync,
+        });
+
+        let new_start = self.phase_start + critical;
+        for t in &mut self.threads {
+            t.reset_phase(new_start);
+        }
+        self.phase_start = new_start;
+        self.phase.clear();
+    }
+
+    /// Group the phase's shared accesses by (warp, static-instruction seq)
+    /// and count bank-conflict replays. Returns (total, worst-warp).
+    fn analyze_shared(&mut self) -> (u64, u64) {
+        if self.phase.shared_rec.is_empty() {
+            return (0, 0);
+        }
+        let mut recs = std::mem::take(&mut self.phase.shared_rec);
+        recs.sort_unstable_by_key(|r| (r.warp, r.seq));
+        let mut total = 0u64;
+        let mut per_warp = std::collections::HashMap::new();
+        let mut addrs: Vec<u32> = Vec::with_capacity(self.cfg.warp_size);
+        let mut i = 0;
+        while i < recs.len() {
+            let key = (recs[i].warp, recs[i].seq);
+            addrs.clear();
+            while i < recs.len() && (recs[i].warp, recs[i].seq) == key {
+                addrs.push(recs[i].addr as u32);
+                i += 1;
+            }
+            let r = u64::from(bank_conflict_replays(self.cfg.shared_banks, &addrs));
+            total += r;
+            *per_warp.entry(key.0).or_insert(0u64) += r;
+        }
+        let worst = per_warp.values().copied().max().unwrap_or(0);
+        self.phase.shared_rec = recs;
+        self.phase.shared_rec.clear();
+        (total, worst)
+    }
+
+    /// Coalesce the phase's global accesses into transactions and compute
+    /// the distinct-line DRAM footprint.
+    fn analyze_global(&mut self) -> (u64, u64) {
+        if self.phase.global_rec.is_empty() {
+            return (0, 0);
+        }
+        let recs: Vec<AccessRec> = std::mem::take(&mut self.phase.global_rec);
+        let mut sorted = recs;
+        sorted.sort_unstable_by_key(|r| (r.warp, r.seq));
+        let line = self.cfg.dram_line_bytes;
+        let mut transactions = 0u64;
+        let mut addrs: Vec<u64> = Vec::with_capacity(self.cfg.warp_size);
+        let mut i = 0;
+        while i < sorted.len() {
+            let key = (sorted[i].warp, sorted[i].seq);
+            addrs.clear();
+            while i < sorted.len() && (sorted[i].warp, sorted[i].seq) == key {
+                addrs.push(sorted[i].addr);
+                i += 1;
+            }
+            transactions += u64::from(coalesced_transactions(line, &addrs));
+        }
+        // Loads and stores are separate DRAM traffic even when they touch
+        // the same lines (read + write-back of an in-place factorization).
+        let load_lines = distinct_lines(
+            line,
+            sorted.iter().filter(|r| !r.store).map(|r| r.addr),
+        );
+        let store_lines = distinct_lines(
+            line,
+            sorted.iter().filter(|r| r.store).map(|r| r.addr),
+        );
+        let bytes = ((load_lines.len() + store_lines.len()) * line) as u64;
+        (transactions, bytes)
+    }
+
+    /// Close the final phase and return the records (traced block only).
+    pub(crate) fn finish(mut self) -> Vec<PhaseRecord> {
+        self.close_phase(false);
+        self.records
+    }
+}

@@ -1,0 +1,444 @@
+//! Kernel launch machinery.
+
+pub mod block;
+pub mod occupancy;
+pub mod thread;
+
+use crate::config::{GpuConfig, MathMode};
+use crate::mem::{GlobalMemory, MemHier};
+use crate::timing::{combine, LaunchStats};
+use block::BlockCtx;
+use occupancy::occupancy;
+use thread::SpillInfo;
+
+/// How much of the grid to execute functionally.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Run every block: outputs are valid for the whole batch.
+    #[default]
+    Full,
+    /// Run only the traced block (block 0): timing is exact (all blocks
+    /// execute identical code), but only problem 0's output is computed.
+    /// Used by the performance harnesses to sweep large batches quickly.
+    Representative,
+}
+
+/// Launch configuration: the CUDA `<<<grid, block, shared>>>` triple plus
+/// the compile-time facts the simulator needs (register usage, math mode).
+#[derive(Clone, Debug)]
+pub struct LaunchConfig {
+    pub grid_blocks: usize,
+    pub threads_per_block: usize,
+    /// Registers per thread the kernel *wants*; beyond the architectural
+    /// maximum the excess spills to local memory.
+    pub regs_per_thread: usize,
+    /// Shared memory per block in 32-bit words.
+    pub shared_words: usize,
+    pub math: MathMode,
+    pub exec: ExecMode,
+}
+
+impl LaunchConfig {
+    pub fn new(grid_blocks: usize, threads_per_block: usize) -> Self {
+        LaunchConfig {
+            grid_blocks,
+            threads_per_block,
+            regs_per_thread: 32,
+            shared_words: 1024,
+            math: MathMode::Fast,
+            exec: ExecMode::Full,
+        }
+    }
+
+    pub fn regs(mut self, r: usize) -> Self {
+        self.regs_per_thread = r;
+        self
+    }
+
+    pub fn shared_words(mut self, w: usize) -> Self {
+        self.shared_words = w;
+        self
+    }
+
+    pub fn math(mut self, m: MathMode) -> Self {
+        self.math = m;
+        self
+    }
+
+    pub fn exec(mut self, e: ExecMode) -> Self {
+        self.exec = e;
+        self
+    }
+}
+
+/// A device kernel: runs once per thread block.
+pub trait BlockKernel {
+    fn run(&self, blk: &mut BlockCtx);
+}
+
+impl<F: Fn(&mut BlockCtx)> BlockKernel for F {
+    fn run(&self, blk: &mut BlockCtx) {
+        self(blk)
+    }
+}
+
+/// The simulated GPU.
+pub struct Gpu {
+    pub cfg: GpuConfig,
+}
+
+impl Gpu {
+    pub fn new(cfg: GpuConfig) -> Self {
+        Gpu { cfg }
+    }
+
+    /// The paper's device: a Quadro 6000.
+    pub fn quadro_6000() -> Self {
+        Gpu::new(GpuConfig::quadro_6000())
+    }
+
+    /// Launch a kernel over `lc.grid_blocks` blocks.
+    ///
+    /// Block 0 is executed with full tracing (scoreboard timing, conflict
+    /// and coalescing analysis); the remaining blocks execute functionally
+    /// (or are skipped under [`ExecMode::Representative`]). Timing is then
+    /// extrapolated over the grid via the occupancy and wave model.
+    pub fn launch<K: BlockKernel + ?Sized>(
+        &self,
+        kernel: &K,
+        lc: &LaunchConfig,
+        gmem: &mut GlobalMemory,
+    ) -> LaunchStats {
+        assert!(lc.grid_blocks >= 1, "empty grid");
+        let occ = occupancy(
+            &self.cfg,
+            lc.threads_per_block,
+            lc.regs_per_thread,
+            lc.shared_words * 4,
+        );
+
+        // Register-spill parameters. nvcc spills the least-used registers,
+        // so the probability that a given access touches a spilled value is
+        // roughly quadratic in the spilled fraction; spills land in the L1
+        // (48 kB when the kernel's shared footprint allows the prefer-L1
+        // split) and overflow to DRAM beyond its capacity.
+        let spill = if occ.regs_spilled > 0 {
+            let rho = occ.regs_spilled as f64 / lc.regs_per_thread as f64;
+            let every = (1.0 / (rho * rho)).round().max(1.0) as u64;
+            let footprint =
+                (occ.regs_spilled * 4 * lc.threads_per_block * occ.blocks_per_sm) as f64;
+            let l1_eff = if lc.shared_words * 4 <= self.cfg.l1_bytes_per_sm {
+                self.cfg.prefer_l1_bytes_per_sm.max(self.cfg.l1_bytes_per_sm)
+            } else {
+                self.cfg.l1_bytes_per_sm
+            } as f64;
+            let hit_frac = (l1_eff / footprint).min(1.0);
+            let latency = hit_frac * self.cfg.l1_latency as f64
+                + (1.0 - hit_frac) * self.cfg.dram_row_hit_latency as f64;
+            SpillInfo {
+                every,
+                latency: latency.round() as u64,
+                dram_frac: 1.0 - hit_frac,
+            }
+        } else {
+            SpillInfo::default()
+        };
+
+        let mut memhier = MemHier::new(&self.cfg);
+
+        // Traced representative block.
+        let ctx = {
+            let mut ctx = BlockCtx::new(
+                0,
+                lc.grid_blocks,
+                true,
+                lc.threads_per_block,
+                lc.shared_words,
+                &self.cfg,
+                lc.math,
+                spill,
+                gmem,
+                &mut memhier,
+            );
+            kernel.run(&mut ctx);
+            ctx.finish()
+        };
+
+        // Functional execution of the rest of the grid.
+        if lc.exec == ExecMode::Full && lc.grid_blocks > 1 {
+            let mut blk = BlockCtx::new(
+                1,
+                lc.grid_blocks,
+                false,
+                lc.threads_per_block,
+                lc.shared_words,
+                &self.cfg,
+                lc.math,
+                spill,
+                gmem,
+                &mut memhier,
+            );
+            kernel.run(&mut blk);
+            for b in 2..lc.grid_blocks {
+                blk.reset_for_block(b);
+                kernel.run(&mut blk);
+            }
+        }
+
+        combine(
+            &self.cfg,
+            occ,
+            ctx,
+            lc.grid_blocks,
+            lc.threads_per_block,
+            spill.dram_frac > 0.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::DPtr;
+
+    fn copy_kernel(
+        n_per_thread: usize,
+        src: DPtr,
+        dst: DPtr,
+    ) -> impl Fn(&mut BlockCtx) {
+        move |blk: &mut BlockCtx| {
+            let t_per_b = blk.num_threads();
+            let base = blk.block_id * t_per_b * n_per_thread;
+            blk.for_each(|t| {
+                for i in 0..n_per_thread {
+                    // Coalesced: consecutive threads touch consecutive words.
+                    let idx = base + i * t_per_b + t.tid;
+                    let v = t.gload(src, idx);
+                    t.gstore(dst, idx, v);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn copy_kernel_moves_data_and_reports_stats() {
+        let gpu = Gpu::quadro_6000();
+        let mut mem = GlobalMemory::with_bytes(1 << 20);
+        let n = 64 * 16 * 8;
+        let src = mem.alloc(n);
+        let dst = mem.alloc(n);
+        for i in 0..n {
+            mem.write(src, i, i as f32);
+        }
+        let lc = LaunchConfig::new(8, 64).regs(16).shared_words(0);
+        let stats = gpu.launch(&copy_kernel(16, src, dst), &lc, &mut mem);
+        for i in 0..n {
+            assert_eq!(mem.read(dst, i), i as f32);
+        }
+        // read + write of n words, fully coalesced and deduplicated.
+        assert_eq!(stats.dram_bytes, (2 * n * 4) as f64);
+        assert!(stats.cycles > 0.0);
+        assert!(stats.time_s > 0.0);
+    }
+
+    #[test]
+    fn representative_mode_skips_other_blocks() {
+        let gpu = Gpu::quadro_6000();
+        let mut mem = GlobalMemory::with_bytes(1 << 20);
+        let n = 64 * 4 * 4;
+        let src = mem.alloc(n);
+        let dst = mem.alloc(n);
+        for i in 0..n {
+            mem.write(src, i, 1.0);
+        }
+        let lc = LaunchConfig::new(4, 64)
+            .regs(16)
+            .shared_words(0)
+            .exec(ExecMode::Representative);
+        let stats = gpu.launch(&copy_kernel(4, src, dst), &lc, &mut mem);
+        // Block 0's slice was copied; block 3's slice untouched.
+        assert_eq!(mem.read(dst, 0), 1.0);
+        assert_eq!(mem.read(dst, n - 1), 0.0);
+        // Timing still covers the whole grid.
+        assert_eq!(stats.grid_blocks, 4);
+        assert_eq!(stats.dram_bytes, (2 * n * 4) as f64);
+    }
+
+    #[test]
+    fn large_grid_runs_in_waves() {
+        let gpu = Gpu::quadro_6000();
+        let mut mem = GlobalMemory::with_bytes(1 << 24);
+        let n_per_block = 64 * 4;
+        let grid = 500; // > 14 SMs * 8 blocks
+        let src = mem.alloc(n_per_block * grid);
+        let dst = mem.alloc(n_per_block * grid);
+        let lc = LaunchConfig::new(grid, 64)
+            .regs(16)
+            .shared_words(0)
+            .exec(ExecMode::Representative);
+        let stats = gpu.launch(&copy_kernel(4, src, dst), &lc, &mut mem);
+        assert_eq!(stats.waves, (500f64 / 112f64).ceil() as usize);
+    }
+
+    #[test]
+    fn dram_bound_copy_achieves_stream_bandwidth() {
+        // A big, fully-coalesced copy must run at ~108 GB/s (Table II).
+        let gpu = Gpu::quadro_6000();
+        let mut mem = GlobalMemory::with_bytes(64 << 20);
+        let words = 4 << 20; // 16 MB array, as in Listing 2
+        let src = mem.alloc(words);
+        let dst = mem.alloc(words);
+        let grid = 14 * 8;
+        let per_block = words / grid;
+        let per_thread = per_block / 256;
+        let k = move |blk: &mut BlockCtx| {
+            let base = blk.block_id * per_block;
+            blk.for_each(|t| {
+                for i in 0..per_thread {
+                    let idx = base + i * 256 + t.tid;
+                    let v = t.gload(src, idx);
+                    t.gstore(dst, idx, v);
+                }
+            });
+        };
+        let lc = LaunchConfig::new(grid, 256)
+            .regs(20)
+            .shared_words(0)
+            .exec(ExecMode::Representative);
+        let stats = gpu.launch(&k, &lc, &mut mem);
+        let gbs = stats.dram_gbs();
+        assert!(
+            (gbs - 108.0).abs() < 6.0,
+            "copy bandwidth {gbs} GB/s, expected ~108"
+        );
+    }
+
+    #[test]
+    fn fma_chain_is_latency_bound() {
+        // A single dependent FMA chain exposes the 18-cycle pipeline.
+        let gpu = Gpu::quadro_6000();
+        let mut mem = GlobalMemory::with_bytes(4096);
+        let n = 1000usize;
+        let k = move |blk: &mut BlockCtx| {
+            blk.for_each(|t| {
+                if t.tid == 0 {
+                    let mut acc = t.lit(0.0);
+                    let x = t.lit(1.000001);
+                    for _ in 0..n {
+                        acc = t.fma(acc, x, x);
+                    }
+                }
+            });
+        };
+        let lc = LaunchConfig::new(1, 32).regs(8).shared_words(0);
+        let stats = gpu.launch(&k, &lc, &mut mem);
+        let per_op = stats.cycles / n as f64;
+        assert!(
+            (per_op - 18.0).abs() < 1.5,
+            "dependent FMA cost {per_op} cycles, expected ~18 (gamma)"
+        );
+    }
+
+    #[test]
+    fn independent_fp_ops_reach_issue_throughput() {
+        // Many independent ops across many warps: throughput-bound.
+        let gpu = Gpu::quadro_6000();
+        let mut mem = GlobalMemory::with_bytes(4096);
+        let n = 256usize;
+        let k = move |blk: &mut BlockCtx| {
+            blk.for_each(|t| {
+                let x = t.lit(1.5);
+                let mut accs = [t.lit(0.0); 8];
+                for _ in 0..n / 8 {
+                    for a in &mut accs {
+                        *a = t.fma(*a, x, x);
+                    }
+                }
+                let mut s = accs[0];
+                for a in &accs[1..] {
+                    s = t.add(s, *a);
+                }
+                t.gstore(DPtr(0), t.tid, s);
+            });
+        };
+        let lc = LaunchConfig::new(112, 256).regs(24).shared_words(0);
+        let stats = gpu.launch(&k, &lc, &mut mem);
+        // 8-way ILP with full occupancy: should be far below 18 cycles/op
+        // per warp and reach a decent fraction of peak FLOP throughput.
+        let frac = stats.gflops() / gpu.cfg.peak_sp_gflops();
+        assert!(frac > 0.5, "achieved only {frac:.2} of peak");
+    }
+
+    #[test]
+    fn spilled_registers_slow_the_kernel_down() {
+        let gpu = Gpu::quadro_6000();
+        let run = |regs: usize| {
+            let mut mem = GlobalMemory::with_bytes(1 << 20);
+            let k = move |blk: &mut BlockCtx| {
+                blk.for_each(|t| {
+                    let mut a = thread::RegArray::<thread::Rv>::zeroed(regs);
+                    let one = t.lit(1.0);
+                    for i in 0..regs {
+                        let x = a.get(t, i);
+                        let y = t.add(x, one);
+                        a.set(t, i, y);
+                    }
+                    let last = a.get(t, regs - 1);
+                    t.gstore(DPtr(0), t.tid, last);
+                });
+            };
+            let lc = LaunchConfig::new(112, 64).regs(regs).shared_words(0);
+            gpu.launch(&k, &lc, &mut mem).cycles
+        };
+        let fits = run(48);
+        let spills = run(120);
+        assert!(
+            spills > fits * 1.5,
+            "spilled {spills} vs resident {fits}: expected a clear penalty"
+        );
+    }
+
+    #[test]
+    fn sync_adds_barrier_cost() {
+        let gpu = Gpu::quadro_6000();
+        let mut mem = GlobalMemory::with_bytes(4096);
+        let nsyncs = 100usize;
+        let k = move |blk: &mut BlockCtx| {
+            for _ in 0..nsyncs {
+                blk.sync();
+            }
+        };
+        let lc = LaunchConfig::new(1, 64).regs(8).shared_words(16);
+        let stats = gpu.launch(&k, &lc, &mut mem);
+        let per_sync = stats.cycles / nsyncs as f64;
+        assert!(
+            (per_sync - 46.0).abs() < 2.0,
+            "sync cost {per_sync}, expected ~46 (Table IV)"
+        );
+    }
+
+    #[test]
+    fn bank_conflicts_are_detected_and_penalised() {
+        let gpu = Gpu::quadro_6000();
+        let run = |stride: usize| {
+            let mut mem = GlobalMemory::with_bytes(1 << 16);
+            let k = move |blk: &mut BlockCtx| {
+                blk.for_each(|t| {
+                    let mut acc = t.lit(0.0);
+                    for i in 0..8 {
+                        let v = t.shared_load((t.tid * stride + i * 512) % 4096);
+                        acc = t.add(acc, v);
+                    }
+                    t.gstore(DPtr(0), t.tid, acc);
+                });
+            };
+            let lc = LaunchConfig::new(1, 32).regs(8).shared_words(4096);
+            gpu.launch(&k, &lc, &mut mem)
+        };
+        let clean = run(1);
+        let conflicted = run(32);
+        assert_eq!(clean.conflict_replays(), 0);
+        assert_eq!(conflicted.conflict_replays(), 31 * 8);
+        assert!(conflicted.cycles > clean.cycles);
+    }
+}

@@ -1,0 +1,158 @@
+//! CUDA occupancy calculator for compute-capability-2.0 class devices.
+//!
+//! The number of thread blocks co-resident on an SM is the binding factor in
+//! the paper's Figure 9 (the drop at n = 80 comes from the 64 -> 256 thread
+//! switch reducing blocks per SM), so this mirrors the CUDA occupancy
+//! calculator's rules: block limit, thread limit, register-file limit with
+//! warp-granularity allocation, and shared-memory limit.
+
+use crate::config::GpuConfig;
+
+/// Which resource limits the number of resident blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OccLimiter {
+    Blocks,
+    Threads,
+    Registers,
+    SharedMem,
+}
+
+/// Result of the occupancy computation for one kernel configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Occupancy {
+    /// Thread blocks co-resident per SM (>= 1; launches always make progress).
+    pub blocks_per_sm: usize,
+    pub warps_per_sm: usize,
+    pub threads_per_sm: usize,
+    pub limiter: OccLimiter,
+    /// Registers per thread actually allocated (clamped to the
+    /// architectural maximum; the excess spills to local memory).
+    pub regs_allocated: usize,
+    /// Declared registers beyond the architectural maximum.
+    pub regs_spilled: usize,
+}
+
+impl Occupancy {
+    /// Fraction of the SM's maximum resident threads that are occupied.
+    pub fn occupancy_fraction(&self, cfg: &GpuConfig) -> f64 {
+        self.threads_per_sm as f64 / cfg.max_threads_per_sm as f64
+    }
+}
+
+/// Compute the occupancy of a kernel with the given per-block resources.
+pub fn occupancy(
+    cfg: &GpuConfig,
+    threads_per_block: usize,
+    regs_per_thread: usize,
+    shared_bytes_per_block: usize,
+) -> Occupancy {
+    assert!(threads_per_block >= 1, "empty thread block");
+    assert!(
+        threads_per_block <= cfg.max_threads_per_block,
+        "block of {threads_per_block} threads exceeds device limit {}",
+        cfg.max_threads_per_block
+    );
+    let regs_allocated = regs_per_thread.clamp(1, cfg.max_regs_per_thread);
+    let regs_spilled = regs_per_thread.saturating_sub(cfg.max_regs_per_thread);
+
+    let warps_per_block = threads_per_block.div_ceil(cfg.warp_size);
+    // Register allocation is per warp, rounded up to the granularity.
+    let warp_regs = (regs_allocated * cfg.warp_size).div_ceil(cfg.reg_alloc_granularity)
+        * cfg.reg_alloc_granularity;
+    let block_regs = warp_regs * warps_per_block;
+
+    let mut candidates = [
+        (cfg.max_blocks_per_sm, OccLimiter::Blocks),
+        (
+            cfg.max_threads_per_sm / threads_per_block,
+            OccLimiter::Threads,
+        ),
+        (cfg.regfile_words_per_sm / block_regs, OccLimiter::Registers),
+        (
+            cfg.shared_bytes_per_sm
+                .checked_div(shared_bytes_per_block)
+                .unwrap_or(usize::MAX),
+            OccLimiter::SharedMem,
+        ),
+    ];
+    // Stable: prefer the earlier limiter on ties (Blocks < Threads < ...).
+    candidates.sort_by_key(|&(n, _)| n);
+    let (blocks, limiter) = candidates[0];
+    let blocks = blocks.max(1);
+    Occupancy {
+        blocks_per_sm: blocks,
+        warps_per_sm: blocks * warps_per_block,
+        threads_per_sm: blocks * threads_per_block,
+        limiter,
+        regs_allocated,
+        regs_spilled,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::quadro_6000()
+    }
+
+    #[test]
+    fn paper_56x56_configuration_gets_eight_blocks() {
+        // 64 threads, ~63 registers (7x7 sub-matrix + overhead), small shared
+        // usage: the paper reports 8 blocks per SM => 112 problems in flight.
+        let occ = occupancy(&cfg(), 64, 63, 4 * 1024);
+        assert_eq!(occ.blocks_per_sm, 8);
+        assert_eq!(occ.regs_spilled, 0);
+    }
+
+    #[test]
+    fn switch_to_256_threads_drops_occupancy() {
+        // The n = 80 switch to 256 threads: register pressure limits
+        // residency to 2 blocks per SM (the paper's "8 to 2" drop).
+        let occ = occupancy(&cfg(), 256, 63, 8 * 1024);
+        assert!(occ.blocks_per_sm <= 3, "got {}", occ.blocks_per_sm);
+        assert!(occ.blocks_per_sm >= 2);
+    }
+
+    #[test]
+    fn block_limit_binds_for_tiny_blocks() {
+        let occ = occupancy(&cfg(), 32, 16, 0);
+        assert_eq!(occ.blocks_per_sm, 8);
+        assert_eq!(occ.limiter, OccLimiter::Blocks);
+    }
+
+    #[test]
+    fn thread_limit_binds_for_huge_blocks() {
+        let occ = occupancy(&cfg(), 1024, 20, 0);
+        assert_eq!(occ.blocks_per_sm, 1);
+        assert_eq!(occ.limiter, OccLimiter::Threads);
+    }
+
+    #[test]
+    fn shared_memory_limits_residency() {
+        let occ = occupancy(&cfg(), 64, 16, 24 * 1024);
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert_eq!(occ.limiter, OccLimiter::SharedMem);
+    }
+
+    #[test]
+    fn declared_registers_beyond_max_spill() {
+        let occ = occupancy(&cfg(), 64, 100, 0);
+        assert_eq!(occ.regs_allocated, 64);
+        assert_eq!(occ.regs_spilled, 36);
+    }
+
+    #[test]
+    fn occupancy_fraction_in_unit_range() {
+        let occ = occupancy(&cfg(), 192, 32, 1024);
+        let f = occ.occupancy_fraction(&cfg());
+        assert!(f > 0.0 && f <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device limit")]
+    fn oversized_block_rejected() {
+        occupancy(&cfg(), 2048, 16, 0);
+    }
+}

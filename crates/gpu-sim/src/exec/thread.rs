@@ -1,0 +1,753 @@
+//! Per-thread execution context with an in-order scoreboard.
+//!
+//! Kernels perform arithmetic through [`ThreadCtx`] helper methods that both
+//! compute the value and account its cost. Every value is an [`Rv`]
+//! ("register value") carrying the cycle at which it becomes available; an
+//! instruction issues when its operands are ready and its functional unit's
+//! issue slot is free, and completes after the unit's pipeline latency.
+//! This reproduces the latency-bound behaviour the paper measures for the
+//! one-problem-per-block factorizations (Table V) while still letting
+//! high-occupancy streaming kernels reach the throughput bounds.
+
+use crate::config::{GpuConfig, MathMode};
+use crate::mem::{DPtr, GlobalMemory, MemHier};
+
+/// Functional-unit classes with distinct issue ports/intervals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Class {
+    /// CUDA cores: FP32 and integer ALU. One warp instruction per cycle.
+    Fp = 0,
+    /// Load/store units (shared, global, local). One per two cycles.
+    LdSt = 1,
+    /// Special function units (reciprocal, sqrt). One per eight cycles.
+    Sfu = 2,
+}
+
+/// A tracked register value: an `f32` plus the cycle it becomes readable.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Rv {
+    pub v: f32,
+    pub(crate) ready: u64,
+}
+
+impl Rv {
+    /// An immediate/compile-time constant (always ready).
+    pub fn imm(v: f32) -> Rv {
+        Rv { v, ready: 0 }
+    }
+
+    pub fn val(self) -> f32 {
+        self.v
+    }
+}
+
+/// A tracked complex value built from two register values.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CRv {
+    pub re: Rv,
+    pub im: Rv,
+}
+
+impl CRv {
+    pub fn imm(re: f32, im: f32) -> CRv {
+        CRv {
+            re: Rv::imm(re),
+            im: Rv::imm(im),
+        }
+    }
+
+    pub fn val(self) -> (f32, f32) {
+        (self.re.v, self.im.v)
+    }
+}
+
+/// Emulate the 22-mantissa-bit accuracy of the GF100 SFU fast paths by
+/// truncating the low bits of the correctly-rounded result.
+#[inline]
+pub fn trunc22(x: f32) -> f32 {
+    if x.is_finite() {
+        f32::from_bits(x.to_bits() & !0x3)
+    } else {
+        x
+    }
+}
+
+/// Per-thread timing state, persisted across phases by the block context.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ThreadTiming {
+    pub clock: u64,
+    pub horizon: u64,
+    pub next_free: [u64; 3],
+    pub last_issue: u64,
+    pub dual_used: bool,
+    // per-phase instruction counts (reset at each phase boundary)
+    pub fp: u64,
+    pub ldst: u64,
+    pub sfu: u64,
+    pub flops: u64,
+    pub sseq: u32,
+    pub gseq: u32,
+    pub regctr: u64,
+}
+
+impl ThreadTiming {
+    pub fn reset_phase(&mut self, at: u64) {
+        self.clock = at;
+        self.horizon = at;
+        self.next_free = [at; 3];
+        self.last_issue = at;
+        self.dual_used = false;
+        self.fp = 0;
+        self.ldst = 0;
+        self.sfu = 0;
+        self.flops = 0;
+        self.sseq = 0;
+        self.gseq = 0;
+    }
+}
+
+/// One recorded memory access (traced block only).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct AccessRec {
+    pub warp: u32,
+    pub seq: u32,
+    pub addr: u64,
+    pub store: bool,
+}
+
+/// Accumulator for the current phase of the traced block.
+#[derive(Default)]
+pub(crate) struct PhaseAccum {
+    pub shared_rec: Vec<AccessRec>,
+    pub global_rec: Vec<AccessRec>,
+    pub spill_words: u64,
+}
+
+impl PhaseAccum {
+    pub fn clear(&mut self) {
+        self.shared_rec.clear();
+        self.global_rec.clear();
+        self.spill_words = 0;
+    }
+}
+
+/// Register-spill parameters derived from the launch configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct SpillInfo {
+    /// Every `every`-th register-array access touches a spilled register
+    /// (0 = no spilling). nvcc spills the coldest registers, so the hit
+    /// probability is quadratic in the spilled fraction.
+    pub every: u64,
+    /// Blended latency of a spilled access (L1 hit / DRAM mix).
+    pub latency: u64,
+    /// Fraction of spilled accesses that overflow the L1 into DRAM.
+    pub dram_frac: f64,
+}
+
+/// The device-side view of one thread.
+pub struct ThreadCtx<'a> {
+    pub tid: usize,
+    pub block_id: usize,
+    pub(crate) traced: bool,
+    pub(crate) cfg: &'a GpuConfig,
+    pub(crate) math: MathMode,
+    pub(crate) tt: &'a mut ThreadTiming,
+    pub(crate) shared: &'a mut [f32],
+    pub(crate) shared_ready: &'a mut [u64],
+    pub(crate) gmem: &'a mut GlobalMemory,
+    pub(crate) phase: &'a mut PhaseAccum,
+    pub(crate) memhier: &'a mut MemHier,
+    pub(crate) spill: SpillInfo,
+}
+
+impl<'a> ThreadCtx<'a> {
+    #[inline]
+    fn interval(&self, c: Class) -> u64 {
+        match c {
+            Class::Fp => self.cfg.fp_issue_interval,
+            Class::LdSt => self.cfg.ldst_issue_interval,
+            Class::Sfu => self.cfg.sfu_issue_interval,
+        }
+    }
+
+    /// Issue one warp instruction of class `c` whose operands are ready at
+    /// `ready`; returns the issue cycle.
+    #[inline]
+    fn issue(&mut self, c: Class, ready: u64) -> u64 {
+        let interval = self.interval(c);
+        let t = &mut *self.tt;
+        let mut start = ready.max(t.next_free[c as usize]).max(t.last_issue);
+        if start == t.last_issue {
+            if self.cfg.dual_issue && !t.dual_used {
+                t.dual_used = true;
+            } else {
+                start += 1;
+                t.dual_used = false;
+            }
+        } else {
+            t.dual_used = false;
+        }
+        t.next_free[c as usize] = start + interval;
+        t.last_issue = start;
+        t.clock = t.clock.max(start);
+        match c {
+            Class::Fp => t.fp += 1,
+            Class::LdSt => t.ldst += 1,
+            Class::Sfu => t.sfu += 1,
+        }
+        start
+    }
+
+    #[inline]
+    fn complete(&mut self, start: u64, latency: u64) -> u64 {
+        let ready = start + latency;
+        self.tt.horizon = self.tt.horizon.max(ready);
+        ready
+    }
+
+    #[inline]
+    fn alu(&mut self, v: f32, ready: u64, flops: u64) -> Rv {
+        if !self.traced {
+            return Rv { v, ready: 0 };
+        }
+        let start = self.issue(Class::Fp, ready);
+        self.tt.flops += flops;
+        let ready = self.complete(start, self.cfg.alu_latency);
+        Rv { v, ready }
+    }
+
+    /// An always-ready literal.
+    #[inline]
+    pub fn lit(&mut self, v: f32) -> Rv {
+        Rv::imm(v)
+    }
+
+    /// Current thread-local cycle counter (the CUDA `clock()` analogue).
+    pub fn now(&self) -> u64 {
+        self.tt.clock.max(self.tt.horizon)
+    }
+
+    // ---- real arithmetic ----
+
+    #[inline]
+    pub fn add(&mut self, a: Rv, b: Rv) -> Rv {
+        self.alu(a.v + b.v, a.ready.max(b.ready), 1)
+    }
+
+    #[inline]
+    pub fn sub(&mut self, a: Rv, b: Rv) -> Rv {
+        self.alu(a.v - b.v, a.ready.max(b.ready), 1)
+    }
+
+    #[inline]
+    pub fn mul(&mut self, a: Rv, b: Rv) -> Rv {
+        self.alu(a.v * b.v, a.ready.max(b.ready), 1)
+    }
+
+    /// Fused multiply-add `a*b + c` (one issue slot, two FLOPs).
+    #[inline]
+    pub fn fma(&mut self, a: Rv, b: Rv, c: Rv) -> Rv {
+        self.alu(a.v * b.v + c.v, a.ready.max(b.ready).max(c.ready), 2)
+    }
+
+    /// Fused negate-multiply-add `c - a*b` (one issue slot, two FLOPs).
+    #[inline]
+    pub fn fnma(&mut self, a: Rv, b: Rv, c: Rv) -> Rv {
+        self.alu(c.v - a.v * b.v, a.ready.max(b.ready).max(c.ready), 2)
+    }
+
+    /// Negation is a source modifier on GF100: free.
+    #[inline]
+    pub fn neg(&mut self, a: Rv) -> Rv {
+        Rv {
+            v: -a.v,
+            ready: a.ready,
+        }
+    }
+
+    /// Absolute value is a source modifier: free.
+    #[inline]
+    pub fn abs(&mut self, a: Rv) -> Rv {
+        Rv {
+            v: a.v.abs(),
+            ready: a.ready,
+        }
+    }
+
+    /// An untracked integer ALU operation (address arithmetic, loop
+    /// counters); occupies an FP-class issue slot but is not a FLOP.
+    #[inline]
+    pub fn int_op(&mut self) -> u64 {
+        if !self.traced {
+            return 0;
+        }
+        let start = self.issue(Class::Fp, self.tt.clock);
+        self.complete(start, self.cfg.alu_latency)
+    }
+
+    /// Integer op whose result feeds an address: returns a readiness token.
+    #[inline]
+    pub fn int_dep(&mut self, dep: u64) -> u64 {
+        if !self.traced {
+            return 0;
+        }
+        let start = self.issue(Class::Fp, dep);
+        self.complete(start, self.cfg.alu_latency)
+    }
+
+    /// Readiness cycle of a value (for explicit address dependencies).
+    #[inline]
+    pub fn ready_of(&self, a: Rv) -> u64 {
+        a.ready
+    }
+
+    /// Integer op consuming `a` (e.g. the SHL.W scaling an index to a byte
+    /// address); returns the completion cycle.
+    #[inline]
+    pub fn int_dep_of(&mut self, a: Rv) -> u64 {
+        self.int_dep(a.ready)
+    }
+
+    /// A dependent integer op that produces a value (chained shifts in the
+    /// pipeline-latency calibration).
+    #[inline]
+    pub fn int_chain(&mut self, a: Rv) -> Rv {
+        if !self.traced {
+            return a;
+        }
+        let start = self.issue(Class::Fp, a.ready);
+        let ready = self.complete(start, self.cfg.alu_latency);
+        Rv { v: a.v, ready }
+    }
+
+    // ---- comparisons / control (charge one ALU op, return host bool) ----
+
+    #[inline]
+    pub fn is_zero(&mut self, a: Rv) -> bool {
+        if self.traced {
+            let start = self.issue(Class::Fp, a.ready);
+            self.complete(start, self.cfg.alu_latency);
+        }
+        a.v == 0.0
+    }
+
+    #[inline]
+    pub fn gt(&mut self, a: Rv, b: Rv) -> bool {
+        if self.traced {
+            let ready = a.ready.max(b.ready);
+            let start = self.issue(Class::Fp, ready);
+            self.complete(start, self.cfg.alu_latency);
+        }
+        a.v > b.v
+    }
+
+    // ---- special functions ----
+
+    /// Reciprocal. Fast mode uses the SFU (22-bit accurate); precise mode
+    /// the correctly-rounded software sequence.
+    pub fn recip(&mut self, a: Rv) -> Rv {
+        match self.math {
+            MathMode::Fast => {
+                let v = trunc22(1.0 / a.v);
+                if !self.traced {
+                    return Rv { v, ready: 0 };
+                }
+                let start = self.issue(Class::Sfu, a.ready);
+                let ready = self.complete(start, self.cfg.fast_recip_latency);
+                self.tt.flops += 1;
+                Rv { v, ready }
+            }
+            MathMode::Precise => {
+                let v = 1.0 / a.v;
+                if !self.traced {
+                    return Rv { v, ready: 0 };
+                }
+                let mut start = self.issue(Class::Sfu, a.ready);
+                for _ in 0..self.cfg.precise_extra_issue {
+                    start = self.issue(Class::Fp, start);
+                }
+                let ready = self.complete(start, self.cfg.precise_div_latency);
+                self.tt.flops += 1;
+                Rv { v, ready }
+            }
+        }
+    }
+
+    /// Division `a/b`: a reciprocal plus a multiply in fast mode, the full
+    /// software sequence in precise mode.
+    pub fn div(&mut self, a: Rv, b: Rv) -> Rv {
+        match self.math {
+            MathMode::Fast => {
+                let r = self.recip(b);
+                let out = self.mul(a, r);
+                Rv {
+                    v: trunc22(a.v / b.v),
+                    ready: out.ready,
+                }
+            }
+            MathMode::Precise => {
+                let v = a.v / b.v;
+                if !self.traced {
+                    return Rv { v, ready: 0 };
+                }
+                let mut start = self.issue(Class::Sfu, a.ready.max(b.ready));
+                for _ in 0..self.cfg.precise_extra_issue {
+                    start = self.issue(Class::Fp, start);
+                }
+                let ready = self.complete(start, self.cfg.precise_div_latency);
+                self.tt.flops += 1;
+                Rv { v, ready }
+            }
+        }
+    }
+
+    /// Square root.
+    pub fn sqrt(&mut self, a: Rv) -> Rv {
+        match self.math {
+            MathMode::Fast => {
+                let v = trunc22(a.v.sqrt());
+                if !self.traced {
+                    return Rv { v, ready: 0 };
+                }
+                let start = self.issue(Class::Sfu, a.ready);
+                let ready = self.complete(start, self.cfg.fast_sqrt_latency);
+                self.tt.flops += 1;
+                Rv { v, ready }
+            }
+            MathMode::Precise => {
+                let v = a.v.sqrt();
+                if !self.traced {
+                    return Rv { v, ready: 0 };
+                }
+                let mut start = self.issue(Class::Sfu, a.ready);
+                for _ in 0..self.cfg.precise_extra_issue {
+                    start = self.issue(Class::Fp, start);
+                }
+                let ready = self.complete(start, self.cfg.precise_sqrt_latency);
+                self.tt.flops += 1;
+                Rv { v, ready }
+            }
+        }
+    }
+
+    /// Reciprocal square root (single SFU op in fast mode).
+    pub fn rsqrt(&mut self, a: Rv) -> Rv {
+        match self.math {
+            MathMode::Fast => {
+                let v = trunc22(1.0 / a.v.sqrt());
+                if !self.traced {
+                    return Rv { v, ready: 0 };
+                }
+                let start = self.issue(Class::Sfu, a.ready);
+                let ready = self.complete(start, self.cfg.fast_sqrt_latency);
+                self.tt.flops += 1;
+                Rv { v, ready }
+            }
+            MathMode::Precise => {
+                let s = self.sqrt(a);
+                self.recip(s)
+            }
+        }
+    }
+
+    // ---- shared memory ----
+
+    #[inline]
+    fn record_shared(&mut self, word: usize) {
+        let warp = (self.tid / self.cfg.warp_size) as u32;
+        let seq = self.tt.sseq;
+        self.tt.sseq += 1;
+        self.phase.shared_rec.push(AccessRec {
+            warp,
+            seq,
+            addr: word as u64,
+            store: false,
+        });
+    }
+
+    /// Load a word from block shared memory.
+    pub fn shared_load(&mut self, word: usize) -> Rv {
+        let v = self.shared[word];
+        if !self.traced {
+            return Rv { v, ready: 0 };
+        }
+        self.record_shared(word);
+        let dep = self.shared_ready[word];
+        let start = self.issue(Class::LdSt, dep);
+        let ready = self.complete(start, self.cfg.shared_latency);
+        Rv { v, ready }
+    }
+
+    /// Load whose address depends on a previous result (pointer chasing).
+    pub fn shared_load_dep(&mut self, word: usize, addr_ready: u64) -> Rv {
+        let v = self.shared[word];
+        if !self.traced {
+            return Rv { v, ready: 0 };
+        }
+        self.record_shared(word);
+        let dep = addr_ready.max(self.shared_ready[word]);
+        let start = self.issue(Class::LdSt, dep);
+        let ready = self.complete(start, self.cfg.shared_latency);
+        Rv { v, ready }
+    }
+
+    /// Store a word to block shared memory.
+    pub fn shared_store(&mut self, word: usize, x: Rv) {
+        self.shared[word] = x.v;
+        if !self.traced {
+            return;
+        }
+        self.record_shared(word);
+        let start = self.issue(Class::LdSt, x.ready);
+        let done = self.complete(start, self.cfg.shared_latency);
+        self.shared_ready[word] = self.shared_ready[word].max(done);
+    }
+
+    // ---- global memory ----
+
+    #[inline]
+    fn record_global(&mut self, byte_addr: u64, store: bool) {
+        let warp = (self.tid / self.cfg.warp_size) as u32;
+        let seq = self.tt.gseq;
+        self.tt.gseq += 1;
+        self.phase.global_rec.push(AccessRec {
+            warp,
+            seq,
+            addr: byte_addr,
+            store,
+        });
+    }
+
+    /// Load a word from global memory (bandwidth-accounted path).
+    pub fn gload(&mut self, p: DPtr, idx: usize) -> Rv {
+        let v = self.gmem.read(p, idx);
+        if !self.traced {
+            return Rv { v, ready: 0 };
+        }
+        self.record_global(p.offset(idx).byte_addr(), false);
+        let start = self.issue(Class::LdSt, self.tt.clock);
+        let ready = self.complete(start, self.cfg.dram_row_miss_latency);
+        Rv { v, ready }
+    }
+
+    /// Dependent global load routed through the latency hierarchy
+    /// (pointer-chasing microbenchmarks).
+    pub fn gload_dep(&mut self, p: DPtr, idx: usize, addr_ready: u64) -> Rv {
+        let v = self.gmem.read(p, idx);
+        if !self.traced {
+            return Rv { v, ready: 0 };
+        }
+        self.record_global(p.offset(idx).byte_addr(), false);
+        let start = self.issue(Class::LdSt, addr_ready);
+        let lat = self.memhier.load_latency(p.offset(idx).byte_addr());
+        let ready = self.complete(start, lat);
+        Rv { v, ready }
+    }
+
+    /// Store a word to global memory.
+    pub fn gstore(&mut self, p: DPtr, idx: usize, x: Rv) {
+        self.gmem.write(p, idx, x.v);
+        if !self.traced {
+            return;
+        }
+        self.record_global(p.offset(idx).byte_addr(), true);
+        let start = self.issue(Class::LdSt, x.ready);
+        self.complete(start, 1);
+    }
+
+    // ---- register-array spill accounting ----
+
+    /// Called on each register-array access; returns the ready cycle of a
+    /// spilled (local-memory) access, or `None` when the access stays in
+    /// the register file.
+    #[inline]
+    pub(crate) fn reg_access(&mut self, words: u64, _store: bool) -> Option<u64> {
+        if self.spill.every == 0 {
+            return None;
+        }
+        self.tt.regctr += words;
+        // Deterministic sampling: every `every`-th word is spilled.
+        let prev = self.tt.regctr - words;
+        let hits = self.tt.regctr / self.spill.every - prev / self.spill.every;
+        if hits == 0 {
+            return None;
+        }
+        if !self.traced {
+            return None;
+        }
+        self.phase.spill_words += hits;
+        let mut ready = 0;
+        for _ in 0..hits {
+            let start = self.issue(Class::LdSt, self.tt.clock);
+            ready = self.complete(start, self.spill.latency);
+        }
+        Some(ready)
+    }
+
+    // ---- complex arithmetic (built from counted real ops) ----
+
+    pub fn cadd(&mut self, a: CRv, b: CRv) -> CRv {
+        CRv {
+            re: self.add(a.re, b.re),
+            im: self.add(a.im, b.im),
+        }
+    }
+
+    pub fn csub(&mut self, a: CRv, b: CRv) -> CRv {
+        CRv {
+            re: self.sub(a.re, b.re),
+            im: self.sub(a.im, b.im),
+        }
+    }
+
+    /// Complex multiply: 2 MUL + 2 FMA (6 FLOPs).
+    pub fn cmul(&mut self, a: CRv, b: CRv) -> CRv {
+        let t1 = self.mul(a.re, b.re);
+        let re = self.fnma(a.im, b.im, t1);
+        let t2 = self.mul(a.re, b.im);
+        let im = self.fma(a.im, b.re, t2);
+        CRv { re, im }
+    }
+
+    /// Complex fused multiply-add `acc + a*b`: 4 FMA (8 FLOPs).
+    pub fn cfma(&mut self, a: CRv, b: CRv, acc: CRv) -> CRv {
+        let t1 = self.fma(a.re, b.re, acc.re);
+        let re = self.fnma(a.im, b.im, t1);
+        let t2 = self.fma(a.re, b.im, acc.im);
+        let im = self.fma(a.im, b.re, t2);
+        CRv { re, im }
+    }
+
+    /// `acc - a*b`: 4 FMA-class ops.
+    pub fn cfnma(&mut self, a: CRv, b: CRv, acc: CRv) -> CRv {
+        let t1 = self.fnma(a.re, b.re, acc.re);
+        let re = self.fma(a.im, b.im, t1);
+        let t2 = self.fnma(a.re, b.im, acc.im);
+        let im = self.fnma(a.im, b.re, t2);
+        CRv { re, im }
+    }
+
+    /// Complex value scaled by a real.
+    pub fn cscale(&mut self, a: CRv, s: Rv) -> CRv {
+        CRv {
+            re: self.mul(a.re, s),
+            im: self.mul(a.im, s),
+        }
+    }
+
+    /// Conjugation is a sign flip: free.
+    pub fn conj(&mut self, a: CRv) -> CRv {
+        CRv {
+            re: a.re,
+            im: self.neg(a.im),
+        }
+    }
+
+    /// Squared magnitude `re^2 + im^2` (MUL + FMA).
+    pub fn cnorm_sq(&mut self, a: CRv) -> Rv {
+        let t = self.mul(a.re, a.re);
+        self.fma(a.im, a.im, t)
+    }
+
+    /// Complex reciprocal via `conj(z) / |z|^2`.
+    pub fn crecip(&mut self, a: CRv) -> CRv {
+        let n = self.cnorm_sq(a);
+        let r = self.recip(n);
+        let c = self.conj(a);
+        self.cscale(c, r)
+    }
+
+    /// Load a complex (two consecutive words) from shared memory.
+    pub fn cshared_load(&mut self, word: usize) -> CRv {
+        CRv {
+            re: self.shared_load(word),
+            im: self.shared_load(word + 1),
+        }
+    }
+
+    /// Store a complex to shared memory.
+    pub fn cshared_store(&mut self, word: usize, x: CRv) {
+        self.shared_store(word, x.re);
+        self.shared_store(word + 1, x.im);
+    }
+
+    /// Load a complex (two consecutive words) from global memory.
+    pub fn cgload(&mut self, p: DPtr, idx: usize) -> CRv {
+        CRv {
+            re: self.gload(p, 2 * idx),
+            im: self.gload(p, 2 * idx + 1),
+        }
+    }
+
+    /// Store a complex to global memory.
+    pub fn cgstore(&mut self, p: DPtr, idx: usize, x: CRv) {
+        self.gstore(p, 2 * idx, x.re);
+        self.gstore(p, 2 * idx + 1, x.im);
+    }
+}
+
+/// Trait for values storable in a register array.
+pub trait RegVal: Copy + Default {
+    const REG_WORDS: u64;
+    fn with_ready(self, ready: u64) -> Self;
+}
+
+impl RegVal for Rv {
+    const REG_WORDS: u64 = 1;
+    fn with_ready(self, ready: u64) -> Self {
+        Rv {
+            v: self.v,
+            ready: self.ready.max(ready),
+        }
+    }
+}
+
+impl RegVal for CRv {
+    const REG_WORDS: u64 = 2;
+    fn with_ready(self, ready: u64) -> Self {
+        CRv {
+            re: self.re.with_ready(ready),
+            im: self.im.with_ready(ready),
+        }
+    }
+}
+
+/// A per-thread register array. When the launch declares more registers
+/// than the architecture provides, a deterministic fraction of accesses is
+/// charged as local-memory (spill) traffic — this is what produces the
+/// performance cliffs at n >= 8 in Figure 4 and at n = 64 / n > 112 in
+/// Figure 9.
+#[derive(Clone, Debug)]
+pub struct RegArray<T: RegVal> {
+    v: Vec<T>,
+}
+
+impl<T: RegVal> RegArray<T> {
+    pub fn zeroed(len: usize) -> Self {
+        RegArray {
+            v: vec![T::default(); len],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.v.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.v.is_empty()
+    }
+
+    #[inline]
+    pub fn get(&self, t: &mut ThreadCtx, i: usize) -> T {
+        match t.reg_access(T::REG_WORDS, false) {
+            Some(ready) => self.v[i].with_ready(ready),
+            None => self.v[i],
+        }
+    }
+
+    #[inline]
+    pub fn set(&mut self, t: &mut ThreadCtx, i: usize, x: T) {
+        t.reg_access(T::REG_WORDS, true);
+        self.v[i] = x;
+    }
+}

@@ -1,0 +1,167 @@
+//! Simulated device global memory (DRAM).
+//!
+//! Global memory is a flat, word-addressed (32-bit) array with a bump
+//! allocator. Functional accesses simply read/write the backing vector;
+//! timing is accounted separately by the launch machinery, which asks each
+//! traced block for the set of distinct 128-byte lines it touched per phase
+//! (in-flight request coalescing plus the 768 kB L2 make intra-block line
+//! reuse effectively free on GF100, which is how the paper's 2D-cyclic
+//! gather sustains >90 GB/s despite non-contiguous accesses).
+
+/// An opaque device pointer: a word offset into [`GlobalMemory`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DPtr(pub(crate) usize);
+
+impl DPtr {
+    /// A pointer to an absolute word offset (mostly for tests; real code
+    /// gets pointers from [`GlobalMemory::alloc`]).
+    pub fn new(word: usize) -> DPtr {
+        DPtr(word)
+    }
+
+    /// Pointer arithmetic in 32-bit words, like `d_A + offset` in CUDA.
+    pub fn offset(self, words: usize) -> DPtr {
+        DPtr(self.0 + words)
+    }
+
+    /// Byte address of the first word (for coalescing analysis).
+    pub fn byte_addr(self) -> u64 {
+        (self.0 as u64) * 4
+    }
+
+    /// Word index inside the flat device memory.
+    pub fn word(self) -> usize {
+        self.0
+    }
+}
+
+/// Flat simulated DRAM with a bump allocator.
+pub struct GlobalMemory {
+    data: Vec<f32>,
+    next: usize,
+}
+
+impl GlobalMemory {
+    /// Create a device memory of `words` 32-bit words (zero initialised).
+    pub fn new(words: usize) -> Self {
+        GlobalMemory {
+            data: vec![0.0; words],
+            next: 0,
+        }
+    }
+
+    /// Create a device with the given capacity in bytes.
+    pub fn with_bytes(bytes: usize) -> Self {
+        Self::new(bytes / 4)
+    }
+
+    /// Allocate `words` words; panics when the device is out of memory
+    /// (allocation failures are programming errors in this simulator).
+    pub fn alloc(&mut self, words: usize) -> DPtr {
+        assert!(
+            self.next + words <= self.data.len(),
+            "device out of memory: requested {words} words, {} free",
+            self.data.len() - self.next
+        );
+        let p = DPtr(self.next);
+        self.next += words;
+        p
+    }
+
+    /// Release everything allocated so far (contents are kept).
+    pub fn reset_allocator(&mut self) {
+        self.next = 0;
+    }
+
+    /// Words currently allocated.
+    pub fn allocated_words(&self) -> usize {
+        self.next
+    }
+
+    /// Total capacity in words.
+    pub fn capacity_words(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Functional word read.
+    #[inline]
+    pub fn read(&self, p: DPtr, idx: usize) -> f32 {
+        self.data[p.0 + idx]
+    }
+
+    /// Functional word write.
+    #[inline]
+    pub fn write(&mut self, p: DPtr, idx: usize, v: f32) {
+        self.data[p.0 + idx] = v;
+    }
+
+    /// Host-to-device copy (functional; PCIe timing is modelled in `host`).
+    pub fn h2d(&mut self, p: DPtr, src: &[f32]) {
+        self.data[p.0..p.0 + src.len()].copy_from_slice(src);
+    }
+
+    /// Device-to-host copy.
+    pub fn d2h(&self, p: DPtr, dst: &mut [f32]) {
+        dst.copy_from_slice(&self.data[p.0..p.0 + dst.len()]);
+    }
+
+    /// Borrow a device range as a slice (testing convenience).
+    pub fn slice(&self, p: DPtr, len: usize) -> &[f32] {
+        &self.data[p.0..p.0 + len]
+    }
+
+    /// Borrow a device range mutably (testing convenience).
+    pub fn slice_mut(&mut self, p: DPtr, len: usize) -> &mut [f32] {
+        &mut self.data[p.0..p.0 + len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_bump_and_word_addressed() {
+        let mut m = GlobalMemory::with_bytes(4096);
+        let a = m.alloc(16);
+        let b = m.alloc(8);
+        assert_eq!(a.word(), 0);
+        assert_eq!(b.word(), 16);
+        assert_eq!(b.byte_addr(), 64);
+        assert_eq!(m.allocated_words(), 24);
+    }
+
+    #[test]
+    fn h2d_d2h_round_trip() {
+        let mut m = GlobalMemory::new(64);
+        let p = m.alloc(4);
+        m.h2d(p, &[1.0, 2.0, 3.0, 4.0]);
+        let mut out = [0.0f32; 4];
+        m.d2h(p, &mut out);
+        assert_eq!(out, [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn pointer_offset_reads_through() {
+        let mut m = GlobalMemory::new(64);
+        let p = m.alloc(8);
+        m.write(p, 5, 9.5);
+        assert_eq!(m.read(p.offset(5), 0), 9.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "device out of memory")]
+    fn alloc_past_capacity_panics() {
+        let mut m = GlobalMemory::new(8);
+        m.alloc(9);
+    }
+
+    #[test]
+    fn reset_allocator_reuses_space() {
+        let mut m = GlobalMemory::new(8);
+        m.alloc(8);
+        m.reset_allocator();
+        let p = m.alloc(8);
+        assert_eq!(p.word(), 0);
+    }
+}

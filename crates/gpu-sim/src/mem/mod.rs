@@ -1,0 +1,8 @@
+//! Memory subsystem: global DRAM, latency hierarchy, and access analysis.
+
+pub mod global;
+pub mod shared;
+pub mod timing;
+
+pub use global::{DPtr, GlobalMemory};
+pub use timing::MemHier;

@@ -1,0 +1,222 @@
+//! Latency model for *dependent* global-memory accesses.
+//!
+//! This is the path exercised by pointer-chasing microbenchmarks (Figure 1
+//! and Table III of the paper): a single in-flight access whose latency is
+//! fully exposed. The model consults, in order, a set-associative L2, a
+//! small TLB, and per-"row" DRAM row-buffer state. Bandwidth-bound kernel
+//! traffic does not use this model; it is accounted with the stream
+//! bandwidth model in `timing.rs`.
+
+use crate::config::GpuConfig;
+
+/// Set-associative LRU cache model (used for the L2).
+pub struct CacheModel {
+    sets: Vec<Vec<u64>>, // per set: line tags, most recent last
+    ways: usize,
+    line_bytes: u64,
+    num_sets: u64,
+}
+
+impl CacheModel {
+    pub fn new(capacity_bytes: usize, ways: usize, line_bytes: usize) -> Self {
+        let ways = ways.max(1);
+        let lines = (capacity_bytes / line_bytes).max(1);
+        let num_sets = (lines / ways).max(1);
+        CacheModel {
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+            line_bytes: line_bytes as u64,
+            num_sets: num_sets as u64,
+        }
+    }
+
+    /// Access a byte address; returns true on hit. Misses fill the line.
+    pub fn access(&mut self, byte_addr: u64) -> bool {
+        let line = byte_addr / self.line_bytes;
+        let set = (line % self.num_sets) as usize;
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == line) {
+            let tag = ways.remove(pos);
+            ways.push(tag);
+            true
+        } else {
+            if ways.len() == self.ways {
+                ways.remove(0);
+            }
+            ways.push(line);
+            false
+        }
+    }
+
+    pub fn flush(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+}
+
+/// Fully-associative LRU TLB model.
+pub struct TlbModel {
+    entries: Vec<u64>,
+    capacity: usize,
+    page_bytes: u64,
+}
+
+impl TlbModel {
+    pub fn new(entries: usize, page_bytes: usize) -> Self {
+        TlbModel {
+            entries: Vec::with_capacity(entries),
+            capacity: entries.max(1),
+            page_bytes: page_bytes as u64,
+        }
+    }
+
+    pub fn access(&mut self, byte_addr: u64) -> bool {
+        let page = byte_addr / self.page_bytes;
+        if let Some(pos) = self.entries.iter().position(|&p| p == page) {
+            let p = self.entries.remove(pos);
+            self.entries.push(p);
+            true
+        } else {
+            if self.entries.len() == self.capacity {
+                self.entries.remove(0);
+            }
+            self.entries.push(page);
+            false
+        }
+    }
+}
+
+/// DRAM row-buffer model: one open row per bank group, approximated by a
+/// single locality window over the physical address space.
+pub struct RowBufferModel {
+    open_row: Option<u64>,
+    row_bytes: u64,
+}
+
+impl RowBufferModel {
+    pub fn new(row_bytes: usize) -> Self {
+        RowBufferModel {
+            open_row: None,
+            row_bytes: row_bytes as u64,
+        }
+    }
+
+    /// Returns true when the access hits the open row.
+    pub fn access(&mut self, byte_addr: u64) -> bool {
+        let row = byte_addr / self.row_bytes;
+        let hit = self.open_row == Some(row);
+        self.open_row = Some(row);
+        hit
+    }
+}
+
+/// The composed latency hierarchy for dependent loads.
+pub struct MemHier {
+    pub l2: CacheModel,
+    pub tlb: TlbModel,
+    pub row: RowBufferModel,
+    l2_hit: u64,
+    row_hit: u64,
+    row_miss: u64,
+    tlb_penalty: u64,
+}
+
+impl MemHier {
+    pub fn new(cfg: &GpuConfig) -> Self {
+        MemHier {
+            l2: CacheModel::new(cfg.l2_bytes, cfg.l2_ways, cfg.dram_line_bytes),
+            tlb: TlbModel::new(cfg.tlb_entries, cfg.tlb_page_bytes),
+            row: RowBufferModel::new(cfg.dram_row_bytes),
+            l2_hit: cfg.l2_hit_latency,
+            row_hit: cfg.dram_row_hit_latency,
+            row_miss: cfg.dram_row_miss_latency,
+            tlb_penalty: cfg.tlb_miss_penalty,
+        }
+    }
+
+    /// Latency in hot-clock cycles of one dependent load at `byte_addr`.
+    pub fn load_latency(&mut self, byte_addr: u64) -> u64 {
+        let tlb_hit = self.tlb.access(byte_addr);
+        let tlb_extra = if tlb_hit { 0 } else { self.tlb_penalty };
+        if self.l2.access(byte_addr) {
+            self.l2_hit + tlb_extra
+        } else if self.row.access(byte_addr) {
+            self.row_hit + tlb_extra
+        } else {
+            self.row_miss + tlb_extra
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_hits_after_fill() {
+        let mut c = CacheModel::new(1024, 2, 64);
+        assert!(!c.access(0));
+        assert!(c.access(4)); // same 64B line
+        assert!(!c.access(64));
+    }
+
+    #[test]
+    fn cache_lru_eviction_within_set() {
+        // 2 ways, 2 sets of 64B lines => lines 0,2,4 map to set 0.
+        let mut c = CacheModel::new(256, 2, 64);
+        assert!(!c.access(0));
+        assert!(!c.access(128));
+        assert!(!c.access(256)); // evicts line 0
+        assert!(!c.access(0)); // line 0 gone
+        assert!(c.access(256)); // line 256 survived as MRU
+    }
+
+    #[test]
+    fn tlb_tracks_pages_lru() {
+        let mut t = TlbModel::new(2, 4096);
+        assert!(!t.access(0));
+        assert!(!t.access(4096));
+        assert!(t.access(100)); // page 0 still resident
+        assert!(!t.access(8192)); // evicts page 1 (LRU)
+        assert!(!t.access(4096));
+    }
+
+    #[test]
+    fn row_buffer_hits_within_row() {
+        let mut r = RowBufferModel::new(4096);
+        assert!(!r.access(0));
+        assert!(r.access(4095));
+        assert!(!r.access(4096));
+        assert!(!r.access(0)); // row was closed
+    }
+
+    #[test]
+    fn hierarchy_latency_ordering() {
+        let cfg = GpuConfig::quadro_6000();
+        let mut h = MemHier::new(&cfg);
+        let miss = h.load_latency(0);
+        let l2hit = h.load_latency(4);
+        assert!(miss > l2hit, "cold miss {miss} should exceed L2 hit {l2hit}");
+        assert_eq!(l2hit, cfg.l2_hit_latency);
+    }
+
+    #[test]
+    fn large_stride_walk_approaches_alpha_glb() {
+        // Walking far beyond row and TLB reach must expose the full
+        // row-miss + TLB-miss latency (Table III's 570-cycle class).
+        let cfg = GpuConfig::quadro_6000();
+        let mut h = MemHier::new(&cfg);
+        let stride: u64 = 8 * 1024 * 1024; // 8 MB in bytes
+        let mut total = 0u64;
+        let n = 64;
+        for i in 0..n {
+            total += h.load_latency((i * stride) % (1 << 30));
+        }
+        let avg = total / n;
+        assert!(
+            avg >= cfg.dram_row_miss_latency,
+            "avg {avg} below row-miss latency"
+        );
+    }
+}

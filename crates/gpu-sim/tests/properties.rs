@@ -1,0 +1,110 @@
+//! Property-based tests of the simulator's analysis components.
+
+use proptest::prelude::*;
+use regla_gpu_sim::mem::shared::{bank_conflict_replays, coalesced_transactions, distinct_lines};
+use regla_gpu_sim::mem::timing::{CacheModel, RowBufferModel, TlbModel};
+use regla_gpu_sim::{occupancy, GpuConfig, MemHier};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn conflict_replays_are_bounded(addrs in prop::collection::vec(0u32..4096, 1..33)) {
+        let r = bank_conflict_replays(32, &addrs);
+        // At worst every lane hits a distinct word of one bank.
+        prop_assert!(r < addrs.len() as u32);
+    }
+
+    #[test]
+    fn conflicts_invariant_under_permutation(
+        mut addrs in prop::collection::vec(0u32..1024, 2..33),
+    ) {
+        let a = bank_conflict_replays(32, &addrs);
+        addrs.reverse();
+        prop_assert_eq!(a, bank_conflict_replays(32, &addrs));
+    }
+
+    #[test]
+    fn transactions_bounded_by_lanes_and_lines(
+        addrs in prop::collection::vec(0u64..1_000_000, 1..33),
+    ) {
+        let t = coalesced_transactions(128, &addrs) as usize;
+        prop_assert!(t >= 1);
+        prop_assert!(t <= addrs.len());
+        // Identical addresses coalesce to one transaction.
+        let dup = vec![addrs[0]; addrs.len()];
+        prop_assert_eq!(coalesced_transactions(128, &dup), 1);
+    }
+
+    #[test]
+    fn distinct_lines_is_a_set(addrs in prop::collection::vec(0u64..100_000, 0..64)) {
+        let lines = distinct_lines(128, addrs.iter().copied());
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(lines, sorted);
+    }
+
+    #[test]
+    fn cache_second_touch_always_hits(addr in 0u64..1_000_000) {
+        let mut c = CacheModel::new(768 * 1024, 16, 128);
+        let _ = c.access(addr);
+        prop_assert!(c.access(addr), "immediate re-access must hit");
+    }
+
+    #[test]
+    fn tlb_and_row_are_deterministic(addrs in prop::collection::vec(0u64..1u64<<24, 1..64)) {
+        let run = |addrs: &[u64]| -> Vec<bool> {
+            let mut t = TlbModel::new(64, 128 * 1024);
+            let mut r = RowBufferModel::new(4096);
+            addrs.iter().map(|&a| t.access(a) && r.access(a)).collect()
+        };
+        prop_assert_eq!(run(&addrs), run(&addrs));
+    }
+
+    #[test]
+    fn memhier_latency_within_architectural_bounds(
+        addrs in prop::collection::vec(0u64..1u64<<28, 1..128),
+    ) {
+        let cfg = GpuConfig::quadro_6000();
+        let mut h = MemHier::new(&cfg);
+        for a in addrs {
+            let l = h.load_latency(a);
+            prop_assert!(l >= cfg.l2_hit_latency);
+            prop_assert!(l <= cfg.dram_row_miss_latency + cfg.tlb_miss_penalty);
+        }
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_any_limit(
+        threads in prop::sample::select(vec![32usize, 64, 96, 128, 192, 256, 384, 512, 768, 1024]),
+        regs in 1usize..200,
+        shared in 0usize..49_153,
+    ) {
+        let cfg = GpuConfig::quadro_6000();
+        let occ = occupancy(&cfg, threads, regs, shared);
+        prop_assert!(occ.blocks_per_sm >= 1);
+        prop_assert!(occ.blocks_per_sm <= cfg.max_blocks_per_sm);
+        let warp_regs = (occ.regs_allocated * 32).div_ceil(64) * 64;
+        let warps = threads.div_ceil(32);
+        // At the reported occupancy (beyond the guaranteed-progress block)
+        // the register file is not oversubscribed.
+        if occ.blocks_per_sm > 1 {
+            prop_assert!(occ.blocks_per_sm * warps * warp_regs <= cfg.regfile_words_per_sm);
+            if shared > 0 {
+                prop_assert!(occ.blocks_per_sm * shared <= cfg.shared_bytes_per_sm);
+            }
+        }
+        prop_assert_eq!(occ.regs_spilled, regs.saturating_sub(64));
+    }
+
+    #[test]
+    fn sync_cost_is_monotone(t1 in 32usize..1024, t2 in 32usize..1024) {
+        let cfg = GpuConfig::quadro_6000();
+        if t1 <= t2 {
+            prop_assert!(cfg.sync_cycles(t1) <= cfg.sync_cycles(t2));
+        } else {
+            prop_assert!(cfg.sync_cycles(t1) >= cfg.sync_cycles(t2));
+        }
+    }
+}

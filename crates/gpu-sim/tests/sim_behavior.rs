@@ -1,0 +1,243 @@
+//! Behavioural tests of the simulator's timing model: the launch-level
+//! invariants the figure harnesses rely on.
+
+use regla_gpu_sim::{
+    BlockCtx, DPtr, ExecMode, GlobalMemory, Gpu, LaunchConfig, MathMode, RegArray, Rv,
+};
+
+fn work_kernel(n_fma: usize, out: DPtr) -> impl Fn(&mut BlockCtx) {
+    move |blk: &mut BlockCtx| {
+        blk.for_each(|t| {
+            let x = t.lit(1.0000001);
+            let mut acc = t.lit(0.5);
+            for _ in 0..n_fma {
+                acc = t.fma(acc, x, x);
+            }
+            t.gstore(out, t.tid, acc);
+        });
+    }
+}
+
+#[test]
+fn representative_and_full_report_identical_timing() {
+    // All blocks execute identical code, so skipping the functional pass
+    // must not change any timing statistic.
+    let gpu = Gpu::quadro_6000();
+    let run = |mode: ExecMode| {
+        let mut mem = GlobalMemory::with_bytes(1 << 16);
+        let out = mem.alloc(64);
+        let lc = LaunchConfig::new(300, 64).regs(12).shared_words(0).exec(mode);
+        gpu.launch(&work_kernel(100, out), &lc, &mut mem)
+    };
+    let full = run(ExecMode::Full);
+    let rep = run(ExecMode::Representative);
+    assert_eq!(full.cycles, rep.cycles);
+    assert_eq!(full.flops, rep.flops);
+    assert_eq!(full.dram_bytes, rep.dram_bytes);
+    assert_eq!(full.waves, rep.waves);
+}
+
+#[test]
+fn wave_tail_costs_a_partial_wave() {
+    let gpu = Gpu::quadro_6000();
+    let time_for = |grid: usize| {
+        let mut mem = GlobalMemory::with_bytes(1 << 16);
+        let out = mem.alloc(64);
+        let lc = LaunchConfig::new(grid, 64)
+            .regs(12)
+            .shared_words(0)
+            .exec(ExecMode::Representative);
+        gpu.launch(&work_kernel(200, out), &lc, &mut mem).cycles
+    };
+    // 8 blocks/SM x 14 SMs = 112 blocks per wave for this config.
+    let one = time_for(112);
+    let one_and_tail = time_for(113);
+    let two = time_for(224);
+    assert!(one < one_and_tail);
+    // The tail wave is compute-bound here, so 113 blocks ~ 2 full waves.
+    assert!((one_and_tail - two).abs() / two < 0.05);
+    assert!((two - 2.0 * one).abs() / two < 0.01);
+}
+
+#[test]
+fn spill_severity_escalates_from_l1_to_dram() {
+    let gpu = Gpu::quadro_6000();
+    let run = |regs: usize, blocks: usize| {
+        let mut mem = GlobalMemory::with_bytes(1 << 22);
+        let out = mem.alloc(4096);
+        let k = move |blk: &mut BlockCtx| {
+            blk.for_each(|t| {
+                let mut a = RegArray::<Rv>::zeroed(regs);
+                let one = t.lit(1.0);
+                for r in 0..3 {
+                    for i in 0..regs {
+                        let x = a.get(t, i);
+                        let y = t.add(x, one);
+                        a.set(t, i, y);
+                    }
+                    let _ = r;
+                }
+                let last = a.get(t, regs - 1);
+                t.gstore(out, t.tid, last);
+            });
+        };
+        let lc = LaunchConfig::new(blocks, 64)
+            .regs(regs)
+            .shared_words(0)
+            .exec(ExecMode::Representative);
+        gpu.launch(&k, &lc, &mut mem)
+    };
+    let resident = run(60, 112);
+    let mild = run(72, 112); // small spill, prefer-L1 absorbs it
+    let heavy = run(200, 112); // overflows the L1 into DRAM
+    // The resident variant only stores one word per thread.
+    assert_eq!(resident.dram_bytes, resident.grid_blocks as f64 * 64.0 * 4.0);
+    assert!(mild.cycles > resident.cycles);
+    assert!(heavy.cycles > 2.0 * mild.cycles);
+    assert!(
+        heavy.dram_bytes > mild.dram_bytes,
+        "DRAM spill traffic must appear once the L1 overflows"
+    );
+    assert!(heavy.spill_to_dram);
+}
+
+#[test]
+fn fast_math_truncates_but_speeds_up() {
+    let gpu = Gpu::quadro_6000();
+    let run = |math: MathMode| {
+        let mut mem = GlobalMemory::with_bytes(1 << 16);
+        let out = mem.alloc(64);
+        let k = move |blk: &mut BlockCtx| {
+            blk.for_each(|t| {
+                let mut acc = t.lit(3.7);
+                for _ in 0..50 {
+                    let r = t.recip(acc);
+                    let s = t.sqrt(r);
+                    let one = t.lit(1.0);
+                    acc = t.add(s, one);
+                }
+                t.gstore(out, t.tid, acc);
+            });
+        };
+        let lc = LaunchConfig::new(1, 32).regs(8).shared_words(0).math(math);
+        let stats = gpu.launch(&k, &lc, &mut mem);
+        (stats.cycles, mem.read(out, 0))
+    };
+    let (fast_c, fast_v) = run(MathMode::Fast);
+    let (prec_c, prec_v) = run(MathMode::Precise);
+    assert!(prec_c > 2.0 * fast_c, "precise {prec_c} vs fast {fast_c}");
+    assert!((fast_v - prec_v).abs() < 1e-3, "22-bit drift stays small");
+    assert!(fast_v != prec_v, "fast math must actually differ in low bits");
+}
+
+#[test]
+fn divergent_warps_cost_the_worst_lane() {
+    // Only lane 0 of each warp works: the warp still pays for it.
+    let gpu = Gpu::quadro_6000();
+    let run = |active_lanes: usize| {
+        let mut mem = GlobalMemory::with_bytes(1 << 16);
+        let out = mem.alloc(64);
+        let k = move |blk: &mut BlockCtx| {
+            blk.for_each(|t| {
+                if t.tid % 32 < active_lanes {
+                    let x = t.lit(2.0);
+                    let mut acc = t.lit(0.0);
+                    for _ in 0..100 {
+                        acc = t.fma(acc, x, x);
+                    }
+                    t.gstore(out, t.tid, acc);
+                }
+            });
+        };
+        let lc = LaunchConfig::new(1, 64).regs(8).shared_words(0);
+        gpu.launch(&k, &lc, &mut mem).cycles
+    };
+    let one_lane = run(1);
+    let all_lanes = run(32);
+    // SIMT: the warp's cost is the active path, not the lane count.
+    assert!((one_lane - all_lanes).abs() / all_lanes < 0.05);
+}
+
+#[test]
+fn dram_bound_phases_scale_with_grid_not_compute() {
+    let gpu = Gpu::quadro_6000();
+    let run = |grid: usize| {
+        let mut mem = GlobalMemory::with_bytes(1 << 26);
+        let n = grid * 64 * 32;
+        let src = mem.alloc(n);
+        let dst = mem.alloc(n);
+        let k = move |blk: &mut BlockCtx| {
+            let base = blk.block_id * 64 * 32;
+            blk.for_each(|t| {
+                for i in 0..32 {
+                    let v = t.gload(src, base + i * 64 + t.tid);
+                    t.gstore(dst, base + i * 64 + t.tid, v);
+                }
+            });
+        };
+        let lc = LaunchConfig::new(grid, 64)
+            .regs(12)
+            .shared_words(0)
+            .exec(ExecMode::Representative);
+        gpu.launch(&k, &lc, &mut mem)
+    };
+    let small = run(112);
+    let big = run(448);
+    // 4x the data at the same bandwidth: ~4x the time.
+    let ratio = big.cycles / small.cycles;
+    assert!(
+        (3.6..4.4).contains(&ratio),
+        "DRAM-bound scaling ratio {ratio}"
+    );
+    assert!((big.dram_gbs() - 108.0).abs() < 8.0);
+}
+
+#[test]
+fn g80_preset_is_slower_per_clock() {
+    // Sanity of the second configuration: same kernel, older chip.
+    let run = |gpu: &Gpu| {
+        let mut mem = GlobalMemory::with_bytes(1 << 16);
+        let out = mem.alloc(64);
+        let lc = LaunchConfig::new(14, 64).regs(12).shared_words(0);
+        gpu.launch(&work_kernel(200, out), &lc, &mut mem).time_s
+    };
+    let fermi = run(&Gpu::quadro_6000());
+    let g80 = run(&Gpu::new(regla_gpu_sim::GpuConfig::g80()));
+    assert!(g80 > fermi, "G80 {g80} should be slower than Fermi {fermi}");
+}
+
+#[test]
+fn summary_reports_the_essentials() {
+    let gpu = Gpu::quadro_6000();
+    let mut mem = GlobalMemory::with_bytes(1 << 16);
+    let out = mem.alloc(64);
+    let lc = LaunchConfig::new(14, 64).regs(12).shared_words(0);
+    let stats = gpu.launch(&work_kernel(50, out), &lc, &mut mem);
+    let s = stats.summary();
+    assert!(s.contains("14 blocks x 64 threads"));
+    assert!(s.contains("blocks/SM"));
+    assert!(s.contains("GFLOPS"));
+    assert!(s.contains("wave breakdown"));
+}
+
+#[test]
+fn three_generations_order_correctly() {
+    // G80 -> GT200 -> GF100 on a fixed batch big enough to need several
+    // waves: each generation finishes sooner (more SMs, then the Fermi
+    // dual-issue pipeline).
+    let run = |cfg: regla_gpu_sim::GpuConfig| {
+        let gpu = Gpu::new(cfg);
+        let mut mem = GlobalMemory::with_bytes(1 << 20);
+        let out = mem.alloc(64 * 1024);
+        let lc = LaunchConfig::new(960, 64)
+            .regs(12)
+            .shared_words(0)
+            .exec(ExecMode::Representative);
+        gpu.launch(&work_kernel(400, out), &lc, &mut mem).time_s
+    };
+    let g80 = run(regla_gpu_sim::GpuConfig::g80());
+    let gt200 = run(regla_gpu_sim::GpuConfig::gt200());
+    let gf100 = run(regla_gpu_sim::GpuConfig::quadro_6000());
+    assert!(g80 > gt200, "G80 {g80} vs GT200 {gt200}");
+    assert!(gt200 > gf100, "GT200 {gt200} vs GF100 {gf100}");
+}

@@ -1,0 +1,100 @@
+//! Global-memory latency as a function of stride (Figure 1, Table III).
+//!
+//! A single thread walks a large array with dependent loads at strides
+//! from 1 word to 64M words. Small strides reuse L2 lines, mid strides hit
+//! open DRAM rows, and large strides pay the full row-miss (and beyond TLB
+//! reach, page-walk) latency — the 570-cycle α_glb of Table III.
+
+use regla_gpu_sim::{BlockCtx, GlobalMemory, Gpu, LaunchConfig};
+
+/// One point of the Figure 1 curve.
+#[derive(Clone, Copy, Debug)]
+pub struct StridePoint {
+    pub log2_stride: u32,
+    pub stride_words: usize,
+    pub cycles: f64,
+}
+
+/// Average dependent-load latency when walking `array_words` at `stride`.
+pub fn measure_latency_at_stride(gpu: &Gpu, array_words: usize, stride: usize) -> f64 {
+    let nchase = 512usize.min(array_words);
+    let mut mem = GlobalMemory::new(array_words.max(nchase) + 64);
+    let buf = mem.alloc(array_words.max(nchase));
+    // Build the pointer chain on the host: chain[i] at (i*stride) % N.
+    for i in 0..nchase {
+        let at = (i * stride) % array_words;
+        let next = (((i + 1) % nchase) * stride) % array_words;
+        mem.write(buf, at, next as f32);
+    }
+    let kernel = move |blk: &mut BlockCtx| {
+        blk.phase_label("chase");
+        blk.for_each(|t| {
+            if t.tid != 0 {
+                return;
+            }
+            let mut acc = t.gload_dep(buf, 0, 0);
+            for _ in 1..nchase {
+                let addr = acc.val() as usize;
+                let dep = t.int_dep_of(acc);
+                acc = t.gload_dep(buf, addr, dep);
+            }
+            t.gstore(buf, 0, acc);
+        });
+    };
+    let lc = LaunchConfig::new(1, 32).regs(8).shared_words(0);
+    let stats = gpu.launch(&kernel, &lc, &mut mem);
+    // Subtract the address arithmetic, as the paper does implicitly (the
+    // global latency dwarfs it; we keep it for fidelity).
+    stats.cycles_for("chase") / nchase as f64
+}
+
+/// Sweep log2(stride) = 0..=max_log2 over a 256 MB array (Figure 1).
+pub fn measure_global_latency_curve(gpu: &Gpu, max_log2: u32) -> Vec<StridePoint> {
+    let array_words = 64 << 20; // 256 MB
+    (0..=max_log2)
+        .map(|l| {
+            let stride = (1usize << l).min(array_words);
+            StridePoint {
+                log2_stride: l,
+                stride_words: stride,
+                cycles: measure_latency_at_stride(gpu, array_words, stride),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grows_with_stride() {
+        let gpu = Gpu::quadro_6000();
+        let small = measure_latency_at_stride(&gpu, 1 << 20, 1);
+        let mid = measure_latency_at_stride(&gpu, 1 << 20, 64);
+        let large = measure_latency_at_stride(&gpu, 64 << 20, 1 << 16);
+        assert!(small < mid, "{small} !< {mid}");
+        assert!(mid < large, "{mid} !< {large}");
+    }
+
+    #[test]
+    fn large_stride_exposes_alpha_glb() {
+        let gpu = Gpu::quadro_6000();
+        let l = measure_latency_at_stride(&gpu, 64 << 20, 1 << 20);
+        // Table III: 570 cycles (plus the chase's address arithmetic and
+        // TLB misses at this extreme stride).
+        assert!(
+            (l - 570.0).abs() < 120.0,
+            "large-stride latency {l}, expected near 570"
+        );
+        assert!(l > 560.0);
+    }
+
+    #[test]
+    fn unit_stride_benefits_from_l2_lines() {
+        let gpu = Gpu::quadro_6000();
+        let l = measure_latency_at_stride(&gpu, 1 << 20, 1);
+        // 31 of 32 consecutive word accesses hit the freshly filled line.
+        assert!(l < 400.0, "unit-stride latency {l} should be L2-dominated");
+    }
+}

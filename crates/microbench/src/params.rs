@@ -1,0 +1,63 @@
+//! Assemble the microbenchmark measurements into the model parameters of
+//! Table IV.
+
+use crate::{
+    global_bw::measure_global_bandwidth, global_latency::measure_latency_at_stride,
+    shared_bw::measure_shared_bandwidth, shared_latency::measure_shared_latency,
+    sync_latency::measure_sync_latency,
+};
+use regla_gpu_sim::Gpu;
+use regla_model::ModelParams;
+
+/// Run the full microbenchmark suite and derive a [`ModelParams`]
+/// (the measurement-driven counterpart of `ModelParams::table_iv`).
+pub fn derive_params(gpu: &Gpu) -> ModelParams {
+    let gbw = measure_global_bandwidth(gpu);
+    let sbw = measure_shared_bandwidth(gpu);
+    let slat = measure_shared_latency(gpu);
+    // α_glb from the fully-strided (row-miss) pointer chase, with the
+    // chase's address arithmetic backed out like the shared variant.
+    let glat = measure_latency_at_stride(gpu, 64 << 20, 1 << 20) - slat.shift_cycles;
+    // Fit α_sync(T) = base + slope * warps from two operating points.
+    let s2 = measure_sync_latency(gpu, 64);
+    let s32 = measure_sync_latency(gpu, 1024);
+    let slope = (s32 - s2) / 30.0;
+    let base = s2 - 2.0 * slope;
+
+    let mut p = ModelParams::table_iv();
+    p.alpha_glb = glat.round();
+    p.beta_glb_gbs = gbw.kernel_gbs;
+    p.alpha_sh = slat.byte_chain_cycles.round();
+    p.beta_sh_gbs = sbw.all_sms_gbs;
+    p.gamma = slat.shift_cycles.round();
+    p.gamma_addr = slat.shift_cycles.round();
+    p.sync_base = base;
+    p.sync_per_warp = slope;
+    p.clock_ghz = gpu.cfg.core_clock_ghz;
+    p.num_sms = gpu.cfg.num_sms;
+    p.warp_size = gpu.cfg.warp_size;
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_params_match_table_iv() {
+        let gpu = Gpu::quadro_6000();
+        let p = derive_params(&gpu);
+        let t = ModelParams::table_iv();
+        assert!(
+            (p.alpha_glb - t.alpha_glb).abs() < 90.0,
+            "alpha_glb {} vs {}",
+            p.alpha_glb,
+            t.alpha_glb
+        );
+        assert!((p.beta_glb_gbs - t.beta_glb_gbs).abs() < 6.0);
+        assert!((p.alpha_sh - t.alpha_sh).abs() < 3.0);
+        assert!((p.beta_sh_gbs - t.beta_sh_gbs).abs() < 60.0);
+        assert!((p.gamma - t.gamma).abs() < 1.0);
+        assert!((p.alpha_sync(64) - 46.0).abs() < 3.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Shared-memory bandwidth (Listing 1, Table II).
+//!
+//! Each thread repeatedly loads NCOPIES shared words and accumulates them
+//! into registers; the add is hidden by dual issue, so the LD/ST pipeline
+//! is the bottleneck and the achieved rate measures shared bandwidth.
+
+use regla_gpu_sim::{BlockCtx, ExecMode, GlobalMemory, Gpu, LaunchConfig, Rv};
+
+const NCOPIES: usize = 8;
+const NITRS: usize = 1024;
+
+/// Result of the shared-bandwidth benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct SharedBw {
+    /// Achieved bandwidth of one SM in GB/s (Table II row 1: 62.8).
+    pub per_sm_gbs: f64,
+    /// Achieved bandwidth of the whole chip (Table II row 2: 880).
+    pub all_sms_gbs: f64,
+    /// Theoretical peak for the chip (Section II-B1: 1030).
+    pub theoretical_gbs: f64,
+    /// Fraction of theoretical achieved (paper: 85.4%).
+    pub fraction_of_peak: f64,
+}
+
+fn bw_kernel(blk: &mut BlockCtx) {
+    let nt = blk.num_threads();
+    blk.phase_label("shared copy");
+    blk.for_each(|t| {
+        let mut acc = [Rv::imm(0.0); NCOPIES];
+        for _ in 0..NITRS {
+            // Loop control of the outer NITRS loop (counter + branch).
+            t.int_op();
+            t.int_op();
+            // Issue all the loads before the adds, as nvcc schedules the
+            // unrolled body — the adds then overlap the load latency.
+            let mut v = [Rv::imm(0.0); NCOPIES];
+            for (j, vj) in v.iter_mut().enumerate() {
+                *vj = t.shared_load((t.tid + j * nt) % (nt * NCOPIES));
+            }
+            for (a, vj) in acc.iter_mut().zip(v) {
+                *a = t.add(*a, vj);
+            }
+        }
+        // Keep the accumulators live.
+        let mut s = acc[0];
+        for a in &acc[1..] {
+            s = t.add(s, *a);
+        }
+        t.gstore(regla_gpu_sim::DPtr::new(t.tid), 0, s);
+    });
+}
+
+/// Run Listing 1 on the device and report Table II's shared rows.
+pub fn measure_shared_bandwidth(gpu: &Gpu) -> SharedBw {
+    let mut mem = GlobalMemory::with_bytes(1 << 16);
+    // One 256-thread block per SM; shared accesses dominate.
+    let lc = LaunchConfig::new(gpu.cfg.num_sms, 256)
+        .regs(24)
+        .shared_words(256 * NCOPIES)
+        .exec(ExecMode::Representative);
+    let stats = gpu.launch(&bw_kernel, &lc, &mut mem);
+    let all = stats.shared_gbs();
+    let theoretical = gpu.cfg.peak_shared_gbs();
+    SharedBw {
+        per_sm_gbs: all / gpu.cfg.num_sms as f64,
+        all_sms_gbs: all,
+        theoretical_gbs: theoretical,
+        fraction_of_peak: all / theoretical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chip_bandwidth_matches_table_ii() {
+        let gpu = Gpu::quadro_6000();
+        let bw = measure_shared_bandwidth(&gpu);
+        assert!(
+            (bw.all_sms_gbs - 880.0).abs() < 60.0,
+            "chip shared bandwidth {} GB/s, paper: 880",
+            bw.all_sms_gbs
+        );
+        assert!(
+            (bw.per_sm_gbs - 62.8).abs() < 5.0,
+            "per-SM {} GB/s, paper: 62.8",
+            bw.per_sm_gbs
+        );
+    }
+
+    #[test]
+    fn achieves_most_but_not_all_of_peak() {
+        let gpu = Gpu::quadro_6000();
+        let bw = measure_shared_bandwidth(&gpu);
+        assert!(bw.fraction_of_peak > 0.7 && bw.fraction_of_peak < 1.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Shared-memory latency by pointer chasing (Listing 3, Section II-C1).
+//!
+//! GF100 dropped the G80 ability to fuse an arithmetic operation into a
+//! shared-memory operand, so the integer variant of the chase pays an
+//! extra SHL.W address computation (measured at 18 cycles; combined
+//! load+shift chain 45 cycles => 27 cycles of pure shared latency). The
+//! byte variant avoids the shift and measures 27 cycles directly.
+
+use regla_gpu_sim::{BlockCtx, GlobalMemory, Gpu, LaunchConfig};
+
+const NCHASE: usize = 256;
+
+/// Result of the shared-latency benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct SharedLatency {
+    /// Cycles per link of the int-typed chase (load + shift): ~45.
+    pub int_chain_cycles: f64,
+    /// The shift (SHL.W) latency measured separately: ~18.
+    pub shift_cycles: f64,
+    /// Int chase minus address arithmetic: the paper's method one.
+    pub int_derived_cycles: f64,
+    /// Cycles per link of the byte-typed chase: the paper's method two.
+    pub byte_chain_cycles: f64,
+}
+
+fn chase(gpu: &Gpu, with_shift: bool) -> f64 {
+    let mut mem = GlobalMemory::with_bytes(1 << 16);
+    let kernel = move |blk: &mut BlockCtx| {
+        // Build the chain: sMem[i] = (i + 1) % NCHASE.
+        blk.phase_label("init");
+        blk.for_each(|t| {
+            if t.tid == 0 {
+                for i in 0..NCHASE {
+                    let v = t.lit(((i + 1) % NCHASE) as f32);
+                    t.shared_store(i, v);
+                }
+            }
+        });
+        blk.sync();
+        blk.phase_label("chase");
+        blk.for_each(|t| {
+            if t.tid != 0 {
+                return;
+            }
+            let mut acc = t.shared_load(0);
+            for _ in 1..NCHASE {
+                let addr = acc.val() as usize;
+                let dep = if with_shift {
+                    // The SHL.W that scales the index to a byte address.
+                    t.int_dep_of(acc)
+                } else {
+                    t.ready_of(acc)
+                };
+                acc = t.shared_load_dep(addr, dep);
+            }
+            t.gstore(regla_gpu_sim::DPtr::new(0), 0, acc);
+        });
+        blk.sync();
+    };
+    let lc = LaunchConfig::new(1, 32).regs(8).shared_words(NCHASE);
+    let stats = gpu.launch(&kernel, &lc, &mut mem);
+    stats.cycles_for("chase") / (NCHASE as f64)
+}
+
+/// Measure the arithmetic-pipeline (shift) latency with a dependent chain.
+fn shift_latency(gpu: &Gpu) -> f64 {
+    let mut mem = GlobalMemory::with_bytes(4096);
+    let n = 256usize;
+    let kernel = move |blk: &mut BlockCtx| {
+        blk.phase_label("shift");
+        blk.for_each(|t| {
+            if t.tid != 0 {
+                return;
+            }
+            let mut acc = t.lit(1.0);
+            for _ in 0..n {
+                // A dependent integer op chain (SHL feeding SHL).
+                acc = t.int_chain(acc);
+            }
+            t.gstore(regla_gpu_sim::DPtr::new(0), 0, acc);
+        });
+    };
+    let lc = LaunchConfig::new(1, 32).regs(8).shared_words(0);
+    let stats = gpu.launch(&kernel, &lc, &mut mem);
+    stats.cycles / n as f64
+}
+
+/// Run both variants of Listing 3 plus the shift calibration.
+pub fn measure_shared_latency(gpu: &Gpu) -> SharedLatency {
+    let int_chain = chase(gpu, true);
+    let byte_chain = chase(gpu, false);
+    let shift = shift_latency(gpu);
+    SharedLatency {
+        int_chain_cycles: int_chain,
+        shift_cycles: shift,
+        int_derived_cycles: int_chain - shift,
+        byte_chain_cycles: byte_chain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_chain_is_45_cycles() {
+        let gpu = Gpu::quadro_6000();
+        let l = measure_shared_latency(&gpu);
+        assert!(
+            (l.int_chain_cycles - 45.0).abs() < 3.0,
+            "int chain {} cycles, paper: 45",
+            l.int_chain_cycles
+        );
+    }
+
+    #[test]
+    fn both_methods_agree_on_27_cycles() {
+        let gpu = Gpu::quadro_6000();
+        let l = measure_shared_latency(&gpu);
+        assert!(
+            (l.int_derived_cycles - 27.0).abs() < 3.0,
+            "derived {} cycles, paper: 27",
+            l.int_derived_cycles
+        );
+        assert!(
+            (l.byte_chain_cycles - 27.0).abs() < 3.0,
+            "byte chase {} cycles, paper: 27",
+            l.byte_chain_cycles
+        );
+        assert!((l.int_derived_cycles - l.byte_chain_cycles).abs() < 2.0);
+    }
+
+    #[test]
+    fn g80_cross_check_matches_volkov() {
+        // "our latency benchmark gives identical results to Volkov's
+        // published numbers when we run our benchmark on G80 (36 cycles)."
+        let gpu = Gpu::new(regla_gpu_sim::GpuConfig::g80());
+        let l = measure_shared_latency(&gpu);
+        assert!(
+            (l.byte_chain_cycles - 36.0).abs() < 6.0,
+            "G80 chase {} cycles, Volkov: 36",
+            l.byte_chain_cycles
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Synchronization latency against block size (Figure 2, Section II-D).
+
+use regla_gpu_sim::{BlockCtx, GlobalMemory, Gpu, LaunchConfig};
+
+/// One point of the Figure 2 curve.
+#[derive(Clone, Copy, Debug)]
+pub struct SyncPoint {
+    pub threads: usize,
+    pub cycles: f64,
+}
+
+/// Measure the cost of `__syncthreads()` in a block of `threads`.
+pub fn measure_sync_latency(gpu: &Gpu, threads: usize) -> f64 {
+    let nsyncs = 4096usize;
+    let mut mem = GlobalMemory::with_bytes(4096);
+    let kernel = move |blk: &mut BlockCtx| {
+        for _ in 0..nsyncs {
+            blk.sync();
+        }
+    };
+    let lc = LaunchConfig::new(1, threads).regs(8).shared_words(16);
+    let stats = gpu.launch(&kernel, &lc, &mut mem);
+    stats.cycles / nsyncs as f64
+}
+
+/// Sweep thread counts 32..=1024 (Figure 2's x-axis).
+pub fn measure_sync_latency_curve(gpu: &Gpu) -> Vec<SyncPoint> {
+    (1..=16)
+        .map(|w| {
+            let threads = w * 64;
+            SyncPoint {
+                threads,
+                cycles: measure_sync_latency(gpu, threads),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixty_four_threads_cost_46_cycles() {
+        let gpu = Gpu::quadro_6000();
+        let c = measure_sync_latency(&gpu, 64);
+        assert!((c - 46.0).abs() < 1.5, "sync(64) = {c}, Table IV: 46");
+    }
+
+    #[test]
+    fn curve_is_monotone_and_tops_near_190() {
+        let gpu = Gpu::quadro_6000();
+        let curve = measure_sync_latency_curve(&gpu);
+        for w in curve.windows(2) {
+            assert!(w[1].cycles >= w[0].cycles);
+        }
+        let top = curve.last().unwrap();
+        assert_eq!(top.threads, 1024);
+        assert!(
+            (top.cycles - 190.0).abs() < 25.0,
+            "sync(1024) = {}, Figure 2 tops near 190",
+            top.cycles
+        );
+    }
+}

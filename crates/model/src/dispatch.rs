@@ -1,0 +1,232 @@
+//! The *predictive* part of the model as an API: given a batch of problems,
+//! predict the runtime of each feasible approach and choose one.
+//!
+//! This codifies the design space of Figure 10: one-problem-per-thread for
+//! register-resident sizes, one-problem-per-block up to the register-file
+//! capacity of a block, the tiled algorithm for matrices that exceed it,
+//! and the hybrid CPU+GPU library for single large factorizations.
+
+use crate::intensity::Algorithm;
+use crate::params::ModelParams;
+use crate::per_block::{block_compute_cycles, predict_block};
+use crate::per_thread;
+use crate::plan::{block_plan, thread_plan, Approach};
+use regla_gpu_sim::{occupancy, GpuConfig};
+
+/// Predicted cost of one approach.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    pub approach: Approach,
+    pub time_s: f64,
+    pub gflops: f64,
+}
+
+/// A dispatch decision with the full predicted design space.
+#[derive(Clone, Debug)]
+pub struct Decision {
+    pub choice: Approach,
+    pub candidates: Vec<Candidate>,
+}
+
+impl Decision {
+    pub fn chosen(&self) -> &Candidate {
+        self.candidates
+            .iter()
+            .find(|c| c.approach == self.choice)
+            .expect("chosen approach is always a candidate")
+    }
+}
+
+/// Default tile edge for the tiled algorithm (a shape that keeps the tile
+/// inside one block's register file with 64 threads).
+pub fn default_tile(elem_words: usize) -> usize {
+    if elem_words >= 2 {
+        40
+    } else {
+        56
+    }
+}
+
+/// Rough cycle estimate for the sequential tiled QR of one `m x n` problem
+/// with tile edge `b`: a GEQRT per diagonal tile, TSQRTs down the panel,
+/// and trailing-tile updates, each re-streaming its tiles through DRAM.
+pub fn tiled_qr_cycles(
+    p: &ModelParams,
+    m: usize,
+    n: usize,
+    b: usize,
+    elem_words: usize,
+) -> f64 {
+    let tm = m.div_ceil(b);
+    let tn = n.div_ceil(b);
+    let tile_plan = block_plan(b, b, 0, elem_words);
+    let geqrt = block_compute_cycles(p, &tile_plan, Algorithm::Qr, 2);
+    // A TSQRT couples two tiles (2b x b): roughly twice the chain depth.
+    let tsqrt = 2.0 * geqrt;
+    // An update applies b reflectors to a b x b tile: comparable to the
+    // trailing-matrix work of a QR, ~2/3 of the factorization cost.
+    let update = 1.5 * geqrt;
+    let tile_bytes = (b * b * elem_words * 4) as f64;
+    let dram_per_tile_op = 2.0 * tile_bytes / p.glb_bytes_per_cycle();
+
+    let mut ops = 0.0;
+    let mut compute = 0.0;
+    for k in 0..tn.min(tm) {
+        let below = (tm - 1 - k) as f64;
+        let right = (tn - 1 - k) as f64;
+        compute += geqrt + below * tsqrt + right * update + below * right * update;
+        ops += 1.0 + below + right + below * right;
+    }
+    compute + ops * dram_per_tile_op
+}
+
+/// Predict and choose an execution strategy for a batch.
+pub fn choose(
+    p: &ModelParams,
+    cfg: &GpuConfig,
+    alg: Algorithm,
+    m: usize,
+    n: usize,
+    batch: usize,
+    elem_words: usize,
+) -> Decision {
+    let mut candidates = Vec::new();
+    let rhs = match alg {
+        Algorithm::GaussJordan | Algorithm::LeastSquares | Algorithm::QrSolve => 1,
+        _ => 0,
+    };
+    let flops = match elem_words {
+        2 => alg.flops_complex(m, n),
+        _ => alg.flops(m, n),
+    } * batch as f64;
+
+    // --- one problem per thread: only for square, register-resident sizes.
+    if m == n && thread_plan(n, rhs, elem_words).fits_registers() {
+        let t = per_thread::predicted_time_s(p, alg, n, batch, 4 * elem_words);
+        candidates.push(Candidate {
+            approach: Approach::PerThread,
+            time_s: t,
+            gflops: flops / t / 1e9,
+        });
+    }
+
+    // --- one problem per block: while the tile (with tolerable spilling)
+    // fits; the paper runs this up to n = 144.
+    let bp = block_plan(m.max(n), n, rhs, elem_words);
+    if bp.regs_per_thread <= 110 && m >= n {
+        let pred = predict_block(p, cfg, alg, m, n, rhs, elem_words, batch);
+        candidates.push(Candidate {
+            approach: Approach::PerBlock,
+            time_s: pred.time_s,
+            gflops: pred.gflops,
+        });
+    }
+
+    // --- tiled within a block: anything taller/wider, still batched.
+    if m >= n && (alg == Algorithm::Qr || alg == Algorithm::LeastSquares) {
+        let b = default_tile(elem_words);
+        if m > b || n > b {
+            let cyc = tiled_qr_cycles(p, m, n, b, elem_words);
+            // Tiled problems run one per block; occupancy fills the chip.
+            let tile_plan = block_plan(b, b, 0, elem_words);
+            let occ = occupancy(
+                cfg,
+                tile_plan.threads,
+                tile_plan.regs_per_thread.min(cfg.max_regs_per_thread),
+                tile_plan.shared_words * 4,
+            );
+            let lanes = (occ.blocks_per_sm * cfg.num_sms).min(batch).max(1);
+            let waves = (batch as f64 / lanes as f64).ceil();
+            let t = p.cycles_to_secs(cyc * waves);
+            candidates.push(Candidate {
+                approach: Approach::Tiled,
+                time_s: t,
+                gflops: flops / t / 1e9,
+            });
+        }
+    }
+
+    // --- hybrid library: a coarse asymptotic model of MAGMA-class
+    // performance (GEMM-bound for large n, CPU-bound under the 96-wide
+    // panel, one problem at a time).
+    {
+        let per_problem_flops = flops / batch as f64;
+        let rate_gflops = if n < 96 {
+            5.0 // panel runs on the CPU
+        } else {
+            let nn = n as f64;
+            450.0 * nn / (nn + 700.0)
+        };
+        let xfer = 2.0 * (m * (n + rhs) * elem_words * 4) as f64 / (cfg.pcie_gbs * 1e9)
+            + 2.0 * cfg.pcie_latency_us * 1e-6;
+        let t = batch as f64 * (per_problem_flops / (rate_gflops * 1e9) + xfer);
+        candidates.push(Candidate {
+            approach: Approach::Hybrid,
+            time_s: t,
+            gflops: flops / t / 1e9,
+        });
+    }
+
+    let choice = candidates
+        .iter()
+        .min_by(|a, b| a.time_s.total_cmp(&b.time_s))
+        .map(|c| c.approach)
+        .expect("at least the hybrid candidate exists");
+    Decision { choice, candidates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (ModelParams, GpuConfig) {
+        (ModelParams::table_iv(), GpuConfig::quadro_6000())
+    }
+
+    #[test]
+    fn tiny_batched_problems_go_per_thread() {
+        let (p, cfg) = setup();
+        let d = choose(&p, &cfg, Algorithm::Lu, 6, 6, 64000, 1);
+        assert_eq!(d.choice, Approach::PerThread);
+    }
+
+    #[test]
+    fn mid_sized_batched_problems_go_per_block() {
+        let (p, cfg) = setup();
+        let d = choose(&p, &cfg, Algorithm::Qr, 56, 56, 8000, 1);
+        assert_eq!(d.choice, Approach::PerBlock);
+    }
+
+    #[test]
+    fn stap_240x66_goes_tiled() {
+        let (p, cfg) = setup();
+        let d = choose(&p, &cfg, Algorithm::Qr, 240, 66, 128, 2);
+        assert_eq!(d.choice, Approach::Tiled);
+    }
+
+    #[test]
+    fn single_huge_problem_goes_hybrid() {
+        let (p, cfg) = setup();
+        let d = choose(&p, &cfg, Algorithm::Qr, 4096, 4096, 1, 1);
+        assert_eq!(d.choice, Approach::Hybrid);
+    }
+
+    #[test]
+    fn decision_exposes_the_design_space() {
+        let (p, cfg) = setup();
+        let d = choose(&p, &cfg, Algorithm::Qr, 56, 56, 8000, 1);
+        assert!(d.candidates.len() >= 2);
+        let chosen = d.chosen();
+        for c in &d.candidates {
+            assert!(chosen.time_s <= c.time_s + 1e-12);
+        }
+    }
+
+    #[test]
+    fn tiled_estimate_grows_with_problem_size() {
+        let p = ModelParams::table_iv();
+        let small = tiled_qr_cycles(&p, 128, 64, 56, 1);
+        let large = tiled_qr_cycles(&p, 512, 256, 56, 1);
+        assert!(large > 4.0 * small);
+    }
+}

@@ -1,0 +1,114 @@
+//! FLOP counts and arithmetic intensity (Section III and IV).
+
+/// Which factorization/solver is being modelled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Gauss-Jordan elimination solve of `[A|b]` (n^3 FLOPs).
+    GaussJordan,
+    /// LU factorization without pivoting (2/3 n^3 FLOPs).
+    Lu,
+    /// Householder QR factorization (2mn^2 - 2/3 n^3 FLOPs).
+    Qr,
+    /// Least squares via QR of `[A|b]` plus triangular solve.
+    LeastSquares,
+    /// Linear-system solve: QR of `[A|b]` then elimination of R.
+    QrSolve,
+    /// Cholesky factorization of an SPD matrix (extension; n^3/3 FLOPs).
+    Cholesky,
+}
+
+impl Algorithm {
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::GaussJordan => "Gauss-Jordan",
+            Algorithm::Lu => "LU (no pivoting)",
+            Algorithm::Qr => "Householder QR",
+            Algorithm::LeastSquares => "Least squares (QR)",
+            Algorithm::QrSolve => "Linear solve (QR)",
+            Algorithm::Cholesky => "Cholesky",
+        }
+    }
+
+    /// Real FLOPs for an `m x n` problem (the convention the paper uses to
+    /// report GFLOP/s; for complex data multiply by 4).
+    pub fn flops(self, m: usize, n: usize) -> f64 {
+        let m = m as f64;
+        let nn = n as f64;
+        match self {
+            Algorithm::GaussJordan => nn * nn * nn,
+            Algorithm::Lu => 2.0 / 3.0 * nn * nn * nn,
+            Algorithm::Qr => 2.0 * m * nn * nn - 2.0 / 3.0 * nn * nn * nn,
+            // QR of [A|b] applies the reflectors to one extra column
+            // (+2mn), then an n^2 triangular solve.
+            Algorithm::LeastSquares | Algorithm::QrSolve => {
+                2.0 * m * nn * nn - 2.0 / 3.0 * nn * nn * nn + 2.0 * m * nn + nn * nn
+            }
+            Algorithm::Cholesky => nn * nn * nn / 3.0,
+        }
+    }
+
+    /// FLOPs for a complex `m x n` problem in real-FLOP units (Section VII
+    /// uses 8mn^2 - 8/3 n^3 for complex QR: 4x the real count).
+    pub fn flops_complex(self, m: usize, n: usize) -> f64 {
+        4.0 * self.flops(m, n)
+    }
+}
+
+/// Bytes moved to solve one problem in place: the matrix (plus appended
+/// right-hand side for the solvers) is read and written once.
+pub fn bytes_moved(m: usize, n: usize, rhs_cols: usize, elem_bytes: usize) -> f64 {
+    (2 * m * (n + rhs_cols) * elem_bytes) as f64
+}
+
+/// Arithmetic intensity in FLOPs/byte (Section IV's 7x7 QR example:
+/// 457 FLOPs over 392 bytes = 1.17).
+pub fn arithmetic_intensity(alg: Algorithm, m: usize, n: usize, elem_bytes: usize) -> f64 {
+    let rhs = match alg {
+        Algorithm::GaussJordan | Algorithm::LeastSquares | Algorithm::QrSolve => 1,
+        _ => 0,
+    };
+    alg.flops(m, n) / bytes_moved(m, n, rhs, elem_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_7x7_has_457_flops() {
+        // Section IV's worked example.
+        assert!((Algorithm::Qr.flops(7, 7) - 457.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn qr_7x7_intensity_is_1_17() {
+        let ai = Algorithm::Qr.flops(7, 7) / bytes_moved(7, 7, 0, 4);
+        assert!((ai - 1.17).abs() < 0.01);
+    }
+
+    #[test]
+    fn lu_is_a_third_of_gj() {
+        let n = 24;
+        let lu = Algorithm::Lu.flops(n, n);
+        let gj = Algorithm::GaussJordan.flops(n, n);
+        assert!((lu / gj - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complex_counts_are_4x_real() {
+        let r = Algorithm::Qr.flops(240, 66);
+        let c = Algorithm::Qr.flops_complex(240, 66);
+        assert_eq!(c, 4.0 * r);
+        // Section VII: 8mn^2 - 8/3 n^3.
+        let direct = 8.0 * 240.0 * 66.0f64.powi(2) - 8.0 / 3.0 * 66.0f64.powi(3);
+        assert!((c - direct).abs() < 1.0);
+    }
+
+    #[test]
+    fn intensity_grows_with_problem_size() {
+        let a = arithmetic_intensity(Algorithm::Qr, 8, 8, 4);
+        let b = arithmetic_intensity(Algorithm::Qr, 56, 56, 4);
+        let c = arithmetic_intensity(Algorithm::Qr, 112, 112, 4);
+        assert!(a < b && b < c);
+    }
+}

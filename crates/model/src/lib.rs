@@ -1,0 +1,33 @@
+//! # regla-model — the paper's analytic GPU performance model
+//!
+//! Implements Section II's LogP-derived cost equations, Section III's FLOP
+//! counts, Section IV's roofline for the one-problem-per-thread approach,
+//! and Section V-D's per-operation cost model for the one-problem-per-block
+//! approach (Table VI), plus the dispatch logic that turns the model into a
+//! *predictive* tool for choosing an execution strategy.
+//!
+//! ```
+//! use regla_model::{Algorithm, ModelParams, per_thread};
+//!
+//! // Section IV's worked example: a 7x7 QR has arithmetic intensity 1.17
+//! // FLOPs/byte, so the per-thread roofline predicts ~126 GFLOP/s.
+//! let p = ModelParams::table_iv();
+//! let g = per_thread::predicted_gflops(&p, Algorithm::Qr, 7, 4);
+//! assert!((g - 126.0).abs() < 2.0);
+//! ```
+
+pub mod dispatch;
+pub mod intensity;
+pub mod logp;
+pub mod params;
+pub mod per_block;
+pub mod per_thread;
+pub mod plan;
+
+pub use dispatch::{choose, Candidate, Decision};
+pub use intensity::{arithmetic_intensity, bytes_moved, Algorithm};
+pub use logp::{tau_global, tau_local};
+pub use params::ModelParams;
+pub use per_block::{predict_block, qr_panels, BlockPrediction, PanelEstimate};
+pub use per_thread::{communication_bound_gflops, register_resident_limit};
+pub use plan::{block_plan, thread_plan, Approach, BlockPlan, ThreadPlan};

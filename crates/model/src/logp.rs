@@ -1,0 +1,67 @@
+//! The paper's LogP-derived cost equations (Section II, Equations 1 and 2).
+
+use crate::params::ModelParams;
+
+/// Equation 1 — global model:
+/// `τ_gbl = #msg · α_glb + msize · β_glb + flops · γ` (cycles).
+///
+/// `msize` is in bytes; `β_glb` is applied as bytes-per-cycle of achievable
+/// DRAM bandwidth.
+pub fn tau_global(p: &ModelParams, msgs: f64, msize_bytes: f64, flops: f64) -> f64 {
+    msgs * p.alpha_glb + msize_bytes / p.glb_bytes_per_cycle() + flops * p.gamma
+}
+
+/// Equation 2 — shared-memory model:
+/// `τ_lcl = #msg · α_sh + nsync · α_sync + msize · β_sh + flops · γ`.
+///
+/// `threads` selects the α_sync operating point (Figure 2); `msize` is in
+/// bytes and is charged at the chip's achievable shared bandwidth divided
+/// evenly over the SMs.
+pub fn tau_local(
+    p: &ModelParams,
+    msgs: f64,
+    nsync: f64,
+    msize_bytes: f64,
+    flops: f64,
+    threads: usize,
+) -> f64 {
+    let sh_bytes_per_cycle = p.beta_sh_gbs / p.num_sms as f64 / p.clock_ghz;
+    msgs * p.alpha_sh
+        + nsync * p.alpha_sync(threads)
+        + msize_bytes / sh_bytes_per_cycle
+        + flops * p.gamma
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_global_is_linear_in_each_term() {
+        let p = ModelParams::table_iv();
+        let base = tau_global(&p, 1.0, 0.0, 0.0);
+        assert_eq!(base, 570.0);
+        let two = tau_global(&p, 2.0, 0.0, 0.0);
+        assert_eq!(two, 1140.0);
+        let f = tau_global(&p, 0.0, 0.0, 10.0);
+        assert_eq!(f, 180.0);
+        // Exactly one cycle's worth of bytes at 108 GB/s and 1.15 GHz.
+        let b = tau_global(&p, 0.0, 108.0 / 1.15, 0.0);
+        assert!((b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tau_local_counts_syncs_at_the_right_operating_point() {
+        let p = ModelParams::table_iv();
+        let one_sync_64 = tau_local(&p, 0.0, 1.0, 0.0, 0.0, 64);
+        assert_eq!(one_sync_64, 46.0);
+        let one_sync_1024 = tau_local(&p, 0.0, 1.0, 0.0, 0.0, 1024);
+        assert!(one_sync_1024 > 3.0 * one_sync_64);
+    }
+
+    #[test]
+    fn shared_messages_cost_alpha_sh() {
+        let p = ModelParams::table_iv();
+        assert_eq!(tau_local(&p, 3.0, 0.0, 0.0, 0.0, 64), 81.0);
+    }
+}

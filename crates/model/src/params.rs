@@ -1,0 +1,132 @@
+//! Model parameters (the paper's Table IV).
+
+use regla_gpu_sim::GpuConfig;
+
+/// The parameters of the paper's GPU performance model (Table IV), plus the
+/// division/square-root latencies taken from microbenchmarks (the paper
+/// cites Wong et al.'s GT200 study) and the address-computation overhead the
+/// paper measures for GF100 shared-memory access chains (Section II-C1).
+#[derive(Clone, Debug)]
+pub struct ModelParams {
+    /// Global memory latency α_glb in cycles (570).
+    pub alpha_glb: f64,
+    /// Achievable global bandwidth in GB/s (108; β_glb = 1/108 s/GB).
+    pub beta_glb_gbs: f64,
+    /// Shared memory latency α_sh in cycles (27).
+    pub alpha_sh: f64,
+    /// Achievable shared bandwidth, all SMs, in GB/s (880; β_sh = 1/880).
+    pub beta_sh_gbs: f64,
+    /// Pipeline latency for FP operations γ in cycles (18).
+    pub gamma: f64,
+    /// Address-computation overhead per dependent shared access (the SHL.W
+    /// measured at 18 cycles in Section II-C1).
+    pub gamma_addr: f64,
+    /// Hardware (fast-math) reciprocal latency in cycles.
+    pub gamma_div: f64,
+    /// Hardware (fast-math) square root latency in cycles.
+    pub gamma_sqrt: f64,
+    /// Synchronization cost: `sync_base + sync_per_warp * warps` cycles
+    /// (46 cycles for 64 threads, Table IV).
+    pub sync_base: f64,
+    pub sync_per_warp: f64,
+    /// Warp width (32).
+    pub warp_size: usize,
+    /// Core clock in GHz (1.15).
+    pub clock_ghz: f64,
+    /// Number of SMs (14).
+    pub num_sms: usize,
+}
+
+impl ModelParams {
+    /// The paper's Table IV values for the Quadro 6000.
+    pub fn table_iv() -> Self {
+        ModelParams {
+            alpha_glb: 570.0,
+            beta_glb_gbs: 108.0,
+            alpha_sh: 27.0,
+            beta_sh_gbs: 880.0,
+            gamma: 18.0,
+            gamma_addr: 18.0,
+            gamma_div: 28.0,
+            gamma_sqrt: 32.0,
+            sync_base: 36.4,
+            sync_per_warp: 4.8,
+            warp_size: 32,
+            clock_ghz: 1.15,
+            num_sms: 14,
+        }
+    }
+
+    /// Derive the parameters from a simulator configuration (what
+    /// `regla-microbench` measures ends up numerically equal to this).
+    pub fn from_config(cfg: &GpuConfig) -> Self {
+        ModelParams {
+            alpha_glb: cfg.dram_row_miss_latency as f64,
+            beta_glb_gbs: cfg.dram_peak_gbs * cfg.dram_stream_efficiency,
+            alpha_sh: cfg.shared_latency as f64,
+            beta_sh_gbs: cfg.peak_shared_gbs() * 0.854,
+            gamma: cfg.alu_latency as f64,
+            gamma_addr: cfg.alu_latency as f64,
+            gamma_div: cfg.fast_recip_latency as f64,
+            gamma_sqrt: cfg.fast_sqrt_latency as f64,
+            sync_base: cfg.sync_base,
+            sync_per_warp: cfg.sync_per_warp,
+            warp_size: cfg.warp_size,
+            clock_ghz: cfg.core_clock_ghz,
+            num_sms: cfg.num_sms,
+        }
+    }
+
+    /// α_sync for a block of `threads` (Figure 2 / Table IV).
+    pub fn alpha_sync(&self, threads: usize) -> f64 {
+        let warps = threads.div_ceil(self.warp_size) as f64;
+        (self.sync_base + self.sync_per_warp * warps).round()
+    }
+
+    /// Cost in cycles of a dependent shared-memory access including the
+    /// GF100 address computation (the 45-cycle load+shift chain of §II-C1).
+    pub fn beta_chain(&self) -> f64 {
+        self.alpha_sh + self.gamma_addr
+    }
+
+    /// Global bandwidth in bytes per hot-clock cycle.
+    pub fn glb_bytes_per_cycle(&self) -> f64 {
+        self.beta_glb_gbs / self.clock_ghz
+    }
+
+    pub fn cycles_to_secs(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1e9)
+    }
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        Self::table_iv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_sync_of_64_threads_is_46() {
+        assert_eq!(ModelParams::table_iv().alpha_sync(64), 46.0);
+    }
+
+    #[test]
+    fn from_config_matches_table_iv() {
+        let p = ModelParams::from_config(&GpuConfig::quadro_6000());
+        let t = ModelParams::table_iv();
+        assert_eq!(p.alpha_glb, t.alpha_glb);
+        assert!((p.beta_glb_gbs - t.beta_glb_gbs).abs() < 0.5);
+        assert_eq!(p.alpha_sh, t.alpha_sh);
+        assert!((p.beta_sh_gbs - t.beta_sh_gbs).abs() < 5.0);
+        assert_eq!(p.gamma, t.gamma);
+    }
+
+    #[test]
+    fn beta_chain_is_the_measured_45_cycles() {
+        assert_eq!(ModelParams::table_iv().beta_chain(), 45.0);
+    }
+}

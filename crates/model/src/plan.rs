@@ -1,0 +1,213 @@
+//! Block execution plans: how a problem maps onto threads and registers.
+//!
+//! The kernels in `regla-core` and the analytic model must agree on the
+//! mapping (thread count, 2D-cyclic tile shape, register usage), so it is
+//! computed here once. The rules follow Section V: threads are laid out in
+//! a √p x √p grid, 64 threads are used while the per-thread sub-matrix fits
+//! the register budget, and the kernel switches to 256 threads at n = 80
+//! (the occupancy drop visible in Figure 9).
+
+/// Register overhead per thread beyond the matrix tile (indices, scale
+/// factors, accumulators) — roughly what nvcc used for the paper's kernels.
+pub const REG_OVERHEAD: usize = 14;
+
+/// Per-thread sub-matrix words above which a 64-thread block switches to
+/// 256 threads (n = 72 -> 9x9 = 81 words still runs with 64 threads; n = 80
+/// switches, as in the paper).
+pub const TILE_WORDS_64T_MAX: usize = 81;
+
+/// How one batched problem executes on the device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Approach {
+    /// One problem per thread, matrix in that thread's registers (§IV).
+    PerThread,
+    /// One problem per thread block, 2D-cyclic register layout (§V).
+    PerBlock,
+    /// Sequential tiled factorization inside one block (§VII, PLASMA-like).
+    Tiled,
+    /// Hybrid CPU+GPU blocked library (§VI-A, MAGMA/CULA style).
+    Hybrid,
+}
+
+impl Approach {
+    pub fn name(self) -> &'static str {
+        match self {
+            Approach::PerThread => "one-problem-per-thread",
+            Approach::PerBlock => "one-problem-per-block",
+            Approach::Tiled => "tiled-within-block",
+            Approach::Hybrid => "hybrid CPU+GPU blocked",
+        }
+    }
+}
+
+/// Mapping of one `m x (n + rhs_cols)` problem onto a thread block.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockPlan {
+    pub m: usize,
+    pub n: usize,
+    pub rhs_cols: usize,
+    /// Words per element (1 = f32, 2 = complex32).
+    pub elem_words: usize,
+    pub threads: usize,
+    /// √p: the thread grid is `rdim x rdim`.
+    pub rdim: usize,
+    /// Per-thread register tile height (rows of the distributed matrix).
+    pub hreg: usize,
+    /// Per-thread register tile width.
+    pub wreg: usize,
+    /// Declared registers per thread (tile + overhead); beyond the
+    /// architectural 64 the excess spills.
+    pub regs_per_thread: usize,
+    /// Shared memory words the kernel needs (column + row vectors,
+    /// reduction scratch, scale factor and flags).
+    pub shared_words: usize,
+}
+
+impl BlockPlan {
+    /// Total columns including appended right-hand sides.
+    pub fn cols(&self) -> usize {
+        self.n + self.rhs_cols
+    }
+
+    /// Number of panels the factorization walks through (Figure 8's x-axis:
+    /// 7 panels for a 56x56 matrix on 64 threads).
+    pub fn panels(&self) -> usize {
+        self.n.div_ceil(self.rdim)
+    }
+
+    /// Whether the tile spills registers.
+    pub fn spills(&self) -> bool {
+        self.regs_per_thread > 64
+    }
+}
+
+/// Plan a one-problem-per-block execution.
+pub fn block_plan(m: usize, n: usize, rhs_cols: usize, elem_words: usize) -> BlockPlan {
+    assert!(m >= n, "per-block kernels require m >= n (got {m} x {n})");
+    let cols = n + rhs_cols;
+    let tile64 = m.div_ceil(8) * cols.div_ceil(8) * elem_words;
+    let (threads, rdim) = if tile64 <= TILE_WORDS_64T_MAX {
+        (64, 8)
+    } else {
+        (256, 16)
+    };
+    let hreg = m.div_ceil(rdim);
+    let wreg = cols.div_ceil(rdim);
+    let regs_per_thread = hreg * wreg * elem_words + REG_OVERHEAD;
+    // Shared scratch: a column (m), a row (cols), per-thread reduction
+    // partials (threads), and a few control words.
+    let shared_words = (m + cols + threads + 16) * elem_words;
+    BlockPlan {
+        m,
+        n,
+        rhs_cols,
+        elem_words,
+        threads,
+        rdim,
+        hreg,
+        wreg,
+        regs_per_thread,
+        shared_words,
+    }
+}
+
+/// Mapping of one problem onto a single thread (§IV).
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadPlan {
+    pub n: usize,
+    pub rhs_cols: usize,
+    pub elem_words: usize,
+    pub threads_per_block: usize,
+    pub regs_per_thread: usize,
+}
+
+/// Plan a one-problem-per-thread execution of `n x (n + rhs)` problems.
+pub fn thread_plan(n: usize, rhs_cols: usize, elem_words: usize) -> ThreadPlan {
+    let regs = n * (n + rhs_cols) * elem_words + 12;
+    ThreadPlan {
+        n,
+        rhs_cols,
+        elem_words,
+        threads_per_block: 64,
+        regs_per_thread: regs,
+    }
+}
+
+impl ThreadPlan {
+    /// Whether the whole matrix fits the 64-register budget (n < 8 for f32,
+    /// the boundary in Figure 4).
+    pub fn fits_registers(&self) -> bool {
+        self.regs_per_thread <= 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_six_uses_64_threads_7x7_tiles() {
+        let p = block_plan(56, 56, 0, 1);
+        assert_eq!(p.threads, 64);
+        assert_eq!(p.rdim, 8);
+        assert_eq!((p.hreg, p.wreg), (7, 7));
+        assert_eq!(p.panels(), 7);
+        assert!(!p.spills());
+        assert!(p.regs_per_thread <= 64);
+    }
+
+    #[test]
+    fn switch_to_256_threads_at_80() {
+        let p72 = block_plan(72, 72, 0, 1);
+        assert_eq!(p72.threads, 64, "72 still runs on 64 threads");
+        let p80 = block_plan(80, 80, 0, 1);
+        assert_eq!(p80.threads, 256, "80 switches to 256 threads");
+        assert_eq!(p80.rdim, 16);
+        assert_eq!((p80.hreg, p80.wreg), (5, 5));
+    }
+
+    #[test]
+    fn sixty_four_spills() {
+        // Figure 9's dip at n = 64: an 8x8 tile plus overhead exceeds 64.
+        let p = block_plan(64, 64, 0, 1);
+        assert_eq!(p.threads, 64);
+        assert!(p.spills());
+    }
+
+    #[test]
+    fn spills_again_above_112_with_256_threads() {
+        let p112 = block_plan(112, 112, 0, 1);
+        assert!(!p112.spills(), "112 = 7x7 tiles on 256 threads fits");
+        let p120 = block_plan(120, 120, 0, 1);
+        assert!(p120.spills(), "beyond 112 the 256-thread tiles spill");
+    }
+
+    #[test]
+    fn complex_tiles_cost_double() {
+        let r = block_plan(56, 56, 0, 1);
+        let c = block_plan(56, 56, 0, 2);
+        assert_eq!(c.threads, 256, "complex 56x56 exceeds the 64-thread tile");
+        assert!(c.regs_per_thread < r.regs_per_thread * 2);
+    }
+
+    #[test]
+    fn stap_80x16_complex_fits_one_block() {
+        // Section VII: "the 80x16 problem fits in a single thread block".
+        let p = block_plan(80, 16, 0, 2);
+        assert_eq!(p.threads, 64);
+        assert!(!p.spills(), "regs = {}", p.regs_per_thread);
+    }
+
+    #[test]
+    fn rhs_column_is_carried() {
+        let p = block_plan(48, 48, 1, 1);
+        assert_eq!(p.cols(), 49);
+        assert_eq!(p.wreg, 7);
+    }
+
+    #[test]
+    fn thread_plan_boundary_matches_figure_4() {
+        assert!(thread_plan(7, 0, 1).fits_registers());
+        assert!(!thread_plan(8, 0, 1).fits_registers());
+    }
+}

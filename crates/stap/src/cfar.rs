@@ -1,0 +1,173 @@
+//! Cell-averaging CFAR detection — the stage after adaptive filtering.
+//!
+//! The adaptive filter output is a per-gate power sequence; a constant
+//! false-alarm-rate detector compares each cell under test against the
+//! average of its training neighbourhood (guard cells excluded) scaled by
+//! a threshold derived from the desired false-alarm probability. This
+//! completes the STAP chain: Doppler filter bank -> adaptive weights
+//! (the paper's batched QR) -> CFAR detection.
+
+/// CFAR configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CfarParams {
+    /// Training cells on each side of the cell under test.
+    pub train: usize,
+    /// Guard cells on each side (excluded from the noise estimate).
+    pub guard: usize,
+    /// Desired probability of false alarm.
+    pub pfa: f64,
+}
+
+impl Default for CfarParams {
+    fn default() -> Self {
+        CfarParams {
+            train: 8,
+            guard: 2,
+            pfa: 1e-4,
+        }
+    }
+}
+
+impl CfarParams {
+    /// Cell-averaging CFAR threshold multiplier for exponentially
+    /// distributed noise power: `N (Pfa^{-1/N} - 1)`.
+    pub fn threshold_factor(&self) -> f64 {
+        let n = (2 * self.train) as f64;
+        n * (self.pfa.powf(-1.0 / n) - 1.0)
+    }
+}
+
+/// A detection: gate index, measured power, local threshold.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Detection {
+    pub gate: usize,
+    pub power: f32,
+    pub threshold: f32,
+}
+
+/// Run cell-averaging CFAR over a power sequence (one Doppler bin's
+/// adaptive output across range). Edge gates fold the window inward.
+pub fn ca_cfar(power: &[f32], p: &CfarParams) -> Vec<Detection> {
+    let n = power.len();
+    let alpha = p.threshold_factor() as f32;
+    let mut out = Vec::new();
+    for cut in 0..n {
+        let mut acc = 0.0f32;
+        let mut cnt = 0usize;
+        for side in [-1isize, 1] {
+            for k in (p.guard + 1)..=(p.guard + p.train) {
+                let idx = cut as isize + side * k as isize;
+                if idx >= 0 && (idx as usize) < n {
+                    acc += power[idx as usize];
+                    cnt += 1;
+                }
+            }
+        }
+        if cnt == 0 {
+            continue;
+        }
+        let noise = acc / cnt as f32;
+        let threshold = alpha * noise;
+        if power[cut] > threshold {
+            out.push(Detection {
+                gate: cut,
+                power: power[cut],
+                threshold,
+            });
+        }
+    }
+    out
+}
+
+/// Convenience: adaptive output powers for every gate given weights.
+pub fn output_power(
+    weights: &[regla_core::C32],
+    snapshots: impl Iterator<Item = Vec<regla_core::C32>>,
+) -> Vec<f32> {
+    snapshots
+        .map(|x| crate::weights::apply_weights(weights, &x).abs2())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn noise_power(rng: &mut StdRng, n: usize) -> Vec<f32> {
+        // Exponentially distributed power (complex Gaussian magnitude²).
+        (0..n)
+            .map(|_| {
+                let u: f32 = rng.random_range(1e-6..1.0f32);
+                -u.ln()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threshold_factor_grows_with_stricter_pfa() {
+        let loose = CfarParams {
+            pfa: 1e-2,
+            ..Default::default()
+        };
+        let strict = CfarParams {
+            pfa: 1e-6,
+            ..Default::default()
+        };
+        assert!(strict.threshold_factor() > loose.threshold_factor());
+    }
+
+    #[test]
+    fn detects_a_strong_target_in_noise() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut p = noise_power(&mut rng, 200);
+        p[77] = 200.0;
+        let dets = ca_cfar(&p, &CfarParams::default());
+        assert!(dets.iter().any(|d| d.gate == 77), "target missed");
+    }
+
+    #[test]
+    fn false_alarm_rate_is_near_design_point() {
+        // Over many noise-only cells, the empirical alarm rate should be
+        // within an order of magnitude of the design Pfa.
+        let mut rng = StdRng::seed_from_u64(10);
+        let params = CfarParams {
+            pfa: 1e-2,
+            ..Default::default()
+        };
+        let mut alarms = 0usize;
+        let mut cells = 0usize;
+        for _ in 0..60 {
+            let p = noise_power(&mut rng, 256);
+            alarms += ca_cfar(&p, &params).len();
+            cells += p.len();
+        }
+        let rate = alarms as f64 / cells as f64;
+        assert!(
+            rate < 10.0 * params.pfa && rate > params.pfa / 10.0,
+            "empirical Pfa {rate} vs design {}",
+            params.pfa
+        );
+    }
+
+    #[test]
+    fn masking_by_strong_neighbours_is_limited_by_guards() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut p = noise_power(&mut rng, 128);
+        // Two closely spaced targets; guards keep the CUT's own energy out
+        // of its neighbour's noise estimate.
+        p[60] = 150.0;
+        p[62] = 150.0;
+        let dets = ca_cfar(
+            &p,
+            &CfarParams {
+                train: 8,
+                guard: 2,
+                pfa: 1e-3,
+            },
+        );
+        assert!(dets.iter().any(|d| d.gate == 60));
+        assert!(dets.iter().any(|d| d.gate == 62));
+    }
+}

@@ -1,0 +1,65 @@
+//! Explore the design space with the predictive model (the paper's
+//! Section VI discussion turned into a tool): for a grid of problem sizes
+//! and batch counts, print which approach the model selects and its
+//! predicted throughput.
+//!
+//! ```sh
+//! cargo run --release --example model_explorer
+//! ```
+
+use regla::gpu_sim::GpuConfig;
+use regla::model::{choose, Algorithm, ModelParams};
+
+fn main() {
+    let params = ModelParams::table_iv();
+    let cfg = GpuConfig::quadro_6000();
+    println!("predictive dispatch for batched single-precision QR on {}\n", cfg.name);
+
+    let sizes = [4, 8, 16, 32, 56, 72, 96, 144, 240, 512, 2048, 8192];
+    let batches = [1usize, 100, 10_000];
+
+    println!("{:>6} | {:>24} {:>24} {:>24}", "n", "batch=1", "batch=100", "batch=10000");
+    println!("{}", "-".repeat(84));
+    for &n in &sizes {
+        let mut cells = Vec::new();
+        for &batch in &batches {
+            let d = choose(&params, &cfg, Algorithm::Qr, n, n, batch, 1);
+            let c = d.chosen();
+            cells.push(format!("{} ({:.0} GF)", short(c.approach.name()), c.gflops));
+        }
+        println!(
+            "{:>6} | {:>24} {:>24} {:>24}",
+            n, cells[0], cells[1], cells[2]
+        );
+    }
+
+    println!(
+        "\nThe boundaries reproduce the paper's Figure 10: register-resident sizes \
+         go one-problem-per-thread, the batched small-to-medium regime goes \
+         one-problem-per-block (or tiled beyond a block's register file), and \
+         single large factorizations go to the hybrid CPU+GPU library."
+    );
+
+    // Show the full candidate list for the paper's flagship size.
+    println!("\nfull design space at 56x56, batch 5000:");
+    let d = choose(&params, &cfg, Algorithm::Qr, 56, 56, 5000, 1);
+    for c in &d.candidates {
+        println!(
+            "  {:28} {:>8.1} GFLOPS  ({:.3} ms){}",
+            c.approach.name(),
+            c.gflops,
+            c.time_s * 1e3,
+            if c.approach == d.choice { "  <= chosen" } else { "" }
+        );
+    }
+}
+
+fn short(name: &str) -> &str {
+    match name {
+        "one-problem-per-thread" => "per-thread",
+        "one-problem-per-block" => "per-block",
+        "tiled-within-block" => "tiled",
+        "hybrid CPU+GPU blocked" => "hybrid",
+        other => other,
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: solve a few thousand small linear systems on the simulated
+//! GPU, check the residuals, and compare against the predictive model.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use regla::core::{api, host, MatBatch, RunOpts};
+use regla::gpu_sim::Gpu;
+use regla::model::{self, Algorithm, ModelParams};
+
+fn main() {
+    let gpu = Gpu::quadro_6000();
+    println!("device: {}\n", gpu.cfg.name);
+
+    // 4096 diagonally dominant 32x32 systems A x = b.
+    let n = 32;
+    let count = 4096;
+    let mut a = MatBatch::from_fn(n, n, count, |k, i, j| {
+        (((k * 31 + i * 17 + j * 13) % 29) as f32) / 29.0 - 0.4
+    });
+    for k in 0..count {
+        let mut m = a.mat(k);
+        m.make_diagonally_dominant();
+        a.set_mat(k, &m);
+    }
+    let b = MatBatch::from_fn(n, 1, count, |k, i, _| ((k + i) % 7) as f32 - 3.0);
+
+    // Ask the predictive model what it would do.
+    let params = ModelParams::table_iv();
+    let decision = model::choose(&params, &gpu.cfg, Algorithm::QrSolve, n, n, count, 1);
+    println!("predicted design space for {count} systems of size {n}x{n}:");
+    for c in &decision.candidates {
+        println!(
+            "  {:28} {:>8.1} GFLOPS  ({:.3} ms){}",
+            c.approach.name(),
+            c.gflops,
+            c.time_s * 1e3,
+            if c.approach == decision.choice { "  <= chosen" } else { "" }
+        );
+    }
+
+    // Solve on the (simulated) GPU via QR.
+    let run = api::qr_solve_batch(&gpu, &a, &b, &RunOpts::default());
+    println!(
+        "\nexecuted with {} in {:.3} ms at {:.1} GFLOPS",
+        run.approach.name(),
+        run.time_s() * 1e3,
+        run.gflops()
+    );
+
+    // Launch anatomy from the simulator.
+    print!("\n{}", run.stats.launches[0].summary());
+
+    // Verify the residuals against the original systems.
+    let mut worst: f64 = 0.0;
+    for k in 0..count {
+        let x: Vec<f32> = (0..n).map(|i| run.out.get(k, i, n)).collect();
+        let bk: Vec<f32> = (0..n).map(|i| b.get(k, i, 0)).collect();
+        worst = worst.max(host::residual_norm(&a.mat(k), &x, &bk));
+    }
+    println!("worst residual over {count} systems: {worst:.2e}");
+    assert!(worst < 1e-2, "solutions verified");
+    println!("all systems solved correctly");
+}

@@ -1,0 +1,140 @@
+//! End-to-end space-time adaptive processing (the paper's Section VII
+//! application): synthesise a radar data cube with strong ground clutter
+//! and a slow-moving target, compute adaptive weights through batched
+//! complex QR factorizations on the simulated GPU, and show the detection
+//! map before and after adaptation.
+//!
+//! ```sh
+//! cargo run --release --example stap_radar
+//! ```
+
+use regla::core::RunOpts;
+use regla::gpu_sim::Gpu;
+use regla::stap::{
+    apply_weights, ca_cfar, solve_weights_gpu, training_matrix, CfarParams, CubeParams,
+    DataCube, Target,
+};
+use regla_core::MatBatch;
+
+fn bar(x: f32, max: f32) -> String {
+    let w = ((x / max) * 40.0).round() as usize;
+    "#".repeat(w.min(40))
+}
+
+fn main() {
+    let gpu = Gpu::quadro_6000();
+
+    // A small but realistic cube: 8 channels x 8 pulses x 64 range gates,
+    // clutter 20 dB above noise, one target well off the clutter ridge.
+    let params = CubeParams {
+        channels: 8,
+        pulses: 8,
+        range_gates: 64,
+        clutter_amp: 8.0,
+        noise_amp: 0.4,
+        ..Default::default()
+    };
+    let target = Target {
+        range_gate: 37,
+        spatial_freq: 0.28,
+        doppler_freq: -0.31,
+        amplitude: 1.6,
+    };
+    let cube = DataCube::synthesize(&params, &[target]);
+    println!(
+        "cube: {} channels x {} pulses x {} gates (DOF = {}), target at gate {}",
+        params.channels,
+        params.pulses,
+        params.range_gates,
+        cube.dof(),
+        target.range_gate
+    );
+
+    // One adaptive problem per range segment: training data from the
+    // segment's other gates (guard cells excluded), diagonally loaded.
+    let segments: Vec<(usize, usize)> = (0..4).map(|s| (s * 16, 16)).collect();
+    let steering = cube.steering(target.spatial_freq, target.doppler_freq);
+    let mut trainings = Vec::new();
+    for &(g0, len) in &segments {
+        let gates: Vec<usize> = (g0..g0 + len).collect();
+        let x = training_matrix(&cube, &gates, &[], 1.0);
+        trainings.push(x);
+    }
+    let rows = trainings[0].rows();
+    let dof = cube.dof();
+    let mut batch = MatBatch::zeros(rows, dof, trainings.len());
+    for (k, x) in trainings.iter().enumerate() {
+        batch.set_mat(k, x);
+    }
+    println!(
+        "batched complex QR: {} training matrices of {}x{}",
+        batch.count(),
+        rows,
+        dof
+    );
+
+    let steers: Vec<Vec<regla_core::C32>> = vec![steering.clone(); segments.len()];
+    let (weights, stats) = solve_weights_gpu(&gpu, &batch, &steers, &RunOpts::default());
+    println!(
+        "GPU time {:.3} ms at {:.1} GFLOPS\n",
+        stats.time_s * 1e3,
+        stats.gflops()
+    );
+
+    // Detection maps: matched filter (non-adaptive) vs adaptive weights.
+    let mf_out: Vec<f32> = (0..params.range_gates)
+        .map(|g| apply_weights(&steering, cube.snapshot(g)).abs())
+        .collect();
+    let ad_out: Vec<f32> = (0..params.range_gates)
+        .map(|g| {
+            let seg = (g / 16).min(weights.len() - 1);
+            apply_weights(&weights[seg], cube.snapshot(g)).abs()
+        })
+        .collect();
+
+    let mf_max = mf_out.iter().cloned().fold(0.0f32, f32::max);
+    let ad_max = ad_out.iter().cloned().fold(0.0f32, f32::max);
+    println!("gate | matched filter        | adaptive (STAP)");
+    for g in (0..params.range_gates).step_by(2) {
+        println!(
+            "{g:4} | {:<21} | {}",
+            bar(mf_out[g], mf_max),
+            bar(ad_out[g], ad_max)
+        );
+    }
+
+    // Quantify: target-to-background contrast.
+    let bg = |v: &[f32]| -> f32 {
+        let s: f32 = v
+            .iter()
+            .enumerate()
+            .filter(|(g, _)| (*g as i64 - 37).abs() > 2)
+            .map(|(_, x)| x * x)
+            .sum();
+        (s / (v.len() - 5) as f32).sqrt()
+    };
+    let mf_contrast = mf_out[37] / bg(&mf_out);
+    let ad_contrast = ad_out[37] / bg(&ad_out);
+    println!("\nmatched-filter contrast at target gate: {mf_contrast:.1}x background");
+    println!("adaptive contrast at target gate:       {ad_contrast:.1}x background");
+
+    // CFAR detection on the adaptive output completes the chain.
+    let powers: Vec<f32> = ad_out.iter().map(|x| x * x).collect();
+    let dets = ca_cfar(&powers, &CfarParams::default());
+    println!("\nCFAR detections (Pfa = 1e-4):");
+    for d in &dets {
+        println!(
+            "  gate {:3}  power {:9.2}  threshold {:8.2}{}",
+            d.gate,
+            d.power,
+            d.threshold,
+            if d.gate == 37 { "  <= injected target" } else { "" }
+        );
+    }
+    assert!(dets.iter().any(|d| d.gate == 37), "target must be detected");
+    assert!(
+        ad_contrast > mf_contrast,
+        "adaptation must improve the detection contrast"
+    );
+    println!("\nSTAP improved target contrast by {:.1}x", ad_contrast / mf_contrast);
+}

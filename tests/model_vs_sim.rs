@@ -1,0 +1,160 @@
+//! The paper's central claim: the analytic model predicts the measured
+//! (simulated) performance across problem sizes. These tests pin the
+//! model-vs-simulator agreement and the qualitative shapes of Figures 4
+//! and 9.
+
+use regla::core::{api, MatBatch, RunOpts};
+use regla::gpu_sim::{ExecMode, Gpu};
+use regla::model::{per_block, per_thread, Algorithm, Approach, ModelParams};
+
+fn dd_batch(n: usize, count: usize) -> MatBatch<f32> {
+    let mut b = MatBatch::from_fn(n, n, count, |k, i, j| {
+        (((k * 37 + i * 11 + j * 5) % 23) as f32) / 23.0 - 0.3
+    });
+    for k in 0..count {
+        let mut m = b.mat(k);
+        m.make_diagonally_dominant();
+        b.set_mat(k, &m);
+    }
+    b
+}
+
+fn rep(approach: Approach) -> RunOpts {
+    RunOpts {
+        exec: ExecMode::Representative,
+        approach: Some(approach),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn per_thread_measurement_tracks_roofline_when_resident() {
+    // Figure 4, n < 8: measured within ~35% of AI x bandwidth.
+    let gpu = Gpu::quadro_6000();
+    let p = ModelParams::table_iv();
+    for n in [4, 5, 6, 7] {
+        let a = dd_batch(n, 64_000.min(48_000_000 / (n * n)));
+        let meas = api::lu_batch(&gpu, &a, &rep(Approach::PerThread)).gflops();
+        let pred = per_thread::predicted_gflops(&p, Algorithm::Lu, n, 4);
+        let ratio = meas / pred;
+        assert!(
+            (0.65..1.6).contains(&ratio),
+            "n={n}: measured {meas:.1} vs predicted {pred:.1}"
+        );
+    }
+}
+
+#[test]
+fn per_thread_collapses_past_the_register_file() {
+    // Figure 4, n >= 8: measurement falls away from the roofline.
+    let gpu = Gpu::quadro_6000();
+    let p = ModelParams::table_iv();
+    let a = dd_batch(12, 8000);
+    let meas = api::qr_batch(&gpu, &a, &rep(Approach::PerThread)).gflops();
+    let pred = per_thread::predicted_gflops(&p, Algorithm::Qr, 12, 4);
+    assert!(
+        meas < 0.55 * pred,
+        "spilled measurement {meas:.1} should fall below prediction {pred:.1}"
+    );
+}
+
+#[test]
+fn per_block_model_within_forty_percent_of_sim() {
+    // Figure 9: model vs measurement for the non-spilling sizes.
+    let gpu = Gpu::quadro_6000();
+    let p = ModelParams::table_iv();
+    for n in [24, 40, 56] {
+        let count = 2016;
+        let a = dd_batch(n, count);
+        let meas = api::qr_batch(&gpu, &a, &rep(Approach::PerBlock)).gflops();
+        let pred = per_block::predict_block(&p, &gpu.cfg, Algorithm::Qr, n, n, 0, 1, count).gflops;
+        let ratio = meas / pred;
+        assert!(
+            (0.6..1.55).contains(&ratio),
+            "n={n}: measured {meas:.1} vs predicted {pred:.1}"
+        );
+    }
+}
+
+#[test]
+fn per_block_peaks_then_drops_at_the_thread_switch() {
+    // Figure 9's signature shape.
+    let gpu = Gpu::quadro_6000();
+    let g = |n: usize| {
+        let a = dd_batch(n, 2016);
+        api::qr_batch(&gpu, &a, &rep(Approach::PerBlock)).gflops()
+    };
+    let g56 = g(56);
+    let g80 = g(80);
+    assert!(g56 > 100.0, "peak region should exceed 100 GFLOPS, got {g56}");
+    assert!(
+        g80 < 0.75 * g56,
+        "the 64->256 thread switch must drop throughput: {g56} -> {g80}"
+    );
+}
+
+#[test]
+fn table_v_cycle_counts_match_paper_magnitudes() {
+    let gpu = Gpu::quadro_6000();
+    let a = dd_batch(56, 1120);
+    let opts = rep(Approach::PerBlock);
+    let qr = api::qr_batch(&gpu, &a, &opts);
+    let s = &qr.stats.launches[0];
+    let compute = s.wave_cycles() - s.cycles_for("load") - s.cycles_for("store");
+    // Paper: 150203 cycles of compute. Accept 0.6x..1.5x.
+    assert!(
+        (90_000.0..230_000.0).contains(&compute),
+        "QR 56x56 compute {compute} cycles (paper: 150203)"
+    );
+    let lu = api::lu_batch(&gpu, &a, &opts);
+    let sl = &lu.stats.launches[0];
+    let lu_compute = sl.wave_cycles() - sl.cycles_for("load") - sl.cycles_for("store");
+    assert!(
+        lu_compute < 0.65 * compute,
+        "LU ({lu_compute}) should be much cheaper than QR ({compute})"
+    );
+}
+
+#[test]
+fn panel_breakdown_model_tracks_sim() {
+    // Figure 8: per-panel totals agree within 2x everywhere and the two
+    // series are both monotonically decreasing.
+    let gpu = Gpu::quadro_6000();
+    let p = ModelParams::table_iv();
+    let a = dd_batch(56, 1120);
+    let run = api::qr_batch(&gpu, &a, &rep(Approach::PerBlock));
+    let stats = &run.stats.launches[0];
+    let plan = regla::model::block_plan(56, 56, 0, 1);
+    let mut last_sim = f64::INFINITY;
+    for est in regla::model::qr_panels(&p, &plan, 8) {
+        let pn = est.panel;
+        let sim: f64 = stats.cycles_for(&format!("panel {pn}:"));
+        assert!(sim > 0.0, "panel {pn} has no measured cycles");
+        assert!(sim < last_sim, "panels must get cheaper");
+        last_sim = sim;
+        let ratio = sim / est.total();
+        assert!(
+            (0.45..2.2).contains(&ratio),
+            "panel {pn}: sim {sim:.0} vs model {:.0}",
+            est.total()
+        );
+    }
+}
+
+#[test]
+fn microbench_derived_params_predict_like_table_iv() {
+    // Closing the loop: parameters measured on the simulator feed the
+    // model and give essentially the same prediction as Table IV.
+    let gpu = Gpu::quadro_6000();
+    let measured = regla::microbench::derive_params(&gpu);
+    let table = ModelParams::table_iv();
+    let a = per_block::predict_block(&measured, &gpu.cfg, Algorithm::Qr, 56, 56, 0, 1, 8000);
+    let b = per_block::predict_block(&table, &gpu.cfg, Algorithm::Qr, 56, 56, 0, 1, 8000);
+    let ratio = a.gflops / b.gflops;
+    assert!(
+        (0.85..1.15).contains(&ratio),
+        "derived {:.1} vs table {:.1} GFLOPS",
+        a.gflops,
+        b.gflops
+    );
+}

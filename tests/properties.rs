@@ -1,0 +1,181 @@
+//! Property-based tests (proptest) on the core invariants: random shapes,
+//! random well-conditioned matrices, every path must satisfy the algebra.
+
+use proptest::prelude::*;
+use regla::core::{api, host, C32, Mat, MatBatch, RunOpts, Scalar};
+use regla::gpu_sim::Gpu;
+use regla::model::{block_plan, Approach};
+
+fn dd_mat_f32(n: usize, seed: u64) -> Mat<f32> {
+    let mut m = Mat::from_fn(n, n, |i, j| {
+        ((seed as usize + i * 31 + j * 17) % 19) as f32 / 19.0 - 0.4
+    });
+    m.make_diagonally_dominant();
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn host_qr_reconstructs_random_matrices(
+        m in 2usize..14,
+        extra in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let rows = m + extra;
+        let a = Mat::<f64>::from_fn(rows, m, |i, j| {
+            let h = ((i * 37 + j * 101 + seed as usize) % 97) as f64 / 97.0;
+            h + if i == j { 2.0 } else { 0.0 }
+        });
+        let mut f = a.clone();
+        let taus = host::householder_qr_in_place(&mut f);
+        let q = host::form_q(&f, &taus);
+        let r = host::extract_r(&f);
+        prop_assert!(q.matmul(&r).frob_dist(&a) < 1e-10 * a.frob_norm().max(1.0));
+        let qtq = q.hermitian_transpose().matmul(&q);
+        prop_assert!(qtq.frob_dist(&Mat::identity(rows)) < 1e-10);
+    }
+
+    #[test]
+    fn host_lu_solves_diagonally_dominant_systems(
+        n in 2usize..12,
+        seed in 0u64..1000,
+    ) {
+        let a = dd_mat_f32(n, seed);
+        let xs: Vec<f32> = (0..n).map(|i| (i as f32) - n as f32 / 2.0).collect();
+        let mut b = vec![0.0f32; n];
+        for i in 0..n {
+            for j in 0..n {
+                b[i] += a[(i, j)] * xs[j];
+            }
+        }
+        let mut f = a.clone();
+        let piv = host::lu_partial_pivot_in_place(&mut f).unwrap();
+        let x = host::lu_solve(&f, &piv, &b);
+        for (xi, ei) in x.iter().zip(&xs) {
+            prop_assert!((xi - ei).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn gj_and_qr_solvers_agree(n in 2usize..10, seed in 0u64..500) {
+        let a = dd_mat_f32(n, seed);
+        let b: Vec<f32> = (0..n).map(|i| ((i + seed as usize) % 7) as f32 - 3.0).collect();
+        let xg = host::gj_solve(&a, &b).unwrap();
+        let xq = host::qr_solve(&a, &b);
+        for (g, q) in xg.iter().zip(&xq) {
+            prop_assert!((g - q).abs() < 1e-2, "{g} vs {q}");
+        }
+    }
+
+    #[test]
+    fn complex_qr_gram_identity(n in 2usize..8, seed in 0u64..300) {
+        let a = Mat::from_fn(n + 2, n, |i, j| {
+            let s = seed as usize;
+            C32::new(
+                ((i * 13 + j * 29 + s) % 31) as f32 / 31.0 + if i == j { 1.5 } else { 0.0 },
+                ((i * 7 + j * 17 + s) % 23) as f32 / 23.0 - 0.4,
+            )
+        });
+        let mut f = a.clone();
+        host::householder_qr_in_place(&mut f);
+        let r = host::extract_r(&f);
+        let ata = a.hermitian_transpose().matmul(&a);
+        let rtr = r.hermitian_transpose().matmul(&r);
+        prop_assert!(rtr.frob_dist(&ata) < 2e-3 * ata.frob_norm().max(1.0));
+    }
+
+    #[test]
+    fn block_plan_invariants(m in 1usize..300, n in 1usize..300, ew in 1usize..3) {
+        prop_assume!(m >= n);
+        let p = block_plan(m, n, 0, ew);
+        // The thread grid is square and the tile covers the matrix.
+        prop_assert_eq!(p.rdim * p.rdim, p.threads);
+        prop_assert!(p.hreg * p.rdim >= m);
+        prop_assert!(p.wreg * p.rdim >= n);
+        prop_assert!(p.regs_per_thread >= p.hreg * p.wreg * ew);
+        prop_assert!(p.panels() >= 1);
+    }
+
+    #[test]
+    fn occupancy_is_monotone_in_resources(
+        threads in prop::sample::select(vec![32usize, 64, 128, 256, 512]),
+        regs in 8usize..70,
+        shared_kb in 0usize..24,
+    ) {
+        let cfg = regla::gpu_sim::GpuConfig::quadro_6000();
+        let occ = regla::gpu_sim::occupancy(&cfg, threads, regs, shared_kb * 1024);
+        prop_assert!(occ.blocks_per_sm >= 1);
+        prop_assert!(occ.blocks_per_sm <= cfg.max_blocks_per_sm);
+        prop_assert!(occ.threads_per_sm <= cfg.max_threads_per_sm.max(threads));
+        // More registers can never increase occupancy.
+        let occ2 = regla::gpu_sim::occupancy(&cfg, threads, regs + 8, shared_kb * 1024);
+        prop_assert!(occ2.blocks_per_sm <= occ.blocks_per_sm);
+    }
+}
+
+proptest! {
+    // Device runs are slower; keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn device_gj_solves_random_batches(
+        n in 3usize..20,
+        count in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let gpu = Gpu::quadro_6000();
+        let mut a = MatBatch::from_fn(n, n, count, |k, i, j| {
+            ((seed as usize + k * 41 + i * 13 + j * 7) % 27) as f32 / 27.0 - 0.45
+        });
+        for k in 0..count {
+            let mut m = a.mat(k);
+            m.make_diagonally_dominant();
+            a.set_mat(k, &m);
+        }
+        let b = MatBatch::from_fn(n, 1, count, |k, i, _| ((k + i) % 9) as f32 - 4.0);
+        let run = api::gj_solve_batch(&gpu, &a, &b, &RunOpts::default());
+        for k in 0..count {
+            let x: Vec<f32> = (0..n).map(|i| run.out.get(k, i, n)).collect();
+            let bk: Vec<f32> = (0..n).map(|i| b.get(k, i, 0)).collect();
+            prop_assert!(host::residual_norm(&a.mat(k), &x, &bk) < 2e-2);
+        }
+    }
+
+    #[test]
+    fn device_qr_gram_identity_random_shapes(
+        n in 3usize..16,
+        extra in 0usize..8,
+        seed in 0u64..100,
+    ) {
+        let gpu = Gpu::quadro_6000();
+        let m = n + extra;
+        let a = MatBatch::from_fn(m, n, 2, |k, i, j| {
+            ((seed as usize + k * 3 + i * 31 + j * 17) % 23) as f32 / 23.0
+                + if i == j { 1.5 } else { 0.0 }
+        });
+        let opts = RunOpts {
+            approach: Some(Approach::PerBlock),
+            ..Default::default()
+        };
+        let run = api::qr_batch(&gpu, &a, &opts);
+        for k in 0..2 {
+            let am = a.mat(k);
+            let r = host::extract_r(&run.out.mat(k));
+            let ata = am.hermitian_transpose().matmul(&am);
+            let rtr = r.hermitian_transpose().matmul(&r);
+            prop_assert!(
+                rtr.frob_dist(&ata) < 1e-2 * ata.frob_norm().max(1.0),
+                "shape {}x{} problem {k}", m, n
+            );
+        }
+    }
+}
+
+#[test]
+fn scalar_abs2_is_norm_squared() {
+    // A deterministic sanity anchor for the property files.
+    assert_eq!(Scalar::abs2(C32::new(3.0, 4.0)), 25.0);
+    assert_eq!(Scalar::abs2(-5.0f32), 25.0);
+}
