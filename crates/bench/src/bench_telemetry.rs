@@ -1,0 +1,127 @@
+//! Per-experiment wall-clock telemetry for the benchmark harness.
+//!
+//! The simulator keeps process-wide counters of its own host-side cost
+//! (`regla_gpu_sim::telemetry`); this module drains them once per
+//! experiment and renders the collected records as `results/BENCH_sim.json`
+//! so regressions in *simulator* speed — as opposed to simulated GPU time —
+//! are visible across commits. JSON is hand-rolled: the workspace has no
+//! serde, and the schema is flat.
+
+use regla_gpu_sim::{telemetry, SimTelemetry};
+
+/// One experiment's host-side cost.
+#[derive(Clone, Debug)]
+pub struct ExperimentTelemetry {
+    pub id: String,
+    /// Wall-clock of the whole experiment (including CPU baselines etc.).
+    pub wall_s: f64,
+    /// The simulator's share: launches, functional blocks, wall time,
+    /// replay thread counts.
+    pub sim: SimTelemetry,
+}
+
+/// Collects per-experiment simulator telemetry for one harness run.
+#[derive(Default)]
+pub struct Collector {
+    records: Vec<ExperimentTelemetry>,
+}
+
+impl Collector {
+    /// Start collecting; resets the simulator's counters so the first
+    /// experiment doesn't inherit earlier launches.
+    pub fn new() -> Self {
+        telemetry::take();
+        Collector::default()
+    }
+
+    /// Close out one experiment: drain the simulator counters accumulated
+    /// since the previous call and file them under `id`.
+    pub fn record(&mut self, id: &str, wall_s: f64) -> &ExperimentTelemetry {
+        self.records.push(ExperimentTelemetry {
+            id: id.to_string(),
+            wall_s,
+            sim: telemetry::take(),
+        });
+        self.records.last().unwrap()
+    }
+
+    pub fn records(&self) -> &[ExperimentTelemetry] {
+        &self.records
+    }
+
+    /// One-line human summary of an experiment's simulator cost.
+    pub fn summary_line(r: &ExperimentTelemetry) -> String {
+        format!(
+            "{}: {:.2}s wall ({:.2}s in simulator, {} launches, {} blocks \
+             replayed at {:.0} blocks/s, {} host thread(s))",
+            r.id,
+            r.wall_s,
+            r.sim.wall_s,
+            r.sim.launches,
+            r.sim.functional_blocks,
+            r.sim.blocks_per_sec(),
+            r.sim.max_host_threads.max(1),
+        )
+    }
+
+    /// Render every record as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"experiments\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": \"{}\", \"wall_s\": {:.6}, \"sim_wall_s\": {:.6}, \
+                 \"launches\": {}, \"functional_blocks\": {}, \
+                 \"blocks_per_sec\": {:.1}, \"host_threads\": {}}}{}\n",
+                escape(&r.id),
+                r.wall_s,
+                r.sim.wall_s,
+                r.sim.launches,
+                r.sim.functional_blocks,
+                r.sim.blocks_per_sec(),
+                r.sim.max_host_threads.max(1),
+                if i + 1 < self.records.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Write the JSON document to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_has_one_entry_per_experiment() {
+        let mut c = Collector::new();
+        c.record("exp_a", 0.5);
+        c.record("exp_b", 1.5);
+        let j = c.to_json();
+        assert!(j.contains("\"id\": \"exp_a\""));
+        assert!(j.contains("\"id\": \"exp_b\""));
+        assert!(j.contains("\"wall_s\": 1.500000"));
+        assert_eq!(j.matches("\"launches\"").count(), 2);
+        // Exactly one trailing comma between the two entries.
+        assert_eq!(j.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn escape_handles_quotes() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

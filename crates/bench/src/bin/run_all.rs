@@ -1,4 +1,10 @@
-//! Regenerates every table and figure into `results/` (markdown + CSV).
+//! Regenerates every table and figure into `results/` (markdown + CSV),
+//! plus `results/BENCH_sim.json` with per-experiment simulator wall-clock.
+//!
+//! `--quick` shrinks every experiment to its fast configuration (smaller
+//! batches and sweeps; the sampled-execution figures replay even fewer
+//! blocks) — same tables, lower fidelity, minutes instead of hours.
+use regla_bench::bench_telemetry::Collector;
 use std::fs;
 use std::time::Instant;
 
@@ -32,9 +38,11 @@ fn md_to_csv(report: &str) -> String {
 }
 
 fn main() {
-    let fast = regla_bench::fast_mode();
+    let quick = std::env::args().skip(1).any(|a| a == "--quick" || a == "-q");
+    let fast = quick || regla_bench::fast_mode();
     fs::create_dir_all("results").expect("create results dir");
     let mut index = String::from("# regla experiment results\n\n");
+    let mut telemetry = Collector::new();
     for (id, title, run) in regla_bench::experiments::ALL {
         let t0 = Instant::now();
         eprintln!("running {id} ...");
@@ -43,8 +51,16 @@ fn main() {
         fs::write(format!("results/{id}.md"), &report).expect("write report");
         fs::write(format!("results/{id}.csv"), md_to_csv(&report)).expect("write csv");
         println!("{report}");
+        let rec = telemetry.record(id, secs);
+        eprintln!("  {}", Collector::summary_line(rec));
         index.push_str(&format!("- [{title}]({id}.md) ({secs:.1}s)\n"));
     }
     fs::write("results/README.md", index).expect("write index");
-    eprintln!("all experiments written to results/ (markdown + CSV)");
+    telemetry
+        .write("results/BENCH_sim.json")
+        .expect("write BENCH_sim.json");
+    eprintln!(
+        "all experiments written to results/ (markdown + CSV); simulator \
+         wall-clock telemetry in results/BENCH_sim.json"
+    );
 }

@@ -269,7 +269,7 @@ pub fn ablation_streams(fast: bool) -> String {
         let a = f32_batch(n, n, count, true, 0x600 + n as u64);
         let flops = regla_model::Algorithm::Qr.flops(n, n) * count as f64;
         let pb = api::qr_batch(&gpu, &a, &base(Approach::PerBlock)).gflops();
-        let mut cublas = |streams: usize| {
+        let cublas = |streams: usize| {
             let mut gmem = GlobalMemory::new(a.words_per_mat() * count + count * (n + 8) + 4096);
             let ptr = a.to_device(&mut gmem);
             let opts = GlobalLevelOpts {

@@ -17,6 +17,19 @@ fn rep_opts(approach: Approach) -> RunOpts {
     }
 }
 
+/// Sampled execution: timing is still traced-block exact, but `k`
+/// evenly-spaced blocks also run functionally so a spread of problems
+/// across the batch has real outputs to spot-check. Used by the per-thread
+/// sweeps (Figures 4 and 10), whose huge grids make `Full` replay the
+/// dominant host cost; see EXPERIMENTS.md.
+fn sampled_opts(approach: Approach, k: usize) -> RunOpts {
+    RunOpts {
+        exec: ExecMode::Sampled(k),
+        approach: Some(approach),
+        ..Default::default()
+    }
+}
+
 /// Figure 1 — global memory latency as a function of access stride.
 pub fn fig1(fast: bool) -> String {
     let gpu = Gpu::quadro_6000();
@@ -66,8 +79,8 @@ pub fn fig4(fast: bool) -> String {
     for n in 3..=12 {
         let count = sweep_count(n, full);
         let a = f32_batch(n, n, count, true, 0x40 + n as u64);
-        let qr = api::qr_batch(&gpu, &a, &rep_opts(Approach::PerThread));
-        let lu = api::lu_batch(&gpu, &a, &rep_opts(Approach::PerThread));
+        let qr = api::qr_batch(&gpu, &a, &sampled_opts(Approach::PerThread, 8));
+        let lu = api::lu_batch(&gpu, &a, &sampled_opts(Approach::PerThread, 8));
         let qr_pred = per_thread::predicted_gflops(&params, Algorithm::Qr, n, 4);
         let lu_pred = per_thread::predicted_gflops(&params, Algorithm::Lu, n, 4);
         let spilled = lu.stats.launches[0].occupancy.regs_spilled > 0;
@@ -243,7 +256,7 @@ pub fn fig10(fast: bool) -> String {
         let pt = if n <= 128 {
             let count = sweep_count(n, 64000);
             let a = f32_batch(n, n, count, true, 0xA0 + n as u64);
-            let g = api::qr_batch(&gpu, &a, &rep_opts(Approach::PerThread)).gflops();
+            let g = api::qr_batch(&gpu, &a, &sampled_opts(Approach::PerThread, 8)).gflops();
             last_pt = g;
             f(g)
         } else {

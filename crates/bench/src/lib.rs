@@ -5,6 +5,7 @@
 //! measured (simulator) and predicted (analytic model) values. `run_all`
 //! regenerates everything into `results/`.
 
+pub mod bench_telemetry;
 pub mod experiments;
 pub mod report;
 pub mod workloads;

@@ -34,6 +34,11 @@ pub struct RunOpts {
     /// Force the per-block thread count (must be a perfect square for the
     /// 2D layout); `None` uses the paper's 64/256 rule. Occupancy ablation.
     pub force_threads: Option<usize>,
+    /// Host worker threads for the simulator's functional replay; `None`
+    /// defers to `REGLA_SIM_THREADS` and then to available parallelism.
+    /// Purely a host-side knob — simulated results are bit-identical at
+    /// every thread count.
+    pub host_threads: Option<usize>,
 }
 
 impl Default for RunOpts {
@@ -47,6 +52,7 @@ impl Default for RunOpts {
             tree_reduction: false,
             lu_listing7: false,
             force_threads: None,
+            host_threads: None,
         }
     }
 }
@@ -154,13 +160,14 @@ fn run_inplace<T: DeviceScalar>(
                 .regs(kern.regs_per_thread())
                 .shared_words(0)
                 .math(opts.math)
-                .exec(opts.exec);
+                .exec(opts.exec)
+                .host_threads(opts.host_threads);
             stats.push(gpu.launch(&kern, &lc, &mut gmem));
         }
         Approach::PerBlock => {
             let lm = layout_for(opts, m, cols, ew);
             let regs = lm.local_len() * ew + 14;
-            let (shared_words, launch): (usize, Box<dyn regla_gpu_sim::BlockKernel>) = match alg
+            let (shared_words, launch): (usize, Box<dyn regla_gpu_sim::BlockKernel + Sync>) = match alg
             {
                 PtAlg::Lu => {
                     let mut k = LuBlockKernel::<T::Dev>::new(view, lm, count).with_flag(d_flag);
@@ -196,7 +203,8 @@ fn run_inplace<T: DeviceScalar>(
                 .regs(regs)
                 .shared_words(shared_words)
                 .math(opts.math)
-                .exec(opts.exec);
+                .exec(opts.exec)
+                .host_threads(opts.host_threads);
             stats.push(gpu.launch(launch.as_ref(), &lc, &mut gmem));
         }
         Approach::Tiled => {
@@ -208,6 +216,7 @@ fn run_inplace<T: DeviceScalar>(
                 panel: opts.panel,
                 math: opts.math,
                 exec: opts.exec,
+                host_threads: opts.host_threads,
             };
             let agg = tiled_qr::<T::Dev>(gpu, &mut gmem, view, m, nfac, rhs, count, d_tau, topts);
             for l in agg.launches {
@@ -409,7 +418,8 @@ pub fn gemm_batch<T: DeviceScalar>(
         .regs(lm.local_len() * ew + 14)
         .shared_words(kern.shared_words())
         .math(opts.math)
-        .exec(opts.exec);
+        .exec(opts.exec)
+        .host_threads(opts.host_threads);
     let mut stats = MultiLaunch::default();
     stats.push(gpu.launch(&kern, &lc, &mut gmem));
     let out = MatBatch::<T>::from_device(m, n, count, &gmem, pc);
@@ -445,6 +455,7 @@ pub fn tsqr_least_squares<T: DeviceScalar>(
     let topts = TsqrOpts {
         math: opts.math,
         exec: opts.exec,
+        host_threads: opts.host_threads,
         ..Default::default()
     };
     let (rptr, stats) = tsqr::<T::Dev>(gpu, &mut gmem, view, m, n, 1, count, topts);

@@ -11,7 +11,7 @@ use regla_gpu_sim::{CRv, DPtr, RegVal, Rv, ThreadCtx};
 
 /// A value that lives in device registers and can flow through the
 /// simulated shared/global memories.
-pub trait Elem: RegVal + 'static {
+pub trait Elem: RegVal + Send + Sync + 'static {
     /// The host scalar this element marshals to/from.
     type Host: Scalar;
     /// 32-bit words per element.

@@ -32,6 +32,8 @@ pub struct GlobalLevelOpts {
     pub streams: usize,
     pub math: MathMode,
     pub exec: ExecMode,
+    /// Host worker threads for the simulator's functional replay.
+    pub host_threads: Option<usize>,
 }
 
 impl Default for GlobalLevelOpts {
@@ -40,6 +42,7 @@ impl Default for GlobalLevelOpts {
             streams: 1,
             math: MathMode::Fast,
             exec: ExecMode::Representative,
+            host_threads: None,
         }
     }
 }
@@ -266,6 +269,7 @@ pub fn global_level_qr<E: Elem>(
             .shared_words(shared)
             .math(opts.math)
             .exec(opts.exec)
+            .host_threads(opts.host_threads)
     };
     for k in 0..n.min(m) {
         let norm = NormKernel::<E> {

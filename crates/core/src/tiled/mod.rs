@@ -53,6 +53,8 @@ pub struct TiledOpts {
     pub panel: usize,
     pub math: MathMode,
     pub exec: ExecMode,
+    /// Host worker threads for the simulator's functional replay.
+    pub host_threads: Option<usize>,
 }
 
 impl Default for TiledOpts {
@@ -61,6 +63,7 @@ impl Default for TiledOpts {
             panel: 16,
             math: MathMode::Fast,
             exec: ExecMode::Full,
+            host_threads: None,
         }
     }
 }
@@ -104,7 +107,8 @@ pub fn tiled_qr<E: Elem>(
             .regs(regs)
             .shared_words(kern.shared_words())
             .math(opts.math)
-            .exec(opts.exec);
+            .exec(opts.exec)
+            .host_threads(opts.host_threads);
         agg.push(gpu.launch(&kern, &lc, gmem));
 
         // --- apply the reflectors to the trailing columns ---------------
@@ -126,7 +130,8 @@ pub fn tiled_qr<E: Elem>(
                 .regs(regs)
                 .shared_words(apply.shared_words())
                 .math(opts.math)
-                .exec(opts.exec);
+                .exec(opts.exec)
+                .host_threads(opts.host_threads);
             agg.push(gpu.launch(&apply, &lc, gmem));
         }
         j0 += pw;

@@ -31,6 +31,8 @@ pub struct TsqrOpts {
     pub block_rows: usize,
     pub math: MathMode,
     pub exec: ExecMode,
+    /// Host worker threads for the simulator's functional replay.
+    pub host_threads: Option<usize>,
 }
 
 impl Default for TsqrOpts {
@@ -39,6 +41,7 @@ impl Default for TsqrOpts {
             block_rows: 0, // resolved per matrix
             math: MathMode::Fast,
             exec: ExecMode::Full,
+            host_threads: None,
         }
     }
 }
@@ -110,6 +113,7 @@ impl<E: Elem> BlockKernel for GatherPairs<E> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn qr_stage<E: Elem>(
     gpu: &Gpu,
     gmem: &mut GlobalMemory,
@@ -128,7 +132,8 @@ fn qr_stage<E: Elem>(
         .regs(lm.local_len() * E::WORDS + 14)
         .shared_words(kern.shared_words())
         .math(opts.math)
-        .exec(opts.exec);
+        .exec(opts.exec)
+        .host_threads(opts.host_threads);
     agg.push(gpu.launch(&kern, &lc, gmem));
 }
 
@@ -202,7 +207,8 @@ pub fn tsqr<E: Elem>(
             .regs(16)
             .shared_words(0)
             .math(opts.math)
-            .exec(opts.exec);
+            .exec(opts.exec)
+            .host_threads(opts.host_threads);
         agg.push(gpu.launch(&gather, &lc, gmem));
 
         // Factor every stacked pair: count*pairs problems of 2n x cols.
@@ -237,7 +243,8 @@ pub fn tsqr<E: Elem>(
         .regs(16)
         .shared_words(0)
         .math(opts.math)
-        .exec(opts.exec);
+        .exec(opts.exec)
+        .host_threads(opts.host_threads);
     agg.push(gpu.launch(&gather, &lc, gmem));
     let out = gmem.alloc(count * n * cols * E::WORDS);
     let compact = CompactTop::<E> {

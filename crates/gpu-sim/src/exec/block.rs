@@ -10,8 +10,9 @@
 
 use crate::config::{GpuConfig, MathMode};
 use crate::exec::thread::{AccessRec, PhaseAccum, SpillInfo, ThreadCtx, ThreadTiming};
+use crate::mem::global::GmemAccess;
 use crate::mem::shared::{bank_conflict_replays, coalesced_transactions, distinct_lines};
-use crate::mem::{GlobalMemory, MemHier};
+use crate::mem::MemHier;
 use crate::timing::PhaseRecord;
 
 /// Execution context for one thread block.
@@ -30,7 +31,7 @@ pub struct BlockCtx<'a> {
     phase_start: u64,
     label: String,
     records: Vec<PhaseRecord>,
-    gmem: &'a mut GlobalMemory,
+    gmem: GmemAccess<'a>,
     memhier: &'a mut MemHier,
 }
 
@@ -45,7 +46,7 @@ impl<'a> BlockCtx<'a> {
         cfg: &'a GpuConfig,
         math: MathMode,
         spill: SpillInfo,
-        gmem: &'a mut GlobalMemory,
+        gmem: GmemAccess<'a>,
         memhier: &'a mut MemHier,
     ) -> Self {
         BlockCtx {
@@ -71,6 +72,7 @@ impl<'a> BlockCtx<'a> {
     /// Reuse this context for another (untraced) block without reallocating.
     pub(crate) fn reset_for_block(&mut self, block_id: usize) {
         self.block_id = block_id;
+        self.gmem.set_block(block_id);
         self.shared.fill(0.0);
         self.shared_ready.fill(0);
         for t in &mut self.threads {
@@ -111,7 +113,7 @@ impl<'a> BlockCtx<'a> {
                 tt: &mut self.threads[tid],
                 shared: &mut self.shared,
                 shared_ready: &mut self.shared_ready,
-                gmem: self.gmem,
+                gmem: &mut self.gmem,
                 phase: &mut self.phase,
                 memhier: self.memhier,
                 spill: self.spill,

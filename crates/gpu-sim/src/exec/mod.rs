@@ -5,10 +5,12 @@ pub mod occupancy;
 pub mod thread;
 
 use crate::config::{GpuConfig, MathMode};
+use crate::mem::global::GmemAccess;
 use crate::mem::{GlobalMemory, MemHier};
 use crate::timing::{combine, LaunchStats};
 use block::BlockCtx;
 use occupancy::occupancy;
+use std::time::Instant;
 use thread::SpillInfo;
 
 /// How much of the grid to execute functionally.
@@ -17,6 +19,12 @@ pub enum ExecMode {
     /// Run every block: outputs are valid for the whole batch.
     #[default]
     Full,
+    /// Run the traced block plus `k-1` further evenly-spaced blocks, so a
+    /// spread of problems across the batch gets real outputs (enough for
+    /// spot-checking numerics) at a fraction of `Full`'s host cost. `k`
+    /// counts executed blocks including block 0 and is clamped to the grid;
+    /// `Sampled(0)` is rejected at launch.
+    Sampled(usize),
     /// Run only the traced block (block 0): timing is exact (all blocks
     /// execute identical code), but only problem 0's output is computed.
     /// Used by the performance harnesses to sweep large batches quickly.
@@ -36,6 +44,12 @@ pub struct LaunchConfig {
     pub shared_words: usize,
     pub math: MathMode,
     pub exec: ExecMode,
+    /// Host worker threads for the functional replay. `None` defers to the
+    /// `REGLA_SIM_THREADS` environment variable and then to
+    /// `std::thread::available_parallelism()`. Replay results are
+    /// bit-identical at every thread count; this only trades host
+    /// wall-clock for cores.
+    pub host_threads: Option<usize>,
 }
 
 impl LaunchConfig {
@@ -47,6 +61,7 @@ impl LaunchConfig {
             shared_words: 1024,
             math: MathMode::Fast,
             exec: ExecMode::Full,
+            host_threads: None,
         }
     }
 
@@ -68,6 +83,59 @@ impl LaunchConfig {
     pub fn exec(mut self, e: ExecMode) -> Self {
         self.exec = e;
         self
+    }
+
+    pub fn host_threads(mut self, t: impl Into<Option<usize>>) -> Self {
+        self.host_threads = t.into();
+        self
+    }
+}
+
+/// Resolve the replay thread count: explicit config, then the
+/// `REGLA_SIM_THREADS` environment variable, then available parallelism.
+fn resolve_host_threads(lc: &LaunchConfig) -> usize {
+    lc.host_threads
+        .or_else(|| {
+            std::env::var("REGLA_SIM_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        })
+        .max(1)
+}
+
+/// Whether the disjoint-write checker runs: always in debug builds, and in
+/// release when `REGLA_SIM_CHECK=1` (`REGLA_SIM_CHECK=0` force-disables).
+fn check_writes_enabled() -> bool {
+    match std::env::var("REGLA_SIM_CHECK") {
+        Ok(v) => v.trim() != "0" && !v.trim().is_empty(),
+        Err(_) => cfg!(debug_assertions),
+    }
+}
+
+/// The blocks (besides traced block 0) to execute functionally.
+fn replay_blocks(lc: &LaunchConfig) -> Vec<usize> {
+    match lc.exec {
+        ExecMode::Full => (1..lc.grid_blocks).collect(),
+        ExecMode::Representative => Vec::new(),
+        ExecMode::Sampled(k) => {
+            assert!(
+                k >= 1,
+                "ExecMode::Sampled(0) is invalid: at least one block (the \
+                 traced block 0) must execute; use Representative to skip \
+                 the functional replay entirely"
+            );
+            // k evenly-spaced blocks over the grid, always including 0
+            // (already traced, so excluded from the replay list).
+            let k = k.min(lc.grid_blocks);
+            let mut blocks: Vec<usize> =
+                (0..k).map(|i| i * lc.grid_blocks / k).collect();
+            blocks.dedup();
+            blocks.retain(|&b| b != 0);
+            blocks
+        }
     }
 }
 
@@ -101,15 +169,23 @@ impl Gpu {
     ///
     /// Block 0 is executed with full tracing (scoreboard timing, conflict
     /// and coalescing analysis); the remaining blocks execute functionally
-    /// (or are skipped under [`ExecMode::Representative`]). Timing is then
-    /// extrapolated over the grid via the occupancy and wave model.
-    pub fn launch<K: BlockKernel + ?Sized>(
+    /// (or are skipped under [`ExecMode::Representative`], sampled under
+    /// [`ExecMode::Sampled`]). Timing is then extrapolated over the grid
+    /// via the occupancy and wave model.
+    ///
+    /// The functional replay is sharded across host worker threads (see
+    /// [`LaunchConfig::host_threads`]); simulated results — `LaunchStats`
+    /// and device memory — are bit-identical at every thread count, because
+    /// timing comes solely from the traced block and each replayed block
+    /// writes only its own problem's output.
+    pub fn launch<K: BlockKernel + Sync + ?Sized>(
         &self,
         kernel: &K,
         lc: &LaunchConfig,
         gmem: &mut GlobalMemory,
     ) -> LaunchStats {
         assert!(lc.grid_blocks >= 1, "empty grid");
+        let wall_start = Instant::now();
         let occ = occupancy(
             &self.cfg,
             lc.threads_per_block,
@@ -157,42 +233,111 @@ impl Gpu {
                 &self.cfg,
                 lc.math,
                 spill,
-                gmem,
+                GmemAccess::Excl(gmem),
                 &mut memhier,
             );
             kernel.run(&mut ctx);
             ctx.finish()
         };
 
-        // Functional execution of the rest of the grid.
-        if lc.exec == ExecMode::Full && lc.grid_blocks > 1 {
-            let mut blk = BlockCtx::new(
-                1,
-                lc.grid_blocks,
-                false,
-                lc.threads_per_block,
-                lc.shared_words,
-                &self.cfg,
-                lc.math,
-                spill,
-                gmem,
-                &mut memhier,
-            );
-            kernel.run(&mut blk);
-            for b in 2..lc.grid_blocks {
-                blk.reset_for_block(b);
+        // Functional execution of the rest of the grid, sharded over host
+        // worker threads. Each worker gets a contiguous chunk of the block
+        // list, its own reused block context and memory hierarchy, and a
+        // shared read / per-block write view of device memory.
+        let blocks = replay_blocks(lc);
+        let mut workers = 1usize;
+        let mut utilization = 1.0f64;
+        if !blocks.is_empty() {
+            workers = resolve_host_threads(lc).min(blocks.len());
+            let check = check_writes_enabled();
+            if workers == 1 && !check {
+                // Zero-overhead sequential path through the exclusive borrow.
+                let mut blk = BlockCtx::new(
+                    blocks[0],
+                    lc.grid_blocks,
+                    false,
+                    lc.threads_per_block,
+                    lc.shared_words,
+                    &self.cfg,
+                    lc.math,
+                    spill,
+                    GmemAccess::Excl(gmem),
+                    &mut memhier,
+                );
                 kernel.run(&mut blk);
+                for &b in &blocks[1..] {
+                    blk.reset_for_block(b);
+                    kernel.run(&mut blk);
+                }
+            } else {
+                let shared = gmem.share(check);
+                let replay_start = Instant::now();
+                let chunk = blocks.len().div_ceil(workers);
+                let busy: Vec<std::time::Duration> = std::thread::scope(|s| {
+                    let handles: Vec<_> = blocks
+                        .chunks(chunk)
+                        .map(|shard| {
+                            let shared = &shared;
+                            let cfg = &self.cfg;
+                            s.spawn(move || {
+                                let t0 = Instant::now();
+                                let mut memhier = MemHier::new(cfg);
+                                let mut blk = BlockCtx::new(
+                                    shard[0],
+                                    lc.grid_blocks,
+                                    false,
+                                    lc.threads_per_block,
+                                    lc.shared_words,
+                                    cfg,
+                                    lc.math,
+                                    spill,
+                                    GmemAccess::Worker(shared.worker(shard[0])),
+                                    &mut memhier,
+                                );
+                                kernel.run(&mut blk);
+                                for &b in &shard[1..] {
+                                    blk.reset_for_block(b);
+                                    kernel.run(&mut blk);
+                                }
+                                t0.elapsed()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            h.join()
+                                .unwrap_or_else(|e| std::panic::resume_unwind(e))
+                        })
+                        .collect()
+                });
+                let replay_wall = replay_start.elapsed().as_secs_f64();
+                if replay_wall > 0.0 {
+                    let busy_s: f64 = busy.iter().map(|d| d.as_secs_f64()).sum();
+                    utilization = (busy_s / (workers as f64 * replay_wall)).min(1.0);
+                }
             }
         }
 
-        combine(
+        let mut stats = combine(
             &self.cfg,
             occ,
             ctx,
             lc.grid_blocks,
             lc.threads_per_block,
             spill.dram_frac > 0.0,
-        )
+        );
+        let wall = wall_start.elapsed();
+        stats.sim_wall_s = wall.as_secs_f64();
+        stats.sim_blocks = blocks.len();
+        stats.sim_host_threads = workers;
+        stats.sim_worker_utilization = utilization;
+        crate::telemetry::record_launch(
+            wall.as_nanos().min(u128::from(u64::MAX)) as u64,
+            blocks.len(),
+            workers,
+        );
+        stats
     }
 }
 
@@ -343,7 +488,7 @@ mod tests {
     fn independent_fp_ops_reach_issue_throughput() {
         // Many independent ops across many warps: throughput-bound.
         let gpu = Gpu::quadro_6000();
-        let mut mem = GlobalMemory::with_bytes(4096);
+        let mut mem = GlobalMemory::with_bytes(1 << 20);
         let n = 256usize;
         let k = move |blk: &mut BlockCtx| {
             blk.for_each(|t| {
@@ -358,7 +503,8 @@ mod tests {
                 for a in &accs[1..] {
                     s = t.add(s, *a);
                 }
-                t.gstore(DPtr(0), t.tid, s);
+                // Per-block output slab: blocks must write disjoint words.
+                t.gstore(DPtr(0), t.block_id * 256 + t.tid, s);
             });
         };
         let lc = LaunchConfig::new(112, 256).regs(24).shared_words(0);
@@ -384,7 +530,7 @@ mod tests {
                         a.set(t, i, y);
                     }
                     let last = a.get(t, regs - 1);
-                    t.gstore(DPtr(0), t.tid, last);
+                    t.gstore(DPtr(0), t.block_id * 64 + t.tid, last);
                 });
             };
             let lc = LaunchConfig::new(112, 64).regs(regs).shared_words(0);

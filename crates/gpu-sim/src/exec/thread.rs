@@ -10,7 +10,8 @@
 //! high-occupancy streaming kernels reach the throughput bounds.
 
 use crate::config::{GpuConfig, MathMode};
-use crate::mem::{DPtr, GlobalMemory, MemHier};
+use crate::mem::global::GmemAccess;
+use crate::mem::{DPtr, MemHier};
 
 /// Functional-unit classes with distinct issue ports/intervals.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -145,7 +146,13 @@ pub(crate) struct SpillInfo {
 }
 
 /// The device-side view of one thread.
-pub struct ThreadCtx<'a> {
+///
+/// The second lifetime `'m` is the device-memory borrow carried by the
+/// [`GmemAccess`] handle; it outlives the per-`for_each` borrow `'a`, which
+/// is what lets replay workers reuse one block context across many blocks
+/// while sharing the memory view. Elision hides both from kernels, which
+/// only ever see `&mut ThreadCtx`.
+pub struct ThreadCtx<'a, 'm> {
     pub tid: usize,
     pub block_id: usize,
     pub(crate) traced: bool,
@@ -154,13 +161,13 @@ pub struct ThreadCtx<'a> {
     pub(crate) tt: &'a mut ThreadTiming,
     pub(crate) shared: &'a mut [f32],
     pub(crate) shared_ready: &'a mut [u64],
-    pub(crate) gmem: &'a mut GlobalMemory,
+    pub(crate) gmem: &'a mut GmemAccess<'m>,
     pub(crate) phase: &'a mut PhaseAccum,
     pub(crate) memhier: &'a mut MemHier,
     pub(crate) spill: SpillInfo,
 }
 
-impl<'a> ThreadCtx<'a> {
+impl ThreadCtx<'_, '_> {
     #[inline]
     fn interval(&self, c: Class) -> u64 {
         match c {

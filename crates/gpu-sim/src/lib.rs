@@ -42,6 +42,7 @@ pub mod config;
 pub mod exec;
 pub mod host;
 pub mod mem;
+pub mod telemetry;
 pub mod timing;
 
 pub use config::{GpuConfig, MathMode};
@@ -51,4 +52,5 @@ pub use exec::thread::{trunc22, CRv, RegArray, RegVal, Rv, ThreadCtx};
 pub use exec::{BlockKernel, ExecMode, Gpu, LaunchConfig};
 pub use host::{cuda_memcpy_gbs, cuda_memcpy_secs, PcieModel};
 pub use mem::{DPtr, GlobalMemory, MemHier};
+pub use telemetry::SimTelemetry;
 pub use timing::{LaunchStats, PhaseBound, PhaseRecord, PhaseTime};

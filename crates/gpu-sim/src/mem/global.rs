@@ -35,10 +35,146 @@ impl DPtr {
     }
 }
 
+use std::sync::atomic::{AtomicU32, Ordering};
+
 /// Flat simulated DRAM with a bump allocator.
 pub struct GlobalMemory {
     data: Vec<f32>,
     next: usize,
+}
+
+/// How a block context reaches device memory: exclusively (traced block,
+/// sequential replay) or through a shared worker view (parallel replay).
+///
+/// Kernels never see this type; they go through `ThreadCtx::gload` /
+/// `gstore`, which delegate here. Keeping the enum `pub(crate)` is what
+/// lets the parallel path exist without any `unsafe` or raw-pointer type
+/// leaking into the public API: `Gpu::launch` still takes
+/// `&mut GlobalMemory`, and every aliased access is confined to
+/// [`WorkerGmem`] below.
+pub(crate) enum GmemAccess<'m> {
+    /// Exclusive access through the normal borrow-checked path.
+    Excl(&'m mut GlobalMemory),
+    /// One replay worker's handle onto memory shared across workers.
+    Worker(WorkerGmem<'m>),
+}
+
+impl GmemAccess<'_> {
+    #[inline]
+    pub(crate) fn read(&self, p: DPtr, idx: usize) -> f32 {
+        match self {
+            GmemAccess::Excl(g) => g.read(p, idx),
+            GmemAccess::Worker(w) => w.read(p.0 + idx),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn write(&mut self, p: DPtr, idx: usize, v: f32) {
+        match self {
+            GmemAccess::Excl(g) => g.write(p, idx, v),
+            GmemAccess::Worker(w) => w.write(p.0 + idx, v),
+        }
+    }
+
+    /// Inform the disjoint-write checker which block now owns this context
+    /// (no-op for exclusive access).
+    pub(crate) fn set_block(&mut self, block_id: usize) {
+        if let GmemAccess::Worker(w) = self {
+            w.block_id = block_id as u32 + 1;
+        }
+    }
+}
+
+/// Device memory re-viewed as shared atomic words for the parallel
+/// functional replay, plus the optional disjoint-write checker state.
+///
+/// Constructed from `&mut GlobalMemory` by [`GlobalMemory::share`], so for
+/// its whole lifetime no other alias of the backing storage exists; every
+/// access from every worker goes through the `AtomicU32` slice below.
+pub(crate) struct SharedGmem<'m> {
+    words: &'m [AtomicU32],
+    /// Disjoint-write checker: `owners[w]` holds `block_id + 1` of the
+    /// first block that stored to word `w` during this replay (0 = clean).
+    owners: Option<Vec<AtomicU32>>,
+}
+
+impl GlobalMemory {
+    /// Re-view the device memory for a parallel replay section. With
+    /// `check_writes`, a full-size owner table is allocated and every
+    /// store is checked for cross-block overlap (debug builds and
+    /// `REGLA_SIM_CHECK=1` runs).
+    pub(crate) fn share(&mut self, check_writes: bool) -> SharedGmem<'_> {
+        let owners = check_writes
+            .then(|| (0..self.data.len()).map(|_| AtomicU32::new(0)).collect());
+        // SAFETY: `AtomicU32` has the same size and alignment as `f32`
+        // (both 4-byte plain words), and we hold `&mut self`, so re-typing
+        // the unique slice as shared atomics is sound. All aliased access
+        // for the lifetime of the returned view goes through these atomics
+        // (relaxed loads/stores — plain MOVs on x86), so even a kernel
+        // that violated the per-problem write discipline could cause a
+        // wrong *value*, never undefined behaviour.
+        let words = unsafe {
+            &*(self.data.as_mut_slice() as *mut [f32] as *const [AtomicU32])
+        };
+        SharedGmem { words, owners }
+    }
+}
+
+impl<'m> SharedGmem<'m> {
+    /// Hand out one worker's view, initially owned by `block_id`.
+    pub(crate) fn worker(&'m self, block_id: usize) -> WorkerGmem<'m> {
+        WorkerGmem {
+            words: self.words,
+            owners: self.owners.as_deref(),
+            block_id: block_id as u32 + 1,
+        }
+    }
+}
+
+/// One replay worker's view of device memory: shared reads, per-block
+/// disjoint writes.
+///
+/// # Safety argument
+///
+/// Workers replay *functional* blocks of a batched kernel. Each simulated
+/// block reads its own per-problem input slab (written before the launch
+/// or by the same block) plus launch-constant data, and writes only its
+/// own per-problem output slab — the same invariant the real GPU kernels
+/// rely on for correctness, since CUDA blocks run concurrently without
+/// ordering. Because all access goes through relaxed atomics, a kernel
+/// that broke the invariant could produce a nondeterministic value but
+/// not a data race in the UB sense; the owner-table checker (debug builds,
+/// `REGLA_SIM_CHECK=1`) additionally panics on any cross-block write
+/// overlap, turning silent nondeterminism into a loud failure.
+pub(crate) struct WorkerGmem<'m> {
+    words: &'m [AtomicU32],
+    owners: Option<&'m [AtomicU32]>,
+    /// Owner tag (`block_id + 1`) stamped on every word this view writes.
+    pub(crate) block_id: u32,
+}
+
+impl WorkerGmem<'_> {
+    #[inline]
+    pub(crate) fn read(&self, word: usize) -> f32 {
+        f32::from_bits(self.words[word].load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    pub(crate) fn write(&mut self, word: usize, v: f32) {
+        if let Some(owners) = self.owners {
+            let prev = owners[word].swap(self.block_id, Ordering::Relaxed);
+            assert!(
+                prev == 0 || prev == self.block_id,
+                "cross-block write overlap at device word {word}: block {} \
+                 stored over block {}'s output — batched kernels must write \
+                 disjoint per-problem slabs for the parallel replay to be \
+                 deterministic",
+                self.block_id - 1,
+                prev - 1,
+            );
+        }
+        self.words[word].store(v.to_bits(), Ordering::Relaxed);
+    }
 }
 
 impl GlobalMemory {

@@ -83,9 +83,32 @@ pub struct LaunchStats {
     pub clock_ghz: f64,
     /// Whether register spills went past the L1 into DRAM.
     pub spill_to_dram: bool,
+    /// Host wall-clock seconds the simulator spent on this launch (tracing
+    /// plus functional replay). Unlike every field above, this measures the
+    /// *simulator*, not the simulated device, and varies run to run.
+    pub sim_wall_s: f64,
+    /// Blocks executed functionally on the host (0 under
+    /// `ExecMode::Representative`; excludes the traced block).
+    pub sim_blocks: usize,
+    /// Host worker threads used for the functional replay (1 = sequential).
+    pub sim_host_threads: usize,
+    /// Mean busy fraction of the replay workers: sum of per-worker busy
+    /// time over `workers x replay wall time`. 1.0 when the block shards
+    /// finish in lockstep; lower when the tail worker straggles.
+    pub sim_worker_utilization: f64,
 }
 
 impl LaunchStats {
+    /// Host-side functional replay throughput in blocks per second
+    /// (0 when nothing was replayed).
+    pub fn sim_blocks_per_sec(&self) -> f64 {
+        if self.sim_wall_s > 0.0 {
+            self.sim_blocks as f64 / self.sim_wall_s
+        } else {
+            0.0
+        }
+    }
+
     /// Achieved throughput in GFLOP/s.
     pub fn gflops(&self) -> f64 {
         if self.time_s == 0.0 {
@@ -275,5 +298,10 @@ pub(crate) fn combine(
         dram_bytes: bytes_per_block as f64 * grid_blocks as f64,
         clock_ghz: cfg.core_clock_ghz,
         spill_to_dram,
+        // Host-side telemetry is filled in by `Gpu::launch` after combining.
+        sim_wall_s: 0.0,
+        sim_blocks: 0,
+        sim_host_threads: 1,
+        sim_worker_utilization: 1.0,
     }
 }

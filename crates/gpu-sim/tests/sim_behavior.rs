@@ -7,13 +7,16 @@ use regla_gpu_sim::{
 
 fn work_kernel(n_fma: usize, out: DPtr) -> impl Fn(&mut BlockCtx) {
     move |blk: &mut BlockCtx| {
+        let nthreads = blk.num_threads();
         blk.for_each(|t| {
             let x = t.lit(1.0000001);
             let mut acc = t.lit(0.5);
             for _ in 0..n_fma {
                 acc = t.fma(acc, x, x);
             }
-            t.gstore(out, t.tid, acc);
+            // Each block writes its own slab (the disjoint-write invariant
+            // the parallel functional replay checks in debug builds).
+            t.gstore(out, t.block_id * nthreads + t.tid, acc);
         });
     }
 }
@@ -24,8 +27,8 @@ fn representative_and_full_report_identical_timing() {
     // must not change any timing statistic.
     let gpu = Gpu::quadro_6000();
     let run = |mode: ExecMode| {
-        let mut mem = GlobalMemory::with_bytes(1 << 16);
-        let out = mem.alloc(64);
+        let mut mem = GlobalMemory::with_bytes(1 << 20);
+        let out = mem.alloc(300 * 64);
         let lc = LaunchConfig::new(300, 64).regs(12).shared_words(0).exec(mode);
         gpu.launch(&work_kernel(100, out), &lc, &mut mem)
     };
@@ -197,7 +200,7 @@ fn g80_preset_is_slower_per_clock() {
     // Sanity of the second configuration: same kernel, older chip.
     let run = |gpu: &Gpu| {
         let mut mem = GlobalMemory::with_bytes(1 << 16);
-        let out = mem.alloc(64);
+        let out = mem.alloc(14 * 64);
         let lc = LaunchConfig::new(14, 64).regs(12).shared_words(0);
         gpu.launch(&work_kernel(200, out), &lc, &mut mem).time_s
     };
@@ -210,7 +213,7 @@ fn g80_preset_is_slower_per_clock() {
 fn summary_reports_the_essentials() {
     let gpu = Gpu::quadro_6000();
     let mut mem = GlobalMemory::with_bytes(1 << 16);
-    let out = mem.alloc(64);
+    let out = mem.alloc(14 * 64);
     let lc = LaunchConfig::new(14, 64).regs(12).shared_words(0);
     let stats = gpu.launch(&work_kernel(50, out), &lc, &mut mem);
     let s = stats.summary();

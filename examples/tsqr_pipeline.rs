@@ -60,9 +60,9 @@ fn main() {
     for k in 0..count {
         let bk: Vec<C32> = (0..m).map(|i| b.get(k, i, 0)).collect();
         let href = host::least_squares(&a.mat(k), &bk);
-        for i in 0..n {
-            let d1 = (x_tiled.get(k, i, 0) - href[i]).abs();
-            let d2 = (x_tsqr.get(k, i, 0) - href[i]).abs();
+        for (i, h) in href.iter().enumerate().take(n) {
+            let d1 = (x_tiled.get(k, i, 0) - *h).abs();
+            let d2 = (x_tsqr.get(k, i, 0) - *h).abs();
             worst = worst.max(d1.max(d2) as f64);
         }
     }

@@ -1,0 +1,179 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! subset of criterion's API the workspace's benches use — benchmark
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark runs
+//! `sample_size` timed iterations after one warm-up and prints min / mean
+//! wall-clock per iteration. No statistical analysis or HTML reports.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterized benchmark (`group/name/param`).
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{param}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        std::hint::black_box(f()); // warm-up
+        self.times.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.times.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b.times);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            times: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b.times);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn report(name: &str, times: &[Duration]) {
+    if times.is_empty() {
+        println!("{name}: no samples");
+        return;
+    }
+    let min = times.iter().min().unwrap();
+    let total: Duration = times.iter().sum();
+    let mean = total / times.len() as u32;
+    println!(
+        "{name}: min {:.3} ms, mean {:.3} ms over {} samples",
+        min.as_secs_f64() * 1e3,
+        mean.as_secs_f64() * 1e3,
+        times.len()
+    );
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 10,
+            _c: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = id.to_string();
+        self.benchmark_group(name.clone())
+            .bench_function("bench", f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        let mut runs = 0;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        g.finish();
+        // one warm-up + three timed samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats_name_and_param() {
+        assert_eq!(BenchmarkId::new("qr", 56).to_string(), "qr/56");
+    }
+}

@@ -1,0 +1,167 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the small subset of `rand`'s API it actually uses: a seedable generator
+//! (`rngs::StdRng`) and uniform range sampling (`RngExt::random_range`).
+//! Everything is deterministic given the seed, which is all the workloads
+//! and tests rely on; statistical quality beyond "well mixed" is not a
+//! goal. The generator is SplitMix64, which passes the use cases here
+//! (matrix entries, phases, noise) with a single u64 of state.
+
+use std::ops::Range;
+
+/// Seedable random generators (mirror of `rand::SeedableRng`, reduced to
+/// the one constructor the workspace calls).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: PartialOrd + Copy {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty random_range");
+                let span = range.end.wrapping_sub(range.start) as u128;
+                // Multiply-shift maps a u64 onto [0, span) with negligible
+                // bias for the spans used here.
+                let x = rng.next_u64() as u128;
+                range.start.wrapping_add(((x * span) >> 64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty random_range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let x = rng.next_u64() as u128;
+                (range.start as i128 + ((x * span) >> 64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty => $bits:expr),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty random_range");
+                // 53 (resp. 24) mantissa bits of uniformity in [0, 1).
+                let unit = (rng.next_u64() >> (64 - $bits)) as $t
+                    / (1u64 << $bits) as $t;
+                range.start + unit * (range.end - range.start)
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32 => 24, f64 => 53);
+
+/// Convenience sampling methods over any [`RngCore`] (mirror of the
+/// `rand::Rng`/`RngExt` extension trait).
+pub trait RngExt: RngCore {
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        (self.random_range(0.0f64..1.0)) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand`'s StdRng.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0u64..1_000_000),
+                b.random_range(0u64..1_000_000)
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = r.random_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let k = r.random_range(3usize..20);
+            assert!((3..20).contains(&k));
+            let i = r.random_range(-5i32..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn values_spread_over_the_range() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut lo = 0;
+        let mut hi = 0;
+        for _ in 0..1000 {
+            let x = r.random_range(0.0f64..1.0);
+            if x < 0.25 {
+                lo += 1;
+            }
+            if x > 0.75 {
+                hi += 1;
+            }
+        }
+        assert!(lo > 150 && hi > 150, "lo={lo} hi={hi}: badly skewed");
+    }
+}

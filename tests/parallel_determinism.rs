@@ -1,0 +1,101 @@
+//! End-to-end determinism of the parallel functional replay, driven through
+//! the public batched-factorization API, plus the Fig. 9-style wall-clock
+//! speedup check (the speedup assertion needs >= 8 host cores; the
+//! bit-identity assertions always run).
+
+use proptest::prelude::*;
+use regla::core::{api, MatBatch, RunOpts};
+use regla::gpu_sim::Gpu;
+use regla::model::Approach;
+use std::time::Instant;
+
+fn batch(n: usize, count: usize, seed: u64) -> MatBatch<f32> {
+    MatBatch::from_fn(n, n, count, |k, i, j| {
+        let h = ((k * 131 + i * 37 + j * 101 + seed as usize) % 97) as f32 / 97.0;
+        h + if i == j { (n as f32) * 0.5 } else { 0.0 }
+    })
+}
+
+/// Factor a batch at a fixed host thread count; return the output bits,
+/// tau bits, and per-launch simulated cycles.
+fn qr_at(
+    gpu: &Gpu,
+    a: &MatBatch<f32>,
+    approach: Approach,
+    threads: usize,
+) -> (Vec<u32>, Vec<u32>, Vec<f64>) {
+    let opts = RunOpts {
+        approach: Some(approach),
+        host_threads: Some(threads),
+        ..RunOpts::default()
+    };
+    let r = api::qr_batch(gpu, a, &opts);
+    let out: Vec<u32> = r.out.data().iter().map(|v| v.to_bits()).collect();
+    let taus: Vec<u32> = r
+        .taus
+        .map(|t| t.data().iter().map(|v| v.to_bits()).collect())
+        .unwrap_or_default();
+    let cycles: Vec<f64> = r.stats.launches.iter().map(|l| l.cycles).collect();
+    (out, taus, cycles)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random QR batches factor to bit-identical results and identical
+    /// simulated cycle counts at 1, 2, and 8 host threads.
+    #[test]
+    fn qr_is_bit_identical_across_host_thread_counts(
+        n in 4usize..12,
+        count in prop::sample::select(vec![24usize, 60, 150]),
+        seed in 0u64..500,
+        approach in prop::sample::select(vec![Approach::PerThread, Approach::PerBlock]),
+    ) {
+        let gpu = Gpu::quadro_6000();
+        let a = batch(n, count, seed);
+        let t1 = qr_at(&gpu, &a, approach, 1);
+        let t2 = qr_at(&gpu, &a, approach, 2);
+        let t8 = qr_at(&gpu, &a, approach, 8);
+        prop_assert_eq!(&t1, &t2, "1 vs 2 host threads");
+        prop_assert_eq!(&t1, &t8, "1 vs 8 host threads");
+    }
+}
+
+/// The acceptance benchmark: a Fig. 9-style per-block QR batch (n = 56,
+/// 8000 problems) must replay >= 4x faster with 8 host threads than with 1.
+/// The wall-clock assertion only fires on machines with >= 8 cores; the
+/// bit-identity half runs everywhere (at a reduced size on small hosts, so
+/// debug-mode CI stays fast).
+#[test]
+fn fig9_style_parallel_speedup_and_bit_identity() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (n, count) = if cores >= 8 { (56, 8000) } else { (20, 240) };
+    let gpu = Gpu::quadro_6000();
+    let a = batch(n, count, 42);
+
+    let timed = |threads: usize| {
+        let t0 = Instant::now();
+        let r = qr_at(&gpu, &a, Approach::PerBlock, threads);
+        (r, t0.elapsed().as_secs_f64())
+    };
+    let (r1, wall1) = timed(1);
+    let (r2, _) = timed(2);
+    let (r8, wall8) = timed(8);
+
+    assert_eq!(r1, r2, "2 host threads changed the results");
+    assert_eq!(r1, r8, "8 host threads changed the results");
+
+    if cores >= 8 {
+        let speedup = wall1 / wall8;
+        assert!(
+            speedup >= 4.0,
+            "parallel replay speedup {speedup:.2}x below the 4x floor \
+             (1 thread: {wall1:.2}s, 8 threads: {wall8:.2}s)"
+        );
+    } else {
+        eprintln!(
+            "skipping the >= 4x speedup assertion: {cores} host core(s) \
+             available, need >= 8 (bit-identity was still verified)"
+        );
+    }
+}
