@@ -26,7 +26,7 @@ fn bench_per_thread(c: &mut Criterion) {
     for n in [4usize, 8, 12] {
         let a = f32_batch(n, n, 4096, true, 4);
         g.bench_with_input(BenchmarkId::new("qr", n), &n, |b, _| {
-            b.iter(|| black_box(api::qr_batch(&gpu, &a, &rep(Approach::PerThread)).gflops()))
+            b.iter(|| black_box(api::qr_batch(&gpu, &a, &rep(Approach::PerThread)).unwrap().gflops()))
         });
     }
     g.finish();
@@ -40,10 +40,10 @@ fn bench_per_block(c: &mut Criterion) {
     for n in [24usize, 56, 104] {
         let a = f32_batch(n, n, 1120, true, 5);
         g.bench_with_input(BenchmarkId::new("qr", n), &n, |b, _| {
-            b.iter(|| black_box(api::qr_batch(&gpu, &a, &rep(Approach::PerBlock)).gflops()))
+            b.iter(|| black_box(api::qr_batch(&gpu, &a, &rep(Approach::PerBlock)).unwrap().gflops()))
         });
         g.bench_with_input(BenchmarkId::new("lu", n), &n, |b, _| {
-            b.iter(|| black_box(api::lu_batch(&gpu, &a, &rep(Approach::PerBlock)).gflops()))
+            b.iter(|| black_box(api::lu_batch(&gpu, &a, &rep(Approach::PerBlock)).unwrap().gflops()))
         });
     }
     g.finish();
@@ -65,7 +65,7 @@ fn bench_layouts(c: &mut Criterion) {
             ..Default::default()
         };
         g.bench_function(layout.name(), |bch| {
-            bch.iter(|| black_box(api::qr_solve_batch(&gpu, &a, &b2, &opts).gflops()))
+            bch.iter(|| black_box(api::qr_solve_batch(&gpu, &a, &b2, &opts).unwrap().gflops()))
         });
     }
     g.finish();
@@ -80,13 +80,13 @@ fn bench_stap(c: &mut Criterion) {
     g.bench_function("complex_qr_80x16", |b| {
         b.iter(|| {
             black_box(
-                api::qr_batch(&gpu, &small, &rep(Approach::PerBlock)).gflops(),
+                api::qr_batch(&gpu, &small, &rep(Approach::PerBlock)).unwrap().gflops(),
             )
         })
     });
     let tall = c32_batch(240, 66, 8, false, 10);
     g.bench_function("complex_qr_240x66_tiled", |b| {
-        b.iter(|| black_box(api::qr_batch(&gpu, &tall, &rep(Approach::Tiled)).gflops()))
+        b.iter(|| black_box(api::qr_batch(&gpu, &tall, &rep(Approach::Tiled)).unwrap().gflops()))
     });
     g.finish();
 }
@@ -98,7 +98,7 @@ fn bench_full_exec(c: &mut Criterion) {
     g.sample_size(10);
     let a = f32_batch(24, 24, 256, true, 11);
     g.bench_function("qr_24x24_x256_full", |b| {
-        b.iter(|| black_box(api::qr_batch(&gpu, &a, &RunOpts::default()).gflops()))
+        b.iter(|| black_box(api::qr_batch(&gpu, &a, &RunOpts::default()).unwrap().gflops()))
     });
     g.finish();
 }

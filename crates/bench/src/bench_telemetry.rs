@@ -6,7 +6,14 @@
 //! so regressions in *simulator* speed — as opposed to simulated GPU time —
 //! are visible across commits. JSON is hand-rolled: the workspace has no
 //! serde, and the schema is flat.
+//!
+//! Fault campaigns ride on the same channel: each record also drains the
+//! simulator's injected-fault count and `regla-core`'s recovery counters
+//! (detected / retried / fell-back / recovered / unrecovered), so
+//! `results/BENCH_sim.json` shows whether a resilience experiment left
+//! anything unrecovered.
 
+use regla_core::{recovery_take, RecoveryTelemetry};
 use regla_gpu_sim::{telemetry, SimTelemetry};
 
 /// One experiment's host-side cost.
@@ -16,8 +23,10 @@ pub struct ExperimentTelemetry {
     /// Wall-clock of the whole experiment (including CPU baselines etc.).
     pub wall_s: f64,
     /// The simulator's share: launches, functional blocks, wall time,
-    /// replay thread counts.
+    /// replay thread counts, injected faults.
     pub sim: SimTelemetry,
+    /// What the recovery layer did during the experiment.
+    pub recovery: RecoveryTelemetry,
 }
 
 /// Collects per-experiment simulator telemetry for one harness run.
@@ -27,20 +36,22 @@ pub struct Collector {
 }
 
 impl Collector {
-    /// Start collecting; resets the simulator's counters so the first
-    /// experiment doesn't inherit earlier launches.
+    /// Start collecting; resets the simulator's and recovery counters so
+    /// the first experiment doesn't inherit earlier launches.
     pub fn new() -> Self {
         telemetry::take();
+        recovery_take();
         Collector::default()
     }
 
-    /// Close out one experiment: drain the simulator counters accumulated
-    /// since the previous call and file them under `id`.
+    /// Close out one experiment: drain the simulator and recovery counters
+    /// accumulated since the previous call and file them under `id`.
     pub fn record(&mut self, id: &str, wall_s: f64) -> &ExperimentTelemetry {
         self.records.push(ExperimentTelemetry {
             id: id.to_string(),
             wall_s,
             sim: telemetry::take(),
+            recovery: recovery_take(),
         });
         self.records.last().unwrap()
     }
@@ -51,7 +62,7 @@ impl Collector {
 
     /// One-line human summary of an experiment's simulator cost.
     pub fn summary_line(r: &ExperimentTelemetry) -> String {
-        format!(
+        let mut line = format!(
             "{}: {:.2}s wall ({:.2}s in simulator, {} launches, {} blocks \
              replayed at {:.0} blocks/s, {} host thread(s))",
             r.id,
@@ -61,7 +72,19 @@ impl Collector {
             r.sim.functional_blocks,
             r.sim.blocks_per_sec(),
             r.sim.max_host_threads.max(1),
-        )
+        );
+        if r.sim.faults_injected > 0 || r.recovery.faults_detected > 0 {
+            line.push_str(&format!(
+                " [faults: {} injected, {} detected, {} retried, {} CPU \
+                 fallback, {} unrecovered]",
+                r.sim.faults_injected,
+                r.recovery.faults_detected,
+                r.recovery.retried,
+                r.recovery.fell_back,
+                r.recovery.unrecovered,
+            ));
+        }
+        line
     }
 
     /// Render every record as a JSON document.
@@ -71,7 +94,10 @@ impl Collector {
             s.push_str(&format!(
                 "    {{\"id\": \"{}\", \"wall_s\": {:.6}, \"sim_wall_s\": {:.6}, \
                  \"launches\": {}, \"functional_blocks\": {}, \
-                 \"blocks_per_sec\": {:.1}, \"host_threads\": {}}}{}\n",
+                 \"blocks_per_sec\": {:.1}, \"host_threads\": {}, \
+                 \"faults_injected\": {}, \"faults_detected\": {}, \
+                 \"retried\": {}, \"fell_back\": {}, \"recovered\": {}, \
+                 \"unrecovered\": {}}}{}\n",
                 escape(&r.id),
                 r.wall_s,
                 r.sim.wall_s,
@@ -79,6 +105,12 @@ impl Collector {
                 r.sim.functional_blocks,
                 r.sim.blocks_per_sec(),
                 r.sim.max_host_threads.max(1),
+                r.sim.faults_injected,
+                r.recovery.faults_detected,
+                r.recovery.retried,
+                r.recovery.fell_back,
+                r.recovery.recovered,
+                r.recovery.unrecovered,
                 if i + 1 < self.records.len() { "," } else { "" },
             ));
         }
@@ -115,6 +147,8 @@ mod tests {
         assert!(j.contains("\"id\": \"exp_a\""));
         assert!(j.contains("\"id\": \"exp_b\""));
         assert!(j.contains("\"wall_s\": 1.500000"));
+        assert!(j.contains("\"faults_injected\""));
+        assert!(j.contains("\"unrecovered\""));
         assert_eq!(j.matches("\"launches\"").count(), 2);
         // Exactly one trailing comma between the two entries.
         assert_eq!(j.matches("},\n").count(), 1);
@@ -123,5 +157,27 @@ mod tests {
     #[test]
     fn escape_handles_quotes() {
         assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn fault_counters_reach_the_summary_line() {
+        let r = ExperimentTelemetry {
+            id: "resilience".into(),
+            wall_s: 1.0,
+            sim: SimTelemetry {
+                faults_injected: 5,
+                ..SimTelemetry::default()
+            },
+            recovery: RecoveryTelemetry {
+                faults_detected: 5,
+                retried: 5,
+                fell_back: 1,
+                recovered: 5,
+                unrecovered: 0,
+            },
+        };
+        let line = Collector::summary_line(&r);
+        assert!(line.contains("5 injected"));
+        assert!(line.contains("0 unrecovered"));
     }
 }

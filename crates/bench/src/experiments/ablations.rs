@@ -30,9 +30,9 @@ pub fn ablation_fastmath(fast: bool) -> String {
     for n in [4usize, 5, 6, 7] {
         let a = f32_batch(n, n, sweep_count(n, 64_000.min(full * 8)), true, 0xF0 + n as u64);
         let mut o = base(Approach::PerThread);
-        let fast_g = api::qr_batch(&gpu, &a, &o).gflops();
+        let fast_g = api::qr_batch(&gpu, &a, &o).unwrap().gflops();
         o.math = MathMode::Precise;
-        let prec_g = api::qr_batch(&gpu, &a, &o).gflops();
+        let prec_g = api::qr_batch(&gpu, &a, &o).unwrap().gflops();
         let pen = 100.0 * (1.0 - prec_g / fast_g);
         penalties_pt.push(pen);
         t.row(&["per-thread".into(), n.to_string(), f(fast_g), f(prec_g), f(pen)]);
@@ -40,9 +40,9 @@ pub fn ablation_fastmath(fast: bool) -> String {
     for n in [24usize, 40, 56, 72] {
         let a = f32_batch(n, n, sweep_count(n, full), true, 0xF8 + n as u64);
         let mut o = base(Approach::PerBlock);
-        let fast_g = api::qr_batch(&gpu, &a, &o).gflops();
+        let fast_g = api::qr_batch(&gpu, &a, &o).unwrap().gflops();
         o.math = MathMode::Precise;
-        let prec_g = api::qr_batch(&gpu, &a, &o).gflops();
+        let prec_g = api::qr_batch(&gpu, &a, &o).unwrap().gflops();
         let pen = 100.0 * (1.0 - prec_g / fast_g);
         penalties_pb.push(pen);
         t.row(&["per-block".into(), n.to_string(), f(fast_g), f(prec_g), f(pen)]);
@@ -72,12 +72,12 @@ pub fn ablation_reduction(fast: bool) -> String {
     );
     for n in [16usize, 32, 48, 64, 96, 128] {
         let a = f32_batch(n, n, sweep_count(n, full), true, 0xE0 + n as u64);
-        let serial = api::qr_batch(&gpu, &a, &base(Approach::PerBlock)).gflops();
+        let serial = api::qr_batch(&gpu, &a, &base(Approach::PerBlock)).unwrap().gflops();
         let o = RunOpts {
             tree_reduction: true,
             ..base(Approach::PerBlock)
         };
-        let tree = api::qr_batch(&gpu, &a, &o).gflops();
+        let tree = api::qr_batch(&gpu, &a, &o).unwrap().gflops();
         t.row(&[
             n.to_string(),
             f(serial),
@@ -110,7 +110,7 @@ pub fn ablation_threads(fast: bool) -> String {
                 force_threads: Some(threads),
                 ..base(Approach::PerBlock)
             };
-            api::qr_batch(&gpu, &a, &o).gflops()
+            api::qr_batch(&gpu, &a, &o).unwrap().gflops()
         };
         let g64 = g(64);
         let g256 = g(256);
@@ -147,11 +147,11 @@ pub fn ablation_batch(fast: bool) -> String {
     };
     let sat = {
         let a = f32_batch(56, 56, 8064, true, 0xB5);
-        api::qr_batch(&gpu, &a, &base(Approach::PerBlock)).gflops()
+        api::qr_batch(&gpu, &a, &base(Approach::PerBlock)).unwrap().gflops()
     };
     for &c in counts {
         let a = f32_batch(56, 56, c, true, 0xB6);
-        let run = api::qr_batch(&gpu, &a, &base(Approach::PerBlock));
+        let run = api::qr_batch(&gpu, &a, &base(Approach::PerBlock)).unwrap();
         let waves = run.stats.launches[0].waves;
         let g = run.gflops();
         t.row(&[
@@ -184,7 +184,7 @@ pub fn ablation_lu_style(fast: bool) -> String {
             lu_listing7: listing7,
             ..base(Approach::PerBlock)
         };
-        let run = api::lu_batch(&gpu, &a, &o);
+        let run = api::lu_batch(&gpu, &a, &o).unwrap();
         let s = &run.stats.launches[0];
         let compute = s.wave_cycles() - s.cycles_for("load") - s.cycles_for("store");
         (compute, run.gflops())
@@ -224,13 +224,13 @@ pub fn ablation_tsqr(fast: bool) -> String {
                 approach: Some(Approach::Tiled),
                 ..Default::default()
             };
-            let (tiled_run, _) = regla_core::api::least_squares_batch(&gpu, &a, &b, &o);
+            let (tiled_run, _) = regla_core::api::least_squares_batch(&gpu, &a, &b, &o).unwrap();
             let tiled_g = flops / tiled_run.time_s() / 1e9;
             let ot = RunOpts {
                 exec: ExecMode::Representative,
                 ..Default::default()
             };
-            let (_, tsqr_stats) = regla_core::api::tsqr_least_squares(&gpu, &a, &b, &ot);
+            let (_, tsqr_stats) = regla_core::api::tsqr_least_squares(&gpu, &a, &b, &ot).unwrap();
             let tsqr_g = flops / tsqr_stats.time_s / 1e9;
             t.row(&[
                 format!("{m}x{n}"),
@@ -268,7 +268,7 @@ pub fn ablation_streams(fast: bool) -> String {
         let count = if fast { 112 } else { 448 };
         let a = f32_batch(n, n, count, true, 0x600 + n as u64);
         let flops = regla_model::Algorithm::Qr.flops(n, n) * count as f64;
-        let pb = api::qr_batch(&gpu, &a, &base(Approach::PerBlock)).gflops();
+        let pb = api::qr_batch(&gpu, &a, &base(Approach::PerBlock)).unwrap().gflops();
         let cublas = |streams: usize| {
             let mut gmem = GlobalMemory::new(a.words_per_mat() * count + count * (n + 8) + 4096);
             let ptr = a.to_device(&mut gmem);
@@ -284,7 +284,8 @@ pub fn ablation_streams(fast: bool) -> String {
                 n,
                 count,
                 opts,
-            );
+            )
+            .unwrap();
             flops / stats.time_s / 1e9
         };
         let c1 = cublas(1);

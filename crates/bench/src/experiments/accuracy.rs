@@ -32,7 +32,7 @@ pub fn model_accuracy(fast: bool) -> String {
     // One problem per thread (Figure 4's range).
     for n in [3usize, 4, 5, 6, 7, 8, 10, 12] {
         let a = f32_batch(n, n, sweep_count(n, 8 * full), true, 0x200 + n as u64);
-        let run = api::qr_batch(&gpu, &a, &rep(Approach::PerThread));
+        let run = api::qr_batch(&gpu, &a, &rep(Approach::PerThread)).unwrap();
         let meas = run.gflops();
         let pred = per_thread::predicted_gflops(&p, Algorithm::Qr, n, 4);
         let err = 100.0 * (meas - pred) / pred;
@@ -58,7 +58,7 @@ pub fn model_accuracy(fast: bool) -> String {
     while n <= 144 {
         let count = sweep_count(n, full);
         let a = f32_batch(n, n, count, true, 0x300 + n as u64);
-        let run = api::qr_batch(&gpu, &a, &rep(Approach::PerBlock));
+        let run = api::qr_batch(&gpu, &a, &rep(Approach::PerBlock)).unwrap();
         let meas = run.gflops();
         let pred = per_block::predict_block(&p, &gpu.cfg, Algorithm::Qr, n, n, 0, 1, count).gflops;
         let err = 100.0 * (meas - pred) / pred;

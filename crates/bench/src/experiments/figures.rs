@@ -79,8 +79,8 @@ pub fn fig4(fast: bool) -> String {
     for n in 3..=12 {
         let count = sweep_count(n, full);
         let a = f32_batch(n, n, count, true, 0x40 + n as u64);
-        let qr = api::qr_batch(&gpu, &a, &sampled_opts(Approach::PerThread, 8));
-        let lu = api::lu_batch(&gpu, &a, &sampled_opts(Approach::PerThread, 8));
+        let qr = api::qr_batch(&gpu, &a, &sampled_opts(Approach::PerThread, 8)).unwrap();
+        let lu = api::lu_batch(&gpu, &a, &sampled_opts(Approach::PerThread, 8)).unwrap();
         let qr_pred = per_thread::predicted_gflops(&params, Algorithm::Qr, n, 4);
         let lu_pred = per_thread::predicted_gflops(&params, Algorithm::Lu, n, 4);
         let spilled = lu.stats.launches[0].occupancy.regs_spilled > 0;
@@ -121,7 +121,7 @@ pub fn fig7(fast: bool) -> String {
                 layout,
                 ..Default::default()
             };
-            let run = api::qr_solve_batch(&gpu, &a, &b, &opts);
+            let run = api::qr_solve_batch(&gpu, &a, &b, &opts).unwrap();
             cells.push(f(run.gflops()));
         }
         t.row(&cells);
@@ -139,7 +139,7 @@ pub fn fig8(fast: bool) -> String {
     let gpu = Gpu::quadro_6000();
     let count = if fast { 1120 } else { 8000 };
     let a = f32_batch(56, 56, count, true, 0x88);
-    let run = api::qr_batch(&gpu, &a, &rep_opts(Approach::PerBlock));
+    let run = api::qr_batch(&gpu, &a, &rep_opts(Approach::PerBlock)).unwrap();
     let stats = &run.stats.launches[0];
     let params = ModelParams::table_iv();
     let plan = regla_model::block_plan(56, 56, 0, 1);
@@ -181,18 +181,18 @@ fn per_block_gflops(gpu: &Gpu, alg: CpuAlg, n: usize, count: usize) -> f64 {
     let a = f32_batch(n, n, count, true, 0x90 + n as u64);
     match alg {
         CpuAlg::LuNoPivot | CpuAlg::LuPivot => {
-            api::lu_batch(gpu, &a, &rep_opts(Approach::PerBlock)).gflops()
+            api::lu_batch(gpu, &a, &rep_opts(Approach::PerBlock)).unwrap().gflops()
         }
-        CpuAlg::Qr => api::qr_batch(gpu, &a, &rep_opts(Approach::PerBlock)).gflops(),
+        CpuAlg::Qr => api::qr_batch(gpu, &a, &rep_opts(Approach::PerBlock)).unwrap().gflops(),
         CpuAlg::QrSolve => {
             let b = f32_batch(n, 1, count, false, 0x91 + n as u64);
-            api::qr_solve_batch(gpu, &a, &b, &rep_opts(Approach::PerBlock)).gflops()
+            api::qr_solve_batch(gpu, &a, &b, &rep_opts(Approach::PerBlock)).unwrap().gflops()
         }
         CpuAlg::GjSolve => {
             let b = f32_batch(n, 1, count, false, 0x92 + n as u64);
-            api::gj_solve_batch(gpu, &a, &b, &rep_opts(Approach::PerBlock)).gflops()
+            api::gj_solve_batch(gpu, &a, &b, &rep_opts(Approach::PerBlock)).unwrap().gflops()
         }
-        CpuAlg::Cholesky => api::cholesky_batch(gpu, &a, &rep_opts(Approach::PerBlock)).gflops(),
+        CpuAlg::Cholesky => api::cholesky_batch(gpu, &a, &rep_opts(Approach::PerBlock)).unwrap().gflops(),
     }
 }
 
@@ -256,7 +256,7 @@ pub fn fig10(fast: bool) -> String {
         let pt = if n <= 128 {
             let count = sweep_count(n, 64000);
             let a = f32_batch(n, n, count, true, 0xA0 + n as u64);
-            let g = api::qr_batch(&gpu, &a, &sampled_opts(Approach::PerThread, 8)).gflops();
+            let g = api::qr_batch(&gpu, &a, &sampled_opts(Approach::PerThread, 8)).unwrap().gflops();
             last_pt = g;
             f(g)
         } else {

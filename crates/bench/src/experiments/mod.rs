@@ -4,11 +4,13 @@
 pub mod ablations;
 pub mod accuracy;
 pub mod figures;
+pub mod resilience;
 pub mod tables;
 
 pub use ablations::*;
 pub use accuracy::*;
 pub use figures::*;
+pub use resilience::*;
 pub use tables::*;
 
 /// (id, title, runner) for every experiment, in paper order.
@@ -70,5 +72,10 @@ pub const ALL: &[(&str, &str, Runner)] = &[
         "model_accuracy",
         "Model accuracy summary",
         accuracy::model_accuracy,
+    ),
+    (
+        "resilience_campaign",
+        "Resilience — seeded fault campaigns",
+        resilience::resilience_campaign,
     ),
 ];

@@ -156,15 +156,15 @@ pub fn table5(fast: bool) -> String {
     let run = |alg: &str| -> (f64, f64, f64) {
         let a = crate::workloads::f32_batch(56, 56, count, true, 0x55);
         let stats = match alg {
-            "LU" => api::lu_batch(&gpu, &a, &opts).stats,
+            "LU" => api::lu_batch(&gpu, &a, &opts).unwrap().stats,
             "LU-listing7" => {
                 let o = RunOpts {
                     lu_listing7: true,
                     ..opts
                 };
-                api::lu_batch(&gpu, &a, &o).stats
+                api::lu_batch(&gpu, &a, &o).unwrap().stats
             }
-            _ => api::qr_batch(&gpu, &a, &opts).stats,
+            _ => api::qr_batch(&gpu, &a, &opts).unwrap().stats,
         };
         let s = &stats.launches[0];
         let load = s.cycles_for("load");

@@ -1,16 +1,27 @@
 //! Public batched API: upload a batch, pick an approach (per-thread,
 //! per-block or tiled — via the predictive model's plan rules), launch the
 //! kernel on the simulated GPU, download the results.
+//!
+//! Every entry point returns `Result<_, ReglaError>`: malformed shapes and
+//! options are reported as values, never as panics. Each problem in the
+//! batch gets a [`ProblemStatus`] verdict, and when the simulator's fault
+//! campaign corrupts a block (or a result comes back non-finite) the
+//! bounded [`RecoveryPolicy`] re-runs the failed subset on the device and
+//! finally degrades it to the host baseline.
 
 use crate::batch::MatBatch;
 use crate::elem::DeviceScalar;
+use crate::error::ReglaError;
+use crate::host;
 use crate::layout::{Layout, LayoutMap};
 use crate::per_block::{
     CholeskyBlockKernel, GemmBlockKernel, GjBlockKernel, LuBlockKernel, QrBlockKernel, SubMat,
 };
 use crate::per_thread::{PerThreadKernel, PtAlg};
+use crate::scalar::Scalar;
+use crate::status::{record_recovery, ProblemStatus, RecoveryPolicy, RecoveryStats};
 use crate::tiled::{tiled_qr, MultiLaunch, TiledOpts};
-use regla_gpu_sim::{ExecMode, GlobalMemory, Gpu, LaunchConfig, MathMode};
+use regla_gpu_sim::{ExecMode, FaultPlan, GlobalMemory, Gpu, LaunchConfig, MathMode};
 use regla_model::{block_plan, thread_plan, Approach};
 use std::marker::PhantomData;
 
@@ -39,6 +50,13 @@ pub struct RunOpts {
     /// Purely a host-side knob — simulated results are bit-identical at
     /// every thread count.
     pub host_threads: Option<usize>,
+    /// Seeded fault-injection plan for resilience campaigns: applied to
+    /// the factorization/solve launches (not to GEMM or TSQR). Faults the
+    /// simulator reports are surfaced as [`ProblemStatus::FaultDetected`]
+    /// and handled by `recovery`.
+    pub fault: Option<FaultPlan>,
+    /// Bounded recovery for fault-tainted / non-finite problems.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for RunOpts {
@@ -53,11 +71,14 @@ impl Default for RunOpts {
             lu_listing7: false,
             force_threads: None,
             host_threads: None,
+            fault: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
 
 /// Result of a batched operation.
+#[derive(Clone, Debug)]
 pub struct BatchRun<T> {
     /// The output batch (factored matrices / reduced augmented systems).
     pub out: MatBatch<T>,
@@ -66,9 +87,11 @@ pub struct BatchRun<T> {
     /// Householder reflector scales (QR factorizations only; `n x 1` per
     /// problem, LAPACK `geqrf` convention).
     pub taus: Option<MatBatch<T>>,
-    /// Per-problem "not solved" flags (zero pivot hit in LU/GJ — the
-    /// paper's `*notsolved = 1`). Empty when the algorithm cannot fail.
-    pub not_solved: Vec<bool>,
+    /// Per-problem verdict (the paper's `*notsolved` flag, upgraded to a
+    /// structured status), one entry per problem in every algorithm.
+    pub status: Vec<ProblemStatus>,
+    /// What the recovery layer did for this run.
+    pub recovery: RecoveryStats,
 }
 
 impl<T> BatchRun<T> {
@@ -78,6 +101,13 @@ impl<T> BatchRun<T> {
 
     pub fn time_s(&self) -> f64 {
         self.stats.time_s
+    }
+
+    /// Per-problem "not solved" flags (the paper's `*notsolved = 1`):
+    /// true when the problem did not complete cleanly — singular pivot,
+    /// non-finite result, or an unrecovered fault.
+    pub fn not_solved(&self) -> Vec<bool> {
+        self.status.iter().map(|s| !s.is_ok()).collect()
     }
 }
 
@@ -92,6 +122,78 @@ fn choose_approach(m: usize, n: usize, rhs: usize, ew: usize, opts: &RunOpts) ->
     } else {
         Approach::Tiled
     }
+}
+
+/// Reject option combinations that the kernels cannot run.
+fn validate_opts(opts: &RunOpts) -> Result<(), ReglaError> {
+    if let Some(ft) = opts.force_threads {
+        if ft == 0 {
+            return Err(ReglaError::InvalidConfig(
+                "force_threads must be >= 1".into(),
+            ));
+        }
+        if opts.layout == Layout::TwoDCyclic {
+            let r = (ft as f64).sqrt().round() as usize;
+            if r * r != ft {
+                return Err(ReglaError::InvalidConfig(format!(
+                    "force_threads = {ft} must be a perfect square for the 2D cyclic layout"
+                )));
+            }
+        }
+    }
+    if opts.panel == 0 {
+        return Err(ReglaError::InvalidConfig(
+            "panel width must be >= 1 on the tiled path".into(),
+        ));
+    }
+    Ok(())
+}
+
+fn validate_batch<T: Scalar>(a: &MatBatch<T>) -> Result<(), ReglaError> {
+    if a.count() == 0 {
+        return Err(ReglaError::EmptyBatch);
+    }
+    if a.rows() == 0 || a.cols() == 0 {
+        return Err(ReglaError::DimensionMismatch(
+            "matrices must have at least one row and one column".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Check that `b` can be carried as right-hand sides of `a`.
+fn validate_rhs<T: Scalar>(a: &MatBatch<T>, b: &MatBatch<T>) -> Result<(), ReglaError> {
+    if b.rows() != a.rows() {
+        return Err(ReglaError::DimensionMismatch(format!(
+            "rhs has {} rows but the systems have {}",
+            b.rows(),
+            a.rows()
+        )));
+    }
+    if b.count() != a.count() {
+        return Err(ReglaError::DimensionMismatch(format!(
+            "rhs batch holds {} problems but the system batch holds {}",
+            b.count(),
+            a.count()
+        )));
+    }
+    if b.cols() == 0 {
+        return Err(ReglaError::DimensionMismatch(
+            "rhs must have at least one column".into(),
+        ));
+    }
+    Ok(())
+}
+
+fn validate_square<T: Scalar>(a: &MatBatch<T>) -> Result<(), ReglaError> {
+    if a.rows() != a.cols() {
+        return Err(ReglaError::DimensionMismatch(format!(
+            "expected square systems, got {} x {}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    Ok(())
 }
 
 /// Threads and layout map for a per-block launch under the chosen layout.
@@ -120,14 +222,35 @@ fn device_for<T: DeviceScalar>(batch: &MatBatch<T>, extra_words: usize) -> Globa
     GlobalMemory::new(words)
 }
 
+/// Per-thread kernels pack `tpb` problems into each block.
+const PER_THREAD_TPB: usize = 64;
+
 struct Launched<T> {
     out: MatBatch<T>,
     stats: MultiLaunch,
     taus: Option<MatBatch<T>>,
-    flags: Vec<bool>,
+    status: Vec<ProblemStatus>,
 }
 
-/// Run one of the in-place factorization kernels over a batch.
+/// All words of problem `k` (and its taus, if any) are finite.
+fn problem_is_finite<T: DeviceScalar>(
+    out: &MatBatch<T>,
+    taus: Option<&MatBatch<T>>,
+    k: usize,
+) -> bool {
+    let finite = |b: &MatBatch<T>| {
+        (0..b.cols()).all(|j| {
+            (0..b.rows()).all(|i| {
+                let w = b.get(k, i, j).to_words();
+                w[0].is_finite() && w[1].is_finite()
+            })
+        })
+    };
+    finite(out) && taus.is_none_or(finite)
+}
+
+/// Run one of the in-place factorization kernels over a batch (single
+/// attempt — recovery happens in [`run_recovered`]).
 fn run_inplace<T: DeviceScalar>(
     gpu: &Gpu,
     aug: &MatBatch<T>,
@@ -136,7 +259,7 @@ fn run_inplace<T: DeviceScalar>(
     approach: Approach,
     opts: &RunOpts,
     back_substitute: bool,
-) -> Launched<T> {
+) -> Result<Launched<T>, ReglaError> {
     let (m, cols, count) = (aug.rows(), aug.cols(), aug.count());
     let rhs = cols - nfac;
     let ew = T::WORDS;
@@ -150,19 +273,25 @@ fn run_inplace<T: DeviceScalar>(
 
     match approach {
         Approach::PerThread => {
-            assert_eq!(m, nfac, "per-thread kernels handle square systems");
-            let mut kern = PerThreadKernel::<T::Dev>::new(view, nfac, rhs, count, alg);
+            if m != nfac {
+                return Err(ReglaError::DimensionMismatch(format!(
+                    "the per-thread kernels handle square systems, got {m} rows for {nfac} factored columns"
+                )));
+            }
+            let mut kern =
+                PerThreadKernel::<T::Dev>::new(view, nfac, rhs, count, alg).with_flag(d_flag);
             if alg == PtAlg::Qr {
                 kern = kern.with_tau(d_tau);
             }
-            let tpb = 64;
+            let tpb = PER_THREAD_TPB;
             let lc = LaunchConfig::new(count.div_ceil(tpb), tpb)
                 .regs(kern.regs_per_thread())
                 .shared_words(0)
                 .math(opts.math)
                 .exec(opts.exec)
-                .host_threads(opts.host_threads);
-            stats.push(gpu.launch(&kern, &lc, &mut gmem));
+                .host_threads(opts.host_threads)
+                .fault(opts.fault);
+            stats.push(gpu.launch(&kern, &lc, &mut gmem)?);
         }
         Approach::PerBlock => {
             let lm = layout_for(opts, m, cols, ew);
@@ -204,26 +333,38 @@ fn run_inplace<T: DeviceScalar>(
                 .shared_words(shared_words)
                 .math(opts.math)
                 .exec(opts.exec)
-                .host_threads(opts.host_threads);
-            stats.push(gpu.launch(launch.as_ref(), &lc, &mut gmem));
+                .host_threads(opts.host_threads)
+                .fault(opts.fault);
+            stats.push(gpu.launch(launch.as_ref(), &lc, &mut gmem)?);
         }
         Approach::Tiled => {
-            assert!(
-                matches!(alg, PtAlg::Qr | PtAlg::QrSolve),
-                "the tiled path implements QR-based algorithms only"
-            );
+            if !matches!(alg, PtAlg::Qr | PtAlg::QrSolve) {
+                return Err(ReglaError::Unsupported(format!(
+                    "the tiled path implements QR-based algorithms only, not {alg:?}"
+                )));
+            }
+            if m < nfac {
+                return Err(ReglaError::DimensionMismatch(format!(
+                    "tiled QR needs a tall system, got {m} rows for {nfac} factored columns"
+                )));
+            }
             let topts = TiledOpts {
                 panel: opts.panel,
                 math: opts.math,
                 exec: opts.exec,
                 host_threads: opts.host_threads,
+                fault: opts.fault,
             };
-            let agg = tiled_qr::<T::Dev>(gpu, &mut gmem, view, m, nfac, rhs, count, d_tau, topts);
+            let agg = tiled_qr::<T::Dev>(gpu, &mut gmem, view, m, nfac, rhs, count, d_tau, topts)?;
             for l in agg.launches {
                 stats.push(l);
             }
         }
-        Approach::Hybrid => panic!("the hybrid baseline lives in regla-hybrid"),
+        Approach::Hybrid => {
+            return Err(ReglaError::Unsupported(
+                "the hybrid baseline lives in regla-hybrid".into(),
+            ))
+        }
     }
 
     let out = MatBatch::<T>::from_device(m, cols, count, &gmem, ptr);
@@ -235,47 +376,227 @@ fn run_inplace<T: DeviceScalar>(
     } else {
         None
     };
-    // Per-problem singularity flags (the paper's `*notsolved`), written by
-    // the per-block LU/GJ kernels on a zero pivot.
+    // Per-problem singularity flags (the paper's `*notsolved`, upgraded to
+    // carry the first failing column as `col + 1`).
     let mut flag_words = vec![0.0f32; count];
     gmem.d2h(d_flag, &mut flag_words);
-    let flags = flag_words.into_iter().map(|w| w != 0.0).collect();
-    Launched {
+
+    // ---- per-problem verdicts ------------------------------------------
+    // Block -> problem mapping: per-thread blocks cover `tpb` consecutive
+    // problems, per-block and tiled launches map block b to problem b.
+    let ppb = if approach == Approach::PerThread {
+        PER_THREAD_TPB
+    } else {
+        1
+    };
+    let grid = count.div_ceil(ppb);
+    let problems_of = |b: usize| (b * ppb)..((b + 1) * ppb).min(count);
+
+    // Faults the simulator recorded (its ECC/machine-check report) taint
+    // every problem the corrupted block computed — even when the flipped
+    // bit produced a finite-looking value.
+    let mut fault_problem = vec![false; count];
+    for l in &stats.launches {
+        for f in &l.faults {
+            for p in problems_of(f.block) {
+                fault_problem[p] = true;
+            }
+        }
+    }
+    // Under Sampled/Representative execution only some blocks computed
+    // results; screening the others would flag stale input bytes.
+    let mut executed = vec![false; count];
+    for b in LaunchConfig::new(grid, 1).exec(opts.exec).executed_blocks() {
+        for p in problems_of(b) {
+            executed[p] = true;
+        }
+    }
+
+    let mut status = vec![ProblemStatus::Ok; count];
+    for p in 0..count {
+        if fault_problem[p] {
+            status[p] = ProblemStatus::FaultDetected;
+        } else if flag_words[p] != 0.0 {
+            status[p] = ProblemStatus::ZeroPivot {
+                col: flag_words[p] as usize - 1,
+            };
+        } else if executed[p] && !problem_is_finite(&out, taus.as_ref(), p) {
+            status[p] = ProblemStatus::NonFinite;
+        }
+    }
+
+    Ok(Launched {
         out,
         stats,
         taus,
-        flags,
+        status,
+    })
+}
+
+/// Recompute problem `p` with the host baseline and splice the result into
+/// `out`/`taus`. Returns the problem's new status.
+fn host_fallback<T: DeviceScalar>(
+    aug: &MatBatch<T>,
+    nfac: usize,
+    alg: PtAlg,
+    p: usize,
+    out: &mut MatBatch<T>,
+    taus: Option<&mut MatBatch<T>>,
+) -> ProblemStatus {
+    let cols = aug.cols();
+    let mut a = aug.mat(p);
+    let mut status = match alg {
+        PtAlg::Lu => match host::lu::lu_nopivot_in_place(&mut a) {
+            Ok(()) => ProblemStatus::Ok,
+            Err(z) => ProblemStatus::ZeroPivot { col: z.column },
+        },
+        PtAlg::Gj => match host::gj::gj_reduce_in_place(&mut a) {
+            Ok(()) => ProblemStatus::Ok,
+            Err(z) => ProblemStatus::ZeroPivot { col: z.column },
+        },
+        PtAlg::Cholesky => match host::cholesky::cholesky_in_place(&mut a) {
+            Ok(()) => ProblemStatus::Ok,
+            Err(npd) => ProblemStatus::ZeroPivot { col: npd.column },
+        },
+        PtAlg::Qr => {
+            let t = host::qr::householder_qr_cols_in_place(&mut a, nfac);
+            if let Some(tb) = taus {
+                for (i, v) in t.into_iter().enumerate().take(nfac) {
+                    tb.set(p, i, 0, v);
+                }
+            }
+            ProblemStatus::Ok
+        }
+        PtAlg::QrSolve => {
+            host::qr::householder_qr_cols_in_place(&mut a, nfac);
+            // Back-substitute every carried right-hand-side column, as the
+            // device kernels' `solving` mode does.
+            for rc in nfac..cols {
+                let y: Vec<T> = (0..nfac).map(|i| a[(i, rc)]).collect();
+                let x = host::qr::back_substitute(&a.submatrix(0, 0, nfac, nfac), &y);
+                for (i, v) in x.into_iter().enumerate() {
+                    a[(i, rc)] = v;
+                }
+            }
+            ProblemStatus::Ok
+        }
+    };
+    out.set_mat(p, &a);
+    // The host baseline is subject to the same finite screen as the device.
+    if status.is_ok() && !problem_is_finite(out, None, p) {
+        status = ProblemStatus::NonFinite;
+    }
+    status
+}
+
+/// Run with bounded recovery: retry fault-tainted / non-finite problems on
+/// the device (fault injection stripped), then degrade the stragglers to
+/// the host baseline.
+fn run_recovered<T: DeviceScalar>(
+    gpu: &Gpu,
+    aug: &MatBatch<T>,
+    nfac: usize,
+    alg: PtAlg,
+    approach: Approach,
+    opts: &RunOpts,
+    back_substitute: bool,
+) -> Result<(Launched<T>, RecoveryStats), ReglaError> {
+    let mut l = run_inplace(gpu, aug, nfac, alg, approach, opts, back_substitute)?;
+    let count = aug.count();
+    let mut rec = RecoveryStats {
+        faults_detected: l
+            .status
+            .iter()
+            .filter(|s| matches!(s, ProblemStatus::FaultDetected))
+            .count(),
+        ..RecoveryStats::default()
+    };
+    let initially_failed: Vec<usize> = (0..count).filter(|&p| !l.status[p].is_settled()).collect();
+    let mut failed = initially_failed.clone();
+    let policy = opts.recovery;
+
+    for _round in 0..policy.retries {
+        if failed.is_empty() {
+            break;
+        }
+        rec.retried += failed.len();
+        let mut sub = MatBatch::<T>::zeros(aug.rows(), aug.cols(), failed.len());
+        for (i, &p) in failed.iter().enumerate() {
+            sub.set_mat(i, &aug.mat(p));
+        }
+        // The retry runs clean: no fault plan, full execution (a sampled
+        // replay of the sub-batch would recompute nothing).
+        let mut ropts = *opts;
+        ropts.fault = None;
+        ropts.exec = ExecMode::Full;
+        let r = run_inplace(gpu, &sub, nfac, alg, approach, &ropts, back_substitute)?;
+        for (i, &p) in failed.iter().enumerate() {
+            l.out.set_mat(p, &r.out.mat(i));
+            if let (Some(dst), Some(src)) = (l.taus.as_mut(), r.taus.as_ref()) {
+                dst.set_mat(p, &src.mat(i));
+            }
+            l.status[p] = r.status[i];
+        }
+        failed.retain(|&p| !l.status[p].is_settled());
+    }
+
+    if policy.cpu_fallback && !failed.is_empty() {
+        for &p in &failed {
+            rec.fell_back += 1;
+            l.status[p] = host_fallback(aug, nfac, alg, p, &mut l.out, l.taus.as_mut());
+        }
+        failed.retain(|&p| !l.status[p].is_settled());
+    }
+
+    rec.recovered = initially_failed
+        .iter()
+        .filter(|&&p| l.status[p].is_settled())
+        .count();
+    rec.unrecovered = failed.len();
+    l.stats.recovery = rec;
+    record_recovery(&rec);
+    Ok((l, rec))
+}
+
+fn into_run<T>(l: Launched<T>, rec: RecoveryStats, approach: Approach, taus: bool) -> BatchRun<T> {
+    BatchRun {
+        out: l.out,
+        approach,
+        stats: l.stats,
+        taus: if taus { l.taus } else { None },
+        status: l.status,
+        recovery: rec,
     }
 }
 
 /// Batched in-place Householder QR (R above the diagonal, reflectors
 /// below), dispatched across the paper's approaches.
-pub fn qr_batch<T: DeviceScalar>(gpu: &Gpu, a: &MatBatch<T>, opts: &RunOpts) -> BatchRun<T> {
+pub fn qr_batch<T: DeviceScalar>(
+    gpu: &Gpu,
+    a: &MatBatch<T>,
+    opts: &RunOpts,
+) -> Result<BatchRun<T>, ReglaError> {
+    validate_opts(opts)?;
+    validate_batch(a)?;
     let approach = choose_approach(a.rows(), a.cols(), 0, T::WORDS, opts);
-    let r = run_inplace(gpu, a, a.cols(), PtAlg::Qr, approach, opts, false);
-    BatchRun {
-        out: r.out,
-        approach,
-        stats: r.stats,
-        taus: r.taus,
-        not_solved: r.flags,
-    }
+    let (l, rec) = run_recovered(gpu, a, a.cols(), PtAlg::Qr, approach, opts, false)?;
+    Ok(into_run(l, rec, approach, true))
 }
 
 /// Batched in-place LU without pivoting.
-pub fn lu_batch<T: DeviceScalar>(gpu: &Gpu, a: &MatBatch<T>, opts: &RunOpts) -> BatchRun<T> {
+pub fn lu_batch<T: DeviceScalar>(
+    gpu: &Gpu,
+    a: &MatBatch<T>,
+    opts: &RunOpts,
+) -> Result<BatchRun<T>, ReglaError> {
+    validate_opts(opts)?;
+    validate_batch(a)?;
     let approach = match choose_approach(a.rows(), a.cols(), 0, T::WORDS, opts) {
         Approach::Tiled => Approach::PerBlock, // large LU runs with spills
         other => other,
     };
-    let r = run_inplace(gpu, a, a.cols(), PtAlg::Lu, approach, opts, false);
-    BatchRun {
-        out: r.out,
-        approach,
-        stats: r.stats,
-        taus: None,
-        not_solved: r.flags,
-    }
+    let (l, rec) = run_recovered(gpu, a, a.cols(), PtAlg::Lu, approach, opts, false)?;
+    Ok(into_run(l, rec, approach, false))
 }
 
 /// Batched Gauss-Jordan solve of `A x = b` (no pivoting). `out` is the
@@ -285,21 +606,18 @@ pub fn gj_solve_batch<T: DeviceScalar>(
     a: &MatBatch<T>,
     b: &MatBatch<T>,
     opts: &RunOpts,
-) -> BatchRun<T> {
-    assert_eq!(a.rows(), a.cols());
+) -> Result<BatchRun<T>, ReglaError> {
+    validate_opts(opts)?;
+    validate_batch(a)?;
+    validate_square(a)?;
+    validate_rhs(a, b)?;
     let aug = MatBatch::augment(a, b);
     let approach = match choose_approach(a.rows(), a.cols(), b.cols(), T::WORDS, opts) {
         Approach::Tiled => Approach::PerBlock,
         other => other,
     };
-    let r = run_inplace(gpu, &aug, a.cols(), PtAlg::Gj, approach, opts, false);
-    BatchRun {
-        out: r.out,
-        approach,
-        stats: r.stats,
-        taus: None,
-        not_solved: r.flags,
-    }
+    let (l, rec) = run_recovered(gpu, &aug, a.cols(), PtAlg::Gj, approach, opts, false)?;
+    Ok(into_run(l, rec, approach, false))
 }
 
 /// Batched linear solve via QR: factor `[A|b]`, then eliminate R
@@ -309,22 +627,23 @@ pub fn qr_solve_batch<T: DeviceScalar>(
     a: &MatBatch<T>,
     b: &MatBatch<T>,
     opts: &RunOpts,
-) -> BatchRun<T> {
-    assert_eq!(a.rows(), a.cols());
-    assert_eq!(b.cols(), 1);
+) -> Result<BatchRun<T>, ReglaError> {
+    validate_opts(opts)?;
+    validate_batch(a)?;
+    validate_square(a)?;
+    validate_rhs(a, b)?;
+    if b.cols() != 1 {
+        return Err(ReglaError::DimensionMismatch(
+            "qr_solve_batch takes a single right-hand side; use qr_solve_multi".into(),
+        ));
+    }
     let aug = MatBatch::augment(a, b);
     let approach = match choose_approach(a.rows(), a.cols(), 1, T::WORDS, opts) {
         Approach::Tiled => Approach::PerBlock,
         other => other,
     };
-    let r = run_inplace(gpu, &aug, a.cols(), PtAlg::QrSolve, approach, opts, true);
-    BatchRun {
-        out: r.out,
-        approach,
-        stats: r.stats,
-        taus: None,
-        not_solved: r.flags,
-    }
+    let (l, rec) = run_recovered(gpu, &aug, a.cols(), PtAlg::QrSolve, approach, opts, true)?;
+    Ok(into_run(l, rec, approach, false))
 }
 
 /// Batched least squares `min ‖Ax − b‖` for tall A via QR of `[A|b]`.
@@ -336,64 +655,72 @@ pub fn least_squares_batch<T: DeviceScalar>(
     a: &MatBatch<T>,
     b: &MatBatch<T>,
     opts: &RunOpts,
-) -> (BatchRun<T>, MatBatch<T>) {
+) -> Result<(BatchRun<T>, MatBatch<T>), ReglaError> {
+    validate_opts(opts)?;
+    validate_batch(a)?;
     let (m, n) = (a.rows(), a.cols());
-    assert!(m >= n);
-    assert_eq!(b.cols(), 1);
+    if m < n {
+        return Err(ReglaError::DimensionMismatch(format!(
+            "least squares needs a tall system, got {m} x {n}"
+        )));
+    }
+    validate_rhs(a, b)?;
+    if b.cols() != 1 {
+        return Err(ReglaError::DimensionMismatch(
+            "least_squares_batch takes a single right-hand side".into(),
+        ));
+    }
     let aug = MatBatch::augment(a, b);
     let approach = choose_approach(m, n, 1, T::WORDS, opts);
     match approach {
         Approach::PerThread | Approach::PerBlock => {
             let approach = if m == n { approach } else { Approach::PerBlock };
-            let r = run_inplace(gpu, &aug, n, PtAlg::QrSolve, approach, opts, true);
-            let x = r.out.sub(0, n, n, 1);
-            (
-                BatchRun {
-                    out: r.out,
-                    approach,
-                    stats: r.stats,
-                    taus: None,
-                    not_solved: r.flags,
-                },
-                x,
-            )
+            let (l, rec) = run_recovered(gpu, &aug, n, PtAlg::QrSolve, approach, opts, true)?;
+            let x = l.out.sub(0, n, n, 1);
+            Ok((into_run(l, rec, approach, false), x))
         }
         _ => {
-            let r = run_inplace(gpu, &aug, n, PtAlg::Qr, Approach::Tiled, opts, false);
+            let (l, rec) = run_recovered(gpu, &aug, n, PtAlg::Qr, Approach::Tiled, opts, false)?;
             // Host back-substitution of R x = (Qᴴ b)[..n].
             let mut x = MatBatch::zeros(n, 1, aug.count());
             for k in 0..aug.count() {
-                let f = r.out.mat(k);
+                let f = l.out.mat(k);
                 let y: Vec<T> = (0..n).map(|i| f[(i, n)]).collect();
                 let sol = crate::host::qr::back_substitute(&f.submatrix(0, 0, n, n), &y);
                 for (i, v) in sol.into_iter().enumerate() {
                     x.set(k, i, 0, v);
                 }
             }
-            (
-                BatchRun {
-                    out: r.out,
-                    approach: Approach::Tiled,
-                    stats: r.stats,
-                    taus: None,
-                    not_solved: r.flags,
-                },
-                x,
-            )
+            Ok((into_run(l, rec, Approach::Tiled, false), x))
         }
     }
 }
 
-/// Batched GEMM `C = A·B` with one problem per block.
+/// Batched GEMM `C = A·B` with one problem per block. GEMM has no failure
+/// modes of its own, so fault injection and recovery do not apply; the
+/// statuses still screen for non-finite results from non-finite inputs.
 pub fn gemm_batch<T: DeviceScalar>(
     gpu: &Gpu,
     a: &MatBatch<T>,
     b: &MatBatch<T>,
     opts: &RunOpts,
-) -> BatchRun<T> {
+) -> Result<BatchRun<T>, ReglaError> {
+    validate_opts(opts)?;
+    validate_batch(a)?;
+    validate_batch(b)?;
     let (m, kdim, n, count) = (a.rows(), a.cols(), b.cols(), a.count());
-    assert_eq!(b.rows(), kdim);
-    assert_eq!(b.count(), count);
+    if b.rows() != kdim {
+        return Err(ReglaError::DimensionMismatch(format!(
+            "GEMM inner dimensions disagree: A is {m} x {kdim}, B is {} x {n}",
+            b.rows()
+        )));
+    }
+    if b.count() != count {
+        return Err(ReglaError::DimensionMismatch(format!(
+            "A batch holds {count} problems but B holds {}",
+            b.count()
+        )));
+    }
     let ew = T::WORDS;
     let c = MatBatch::<T>::zeros(m, n, count);
     let total_words = (a.words_per_mat() + b.words_per_mat() + c.words_per_mat()) * count;
@@ -421,15 +748,26 @@ pub fn gemm_batch<T: DeviceScalar>(
         .exec(opts.exec)
         .host_threads(opts.host_threads);
     let mut stats = MultiLaunch::default();
-    stats.push(gpu.launch(&kern, &lc, &mut gmem));
+    stats.push(gpu.launch(&kern, &lc, &mut gmem)?);
     let out = MatBatch::<T>::from_device(m, n, count, &gmem, pc);
-    BatchRun {
+    let mut status = vec![ProblemStatus::Ok; count];
+    let mut executed = vec![false; count];
+    for bk in LaunchConfig::new(count, 1).exec(opts.exec).executed_blocks() {
+        executed[bk] = true;
+    }
+    for (p, st) in status.iter_mut().enumerate() {
+        if executed[p] && !problem_is_finite(&out, None, p) {
+            *st = ProblemStatus::NonFinite;
+        }
+    }
+    Ok(BatchRun {
         out,
         approach: Approach::PerBlock,
         stats,
         taus: None,
-        not_solved: Vec::new(),
-    }
+        status,
+        recovery: RecoveryStats::default(),
+    })
 }
 
 /// Batched least squares via TSQR (communication-avoiding tall-skinny QR;
@@ -442,11 +780,22 @@ pub fn tsqr_least_squares<T: DeviceScalar>(
     a: &MatBatch<T>,
     b: &MatBatch<T>,
     opts: &RunOpts,
-) -> (MatBatch<T>, crate::tiled::MultiLaunch) {
+) -> Result<(MatBatch<T>, crate::tiled::MultiLaunch), ReglaError> {
     use crate::tiled::tsqr::{tsqr, TsqrOpts};
+    validate_opts(opts)?;
+    validate_batch(a)?;
     let (m, n, count) = (a.rows(), a.cols(), a.count());
-    assert!(m >= n);
-    assert_eq!(b.cols(), 1);
+    if m < n {
+        return Err(ReglaError::DimensionMismatch(format!(
+            "TSQR needs a tall system, got {m} x {n}"
+        )));
+    }
+    validate_rhs(a, b)?;
+    if b.cols() != 1 {
+        return Err(ReglaError::DimensionMismatch(
+            "tsqr_least_squares takes a single right-hand side".into(),
+        ));
+    }
     let aug = MatBatch::augment(a, b);
     // TSQR roughly triples the footprint (stages + scratch).
     let mut gmem = device_for(&aug, 4 * aug.words_per_mat() * count);
@@ -458,7 +807,7 @@ pub fn tsqr_least_squares<T: DeviceScalar>(
         host_threads: opts.host_threads,
         ..Default::default()
     };
-    let (rptr, stats) = tsqr::<T::Dev>(gpu, &mut gmem, view, m, n, 1, count, topts);
+    let (rptr, stats) = tsqr::<T::Dev>(gpu, &mut gmem, view, m, n, 1, count, topts)?;
     let compact = MatBatch::<T>::from_device(n, n + 1, count, &gmem, rptr);
     let mut x = MatBatch::zeros(n, 1, count);
     for k in 0..count {
@@ -469,31 +818,27 @@ pub fn tsqr_least_squares<T: DeviceScalar>(
             x.set(k, i, 0, v);
         }
     }
-    (x, stats)
+    Ok((x, stats))
 }
 
 /// Batched Cholesky factorization of SPD / Hermitian-positive-definite
 /// matrices (extension beyond the paper's four algorithms): L overwrites
-/// the lower triangle; `not_solved[k]` is set when problem k is not
-/// positive definite.
+/// the lower triangle; `status[k]` reports `ZeroPivot` when problem k is
+/// not positive definite.
 pub fn cholesky_batch<T: DeviceScalar>(
     gpu: &Gpu,
     a: &MatBatch<T>,
     opts: &RunOpts,
-) -> BatchRun<T> {
-    assert_eq!(a.rows(), a.cols());
+) -> Result<BatchRun<T>, ReglaError> {
+    validate_opts(opts)?;
+    validate_batch(a)?;
+    validate_square(a)?;
     let approach = match choose_approach(a.rows(), a.cols(), 0, T::WORDS, opts) {
         Approach::Tiled => Approach::PerBlock,
         other => other,
     };
-    let r = run_inplace(gpu, a, a.cols(), PtAlg::Cholesky, approach, opts, false);
-    BatchRun {
-        out: r.out,
-        approach,
-        stats: r.stats,
-        taus: None,
-        not_solved: r.flags,
-    }
+    let (l, rec) = run_recovered(gpu, a, a.cols(), PtAlg::Cholesky, approach, opts, false)?;
+    Ok(into_run(l, rec, approach, false))
 }
 
 /// Batched matrix inversion by Gauss-Jordan reduction of `[A | I]`
@@ -503,9 +848,11 @@ pub fn invert_batch<T: DeviceScalar>(
     gpu: &Gpu,
     a: &MatBatch<T>,
     opts: &RunOpts,
-) -> (MatBatch<T>, BatchRun<T>) {
+) -> Result<(MatBatch<T>, BatchRun<T>), ReglaError> {
+    validate_opts(opts)?;
+    validate_batch(a)?;
+    validate_square(a)?;
     let n = a.rows();
-    assert_eq!(a.cols(), n);
     let eye = MatBatch::from_fn(n, n, a.count(), |_, i, j| {
         if i == j {
             T::one()
@@ -513,9 +860,9 @@ pub fn invert_batch<T: DeviceScalar>(
             T::zero()
         }
     });
-    let run = gj_solve_multi(gpu, a, &eye, opts);
+    let run = gj_solve_multi(gpu, a, &eye, opts)?;
     let inv = run.out.sub(0, n, n, n);
-    (inv, run)
+    Ok((inv, run))
 }
 
 /// Batched QR solve with multiple right-hand sides: factor `[A | B]`
@@ -525,22 +872,18 @@ pub fn qr_solve_multi<T: DeviceScalar>(
     a: &MatBatch<T>,
     b: &MatBatch<T>,
     opts: &RunOpts,
-) -> BatchRun<T> {
-    assert_eq!(a.rows(), a.cols());
-    assert_eq!(b.rows(), a.rows());
+) -> Result<BatchRun<T>, ReglaError> {
+    validate_opts(opts)?;
+    validate_batch(a)?;
+    validate_square(a)?;
+    validate_rhs(a, b)?;
     let aug = MatBatch::augment(a, b);
     let approach = match choose_approach(a.rows(), a.cols(), b.cols(), T::WORDS, opts) {
         Approach::Tiled | Approach::PerThread => Approach::PerBlock,
         other => other,
     };
-    let r = run_inplace(gpu, &aug, a.cols(), PtAlg::QrSolve, approach, opts, true);
-    BatchRun {
-        out: r.out,
-        approach,
-        stats: r.stats,
-        taus: None,
-        not_solved: r.flags,
-    }
+    let (l, rec) = run_recovered(gpu, &aug, a.cols(), PtAlg::QrSolve, approach, opts, true)?;
+    Ok(into_run(l, rec, approach, false))
 }
 
 /// Batched Gauss-Jordan with multiple right-hand sides: reduces
@@ -550,21 +893,17 @@ pub fn gj_solve_multi<T: DeviceScalar>(
     a: &MatBatch<T>,
     b: &MatBatch<T>,
     opts: &RunOpts,
-) -> BatchRun<T> {
-    assert_eq!(a.rows(), a.cols());
-    assert_eq!(b.rows(), a.rows());
+) -> Result<BatchRun<T>, ReglaError> {
+    validate_opts(opts)?;
+    validate_batch(a)?;
+    validate_square(a)?;
+    validate_rhs(a, b)?;
     let aug = MatBatch::augment(a, b);
     // Multi-rhs problems are wider; the per-thread path rarely fits.
     let approach = match choose_approach(a.rows(), a.cols(), b.cols(), T::WORDS, opts) {
         Approach::Tiled => Approach::PerBlock,
         other => other,
     };
-    let r = run_inplace(gpu, &aug, a.cols(), PtAlg::Gj, approach, opts, false);
-    BatchRun {
-        out: r.out,
-        approach,
-        stats: r.stats,
-        taus: None,
-        not_solved: r.flags,
-    }
+    let (l, rec) = run_recovered(gpu, &aug, a.cols(), PtAlg::Gj, approach, opts, false)?;
+    Ok(into_run(l, rec, approach, false))
 }

@@ -257,7 +257,7 @@ pub fn global_level_qr<E: Elem>(
     n: usize,
     count: usize,
     opts: GlobalLevelOpts,
-) -> MultiLaunch {
+) -> Result<MultiLaunch, regla_gpu_sim::LaunchError> {
     assert!(m >= n);
     let mut agg = MultiLaunch::default();
     let d_norm = gmem.alloc(count * E::WORDS);
@@ -280,7 +280,7 @@ pub fn global_level_qr<E: Elem>(
             count,
             _e: PhantomData,
         };
-        agg.push(gpu.launch(&norm, &lc(64), gmem));
+        agg.push(gpu.launch(&norm, &lc(64), gmem)?);
         let reflect = ReflectKernel::<E> {
             a,
             m,
@@ -290,7 +290,7 @@ pub fn global_level_qr<E: Elem>(
             count,
             _e: PhantomData,
         };
-        agg.push(gpu.launch(&reflect, &lc(2), gmem));
+        agg.push(gpu.launch(&reflect, &lc(2), gmem)?);
         if k + 1 < n {
             let gemv = GemvKernel::<E> {
                 a,
@@ -302,7 +302,7 @@ pub fn global_level_qr<E: Elem>(
                 count,
                 _e: PhantomData,
             };
-            agg.push(gpu.launch(&gemv, &lc(0), gmem));
+            agg.push(gpu.launch(&gemv, &lc(0), gmem)?);
             let ger = GerKernel::<E> {
                 a,
                 m,
@@ -312,7 +312,7 @@ pub fn global_level_qr<E: Elem>(
                 count,
                 _e: PhantomData,
             };
-            agg.push(gpu.launch(&ger, &lc(0), gmem));
+            agg.push(gpu.launch(&ger, &lc(0), gmem)?);
         }
     }
     // Streams: each stream carries its own call sequence, so in principle
@@ -333,5 +333,5 @@ pub fn global_level_qr<E: Elem>(
             * (1.0 - 1.0 / hidden as f64);
         agg.time_s -= saved;
     }
-    agg
+    Ok(agg)
 }

@@ -13,8 +13,17 @@ use crate::scalar::Scalar;
 /// In-place Householder QR. Returns the reflector scales τ (one per
 /// factored column, zero where the column was already triangular).
 pub fn householder_qr_in_place<T: Scalar>(a: &mut Mat<T>) -> Vec<T> {
+    let kmax = a.rows().min(a.cols());
+    householder_qr_cols_in_place(a, kmax)
+}
+
+/// In-place Householder QR of the leading `kmax` columns only; trailing
+/// columns (carried right-hand sides of an augmented system) get the
+/// reflectors applied but are not themselves factored — the convention of
+/// the device kernels' `with_rhs` mode.
+pub fn householder_qr_cols_in_place<T: Scalar>(a: &mut Mat<T>, kmax: usize) -> Vec<T> {
     let (m, n) = (a.rows(), a.cols());
-    let kmax = m.min(n);
+    let kmax = kmax.min(m).min(n);
     let mut taus = Vec::with_capacity(kmax);
     for k in 0..kmax {
         let alpha = a[(k, k)];

@@ -27,13 +27,24 @@
 //! let mut proto = regla_core::Mat::from_fn(6, 6, |i, j| ((i * j) as f32).sin());
 //! proto.make_diagonally_dominant();
 //! let batch = MatBatch::replicate(&proto, 128);
-//! let run = api::lu_batch(&gpu, &batch, &RunOpts::default());
+//! let run = api::lu_batch(&gpu, &batch, &RunOpts::default()).unwrap();
 //! assert!(run.gflops() > 0.0);
+//! assert!(run.status.iter().all(|s| s.is_ok()));
 //! ```
+//!
+//! ## Failure semantics
+//!
+//! Every public entry point returns `Result<_, ReglaError>`: malformed
+//! shapes or options are reported as values, never as panics. Within a
+//! successful run, each problem carries a [`ProblemStatus`] verdict
+//! (singular pivot, non-finite result, or a detected hardware fault when
+//! a [`regla_gpu_sim::FaultPlan`] is active), and the bounded
+//! [`RecoveryPolicy`] retries and finally CPU-degrades failed problems.
 
 pub mod api;
 pub mod batch;
 pub mod elem;
+pub mod error;
 pub mod global_level;
 pub mod host;
 pub mod layout;
@@ -41,6 +52,7 @@ pub mod matrix;
 pub mod per_block;
 pub mod per_thread;
 pub mod scalar;
+pub mod status;
 pub mod tiled;
 
 pub use api::{
@@ -50,8 +62,13 @@ pub use api::{
 };
 pub use batch::MatBatch;
 pub use elem::{DeviceScalar, Elem};
+pub use error::ReglaError;
 pub use layout::{Layout, LayoutMap};
 pub use matrix::Mat;
 pub use scalar::{Scalar, C32};
+pub use status::{
+    recovery_snapshot, recovery_take, ProblemStatus, RecoveryPolicy, RecoveryStats,
+    RecoveryTelemetry,
+};
 pub use global_level::{global_level_qr, GlobalLevelOpts};
 pub use tiled::{MultiLaunch, TiledOpts};

@@ -85,9 +85,14 @@ impl<E: Elem> BlockKernel for LuBlockKernel<E> {
                 let akk = regs[t.tid].get(t, lm.local_index(k, k));
                 if E::is_zero(t, akk) {
                     E::sstore(t, sm.se(2), E::imm(0.0));
+                    // First failure wins: record `column + 1` so the host
+                    // can report which pivot broke (0 = solved).
                     if let Some(f) = d_flag {
-                        let one = t.lit(1.0);
-                        t.gstore(f, bid, one);
+                        let cur = t.gload(f, bid);
+                        if t.is_zero(cur) {
+                            let v = t.lit((k + 1) as f32);
+                            t.gstore(f, bid, v);
+                        }
                     }
                 } else {
                     let s = E::recip(t, akk);

@@ -35,6 +35,9 @@ pub struct PerThreadKernel<E: Elem> {
     pub alg: PtAlg,
     /// Where QR stores its reflector scales (count x n elements).
     pub d_tau: Option<DPtr>,
+    /// Optional per-problem failure flag array (one word per problem):
+    /// 0 = solved, `col + 1` = first zero / non-positive pivot column.
+    pub d_flag: Option<DPtr>,
     pub _e: PhantomData<E>,
 }
 
@@ -47,12 +50,18 @@ impl<E: Elem> PerThreadKernel<E> {
             count,
             alg,
             d_tau: None,
+            d_flag: None,
             _e: PhantomData,
         }
     }
 
     pub fn with_tau(mut self, d_tau: DPtr) -> Self {
         self.d_tau = Some(d_tau);
+        self
+    }
+
+    pub fn with_flag(mut self, d_flag: DPtr) -> Self {
+        self.d_flag = Some(d_flag);
         self
     }
 
@@ -71,10 +80,17 @@ fn idx(n: usize, i: usize, j: usize) -> usize {
     j * n + i
 }
 
-fn lu_serial<E: Elem>(t: &mut ThreadCtx, a: &mut RegArray<E>, n: usize, cols: usize) {
+fn lu_serial<E: Elem>(
+    t: &mut ThreadCtx,
+    a: &mut RegArray<E>,
+    n: usize,
+    cols: usize,
+) -> Option<usize> {
+    let mut fail = None;
     for k in 0..n {
         let akk = a.get(t, idx(n, k, k));
         if E::is_zero(t, akk) {
+            fail.get_or_insert(k);
             continue;
         }
         let inv = E::recip(t, akk);
@@ -93,12 +109,20 @@ fn lu_serial<E: Elem>(t: &mut ThreadCtx, a: &mut RegArray<E>, n: usize, cols: us
             }
         }
     }
+    fail
 }
 
-fn gj_serial<E: Elem>(t: &mut ThreadCtx, a: &mut RegArray<E>, n: usize, cols: usize) {
+fn gj_serial<E: Elem>(
+    t: &mut ThreadCtx,
+    a: &mut RegArray<E>,
+    n: usize,
+    cols: usize,
+) -> Option<usize> {
+    let mut fail = None;
     for k in 0..n {
         let akk = a.get(t, idx(n, k, k));
         if E::is_zero(t, akk) {
+            fail.get_or_insert(k);
             continue;
         }
         let s = E::recip(t, akk);
@@ -120,6 +144,7 @@ fn gj_serial<E: Elem>(t: &mut ThreadCtx, a: &mut RegArray<E>, n: usize, cols: us
             }
         }
     }
+    fail
 }
 
 fn qr_serial<E: Elem>(
@@ -189,12 +214,14 @@ fn qr_serial<E: Elem>(
     }
 }
 
-fn cholesky_serial<E: Elem>(t: &mut ThreadCtx, a: &mut RegArray<E>, n: usize) {
+fn cholesky_serial<E: Elem>(t: &mut ThreadCtx, a: &mut RegArray<E>, n: usize) -> Option<usize> {
+    let mut fail = None;
     for k in 0..n {
         let akk = a.get(t, idx(n, k, k));
         let d = akk.re();
         let zero = t.lit(0.0);
         if !t.gt(d, zero) {
+            fail.get_or_insert(k);
             continue;
         }
         let lkk = t.sqrt(d);
@@ -216,6 +243,7 @@ fn cholesky_serial<E: Elem>(t: &mut ThreadCtx, a: &mut RegArray<E>, n: usize) {
             }
         }
     }
+    fail
 }
 
 fn back_substitute_serial<E: Elem>(
@@ -248,6 +276,7 @@ impl<E: Elem> BlockKernel for PerThreadKernel<E> {
         let alg = self.alg;
         let count = self.count;
         let d_tau = self.d_tau;
+        let d_flag = self.d_flag;
         blk.phase_label("per-thread");
         blk.for_each(|t| {
             let pid = bid * tpb + t.tid;
@@ -261,24 +290,32 @@ impl<E: Elem> BlockKernel for PerThreadKernel<E> {
                     regs.set(t, idx(n, i, j), v);
                 }
             }
-            match alg {
+            let fail = match alg {
                 PtAlg::Lu => lu_serial(t, &mut regs, n, cols),
                 PtAlg::Gj => gj_serial(t, &mut regs, n, cols),
                 PtAlg::Qr => {
                     let sink = d_tau.map(|dt| (dt, pid * n));
-                    qr_serial(t, &mut regs, n, cols, sink)
+                    qr_serial(t, &mut regs, n, cols, sink);
+                    None
                 }
                 PtAlg::QrSolve => {
                     qr_serial(t, &mut regs, n, cols, None);
                     back_substitute_serial(t, &mut regs, n, n);
+                    None
                 }
                 PtAlg::Cholesky => cholesky_serial(t, &mut regs, n),
-            }
+            };
             for j in 0..cols {
                 for i in 0..n {
                     let v = regs.get(t, idx(n, i, j));
                     E::gstore(t, a.ptr, a.index(pid, i, j), v);
                 }
+            }
+            // Per-problem failure flag: `first failing column + 1`
+            // (0 = solved), same encoding as the per-block kernels.
+            if let (Some(f), Some(col)) = (d_flag, fail) {
+                let v = t.lit((col + 1) as f32);
+                t.gstore(f, pid, v);
             }
         });
     }

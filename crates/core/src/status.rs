@@ -1,0 +1,189 @@
+//! Per-problem outcome reporting and bounded fault recovery.
+//!
+//! Batched runs never fail wholesale: each problem gets a
+//! [`ProblemStatus`] verdict, reported uniformly by the per-thread,
+//! per-block and tiled paths (and by the `regla-cpu` baseline, so
+//! verdicts can be compared across backends). When the simulator's fault
+//! campaign corrupts a block, the [`RecoveryPolicy`] bounds what the API
+//! does about it: retry the failed subset on the device, then degrade to
+//! the host baseline — never loop, never panic.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Outcome of one problem in a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProblemStatus {
+    /// Factorization/solve completed.
+    Ok,
+    /// A zero (LU/GJ) or non-positive (Cholesky) pivot at `col`; the
+    /// problem is singular / not positive definite under the paper's
+    /// no-pivoting algorithms (the `*notsolved` flag, with the column).
+    ZeroPivot { col: usize },
+    /// The result contains NaN or infinity.
+    NonFinite,
+    /// The simulated hardware reported a fault (bit flip or block abort)
+    /// in the block that computed this problem; the result is untrusted
+    /// even if it looks plausible.
+    FaultDetected,
+}
+
+impl ProblemStatus {
+    /// Whether the result is numerically trustworthy. `ZeroPivot` counts
+    /// as a *reported* outcome (the algorithm did its job of detecting
+    /// the singularity), but the factors are not usable.
+    pub fn is_ok(self) -> bool {
+        matches!(self, ProblemStatus::Ok)
+    }
+
+    /// Whether the run produced a *trustworthy verdict*: either a good
+    /// result or a correctly-diagnosed singular input. Fault-tainted and
+    /// non-finite results are not settled.
+    pub fn is_settled(self) -> bool {
+        matches!(self, ProblemStatus::Ok | ProblemStatus::ZeroPivot { .. })
+    }
+}
+
+/// Bounded recovery applied when problems come back fault-tainted or
+/// non-finite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Device retries for the failed subset (with fault injection off).
+    pub retries: u32,
+    /// After retries are exhausted, recompute the still-failed problems
+    /// with the host baseline.
+    pub cpu_fallback: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            retries: 1,
+            cpu_fallback: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// No retries, no fallback: report raw statuses.
+    pub fn off() -> Self {
+        RecoveryPolicy {
+            retries: 0,
+            cpu_fallback: false,
+        }
+    }
+}
+
+/// What the recovery layer did for one batched run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Problems whose block the simulator reported a fault in.
+    pub faults_detected: usize,
+    /// Problems re-run on the device (summed over retry rounds).
+    pub retried: usize,
+    /// Problems recomputed by the host baseline.
+    pub fell_back: usize,
+    /// Problems that ended settled (Ok or ZeroPivot) after recovery.
+    pub recovered: usize,
+    /// Problems still fault-tainted or non-finite after the policy was
+    /// exhausted (only possible with a truncated policy).
+    pub unrecovered: usize,
+}
+
+impl RecoveryStats {
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.faults_detected += other.faults_detected;
+        self.retried += other.retried;
+        self.fell_back += other.fell_back;
+        self.recovered += other.recovered;
+        self.unrecovered += other.unrecovered;
+    }
+}
+
+// Process-wide recovery counters, mirrored after every recovered run so
+// the benchmark harness can report campaign totals without threading a
+// collector through the API (same pattern as `regla_gpu_sim::telemetry`).
+static FAULTS_DETECTED: AtomicU64 = AtomicU64::new(0);
+static RETRIED: AtomicU64 = AtomicU64::new(0);
+static FELL_BACK: AtomicU64 = AtomicU64::new(0);
+static RECOVERED: AtomicU64 = AtomicU64::new(0);
+static UNRECOVERED: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn record_recovery(s: &RecoveryStats) {
+    FAULTS_DETECTED.fetch_add(s.faults_detected as u64, Relaxed);
+    RETRIED.fetch_add(s.retried as u64, Relaxed);
+    FELL_BACK.fetch_add(s.fell_back as u64, Relaxed);
+    RECOVERED.fetch_add(s.recovered as u64, Relaxed);
+    UNRECOVERED.fetch_add(s.unrecovered as u64, Relaxed);
+}
+
+/// Cumulative recovery totals across every run in this process.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryTelemetry {
+    pub faults_detected: u64,
+    pub retried: u64,
+    pub fell_back: u64,
+    pub recovered: u64,
+    pub unrecovered: u64,
+}
+
+/// Read the process-wide recovery counters without resetting them.
+pub fn recovery_snapshot() -> RecoveryTelemetry {
+    RecoveryTelemetry {
+        faults_detected: FAULTS_DETECTED.load(Relaxed),
+        retried: RETRIED.load(Relaxed),
+        fell_back: FELL_BACK.load(Relaxed),
+        recovered: RECOVERED.load(Relaxed),
+        unrecovered: UNRECOVERED.load(Relaxed),
+    }
+}
+
+/// Read and reset the process-wide recovery counters (one experiment's
+/// worth of runs).
+pub fn recovery_take() -> RecoveryTelemetry {
+    RecoveryTelemetry {
+        faults_detected: FAULTS_DETECTED.swap(0, Relaxed),
+        retried: RETRIED.swap(0, Relaxed),
+        fell_back: FELL_BACK.swap(0, Relaxed),
+        recovered: RECOVERED.swap(0, Relaxed),
+        unrecovered: UNRECOVERED.swap(0, Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_predicates() {
+        assert!(ProblemStatus::Ok.is_ok());
+        assert!(ProblemStatus::Ok.is_settled());
+        assert!(!ProblemStatus::ZeroPivot { col: 2 }.is_ok());
+        assert!(ProblemStatus::ZeroPivot { col: 2 }.is_settled());
+        assert!(!ProblemStatus::NonFinite.is_settled());
+        assert!(!ProblemStatus::FaultDetected.is_settled());
+    }
+
+    #[test]
+    fn default_policy_is_bounded() {
+        let p = RecoveryPolicy::default();
+        assert_eq!(p.retries, 1);
+        assert!(p.cpu_fallback);
+        let off = RecoveryPolicy::off();
+        assert_eq!(off.retries, 0);
+        assert!(!off.cpu_fallback);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = RecoveryStats {
+            faults_detected: 1,
+            retried: 2,
+            fell_back: 3,
+            recovered: 4,
+            unrecovered: 0,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.retried, 4);
+        assert_eq!(a.recovered, 8);
+    }
+}

@@ -17,7 +17,10 @@ pub mod tsqr;
 use crate::elem::Elem;
 use crate::layout::{Layout, LayoutMap};
 use crate::per_block::{QrApplyKernel, QrBlockKernel, SubMat};
-use regla_gpu_sim::{ExecMode, GlobalMemory, Gpu, LaunchConfig, LaunchStats, MathMode};
+use crate::status::RecoveryStats;
+use regla_gpu_sim::{
+    ExecMode, FaultPlan, GlobalMemory, Gpu, LaunchConfig, LaunchError, LaunchStats, MathMode,
+};
 use std::marker::PhantomData;
 
 pub use tsqr::{tsqr, TsqrOpts};
@@ -28,6 +31,9 @@ pub struct MultiLaunch {
     pub launches: Vec<LaunchStats>,
     pub time_s: f64,
     pub flops: f64,
+    /// What the recovery layer did for this run (all zeros when no fault
+    /// was detected and nothing was retried).
+    pub recovery: RecoveryStats,
 }
 
 impl MultiLaunch {
@@ -55,6 +61,9 @@ pub struct TiledOpts {
     pub exec: ExecMode,
     /// Host worker threads for the simulator's functional replay.
     pub host_threads: Option<usize>,
+    /// Seeded fault-injection plan applied to every launch of the
+    /// factorization (resilience campaigns).
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for TiledOpts {
@@ -64,6 +73,7 @@ impl Default for TiledOpts {
             math: MathMode::Fast,
             exec: ExecMode::Full,
             host_threads: None,
+            fault: None,
         }
     }
 }
@@ -83,8 +93,9 @@ pub fn tiled_qr<E: Elem>(
     count: usize,
     d_tau: regla_gpu_sim::DPtr,
     opts: TiledOpts,
-) -> MultiLaunch {
+) -> Result<MultiLaunch, LaunchError> {
     assert!(m >= n, "tiled QR requires m >= n");
+    assert!(opts.panel >= 1, "panel width must be >= 1");
     let nb = opts.panel;
     let mut agg = MultiLaunch::default();
     let cols = n + rhs_cols;
@@ -108,8 +119,9 @@ pub fn tiled_qr<E: Elem>(
             .shared_words(kern.shared_words())
             .math(opts.math)
             .exec(opts.exec)
-            .host_threads(opts.host_threads);
-        agg.push(gpu.launch(&kern, &lc, gmem));
+            .host_threads(opts.host_threads)
+            .fault(opts.fault);
+        agg.push(gpu.launch(&kern, &lc, gmem)?);
 
         // --- apply the reflectors to the trailing columns ---------------
         let tcols = cols - (j0 + pw);
@@ -131,10 +143,11 @@ pub fn tiled_qr<E: Elem>(
                 .shared_words(apply.shared_words())
                 .math(opts.math)
                 .exec(opts.exec)
-                .host_threads(opts.host_threads);
-            agg.push(gpu.launch(&apply, &lc, gmem));
+                .host_threads(opts.host_threads)
+                .fault(opts.fault);
+            agg.push(gpu.launch(&apply, &lc, gmem)?);
         }
         j0 += pw;
     }
-    agg
+    Ok(agg)
 }

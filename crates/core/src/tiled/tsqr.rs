@@ -19,7 +19,7 @@ use crate::layout::{Layout, LayoutMap};
 use crate::per_block::{QrBlockKernel, SubMat};
 use crate::tiled::MultiLaunch;
 use regla_gpu_sim::{
-    BlockCtx, BlockKernel, DPtr, ExecMode, GlobalMemory, Gpu, LaunchConfig, MathMode,
+    BlockCtx, BlockKernel, DPtr, ExecMode, GlobalMemory, Gpu, LaunchConfig, LaunchError, MathMode,
 };
 use std::marker::PhantomData;
 
@@ -124,7 +124,7 @@ fn qr_stage<E: Elem>(
     count: usize,
     opts: &TsqrOpts,
     agg: &mut MultiLaunch,
-) {
+) -> Result<(), LaunchError> {
     let plan = regla_model::block_plan(rows, nfac, rhs, E::WORDS);
     let lm = LayoutMap::new(Layout::TwoDCyclic, plan.threads, rows, nfac + rhs);
     let kern = QrBlockKernel::<E>::new(view, lm, count).with_rhs(rhs);
@@ -134,7 +134,8 @@ fn qr_stage<E: Elem>(
         .math(opts.math)
         .exec(opts.exec)
         .host_threads(opts.host_threads);
-    agg.push(gpu.launch(&kern, &lc, gmem));
+    agg.push(gpu.launch(&kern, &lc, gmem)?);
+    Ok(())
 }
 
 /// TSQR of a device batch at `a` (`m x (n + rhs)` per problem): on return,
@@ -150,7 +151,7 @@ pub fn tsqr<E: Elem>(
     rhs: usize,
     count: usize,
     opts: TsqrOpts,
-) -> (DPtr, MultiLaunch) {
+) -> Result<(DPtr, MultiLaunch), LaunchError> {
     assert!(m >= n, "TSQR needs a tall matrix");
     let cols = n + rhs;
     let mut agg = MultiLaunch::default();
@@ -177,7 +178,7 @@ pub fn tsqr<E: Elem>(
         }
     }
     for &(r0, rows) in &row_blocks {
-        qr_stage::<E>(gpu, gmem, a.offset(r0, 0), rows, n, rhs, count, &opts, &mut agg);
+        qr_stage::<E>(gpu, gmem, a.offset(r0, 0), rows, n, rhs, count, &opts, &mut agg)?;
     }
 
     // ---- Combine stages: pairwise QR of stacked R factors --------------
@@ -209,11 +210,11 @@ pub fn tsqr<E: Elem>(
             .math(opts.math)
             .exec(opts.exec)
             .host_threads(opts.host_threads);
-        agg.push(gpu.launch(&gather, &lc, gmem));
+        agg.push(gpu.launch(&gather, &lc, gmem)?);
 
         // Factor every stacked pair: count*pairs problems of 2n x cols.
         let view = SubMat::whole(stacked, 2 * n, cols);
-        qr_stage::<E>(gpu, gmem, view, 2 * n, n, rhs, count * pairs, &opts, &mut agg);
+        qr_stage::<E>(gpu, gmem, view, 2 * n, n, rhs, count * pairs, &opts, &mut agg)?;
 
         src = SubMat {
             ptr: stacked,
@@ -245,7 +246,7 @@ pub fn tsqr<E: Elem>(
         .math(opts.math)
         .exec(opts.exec)
         .host_threads(opts.host_threads);
-    agg.push(gpu.launch(&gather, &lc, gmem));
+    agg.push(gpu.launch(&gather, &lc, gmem)?);
     let out = gmem.alloc(count * n * cols * E::WORDS);
     let compact = CompactTop::<E> {
         src: scratch,
@@ -255,8 +256,8 @@ pub fn tsqr<E: Elem>(
         count,
         _e: PhantomData,
     };
-    agg.push(gpu.launch(&compact, &lc, gmem));
-    (out, agg)
+    agg.push(gpu.launch(&compact, &lc, gmem)?);
+    Ok((out, agg))
 }
 
 /// Copy the top `n x cols` of each `2n x cols` scratch problem to `dst`.

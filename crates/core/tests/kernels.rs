@@ -114,7 +114,7 @@ fn per_thread_lu_matches_host() {
     let gpu = Gpu::quadro_6000();
     let mut r = rng(1);
     let a = rand_f32_batch(&mut r, 6, 6, 100, true);
-    let run = api::lu_batch(&gpu, &a, &opts(Approach::PerThread));
+    let run = api::lu_batch(&gpu, &a, &opts(Approach::PerThread)).unwrap();
     assert_eq!(run.approach, Approach::PerThread);
     for k in 0..a.count() {
         let mut f = a.mat(k);
@@ -128,7 +128,7 @@ fn per_thread_qr_matches_host() {
     let gpu = Gpu::quadro_6000();
     let mut r = rng(2);
     let a = rand_f32_batch(&mut r, 7, 7, 64, false);
-    let run = api::qr_batch(&gpu, &a, &opts(Approach::PerThread));
+    let run = api::qr_batch(&gpu, &a, &opts(Approach::PerThread)).unwrap();
     assert_r_gram_matches(&run.out, &a, 1e-2);
     assert_qr_reconstructs(&run, &a, 1e-2);
 }
@@ -139,7 +139,7 @@ fn per_thread_gj_solves_systems() {
     let mut r = rng(3);
     let a = rand_f32_batch(&mut r, 6, 6, 50, true);
     let b = rand_f32_batch(&mut r, 6, 1, 50, false);
-    let run = api::gj_solve_batch(&gpu, &a, &b, &opts(Approach::PerThread));
+    let run = api::gj_solve_batch(&gpu, &a, &b, &opts(Approach::PerThread)).unwrap();
     for k in 0..a.count() {
         let x: Vec<f32> = (0..6).map(|i| run.out.get(k, i, 6)).collect();
         let bk: Vec<f32> = (0..6).map(|i| b.get(k, i, 0)).collect();
@@ -153,7 +153,7 @@ fn per_block_lu_matches_host_2d() {
     let gpu = Gpu::quadro_6000();
     let mut r = rng(4);
     let a = rand_f32_batch(&mut r, 24, 24, 6, true);
-    let run = api::lu_batch(&gpu, &a, &opts(Approach::PerBlock));
+    let run = api::lu_batch(&gpu, &a, &opts(Approach::PerBlock)).unwrap();
     assert_eq!(run.approach, Approach::PerBlock);
     for k in 0..a.count() {
         let mut f = a.mat(k);
@@ -168,7 +168,7 @@ fn per_block_qr_matches_host_2d() {
     let gpu = Gpu::quadro_6000();
     let mut r = rng(5);
     let a = rand_f32_batch(&mut r, 24, 24, 5, false);
-    let run = api::qr_batch(&gpu, &a, &opts(Approach::PerBlock));
+    let run = api::qr_batch(&gpu, &a, &opts(Approach::PerBlock)).unwrap();
     assert_r_gram_matches(&run.out, &a, 1e-2);
     assert_qr_reconstructs(&run, &a, 1e-2);
 }
@@ -178,7 +178,7 @@ fn per_block_qr_tall_matrix() {
     let gpu = Gpu::quadro_6000();
     let mut r = rng(6);
     let a = rand_f32_batch(&mut r, 40, 12, 4, false);
-    let run = api::qr_batch(&gpu, &a, &opts(Approach::PerBlock));
+    let run = api::qr_batch(&gpu, &a, &opts(Approach::PerBlock)).unwrap();
     assert_qr_matches_host(&run.out, &a, 2e-3);
 }
 
@@ -187,7 +187,7 @@ fn per_block_complex_qr_matches_host() {
     let gpu = Gpu::quadro_6000();
     let mut r = rng(7);
     let a = rand_c32_batch(&mut r, 16, 16, 4, false);
-    let run = api::qr_batch(&gpu, &a, &opts(Approach::PerBlock));
+    let run = api::qr_batch(&gpu, &a, &opts(Approach::PerBlock)).unwrap();
     assert_qr_matches_host(&run.out, &a, 5e-3);
 }
 
@@ -197,7 +197,7 @@ fn per_block_gj_solves_2d() {
     let mut r = rng(8);
     let a = rand_f32_batch(&mut r, 20, 20, 4, true);
     let b = rand_f32_batch(&mut r, 20, 1, 4, false);
-    let run = api::gj_solve_batch(&gpu, &a, &b, &opts(Approach::PerBlock));
+    let run = api::gj_solve_batch(&gpu, &a, &b, &opts(Approach::PerBlock)).unwrap();
     for k in 0..a.count() {
         let x: Vec<f32> = (0..20).map(|i| run.out.get(k, i, 20)).collect();
         let bk: Vec<f32> = (0..20).map(|i| b.get(k, i, 0)).collect();
@@ -211,7 +211,7 @@ fn per_block_qr_solve_2d() {
     let mut r = rng(9);
     let a = rand_f32_batch(&mut r, 24, 24, 4, true);
     let b = rand_f32_batch(&mut r, 24, 1, 4, false);
-    let run = api::qr_solve_batch(&gpu, &a, &b, &opts(Approach::PerBlock));
+    let run = api::qr_solve_batch(&gpu, &a, &b, &opts(Approach::PerBlock)).unwrap();
     for k in 0..a.count() {
         let x: Vec<f32> = (0..24).map(|i| run.out.get(k, i, 24)).collect();
         let bk: Vec<f32> = (0..24).map(|i| b.get(k, i, 0)).collect();
@@ -233,7 +233,7 @@ fn qr_solve_agrees_across_layouts() {
             layout,
             ..Default::default()
         };
-        let run = api::qr_solve_batch(&gpu, &a, &b, &o);
+        let run = api::qr_solve_batch(&gpu, &a, &b, &o).unwrap();
         for k in 0..a.count() {
             let x: Vec<f32> = (0..16).map(|i| run.out.get(k, i, 16)).collect();
             let bk: Vec<f32> = (0..16).map(|i| b.get(k, i, 0)).collect();
@@ -249,7 +249,7 @@ fn complex_gj_solves() {
     let mut r = rng(11);
     let a = rand_c32_batch(&mut r, 12, 12, 3, true);
     let b = rand_c32_batch(&mut r, 12, 1, 3, false);
-    let run = api::gj_solve_batch(&gpu, &a, &b, &opts(Approach::PerBlock));
+    let run = api::gj_solve_batch(&gpu, &a, &b, &opts(Approach::PerBlock)).unwrap();
     for k in 0..a.count() {
         let x: Vec<C32> = (0..12).map(|i| run.out.get(k, i, 12)).collect();
         let bk: Vec<C32> = (0..12).map(|i| b.get(k, i, 0)).collect();
@@ -263,7 +263,7 @@ fn tiled_qr_matches_host_tall_real() {
     let mut r = rng(12);
     // Tall enough to need several panels but small enough to test quickly.
     let a = rand_f32_batch(&mut r, 60, 20, 2, false);
-    let run = api::qr_batch(&gpu, &a, &opts(Approach::Tiled));
+    let run = api::qr_batch(&gpu, &a, &opts(Approach::Tiled)).unwrap();
     for k in 0..a.count() {
         let mut f = a.mat(k);
         host::householder_qr_in_place(&mut f);
@@ -294,7 +294,7 @@ fn tiled_least_squares_complex_radar_shape() {
         approach: Some(Approach::Tiled),
         ..Default::default()
     };
-    let (_, x) = api::least_squares_batch(&gpu, &a, &b, &o);
+    let (_, x) = api::least_squares_batch(&gpu, &a, &b, &o).unwrap();
     for k in 0..a.count() {
         let bk: Vec<C32> = (0..48).map(|i| b.get(k, i, 0)).collect();
         let xk: Vec<C32> = (0..12).map(|i| x.get(k, i, 0)).collect();
@@ -311,7 +311,7 @@ fn least_squares_per_block_tall() {
     let mut r = rng(14);
     let a = rand_f32_batch(&mut r, 32, 8, 4, false);
     let b = rand_f32_batch(&mut r, 32, 1, 4, false);
-    let (_, x) = api::least_squares_batch(&gpu, &a, &b, &RunOpts::default());
+    let (_, x) = api::least_squares_batch(&gpu, &a, &b, &RunOpts::default()).unwrap();
     for k in 0..a.count() {
         let bk: Vec<f32> = (0..32).map(|i| b.get(k, i, 0)).collect();
         let xk: Vec<f32> = (0..8).map(|i| x.get(k, i, 0)).collect();
@@ -328,7 +328,7 @@ fn gemm_batch_matches_host() {
     let mut r = rng(15);
     let a = rand_f32_batch(&mut r, 16, 12, 5, false);
     let b = rand_f32_batch(&mut r, 12, 10, 5, false);
-    let run = api::gemm_batch(&gpu, &a, &b, &RunOpts::default());
+    let run = api::gemm_batch(&gpu, &a, &b, &RunOpts::default()).unwrap();
     for k in 0..a.count() {
         let c = a.mat(k).matmul(&b.mat(k));
         assert!(run.out.mat(k).frob_dist(&c) < 1e-3 * c.frob_norm());
@@ -343,7 +343,7 @@ fn gemm_complex_gmm_shape() {
     let mut r = rng(16);
     let a = rand_c32_batch(&mut r, 20, 8, 3, false);
     let b = rand_c32_batch(&mut r, 8, 6, 3, false);
-    let run = api::gemm_batch(&gpu, &a, &b, &RunOpts::default());
+    let run = api::gemm_batch(&gpu, &a, &b, &RunOpts::default()).unwrap();
     for k in 0..a.count() {
         let c = a.mat(k).matmul(&b.mat(k));
         assert!(run.out.mat(k).frob_dist(&c) < 1e-3 * c.frob_norm().max(1.0));
@@ -367,7 +367,7 @@ fn fast_math_error_is_bounded() {
             approach: Some(Approach::PerBlock),
             ..Default::default()
         },
-    );
+    ).unwrap();
     let precise = api::qr_solve_batch(
         &gpu,
         &a,
@@ -377,7 +377,7 @@ fn fast_math_error_is_bounded() {
             approach: Some(Approach::PerBlock),
             ..Default::default()
         },
-    );
+    ).unwrap();
     let d = fast.out.max_frob_dist(&precise.out);
     assert!(d > 0.0, "fast math should differ in the low bits");
     assert!(d < 1e-3, "fast-math drift too large: {d}");
@@ -390,10 +390,10 @@ fn auto_dispatch_picks_sensible_approaches() {
     let gpu = Gpu::quadro_6000();
     let mut r = rng(18);
     let small = rand_f32_batch(&mut r, 6, 6, 32, true);
-    let run = api::lu_batch(&gpu, &small, &RunOpts::default());
+    let run = api::lu_batch(&gpu, &small, &RunOpts::default()).unwrap();
     assert_eq!(run.approach, Approach::PerThread);
     let mid = rand_f32_batch(&mut r, 40, 40, 2, true);
-    let run = api::lu_batch(&gpu, &mid, &RunOpts::default());
+    let run = api::lu_batch(&gpu, &mid, &RunOpts::default()).unwrap();
     assert_eq!(run.approach, Approach::PerBlock);
 }
 
@@ -402,8 +402,8 @@ fn invert_batch_produces_inverses() {
     let gpu = Gpu::quadro_6000();
     let mut r = rng(30);
     let a = rand_f32_batch(&mut r, 12, 12, 3, true);
-    let (inv, run) = api::invert_batch(&gpu, &a, &RunOpts::default());
-    assert!(run.not_solved.iter().all(|&f| !f));
+    let (inv, run) = api::invert_batch(&gpu, &a, &RunOpts::default()).unwrap();
+    assert!(run.not_solved().iter().all(|&f| !f));
     for k in 0..3 {
         let prod = a.mat(k).matmul(&inv.mat(k));
         let eye = regla_core::Mat::<f32>::identity(12);
@@ -418,7 +418,7 @@ fn gj_multi_rhs_solves_all_columns() {
     let mut r = rng(31);
     let a = rand_f32_batch(&mut r, 10, 10, 2, true);
     let b = rand_f32_batch(&mut r, 10, 3, 2, false);
-    let run = api::gj_solve_multi(&gpu, &a, &b, &RunOpts::default());
+    let run = api::gj_solve_multi(&gpu, &a, &b, &RunOpts::default()).unwrap();
     for k in 0..2 {
         for c in 0..3 {
             let x: Vec<f32> = (0..10).map(|i| run.out.get(k, i, 10 + c)).collect();
@@ -438,9 +438,9 @@ fn singularity_flags_fire_on_zero_pivot() {
         a.set(0, i, (i + 1) % 8, 1.0);
         a.set(1, i, i, 1.0);
     }
-    let run = api::lu_batch(&gpu, &a, &opts(Approach::PerBlock));
-    assert!(run.not_solved[0], "singular problem must raise the flag");
-    assert!(!run.not_solved[1], "identity must not raise the flag");
+    let run = api::lu_batch(&gpu, &a, &opts(Approach::PerBlock)).unwrap();
+    assert!(run.not_solved()[0], "singular problem must raise the flag");
+    assert!(!run.not_solved()[1], "identity must not raise the flag");
 }
 
 #[test]
@@ -448,13 +448,13 @@ fn tree_reduction_matches_serial_results() {
     let gpu = Gpu::quadro_6000();
     let mut r = rng(32);
     let a = rand_f32_batch(&mut r, 20, 20, 3, true);
-    let serial = api::qr_batch(&gpu, &a, &opts(Approach::PerBlock));
+    let serial = api::qr_batch(&gpu, &a, &opts(Approach::PerBlock)).unwrap();
     let tree_opts = RunOpts {
         approach: Some(Approach::PerBlock),
         tree_reduction: true,
         ..Default::default()
     };
-    let tree = api::qr_batch(&gpu, &a, &tree_opts);
+    let tree = api::qr_batch(&gpu, &a, &tree_opts).unwrap();
     // Same algorithm, different summation order: results agree closely.
     let d = serial.out.max_frob_dist(&tree.out);
     assert!(d < 1e-2, "tree vs serial divergence {d}");
@@ -465,13 +465,13 @@ fn listing7_lu_is_slower_but_equal() {
     let gpu = Gpu::quadro_6000();
     let mut r = rng(33);
     let a = rand_f32_batch(&mut r, 24, 24, 2, true);
-    let hoisted = api::lu_batch(&gpu, &a, &opts(Approach::PerBlock));
+    let hoisted = api::lu_batch(&gpu, &a, &opts(Approach::PerBlock)).unwrap();
     let l7_opts = RunOpts {
         approach: Some(Approach::PerBlock),
         lu_listing7: true,
         ..Default::default()
     };
-    let l7 = api::lu_batch(&gpu, &a, &l7_opts);
+    let l7 = api::lu_batch(&gpu, &a, &l7_opts).unwrap();
     assert_eq!(hoisted.out.max_frob_dist(&l7.out), 0.0, "identical math");
     assert!(
         l7.time_s() > hoisted.time_s(),
@@ -487,7 +487,7 @@ fn qr_solve_multi_rhs() {
     let mut r = rng(34);
     let a = rand_f32_batch(&mut r, 14, 14, 2, true);
     let b = rand_f32_batch(&mut r, 14, 2, 2, false);
-    let run = api::qr_solve_multi(&gpu, &a, &b, &RunOpts::default());
+    let run = api::qr_solve_multi(&gpu, &a, &b, &RunOpts::default()).unwrap();
     for k in 0..2 {
         for c in 0..2 {
             let x: Vec<f32> = (0..14).map(|i| run.out.get(k, i, 14 + c)).collect();
@@ -517,8 +517,8 @@ fn per_thread_cholesky_matches_host() {
     let gpu = Gpu::quadro_6000();
     let mut r = rng(40);
     let a = spd_f32_batch(&mut r, 6, 40);
-    let run = api::cholesky_batch(&gpu, &a, &opts(Approach::PerThread));
-    assert!(run.not_solved.is_empty() || run.not_solved.iter().all(|&f| !f));
+    let run = api::cholesky_batch(&gpu, &a, &opts(Approach::PerThread)).unwrap();
+    assert!(run.not_solved().is_empty() || run.not_solved().iter().all(|&f| !f));
     for k in 0..a.count() {
         let mut f = a.mat(k);
         host::cholesky_in_place(&mut f).unwrap();
@@ -533,9 +533,9 @@ fn per_block_cholesky_reconstructs() {
     let gpu = Gpu::quadro_6000();
     let mut r = rng(41);
     let a = spd_f32_batch(&mut r, 20, 4);
-    let run = api::cholesky_batch(&gpu, &a, &opts(Approach::PerBlock));
+    let run = api::cholesky_batch(&gpu, &a, &opts(Approach::PerBlock)).unwrap();
     for k in 0..a.count() {
-        assert!(!run.not_solved[k]);
+        assert!(!run.not_solved()[k]);
         let l = host::extract_l(&run.out.mat(k));
         let llt = l.matmul(&l.hermitian_transpose());
         let d = llt.frob_dist(&a.mat(k));
@@ -559,7 +559,7 @@ fn per_block_cholesky_complex_hermitian() {
         }
         a.set_mat(k, &h);
     }
-    let run = api::cholesky_batch(&gpu, &a, &opts(Approach::PerBlock));
+    let run = api::cholesky_batch(&gpu, &a, &opts(Approach::PerBlock)).unwrap();
     for k in 0..2 {
         let l = host::extract_l(&run.out.mat(k));
         let llh = l.matmul(&l.hermitian_transpose());
@@ -576,9 +576,9 @@ fn cholesky_flags_non_spd_problems() {
         a.set(0, i, i, 1.0);
         a.set(1, i, i, if i == 3 { -1.0 } else { 1.0 });
     }
-    let run = api::cholesky_batch(&gpu, &a, &opts(Approach::PerBlock));
-    assert!(!run.not_solved[0]);
-    assert!(run.not_solved[1], "indefinite problem must be flagged");
+    let run = api::cholesky_batch(&gpu, &a, &opts(Approach::PerBlock)).unwrap();
+    assert!(!run.not_solved()[0]);
+    assert!(run.not_solved()[1], "indefinite problem must be flagged");
 }
 
 #[test]
@@ -588,7 +588,7 @@ fn tsqr_least_squares_matches_host() {
     // Tall enough for two stage-0 blocks plus a combine.
     let a = rand_f32_batch(&mut r, 72, 10, 3, false);
     let b = rand_f32_batch(&mut r, 72, 1, 3, false);
-    let (x, stats) = api::tsqr_least_squares(&gpu, &a, &b, &RunOpts::default());
+    let (x, stats) = api::tsqr_least_squares(&gpu, &a, &b, &RunOpts::default()).unwrap();
     assert!(stats.launches.len() >= 4, "stage-0 blocks + combine + gather");
     for k in 0..3 {
         let bk: Vec<f32> = (0..72).map(|i| b.get(k, i, 0)).collect();
@@ -605,7 +605,7 @@ fn tsqr_complex_radar_shape() {
     let mut r = rng(51);
     let a = rand_c32_batch(&mut r, 96, 12, 2, false);
     let b = rand_c32_batch(&mut r, 96, 1, 2, false);
-    let (x, _) = api::tsqr_least_squares(&gpu, &a, &b, &RunOpts::default());
+    let (x, _) = api::tsqr_least_squares(&gpu, &a, &b, &RunOpts::default()).unwrap();
     for k in 0..2 {
         let bk: Vec<C32> = (0..96).map(|i| b.get(k, i, 0)).collect();
         let href = host::least_squares(&a.mat(k), &bk);
@@ -622,7 +622,7 @@ fn tsqr_single_block_degenerates_to_per_block() {
     let mut r = rng(52);
     let a = rand_f32_batch(&mut r, 16, 8, 2, false);
     let b = rand_f32_batch(&mut r, 16, 1, 2, false);
-    let (x, _) = api::tsqr_least_squares(&gpu, &a, &b, &RunOpts::default());
+    let (x, _) = api::tsqr_least_squares(&gpu, &a, &b, &RunOpts::default()).unwrap();
     for k in 0..2 {
         let bk: Vec<f32> = (0..16).map(|i| b.get(k, i, 0)).collect();
         let href = host::least_squares(&a.mat(k), &bk);
@@ -648,7 +648,8 @@ fn global_level_qr_matches_host() {
     };
     let stats = global_level_qr::<regla_gpu_sim::Rv>(
         &gpu, &mut gmem, SubMat::whole(ptr, 12, 12), 12, 12, 3, opts,
-    );
+    )
+    .unwrap();
     // 4 launches per column (minus the last column's updates).
     assert!(stats.launches.len() >= 40);
     let out = MatBatch::<f32>::from_device(12, 12, 3, &gmem, ptr);
@@ -684,6 +685,7 @@ fn streams_do_not_help_fine_grained_launches() {
         global_level_qr::<regla_gpu_sim::Rv>(
             &gpu, &mut gmem, SubMat::whole(ptr, 16, 16), 16, 16, 64, opts,
         )
+        .unwrap()
         .time_s
     };
     // GF100's effective concurrency for this pattern is 1: the paper's

@@ -13,7 +13,7 @@
 //! the paper's published MKL numbers alongside for the shape comparison.
 
 use regla_core::host;
-use regla_core::{Mat, MatBatch, Scalar};
+use regla_core::{Mat, MatBatch, ProblemStatus, Scalar};
 use std::time::Instant;
 
 pub mod baseline;
@@ -73,23 +73,32 @@ pub fn flops_for<T: Scalar>(alg: CpuAlg, m: usize, n: usize) -> f64 {
     }
 }
 
-fn solve_one<T: Scalar>(alg: CpuAlg, a: &mut Mat<T>) {
-    match alg {
-        CpuAlg::LuPivot => {
-            let _ = host::lu_partial_pivot_in_place(a);
-        }
-        CpuAlg::LuNoPivot => {
-            let _ = host::lu_nopivot_in_place(a);
-        }
+/// Solve one problem in place and report the same [`ProblemStatus`]
+/// verdict the GPU paths produce, so verdicts are comparable backend to
+/// backend. The CPU never sees hardware faults, so `FaultDetected` cannot
+/// occur here.
+fn solve_one<T: Scalar>(alg: CpuAlg, a: &mut Mat<T>) -> ProblemStatus {
+    let status = match alg {
+        CpuAlg::LuPivot => match host::lu_partial_pivot_in_place(a) {
+            Ok(_) => ProblemStatus::Ok,
+            Err(z) => ProblemStatus::ZeroPivot { col: z.column },
+        },
+        CpuAlg::LuNoPivot => match host::lu_nopivot_in_place(a) {
+            Ok(()) => ProblemStatus::Ok,
+            Err(z) => ProblemStatus::ZeroPivot { col: z.column },
+        },
         CpuAlg::Qr => {
             host::householder_qr_in_place(a);
+            ProblemStatus::Ok
         }
-        CpuAlg::GjSolve => {
-            let _ = host::gj_reduce_in_place(a);
-        }
-        CpuAlg::Cholesky => {
-            let _ = host::cholesky_in_place(a);
-        }
+        CpuAlg::GjSolve => match host::gj_reduce_in_place(a) {
+            Ok(()) => ProblemStatus::Ok,
+            Err(z) => ProblemStatus::ZeroPivot { col: z.column },
+        },
+        CpuAlg::Cholesky => match host::cholesky_in_place(a) {
+            Ok(()) => ProblemStatus::Ok,
+            Err(npd) => ProblemStatus::ZeroPivot { col: npd.column },
+        },
         CpuAlg::QrSolve => {
             // a is [A|b]: factor A while carrying b, then back-substitute.
             let n = a.rows();
@@ -99,21 +108,49 @@ fn solve_one<T: Scalar>(alg: CpuAlg, a: &mut Mat<T>) {
             for (i, v) in x.into_iter().enumerate() {
                 a[(i, n)] = v;
             }
+            ProblemStatus::Ok
         }
+    };
+    if status.is_ok() && !mat_is_finite(a) {
+        ProblemStatus::NonFinite
+    } else {
+        status
     }
+}
+
+/// Every word of the matrix is finite (the same screen the GPU API runs
+/// after a launch).
+fn mat_is_finite<T: Scalar>(a: &Mat<T>) -> bool {
+    (0..a.cols()).all(|j| {
+        (0..a.rows()).all(|i| {
+            let w = a[(i, j)].to_words();
+            w[0].is_finite() && w[1].is_finite()
+        })
+    })
 }
 
 /// Run `alg` over every problem of the batch, split across `threads`
 /// OS threads (the paper's "each core is assigned a subset").
 pub fn run_batch<T: Scalar>(alg: CpuAlg, batch: &MatBatch<T>, threads: usize) -> MatBatch<T> {
+    run_batch_status(alg, batch, threads).0
+}
+
+/// Like [`run_batch`], but also reports one [`ProblemStatus`] verdict per
+/// problem — the baseline the GPU paths' verdicts are compared against in
+/// the resilience tests.
+pub fn run_batch_status<T: Scalar>(
+    alg: CpuAlg,
+    batch: &MatBatch<T>,
+    threads: usize,
+) -> (MatBatch<T>, Vec<ProblemStatus>) {
     let count = batch.count();
     let threads = threads.clamp(1, count.max(1));
-    let mut results: Vec<Option<Mat<T>>> = vec![None; count];
+    let mut results: Vec<Option<(Mat<T>, ProblemStatus)>> = vec![None; count];
     if threads <= 1 {
         for (k, slot) in results.iter_mut().enumerate() {
             let mut m = batch.mat(k);
-            solve_one(alg, &mut m);
-            *slot = Some(m);
+            let s = solve_one(alg, &mut m);
+            *slot = Some((m, s));
         }
     } else {
         let chunk = count.div_ceil(threads);
@@ -123,18 +160,21 @@ pub fn run_batch<T: Scalar>(alg: CpuAlg, batch: &MatBatch<T>, threads: usize) ->
                 scope.spawn(move || {
                     for (off, slot) in slot_chunk.iter_mut().enumerate() {
                         let mut m = batch.mat(base + off);
-                        solve_one(alg, &mut m);
-                        *slot = Some(m);
+                        let s = solve_one(alg, &mut m);
+                        *slot = Some((m, s));
                     }
                 });
             }
         });
     }
     let mut out = MatBatch::zeros(batch.rows(), batch.cols(), count);
-    for (k, m) in results.into_iter().enumerate() {
-        out.set_mat(k, &m.expect("all problems solved"));
+    let mut status = Vec::with_capacity(count);
+    for (k, r) in results.into_iter().enumerate() {
+        let (m, s) = r.expect("all problems solved");
+        out.set_mat(k, &m);
+        status.push(s);
     }
-    out
+    (out, status)
 }
 
 /// Timed batched run with the paper's GFLOP/s accounting. `nfac` is the

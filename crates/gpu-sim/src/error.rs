@@ -1,0 +1,60 @@
+//! Structured launch errors.
+//!
+//! `Gpu::launch` validates the launch configuration against the device's
+//! architectural limits and returns these instead of asserting, so a
+//! malformed configuration reaching the simulator from the batched API is
+//! a recoverable condition rather than a process abort. Kernel panics on
+//! replay workers are likewise contained (`catch_unwind` per shard) and
+//! surfaced as [`LaunchError::KernelPanic`].
+
+use std::fmt;
+
+/// Why a kernel launch was rejected or failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LaunchError {
+    /// `grid_blocks == 0`: nothing to execute.
+    EmptyGrid,
+    /// `threads_per_block == 0`: an empty thread block.
+    ZeroThreads,
+    /// The block exceeds the device's `max_threads_per_block`.
+    TooManyThreads { requested: usize, max: usize },
+    /// The per-block shared allocation exceeds the SM's shared memory.
+    SharedMemoryExceeded {
+        requested_bytes: usize,
+        max_bytes: usize,
+    },
+    /// An execution mode that cannot run (e.g. `ExecMode::Sampled(0)`).
+    InvalidExecMode(&'static str),
+    /// The kernel panicked while executing `block` (traced or replayed);
+    /// the panic was contained and device memory may be partially written.
+    KernelPanic { block: usize, message: String },
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::EmptyGrid => write!(f, "empty grid: grid_blocks must be >= 1"),
+            LaunchError::ZeroThreads => {
+                write!(f, "empty thread block: threads_per_block must be >= 1")
+            }
+            LaunchError::TooManyThreads { requested, max } => write!(
+                f,
+                "{requested} threads per block exceeds the device maximum of {max}"
+            ),
+            LaunchError::SharedMemoryExceeded {
+                requested_bytes,
+                max_bytes,
+            } => write!(
+                f,
+                "{requested_bytes} B of shared memory per block exceeds the \
+                 SM's {max_bytes} B"
+            ),
+            LaunchError::InvalidExecMode(why) => write!(f, "invalid exec mode: {why}"),
+            LaunchError::KernelPanic { block, message } => {
+                write!(f, "kernel panicked in block {block}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}

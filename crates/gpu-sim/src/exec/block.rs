@@ -10,6 +10,7 @@
 
 use crate::config::{GpuConfig, MathMode};
 use crate::exec::thread::{AccessRec, PhaseAccum, SpillInfo, ThreadCtx, ThreadTiming};
+use crate::fault::{FaultMap, FaultRecord, FaultState};
 use crate::mem::global::GmemAccess;
 use crate::mem::shared::{bank_conflict_replays, coalesced_transactions, distinct_lines};
 use crate::mem::MemHier;
@@ -33,6 +34,10 @@ pub struct BlockCtx<'a> {
     records: Vec<PhaseRecord>,
     gmem: GmemAccess<'a>,
     memhier: &'a mut MemHier,
+    /// Materialised fault plan for the whole launch (None = no campaign).
+    fault_map: Option<&'a FaultMap>,
+    /// This context's armed/applied fault state (re-armed per block).
+    fault: FaultState,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -48,7 +53,10 @@ impl<'a> BlockCtx<'a> {
         spill: SpillInfo,
         gmem: GmemAccess<'a>,
         memhier: &'a mut MemHier,
+        fault_map: Option<&'a FaultMap>,
     ) -> Self {
+        let mut fault = FaultState::default();
+        fault.arm(fault_map, block_id);
         BlockCtx {
             block_id,
             grid_blocks,
@@ -66,7 +74,14 @@ impl<'a> BlockCtx<'a> {
             records: Vec::new(),
             gmem,
             memhier,
+            fault_map,
+            fault,
         }
+    }
+
+    /// Drain the fault records applied by every block this context ran.
+    pub(crate) fn take_applied_faults(&mut self) -> Vec<FaultRecord> {
+        std::mem::take(&mut self.fault.applied)
     }
 
     /// Reuse this context for another (untraced) block without reallocating.
@@ -83,6 +98,7 @@ impl<'a> BlockCtx<'a> {
         self.phase_start = 0;
         self.label.clear();
         self.records.clear();
+        self.fault.arm(self.fault_map, block_id);
     }
 
     pub fn num_threads(&self) -> usize {
@@ -117,6 +133,7 @@ impl<'a> BlockCtx<'a> {
                 phase: &mut self.phase,
                 memhier: self.memhier,
                 spill: self.spill,
+                fault: &mut self.fault,
             };
             f(&mut t);
         }

@@ -5,11 +5,14 @@ pub mod occupancy;
 pub mod thread;
 
 use crate::config::{GpuConfig, MathMode};
+use crate::error::LaunchError;
+use crate::fault::{FaultPlan, FaultRecord};
 use crate::mem::global::GmemAccess;
 use crate::mem::{GlobalMemory, MemHier};
 use crate::timing::{combine, LaunchStats};
 use block::BlockCtx;
 use occupancy::occupancy;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 use thread::SpillInfo;
 
@@ -50,6 +53,9 @@ pub struct LaunchConfig {
     /// bit-identical at every thread count; this only trades host
     /// wall-clock for cores.
     pub host_threads: Option<usize>,
+    /// Seeded fault-injection campaign for this launch (`None` = no
+    /// faults). Applied faults are reported in `LaunchStats::faults`.
+    pub fault: Option<FaultPlan>,
 }
 
 impl LaunchConfig {
@@ -62,6 +68,7 @@ impl LaunchConfig {
             math: MathMode::Fast,
             exec: ExecMode::Full,
             host_threads: None,
+            fault: None,
         }
     }
 
@@ -89,16 +96,45 @@ impl LaunchConfig {
         self.host_threads = t.into();
         self
     }
+
+    pub fn fault(mut self, plan: impl Into<Option<FaultPlan>>) -> Self {
+        self.fault = plan.into();
+        self
+    }
+
+    /// The blocks this configuration executes functionally, in ascending
+    /// order, always including the traced block 0. Post-launch screens use
+    /// this to restrict themselves to problems whose outputs are real.
+    pub fn executed_blocks(&self) -> Vec<usize> {
+        let mut blocks = vec![0];
+        blocks.extend(replay_blocks(self));
+        blocks.sort_unstable();
+        blocks
+    }
 }
 
 /// Resolve the replay thread count: explicit config, then the
 /// `REGLA_SIM_THREADS` environment variable, then available parallelism.
 fn resolve_host_threads(lc: &LaunchConfig) -> usize {
     lc.host_threads
-        .or_else(|| {
-            std::env::var("REGLA_SIM_THREADS")
-                .ok()
-                .and_then(|v| v.trim().parse().ok())
+        .or_else(|| match std::env::var("REGLA_SIM_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    // Warn once, then fall back to available parallelism —
+                    // a typo'd value should not silently change behaviour.
+                    static WARNED: std::sync::Once = std::sync::Once::new();
+                    WARNED.call_once(|| {
+                        eprintln!(
+                            "regla-gpu-sim: ignoring unparseable \
+                             REGLA_SIM_THREADS={v:?} (expected a positive \
+                             integer); using available parallelism"
+                        );
+                    });
+                    None
+                }
+            },
+            Err(_) => None,
         })
         .unwrap_or_else(|| {
             std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -121,15 +157,12 @@ fn replay_blocks(lc: &LaunchConfig) -> Vec<usize> {
         ExecMode::Full => (1..lc.grid_blocks).collect(),
         ExecMode::Representative => Vec::new(),
         ExecMode::Sampled(k) => {
-            assert!(
-                k >= 1,
-                "ExecMode::Sampled(0) is invalid: at least one block (the \
-                 traced block 0) must execute; use Representative to skip \
-                 the functional replay entirely"
-            );
+            // `Sampled(0)` is rejected by launch validation
+            // (`LaunchError::InvalidExecMode`); clamp here so
+            // `executed_blocks` stays total.
             // k evenly-spaced blocks over the grid, always including 0
             // (already traced, so excluded from the replay list).
-            let k = k.min(lc.grid_blocks);
+            let k = k.clamp(1, lc.grid_blocks);
             let mut blocks: Vec<usize> =
                 (0..k).map(|i| i * lc.grid_blocks / k).collect();
             blocks.dedup();
@@ -155,6 +188,29 @@ pub struct Gpu {
     pub cfg: GpuConfig,
 }
 
+/// Extract a human-readable message from a caught panic payload.
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run the kernel on one block with panic containment.
+fn run_contained<K: BlockKernel + Sync + ?Sized>(
+    kernel: &K,
+    blk: &mut BlockCtx,
+) -> Result<(), LaunchError> {
+    let block = blk.block_id;
+    catch_unwind(AssertUnwindSafe(|| kernel.run(blk))).map_err(|e| LaunchError::KernelPanic {
+        block,
+        message: panic_message(e.as_ref()),
+    })
+}
+
 impl Gpu {
     pub fn new(cfg: GpuConfig) -> Self {
         Gpu { cfg }
@@ -163,6 +219,37 @@ impl Gpu {
     /// The paper's device: a Quadro 6000.
     pub fn quadro_6000() -> Self {
         Gpu::new(GpuConfig::quadro_6000())
+    }
+
+    /// Check a launch configuration against the device's architectural
+    /// limits before anything executes.
+    pub fn validate(&self, lc: &LaunchConfig) -> Result<(), LaunchError> {
+        if lc.grid_blocks == 0 {
+            return Err(LaunchError::EmptyGrid);
+        }
+        if lc.threads_per_block == 0 {
+            return Err(LaunchError::ZeroThreads);
+        }
+        if lc.threads_per_block > self.cfg.max_threads_per_block {
+            return Err(LaunchError::TooManyThreads {
+                requested: lc.threads_per_block,
+                max: self.cfg.max_threads_per_block,
+            });
+        }
+        if lc.shared_words * 4 > self.cfg.shared_bytes_per_sm {
+            return Err(LaunchError::SharedMemoryExceeded {
+                requested_bytes: lc.shared_words * 4,
+                max_bytes: self.cfg.shared_bytes_per_sm,
+            });
+        }
+        if lc.exec == ExecMode::Sampled(0) {
+            return Err(LaunchError::InvalidExecMode(
+                "ExecMode::Sampled(0) executes no blocks; at least the \
+                 traced block 0 must run (use Representative to skip the \
+                 functional replay entirely)",
+            ));
+        }
+        Ok(())
     }
 
     /// Launch a kernel over `lc.grid_blocks` blocks.
@@ -183,8 +270,11 @@ impl Gpu {
         kernel: &K,
         lc: &LaunchConfig,
         gmem: &mut GlobalMemory,
-    ) -> LaunchStats {
-        assert!(lc.grid_blocks >= 1, "empty grid");
+    ) -> Result<LaunchStats, LaunchError> {
+        self.validate(lc)?;
+        let fault_map = lc.fault.map(|p| p.materialize(lc.grid_blocks));
+        let fault_map = fault_map.as_ref();
+        let mut applied: Vec<FaultRecord> = Vec::new();
         let wall_start = Instant::now();
         let occ = occupancy(
             &self.cfg,
@@ -235,8 +325,10 @@ impl Gpu {
                 spill,
                 GmemAccess::Excl(gmem),
                 &mut memhier,
+                fault_map,
             );
-            kernel.run(&mut ctx);
+            run_contained(kernel, &mut ctx)?;
+            applied.extend(ctx.take_applied_faults());
             ctx.finish()
         };
 
@@ -263,23 +355,27 @@ impl Gpu {
                     spill,
                     GmemAccess::Excl(gmem),
                     &mut memhier,
+                    fault_map,
                 );
-                kernel.run(&mut blk);
+                run_contained(kernel, &mut blk)?;
                 for &b in &blocks[1..] {
                     blk.reset_for_block(b);
-                    kernel.run(&mut blk);
+                    run_contained(kernel, &mut blk)?;
                 }
+                applied.extend(blk.take_applied_faults());
             } else {
                 let shared = gmem.share(check);
                 let replay_start = Instant::now();
                 let chunk = blocks.len().div_ceil(workers);
-                let busy: Vec<std::time::Duration> = std::thread::scope(|s| {
+                type ShardOutcome =
+                    Result<(std::time::Duration, Vec<FaultRecord>), LaunchError>;
+                let outcomes: Vec<ShardOutcome> = std::thread::scope(|s| {
                     let handles: Vec<_> = blocks
                         .chunks(chunk)
                         .map(|shard| {
                             let shared = &shared;
                             let cfg = &self.cfg;
-                            s.spawn(move || {
+                            s.spawn(move || -> ShardOutcome {
                                 let t0 = Instant::now();
                                 let mut memhier = MemHier::new(cfg);
                                 let mut blk = BlockCtx::new(
@@ -293,13 +389,14 @@ impl Gpu {
                                     spill,
                                     GmemAccess::Worker(shared.worker(shard[0])),
                                     &mut memhier,
+                                    fault_map,
                                 );
-                                kernel.run(&mut blk);
+                                run_contained(kernel, &mut blk)?;
                                 for &b in &shard[1..] {
                                     blk.reset_for_block(b);
-                                    kernel.run(&mut blk);
+                                    run_contained(kernel, &mut blk)?;
                                 }
-                                t0.elapsed()
+                                Ok((t0.elapsed(), blk.take_applied_faults()))
                             })
                         })
                         .collect();
@@ -312,8 +409,13 @@ impl Gpu {
                         .collect()
                 });
                 let replay_wall = replay_start.elapsed().as_secs_f64();
+                let mut busy_s = 0.0f64;
+                for outcome in outcomes {
+                    let (busy, faults) = outcome?;
+                    busy_s += busy.as_secs_f64();
+                    applied.extend(faults);
+                }
                 if replay_wall > 0.0 {
-                    let busy_s: f64 = busy.iter().map(|d| d.as_secs_f64()).sum();
                     utilization = (busy_s / (workers as f64 * replay_wall)).min(1.0);
                 }
             }
@@ -332,12 +434,15 @@ impl Gpu {
         stats.sim_blocks = blocks.len();
         stats.sim_host_threads = workers;
         stats.sim_worker_utilization = utilization;
+        applied.sort_unstable_by_key(|f| f.block);
         crate::telemetry::record_launch(
             wall.as_nanos().min(u128::from(u64::MAX)) as u64,
             blocks.len(),
             workers,
+            applied.len() as u64,
         );
-        stats
+        stats.faults = applied;
+        Ok(stats)
     }
 }
 
@@ -376,7 +481,7 @@ mod tests {
             mem.write(src, i, i as f32);
         }
         let lc = LaunchConfig::new(8, 64).regs(16).shared_words(0);
-        let stats = gpu.launch(&copy_kernel(16, src, dst), &lc, &mut mem);
+        let stats = gpu.launch(&copy_kernel(16, src, dst), &lc, &mut mem).unwrap();
         for i in 0..n {
             assert_eq!(mem.read(dst, i), i as f32);
         }
@@ -400,7 +505,7 @@ mod tests {
             .regs(16)
             .shared_words(0)
             .exec(ExecMode::Representative);
-        let stats = gpu.launch(&copy_kernel(4, src, dst), &lc, &mut mem);
+        let stats = gpu.launch(&copy_kernel(4, src, dst), &lc, &mut mem).unwrap();
         // Block 0's slice was copied; block 3's slice untouched.
         assert_eq!(mem.read(dst, 0), 1.0);
         assert_eq!(mem.read(dst, n - 1), 0.0);
@@ -421,7 +526,7 @@ mod tests {
             .regs(16)
             .shared_words(0)
             .exec(ExecMode::Representative);
-        let stats = gpu.launch(&copy_kernel(4, src, dst), &lc, &mut mem);
+        let stats = gpu.launch(&copy_kernel(4, src, dst), &lc, &mut mem).unwrap();
         assert_eq!(stats.waves, (500f64 / 112f64).ceil() as usize);
     }
 
@@ -450,7 +555,7 @@ mod tests {
             .regs(20)
             .shared_words(0)
             .exec(ExecMode::Representative);
-        let stats = gpu.launch(&k, &lc, &mut mem);
+        let stats = gpu.launch(&k, &lc, &mut mem).unwrap();
         let gbs = stats.dram_gbs();
         assert!(
             (gbs - 108.0).abs() < 6.0,
@@ -476,7 +581,7 @@ mod tests {
             });
         };
         let lc = LaunchConfig::new(1, 32).regs(8).shared_words(0);
-        let stats = gpu.launch(&k, &lc, &mut mem);
+        let stats = gpu.launch(&k, &lc, &mut mem).unwrap();
         let per_op = stats.cycles / n as f64;
         assert!(
             (per_op - 18.0).abs() < 1.5,
@@ -508,7 +613,7 @@ mod tests {
             });
         };
         let lc = LaunchConfig::new(112, 256).regs(24).shared_words(0);
-        let stats = gpu.launch(&k, &lc, &mut mem);
+        let stats = gpu.launch(&k, &lc, &mut mem).unwrap();
         // 8-way ILP with full occupancy: should be far below 18 cycles/op
         // per warp and reach a decent fraction of peak FLOP throughput.
         let frac = stats.gflops() / gpu.cfg.peak_sp_gflops();
@@ -534,7 +639,7 @@ mod tests {
                 });
             };
             let lc = LaunchConfig::new(112, 64).regs(regs).shared_words(0);
-            gpu.launch(&k, &lc, &mut mem).cycles
+            gpu.launch(&k, &lc, &mut mem).unwrap().cycles
         };
         let fits = run(48);
         let spills = run(120);
@@ -555,7 +660,7 @@ mod tests {
             }
         };
         let lc = LaunchConfig::new(1, 64).regs(8).shared_words(16);
-        let stats = gpu.launch(&k, &lc, &mut mem);
+        let stats = gpu.launch(&k, &lc, &mut mem).unwrap();
         let per_sync = stats.cycles / nsyncs as f64;
         assert!(
             (per_sync - 46.0).abs() < 2.0,
@@ -579,7 +684,7 @@ mod tests {
                 });
             };
             let lc = LaunchConfig::new(1, 32).regs(8).shared_words(4096);
-            gpu.launch(&k, &lc, &mut mem)
+            gpu.launch(&k, &lc, &mut mem).unwrap()
         };
         let clean = run(1);
         let conflicted = run(32);

@@ -10,6 +10,7 @@
 //! high-occupancy streaming kernels reach the throughput bounds.
 
 use crate::config::{GpuConfig, MathMode};
+use crate::fault::FaultState;
 use crate::mem::global::GmemAccess;
 use crate::mem::{DPtr, MemHier};
 
@@ -165,6 +166,8 @@ pub struct ThreadCtx<'a, 'm> {
     pub(crate) phase: &'a mut PhaseAccum,
     pub(crate) memhier: &'a mut MemHier,
     pub(crate) spill: SpillInfo,
+    /// Block-shared fault-injection state (no-op unless a plan armed it).
+    pub(crate) fault: &'a mut FaultState,
 }
 
 impl ThreadCtx<'_, '_> {
@@ -500,7 +503,9 @@ impl ThreadCtx<'_, '_> {
 
     /// Store a word to block shared memory.
     pub fn shared_store(&mut self, word: usize, x: Rv) {
-        self.shared[word] = x.v;
+        if let Some(v) = self.fault.on_shared_store(x.v) {
+            self.shared[word] = v;
+        }
         if !self.traced {
             return;
         }
@@ -551,9 +556,14 @@ impl ThreadCtx<'_, '_> {
         Rv { v, ready }
     }
 
-    /// Store a word to global memory.
+    /// Store a word to global memory. An armed fault plan may flip a bit
+    /// of the stored value or drop the store entirely (aborted block);
+    /// timing is charged either way — a faulted device still issues the
+    /// instruction.
     pub fn gstore(&mut self, p: DPtr, idx: usize, x: Rv) {
-        self.gmem.write(p, idx, x.v);
+        if let Some(v) = self.fault.on_global_store(x.v) {
+            self.gmem.write(p, idx, v);
+        }
         if !self.traced {
             return;
         }
@@ -697,6 +707,9 @@ impl ThreadCtx<'_, '_> {
 pub trait RegVal: Copy + Default {
     const REG_WORDS: u64;
     fn with_ready(self, ready: u64) -> Self;
+    /// Flip one bit of the stored word (fault injection; complex values
+    /// flip the real component).
+    fn flip_bit(self, bit: u32) -> Self;
 }
 
 impl RegVal for Rv {
@@ -707,6 +720,13 @@ impl RegVal for Rv {
             ready: self.ready.max(ready),
         }
     }
+
+    fn flip_bit(self, bit: u32) -> Self {
+        Rv {
+            v: f32::from_bits(self.v.to_bits() ^ (1 << (bit % 32))),
+            ready: self.ready,
+        }
+    }
 }
 
 impl RegVal for CRv {
@@ -715,6 +735,13 @@ impl RegVal for CRv {
         CRv {
             re: self.re.with_ready(ready),
             im: self.im.with_ready(ready),
+        }
+    }
+
+    fn flip_bit(self, bit: u32) -> Self {
+        CRv {
+            re: self.re.flip_bit(bit),
+            im: self.im,
         }
     }
 }
@@ -755,6 +782,9 @@ impl<T: RegVal> RegArray<T> {
     #[inline]
     pub fn set(&mut self, t: &mut ThreadCtx, i: usize, x: T) {
         t.reg_access(T::REG_WORDS, true);
-        self.v[i] = x;
+        self.v[i] = match t.fault.on_reg_store() {
+            Some(bit) => x.flip_bit(bit),
+            None => x,
+        };
     }
 }

@@ -33,23 +33,34 @@
 //!         t.gstore(buf, t.tid, y);
 //!     });
 //! };
-//! let stats = gpu.launch(&kernel, &LaunchConfig::new(1, 64).regs(8), &mut mem);
+//! let stats = gpu
+//!     .launch(&kernel, &LaunchConfig::new(1, 64).regs(8), &mut mem)
+//!     .unwrap();
 //! assert_eq!(mem.read(buf, 3), 12.0);
 //! assert!(stats.gflops() > 0.0);
 //! ```
+//!
+//! Launches validate their configuration against the device limits and
+//! return [`LaunchError`] instead of panicking; a seeded [`FaultPlan`] on
+//! the launch config injects deterministic bit flips / block aborts for
+//! resilience testing (see the `fault` module).
 
 pub mod config;
+pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod host;
 pub mod mem;
 pub mod telemetry;
 pub mod timing;
 
 pub use config::{GpuConfig, MathMode};
+pub use error::LaunchError;
 pub use exec::block::BlockCtx;
 pub use exec::occupancy::{occupancy, OccLimiter, Occupancy};
 pub use exec::thread::{trunc22, CRv, RegArray, RegVal, Rv, ThreadCtx};
 pub use exec::{BlockKernel, ExecMode, Gpu, LaunchConfig};
+pub use fault::{FaultKind, FaultPlan, FaultRecord};
 pub use host::{cuda_memcpy_gbs, cuda_memcpy_secs, PcieModel};
 pub use mem::{DPtr, GlobalMemory, MemHier};
 pub use telemetry::SimTelemetry;

@@ -16,6 +16,7 @@ static FUNC_BLOCKS: AtomicU64 = AtomicU64::new(0);
 static WALL_NANOS: AtomicU64 = AtomicU64::new(0);
 static LAST_THREADS: AtomicUsize = AtomicUsize::new(0);
 static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+static FAULTS: AtomicU64 = AtomicU64::new(0);
 
 /// Snapshot of the simulator's host-side cost counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -30,6 +31,8 @@ pub struct SimTelemetry {
     pub last_host_threads: usize,
     /// Largest replay thread count seen since the last reset.
     pub max_host_threads: usize,
+    /// Faults injected by configured fault plans (applied, not planned).
+    pub faults_injected: u64,
 }
 
 impl SimTelemetry {
@@ -44,12 +47,18 @@ impl SimTelemetry {
 }
 
 /// Called by `Gpu::launch` after each launch completes.
-pub(crate) fn record_launch(wall_nanos: u64, functional_blocks: usize, host_threads: usize) {
+pub(crate) fn record_launch(
+    wall_nanos: u64,
+    functional_blocks: usize,
+    host_threads: usize,
+    faults: u64,
+) {
     LAUNCHES.fetch_add(1, Relaxed);
     FUNC_BLOCKS.fetch_add(functional_blocks as u64, Relaxed);
     WALL_NANOS.fetch_add(wall_nanos, Relaxed);
     LAST_THREADS.store(host_threads, Relaxed);
     MAX_THREADS.fetch_max(host_threads, Relaxed);
+    FAULTS.fetch_add(faults, Relaxed);
 }
 
 /// Read the counters without resetting them.
@@ -60,6 +69,7 @@ pub fn snapshot() -> SimTelemetry {
         wall_s: WALL_NANOS.load(Relaxed) as f64 * 1e-9,
         last_host_threads: LAST_THREADS.load(Relaxed),
         max_host_threads: MAX_THREADS.load(Relaxed),
+        faults_injected: FAULTS.load(Relaxed),
     }
 }
 
@@ -71,6 +81,7 @@ pub fn take() -> SimTelemetry {
         wall_s: WALL_NANOS.swap(0, Relaxed) as f64 * 1e-9,
         last_host_threads: LAST_THREADS.swap(0, Relaxed),
         max_host_threads: MAX_THREADS.swap(0, Relaxed),
+        faults_injected: FAULTS.swap(0, Relaxed),
     }
 }
 
@@ -83,7 +94,7 @@ mod tests {
         // Other tests in this process also launch kernels, so only check
         // relative behaviour: record, take >= what we recorded, then the
         // next snapshot starts over from what arrives afterwards.
-        record_launch(1_000_000, 7, 4);
+        record_launch(1_000_000, 7, 4, 2);
         let t = take();
         assert!(t.launches >= 1);
         assert!(t.functional_blocks >= 7);

@@ -96,6 +96,12 @@ pub struct LaunchStats {
     /// time over `workers x replay wall time`. 1.0 when the block shards
     /// finish in lockstep; lower when the tail worker straggles.
     pub sim_worker_utilization: f64,
+    /// Faults actually injected into this launch by the configured
+    /// [`crate::FaultPlan`] (empty when no plan was set), sorted by block.
+    /// This is the simulator's ECC/machine-check report: a recovery layer
+    /// reads it to learn exactly which blocks were corrupted, including
+    /// bit flips whose results still look finite.
+    pub faults: Vec<crate::fault::FaultRecord>,
 }
 
 impl LaunchStats {
@@ -303,5 +309,6 @@ pub(crate) fn combine(
         sim_blocks: 0,
         sim_host_threads: 1,
         sim_worker_utilization: 1.0,
+        faults: Vec::new(),
     }
 }

@@ -57,7 +57,7 @@ fn run_at<K: Fn(&mut BlockCtx) + Sync>(
         .shared_words(0)
         .exec(ExecMode::Full)
         .host_threads(threads);
-    let stats = gpu.launch(&k, &lc, &mut mem);
+    let stats = gpu.launch(&k, &lc, &mut mem).unwrap();
     let bits: Vec<u32> = mem
         .slice(base, out_words)
         .iter()
@@ -147,7 +147,7 @@ fn sampled_executes_evenly_spaced_blocks_only() {
         .regs(8)
         .shared_words(0)
         .exec(ExecMode::Sampled(3));
-    let stats = gpu.launch(&k, &lc, &mut mem);
+    let stats = gpu.launch(&k, &lc, &mut mem).unwrap();
     // i * 10 / 3 for i in 0..3 = blocks {0, 3, 6}; block 0 is the traced one.
     let executed = [0usize, 3, 6];
     for b in 0..grid {
@@ -180,7 +180,7 @@ fn sampled_k_at_least_grid_matches_full() {
             });
         };
         let lc = LaunchConfig::new(5, 32).regs(8).shared_words(0).exec(mode);
-        let stats = gpu.launch(&k, &lc, &mut mem);
+        let stats = gpu.launch(&k, &lc, &mut mem).unwrap();
         let bits: Vec<u32> = mem.slice(out, 5 * 32).iter().map(|v| v.to_bits()).collect();
         (bits, stats.cycles, stats.sim_blocks)
     };
@@ -190,8 +190,7 @@ fn sampled_k_at_least_grid_matches_full() {
 }
 
 #[test]
-#[should_panic(expected = "Sampled(0) is invalid")]
-fn sampled_zero_panics_with_a_clear_message() {
+fn sampled_zero_is_a_structured_error() {
     let gpu = Gpu::quadro_6000();
     let mut mem = GlobalMemory::with_bytes(1 << 12);
     let out = mem.alloc(64);
@@ -205,16 +204,21 @@ fn sampled_zero_panics_with_a_clear_message() {
         .regs(8)
         .shared_words(0)
         .exec(ExecMode::Sampled(0));
-    gpu.launch(&k, &lc, &mut mem);
+    let err = gpu.launch(&k, &lc, &mut mem).unwrap_err();
+    assert!(
+        matches!(err, regla_gpu_sim::LaunchError::InvalidExecMode(_)),
+        "expected InvalidExecMode, got {err:?}"
+    );
+    assert!(err.to_string().contains("Sampled(0)"));
 }
 
 /// The debug-build disjoint-write checker must reject kernels whose blocks
 /// write overlapping device words — such kernels would race under the
-/// parallel replay. (Release builds skip the checker unless
-/// `REGLA_SIM_CHECK=1`, so this test only asserts in debug.)
+/// parallel replay. The checker's panic is contained by the launch and
+/// surfaced as `LaunchError::KernelPanic`. (Release builds skip the checker
+/// unless `REGLA_SIM_CHECK=1`, so this test only asserts in debug.)
 #[test]
 #[cfg_attr(not(debug_assertions), ignore = "checker is a debug-build feature")]
-#[should_panic(expected = "cross-block write overlap")]
 fn overlapping_block_writes_are_rejected_in_debug() {
     let gpu = Gpu::quadro_6000();
     let mut mem = GlobalMemory::with_bytes(1 << 12);
@@ -231,7 +235,16 @@ fn overlapping_block_writes_are_rejected_in_debug() {
         .shared_words(0)
         .exec(ExecMode::Full)
         .host_threads(2);
-    gpu.launch(&k, &lc, &mut mem);
+    let err = gpu.launch(&k, &lc, &mut mem).unwrap_err();
+    match err {
+        regla_gpu_sim::LaunchError::KernelPanic { message, .. } => {
+            assert!(
+                message.contains("cross-block write overlap"),
+                "unexpected panic message: {message}"
+            );
+        }
+        other => panic!("expected KernelPanic, got {other:?}"),
+    }
 }
 
 #[test]
@@ -252,7 +265,7 @@ fn stats_expose_host_replay_telemetry() {
             .shared_words(0)
             .exec(mode)
             .host_threads(threads);
-        gpu.launch(&k, &lc, &mut mem)
+        gpu.launch(&k, &lc, &mut mem).unwrap()
     };
 
     let before = regla_gpu_sim::telemetry::snapshot();
@@ -293,7 +306,7 @@ fn host_threads_never_exceed_replay_blocks() {
         .shared_words(0)
         .exec(ExecMode::Full)
         .host_threads(8);
-    let stats = gpu.launch(&k, &lc, &mut mem);
+    let stats = gpu.launch(&k, &lc, &mut mem).unwrap();
     assert_eq!(stats.sim_blocks, 3);
     assert_eq!(stats.sim_host_threads, 3);
 }

@@ -30,7 +30,7 @@ fn representative_and_full_report_identical_timing() {
         let mut mem = GlobalMemory::with_bytes(1 << 20);
         let out = mem.alloc(300 * 64);
         let lc = LaunchConfig::new(300, 64).regs(12).shared_words(0).exec(mode);
-        gpu.launch(&work_kernel(100, out), &lc, &mut mem)
+        gpu.launch(&work_kernel(100, out), &lc, &mut mem).unwrap()
     };
     let full = run(ExecMode::Full);
     let rep = run(ExecMode::Representative);
@@ -50,7 +50,7 @@ fn wave_tail_costs_a_partial_wave() {
             .regs(12)
             .shared_words(0)
             .exec(ExecMode::Representative);
-        gpu.launch(&work_kernel(200, out), &lc, &mut mem).cycles
+        gpu.launch(&work_kernel(200, out), &lc, &mut mem).unwrap().cycles
     };
     // 8 blocks/SM x 14 SMs = 112 blocks per wave for this config.
     let one = time_for(112);
@@ -88,7 +88,7 @@ fn spill_severity_escalates_from_l1_to_dram() {
             .regs(regs)
             .shared_words(0)
             .exec(ExecMode::Representative);
-        gpu.launch(&k, &lc, &mut mem)
+        gpu.launch(&k, &lc, &mut mem).unwrap()
     };
     let resident = run(60, 112);
     let mild = run(72, 112); // small spill, prefer-L1 absorbs it
@@ -123,7 +123,7 @@ fn fast_math_truncates_but_speeds_up() {
             });
         };
         let lc = LaunchConfig::new(1, 32).regs(8).shared_words(0).math(math);
-        let stats = gpu.launch(&k, &lc, &mut mem);
+        let stats = gpu.launch(&k, &lc, &mut mem).unwrap();
         (stats.cycles, mem.read(out, 0))
     };
     let (fast_c, fast_v) = run(MathMode::Fast);
@@ -153,7 +153,7 @@ fn divergent_warps_cost_the_worst_lane() {
             });
         };
         let lc = LaunchConfig::new(1, 64).regs(8).shared_words(0);
-        gpu.launch(&k, &lc, &mut mem).cycles
+        gpu.launch(&k, &lc, &mut mem).unwrap().cycles
     };
     let one_lane = run(1);
     let all_lanes = run(32);
@@ -182,7 +182,7 @@ fn dram_bound_phases_scale_with_grid_not_compute() {
             .regs(12)
             .shared_words(0)
             .exec(ExecMode::Representative);
-        gpu.launch(&k, &lc, &mut mem)
+        gpu.launch(&k, &lc, &mut mem).unwrap()
     };
     let small = run(112);
     let big = run(448);
@@ -202,7 +202,7 @@ fn g80_preset_is_slower_per_clock() {
         let mut mem = GlobalMemory::with_bytes(1 << 16);
         let out = mem.alloc(14 * 64);
         let lc = LaunchConfig::new(14, 64).regs(12).shared_words(0);
-        gpu.launch(&work_kernel(200, out), &lc, &mut mem).time_s
+        gpu.launch(&work_kernel(200, out), &lc, &mut mem).unwrap().time_s
     };
     let fermi = run(&Gpu::quadro_6000());
     let g80 = run(&Gpu::new(regla_gpu_sim::GpuConfig::g80()));
@@ -215,7 +215,7 @@ fn summary_reports_the_essentials() {
     let mut mem = GlobalMemory::with_bytes(1 << 16);
     let out = mem.alloc(14 * 64);
     let lc = LaunchConfig::new(14, 64).regs(12).shared_words(0);
-    let stats = gpu.launch(&work_kernel(50, out), &lc, &mut mem);
+    let stats = gpu.launch(&work_kernel(50, out), &lc, &mut mem).unwrap();
     let s = stats.summary();
     assert!(s.contains("14 blocks x 64 threads"));
     assert!(s.contains("blocks/SM"));
@@ -236,7 +236,7 @@ fn three_generations_order_correctly() {
             .regs(12)
             .shared_words(0)
             .exec(ExecMode::Representative);
-        gpu.launch(&work_kernel(400, out), &lc, &mut mem).time_s
+        gpu.launch(&work_kernel(400, out), &lc, &mut mem).unwrap().time_s
     };
     let g80 = run(regla_gpu_sim::GpuConfig::g80());
     let gt200 = run(regla_gpu_sim::GpuConfig::gt200());

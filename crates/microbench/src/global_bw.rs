@@ -44,7 +44,7 @@ pub fn measure_global_bandwidth(gpu: &Gpu) -> GlobalBw {
         .regs(20)
         .shared_words(0)
         .exec(ExecMode::Representative);
-    let stats = gpu.launch(&kernel, &lc, &mut mem);
+    let stats = gpu.launch(&kernel, &lc, &mut mem).expect("microbench launch");
     let kernel_gbs = stats.dram_gbs();
     GlobalBw {
         kernel_gbs,

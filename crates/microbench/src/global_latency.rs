@@ -42,7 +42,7 @@ pub fn measure_latency_at_stride(gpu: &Gpu, array_words: usize, stride: usize) -
         });
     };
     let lc = LaunchConfig::new(1, 32).regs(8).shared_words(0);
-    let stats = gpu.launch(&kernel, &lc, &mut mem);
+    let stats = gpu.launch(&kernel, &lc, &mut mem).expect("microbench launch");
     // Subtract the address arithmetic, as the paper does implicitly (the
     // global latency dwarfs it; we keep it for fidelity).
     stats.cycles_for("chase") / nchase as f64

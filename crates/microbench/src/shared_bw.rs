@@ -58,7 +58,7 @@ pub fn measure_shared_bandwidth(gpu: &Gpu) -> SharedBw {
         .regs(24)
         .shared_words(256 * NCOPIES)
         .exec(ExecMode::Representative);
-    let stats = gpu.launch(&bw_kernel, &lc, &mut mem);
+    let stats = gpu.launch(&bw_kernel, &lc, &mut mem).expect("microbench launch");
     let all = stats.shared_gbs();
     let theoretical = gpu.cfg.peak_shared_gbs();
     SharedBw {

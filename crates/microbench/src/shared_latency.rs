@@ -58,7 +58,7 @@ fn chase(gpu: &Gpu, with_shift: bool) -> f64 {
         blk.sync();
     };
     let lc = LaunchConfig::new(1, 32).regs(8).shared_words(NCHASE);
-    let stats = gpu.launch(&kernel, &lc, &mut mem);
+    let stats = gpu.launch(&kernel, &lc, &mut mem).expect("microbench launch");
     stats.cycles_for("chase") / (NCHASE as f64)
 }
 
@@ -81,7 +81,7 @@ fn shift_latency(gpu: &Gpu) -> f64 {
         });
     };
     let lc = LaunchConfig::new(1, 32).regs(8).shared_words(0);
-    let stats = gpu.launch(&kernel, &lc, &mut mem);
+    let stats = gpu.launch(&kernel, &lc, &mut mem).expect("microbench launch");
     stats.cycles / n as f64
 }
 

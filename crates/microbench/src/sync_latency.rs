@@ -19,7 +19,7 @@ pub fn measure_sync_latency(gpu: &Gpu, threads: usize) -> f64 {
         }
     };
     let lc = LaunchConfig::new(1, threads).regs(8).shared_words(16);
-    let stats = gpu.launch(&kernel, &lc, &mut mem);
+    let stats = gpu.launch(&kernel, &lc, &mut mem).expect("microbench launch");
     stats.cycles / nsyncs as f64
 }
 

@@ -116,7 +116,7 @@ pub fn post_doppler_weights(
         cov.set_mat(b, &r);
     }
     let rhs = MatBatch::from_fn(nc, 1, dc.bins, |_, i, _| s[i]);
-    let run = api::gj_solve_batch(gpu, &cov, &rhs, opts);
+    let run = api::gj_solve_batch(gpu, &cov, &rhs, opts).expect("valid covariance batch");
     (0..dc.bins)
         .map(|b| (0..nc).map(|i| run.out.get(b, i, nc)).collect())
         .collect()

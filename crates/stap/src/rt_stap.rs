@@ -77,7 +77,7 @@ pub fn run_case(gpu: &Gpu, case: &StapCase, exec: ExecMode, cpu_threads: usize) 
         exec,
         ..Default::default()
     };
-    let run = api::qr_batch(gpu, &batch, &opts);
+    let run = api::qr_batch(gpu, &batch, &opts).expect("valid Table VII batch");
     let flops = regla_model::Algorithm::Qr.flops_complex(case.m, case.n) * case.count as f64;
     let gpu_time = run.time_s();
     let cpu = timed_batch(CpuAlg::Qr, &batch, case.n, cpu_threads);

@@ -77,7 +77,7 @@ pub fn solve_weights_gpu(
     opts: &RunOpts,
 ) -> (Vec<Vec<C32>>, MultiLaunch) {
     assert_eq!(training.count(), steering.len());
-    let run = api::qr_batch(gpu, training, opts);
+    let run = api::qr_batch(gpu, training, opts).expect("valid training batch");
     let weights = (0..training.count())
         .map(|k| {
             let f = run.out.mat(k);

@@ -43,7 +43,7 @@ fn main() {
     // The 8x8 complex system (64 complex = 128 words) exceeds one thread's
     // registers, so the dispatcher picks the per-block path automatically;
     // force per-thread to see the spill cost, or let it choose:
-    let run = api::gj_solve_batch(&gpu, &a, &b, &RunOpts::default());
+    let run = api::gj_solve_batch(&gpu, &a, &b, &RunOpts::default()).unwrap();
     println!(
         "solved with {} in {:.3} ms at {:.1} GFLOPS",
         run.approach.name(),

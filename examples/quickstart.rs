@@ -41,7 +41,7 @@ fn main() {
     }
 
     // Solve on the (simulated) GPU via QR.
-    let run = api::qr_solve_batch(&gpu, &a, &b, &RunOpts::default());
+    let run = api::qr_solve_batch(&gpu, &a, &b, &RunOpts::default()).unwrap();
     println!(
         "\nexecuted with {} in {:.3} ms at {:.1} GFLOPS",
         run.approach.name(),

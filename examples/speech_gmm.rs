@@ -31,7 +31,7 @@ fn main() {
         exec: ExecMode::Full,
         ..Default::default()
     };
-    let run = api::gemm_batch(&gpu, &means, &frames_b, &opts);
+    let run = api::gemm_batch(&gpu, &means, &frames_b, &opts).unwrap();
     println!(
         "GPU time {:.3} ms at {:.1} GFLOPS ({} per 100 ms real-time budget)",
         run.time_s() * 1e3,

@@ -33,7 +33,7 @@ fn main() {
         exec: ExecMode::Full,
         ..Default::default()
     };
-    let (tiled_run, x_tiled) = api::least_squares_batch(&gpu, &a, &b, &tiled_opts);
+    let (tiled_run, x_tiled) = api::least_squares_batch(&gpu, &a, &b, &tiled_opts).unwrap();
     println!(
         "sequential tiled QR: {:.3} ms ({:.1} GFLOPS, {} launches)",
         tiled_run.time_s() * 1e3,
@@ -42,7 +42,7 @@ fn main() {
     );
 
     // --- the extension: TSQR reduction tree.
-    let (x_tsqr, tsqr_stats) = api::tsqr_least_squares(&gpu, &a, &b, &RunOpts::default());
+    let (x_tsqr, tsqr_stats) = api::tsqr_least_squares(&gpu, &a, &b, &RunOpts::default()).unwrap();
     let flops = regla::model::Algorithm::Qr.flops_complex(m, n) * count as f64;
     println!(
         "TSQR tree:           {:.3} ms ({:.1} GFLOPS, {} launches)",

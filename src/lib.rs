@@ -24,7 +24,7 @@
 //! let batch = MatBatch::from_fn(6, 6, 64, |k, i, j| {
 //!     if i == j { 8.0 } else { ((k + i * j) % 5) as f32 * 0.1 }
 //! });
-//! let run = api::lu_batch(&gpu, &batch, &RunOpts::default());
+//! let run = api::lu_batch(&gpu, &batch, &RunOpts::default()).unwrap();
 //! assert!(run.gflops() > 0.0);
 //! ```
 

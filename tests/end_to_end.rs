@@ -24,7 +24,7 @@ fn gpu_cpu_and_hybrid_agree_numerically() {
     // The three implementations must produce the same factorizations.
     let gpu = Gpu::quadro_6000();
     let a = dd_batch(24, 4, 1);
-    let gpu_out = api::qr_batch(&gpu, &a, &RunOpts::default()).out;
+    let gpu_out = api::qr_batch(&gpu, &a, &RunOpts::default()).unwrap().out;
     let cpu_out = run_batch(CpuAlg::Qr, &a, 2);
     for k in 0..4 {
         // Compare through the sign-invariant Gram identity (RᴴR = AᴴA):
@@ -60,7 +60,7 @@ fn batched_gpu_beats_sequential_hybrid_on_small_problems() {
         approach: Some(Approach::PerBlock),
         ..Default::default()
     };
-    let gpu_g = api::qr_batch(&gpu, &a, &opts).gflops();
+    let gpu_g = api::qr_batch(&gpu, &a, &opts).unwrap().gflops();
     let magma = hybrid_batch_gflops(
         &HybridCfg::magma_like(&gpu.cfg),
         Algorithm::Qr,
@@ -106,7 +106,7 @@ fn solves_are_correct_through_every_path() {
         let count = 6;
         let a = dd_batch(n, count, n as u64);
         let b = MatBatch::from_fn(n, 1, count, |k, i, _| ((k * 3 + i) % 5) as f32 - 2.0);
-        let run = api::qr_solve_batch(&gpu, &a, &b, &RunOpts::default());
+        let run = api::qr_solve_batch(&gpu, &a, &b, &RunOpts::default()).unwrap();
         for k in 0..count {
             let x: Vec<f32> = (0..n).map(|i| run.out.get(k, i, n)).collect();
             let bk: Vec<f32> = (0..n).map(|i| b.get(k, i, 0)).collect();

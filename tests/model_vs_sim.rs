@@ -34,7 +34,7 @@ fn per_thread_measurement_tracks_roofline_when_resident() {
     let p = ModelParams::table_iv();
     for n in [4, 5, 6, 7] {
         let a = dd_batch(n, 64_000.min(48_000_000 / (n * n)));
-        let meas = api::lu_batch(&gpu, &a, &rep(Approach::PerThread)).gflops();
+        let meas = api::lu_batch(&gpu, &a, &rep(Approach::PerThread)).unwrap().gflops();
         let pred = per_thread::predicted_gflops(&p, Algorithm::Lu, n, 4);
         let ratio = meas / pred;
         assert!(
@@ -50,7 +50,7 @@ fn per_thread_collapses_past_the_register_file() {
     let gpu = Gpu::quadro_6000();
     let p = ModelParams::table_iv();
     let a = dd_batch(12, 8000);
-    let meas = api::qr_batch(&gpu, &a, &rep(Approach::PerThread)).gflops();
+    let meas = api::qr_batch(&gpu, &a, &rep(Approach::PerThread)).unwrap().gflops();
     let pred = per_thread::predicted_gflops(&p, Algorithm::Qr, 12, 4);
     assert!(
         meas < 0.55 * pred,
@@ -66,7 +66,7 @@ fn per_block_model_within_forty_percent_of_sim() {
     for n in [24, 40, 56] {
         let count = 2016;
         let a = dd_batch(n, count);
-        let meas = api::qr_batch(&gpu, &a, &rep(Approach::PerBlock)).gflops();
+        let meas = api::qr_batch(&gpu, &a, &rep(Approach::PerBlock)).unwrap().gflops();
         let pred = per_block::predict_block(&p, &gpu.cfg, Algorithm::Qr, n, n, 0, 1, count).gflops;
         let ratio = meas / pred;
         assert!(
@@ -82,7 +82,7 @@ fn per_block_peaks_then_drops_at_the_thread_switch() {
     let gpu = Gpu::quadro_6000();
     let g = |n: usize| {
         let a = dd_batch(n, 2016);
-        api::qr_batch(&gpu, &a, &rep(Approach::PerBlock)).gflops()
+        api::qr_batch(&gpu, &a, &rep(Approach::PerBlock)).unwrap().gflops()
     };
     let g56 = g(56);
     let g80 = g(80);
@@ -98,7 +98,7 @@ fn table_v_cycle_counts_match_paper_magnitudes() {
     let gpu = Gpu::quadro_6000();
     let a = dd_batch(56, 1120);
     let opts = rep(Approach::PerBlock);
-    let qr = api::qr_batch(&gpu, &a, &opts);
+    let qr = api::qr_batch(&gpu, &a, &opts).unwrap();
     let s = &qr.stats.launches[0];
     let compute = s.wave_cycles() - s.cycles_for("load") - s.cycles_for("store");
     // Paper: 150203 cycles of compute. Accept 0.6x..1.5x.
@@ -106,7 +106,7 @@ fn table_v_cycle_counts_match_paper_magnitudes() {
         (90_000.0..230_000.0).contains(&compute),
         "QR 56x56 compute {compute} cycles (paper: 150203)"
     );
-    let lu = api::lu_batch(&gpu, &a, &opts);
+    let lu = api::lu_batch(&gpu, &a, &opts).unwrap();
     let sl = &lu.stats.launches[0];
     let lu_compute = sl.wave_cycles() - sl.cycles_for("load") - sl.cycles_for("store");
     assert!(
@@ -122,7 +122,7 @@ fn panel_breakdown_model_tracks_sim() {
     let gpu = Gpu::quadro_6000();
     let p = ModelParams::table_iv();
     let a = dd_batch(56, 1120);
-    let run = api::qr_batch(&gpu, &a, &rep(Approach::PerBlock));
+    let run = api::qr_batch(&gpu, &a, &rep(Approach::PerBlock)).unwrap();
     let stats = &run.stats.launches[0];
     let plan = regla::model::block_plan(56, 56, 0, 1);
     let mut last_sim = f64::INFINITY;

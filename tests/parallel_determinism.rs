@@ -29,7 +29,7 @@ fn qr_at(
         host_threads: Some(threads),
         ..RunOpts::default()
     };
-    let r = api::qr_batch(gpu, a, &opts);
+    let r = api::qr_batch(gpu, a, &opts).unwrap();
     let out: Vec<u32> = r.out.data().iter().map(|v| v.to_bits()).collect();
     let taus: Vec<u32> = r
         .taus

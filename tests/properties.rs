@@ -135,7 +135,7 @@ proptest! {
             a.set_mat(k, &m);
         }
         let b = MatBatch::from_fn(n, 1, count, |k, i, _| ((k + i) % 9) as f32 - 4.0);
-        let run = api::gj_solve_batch(&gpu, &a, &b, &RunOpts::default());
+        let run = api::gj_solve_batch(&gpu, &a, &b, &RunOpts::default()).unwrap();
         for k in 0..count {
             let x: Vec<f32> = (0..n).map(|i| run.out.get(k, i, n)).collect();
             let bk: Vec<f32> = (0..n).map(|i| b.get(k, i, 0)).collect();
@@ -159,7 +159,7 @@ proptest! {
             approach: Some(Approach::PerBlock),
             ..Default::default()
         };
-        let run = api::qr_batch(&gpu, &a, &opts);
+        let run = api::qr_batch(&gpu, &a, &opts).unwrap();
         for k in 0..2 {
             let am = a.mat(k);
             let r = host::extract_r(&run.out.mat(k));
