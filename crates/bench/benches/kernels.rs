@@ -11,11 +11,10 @@ use regla_model::Approach;
 use std::hint::black_box;
 
 fn rep(approach: Approach) -> RunOpts {
-    RunOpts {
-        exec: ExecMode::Representative,
-        approach: Some(approach),
-        ..Default::default()
-    }
+    RunOpts::builder()
+        .exec(ExecMode::Representative)
+        .approach(approach)
+        .build()
 }
 
 /// Figure 4's hot path: the per-thread kernels.
@@ -58,12 +57,11 @@ fn bench_layouts(c: &mut Criterion) {
     let a = f32_batch(n, n, 560, true, 7);
     let b2 = f32_batch(n, 1, 560, false, 8);
     for layout in [Layout::TwoDCyclic, Layout::ColCyclic, Layout::RowCyclic] {
-        let opts = RunOpts {
-            exec: ExecMode::Representative,
-            approach: Some(Approach::PerBlock),
-            layout,
-            ..Default::default()
-        };
+        let opts = RunOpts::builder()
+            .exec(ExecMode::Representative)
+            .approach(Approach::PerBlock)
+            .layout(layout)
+            .build();
         g.bench_function(layout.name(), |bch| {
             bch.iter(|| black_box(api::qr_solve_batch(&gpu, &a, &b2, &opts).unwrap().gflops()))
         });

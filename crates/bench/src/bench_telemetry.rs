@@ -15,6 +15,37 @@
 
 use regla_core::{recovery_take, RecoveryTelemetry};
 use regla_gpu_sim::{telemetry, SimTelemetry};
+use std::sync::Mutex;
+
+/// One (algorithm, shape) summary row from the `model_discrepancy`
+/// experiment: how far the analytic model's per-phase cycle estimates sit
+/// from the simulator's recorded phase spans.
+#[derive(Clone, Debug)]
+pub struct DiscrepancyRow {
+    pub alg: String,
+    pub shape: String,
+    pub approach: String,
+    /// Number of joined phase labels.
+    pub phases: usize,
+    /// Mean of per-phase `|predicted - simulated| / simulated` in percent.
+    pub mean_abs_error_pct: f64,
+    /// Signed whole-wave error in percent.
+    pub total_error_pct: f64,
+}
+
+static DISCREPANCY: Mutex<Vec<DiscrepancyRow>> = Mutex::new(Vec::new());
+
+/// File the discrepancy experiment's summary rows for the harness run;
+/// [`Collector::to_json`] embeds them in `results/BENCH_sim.json`.
+/// Replaces any previously filed rows (the experiment is the only writer).
+pub fn record_discrepancy(rows: Vec<DiscrepancyRow>) {
+    *DISCREPANCY.lock().unwrap() = rows;
+}
+
+/// Snapshot of the currently filed discrepancy rows.
+pub fn discrepancy_rows() -> Vec<DiscrepancyRow> {
+    DISCREPANCY.lock().unwrap().clone()
+}
 
 /// One experiment's host-side cost.
 #[derive(Clone, Debug)]
@@ -41,6 +72,7 @@ impl Collector {
     pub fn new() -> Self {
         telemetry::take();
         recovery_take();
+        record_discrepancy(Vec::new());
         Collector::default()
     }
 
@@ -114,6 +146,22 @@ impl Collector {
                 if i + 1 < self.records.len() { "," } else { "" },
             ));
         }
+        s.push_str("  ],\n  \"model_discrepancy\": [\n");
+        let rows = discrepancy_rows();
+        for (i, r) in rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"alg\": \"{}\", \"shape\": \"{}\", \"approach\": \"{}\", \
+                 \"phases\": {}, \"mean_abs_error_pct\": {:.2}, \
+                 \"total_error_pct\": {:.2}}}{}\n",
+                escape(&r.alg),
+                escape(&r.shape),
+                escape(&r.approach),
+                r.phases,
+                r.mean_abs_error_pct,
+                r.total_error_pct,
+                if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
         s.push_str("  ]\n}\n");
         s
     }
@@ -138,8 +186,13 @@ fn escape(s: &str) -> String {
 mod tests {
     use super::*;
 
+    // The discrepancy rows are process-global; serialize the tests that
+    // touch them.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn json_has_one_entry_per_experiment() {
+        let _g = TEST_LOCK.lock().unwrap();
         let mut c = Collector::new();
         c.record("exp_a", 0.5);
         c.record("exp_b", 1.5);
@@ -152,6 +205,30 @@ mod tests {
         assert_eq!(j.matches("\"launches\"").count(), 2);
         // Exactly one trailing comma between the two entries.
         assert_eq!(j.matches("},\n").count(), 1);
+        // The discrepancy section is present even when no rows are filed.
+        assert!(j.contains("\"model_discrepancy\": ["));
+    }
+
+    #[test]
+    fn discrepancy_rows_land_in_the_json() {
+        let _g = TEST_LOCK.lock().unwrap();
+        let mut c = Collector::new();
+        c.record("model_discrepancy", 0.1);
+        record_discrepancy(vec![DiscrepancyRow {
+            alg: "Householder QR".into(),
+            shape: "56x56".into(),
+            approach: "PerBlock".into(),
+            phases: 23,
+            mean_abs_error_pct: 12.5,
+            total_error_pct: -3.25,
+        }]);
+        let j = c.to_json();
+        assert!(j.contains("\"alg\": \"Householder QR\""));
+        assert!(j.contains("\"shape\": \"56x56\""));
+        assert!(j.contains("\"phases\": 23"));
+        assert!(j.contains("\"mean_abs_error_pct\": 12.50"));
+        assert!(j.contains("\"total_error_pct\": -3.25"));
+        record_discrepancy(Vec::new());
     }
 
     #[test]

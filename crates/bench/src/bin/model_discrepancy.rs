@@ -1,0 +1,6 @@
+//! Regenerates the per-phase model-discrepancy table and writes the
+//! recorded launches as Chrome-trace JSON under `results/`.
+fn main() {
+    let fast = regla_bench::fast_mode();
+    print!("{}", regla_bench::experiments::model_discrepancy(fast));
+}

@@ -8,11 +8,10 @@ use regla_gpu_sim::{ExecMode, Gpu, MathMode};
 use regla_model::Approach;
 
 fn base(approach: Approach) -> RunOpts {
-    RunOpts {
-        exec: ExecMode::Representative,
-        approach: Some(approach),
-        ..Default::default()
-    }
+    RunOpts::builder()
+        .exec(ExecMode::Representative)
+        .approach(approach)
+        .build()
 }
 
 /// Fast-math (22-bit SFU) vs full-precision division/sqrt. The paper:
@@ -73,10 +72,8 @@ pub fn ablation_reduction(fast: bool) -> String {
     for n in [16usize, 32, 48, 64, 96, 128] {
         let a = f32_batch(n, n, sweep_count(n, full), true, 0xE0 + n as u64);
         let serial = api::qr_batch(&gpu, &a, &base(Approach::PerBlock)).unwrap().gflops();
-        let o = RunOpts {
-            tree_reduction: true,
-            ..base(Approach::PerBlock)
-        };
+        let mut o = base(Approach::PerBlock);
+        o.tree_reduction = true;
         let tree = api::qr_batch(&gpu, &a, &o).unwrap().gflops();
         t.row(&[
             n.to_string(),
@@ -106,10 +103,8 @@ pub fn ablation_threads(fast: bool) -> String {
         let count = sweep_count(n, full);
         let a = f32_batch(n, n, count, true, 0xD0 + n as u64);
         let g = |threads: usize| {
-            let o = RunOpts {
-                force_threads: Some(threads),
-                ..base(Approach::PerBlock)
-            };
+            let mut o = base(Approach::PerBlock);
+            o.force_threads = Some(threads);
             api::qr_batch(&gpu, &a, &o).unwrap().gflops()
         };
         let g64 = g(64);
@@ -180,10 +175,8 @@ pub fn ablation_lu_style(fast: bool) -> String {
         &["variant", "compute cycles", "GFLOPS", "paper measured"],
     );
     let run_style = |listing7: bool| {
-        let o = RunOpts {
-            lu_listing7: listing7,
-            ..base(Approach::PerBlock)
-        };
+        let mut o = base(Approach::PerBlock);
+        o.lu_listing7 = listing7;
         let run = api::lu_batch(&gpu, &a, &o).unwrap();
         let s = &run.stats.launches[0];
         let compute = s.wave_cycles() - s.cycles_for("load") - s.cycles_for("store");
@@ -219,17 +212,13 @@ pub fn ablation_tsqr(fast: bool) -> String {
             let a = c32_batch(m, n, count, false, 0x500 + m as u64);
             let b = c32_batch(m, 1, count, false, 0x501 + m as u64);
             let flops = regla_model::Algorithm::Qr.flops_complex(m, n) * count as f64;
-            let o = RunOpts {
-                exec: ExecMode::Representative,
-                approach: Some(Approach::Tiled),
-                ..Default::default()
-            };
+            let o = RunOpts::builder()
+                .exec(ExecMode::Representative)
+                .approach(Approach::Tiled)
+                .build();
             let (tiled_run, _) = regla_core::api::least_squares_batch(&gpu, &a, &b, &o).unwrap();
             let tiled_g = flops / tiled_run.time_s() / 1e9;
-            let ot = RunOpts {
-                exec: ExecMode::Representative,
-                ..Default::default()
-            };
+            let ot = RunOpts::builder().exec(ExecMode::Representative).build();
             let (_, tsqr_stats) = regla_core::api::tsqr_least_squares(&gpu, &a, &b, &ot).unwrap();
             let tsqr_g = flops / tsqr_stats.time_s / 1e9;
             t.row(&[

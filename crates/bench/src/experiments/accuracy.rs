@@ -10,11 +10,10 @@ use regla_gpu_sim::{ExecMode, Gpu};
 use regla_model::{per_block, per_thread, Algorithm, Approach, ModelParams};
 
 fn rep(approach: Approach) -> RunOpts {
-    RunOpts {
-        exec: ExecMode::Representative,
-        approach: Some(approach),
-        ..Default::default()
-    }
+    RunOpts::builder()
+        .exec(ExecMode::Representative)
+        .approach(approach)
+        .build()
 }
 
 /// Prediction error across the Figure 4 + Figure 9 size ranges.

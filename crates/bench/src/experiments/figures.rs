@@ -10,11 +10,10 @@ use regla_microbench as mb;
 use regla_model::{per_thread, predict_block, qr_panels, Algorithm, Approach, ModelParams};
 
 fn rep_opts(approach: Approach) -> RunOpts {
-    RunOpts {
-        exec: ExecMode::Representative,
-        approach: Some(approach),
-        ..Default::default()
-    }
+    RunOpts::builder()
+        .exec(ExecMode::Representative)
+        .approach(approach)
+        .build()
 }
 
 /// Sampled execution: timing is still traced-block exact, but `k`
@@ -23,11 +22,10 @@ fn rep_opts(approach: Approach) -> RunOpts {
 /// sweeps (Figures 4 and 10), whose huge grids make `Full` replay the
 /// dominant host cost; see EXPERIMENTS.md.
 fn sampled_opts(approach: Approach, k: usize) -> RunOpts {
-    RunOpts {
-        exec: ExecMode::Sampled(k),
-        approach: Some(approach),
-        ..Default::default()
-    }
+    RunOpts::builder()
+        .exec(ExecMode::Sampled(k))
+        .approach(approach)
+        .build()
 }
 
 /// Figure 1 — global memory latency as a function of access stride.
@@ -115,12 +113,11 @@ pub fn fig7(fast: bool) -> String {
         let b = f32_batch(n, 1, count, false, 0x71 + n as u64);
         let mut cells = vec![n.to_string()];
         for layout in [Layout::TwoDCyclic, Layout::ColCyclic, Layout::RowCyclic] {
-            let opts = RunOpts {
-                exec: ExecMode::Representative,
-                approach: Some(Approach::PerBlock),
-                layout,
-                ..Default::default()
-            };
+            let opts = RunOpts::builder()
+                .exec(ExecMode::Representative)
+                .approach(Approach::PerBlock)
+                .layout(layout)
+                .build();
             let run = api::qr_solve_batch(&gpu, &a, &b, &opts).unwrap();
             cells.push(f(run.gflops()));
         }

@@ -3,12 +3,14 @@
 
 pub mod ablations;
 pub mod accuracy;
+pub mod discrepancy;
 pub mod figures;
 pub mod resilience;
 pub mod tables;
 
 pub use ablations::*;
 pub use accuracy::*;
+pub use discrepancy::*;
 pub use figures::*;
 pub use resilience::*;
 pub use tables::*;
@@ -72,6 +74,11 @@ pub const ALL: &[(&str, &str, Runner)] = &[
         "model_accuracy",
         "Model accuracy summary",
         accuracy::model_accuracy,
+    ),
+    (
+        "model_discrepancy",
+        "Model discrepancy — per-phase predicted vs simulated",
+        discrepancy::model_discrepancy,
     ),
     (
         "resilience_campaign",

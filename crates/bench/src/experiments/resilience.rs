@@ -46,11 +46,10 @@ pub fn run_campaign(
 ) -> CampaignOutcome {
     let gpu = Gpu::quadro_6000();
     let a = f32_batch(n, n, count, true, seed ^ 0xA5A5);
-    let opts = RunOpts {
-        approach: Some(approach),
-        fault: Some(FaultPlan::new(seed, faults)),
-        ..RunOpts::default()
-    };
+    let opts = RunOpts::builder()
+        .approach(approach)
+        .fault(FaultPlan::new(seed, faults))
+        .build();
     let once = |o: &RunOpts| match alg {
         CampaignAlg::Qr => api::qr_batch(&gpu, &a, o).expect("valid campaign batch"),
         CampaignAlg::Lu => api::lu_batch(&gpu, &a, o).expect("valid campaign batch"),

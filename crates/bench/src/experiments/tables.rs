@@ -141,11 +141,10 @@ pub fn table4(_fast: bool) -> String {
 pub fn table5(fast: bool) -> String {
     let gpu = Gpu::quadro_6000();
     let count = if fast { 1120 } else { 8000 };
-    let opts = RunOpts {
-        exec: ExecMode::Representative,
-        approach: Some(regla_model::Approach::PerBlock),
-        ..Default::default()
-    };
+    let opts = RunOpts::builder()
+        .exec(ExecMode::Representative)
+        .approach(regla_model::Approach::PerBlock)
+        .build();
     let mut t = Table::new(
         "Table V — cycle counts for 56x56 decompositions (per block)",
         &[
@@ -158,10 +157,8 @@ pub fn table5(fast: bool) -> String {
         let stats = match alg {
             "LU" => api::lu_batch(&gpu, &a, &opts).unwrap().stats,
             "LU-listing7" => {
-                let o = RunOpts {
-                    lu_listing7: true,
-                    ..opts
-                };
+                let mut o = opts.clone();
+                o.lu_listing7 = true;
                 api::lu_batch(&gpu, &a, &o).unwrap().stats
             }
             _ => api::qr_batch(&gpu, &a, &opts).unwrap().stats,

@@ -19,14 +19,21 @@ use crate::per_block::{
 };
 use crate::per_thread::{PerThreadKernel, PtAlg};
 use crate::scalar::Scalar;
+use crate::profile::ProfileReport;
 use crate::status::{record_recovery, ProblemStatus, RecoveryPolicy, RecoveryStats};
 use crate::tiled::{tiled_qr, MultiLaunch, TiledOpts};
-use regla_gpu_sim::{ExecMode, FaultPlan, GlobalMemory, Gpu, LaunchConfig, MathMode};
-use regla_model::{block_plan, thread_plan, Approach};
+use regla_gpu_sim::{ExecMode, FaultPlan, GlobalMemory, Gpu, LaunchConfig, MathMode, Profiler};
+use regla_model::{block_plan, thread_plan, Algorithm, Approach, PER_BLOCK_MAX_DECLARED_REGS};
 use std::marker::PhantomData;
 
 /// Options controlling a batched run.
-#[derive(Clone, Copy, Debug)]
+///
+/// Construct with [`RunOpts::default()`] plus field mutation inside this
+/// crate, or — from anywhere — with the fluent [`RunOpts::builder()`]. The
+/// struct is `#[non_exhaustive]`, so downstream code uses the builder (new
+/// options stop being breaking changes).
+#[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct RunOpts {
     /// Register-file data layout for the per-block kernels.
     pub layout: Layout,
@@ -57,6 +64,11 @@ pub struct RunOpts {
     pub fault: Option<FaultPlan>,
     /// Bounded recovery for fault-tainted / non-finite problems.
     pub recovery: RecoveryPolicy,
+    /// Per-launch trace sink: when set, every kernel launch of the run
+    /// records a hierarchical trace (launch → wave → phase) into the
+    /// profiler, and [`BatchRun::profile`] carries the per-phase
+    /// predicted-vs-simulated discrepancy report.
+    pub trace: Option<Profiler>,
 }
 
 impl Default for RunOpts {
@@ -73,12 +85,115 @@ impl Default for RunOpts {
             host_threads: None,
             fault: None,
             recovery: RecoveryPolicy::default(),
+            trace: None,
         }
+    }
+}
+
+impl RunOpts {
+    /// Start building run options fluently: the only way (outside this
+    /// crate) to construct a non-default [`RunOpts`].
+    pub fn builder() -> RunOptsBuilder {
+        RunOptsBuilder::default()
+    }
+}
+
+/// Fluent builder for [`RunOpts`].
+///
+/// ```
+/// use regla_core::RunOpts;
+/// use regla_gpu_sim::ExecMode;
+///
+/// let opts = RunOpts::builder()
+///     .exec(ExecMode::Representative)
+///     .panel(8)
+///     .build();
+/// assert_eq!(opts.panel, 8);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RunOptsBuilder {
+    opts: RunOpts,
+}
+
+impl RunOptsBuilder {
+    /// Register-file data layout for the per-block kernels.
+    pub fn layout(mut self, v: Layout) -> Self {
+        self.opts.layout = v;
+        self
+    }
+
+    pub fn math(mut self, v: MathMode) -> Self {
+        self.opts.math = v;
+        self
+    }
+
+    pub fn exec(mut self, v: ExecMode) -> Self {
+        self.opts.exec = v;
+        self
+    }
+
+    /// Force an approach instead of letting the plan choose.
+    pub fn approach(mut self, v: impl Into<Option<Approach>>) -> Self {
+        self.opts.approach = v.into();
+        self
+    }
+
+    /// Panel width for the tiled path.
+    pub fn panel(mut self, v: usize) -> Self {
+        self.opts.panel = v;
+        self
+    }
+
+    /// Use tree reductions in the per-block QR (ablation).
+    pub fn tree_reduction(mut self, v: bool) -> Self {
+        self.opts.tree_reduction = v;
+        self
+    }
+
+    /// Follow Listing 7 literally in the LU trailing update (ablation).
+    pub fn lu_listing7(mut self, v: bool) -> Self {
+        self.opts.lu_listing7 = v;
+        self
+    }
+
+    /// Force the per-block thread count (occupancy ablation).
+    pub fn force_threads(mut self, v: impl Into<Option<usize>>) -> Self {
+        self.opts.force_threads = v.into();
+        self
+    }
+
+    /// Host worker threads for the simulator's functional replay.
+    pub fn host_threads(mut self, v: impl Into<Option<usize>>) -> Self {
+        self.opts.host_threads = v.into();
+        self
+    }
+
+    /// Seeded fault-injection plan for resilience campaigns.
+    pub fn fault(mut self, v: impl Into<Option<FaultPlan>>) -> Self {
+        self.opts.fault = v.into();
+        self
+    }
+
+    /// Bounded recovery for fault-tainted / non-finite problems.
+    pub fn recovery(mut self, v: RecoveryPolicy) -> Self {
+        self.opts.recovery = v;
+        self
+    }
+
+    /// Attach a per-launch trace sink (see [`RunOpts::trace`]).
+    pub fn trace(mut self, v: impl Into<Option<Profiler>>) -> Self {
+        self.opts.trace = v.into();
+        self
+    }
+
+    pub fn build(self) -> RunOpts {
+        self.opts
     }
 }
 
 /// Result of a batched operation.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct BatchRun<T> {
     /// The output batch (factored matrices / reduced augmented systems).
     pub out: MatBatch<T>,
@@ -92,6 +207,10 @@ pub struct BatchRun<T> {
     pub status: Vec<ProblemStatus>,
     /// What the recovery layer did for this run.
     pub recovery: RecoveryStats,
+    /// Per-phase predicted-vs-simulated discrepancy, populated when
+    /// [`RunOpts::trace`] is set and the model has a phase-level prediction
+    /// for the launch (per-block and per-thread approaches).
+    pub profile: Option<ProfileReport>,
 }
 
 impl<T> BatchRun<T> {
@@ -117,7 +236,7 @@ fn choose_approach(m: usize, n: usize, rhs: usize, ew: usize, opts: &RunOpts) ->
     }
     if m == n && thread_plan(n, rhs, ew).fits_registers() {
         Approach::PerThread
-    } else if m >= n && block_plan(m, n, rhs, ew).regs_per_thread <= 110 {
+    } else if m >= n && block_plan(m, n, rhs, ew).regs_per_thread <= PER_BLOCK_MAX_DECLARED_REGS {
         Approach::PerBlock
     } else {
         Approach::Tiled
@@ -133,7 +252,9 @@ fn validate_opts(opts: &RunOpts) -> Result<(), ReglaError> {
             ));
         }
         if opts.layout == Layout::TwoDCyclic {
-            let r = (ft as f64).sqrt().round() as usize;
+            // Integer square root: the float round-trip misreports perfect
+            // squares once ft exceeds 2^52 and can accept near-squares.
+            let r = ft.isqrt();
             if r * r != ft {
                 return Err(ReglaError::InvalidConfig(format!(
                     "force_threads = {ft} must be a perfect square for the 2D cyclic layout"
@@ -225,11 +346,46 @@ fn device_for<T: DeviceScalar>(batch: &MatBatch<T>, extra_words: usize) -> Globa
 /// Per-thread kernels pack `tpb` problems into each block.
 const PER_THREAD_TPB: usize = 64;
 
+/// The model-side algorithm for a kernel algorithm (the two enums exist at
+/// different layers; the mapping is 1:1 plus the solve variant).
+fn model_alg(alg: PtAlg) -> Algorithm {
+    match alg {
+        PtAlg::Lu => Algorithm::Lu,
+        PtAlg::Gj => Algorithm::GaussJordan,
+        PtAlg::Cholesky => Algorithm::Cholesky,
+        PtAlg::Qr => Algorithm::Qr,
+        PtAlg::QrSolve => Algorithm::QrSolve,
+    }
+}
+
+/// Short kernel-name prefix for launch traces.
+fn alg_label(alg: PtAlg) -> &'static str {
+    match alg {
+        PtAlg::Lu => "lu",
+        PtAlg::Gj => "gauss-jordan",
+        PtAlg::Cholesky => "cholesky",
+        PtAlg::Qr => "qr",
+        PtAlg::QrSolve => "qr-solve",
+    }
+}
+
+/// Trace name for a launch: `"qr 56x57 per-block"`.
+fn launch_name(alg: PtAlg, m: usize, cols: usize, approach: Approach) -> String {
+    let ap = match approach {
+        Approach::PerThread => "per-thread",
+        Approach::PerBlock => "per-block",
+        Approach::Tiled => "tiled",
+        Approach::Hybrid => "hybrid",
+    };
+    format!("{} {m}x{cols} {ap}", alg_label(alg))
+}
+
 struct Launched<T> {
     out: MatBatch<T>,
     stats: MultiLaunch,
     taus: Option<MatBatch<T>>,
     status: Vec<ProblemStatus>,
+    profile: Option<ProfileReport>,
 }
 
 /// All words of problem `k` (and its taus, if any) are finite.
@@ -290,7 +446,9 @@ fn run_inplace<T: DeviceScalar>(
                 .math(opts.math)
                 .exec(opts.exec)
                 .host_threads(opts.host_threads)
-                .fault(opts.fault);
+                .fault(opts.fault)
+                .name(launch_name(alg, m, cols, approach))
+                .trace(opts.trace.clone());
             stats.push(gpu.launch(&kern, &lc, &mut gmem)?);
         }
         Approach::PerBlock => {
@@ -334,7 +492,9 @@ fn run_inplace<T: DeviceScalar>(
                 .math(opts.math)
                 .exec(opts.exec)
                 .host_threads(opts.host_threads)
-                .fault(opts.fault);
+                .fault(opts.fault)
+                .name(launch_name(alg, m, cols, approach))
+                .trace(opts.trace.clone());
             stats.push(gpu.launch(launch.as_ref(), &lc, &mut gmem)?);
         }
         Approach::Tiled => {
@@ -354,6 +514,7 @@ fn run_inplace<T: DeviceScalar>(
                 exec: opts.exec,
                 host_threads: opts.host_threads,
                 fault: opts.fault,
+                trace: opts.trace.clone(),
             };
             let agg = tiled_qr::<T::Dev>(gpu, &mut gmem, view, m, nfac, rhs, count, d_tau, topts)?;
             for l in agg.launches {
@@ -430,6 +591,7 @@ fn run_inplace<T: DeviceScalar>(
         stats,
         taus,
         status,
+        profile: None,
     })
 }
 
@@ -501,7 +663,26 @@ fn run_recovered<T: DeviceScalar>(
     opts: &RunOpts,
     back_substitute: bool,
 ) -> Result<(Launched<T>, RecoveryStats), ReglaError> {
+    let trace_start = opts.trace.as_ref().map_or(0, |t| t.launch_count());
     let mut l = run_inplace(gpu, aug, nfac, alg, approach, opts, back_substitute)?;
+    // Join the first launch this run recorded against the model's phase
+    // estimates (retry launches repeat the same kernel; the first is the
+    // representative one).
+    l.profile = opts.trace.as_ref().and_then(|t| {
+        let rhs = aug.cols() - nfac;
+        t.launches().get(trace_start).and_then(|trace| {
+            crate::profile::build_report(
+                trace,
+                model_alg(alg),
+                approach,
+                aug.rows(),
+                nfac,
+                rhs,
+                T::WORDS,
+                aug.count(),
+            )
+        })
+    });
     let count = aug.count();
     let mut rec = RecoveryStats {
         faults_detected: l
@@ -526,7 +707,7 @@ fn run_recovered<T: DeviceScalar>(
         }
         // The retry runs clean: no fault plan, full execution (a sampled
         // replay of the sub-batch would recompute nothing).
-        let mut ropts = *opts;
+        let mut ropts = opts.clone();
         ropts.fault = None;
         ropts.exec = ExecMode::Full;
         let r = run_inplace(gpu, &sub, nfac, alg, approach, &ropts, back_substitute)?;
@@ -566,6 +747,7 @@ fn into_run<T>(l: Launched<T>, rec: RecoveryStats, approach: Approach, taus: boo
         taus: if taus { l.taus } else { None },
         status: l.status,
         recovery: rec,
+        profile: l.profile,
     }
 }
 
@@ -746,7 +928,9 @@ pub fn gemm_batch<T: DeviceScalar>(
         .shared_words(kern.shared_words())
         .math(opts.math)
         .exec(opts.exec)
-        .host_threads(opts.host_threads);
+        .host_threads(opts.host_threads)
+        .name(format!("gemm {m}x{kdim}x{n} per-block"))
+        .trace(opts.trace.clone());
     let mut stats = MultiLaunch::default();
     stats.push(gpu.launch(&kern, &lc, &mut gmem)?);
     let out = MatBatch::<T>::from_device(m, n, count, &gmem, pc);
@@ -767,6 +951,7 @@ pub fn gemm_batch<T: DeviceScalar>(
         taus: None,
         status,
         recovery: RecoveryStats::default(),
+        profile: None,
     })
 }
 
@@ -805,6 +990,7 @@ pub fn tsqr_least_squares<T: DeviceScalar>(
         math: opts.math,
         exec: opts.exec,
         host_threads: opts.host_threads,
+        trace: opts.trace.clone(),
         ..Default::default()
     };
     let (rptr, stats) = tsqr::<T::Dev>(gpu, &mut gmem, view, m, n, 1, count, topts)?;
@@ -865,6 +1051,32 @@ pub fn invert_batch<T: DeviceScalar>(
     Ok((inv, run))
 }
 
+/// Shared driver for the multi-right-hand-side solvers: validate, augment
+/// `[A | B]`, pick an approach (never tiled — the augmented system is wide,
+/// not tall), factor/reduce in place with recovery.
+fn solve_multi_driver<T: DeviceScalar>(
+    gpu: &Gpu,
+    a: &MatBatch<T>,
+    b: &MatBatch<T>,
+    opts: &RunOpts,
+    alg: PtAlg,
+    allow_per_thread: bool,
+    back_substitute: bool,
+) -> Result<BatchRun<T>, ReglaError> {
+    validate_opts(opts)?;
+    validate_batch(a)?;
+    validate_square(a)?;
+    validate_rhs(a, b)?;
+    let aug = MatBatch::augment(a, b);
+    let approach = match choose_approach(a.rows(), a.cols(), b.cols(), T::WORDS, opts) {
+        Approach::Tiled => Approach::PerBlock,
+        Approach::PerThread if !allow_per_thread => Approach::PerBlock,
+        other => other,
+    };
+    let (l, rec) = run_recovered(gpu, &aug, a.cols(), alg, approach, opts, back_substitute)?;
+    Ok(into_run(l, rec, approach, false))
+}
+
 /// Batched QR solve with multiple right-hand sides: factor `[A | B]`
 /// carrying every column of B, then back-substitute each one.
 pub fn qr_solve_multi<T: DeviceScalar>(
@@ -873,17 +1085,8 @@ pub fn qr_solve_multi<T: DeviceScalar>(
     b: &MatBatch<T>,
     opts: &RunOpts,
 ) -> Result<BatchRun<T>, ReglaError> {
-    validate_opts(opts)?;
-    validate_batch(a)?;
-    validate_square(a)?;
-    validate_rhs(a, b)?;
-    let aug = MatBatch::augment(a, b);
-    let approach = match choose_approach(a.rows(), a.cols(), b.cols(), T::WORDS, opts) {
-        Approach::Tiled | Approach::PerThread => Approach::PerBlock,
-        other => other,
-    };
-    let (l, rec) = run_recovered(gpu, &aug, a.cols(), PtAlg::QrSolve, approach, opts, true)?;
-    Ok(into_run(l, rec, approach, false))
+    // The per-thread kernels do not back-substitute extra columns.
+    solve_multi_driver(gpu, a, b, opts, PtAlg::QrSolve, false, true)
 }
 
 /// Batched Gauss-Jordan with multiple right-hand sides: reduces
@@ -894,16 +1097,82 @@ pub fn gj_solve_multi<T: DeviceScalar>(
     b: &MatBatch<T>,
     opts: &RunOpts,
 ) -> Result<BatchRun<T>, ReglaError> {
-    validate_opts(opts)?;
-    validate_batch(a)?;
-    validate_square(a)?;
-    validate_rhs(a, b)?;
-    let aug = MatBatch::augment(a, b);
-    // Multi-rhs problems are wider; the per-thread path rarely fits.
-    let approach = match choose_approach(a.rows(), a.cols(), b.cols(), T::WORDS, opts) {
-        Approach::Tiled => Approach::PerBlock,
-        other => other,
-    };
-    let (l, rec) = run_recovered(gpu, &aug, a.cols(), PtAlg::Gj, approach, opts, false)?;
-    Ok(into_run(l, rec, approach, false))
+    // Multi-rhs problems are wider; the per-thread path rarely fits but is
+    // kept available for the shapes where it does.
+    solve_multi_driver(gpu, a, b, opts, PtAlg::Gj, true, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn forced(ft: usize) -> RunOpts {
+        RunOpts::builder().force_threads(ft).build()
+    }
+
+    #[test]
+    fn perfect_square_thread_counts_pass() {
+        for ft in [1usize, 4, 16, 64, 144, 256, 1024] {
+            assert!(validate_opts(&forced(ft)).is_ok(), "{ft} is a square");
+        }
+    }
+
+    #[test]
+    fn near_square_thread_counts_are_rejected_at_the_boundary() {
+        // k^2 - 1 and k^2 + 1 must both fail for every k in range: the old
+        // float sqrt().round() check accepted whichever side rounded to k.
+        for k in 2usize..=64 {
+            let sq = k * k;
+            assert!(validate_opts(&forced(sq)).is_ok(), "{sq}");
+            assert!(validate_opts(&forced(sq - 1)).is_err(), "{} = {k}^2 - 1", sq - 1);
+            assert!(validate_opts(&forced(sq + 1)).is_err(), "{} = {k}^2 + 1", sq + 1);
+        }
+    }
+
+    #[test]
+    fn huge_thread_counts_use_exact_integer_sqrt() {
+        // Beyond 2^52 the f64 round-trip loses integer precision; isqrt
+        // stays exact. (These counts are rejected later by the device
+        // limits, but the option validation must still be correct.)
+        let k = (1usize << 31) - 1;
+        let sq = k * k;
+        assert!(validate_opts(&forced(sq)).is_ok());
+        assert!(validate_opts(&forced(sq - 1)).is_err());
+        assert!(validate_opts(&forced(sq + 1)).is_err());
+    }
+
+    #[test]
+    fn non_square_layouts_skip_the_square_check() {
+        let opts = RunOpts::builder()
+            .layout(Layout::RowCyclic)
+            .force_threads(63)
+            .build();
+        assert!(validate_opts(&opts).is_ok());
+    }
+
+    #[test]
+    fn builder_round_trips_every_field() {
+        let prof = Profiler::new();
+        let opts = RunOpts::builder()
+            .layout(Layout::TwoDCyclic)
+            .math(MathMode::Precise)
+            .exec(ExecMode::Representative)
+            .approach(Approach::PerBlock)
+            .panel(8)
+            .tree_reduction(true)
+            .lu_listing7(true)
+            .force_threads(256)
+            .host_threads(2)
+            .recovery(RecoveryPolicy::default())
+            .trace(prof.clone())
+            .build();
+        assert_eq!(opts.math, MathMode::Precise);
+        assert_eq!(opts.exec, ExecMode::Representative);
+        assert_eq!(opts.approach, Some(Approach::PerBlock));
+        assert_eq!(opts.panel, 8);
+        assert!(opts.tree_reduction && opts.lu_listing7);
+        assert_eq!(opts.force_threads, Some(256));
+        assert_eq!(opts.host_threads, Some(2));
+        assert!(opts.trace.is_some());
+    }
 }

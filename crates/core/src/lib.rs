@@ -51,6 +51,8 @@ pub mod layout;
 pub mod matrix;
 pub mod per_block;
 pub mod per_thread;
+pub mod prelude;
+pub mod profile;
 pub mod scalar;
 pub mod status;
 pub mod tiled;
@@ -58,8 +60,9 @@ pub mod tiled;
 pub use api::{
     cholesky_batch, gemm_batch, gj_solve_batch, gj_solve_multi, invert_batch, qr_solve_multi,
     least_squares_batch, lu_batch, tsqr_least_squares,
-    qr_batch, qr_solve_batch, BatchRun, RunOpts,
+    qr_batch, qr_solve_batch, BatchRun, RunOpts, RunOptsBuilder,
 };
+pub use profile::{PhaseDiscrepancy, ProfileReport};
 pub use batch::MatBatch;
 pub use elem::{DeviceScalar, Elem};
 pub use error::ReglaError;

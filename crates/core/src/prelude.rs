@@ -1,0 +1,24 @@
+//! One-line import for the batch solver API:
+//! `use regla_core::prelude::*;`
+//!
+//! Brings in the batch entry points, the [`RunOpts`] builder, the
+//! container types, and the handful of simulator/model enums every
+//! driver program ends up naming (`Gpu`, `MathMode`, `ExecMode`,
+//! `Approach`, `Layout`). Deliberately small: per-kernel plumbing and
+//! the tiled/TSQR internals stay behind their modules.
+
+pub use crate::api::{
+    cholesky_batch, gemm_batch, gj_solve_batch, gj_solve_multi, invert_batch, least_squares_batch,
+    lu_batch, qr_batch, qr_solve_batch, qr_solve_multi, tsqr_least_squares,
+};
+pub use crate::api::{BatchRun, RunOpts, RunOptsBuilder};
+pub use crate::batch::MatBatch;
+pub use crate::error::ReglaError;
+pub use crate::layout::Layout;
+pub use crate::matrix::Mat;
+pub use crate::profile::{PhaseDiscrepancy, ProfileReport};
+pub use crate::scalar::C32;
+pub use crate::status::{ProblemStatus, RecoveryPolicy};
+pub use crate::tiled::MultiLaunch;
+pub use regla_gpu_sim::{chrome_trace_json, ExecMode, Gpu, MathMode, Profiler};
+pub use regla_model::Approach;

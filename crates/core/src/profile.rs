@@ -1,0 +1,252 @@
+//! Predicted-vs-simulated per-phase discrepancy reports.
+//!
+//! The paper's core claim is *predictive*: the analytic model's per-phase
+//! cycle estimates should match what the kernels actually do. When a
+//! [`crate::RunOpts`] carries a trace sink (`RunOpts::builder().trace(...)`),
+//! the batch entry points join the recorded launch trace's phase spans
+//! against [`regla_model::phase_estimates`] for the same shape, label by
+//! label (`"panel 3: rank-1"`, `"load"`, ...), and surface the resulting
+//! [`ProfileReport`] on [`crate::BatchRun::profile`].
+//!
+//! The comparison is made on *one wave* of blocks — the model's
+//! per-operation costs already account for the co-resident blocks sharing
+//! the SM's issue ports, and the simulator's full-wave phase durations are
+//! the matching quantity. DRAM-bound `load`/`store` phases are compared
+//! against the model's streamed wave traffic estimate.
+
+use regla_gpu_sim::LaunchTrace;
+use regla_model::{block_plan, phase_estimates, Algorithm, Approach, ModelParams};
+use std::fmt::Write as _;
+
+/// One labeled phase: the simulator's full-wave duration next to the
+/// model's prediction for the same shape.
+#[derive(Clone, Debug)]
+pub struct PhaseDiscrepancy {
+    /// Kernel phase label (the join key, e.g. `"panel 3: rank-1"`).
+    pub label: String,
+    /// Full-wave duration from the launch trace, in cycles.
+    pub simulated_cycles: f64,
+    /// The analytic model's estimate for the same phase, in cycles.
+    pub predicted_cycles: f64,
+    /// Signed relative error `100 * (predicted - simulated) / simulated`.
+    pub error_pct: f64,
+}
+
+/// Per-phase predicted-vs-simulated breakdown of one batch launch.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct ProfileReport {
+    /// Kernel name, as recorded in the trace.
+    pub kernel: String,
+    pub alg: Algorithm,
+    pub approach: Approach,
+    /// Problem shape: `m x n` factored columns plus `rhs_cols` carried.
+    pub m: usize,
+    pub n: usize,
+    pub rhs_cols: usize,
+    pub batch: usize,
+    /// Blocks in the compared wave (the first wave of the launch).
+    pub wave_blocks: usize,
+    pub blocks_per_sm: usize,
+    /// Phase rows in kernel order.
+    pub entries: Vec<PhaseDiscrepancy>,
+    /// Mean of `|error_pct|` over the phases.
+    pub mean_abs_error_pct: f64,
+    /// Sum of the simulated phase durations (one wave).
+    pub simulated_wave_cycles: f64,
+    /// Sum of the predicted phase durations (one wave).
+    pub predicted_wave_cycles: f64,
+}
+
+impl ProfileReport {
+    /// Signed whole-wave relative error in percent.
+    pub fn total_error_pct(&self) -> f64 {
+        if self.simulated_wave_cycles > 0.0 {
+            100.0 * (self.predicted_wave_cycles - self.simulated_wave_cycles)
+                / self.simulated_wave_cycles
+        } else {
+            0.0
+        }
+    }
+
+    /// Human-readable discrepancy table.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "profile: {} — {} {}x{}+{} rhs, batch {}, wave of {} blocks ({}/SM)",
+            self.kernel,
+            self.alg.name(),
+            self.m,
+            self.n,
+            self.rhs_cols,
+            self.batch,
+            self.wave_blocks,
+            self.blocks_per_sm
+        );
+        let _ = writeln!(
+            s,
+            "{:<24} {:>12} {:>12} {:>8}",
+            "phase", "simulated", "predicted", "error"
+        );
+        for e in &self.entries {
+            let _ = writeln!(
+                s,
+                "{:<24} {:>12.0} {:>12.0} {:>+7.1}%",
+                e.label, e.simulated_cycles, e.predicted_cycles, e.error_pct
+            );
+        }
+        let _ = writeln!(
+            s,
+            "{:<24} {:>12.0} {:>12.0} {:>+7.1}%",
+            "total (wave)",
+            self.simulated_wave_cycles,
+            self.predicted_wave_cycles,
+            self.total_error_pct()
+        );
+        let _ = writeln!(s, "mean |error|: {:.1}%", self.mean_abs_error_pct);
+        s
+    }
+}
+
+fn signed_error_pct(predicted: f64, simulated: f64) -> f64 {
+    if simulated > 0.0 {
+        100.0 * (predicted - simulated) / simulated
+    } else if predicted > 0.0 {
+        100.0
+    } else {
+        0.0
+    }
+}
+
+fn finish(
+    trace: &LaunchTrace,
+    alg: Algorithm,
+    approach: Approach,
+    shape: (usize, usize, usize),
+    batch: usize,
+    entries: Vec<PhaseDiscrepancy>,
+) -> ProfileReport {
+    let simulated: f64 = entries.iter().map(|e| e.simulated_cycles).sum();
+    let predicted: f64 = entries.iter().map(|e| e.predicted_cycles).sum();
+    let mean = if entries.is_empty() {
+        0.0
+    } else {
+        entries.iter().map(|e| e.error_pct.abs()).sum::<f64>() / entries.len() as f64
+    };
+    ProfileReport {
+        kernel: trace.name.clone(),
+        alg,
+        approach,
+        m: shape.0,
+        n: shape.1,
+        rhs_cols: shape.2,
+        batch,
+        wave_blocks: trace.waves.first().map_or(0, |w| w.blocks),
+        blocks_per_sm: trace.blocks_per_sm,
+        entries,
+        mean_abs_error_pct: mean,
+        simulated_wave_cycles: simulated,
+        predicted_wave_cycles: predicted,
+    }
+}
+
+/// Join a recorded launch trace against the model's phase estimates.
+/// Returns `None` when the model has no phase-level prediction for the
+/// launch (tiled path, non-default layouts, forced thread counts).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_report(
+    trace: &LaunchTrace,
+    alg: Algorithm,
+    approach: Approach,
+    m: usize,
+    n: usize,
+    rhs_cols: usize,
+    elem_words: usize,
+    batch: usize,
+) -> Option<ProfileReport> {
+    let p = ModelParams::table_iv();
+    match approach {
+        Approach::PerBlock => {
+            let plan = block_plan(m, n, rhs_cols, elem_words);
+            if plan.threads != trace.threads_per_block {
+                // The launch did not use the model's thread mapping
+                // (force_threads / 1D-layout ablations): no honest join.
+                return None;
+            }
+            // Simulated side: the first wave's spans aggregated by label
+            // (a full wave unless the whole batch fits in one wave).
+            let wave = trace.waves.first()?;
+            let mut sim: Vec<(String, f64)> = Vec::new();
+            for ph in &wave.phases {
+                match sim.iter_mut().find(|(l, _)| *l == ph.label) {
+                    Some((_, c)) => *c += ph.cycles(),
+                    None => sim.push((ph.label.clone(), ph.cycles())),
+                }
+            }
+            // Model side: labeled compute phases plus the streamed wave
+            // traffic split over the load and store phases.
+            let mut model: Vec<(String, f64)> = phase_estimates(&p, &plan, alg, trace.blocks_per_sm)
+                .into_iter()
+                .map(|e| (e.label, e.cycles))
+                .collect();
+            let bytes_per_block = 2.0 * (m * (n + rhs_cols) * elem_words * 4) as f64;
+            let dram_wave = bytes_per_block * wave.blocks as f64 / p.glb_bytes_per_cycle();
+            model.push((String::from("load"), dram_wave / 2.0));
+            model.push((String::from("store"), dram_wave / 2.0));
+
+            let entries = sim
+                .into_iter()
+                .map(|(label, simulated)| {
+                    let predicted = model
+                        .iter()
+                        .find(|(l, _)| *l == label)
+                        .map_or(0.0, |(_, c)| *c);
+                    PhaseDiscrepancy {
+                        error_pct: signed_error_pct(predicted, simulated),
+                        label,
+                        simulated_cycles: simulated,
+                        predicted_cycles: predicted,
+                    }
+                })
+                .collect();
+            Some(finish(trace, alg, approach, (m, n, rhs_cols), batch, entries))
+        }
+        Approach::PerThread => {
+            // The per-thread kernel is one phase; compare whole-launch
+            // cycles against the roofline prediction (Section IV).
+            let g = regla_model::per_thread::predicted_gflops(&p, alg, n, 4 * elem_words);
+            let flops = match elem_words {
+                2 => alg.flops_complex(m, n),
+                _ => alg.flops(m, n),
+            } * batch as f64;
+            let predicted = if g > 0.0 {
+                (flops / (g * 1e9)) * p.clock_ghz * 1e9
+            } else {
+                0.0
+            };
+            let simulated = trace.cycles;
+            let entries = vec![PhaseDiscrepancy {
+                label: String::from("per-thread"),
+                simulated_cycles: simulated,
+                predicted_cycles: predicted,
+                error_pct: signed_error_pct(predicted, simulated),
+            }];
+            Some(finish(trace, alg, approach, (m, n, rhs_cols), batch, entries))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_error_is_relative_to_simulation() {
+        assert_eq!(signed_error_pct(110.0, 100.0), 10.0);
+        assert_eq!(signed_error_pct(90.0, 100.0), -10.0);
+        assert_eq!(signed_error_pct(0.0, 0.0), 0.0);
+        assert_eq!(signed_error_pct(5.0, 0.0), 100.0);
+    }
+}

@@ -20,6 +20,7 @@ use crate::per_block::{QrApplyKernel, QrBlockKernel, SubMat};
 use crate::status::RecoveryStats;
 use regla_gpu_sim::{
     ExecMode, FaultPlan, GlobalMemory, Gpu, LaunchConfig, LaunchError, LaunchStats, MathMode,
+    Profiler,
 };
 use std::marker::PhantomData;
 
@@ -50,10 +51,26 @@ impl MultiLaunch {
             self.flops / self.time_s / 1e9
         }
     }
+
+    /// Aggregate full-wave phase cycles by label across every launch (in
+    /// first-appearance order): where a multi-launch operation spends a
+    /// wave's time, phase by phase.
+    pub fn phase_totals(&self) -> Vec<(String, f64)> {
+        let mut totals: Vec<(String, f64)> = Vec::new();
+        for l in &self.launches {
+            for pt in &l.phase_times {
+                match totals.iter_mut().find(|(n, _)| *n == pt.label) {
+                    Some((_, c)) => *c += pt.cycles,
+                    None => totals.push((pt.label.clone(), pt.cycles)),
+                }
+            }
+        }
+        totals
+    }
 }
 
 /// Options for the tiled factorization.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct TiledOpts {
     /// Panel width (defaults to 16, one 256-thread block column round).
     pub panel: usize,
@@ -64,6 +81,9 @@ pub struct TiledOpts {
     /// Seeded fault-injection plan applied to every launch of the
     /// factorization (resilience campaigns).
     pub fault: Option<FaultPlan>,
+    /// Per-launch trace sink; every panel factor and reflector-apply
+    /// launch records into it.
+    pub trace: Option<Profiler>,
 }
 
 impl Default for TiledOpts {
@@ -74,6 +94,7 @@ impl Default for TiledOpts {
             exec: ExecMode::Full,
             host_threads: None,
             fault: None,
+            trace: None,
         }
     }
 }
@@ -120,7 +141,9 @@ pub fn tiled_qr<E: Elem>(
             .math(opts.math)
             .exec(opts.exec)
             .host_threads(opts.host_threads)
-            .fault(opts.fault);
+            .fault(opts.fault)
+            .name(format!("qr panel {prows}x{pw} tiled"))
+            .trace(opts.trace.clone());
         agg.push(gpu.launch(&kern, &lc, gmem)?);
 
         // --- apply the reflectors to the trailing columns ---------------
@@ -144,7 +167,9 @@ pub fn tiled_qr<E: Elem>(
                 .math(opts.math)
                 .exec(opts.exec)
                 .host_threads(opts.host_threads)
-                .fault(opts.fault);
+                .fault(opts.fault)
+                .name(format!("qr apply {prows}x{tcols} tiled"))
+                .trace(opts.trace.clone());
             agg.push(gpu.launch(&apply, &lc, gmem)?);
         }
         j0 += pw;

@@ -20,11 +20,12 @@ use crate::per_block::{QrBlockKernel, SubMat};
 use crate::tiled::MultiLaunch;
 use regla_gpu_sim::{
     BlockCtx, BlockKernel, DPtr, ExecMode, GlobalMemory, Gpu, LaunchConfig, LaunchError, MathMode,
+    Profiler,
 };
 use std::marker::PhantomData;
 
 /// Options for the TSQR factorization.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct TsqrOpts {
     /// Target row-block height of the first stage (clamped to >= the
     /// column count; the default doubles the columns).
@@ -33,6 +34,9 @@ pub struct TsqrOpts {
     pub exec: ExecMode,
     /// Host worker threads for the simulator's functional replay.
     pub host_threads: Option<usize>,
+    /// Per-launch trace sink; every stage of the reduction tree records
+    /// into it.
+    pub trace: Option<Profiler>,
 }
 
 impl Default for TsqrOpts {
@@ -42,6 +46,7 @@ impl Default for TsqrOpts {
             math: MathMode::Fast,
             exec: ExecMode::Full,
             host_threads: None,
+            trace: None,
         }
     }
 }
@@ -133,7 +138,9 @@ fn qr_stage<E: Elem>(
         .shared_words(kern.shared_words())
         .math(opts.math)
         .exec(opts.exec)
-        .host_threads(opts.host_threads);
+        .host_threads(opts.host_threads)
+        .name(format!("tsqr factor {rows}x{}", nfac + rhs))
+        .trace(opts.trace.clone());
     agg.push(gpu.launch(&kern, &lc, gmem)?);
     Ok(())
 }
@@ -209,7 +216,9 @@ pub fn tsqr<E: Elem>(
             .shared_words(0)
             .math(opts.math)
             .exec(opts.exec)
-            .host_threads(opts.host_threads);
+            .host_threads(opts.host_threads)
+            .name(format!("tsqr gather {pairs} pairs"))
+            .trace(opts.trace.clone());
         agg.push(gpu.launch(&gather, &lc, gmem)?);
 
         // Factor every stacked pair: count*pairs problems of 2n x cols.
@@ -245,7 +254,9 @@ pub fn tsqr<E: Elem>(
         .shared_words(0)
         .math(opts.math)
         .exec(opts.exec)
-        .host_threads(opts.host_threads);
+        .host_threads(opts.host_threads)
+        .name("tsqr compact")
+        .trace(opts.trace.clone());
     agg.push(gpu.launch(&gather, &lc, gmem)?);
     let out = gmem.alloc(count * n * cols * E::WORDS);
     let compact = CompactTop::<E> {

@@ -40,10 +40,7 @@ fn rand_c32_batch(r: &mut StdRng, m: usize, n: usize, count: usize, dd: bool) ->
 }
 
 fn opts(approach: Approach) -> RunOpts {
-    RunOpts {
-        approach: Some(approach),
-        ..Default::default()
-    }
+    RunOpts::builder().approach(approach).build()
 }
 
 /// Compare a device QR factorization against the host reference.
@@ -228,11 +225,10 @@ fn qr_solve_agrees_across_layouts() {
     let a = rand_f32_batch(&mut r, 16, 16, 3, true);
     let b = rand_f32_batch(&mut r, 16, 1, 3, false);
     for layout in [Layout::TwoDCyclic, Layout::RowCyclic, Layout::ColCyclic] {
-        let o = RunOpts {
-            approach: Some(Approach::PerBlock),
-            layout,
-            ..Default::default()
-        };
+        let o = RunOpts::builder()
+            .approach(Approach::PerBlock)
+            .layout(layout)
+            .build();
         let run = api::qr_solve_batch(&gpu, &a, &b, &o).unwrap();
         for k in 0..a.count() {
             let x: Vec<f32> = (0..16).map(|i| run.out.get(k, i, 16)).collect();
@@ -290,10 +286,7 @@ fn tiled_least_squares_complex_radar_shape() {
     // A miniature 240x66-style problem: tall complex least squares.
     let a = rand_c32_batch(&mut r, 48, 12, 2, false);
     let b = rand_c32_batch(&mut r, 48, 1, 2, false);
-    let o = RunOpts {
-        approach: Some(Approach::Tiled),
-        ..Default::default()
-    };
+    let o = RunOpts::builder().approach(Approach::Tiled).build();
     let (_, x) = api::least_squares_batch(&gpu, &a, &b, &o).unwrap();
     for k in 0..a.count() {
         let bk: Vec<C32> = (0..48).map(|i| b.get(k, i, 0)).collect();
@@ -362,21 +355,19 @@ fn fast_math_error_is_bounded() {
         &gpu,
         &a,
         &b,
-        &RunOpts {
-            math: MathMode::Fast,
-            approach: Some(Approach::PerBlock),
-            ..Default::default()
-        },
+        &RunOpts::builder()
+            .math(MathMode::Fast)
+            .approach(Approach::PerBlock)
+            .build(),
     ).unwrap();
     let precise = api::qr_solve_batch(
         &gpu,
         &a,
         &b,
-        &RunOpts {
-            math: MathMode::Precise,
-            approach: Some(Approach::PerBlock),
-            ..Default::default()
-        },
+        &RunOpts::builder()
+            .math(MathMode::Precise)
+            .approach(Approach::PerBlock)
+            .build(),
     ).unwrap();
     let d = fast.out.max_frob_dist(&precise.out);
     assert!(d > 0.0, "fast math should differ in the low bits");
@@ -449,11 +440,10 @@ fn tree_reduction_matches_serial_results() {
     let mut r = rng(32);
     let a = rand_f32_batch(&mut r, 20, 20, 3, true);
     let serial = api::qr_batch(&gpu, &a, &opts(Approach::PerBlock)).unwrap();
-    let tree_opts = RunOpts {
-        approach: Some(Approach::PerBlock),
-        tree_reduction: true,
-        ..Default::default()
-    };
+    let tree_opts = RunOpts::builder()
+        .approach(Approach::PerBlock)
+        .tree_reduction(true)
+        .build();
     let tree = api::qr_batch(&gpu, &a, &tree_opts).unwrap();
     // Same algorithm, different summation order: results agree closely.
     let d = serial.out.max_frob_dist(&tree.out);
@@ -466,11 +456,10 @@ fn listing7_lu_is_slower_but_equal() {
     let mut r = rng(33);
     let a = rand_f32_batch(&mut r, 24, 24, 2, true);
     let hoisted = api::lu_batch(&gpu, &a, &opts(Approach::PerBlock)).unwrap();
-    let l7_opts = RunOpts {
-        approach: Some(Approach::PerBlock),
-        lu_listing7: true,
-        ..Default::default()
-    };
+    let l7_opts = RunOpts::builder()
+        .approach(Approach::PerBlock)
+        .lu_listing7(true)
+        .build();
     let l7 = api::lu_batch(&gpu, &a, &l7_opts).unwrap();
     assert_eq!(hoisted.out.max_frob_dist(&l7.out), 0.0, "identical math");
     assert!(

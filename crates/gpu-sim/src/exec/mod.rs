@@ -10,6 +10,7 @@ use crate::fault::{FaultPlan, FaultRecord};
 use crate::mem::global::GmemAccess;
 use crate::mem::{GlobalMemory, MemHier};
 use crate::timing::{combine, LaunchStats};
+use crate::trace::Profiler;
 use block::BlockCtx;
 use occupancy::occupancy;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -36,7 +37,12 @@ pub enum ExecMode {
 
 /// Launch configuration: the CUDA `<<<grid, block, shared>>>` triple plus
 /// the compile-time facts the simulator needs (register usage, math mode).
+///
+/// Construct with [`LaunchConfig::new`] and the fluent setters; the struct
+/// is `#[non_exhaustive]` so new launch knobs (like the trace sink) are not
+/// breaking changes for downstream crates.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct LaunchConfig {
     pub grid_blocks: usize,
     pub threads_per_block: usize,
@@ -56,6 +62,13 @@ pub struct LaunchConfig {
     /// Seeded fault-injection campaign for this launch (`None` = no
     /// faults). Applied faults are reported in `LaunchStats::faults`.
     pub fault: Option<FaultPlan>,
+    /// Kernel name shown in exported traces.
+    pub name: String,
+    /// Per-launch trace sink: when set, the launch appends a
+    /// [`crate::trace::LaunchTrace`] (launch → wave → phase spans) to the
+    /// profiler. Purely simulated quantities, so traces are bit-identical
+    /// across `host_threads` counts.
+    pub trace: Option<Profiler>,
 }
 
 impl LaunchConfig {
@@ -69,6 +82,8 @@ impl LaunchConfig {
             exec: ExecMode::Full,
             host_threads: None,
             fault: None,
+            name: String::from("kernel"),
+            trace: None,
         }
     }
 
@@ -99,6 +114,19 @@ impl LaunchConfig {
 
     pub fn fault(mut self, plan: impl Into<Option<FaultPlan>>) -> Self {
         self.fault = plan.into();
+        self
+    }
+
+    /// Name the kernel for exported traces.
+    pub fn name(mut self, n: impl Into<String>) -> Self {
+        self.name = n.into();
+        self
+    }
+
+    /// Attach a per-launch trace sink (cloning a [`Profiler`] shares its
+    /// buffer, so one profiler can collect a whole sequence of launches).
+    pub fn trace(mut self, sink: impl Into<Option<Profiler>>) -> Self {
+        self.trace = sink.into();
         self
     }
 
@@ -442,6 +470,9 @@ impl Gpu {
             applied.len() as u64,
         );
         stats.faults = applied;
+        if let Some(sink) = &lc.trace {
+            sink.record(crate::trace::build_trace(&self.cfg, &stats, &lc.name));
+        }
         Ok(stats)
     }
 }

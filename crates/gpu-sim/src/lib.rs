@@ -53,6 +53,7 @@ pub mod host;
 pub mod mem;
 pub mod telemetry;
 pub mod timing;
+pub mod trace;
 
 pub use config::{GpuConfig, MathMode};
 pub use error::LaunchError;
@@ -65,3 +66,7 @@ pub use host::{cuda_memcpy_gbs, cuda_memcpy_secs, PcieModel};
 pub use mem::{DPtr, GlobalMemory, MemHier};
 pub use telemetry::SimTelemetry;
 pub use timing::{LaunchStats, PhaseBound, PhaseRecord, PhaseTime};
+pub use trace::{
+    chrome_trace_json, validate_chrome_trace, ChromeTraceSummary, LaunchTrace, PhaseSpan,
+    Profiler, SpanCounters, TraceSink, WaveSpan,
+};

@@ -1,4 +1,4 @@
-//! Process-wide simulator telemetry.
+//! Process-wide simulator telemetry (aggregate compatibility shim).
 //!
 //! The benchmark harness runs many launches per experiment and wants one
 //! wall-clock summary per experiment without threading a collector through
@@ -8,6 +8,12 @@
 //! launches from replay worker threads never overlap with launches from the
 //! host thread, so ordering is irrelevant; atomicity just keeps the counts
 //! exact if a harness ever launches from several host threads.
+//!
+//! These counters aggregate *host-side simulator cost* across the whole
+//! process. For per-launch observability of the *simulated device* —
+//! launch → wave → phase spans, memory counters, occupancy — attach a
+//! [`crate::trace::Profiler`] to the launch config instead; this module
+//! stays as the thin aggregate shim for harnesses that only need totals.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
 

@@ -28,6 +28,10 @@ pub use dispatch::{choose, Candidate, Decision};
 pub use intensity::{arithmetic_intensity, bytes_moved, Algorithm};
 pub use logp::{tau_global, tau_local};
 pub use params::ModelParams;
-pub use per_block::{predict_block, qr_panels, BlockPrediction, PanelEstimate};
+pub use per_block::{
+    phase_estimates, predict_block, qr_panels, BlockPrediction, PanelEstimate, PhaseEstimate,
+};
 pub use per_thread::{communication_bound_gflops, register_resident_limit};
-pub use plan::{block_plan, thread_plan, Approach, BlockPlan, ThreadPlan};
+pub use plan::{
+    block_plan, thread_plan, Approach, BlockPlan, ThreadPlan, PER_BLOCK_MAX_DECLARED_REGS,
+};

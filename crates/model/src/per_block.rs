@@ -185,8 +185,9 @@ pub fn qr_panels(p: &ModelParams, plan: &BlockPlan, resident: usize) -> Vec<Pane
     out
 }
 
-/// Per-column LU cost (Table VI "LU Estimates").
-fn lu_column(c: &Costs, p: &ModelParams, n_t: f64, w_t: f64) -> f64 {
+/// Per-column LU cost split into the kernel's two labeled phases:
+/// `(column, rank-1)` (Table VI "LU Estimates").
+fn lu_column_parts(c: &Costs, p: &ModelParams, n_t: f64, w_t: f64) -> (f64, f64) {
     // Column: the diagonal thread computes and publishes 1/a_kk; everyone
     // scales the column and writes l & u to shared memory.
     let p1 = c.op(p.gamma_div + 2.0 * p.beta_chain() * c.ew, 0.0, 1.0);
@@ -201,57 +202,102 @@ fn lu_column(c: &Costs, p: &ModelParams, n_t: f64, w_t: f64) -> f64 {
         c.issue_mix(n_t * w_t, n_t + w_t),
         1.0,
     );
-    p1 + p2 + p3
+    (p1 + p2, p3)
 }
 
-/// Total on-chip compute cycles for one block (no DRAM), per algorithm.
-pub fn block_compute_cycles(
+/// One named phase's predicted cycles. The `label` matches the kernel's
+/// `phase_label` exactly (e.g. `"panel 3: rank-1"`), so a simulated
+/// launch trace can be joined against the model phase by phase.
+#[derive(Clone, Debug)]
+pub struct PhaseEstimate {
+    pub label: String,
+    pub cycles: f64,
+}
+
+/// Predicted cycles of every labeled compute phase of one block, in kernel
+/// order. Summing the entries gives [`block_compute_cycles`]; the labels
+/// match the per-block kernels' `phase_label` calls so per-phase
+/// predicted-vs-simulated discrepancy can be reported (DRAM-bound `load` /
+/// `store` phases are not included here — they depend on the wave size,
+/// see [`BlockPrediction::dram_cycles_per_wave`]).
+pub fn phase_estimates(
     p: &ModelParams,
     plan: &BlockPlan,
     alg: Algorithm,
     resident: usize,
-) -> f64 {
+) -> Vec<PhaseEstimate> {
     let c = Costs::new(p, plan, resident);
     let rdim = plan.rdim;
+    let mut out = Vec::new();
+    let panel_geometry = |k: usize| {
+        let cols = rdim.min(plan.n - k * rdim) as f64;
+        let n_t = (plan.hreg.saturating_sub(k)).max(1) as f64;
+        let w_t = (plan.wreg.saturating_sub(k)).max(1) as f64;
+        (cols, n_t, w_t)
+    };
     match alg {
-        Algorithm::Qr => qr_panels(p, plan, resident).iter().map(|e| e.total()).sum(),
-        Algorithm::Lu => {
-            let mut total = 0.0;
-            for k in 0..plan.panels() {
-                let cols = rdim.min(plan.n - k * rdim) as f64;
-                let n_t = (plan.hreg.saturating_sub(k)).max(1) as f64;
-                let w_t = (plan.wreg.saturating_sub(k)).max(1) as f64;
-                total += cols * lu_column(&c, p, n_t, w_t);
+        Algorithm::Qr => {
+            for e in qr_panels(p, plan, resident) {
+                out.push(PhaseEstimate {
+                    label: format!("panel {}: form-hh", e.panel),
+                    cycles: e.form_hh,
+                });
+                out.push(PhaseEstimate {
+                    label: format!("panel {}: matvec", e.panel),
+                    cycles: e.matvec,
+                });
+                out.push(PhaseEstimate {
+                    label: format!("panel {}: rank-1", e.panel),
+                    cycles: e.rank1,
+                });
             }
-            total
+        }
+        Algorithm::Lu => {
+            for k in 0..plan.panels() {
+                let (cols, n_t, w_t) = panel_geometry(k);
+                let (column, rank1) = lu_column_parts(&c, p, n_t, w_t);
+                out.push(PhaseEstimate {
+                    label: format!("panel {}: column", k + 1),
+                    cycles: cols * column,
+                });
+                out.push(PhaseEstimate {
+                    label: format!("panel {}: rank-1", k + 1),
+                    cycles: cols * rank1,
+                });
+            }
         }
         Algorithm::GaussJordan => {
-            // Like LU but the row operations span the full column height
-            // (elimination above and below the pivot): N stays HREG.
-            let mut total = 0.0;
             for k in 0..plan.panels() {
-                let cols = rdim.min(plan.n - k * rdim) as f64;
+                let (cols, _, w_t) = panel_geometry(k);
                 let n_t = plan.hreg.max(1) as f64;
-                let w_t = (plan.wreg.saturating_sub(k)).max(1) as f64;
-                total += cols * lu_column(&c, p, n_t, w_t);
+                let (column, rank1) = lu_column_parts(&c, p, n_t, w_t);
+                out.push(PhaseEstimate {
+                    label: format!("panel {}: column", k + 1),
+                    cycles: cols * column,
+                });
+                out.push(PhaseEstimate {
+                    label: format!("panel {}: rank-1", k + 1),
+                    cycles: cols * rank1,
+                });
             }
-            total
         }
         Algorithm::Cholesky => {
             // Half of an LU step (lower triangle only) plus the pivot sqrt.
-            let mut total = 0.0;
             for k in 0..plan.panels() {
-                let cols = rdim.min(plan.n - k * rdim) as f64;
-                let n_t = (plan.hreg.saturating_sub(k)).max(1) as f64;
-                let w_t = (plan.wreg.saturating_sub(k)).max(1) as f64;
-                total += cols * (0.5 * lu_column(&c, p, n_t, w_t) + p.gamma_sqrt);
+                let (cols, n_t, w_t) = panel_geometry(k);
+                let (column, rank1) = lu_column_parts(&c, p, n_t, w_t);
+                out.push(PhaseEstimate {
+                    label: format!("panel {}: pivot", k + 1),
+                    cycles: cols * (0.5 * column + p.gamma_sqrt),
+                });
+                out.push(PhaseEstimate {
+                    label: format!("panel {}: syrk", k + 1),
+                    cycles: cols * 0.5 * rank1,
+                });
             }
-            total
         }
         Algorithm::QrSolve | Algorithm::LeastSquares => {
-            // QR of [A|b] plus the upper-triangular back-solve by row
-            // operations (four barriers per column in the implementation).
-            let qr = block_compute_cycles(p, plan, Algorithm::Qr, resident);
+            out = phase_estimates(p, plan, Algorithm::Qr, resident);
             let back: f64 = (0..plan.n)
                 .map(|_| {
                     p.gamma_div
@@ -260,9 +306,27 @@ pub fn block_compute_cycles(
                         + 4.0 * c.sync()
                 })
                 .sum();
-            qr + back
+            out.push(PhaseEstimate {
+                label: String::from("back-substitute"),
+                cycles: back,
+            });
         }
     }
+    out
+}
+
+/// Total on-chip compute cycles for one block (no DRAM), per algorithm:
+/// the sum of every labeled phase in [`phase_estimates`].
+pub fn block_compute_cycles(
+    p: &ModelParams,
+    plan: &BlockPlan,
+    alg: Algorithm,
+    resident: usize,
+) -> f64 {
+    phase_estimates(p, plan, alg, resident)
+        .iter()
+        .map(|e| e.cycles)
+        .sum()
 }
 
 /// A complete one-problem-per-block performance prediction.

@@ -16,6 +16,18 @@ pub const REG_OVERHEAD: usize = 14;
 /// switches, as in the paper).
 pub const TILE_WORDS_64T_MAX: usize = 81;
 
+/// Largest declared register count per thread for which the per-block
+/// approach is still dispatched automatically.
+///
+/// The GF100 register file allows 64 registers per thread; beyond that nvcc
+/// spills to local memory. The paper's Figure 9 shows the per-block kernels
+/// tolerating moderate spill (the dip at n = 64, where an 8x8 tile plus
+/// [`REG_OVERHEAD`] just exceeds the budget, still beats the alternatives),
+/// but past ~110 declared registers the spill traffic overwhelms the
+/// register-resident advantage and the tiled approach wins. This is the
+/// dispatch ceiling, not an architectural limit.
+pub const PER_BLOCK_MAX_DECLARED_REGS: usize = 110;
+
 /// How one batched problem executes on the device.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Approach {

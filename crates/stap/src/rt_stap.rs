@@ -73,10 +73,7 @@ pub fn case_batch(case: &StapCase, seed: u64) -> MatBatch<C32> {
 /// against the CPU baseline.
 pub fn run_case(gpu: &Gpu, case: &StapCase, exec: ExecMode, cpu_threads: usize) -> StapResult {
     let batch = case_batch(case, 0x57A9 + case.m as u64);
-    let opts = RunOpts {
-        exec,
-        ..Default::default()
-    };
+    let opts = RunOpts::builder().exec(exec).build();
     let run = api::qr_batch(gpu, &batch, &opts).expect("valid Table VII batch");
     let flops = regla_model::Algorithm::Qr.flops_complex(case.m, case.n) * case.count as f64;
     let gpu_time = run.time_s();

@@ -7,12 +7,12 @@
 //! cargo run --release --example model_explorer
 //! ```
 
-use regla::gpu_sim::GpuConfig;
+use regla::core::prelude::*;
 use regla::model::{choose, Algorithm, ModelParams};
 
 fn main() {
     let params = ModelParams::table_iv();
-    let cfg = GpuConfig::quadro_6000();
+    let cfg = Gpu::quadro_6000().cfg;
     println!("predictive dispatch for batched single-precision QR on {}\n", cfg.name);
 
     let sizes = [4, 8, 16, 32, 56, 72, 96, 144, 240, 512, 2048, 8192];

@@ -11,8 +11,8 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use regla::core::{api, host, C32, MatBatch, RunOpts};
-use regla::gpu_sim::Gpu;
+use regla::core::host;
+use regla::core::prelude::*;
 
 fn main() {
     let gpu = Gpu::quadro_6000();
@@ -27,7 +27,7 @@ fn main() {
     let mut b = MatBatch::<C32>::zeros(coils, 1, slice);
     for v in 0..slice {
         // Random coil-sensitivity snapshot (12 calibration samples).
-        let s = regla::core::Mat::from_fn(12, coils, |_, _| {
+        let s = Mat::from_fn(12, coils, |_, _| {
             C32::new(rng.random_range(-1.0f32..1.0), rng.random_range(-1.0f32..1.0))
         });
         let mut g = s.hermitian_transpose().matmul(&s);
@@ -43,7 +43,7 @@ fn main() {
     // The 8x8 complex system (64 complex = 128 words) exceeds one thread's
     // registers, so the dispatcher picks the per-block path automatically;
     // force per-thread to see the spill cost, or let it choose:
-    let run = api::gj_solve_batch(&gpu, &a, &b, &RunOpts::default()).unwrap();
+    let run = gj_solve_batch(&gpu, &a, &b, &RunOpts::default()).unwrap();
     println!(
         "solved with {} in {:.3} ms at {:.1} GFLOPS",
         run.approach.name(),

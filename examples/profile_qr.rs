@@ -1,0 +1,68 @@
+//! Profile a batched QR launch: attach a trace sink, print the per-phase
+//! predicted-vs-simulated discrepancy report, and export a Chrome-trace
+//! JSON timeline you can open in Perfetto or chrome://tracing.
+//!
+//! ```sh
+//! cargo run --release --example profile_qr
+//! ```
+
+use regla::core::prelude::*;
+
+fn main() {
+    let gpu = Gpu::quadro_6000();
+
+    // 300 diagonally dominant 56x56 systems — the paper's flagship
+    // per-block size; 300 blocks span two full waves plus a remainder.
+    let n = 56;
+    let count = 300;
+    let mut a = MatBatch::from_fn(n, n, count, |k, i, j| {
+        (((k * 31 + i * 17 + j * 13) % 29) as f32) / 29.0 - 0.4
+    });
+    for k in 0..count {
+        let mut m = a.mat(k);
+        m.make_diagonally_dominant();
+        a.set_mat(k, &m);
+    }
+
+    // The trace sink rides on RunOpts; every launch of the run records a
+    // hierarchical launch -> wave -> phase trace into it.
+    let profiler = Profiler::new();
+    let opts = RunOpts::builder()
+        .approach(Approach::PerBlock)
+        .trace(profiler.clone())
+        .build();
+    let run = qr_batch(&gpu, &a, &opts).unwrap();
+    println!(
+        "factored {count} systems of {n}x{n} in {:.3} ms at {:.1} GFLOPS\n",
+        run.time_s() * 1e3,
+        run.gflops()
+    );
+
+    // The per-phase join against the analytic model (Table VI costs).
+    match &run.profile {
+        Some(report) => print!("{}", report.render()),
+        None => println!("no model prediction for this launch configuration"),
+    }
+
+    // The raw trace: spans per wave, with memory counters on each span.
+    for trace in profiler.launches() {
+        println!(
+            "\ntrace \"{}\": {} waves, {:.0} cycles, occupancy {:.0}%",
+            trace.name,
+            trace.waves.len(),
+            trace.cycles,
+            100.0 * trace.occupancy_fraction
+        );
+        for (label, cycles, c) in trace.phase_totals() {
+            println!(
+                "  {label:<24} {cycles:>10.0} cycles  {:>8} shared accesses, {:>6} conflict replays",
+                c.shared_accesses, c.conflict_replays
+            );
+        }
+    }
+
+    // Chrome-trace export: load the file in Perfetto / chrome://tracing.
+    let path = "profile_qr_trace.json";
+    std::fs::write(path, profiler.chrome_trace_json()).expect("write trace");
+    println!("\nChrome trace written to {path}");
+}

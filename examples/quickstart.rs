@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use regla::core::{api, host, MatBatch, RunOpts};
-use regla::gpu_sim::Gpu;
+use regla::core::host;
+use regla::core::prelude::*;
 use regla::model::{self, Algorithm, ModelParams};
 
 fn main() {
@@ -41,7 +41,7 @@ fn main() {
     }
 
     // Solve on the (simulated) GPU via QR.
-    let run = api::qr_solve_batch(&gpu, &a, &b, &RunOpts::default()).unwrap();
+    let run = qr_solve_batch(&gpu, &a, &b, &RunOpts::default()).unwrap();
     println!(
         "\nexecuted with {} in {:.3} ms at {:.1} GFLOPS",
         run.approach.name(),

@@ -9,8 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use regla::core::{api, MatBatch, RunOpts};
-use regla::gpu_sim::{ExecMode, Gpu};
+use regla::core::prelude::*;
 
 fn main() {
     let gpu = Gpu::quadro_6000();
@@ -26,12 +25,9 @@ fn main() {
     println!(
         "scoring {count} GMM blocks: ({mix}x{feat}) x ({feat}x{frames}) per block"
     );
-    let opts = RunOpts {
-        // Full functional execution: every product is computed and checked.
-        exec: ExecMode::Full,
-        ..Default::default()
-    };
-    let run = api::gemm_batch(&gpu, &means, &frames_b, &opts).unwrap();
+    // Full functional execution: every product is computed and checked.
+    let opts = RunOpts::builder().exec(ExecMode::Full).build();
+    let run = gemm_batch(&gpu, &means, &frames_b, &opts).unwrap();
     println!(
         "GPU time {:.3} ms at {:.1} GFLOPS ({} per 100 ms real-time budget)",
         run.time_s() * 1e3,

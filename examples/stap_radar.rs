@@ -8,13 +8,11 @@
 //! cargo run --release --example stap_radar
 //! ```
 
-use regla::core::RunOpts;
-use regla::gpu_sim::Gpu;
+use regla::core::prelude::*;
 use regla::stap::{
     apply_weights, ca_cfar, solve_weights_gpu, training_matrix, CfarParams, CubeParams,
     DataCube, Target,
 };
-use regla_core::MatBatch;
 
 fn bar(x: f32, max: f32) -> String {
     let w = ((x / max) * 40.0).round() as usize;
@@ -73,7 +71,7 @@ fn main() {
         dof
     );
 
-    let steers: Vec<Vec<regla_core::C32>> = vec![steering.clone(); segments.len()];
+    let steers: Vec<Vec<C32>> = vec![steering.clone(); segments.len()];
     let (weights, stats) = solve_weights_gpu(&gpu, &batch, &steers, &RunOpts::default());
     println!(
         "GPU time {:.3} ms at {:.1} GFLOPS\n",

@@ -8,9 +8,8 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use regla::core::{api, host, C32, MatBatch, RunOpts};
-use regla::gpu_sim::{ExecMode, Gpu};
-use regla::model::Approach;
+use regla::core::host;
+use regla::core::prelude::*;
 
 fn main() {
     let gpu = Gpu::quadro_6000();
@@ -28,12 +27,11 @@ fn main() {
     println!("least squares: {count} problems of {m}x{n} complex\n");
 
     // --- the paper's path: sequential tiled QR inside one block/problem.
-    let tiled_opts = RunOpts {
-        approach: Some(Approach::Tiled),
-        exec: ExecMode::Full,
-        ..Default::default()
-    };
-    let (tiled_run, x_tiled) = api::least_squares_batch(&gpu, &a, &b, &tiled_opts).unwrap();
+    let tiled_opts = RunOpts::builder()
+        .approach(Approach::Tiled)
+        .exec(ExecMode::Full)
+        .build();
+    let (tiled_run, x_tiled) = least_squares_batch(&gpu, &a, &b, &tiled_opts).unwrap();
     println!(
         "sequential tiled QR: {:.3} ms ({:.1} GFLOPS, {} launches)",
         tiled_run.time_s() * 1e3,
@@ -42,7 +40,7 @@ fn main() {
     );
 
     // --- the extension: TSQR reduction tree.
-    let (x_tsqr, tsqr_stats) = api::tsqr_least_squares(&gpu, &a, &b, &RunOpts::default()).unwrap();
+    let (x_tsqr, tsqr_stats) = tsqr_least_squares(&gpu, &a, &b, &RunOpts::default()).unwrap();
     let flops = regla::model::Algorithm::Qr.flops_complex(m, n) * count as f64;
     println!(
         "TSQR tree:           {:.3} ms ({:.1} GFLOPS, {} launches)",

@@ -55,11 +55,10 @@ fn batched_gpu_beats_sequential_hybrid_on_small_problems() {
     let gpu = Gpu::quadro_6000();
     let count = 2016;
     let a = dd_batch(56, count, 2);
-    let opts = RunOpts {
-        exec: ExecMode::Representative,
-        approach: Some(Approach::PerBlock),
-        ..Default::default()
-    };
+    let opts = RunOpts::builder()
+        .exec(ExecMode::Representative)
+        .approach(Approach::PerBlock)
+        .build();
     let gpu_g = api::qr_batch(&gpu, &a, &opts).unwrap().gflops();
     let magma = hybrid_batch_gflops(
         &HybridCfg::magma_like(&gpu.cfg),

@@ -20,11 +20,10 @@ fn dd_batch(n: usize, count: usize) -> MatBatch<f32> {
 }
 
 fn rep(approach: Approach) -> RunOpts {
-    RunOpts {
-        exec: ExecMode::Representative,
-        approach: Some(approach),
-        ..Default::default()
-    }
+    RunOpts::builder()
+        .exec(ExecMode::Representative)
+        .approach(approach)
+        .build()
 }
 
 #[test]

@@ -24,11 +24,10 @@ fn qr_at(
     approach: Approach,
     threads: usize,
 ) -> (Vec<u32>, Vec<u32>, Vec<f64>) {
-    let opts = RunOpts {
-        approach: Some(approach),
-        host_threads: Some(threads),
-        ..RunOpts::default()
-    };
+    let opts = RunOpts::builder()
+        .approach(approach)
+        .host_threads(threads)
+        .build();
     let r = api::qr_batch(gpu, a, &opts).unwrap();
     let out: Vec<u32> = r.out.data().iter().map(|v| v.to_bits()).collect();
     let taus: Vec<u32> = r

@@ -155,10 +155,7 @@ proptest! {
             ((seed as usize + k * 3 + i * 31 + j * 17) % 23) as f32 / 23.0
                 + if i == j { 1.5 } else { 0.0 }
         });
-        let opts = RunOpts {
-            approach: Some(Approach::PerBlock),
-            ..Default::default()
-        };
+        let opts = RunOpts::builder().approach(Approach::PerBlock).build();
         let run = api::qr_batch(&gpu, &a, &opts).unwrap();
         for k in 0..2 {
             let am = a.mat(k);

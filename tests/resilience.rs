@@ -17,11 +17,10 @@ fn dd_batch(n: usize, count: usize, seed: usize) -> MatBatch<f32> {
 }
 
 fn raw(approach: Approach) -> RunOpts {
-    RunOpts {
-        approach: Some(approach),
-        recovery: RecoveryPolicy::off(),
-        ..RunOpts::default()
-    }
+    RunOpts::builder()
+        .approach(approach)
+        .recovery(RecoveryPolicy::off())
+        .build()
 }
 
 /// Singular problems get the same `ZeroPivot` verdict — same column — from
@@ -116,10 +115,7 @@ fn recovery_policy_bounds_are_respected() {
     let run = api::lu_batch(
         &gpu,
         &a,
-        &RunOpts {
-            approach: Some(Approach::PerBlock),
-            ..RunOpts::default()
-        },
+        &RunOpts::builder().approach(Approach::PerBlock).build(),
     )
     .unwrap();
     assert_eq!(run.status[4], ProblemStatus::NonFinite);
@@ -139,11 +135,10 @@ fn fault_campaign_detects_and_recovers_everything() {
     let n = 10;
     let count = 192;
     let a = dd_batch(n, count, 77);
-    let opts = RunOpts {
-        approach: Some(Approach::PerBlock),
-        fault: Some(FaultPlan::new(0xFEED_BEEF, 24)),
-        ..RunOpts::default()
-    };
+    let opts = RunOpts::builder()
+        .approach(Approach::PerBlock)
+        .fault(FaultPlan::new(0xFEED_BEEF, 24))
+        .build();
 
     let run = api::lu_batch(&gpu, &a, &opts).unwrap();
 
@@ -197,10 +192,7 @@ fn malformed_inputs_are_structured_errors() {
     let err = api::qr_batch(
         &gpu,
         &a,
-        &RunOpts {
-            force_threads: Some(7),
-            ..RunOpts::default()
-        },
+        &RunOpts::builder().force_threads(7).build(),
     )
     .unwrap_err();
     assert!(matches!(err, ReglaError::InvalidConfig(_)), "{err}");
@@ -210,10 +202,7 @@ fn malformed_inputs_are_structured_errors() {
     let err = api::qr_batch(
         &gpu,
         &a,
-        &RunOpts {
-            panel: 0,
-            ..RunOpts::default()
-        },
+        &RunOpts::builder().panel(0).build(),
     )
     .unwrap_err();
     assert!(matches!(err, ReglaError::InvalidConfig(_)), "{err}");
@@ -270,12 +259,11 @@ proptest! {
             ((k * 7 + i * 3 + j) % 5) as f32 - 1.0 + if i == j { 4.0 } else { 0.0 }
         });
         let b = MatBatch::<f32>::from_fn(rhs_rows, 1, rhs_count, |_, i, _| i as f32);
-        let opts = RunOpts {
-            approach,
-            force_threads: ft,
-            panel,
-            ..RunOpts::default()
-        };
+        let opts = RunOpts::builder()
+            .approach(approach)
+            .force_threads(ft)
+            .panel(panel)
+            .build();
         // Outcomes (Ok or Err) are irrelevant here; the property is the
         // absence of panics on any input.
         let _ = api::qr_batch(&gpu, &a, &opts);

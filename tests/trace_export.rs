@@ -1,0 +1,94 @@
+//! Per-launch tracing end to end: a profiled batch run must produce a
+//! trace whose span durations reconcile exactly with the launch's reported
+//! cycle totals, export valid Chrome-trace JSON, and be bit-identical
+//! regardless of how many host threads replay the grid.
+
+use regla::core::prelude::*;
+use regla::gpu_sim::validate_chrome_trace;
+
+fn dd_batch(n: usize, count: usize, seed: usize) -> MatBatch<f32> {
+    MatBatch::from_fn(n, n, count, |k, i, j| {
+        let h = ((k * 131 + i * 37 + j * 101 + seed) % 97) as f32 / 97.0;
+        h + if i == j { n as f32 } else { 0.0 }
+    })
+}
+
+/// 300 blocks = two full 112-block waves plus a 76-block remainder on the
+/// simulated Quadro 6000 — exercises both the full-wave and remainder
+/// span paths.
+fn profiled_qr(count: usize, host_threads: Option<usize>) -> (BatchRun<f32>, Profiler) {
+    let gpu = Gpu::quadro_6000();
+    let a = dd_batch(24, count, 7);
+    let profiler = Profiler::new();
+    let mut b = RunOpts::builder()
+        .approach(Approach::PerBlock)
+        .trace(profiler.clone());
+    if let Some(t) = host_threads {
+        b = b.host_threads(t);
+    }
+    let run = qr_batch(&gpu, &a, &b.build()).unwrap();
+    (run, profiler)
+}
+
+#[test]
+fn span_totals_reconcile_with_launch_stats() {
+    let (run, profiler) = profiled_qr(300, None);
+    let traces = profiler.launches();
+    assert_eq!(traces.len(), run.stats.launches.len());
+    for (trace, stats) in traces.iter().zip(&run.stats.launches) {
+        assert_eq!(trace.cycles, stats.cycles);
+        assert_eq!(trace.waves.len(), stats.waves);
+        // Wave span durations partition the launch exactly.
+        let total = trace.span_cycle_total();
+        assert!(
+            (total - stats.cycles).abs() <= 1e-9 * stats.cycles,
+            "span total {total} != launch cycles {}",
+            stats.cycles
+        );
+        // Every wave's phase spans tile the wave with no gaps.
+        for w in &trace.waves {
+            let mut cursor = w.start_cycle;
+            for p in &w.phases {
+                assert_eq!(p.start_cycle, cursor, "gap before {}", p.label);
+                cursor = p.end_cycle;
+            }
+            assert!((cursor - w.end_cycle).abs() <= 1e-9 * trace.cycles);
+        }
+    }
+    // The joined profile agrees with the trace it came from.
+    let report = run.profile.expect("per-block QR yields a profile");
+    let wave0: f64 = traces[0].waves[0].phases.iter().map(|p| p.cycles()).sum();
+    assert!((report.simulated_wave_cycles - wave0).abs() <= 1e-9 * wave0);
+}
+
+#[test]
+fn chrome_export_round_trips_through_the_validator() {
+    let (run, profiler) = profiled_qr(300, None);
+    let json = profiler.chrome_trace_json();
+    let sum = validate_chrome_trace(&json).expect("exported trace must parse");
+    assert_eq!(sum.processes, profiler.launch_count());
+    assert!(sum.complete_events > 0);
+    // The validator re-derives per-wave span cycles from the JSON "args";
+    // they must reproduce the launch totals bit-for-bit... within the
+    // float-to-decimal round trip of the text format.
+    let total: f64 = run.stats.launches.iter().map(|l| l.cycles).sum();
+    assert!(
+        (sum.wave_span_cycles - total).abs() <= 1e-6 * total,
+        "JSON wave spans {} vs launch cycles {total}",
+        sum.wave_span_cycles
+    );
+}
+
+#[test]
+fn traces_are_identical_across_host_thread_counts() {
+    let (_, base) = profiled_qr(300, Some(1));
+    let json1 = base.chrome_trace_json();
+    for threads in [2, 4, 7] {
+        let (_, p) = profiled_qr(300, Some(threads));
+        assert_eq!(
+            json1,
+            p.chrome_trace_json(),
+            "trace differs at host_threads={threads}"
+        );
+    }
+}
