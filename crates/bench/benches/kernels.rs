@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use regla_bench::workloads::{c32_batch, f32_batch};
-use regla_core::{api, Layout, RunOpts};
-use regla_gpu_sim::{ExecMode, Gpu};
+use regla_core::{Layout, Op, RunOpts, Session};
+use regla_gpu_sim::ExecMode;
 use regla_model::Approach;
 use std::hint::black_box;
 
@@ -19,13 +19,13 @@ fn rep(approach: Approach) -> RunOpts {
 
 /// Figure 4's hot path: the per-thread kernels.
 fn bench_per_thread(c: &mut Criterion) {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut g = c.benchmark_group("per_thread");
     g.sample_size(20);
     for n in [4usize, 8, 12] {
         let a = f32_batch(n, n, 4096, true, 4);
         g.bench_with_input(BenchmarkId::new("qr", n), &n, |b, _| {
-            b.iter(|| black_box(api::qr_batch(&gpu, &a, &rep(Approach::PerThread)).unwrap().gflops()))
+            b.iter(|| black_box(session.run_with(Op::Qr, &a, None, &rep(Approach::PerThread)).unwrap().run.gflops()))
         });
     }
     g.finish();
@@ -33,16 +33,16 @@ fn bench_per_thread(c: &mut Criterion) {
 
 /// Figure 9 / Table V hot path: per-block factorization launches.
 fn bench_per_block(c: &mut Criterion) {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut g = c.benchmark_group("per_block");
     g.sample_size(10);
     for n in [24usize, 56, 104] {
         let a = f32_batch(n, n, 1120, true, 5);
         g.bench_with_input(BenchmarkId::new("qr", n), &n, |b, _| {
-            b.iter(|| black_box(api::qr_batch(&gpu, &a, &rep(Approach::PerBlock)).unwrap().gflops()))
+            b.iter(|| black_box(session.run_with(Op::Qr, &a, None, &rep(Approach::PerBlock)).unwrap().run.gflops()))
         });
         g.bench_with_input(BenchmarkId::new("lu", n), &n, |b, _| {
-            b.iter(|| black_box(api::lu_batch(&gpu, &a, &rep(Approach::PerBlock)).unwrap().gflops()))
+            b.iter(|| black_box(session.run_with(Op::Lu, &a, None, &rep(Approach::PerBlock)).unwrap().run.gflops()))
         });
     }
     g.finish();
@@ -50,7 +50,7 @@ fn bench_per_block(c: &mut Criterion) {
 
 /// Figure 7's layout variants.
 fn bench_layouts(c: &mut Criterion) {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut g = c.benchmark_group("layouts_fig7");
     g.sample_size(10);
     let n = 48;
@@ -63,7 +63,7 @@ fn bench_layouts(c: &mut Criterion) {
             .layout(layout)
             .build();
         g.bench_function(layout.name(), |bch| {
-            bch.iter(|| black_box(api::qr_solve_batch(&gpu, &a, &b2, &opts).unwrap().gflops()))
+            bch.iter(|| black_box(session.run_with(Op::QrSolve, &a, Some(&b2), &opts).unwrap().run.gflops()))
         });
     }
     g.finish();
@@ -71,32 +71,32 @@ fn bench_layouts(c: &mut Criterion) {
 
 /// Table VII's hot path: batched complex QR (per-block and tiled).
 fn bench_stap(c: &mut Criterion) {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut g = c.benchmark_group("stap_table7");
     g.sample_size(10);
     let small = c32_batch(80, 16, 64, false, 9);
     g.bench_function("complex_qr_80x16", |b| {
         b.iter(|| {
             black_box(
-                api::qr_batch(&gpu, &small, &rep(Approach::PerBlock)).unwrap().gflops(),
+                session.run_with(Op::Qr, &small, None, &rep(Approach::PerBlock)).unwrap().run.gflops(),
             )
         })
     });
     let tall = c32_batch(240, 66, 8, false, 10);
     g.bench_function("complex_qr_240x66_tiled", |b| {
-        b.iter(|| black_box(api::qr_batch(&gpu, &tall, &rep(Approach::Tiled)).unwrap().gflops()))
+        b.iter(|| black_box(session.run_with(Op::Qr, &tall, None, &rep(Approach::Tiled)).unwrap().run.gflops()))
     });
     g.finish();
 }
 
 /// Full functional execution (all blocks computed), the correctness path.
 fn bench_full_exec(c: &mut Criterion) {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut g = c.benchmark_group("full_exec");
     g.sample_size(10);
     let a = f32_batch(24, 24, 256, true, 11);
     g.bench_function("qr_24x24_x256_full", |b| {
-        b.iter(|| black_box(api::qr_batch(&gpu, &a, &RunOpts::default()).unwrap().gflops()))
+        b.iter(|| black_box(session.run_with(Op::Qr, &a, None, &RunOpts::default()).unwrap().run.gflops()))
     });
     g.finish();
 }

@@ -47,6 +47,49 @@ pub fn discrepancy_rows() -> Vec<DiscrepancyRow> {
     DISCREPANCY.lock().unwrap().clone()
 }
 
+/// One (device, op, shape) summary row from the `pipeline` experiment:
+/// end-to-end time of the chunked stream pipeline against the synchronous
+/// schedule, measured on the timeline and predicted by the model.
+#[derive(Clone, Debug)]
+pub struct PipelineRow {
+    /// Device configuration name (e.g. `quadro_6000_dual_copy`).
+    pub config: String,
+    pub op: String,
+    pub shape: String,
+    pub batch: usize,
+    pub chunks: usize,
+    pub streams: usize,
+    pub copy_engines: usize,
+    /// Synchronous (no-overlap) end-to-end milliseconds of the same
+    /// chunked schedule.
+    pub sync_ms: f64,
+    /// Resolved stream-timeline end-to-end milliseconds.
+    pub pipelined_ms: f64,
+    /// `sync_ms / pipelined_ms`.
+    pub speedup: f64,
+    /// The model's predicted end-to-end speedup for the same schedule.
+    pub predicted_speedup: f64,
+    /// Signed `(predicted_pipelined - pipelined) / pipelined` in percent.
+    pub model_error_pct: f64,
+    /// False when the kernel stage reused the measured mean (no analytic
+    /// kernel model for the op) rather than a model prediction.
+    pub kernel_modeled: bool,
+}
+
+static PIPELINE: Mutex<Vec<PipelineRow>> = Mutex::new(Vec::new());
+
+/// File the pipeline experiment's summary rows for the harness run;
+/// [`Collector::to_json`] embeds them in `results/BENCH_sim.json`.
+/// Replaces any previously filed rows (the experiment is the only writer).
+pub fn record_pipeline(rows: Vec<PipelineRow>) {
+    *PIPELINE.lock().unwrap() = rows;
+}
+
+/// Snapshot of the currently filed pipeline rows.
+pub fn pipeline_rows() -> Vec<PipelineRow> {
+    PIPELINE.lock().unwrap().clone()
+}
+
 /// One experiment's host-side cost.
 #[derive(Clone, Debug)]
 pub struct ExperimentTelemetry {
@@ -73,6 +116,7 @@ impl Collector {
         telemetry::take();
         recovery_take();
         record_discrepancy(Vec::new());
+        record_pipeline(Vec::new());
         Collector::default()
     }
 
@@ -159,6 +203,32 @@ impl Collector {
                 r.phases,
                 r.mean_abs_error_pct,
                 r.total_error_pct,
+                if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n  \"pipeline\": [\n");
+        let rows = pipeline_rows();
+        for (i, r) in rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"config\": \"{}\", \"op\": \"{}\", \"shape\": \"{}\", \
+                 \"batch\": {}, \"chunks\": {}, \"streams\": {}, \
+                 \"copy_engines\": {}, \"sync_ms\": {:.4}, \
+                 \"pipelined_ms\": {:.4}, \"speedup\": {:.3}, \
+                 \"predicted_speedup\": {:.3}, \"model_error_pct\": {:.2}, \
+                 \"kernel_modeled\": {}}}{}\n",
+                escape(&r.config),
+                escape(&r.op),
+                escape(&r.shape),
+                r.batch,
+                r.chunks,
+                r.streams,
+                r.copy_engines,
+                r.sync_ms,
+                r.pipelined_ms,
+                r.speedup,
+                r.predicted_speedup,
+                r.model_error_pct,
+                r.kernel_modeled,
                 if i + 1 < rows.len() { "," } else { "" },
             ));
         }

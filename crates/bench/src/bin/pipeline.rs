@@ -1,0 +1,6 @@
+//! Regenerates the stream-pipelining table: chunked copy/compute overlap
+//! on the single- and dual-copy-engine device configurations.
+fn main() {
+    let fast = regla_bench::fast_mode();
+    print!("{}", regla_bench::experiments::pipeline(fast));
+}

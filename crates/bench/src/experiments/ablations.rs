@@ -3,8 +3,8 @@
 
 use crate::report::{f, Table};
 use crate::workloads::{f32_batch, sweep_count};
-use regla_core::{api, RunOpts};
-use regla_gpu_sim::{ExecMode, Gpu, MathMode};
+use regla_core::{Op, RunOpts, Session};
+use regla_gpu_sim::{ExecMode, MathMode};
 use regla_model::Approach;
 
 fn base(approach: Approach) -> RunOpts {
@@ -18,7 +18,7 @@ fn base(approach: Approach) -> RunOpts {
 /// "the median performance penalty for not using these hardware functions
 /// is 5.6%" (per-thread) and "30%" (per-block).
 pub fn ablation_fastmath(fast: bool) -> String {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let full = if fast { 1120 } else { 8000 };
     let mut t = Table::new(
         "Ablation — hardware (fast) vs software (precise) division & sqrt",
@@ -29,9 +29,9 @@ pub fn ablation_fastmath(fast: bool) -> String {
     for n in [4usize, 5, 6, 7] {
         let a = f32_batch(n, n, sweep_count(n, 64_000.min(full * 8)), true, 0xF0 + n as u64);
         let mut o = base(Approach::PerThread);
-        let fast_g = api::qr_batch(&gpu, &a, &o).unwrap().gflops();
+        let fast_g = session.run_with(Op::Qr, &a, None, &o).unwrap().run.gflops();
         o.math = MathMode::Precise;
-        let prec_g = api::qr_batch(&gpu, &a, &o).unwrap().gflops();
+        let prec_g = session.run_with(Op::Qr, &a, None, &o).unwrap().run.gflops();
         let pen = 100.0 * (1.0 - prec_g / fast_g);
         penalties_pt.push(pen);
         t.row(&["per-thread".into(), n.to_string(), f(fast_g), f(prec_g), f(pen)]);
@@ -39,9 +39,9 @@ pub fn ablation_fastmath(fast: bool) -> String {
     for n in [24usize, 40, 56, 72] {
         let a = f32_batch(n, n, sweep_count(n, full), true, 0xF8 + n as u64);
         let mut o = base(Approach::PerBlock);
-        let fast_g = api::qr_batch(&gpu, &a, &o).unwrap().gflops();
+        let fast_g = session.run_with(Op::Qr, &a, None, &o).unwrap().run.gflops();
         o.math = MathMode::Precise;
-        let prec_g = api::qr_batch(&gpu, &a, &o).unwrap().gflops();
+        let prec_g = session.run_with(Op::Qr, &a, None, &o).unwrap().run.gflops();
         let pen = 100.0 * (1.0 - prec_g / fast_g);
         penalties_pb.push(pen);
         t.row(&["per-block".into(), n.to_string(), f(fast_g), f(prec_g), f(pen)]);
@@ -63,7 +63,7 @@ pub fn ablation_fastmath(fast: bool) -> String {
 /// Serial vs tree reductions in the per-block QR (Section V-D: "we choose
 /// to do serial reductions instead of parallel").
 pub fn ablation_reduction(fast: bool) -> String {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let full = if fast { 1120 } else { 8000 };
     let mut t = Table::new(
         "Ablation — serial vs tree reductions in per-block QR (GFLOPS)",
@@ -71,10 +71,10 @@ pub fn ablation_reduction(fast: bool) -> String {
     );
     for n in [16usize, 32, 48, 64, 96, 128] {
         let a = f32_batch(n, n, sweep_count(n, full), true, 0xE0 + n as u64);
-        let serial = api::qr_batch(&gpu, &a, &base(Approach::PerBlock)).unwrap().gflops();
+        let serial = session.run_with(Op::Qr, &a, None, &base(Approach::PerBlock)).unwrap().run.gflops();
         let mut o = base(Approach::PerBlock);
         o.tree_reduction = true;
-        let tree = api::qr_batch(&gpu, &a, &o).unwrap().gflops();
+        let tree = session.run_with(Op::Qr, &a, None, &o).unwrap().run.gflops();
         t.row(&[
             n.to_string(),
             f(serial),
@@ -93,7 +93,7 @@ pub fn ablation_reduction(fast: bool) -> String {
 /// 64 vs 256 threads per block across sizes (the occupancy trade behind
 /// Figure 9's drop at n = 80).
 pub fn ablation_threads(fast: bool) -> String {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let full = if fast { 1120 } else { 8000 };
     let mut t = Table::new(
         "Ablation — threads per block for per-block QR (GFLOPS)",
@@ -105,7 +105,7 @@ pub fn ablation_threads(fast: bool) -> String {
         let g = |threads: usize| {
             let mut o = base(Approach::PerBlock);
             o.force_threads = Some(threads);
-            api::qr_batch(&gpu, &a, &o).unwrap().gflops()
+            session.run_with(Op::Qr, &a, None, &o).unwrap().run.gflops()
         };
         let g64 = g(64);
         let g256 = g(256);
@@ -130,7 +130,7 @@ pub fn ablation_threads(fast: bool) -> String {
 /// Batch-size saturation at the paper's flagship size: how many problems
 /// are needed to saturate the chip (the premise of batching).
 pub fn ablation_batch(fast: bool) -> String {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut t = Table::new(
         "Ablation — throughput vs batch size (56x56 per-block QR)",
         &["problems", "waves", "GFLOPS", "% of saturated"],
@@ -142,11 +142,11 @@ pub fn ablation_batch(fast: bool) -> String {
     };
     let sat = {
         let a = f32_batch(56, 56, 8064, true, 0xB5);
-        api::qr_batch(&gpu, &a, &base(Approach::PerBlock)).unwrap().gflops()
+        session.run_with(Op::Qr, &a, None, &base(Approach::PerBlock)).unwrap().run.gflops()
     };
     for &c in counts {
         let a = f32_batch(56, 56, c, true, 0xB6);
-        let run = api::qr_batch(&gpu, &a, &base(Approach::PerBlock)).unwrap();
+        let run = session.run_with(Op::Qr, &a, None, &base(Approach::PerBlock)).unwrap().run;
         let waves = run.stats.launches[0].waves;
         let g = run.gflops();
         t.row(&[
@@ -167,7 +167,7 @@ pub fn ablation_batch(fast: bool) -> String {
 /// Hoisted vs Listing-7-literal LU trailing update, against the paper's
 /// measured Table V cycles.
 pub fn ablation_lu_style(fast: bool) -> String {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let count = if fast { 1120 } else { 8000 };
     let a = f32_batch(56, 56, count, true, 0xB7);
     let mut t = Table::new(
@@ -177,7 +177,7 @@ pub fn ablation_lu_style(fast: bool) -> String {
     let run_style = |listing7: bool| {
         let mut o = base(Approach::PerBlock);
         o.lu_listing7 = listing7;
-        let run = api::lu_batch(&gpu, &a, &o).unwrap();
+        let run = session.run_with(Op::Lu, &a, None, &o).unwrap().run;
         let s = &run.stats.launches[0];
         let compute = s.wave_cycles() - s.cycles_for("load") - s.cycles_for("store");
         (compute, run.gflops())
@@ -200,7 +200,7 @@ pub fn ablation_lu_style(fast: bool) -> String {
 /// even when the batch alone cannot.
 pub fn ablation_tsqr(fast: bool) -> String {
     use crate::workloads::c32_batch;
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut t = Table::new(
         "Ablation — sequential tiled QR vs TSQR (complex least squares, GFLOPS)",
         &["shape", "batch", "tiled (paper's path)", "TSQR (ref [6])", "TSQR speedup"],
@@ -216,10 +216,10 @@ pub fn ablation_tsqr(fast: bool) -> String {
                 .exec(ExecMode::Representative)
                 .approach(Approach::Tiled)
                 .build();
-            let (tiled_run, _) = regla_core::api::least_squares_batch(&gpu, &a, &b, &o).unwrap();
+            let tiled_run = session.run_with(Op::LeastSquares, &a, Some(&b), &o).unwrap().run;
             let tiled_g = flops / tiled_run.time_s() / 1e9;
             let ot = RunOpts::builder().exec(ExecMode::Representative).build();
-            let (_, tsqr_stats) = regla_core::api::tsqr_least_squares(&gpu, &a, &b, &ot).unwrap();
+            let (_, tsqr_stats) = session.tsqr_least_squares_with(&a, &b, &ot).unwrap();
             let tsqr_g = flops / tsqr_stats.time_s / 1e9;
             t.row(&[
                 format!("{m}x{n}"),
@@ -244,7 +244,8 @@ pub fn ablation_tsqr(fast: bool) -> String {
 pub fn ablation_streams(fast: bool) -> String {
     use regla_core::global_level::{global_level_qr, GlobalLevelOpts};
     use regla_core::per_block::SubMat;
-    use regla_gpu_sim::GlobalMemory;
+    use regla_gpu_sim::{GlobalMemory, Gpu};
+    let session = Session::new();
     let gpu = Gpu::quadro_6000();
     let mut t = Table::new(
         "Section VI-C — QR via global-level CUBLAS-style calls (GFLOPS)",
@@ -257,7 +258,7 @@ pub fn ablation_streams(fast: bool) -> String {
         let count = if fast { 112 } else { 448 };
         let a = f32_batch(n, n, count, true, 0x600 + n as u64);
         let flops = regla_model::Algorithm::Qr.flops(n, n) * count as f64;
-        let pb = api::qr_batch(&gpu, &a, &base(Approach::PerBlock)).unwrap().gflops();
+        let pb = session.run_with(Op::Qr, &a, None, &base(Approach::PerBlock)).unwrap().run.gflops();
         let cublas = |streams: usize| {
             let mut gmem = GlobalMemory::new(a.words_per_mat() * count + count * (n + 8) + 4096);
             let ptr = a.to_device(&mut gmem);

@@ -5,8 +5,8 @@
 
 use crate::report::{f, Table};
 use crate::workloads::{f32_batch, sweep_count};
-use regla_core::{api, RunOpts};
-use regla_gpu_sim::{ExecMode, Gpu};
+use regla_core::{Op, RunOpts, Session};
+use regla_gpu_sim::ExecMode;
 use regla_model::{per_block, per_thread, Algorithm, Approach, ModelParams};
 
 fn rep(approach: Approach) -> RunOpts {
@@ -18,7 +18,7 @@ fn rep(approach: Approach) -> RunOpts {
 
 /// Prediction error across the Figure 4 + Figure 9 size ranges.
 pub fn model_accuracy(fast: bool) -> String {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let p = ModelParams::table_iv();
     let full = if fast { 1120 } else { 8000 };
     let mut t = Table::new(
@@ -31,7 +31,10 @@ pub fn model_accuracy(fast: bool) -> String {
     // One problem per thread (Figure 4's range).
     for n in [3usize, 4, 5, 6, 7, 8, 10, 12] {
         let a = f32_batch(n, n, sweep_count(n, 8 * full), true, 0x200 + n as u64);
-        let run = api::qr_batch(&gpu, &a, &rep(Approach::PerThread)).unwrap();
+        let run = session
+            .run_with(Op::Qr, &a, None, &rep(Approach::PerThread))
+            .unwrap()
+            .run;
         let meas = run.gflops();
         let pred = per_thread::predicted_gflops(&p, Algorithm::Qr, n, 4);
         let err = 100.0 * (meas - pred) / pred;
@@ -57,9 +60,12 @@ pub fn model_accuracy(fast: bool) -> String {
     while n <= 144 {
         let count = sweep_count(n, full);
         let a = f32_batch(n, n, count, true, 0x300 + n as u64);
-        let run = api::qr_batch(&gpu, &a, &rep(Approach::PerBlock)).unwrap();
+        let run = session
+            .run_with(Op::Qr, &a, None, &rep(Approach::PerBlock))
+            .unwrap()
+            .run;
         let meas = run.gflops();
-        let pred = per_block::predict_block(&p, &gpu.cfg, Algorithm::Qr, n, n, 0, 1, count).gflops;
+        let pred = per_block::predict_block(&p, session.config(), Algorithm::Qr, n, n, 0, 1, count).gflops;
         let err = 100.0 * (meas - pred) / pred;
         let spilled = regla_model::block_plan(n, n, 0, 1).spills();
         if spilled {

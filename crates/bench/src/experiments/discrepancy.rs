@@ -14,8 +14,8 @@
 use crate::bench_telemetry::{self, DiscrepancyRow};
 use crate::report::{f, Table};
 use crate::workloads::f32_batch;
-use regla_core::{api, BatchRun, ProfileReport, RunOpts};
-use regla_gpu_sim::{Gpu, Profiler};
+use regla_core::{BatchRun, Op, ProfileReport, RunOpts, Session};
+use regla_gpu_sim::Profiler;
 use regla_model::Approach;
 
 /// Worst-offending phase of a report: `(label, |error| %)`.
@@ -29,7 +29,7 @@ fn worst_phase(r: &ProfileReport) -> (String, f64) {
 
 /// Per-phase predicted-vs-simulated discrepancy across algorithms/shapes.
 pub fn model_discrepancy(fast: bool) -> String {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let count = if fast { 224 } else { 2016 };
     let pt_count = if fast { 3584 } else { 64_000 };
     let profiler = Profiler::new();
@@ -76,34 +76,49 @@ pub fn model_discrepancy(fast: bool) -> String {
     // Per-thread roofline (Section IV): one whole-launch comparison.
     for n in [5usize, 7] {
         let a = f32_batch(n, n, pt_count, true, 0x400 + n as u64);
-        let run = api::qr_batch(&gpu, &a, &opts(Approach::PerThread)).unwrap();
+        let run = session
+            .run_with(Op::Qr, &a, None, &opts(Approach::PerThread))
+            .unwrap()
+            .run;
         file(&mut t, &run, format!("{n}x{n}"));
     }
 
     // Per-block phases (Section V-D): panel-by-panel joins.
     for n in [24usize, 56] {
         let a = f32_batch(n, n, count, true, 0x410 + n as u64);
-        let run = api::qr_batch(&gpu, &a, &opts(Approach::PerBlock)).unwrap();
+        let run = session
+            .run_with(Op::Qr, &a, None, &opts(Approach::PerBlock))
+            .unwrap()
+            .run;
         file(&mut t, &run, format!("{n}x{n}"));
     }
     {
         let n = 56;
         let a = f32_batch(n, n, count, true, 0x420);
-        let run = api::lu_batch(&gpu, &a, &opts(Approach::PerBlock)).unwrap();
+        let run = session
+            .run_with(Op::Lu, &a, None, &opts(Approach::PerBlock))
+            .unwrap()
+            .run;
         file(&mut t, &run, format!("{n}x{n}"));
     }
     {
         let n = 32;
         let a = f32_batch(n, n, count, true, 0x430);
         let b = f32_batch(n, 1, count, false, 0x431);
-        let run = api::gj_solve_batch(&gpu, &a, &b, &opts(Approach::PerBlock)).unwrap();
+        let run = session
+            .run_with(Op::GjSolve, &a, Some(&b), &opts(Approach::PerBlock))
+            .unwrap()
+            .run;
         file(&mut t, &run, format!("{n}x{n}"));
     }
     {
         let n = 40;
         let a = f32_batch(n, n, count, true, 0x440);
         let b = f32_batch(n, 1, count, false, 0x441);
-        let run = api::qr_solve_batch(&gpu, &a, &b, &opts(Approach::PerBlock)).unwrap();
+        let run = session
+            .run_with(Op::QrSolve, &a, Some(&b), &opts(Approach::PerBlock))
+            .unwrap()
+            .run;
         file(&mut t, &run, format!("{n}x{n}+1"));
     }
 

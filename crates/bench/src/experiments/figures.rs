@@ -2,7 +2,7 @@
 
 use crate::report::{f, Table};
 use crate::workloads::{f32_batch, sweep_count};
-use regla_core::{api, Layout, RunOpts};
+use regla_core::{Layout, Op, RunOpts, Session};
 use regla_cpu::{mkl_reference_gflops, timed_batch, CpuAlg};
 use regla_gpu_sim::{ExecMode, Gpu};
 use regla_hybrid::{hybrid_batch_gflops, HybridCfg, Start};
@@ -65,7 +65,7 @@ pub fn fig2(_fast: bool) -> String {
 
 /// Figure 4 — one problem per thread, measured vs the bandwidth roofline.
 pub fn fig4(fast: bool) -> String {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let params = ModelParams::table_iv();
     let full = if fast { 6400 } else { 64000 };
     let mut t = Table::new(
@@ -77,8 +77,14 @@ pub fn fig4(fast: bool) -> String {
     for n in 3..=12 {
         let count = sweep_count(n, full);
         let a = f32_batch(n, n, count, true, 0x40 + n as u64);
-        let qr = api::qr_batch(&gpu, &a, &sampled_opts(Approach::PerThread, 8)).unwrap();
-        let lu = api::lu_batch(&gpu, &a, &sampled_opts(Approach::PerThread, 8)).unwrap();
+        let qr = session
+            .run_with(Op::Qr, &a, None, &sampled_opts(Approach::PerThread, 8))
+            .unwrap()
+            .run;
+        let lu = session
+            .run_with(Op::Lu, &a, None, &sampled_opts(Approach::PerThread, 8))
+            .unwrap()
+            .run;
         let qr_pred = per_thread::predicted_gflops(&params, Algorithm::Qr, n, 4);
         let lu_pred = per_thread::predicted_gflops(&params, Algorithm::Lu, n, 4);
         let spilled = lu.stats.launches[0].occupancy.regs_spilled > 0;
@@ -101,7 +107,7 @@ pub fn fig4(fast: bool) -> String {
 
 /// Figure 7 — 2D cyclic vs 1D row/column cyclic layouts for QR solves.
 pub fn fig7(fast: bool) -> String {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let full = if fast { 560 } else { 2016 };
     let mut t = Table::new(
         "Figure 7 — solving linear systems with QR, layouts compared (GFLOPS)",
@@ -118,7 +124,7 @@ pub fn fig7(fast: bool) -> String {
                 .approach(Approach::PerBlock)
                 .layout(layout)
                 .build();
-            let run = api::qr_solve_batch(&gpu, &a, &b, &opts).unwrap();
+            let run = session.run_with(Op::QrSolve, &a, Some(&b), &opts).unwrap().run;
             cells.push(f(run.gflops()));
         }
         t.row(&cells);
@@ -133,10 +139,13 @@ pub fn fig7(fast: bool) -> String {
 
 /// Figure 8 — per-panel cycle breakdown of the 56x56 QR.
 pub fn fig8(fast: bool) -> String {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let count = if fast { 1120 } else { 8000 };
     let a = f32_batch(56, 56, count, true, 0x88);
-    let run = api::qr_batch(&gpu, &a, &rep_opts(Approach::PerBlock)).unwrap();
+    let run = session
+        .run_with(Op::Qr, &a, None, &rep_opts(Approach::PerBlock))
+        .unwrap()
+        .run;
     let stats = &run.stats.launches[0];
     let params = ModelParams::table_iv();
     let plan = regla_model::block_plan(56, 56, 0, 1);
@@ -174,29 +183,29 @@ pub fn fig8(fast: bool) -> String {
 }
 
 /// Shared machinery for Figures 9-12: measured per-block GFLOPS.
-fn per_block_gflops(gpu: &Gpu, alg: CpuAlg, n: usize, count: usize) -> f64 {
+fn per_block_gflops(session: &Session, alg: CpuAlg, n: usize, count: usize) -> f64 {
     let a = f32_batch(n, n, count, true, 0x90 + n as u64);
-    match alg {
-        CpuAlg::LuNoPivot | CpuAlg::LuPivot => {
-            api::lu_batch(gpu, &a, &rep_opts(Approach::PerBlock)).unwrap().gflops()
-        }
-        CpuAlg::Qr => api::qr_batch(gpu, &a, &rep_opts(Approach::PerBlock)).unwrap().gflops(),
+    let opts = rep_opts(Approach::PerBlock);
+    let run = match alg {
+        CpuAlg::LuNoPivot | CpuAlg::LuPivot => session.run_with(Op::Lu, &a, None, &opts),
+        CpuAlg::Qr => session.run_with(Op::Qr, &a, None, &opts),
         CpuAlg::QrSolve => {
             let b = f32_batch(n, 1, count, false, 0x91 + n as u64);
-            api::qr_solve_batch(gpu, &a, &b, &rep_opts(Approach::PerBlock)).unwrap().gflops()
+            session.run_with(Op::QrSolve, &a, Some(&b), &opts)
         }
         CpuAlg::GjSolve => {
             let b = f32_batch(n, 1, count, false, 0x92 + n as u64);
-            api::gj_solve_batch(gpu, &a, &b, &rep_opts(Approach::PerBlock)).unwrap().gflops()
+            session.run_with(Op::GjSolve, &a, Some(&b), &opts)
         }
-        CpuAlg::Cholesky => api::cholesky_batch(gpu, &a, &rep_opts(Approach::PerBlock)).unwrap().gflops(),
-    }
+        CpuAlg::Cholesky => session.run_with(Op::Cholesky, &a, None, &opts),
+    };
+    run.unwrap().run.gflops()
 }
 
 /// Figure 9 — one problem per block, measured vs model.
 pub fn fig9(fast: bool) -> String {
-    let gpu = Gpu::quadro_6000();
-    let cfgd = &gpu.cfg;
+    let session = Session::new();
+    let cfgd = session.config();
     let params = ModelParams::table_iv();
     let full = if fast { 1120 } else { 8000 };
     let step = if fast { 16 } else { 8 };
@@ -209,8 +218,8 @@ pub fn fig9(fast: bool) -> String {
     let mut n = 8;
     while n <= 144 {
         let count = sweep_count(n, full);
-        let qr = per_block_gflops(&gpu, CpuAlg::Qr, n, count);
-        let lu = per_block_gflops(&gpu, CpuAlg::LuNoPivot, n, count);
+        let qr = per_block_gflops(&session, CpuAlg::Qr, n, count);
+        let lu = per_block_gflops(&session, CpuAlg::LuNoPivot, n, count);
         let qr_pred = predict_block(&params, cfgd, Algorithm::Qr, n, n, 0, 1, count).gflops;
         let lu_pred = predict_block(&params, cfgd, Algorithm::Lu, n, n, 0, 1, count).gflops;
         let plan = regla_model::block_plan(n, n, 0, 1);
@@ -235,8 +244,8 @@ pub fn fig9(fast: bool) -> String {
 
 /// Figure 10 — the design space: per-thread, per-block, hybrid.
 pub fn fig10(fast: bool) -> String {
-    let gpu = Gpu::quadro_6000();
-    let hybrid = HybridCfg::magma_like(&gpu.cfg);
+    let session = Session::new();
+    let hybrid = HybridCfg::magma_like(session.config());
     let mut t = Table::new(
         "Figure 10 — many QR factorizations: three approaches (GFLOPS)",
         &["n", "per-thread", "per-block", "hybrid CPU+GPU"],
@@ -253,7 +262,11 @@ pub fn fig10(fast: bool) -> String {
         let pt = if n <= 128 {
             let count = sweep_count(n, 64000);
             let a = f32_batch(n, n, count, true, 0xA0 + n as u64);
-            let g = api::qr_batch(&gpu, &a, &sampled_opts(Approach::PerThread, 8)).unwrap().gflops();
+            let g = session
+                .run_with(Op::Qr, &a, None, &sampled_opts(Approach::PerThread, 8))
+                .unwrap()
+                .run
+                .gflops();
             last_pt = g;
             f(g)
         } else {
@@ -262,7 +275,7 @@ pub fn fig10(fast: bool) -> String {
         // Per-block: measured while a block can still hold (or spill) it.
         let pb = if (8..=512).contains(&n) {
             let count = sweep_count(n, 8000);
-            let g = per_block_gflops(&gpu, CpuAlg::Qr, n, count);
+            let g = per_block_gflops(&session, CpuAlg::Qr, n, count);
             last_pb = g;
             f(g)
         } else if n < 8 {
@@ -285,8 +298,8 @@ pub fn fig10(fast: bool) -> String {
 
 /// Figure 11 — per-block QR/LU vs MKL and MAGMA.
 pub fn fig11(fast: bool) -> String {
-    let gpu = Gpu::quadro_6000();
-    let hybrid = HybridCfg::magma_like(&gpu.cfg);
+    let session = Session::new();
+    let hybrid = HybridCfg::magma_like(session.config());
     let full = if fast { 1120 } else { 8000 };
     let step = if fast { 32 } else { 16 };
     let threads = regla_cpu::default_threads();
@@ -304,7 +317,7 @@ pub fn fig11(fast: bool) -> String {
         let mut n = 8;
         while n <= 144 {
             let count = sweep_count(n, full);
-            let gpu_g = per_block_gflops(&gpu, cpu_alg, n, count);
+            let gpu_g = per_block_gflops(&session, cpu_alg, n, count);
             let cpu_count = (2_000_000 / (n * n * n).max(1)).clamp(8, 512);
             let a = f32_batch(n, n, cpu_count, true, 0xB0 + n as u64);
             let cpu_run = timed_batch(cpu_alg, &a, n, threads);
@@ -334,7 +347,7 @@ pub fn fig11(fast: bool) -> String {
 
 /// Figure 12 — solving linear systems (QR solve and Gauss-Jordan) vs MKL.
 pub fn fig12(fast: bool) -> String {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let full = if fast { 1120 } else { 8000 };
     let step = if fast { 32 } else { 16 };
     let threads = regla_cpu::default_threads();
@@ -351,7 +364,7 @@ pub fn fig12(fast: bool) -> String {
         let mut n = 8;
         while n <= 144 {
             let count = sweep_count(n, full);
-            let gpu_g = per_block_gflops(&gpu, cpu_alg, n, count);
+            let gpu_g = per_block_gflops(&session, cpu_alg, n, count);
             let cpu_count = (2_000_000 / (n * n * n).max(1)).clamp(8, 512);
             let a = f32_batch(n, n, cpu_count, true, 0xC0 + n as u64);
             let b = f32_batch(n, 1, cpu_count, false, 0xC1 + n as u64);

@@ -5,6 +5,7 @@ pub mod ablations;
 pub mod accuracy;
 pub mod discrepancy;
 pub mod figures;
+pub mod pipeline;
 pub mod resilience;
 pub mod tables;
 
@@ -12,6 +13,7 @@ pub use ablations::*;
 pub use accuracy::*;
 pub use discrepancy::*;
 pub use figures::*;
+pub use pipeline::*;
 pub use resilience::*;
 pub use tables::*;
 
@@ -69,6 +71,11 @@ pub const ALL: &[(&str, &str, Runner)] = &[
         "ablation_tsqr",
         "Ablation — tiled vs TSQR",
         ablations::ablation_tsqr,
+    ),
+    (
+        "pipeline",
+        "Stream pipelining — copy/compute overlap",
+        pipeline::pipeline,
     ),
     (
         "model_accuracy",

@@ -1,0 +1,102 @@
+//! Stream-pipelined batch execution: chunked copy/compute overlap through
+//! `Session::pipelined`, on the paper's single-copy-engine Quadro 6000
+//! (where the driver serializes everything — "we found no benefit from
+//! using multiple streams", Section VI-C) and on a dual-copy-engine
+//! configuration of the same chip, where the classic three-stage
+//! H2D / kernel / D2H pipeline emerges.
+
+use crate::bench_telemetry::{record_pipeline, PipelineRow};
+use crate::report::{f, Table};
+use crate::workloads::f32_batch;
+use regla_core::{Op, PipelineOpts, RunOpts, Session};
+use regla_gpu_sim::{ExecMode, GpuConfig};
+
+/// One measured shape: op, n, batch size.
+struct Case {
+    op: Op,
+    n: usize,
+    count: usize,
+}
+
+pub fn pipeline(fast: bool) -> String {
+    let scale = if fast { 8 } else { 1 };
+    // The flagship transfer-bound shape (4096 x QR 32x32) first: small
+    // matrices move almost as many bytes as they compute, so overlap pays
+    // the most. 56x56 is compute-heavy; the GJ solve carries a rhs.
+    let cases = [
+        Case { op: Op::Qr, n: 32, count: 4096 / scale },
+        Case { op: Op::Qr, n: 56, count: 2016 / scale },
+        Case { op: Op::GjSolve, n: 16, count: 4096 / scale },
+    ];
+    let configs = [
+        ("quadro_6000", GpuConfig::quadro_6000()),
+        ("quadro_6000_dual_copy", GpuConfig::quadro_6000_dual_copy()),
+    ];
+    let popts = PipelineOpts::new(4, 8);
+    let opts = RunOpts::builder().exec(ExecMode::Representative).build();
+
+    let mut t = Table::new(
+        "Stream pipelining — chunked copy/compute overlap (4 streams, 8 chunks)",
+        &[
+            "device", "op", "shape", "batch", "sync (ms)", "pipelined (ms)",
+            "speedup", "predicted", "model err %",
+        ],
+    );
+    let mut rows = Vec::new();
+    for (name, cfg) in configs {
+        let session = Session::with_config(cfg);
+        for case in &cases {
+            let a = f32_batch(case.n, case.n, case.count, true, 0x91 + case.n as u64);
+            let b = matches!(case.op, Op::GjSolve)
+                .then(|| f32_batch(case.n, 1, case.count, false, 0x92));
+            let r = session
+                .pipelined_with(case.op, &a, b.as_ref(), &popts, &opts)
+                .unwrap();
+            let rep = &r.report;
+            t.row(&[
+                name.into(),
+                rep.op.into(),
+                format!("{}x{}", case.n, case.n),
+                case.count.to_string(),
+                f(rep.sync_s * 1e3),
+                f(rep.pipelined_s * 1e3),
+                format!("{}x", f(rep.speedup())),
+                format!("{}x", f(rep.predicted_speedup())),
+                format!("{:+.1}", rep.pipelined_error_pct()),
+            ]);
+            rows.push(PipelineRow {
+                config: name.into(),
+                op: rep.op.into(),
+                shape: format!("{}x{}", case.n, case.n),
+                batch: rep.batch,
+                chunks: rep.chunks,
+                streams: rep.streams,
+                copy_engines: rep.copy_engines,
+                sync_ms: rep.sync_s * 1e3,
+                pipelined_ms: rep.pipelined_s * 1e3,
+                speedup: rep.speedup(),
+                predicted_speedup: rep.predicted_speedup(),
+                model_error_pct: rep.pipelined_error_pct(),
+                kernel_modeled: rep.kernel_modeled,
+            });
+        }
+    }
+    let modeled: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.kernel_modeled)
+        .map(|r| r.model_error_pct.abs())
+        .collect();
+    let mean_err = modeled.iter().sum::<f64>() / modeled.len().max(1) as f64;
+    record_pipeline(rows);
+    t.note(format!(
+        "One copy engine (the paper's board): the driver serializes every \
+         transfer, the timeline collapses to the synchronous schedule, and \
+         streams buy exactly nothing — the paper's Section VI-C observation. \
+         Two copy engines: H2D, kernel, and D2H stages of different chunks \
+         overlap and the transfer-bound shapes approach the kernel-only \
+         rate. The model's pipelined-time term tracks the resolved timeline \
+         at {}% mean |error| over the modeled rows.",
+        f(mean_err)
+    ));
+    t.render()
+}

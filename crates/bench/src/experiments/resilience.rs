@@ -4,8 +4,8 @@
 
 use crate::report::Table;
 use crate::workloads::f32_batch;
-use regla_core::{api, MatBatch, ProblemStatus, RunOpts};
-use regla_gpu_sim::{FaultPlan, Gpu};
+use regla_core::{MatBatch, Op, ProblemStatus, RunOpts, Session};
+use regla_gpu_sim::FaultPlan;
 use regla_model::Approach;
 
 /// Which factorization a campaign drives.
@@ -44,15 +44,21 @@ pub fn run_campaign(
     faults: usize,
     seed: u64,
 ) -> CampaignOutcome {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let a = f32_batch(n, n, count, true, seed ^ 0xA5A5);
     let opts = RunOpts::builder()
         .approach(approach)
         .fault(FaultPlan::new(seed, faults))
         .build();
-    let once = |o: &RunOpts| match alg {
-        CampaignAlg::Qr => api::qr_batch(&gpu, &a, o).expect("valid campaign batch"),
-        CampaignAlg::Lu => api::lu_batch(&gpu, &a, o).expect("valid campaign batch"),
+    let once = |o: &RunOpts| {
+        let op = match alg {
+            CampaignAlg::Qr => Op::Qr,
+            CampaignAlg::Lu => Op::Lu,
+        };
+        session
+            .run_with(op, &a, None, o)
+            .expect("valid campaign batch")
+            .run
     };
     let run = once(&opts);
 

@@ -1,7 +1,7 @@
 //! Table reproductions (Tables I-VII).
 
 use crate::report::{f, Table};
-use regla_core::{api, RunOpts};
+use regla_core::{Op, RunOpts, Session};
 use regla_gpu_sim::{ExecMode, Gpu};
 use regla_microbench as mb;
 use regla_model::{block_plan, qr_panels, Algorithm, ModelParams};
@@ -139,7 +139,7 @@ pub fn table4(_fast: bool) -> String {
 
 /// Table V — load/compute/store cycle counts for 56x56 LU and QR.
 pub fn table5(fast: bool) -> String {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let count = if fast { 1120 } else { 8000 };
     let opts = RunOpts::builder()
         .exec(ExecMode::Representative)
@@ -155,13 +155,13 @@ pub fn table5(fast: bool) -> String {
     let run = |alg: &str| -> (f64, f64, f64) {
         let a = crate::workloads::f32_batch(56, 56, count, true, 0x55);
         let stats = match alg {
-            "LU" => api::lu_batch(&gpu, &a, &opts).unwrap().stats,
+            "LU" => session.run_with(Op::Lu, &a, None, &opts).unwrap().run.stats,
             "LU-listing7" => {
                 let mut o = opts.clone();
                 o.lu_listing7 = true;
-                api::lu_batch(&gpu, &a, &o).unwrap().stats
+                session.run_with(Op::Lu, &a, None, &o).unwrap().run.stats
             }
-            _ => api::qr_batch(&gpu, &a, &opts).unwrap().stats,
+            _ => session.run_with(Op::Qr, &a, None, &opts).unwrap().run.stats,
         };
         let s = &stats.launches[0];
         let load = s.cycles_for("load");
@@ -281,7 +281,7 @@ pub fn table6(_fast: bool) -> String {
 
 /// Table VII — RT_STAP complex QR factorizations.
 pub fn table7(fast: bool) -> String {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut t = Table::new(
         "Table VII — single-precision complex QR from RT_STAP",
         &[
@@ -298,7 +298,7 @@ pub fn table7(fast: bool) -> String {
         } else {
             *case
         };
-        let r = regla_stap::run_case(&gpu, &c, ExecMode::Representative, regla_cpu::default_threads());
+        let r = regla_stap::run_case(&session, &c, ExecMode::Representative, regla_cpu::default_threads());
         let paper_speedup = case.paper_gpu_gflops / case.paper_mkl_gflops;
         t.row(&[
             format!("{}x{}", case.m, case.n),

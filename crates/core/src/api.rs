@@ -23,7 +23,9 @@ use crate::profile::ProfileReport;
 use crate::status::{record_recovery, ProblemStatus, RecoveryPolicy, RecoveryStats};
 use crate::tiled::{tiled_qr, MultiLaunch, TiledOpts};
 use regla_gpu_sim::{ExecMode, FaultPlan, GlobalMemory, Gpu, LaunchConfig, MathMode, Profiler};
-use regla_model::{block_plan, thread_plan, Algorithm, Approach, PER_BLOCK_MAX_DECLARED_REGS};
+use regla_model::{
+    block_plan, thread_plan, Algorithm, Approach, ModelParams, PER_BLOCK_MAX_DECLARED_REGS,
+};
 use std::marker::PhantomData;
 
 /// Options controlling a batched run.
@@ -230,7 +232,7 @@ impl<T> BatchRun<T> {
     }
 }
 
-fn choose_approach(m: usize, n: usize, rhs: usize, ew: usize, opts: &RunOpts) -> Approach {
+pub(crate) fn choose_approach(m: usize, n: usize, rhs: usize, ew: usize, opts: &RunOpts) -> Approach {
     if let Some(a) = opts.approach {
         return a;
     }
@@ -654,8 +656,10 @@ fn host_fallback<T: DeviceScalar>(
 /// Run with bounded recovery: retry fault-tainted / non-finite problems on
 /// the device (fault injection stripped), then degrade the stragglers to
 /// the host baseline.
+#[allow(clippy::too_many_arguments)]
 fn run_recovered<T: DeviceScalar>(
     gpu: &Gpu,
+    params: &ModelParams,
     aug: &MatBatch<T>,
     nfac: usize,
     alg: PtAlg,
@@ -673,6 +677,7 @@ fn run_recovered<T: DeviceScalar>(
         t.launches().get(trace_start).and_then(|trace| {
             crate::profile::build_report(
                 trace,
+                params,
                 model_alg(alg),
                 approach,
                 aug.rows(),
@@ -751,23 +756,25 @@ fn into_run<T>(l: Launched<T>, rec: RecoveryStats, approach: Approach, taus: boo
     }
 }
 
-/// Batched in-place Householder QR (R above the diagonal, reflectors
-/// below), dispatched across the paper's approaches.
-pub fn qr_batch<T: DeviceScalar>(
+/// Batched in-place Householder QR — implementation behind
+/// [`crate::Session::qr`] and the deprecated [`qr_batch`].
+pub(crate) fn qr_run<T: DeviceScalar>(
     gpu: &Gpu,
+    params: &ModelParams,
     a: &MatBatch<T>,
     opts: &RunOpts,
 ) -> Result<BatchRun<T>, ReglaError> {
     validate_opts(opts)?;
     validate_batch(a)?;
     let approach = choose_approach(a.rows(), a.cols(), 0, T::WORDS, opts);
-    let (l, rec) = run_recovered(gpu, a, a.cols(), PtAlg::Qr, approach, opts, false)?;
+    let (l, rec) = run_recovered(gpu, params, a, a.cols(), PtAlg::Qr, approach, opts, false)?;
     Ok(into_run(l, rec, approach, true))
 }
 
-/// Batched in-place LU without pivoting.
-pub fn lu_batch<T: DeviceScalar>(
+/// Batched in-place LU — implementation behind [`crate::Session::lu`].
+pub(crate) fn lu_run<T: DeviceScalar>(
     gpu: &Gpu,
+    params: &ModelParams,
     a: &MatBatch<T>,
     opts: &RunOpts,
 ) -> Result<BatchRun<T>, ReglaError> {
@@ -777,33 +784,46 @@ pub fn lu_batch<T: DeviceScalar>(
         Approach::Tiled => Approach::PerBlock, // large LU runs with spills
         other => other,
     };
-    let (l, rec) = run_recovered(gpu, a, a.cols(), PtAlg::Lu, approach, opts, false)?;
+    let (l, rec) = run_recovered(gpu, params, a, a.cols(), PtAlg::Lu, approach, opts, false)?;
     Ok(into_run(l, rec, approach, false))
+}
+
+/// Batched in-place Householder QR (R above the diagonal, reflectors
+/// below), dispatched across the paper's approaches.
+#[deprecated(note = "use regla_core::Session: Session::with_config(gpu.cfg.clone()).qr(&a)")]
+pub fn qr_batch<T: DeviceScalar>(
+    gpu: &Gpu,
+    a: &MatBatch<T>,
+    opts: &RunOpts,
+) -> Result<BatchRun<T>, ReglaError> {
+    one_shot(gpu, opts).qr(a)
+}
+
+/// Batched in-place LU without pivoting.
+#[deprecated(note = "use regla_core::Session: Session::with_config(gpu.cfg.clone()).lu(&a)")]
+pub fn lu_batch<T: DeviceScalar>(
+    gpu: &Gpu,
+    a: &MatBatch<T>,
+    opts: &RunOpts,
+) -> Result<BatchRun<T>, ReglaError> {
+    one_shot(gpu, opts).lu(a)
 }
 
 /// Batched Gauss-Jordan solve of `A x = b` (no pivoting). `out` is the
 /// reduced augmented system; `solution()` extracts x.
+#[deprecated(note = "use regla_core::Session::gj_solve")]
 pub fn gj_solve_batch<T: DeviceScalar>(
     gpu: &Gpu,
     a: &MatBatch<T>,
     b: &MatBatch<T>,
     opts: &RunOpts,
 ) -> Result<BatchRun<T>, ReglaError> {
-    validate_opts(opts)?;
-    validate_batch(a)?;
-    validate_square(a)?;
-    validate_rhs(a, b)?;
-    let aug = MatBatch::augment(a, b);
-    let approach = match choose_approach(a.rows(), a.cols(), b.cols(), T::WORDS, opts) {
-        Approach::Tiled => Approach::PerBlock,
-        other => other,
-    };
-    let (l, rec) = run_recovered(gpu, &aug, a.cols(), PtAlg::Gj, approach, opts, false)?;
-    Ok(into_run(l, rec, approach, false))
+    one_shot(gpu, opts).gj_solve(a, b)
 }
 
 /// Batched linear solve via QR: factor `[A|b]`, then eliminate R
 /// (Figure 12's "Solving Linear Systems with QR").
+#[deprecated(note = "use regla_core::Session::qr_solve")]
 pub fn qr_solve_batch<T: DeviceScalar>(
     gpu: &Gpu,
     a: &MatBatch<T>,
@@ -819,21 +839,36 @@ pub fn qr_solve_batch<T: DeviceScalar>(
             "qr_solve_batch takes a single right-hand side; use qr_solve_multi".into(),
         ));
     }
-    let aug = MatBatch::augment(a, b);
-    let approach = match choose_approach(a.rows(), a.cols(), 1, T::WORDS, opts) {
-        Approach::Tiled => Approach::PerBlock,
-        other => other,
-    };
-    let (l, rec) = run_recovered(gpu, &aug, a.cols(), PtAlg::QrSolve, approach, opts, true)?;
-    Ok(into_run(l, rec, approach, false))
+    one_shot(gpu, opts).qr_solve(a, b)
+}
+
+/// One-shot [`crate::Session`] for the deprecated free-function wrappers:
+/// same config, the caller's options as the session defaults.
+fn one_shot(gpu: &Gpu, opts: &RunOpts) -> crate::Session {
+    crate::Session::builder()
+        .config(gpu.cfg.clone())
+        .opts(opts.clone())
+        .build()
 }
 
 /// Batched least squares `min ‖Ax − b‖` for tall A via QR of `[A|b]`.
 /// Uses the per-block kernel when the problem fits, the tiled path
 /// otherwise (with the final triangular solve on the host, as the radar
 /// pipeline does).
+#[deprecated(note = "use regla_core::Session::least_squares")]
 pub fn least_squares_batch<T: DeviceScalar>(
     gpu: &Gpu,
+    a: &MatBatch<T>,
+    b: &MatBatch<T>,
+    opts: &RunOpts,
+) -> Result<(BatchRun<T>, MatBatch<T>), ReglaError> {
+    one_shot(gpu, opts).least_squares(a, b)
+}
+
+/// Implementation behind [`crate::Session::least_squares`].
+pub(crate) fn least_squares_run<T: DeviceScalar>(
+    gpu: &Gpu,
+    params: &ModelParams,
     a: &MatBatch<T>,
     b: &MatBatch<T>,
     opts: &RunOpts,
@@ -857,12 +892,13 @@ pub fn least_squares_batch<T: DeviceScalar>(
     match approach {
         Approach::PerThread | Approach::PerBlock => {
             let approach = if m == n { approach } else { Approach::PerBlock };
-            let (l, rec) = run_recovered(gpu, &aug, n, PtAlg::QrSolve, approach, opts, true)?;
+            let (l, rec) = run_recovered(gpu, params, &aug, n, PtAlg::QrSolve, approach, opts, true)?;
             let x = l.out.sub(0, n, n, 1);
             Ok((into_run(l, rec, approach, false), x))
         }
         _ => {
-            let (l, rec) = run_recovered(gpu, &aug, n, PtAlg::Qr, Approach::Tiled, opts, false)?;
+            let (l, rec) =
+                run_recovered(gpu, params, &aug, n, PtAlg::Qr, Approach::Tiled, opts, false)?;
             // Host back-substitution of R x = (Qᴴ b)[..n].
             let mut x = MatBatch::zeros(n, 1, aug.count());
             for k in 0..aug.count() {
@@ -881,7 +917,18 @@ pub fn least_squares_batch<T: DeviceScalar>(
 /// Batched GEMM `C = A·B` with one problem per block. GEMM has no failure
 /// modes of its own, so fault injection and recovery do not apply; the
 /// statuses still screen for non-finite results from non-finite inputs.
+#[deprecated(note = "use regla_core::Session::gemm")]
 pub fn gemm_batch<T: DeviceScalar>(
+    gpu: &Gpu,
+    a: &MatBatch<T>,
+    b: &MatBatch<T>,
+    opts: &RunOpts,
+) -> Result<BatchRun<T>, ReglaError> {
+    one_shot(gpu, opts).gemm(a, b)
+}
+
+/// Implementation behind [`crate::Session::gemm`].
+pub(crate) fn gemm_run<T: DeviceScalar>(
     gpu: &Gpu,
     a: &MatBatch<T>,
     b: &MatBatch<T>,
@@ -960,7 +1007,18 @@ pub fn gemm_batch<T: DeviceScalar>(
 /// and combines R factors in a tree, then back-substitutes on the host.
 /// Preferred over the sequential tiled path when the batch is too small
 /// to fill the chip.
+#[deprecated(note = "use regla_core::Session::tsqr_least_squares")]
 pub fn tsqr_least_squares<T: DeviceScalar>(
+    gpu: &Gpu,
+    a: &MatBatch<T>,
+    b: &MatBatch<T>,
+    opts: &RunOpts,
+) -> Result<(MatBatch<T>, crate::tiled::MultiLaunch), ReglaError> {
+    one_shot(gpu, opts).tsqr_least_squares(a, b)
+}
+
+/// Implementation behind [`crate::Session::tsqr_least_squares`].
+pub(crate) fn tsqr_run<T: DeviceScalar>(
     gpu: &Gpu,
     a: &MatBatch<T>,
     b: &MatBatch<T>,
@@ -1011,8 +1069,19 @@ pub fn tsqr_least_squares<T: DeviceScalar>(
 /// matrices (extension beyond the paper's four algorithms): L overwrites
 /// the lower triangle; `status[k]` reports `ZeroPivot` when problem k is
 /// not positive definite.
+#[deprecated(note = "use regla_core::Session::cholesky")]
 pub fn cholesky_batch<T: DeviceScalar>(
     gpu: &Gpu,
+    a: &MatBatch<T>,
+    opts: &RunOpts,
+) -> Result<BatchRun<T>, ReglaError> {
+    one_shot(gpu, opts).cholesky(a)
+}
+
+/// Implementation behind [`crate::Session::cholesky`].
+pub(crate) fn cholesky_run<T: DeviceScalar>(
+    gpu: &Gpu,
+    params: &ModelParams,
     a: &MatBatch<T>,
     opts: &RunOpts,
 ) -> Result<BatchRun<T>, ReglaError> {
@@ -1023,15 +1092,26 @@ pub fn cholesky_batch<T: DeviceScalar>(
         Approach::Tiled => Approach::PerBlock,
         other => other,
     };
-    let (l, rec) = run_recovered(gpu, a, a.cols(), PtAlg::Cholesky, approach, opts, false)?;
+    let (l, rec) = run_recovered(gpu, params, a, a.cols(), PtAlg::Cholesky, approach, opts, false)?;
     Ok(into_run(l, rec, approach, false))
 }
 
 /// Batched matrix inversion by Gauss-Jordan reduction of `[A | I]`
 /// (no pivoting; intended for diagonally dominant / well-conditioned
 /// batches, like the paper's solver benchmarks). Returns the inverses.
+#[deprecated(note = "use regla_core::Session::invert")]
 pub fn invert_batch<T: DeviceScalar>(
     gpu: &Gpu,
+    a: &MatBatch<T>,
+    opts: &RunOpts,
+) -> Result<(MatBatch<T>, BatchRun<T>), ReglaError> {
+    one_shot(gpu, opts).invert(a)
+}
+
+/// Implementation behind [`crate::Session::invert`].
+pub(crate) fn invert_run<T: DeviceScalar>(
+    gpu: &Gpu,
+    params: &ModelParams,
     a: &MatBatch<T>,
     opts: &RunOpts,
 ) -> Result<(MatBatch<T>, BatchRun<T>), ReglaError> {
@@ -1046,7 +1126,7 @@ pub fn invert_batch<T: DeviceScalar>(
             T::zero()
         }
     });
-    let run = gj_solve_multi(gpu, a, &eye, opts)?;
+    let run = solve_multi_driver(gpu, params, a, &eye, opts, PtAlg::Gj, true, false)?;
     let inv = run.out.sub(0, n, n, n);
     Ok((inv, run))
 }
@@ -1054,8 +1134,10 @@ pub fn invert_batch<T: DeviceScalar>(
 /// Shared driver for the multi-right-hand-side solvers: validate, augment
 /// `[A | B]`, pick an approach (never tiled — the augmented system is wide,
 /// not tall), factor/reduce in place with recovery.
-fn solve_multi_driver<T: DeviceScalar>(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_multi_driver<T: DeviceScalar>(
     gpu: &Gpu,
+    params: &ModelParams,
     a: &MatBatch<T>,
     b: &MatBatch<T>,
     opts: &RunOpts,
@@ -1073,33 +1155,32 @@ fn solve_multi_driver<T: DeviceScalar>(
         Approach::PerThread if !allow_per_thread => Approach::PerBlock,
         other => other,
     };
-    let (l, rec) = run_recovered(gpu, &aug, a.cols(), alg, approach, opts, back_substitute)?;
+    let (l, rec) = run_recovered(gpu, params, &aug, a.cols(), alg, approach, opts, back_substitute)?;
     Ok(into_run(l, rec, approach, false))
 }
 
 /// Batched QR solve with multiple right-hand sides: factor `[A | B]`
 /// carrying every column of B, then back-substitute each one.
+#[deprecated(note = "use regla_core::Session::qr_solve (handles any rhs width)")]
 pub fn qr_solve_multi<T: DeviceScalar>(
     gpu: &Gpu,
     a: &MatBatch<T>,
     b: &MatBatch<T>,
     opts: &RunOpts,
 ) -> Result<BatchRun<T>, ReglaError> {
-    // The per-thread kernels do not back-substitute extra columns.
-    solve_multi_driver(gpu, a, b, opts, PtAlg::QrSolve, false, true)
+    one_shot(gpu, opts).qr_solve(a, b)
 }
 
 /// Batched Gauss-Jordan with multiple right-hand sides: reduces
 /// `[A | B]` so the trailing columns hold `A^-1 B`.
+#[deprecated(note = "use regla_core::Session::gj_solve (handles any rhs width)")]
 pub fn gj_solve_multi<T: DeviceScalar>(
     gpu: &Gpu,
     a: &MatBatch<T>,
     b: &MatBatch<T>,
     opts: &RunOpts,
 ) -> Result<BatchRun<T>, ReglaError> {
-    // Multi-rhs problems are wider; the per-thread path rarely fits but is
-    // kept available for the shapes where it does.
-    solve_multi_driver(gpu, a, b, opts, PtAlg::Gj, true, false)
+    one_shot(gpu, opts).gj_solve(a, b)
 }
 
 #[cfg(test)]

@@ -152,6 +152,45 @@ impl<T: Scalar> MatBatch<T> {
         })
     }
 
+    /// Copy problems `start .. start + len` into a new batch. Problems are
+    /// stored contiguously, so this is one slice copy — the chunking
+    /// primitive of the pipelined driver.
+    pub fn slice_problems(&self, start: usize, len: usize) -> MatBatch<T> {
+        assert!(
+            start + len <= self.count,
+            "slice {start}..{} exceeds batch of {}",
+            start + len,
+            self.count
+        );
+        let e = self.elems_per_mat();
+        MatBatch {
+            rows: self.rows,
+            cols: self.cols,
+            count: len,
+            data: self.data[start * e..(start + len) * e].to_vec(),
+        }
+    }
+
+    /// Reassemble equally-shaped batches into one (inverse of slicing a
+    /// batch into chunks).
+    pub fn concat_problems(parts: &[MatBatch<T>]) -> MatBatch<T> {
+        assert!(!parts.is_empty(), "cannot concatenate zero batches");
+        let (rows, cols) = (parts[0].rows, parts[0].cols);
+        let mut data = Vec::with_capacity(parts.iter().map(|p| p.data.len()).sum());
+        let mut count = 0;
+        for p in parts {
+            assert_eq!((p.rows, p.cols), (rows, cols), "shape mismatch");
+            data.extend_from_slice(&p.data);
+            count += p.count;
+        }
+        MatBatch {
+            rows,
+            cols,
+            count,
+            data,
+        }
+    }
+
     /// Extract a rectangular sub-batch from every problem.
     pub fn sub(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> MatBatch<T> {
         assert!(r0 + rows <= self.rows && c0 + cols <= self.cols);
@@ -203,6 +242,21 @@ mod tests {
         assert_eq!(mem.allocated_words(), 2 * 2 * 2 * 2);
         let back = MatBatch::<C32>::from_device(2, 2, 2, &mem, ptr);
         assert_eq!(back.max_frob_dist(&b), 0.0);
+    }
+
+    #[test]
+    fn slice_and_concat_round_trip() {
+        let b = MatBatch::from_fn(3, 2, 10, |k, i, j| (k * 100 + i * 10 + j) as f32);
+        let parts = [
+            b.slice_problems(0, 4),
+            b.slice_problems(4, 3),
+            b.slice_problems(7, 3),
+        ];
+        assert_eq!(parts[1].count(), 3);
+        assert_eq!(parts[1].get(0, 2, 1), 421.0);
+        let back = MatBatch::concat_problems(&parts);
+        assert_eq!(back.count(), 10);
+        assert_eq!(back.data(), b.data());
     }
 
     #[test]

@@ -19,15 +19,15 @@
 //! QR, for both `f32` and single-precision complex [`C32`].
 //!
 //! ```
-//! use regla_core::{api, MatBatch, RunOpts};
+//! use regla_core::{MatBatch, Session};
 //! use regla_gpu_sim::Gpu;
 //!
 //! // Factor 128 diagonally-dominant 6x6 systems on the simulated GPU.
-//! let gpu = Gpu::quadro_6000();
+//! let session = Session::with_config(Gpu::quadro_6000().cfg);
 //! let mut proto = regla_core::Mat::from_fn(6, 6, |i, j| ((i * j) as f32).sin());
 //! proto.make_diagonally_dominant();
 //! let batch = MatBatch::replicate(&proto, 128);
-//! let run = api::lu_batch(&gpu, &batch, &RunOpts::default()).unwrap();
+//! let run = session.lu(&batch).unwrap();
 //! assert!(run.gflops() > 0.0);
 //! assert!(run.status.iter().all(|s| s.is_ok()));
 //! ```
@@ -51,18 +51,24 @@ pub mod layout;
 pub mod matrix;
 pub mod per_block;
 pub mod per_thread;
+pub mod pipeline;
 pub mod prelude;
 pub mod profile;
 pub mod scalar;
+pub mod session;
 pub mod status;
 pub mod tiled;
 
+#[allow(deprecated)]
 pub use api::{
     cholesky_batch, gemm_batch, gj_solve_batch, gj_solve_multi, invert_batch, qr_solve_multi,
     least_squares_batch, lu_batch, tsqr_least_squares,
-    qr_batch, qr_solve_batch, BatchRun, RunOpts, RunOptsBuilder,
+    qr_batch, qr_solve_batch,
 };
-pub use profile::{PhaseDiscrepancy, ProfileReport};
+pub use api::{BatchRun, RunOpts, RunOptsBuilder};
+pub use session::{Op, OpOutput, Session, SessionBuilder};
+pub use pipeline::{PipelineOpts, PipelinedRun};
+pub use profile::{PhaseDiscrepancy, PipelineReport, ProfileReport};
 pub use batch::MatBatch;
 pub use elem::{DeviceScalar, Elem};
 pub use error::ReglaError;

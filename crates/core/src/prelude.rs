@@ -7,16 +7,19 @@
 //! `Approach`, `Layout`). Deliberately small: per-kernel plumbing and
 //! the tiled/TSQR internals stay behind their modules.
 
+#[allow(deprecated)]
 pub use crate::api::{
     cholesky_batch, gemm_batch, gj_solve_batch, gj_solve_multi, invert_batch, least_squares_batch,
     lu_batch, qr_batch, qr_solve_batch, qr_solve_multi, tsqr_least_squares,
 };
 pub use crate::api::{BatchRun, RunOpts, RunOptsBuilder};
+pub use crate::session::{Op, OpOutput, Session, SessionBuilder};
+pub use crate::pipeline::{PipelineOpts, PipelinedRun};
 pub use crate::batch::MatBatch;
 pub use crate::error::ReglaError;
 pub use crate::layout::Layout;
 pub use crate::matrix::Mat;
-pub use crate::profile::{PhaseDiscrepancy, ProfileReport};
+pub use crate::profile::{PhaseDiscrepancy, PipelineReport, ProfileReport};
 pub use crate::scalar::C32;
 pub use crate::status::{ProblemStatus, RecoveryPolicy};
 pub use crate::tiled::MultiLaunch;

@@ -56,6 +56,9 @@ pub struct ProfileReport {
     pub simulated_wave_cycles: f64,
     /// Sum of the predicted phase durations (one wave).
     pub predicted_wave_cycles: f64,
+    /// End-to-end copy/compute overlap report, populated when the run went
+    /// through [`crate::Session::pipelined`].
+    pub pipeline: Option<PipelineReport>,
 }
 
 impl ProfileReport {
@@ -148,15 +151,141 @@ fn finish(
         mean_abs_error_pct: mean,
         simulated_wave_cycles: simulated,
         predicted_wave_cycles: predicted,
+        pipeline: None,
+    }
+}
+
+/// End-to-end timing of one chunked, stream-pipelined batch: the resolved
+/// stream timeline next to the model's pipelined-time prediction.
+///
+/// `sync_s` is the same chunked schedule with no overlap (the sum of every
+/// command duration), so `speedup()` isolates the gain from overlap alone.
+/// On a single-copy-engine config the timeline serializes and
+/// `pipelined_s == sync_s` — the paper's "no benefit from using multiple
+/// streams" claim, reproduced rather than assumed.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct PipelineReport {
+    /// Operation name ([`crate::Op::name`]).
+    pub op: &'static str,
+    pub batch: usize,
+    pub chunks: usize,
+    pub streams: usize,
+    pub copy_engines: usize,
+    /// Total bytes uploaded across all chunks.
+    pub h2d_bytes: usize,
+    /// Total bytes downloaded across all chunks.
+    pub d2h_bytes: usize,
+    /// Busy time of the H2D copy path (seconds).
+    pub h2d_s: f64,
+    /// Busy time of the D2H copy path (seconds).
+    pub d2h_s: f64,
+    /// Total simulated kernel time across all chunks (seconds).
+    pub kernel_s: f64,
+    /// Simulated end-to-end time with no overlap (seconds).
+    pub sync_s: f64,
+    /// Simulated end-to-end time of the resolved stream schedule (seconds).
+    pub pipelined_s: f64,
+    /// Model-predicted synchronous end-to-end time (seconds).
+    pub predicted_sync_s: f64,
+    /// Model-predicted pipelined end-to-end time (seconds).
+    pub predicted_pipelined_s: f64,
+    /// Whether the model had a kernel-time prediction for the operation;
+    /// when false the prediction reuses the measured kernel time and only
+    /// the overlap structure is predicted.
+    pub kernel_modeled: bool,
+    /// True when the single-copy-engine rule forced full serialization.
+    pub serialized: bool,
+}
+
+impl PipelineReport {
+    /// Simulated gain from overlap: `sync_s / pipelined_s`.
+    pub fn speedup(&self) -> f64 {
+        if self.pipelined_s > 0.0 {
+            self.sync_s / self.pipelined_s
+        } else {
+            1.0
+        }
+    }
+
+    /// Model-predicted gain from overlap.
+    pub fn predicted_speedup(&self) -> f64 {
+        if self.predicted_pipelined_s > 0.0 {
+            self.predicted_sync_s / self.predicted_pipelined_s
+        } else {
+            1.0
+        }
+    }
+
+    /// Signed relative error of the predicted pipelined end-to-end time.
+    pub fn pipelined_error_pct(&self) -> f64 {
+        signed_error_pct(self.predicted_pipelined_s, self.pipelined_s)
+    }
+
+    /// Signed relative error of the predicted synchronous end-to-end time.
+    pub fn sync_error_pct(&self) -> f64 {
+        signed_error_pct(self.predicted_sync_s, self.sync_s)
+    }
+
+    /// Human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "pipeline: {} — batch {} in {} chunks over {} streams, {} copy engine{}{}",
+            self.op,
+            self.batch,
+            self.chunks,
+            self.streams,
+            self.copy_engines,
+            if self.copy_engines == 1 { "" } else { "s" },
+            if self.serialized { " (serialized)" } else { "" }
+        );
+        let _ = writeln!(
+            s,
+            "  busy: h2d {:.3} ms ({} B), kernel {:.3} ms, d2h {:.3} ms ({} B)",
+            self.h2d_s * 1e3,
+            self.h2d_bytes,
+            self.kernel_s * 1e3,
+            self.d2h_s * 1e3,
+            self.d2h_bytes
+        );
+        let _ = writeln!(
+            s,
+            "  simulated: sync {:.3} ms, pipelined {:.3} ms, speedup {:.2}x",
+            self.sync_s * 1e3,
+            self.pipelined_s * 1e3,
+            self.speedup()
+        );
+        let _ = writeln!(
+            s,
+            "  predicted: sync {:.3} ms ({:+.1}%), pipelined {:.3} ms ({:+.1}%), speedup {:.2}x{}",
+            self.predicted_sync_s * 1e3,
+            self.sync_error_pct(),
+            self.predicted_pipelined_s * 1e3,
+            self.pipelined_error_pct(),
+            self.predicted_speedup(),
+            if self.kernel_modeled {
+                ""
+            } else {
+                " [kernel time from measurement]"
+            }
+        );
+        s
     }
 }
 
 /// Join a recorded launch trace against the model's phase estimates.
 /// Returns `None` when the model has no phase-level prediction for the
 /// launch (tiled path, non-default layouts, forced thread counts).
+///
+/// `params` comes from the owning [`crate::Session`], which derives it from
+/// the session's `GpuConfig` once — launches no longer re-derive model
+/// parameters per call.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn build_report(
     trace: &LaunchTrace,
+    params: &ModelParams,
     alg: Algorithm,
     approach: Approach,
     m: usize,
@@ -165,7 +294,7 @@ pub(crate) fn build_report(
     elem_words: usize,
     batch: usize,
 ) -> Option<ProfileReport> {
-    let p = ModelParams::table_iv();
+    let p = params.clone();
     match approach {
         Approach::PerBlock => {
             let plan = block_plan(m, n, rhs_cols, elem_words);

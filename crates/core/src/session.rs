@@ -1,0 +1,486 @@
+//! The unified entry point for batched execution: a [`Session`] owns the
+//! simulated device, the default [`RunOpts`], the model parameters derived
+//! from the device config, and an optional [`Profiler`] — so repeated
+//! launches reuse one device handle and one set of model parameters instead
+//! of rebuilding both per call (the latent cost of the old free functions).
+//!
+//! ```
+//! use regla_core::{MatBatch, Session};
+//!
+//! let session = Session::new();
+//! let a = MatBatch::from_fn(8, 8, 256, |k, i, j| {
+//!     ((k + i * 3 + j) % 7) as f32 + if i == j { 8.0 } else { 0.0 }
+//! });
+//! let run = session.qr(&a).unwrap();
+//! assert!(run.status.iter().all(|s| s.is_ok()));
+//! ```
+//!
+//! Every solve-family entry point dispatches through [`Session::run`] on an
+//! [`Op`], so benches and experiments can drive the whole API surface from
+//! one place; the named methods (`qr`, `lu`, `solve`, ...) are sugar.
+
+use crate::api::{self, BatchRun, RunOpts};
+use crate::batch::MatBatch;
+use crate::elem::DeviceScalar;
+use crate::error::ReglaError;
+use crate::tiled::MultiLaunch;
+use regla_gpu_sim::{Gpu, GpuConfig, Profiler};
+use regla_model::ModelParams;
+
+/// The batched operations a [`Session`] can run — the single dispatch
+/// surface behind the named sugar methods.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// In-place Householder QR of each matrix.
+    Qr,
+    /// In-place LU without pivoting.
+    Lu,
+    /// Gauss-Jordan reduction of `[A | B]` (any rhs width).
+    GjSolve,
+    /// QR factor-and-back-substitute of `[A | B]` (any rhs width).
+    QrSolve,
+    /// `min ‖Ax − b‖` for tall A; the solution lands in
+    /// [`OpOutput::solution`].
+    LeastSquares,
+    /// Cholesky factorization of SPD batches.
+    Cholesky,
+    /// Gauss-Jordan inversion via `[A | I]`; the inverses land in
+    /// [`OpOutput::solution`].
+    Invert,
+    /// Batched `C = A · B`.
+    Gemm,
+}
+
+impl Op {
+    /// Every operation, for exhaustive sweeps in benches and tests.
+    pub const ALL: [Op; 8] = [
+        Op::Qr,
+        Op::Lu,
+        Op::GjSolve,
+        Op::QrSolve,
+        Op::LeastSquares,
+        Op::Cholesky,
+        Op::Invert,
+        Op::Gemm,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Qr => "qr",
+            Op::Lu => "lu",
+            Op::GjSolve => "gj-solve",
+            Op::QrSolve => "qr-solve",
+            Op::LeastSquares => "least-squares",
+            Op::Cholesky => "cholesky",
+            Op::Invert => "invert",
+            Op::Gemm => "gemm",
+        }
+    }
+
+    /// Whether [`Session::run`] requires a second operand batch.
+    pub fn needs_rhs(&self) -> bool {
+        matches!(
+            self,
+            Op::GjSolve | Op::QrSolve | Op::LeastSquares | Op::Gemm
+        )
+    }
+}
+
+/// Result of [`Session::run`]: the batch run plus, for the operations that
+/// produce one, an extracted solution batch.
+#[derive(Clone, Debug)]
+pub struct OpOutput<T> {
+    pub run: BatchRun<T>,
+    /// `x` for [`Op::LeastSquares`], `A⁻¹` for [`Op::Invert`]; `None` for
+    /// the in-place operations (their result is [`BatchRun::out`]).
+    pub solution: Option<MatBatch<T>>,
+}
+
+impl<T> OpOutput<T> {
+    fn plain(run: BatchRun<T>) -> Self {
+        OpOutput {
+            run,
+            solution: None,
+        }
+    }
+}
+
+/// Builder for [`Session`]: device config, default run options, profiler.
+#[derive(Clone, Debug, Default)]
+pub struct SessionBuilder {
+    cfg: Option<GpuConfig>,
+    opts: RunOpts,
+    profiler: Option<Profiler>,
+}
+
+impl SessionBuilder {
+    /// Device configuration (defaults to the paper's Quadro 6000).
+    pub fn config(mut self, cfg: GpuConfig) -> Self {
+        self.cfg = Some(cfg);
+        self
+    }
+
+    /// Default [`RunOpts`] applied by the named methods and [`Session::run`].
+    pub fn opts(mut self, opts: RunOpts) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Attach a profiler: any launch whose options don't already carry a
+    /// trace sink records into it.
+    pub fn profiler(mut self, p: impl Into<Option<Profiler>>) -> Self {
+        self.profiler = p.into();
+        self
+    }
+
+    pub fn build(self) -> Session {
+        let cfg = self.cfg.unwrap_or_default();
+        let params = ModelParams::from_config(&cfg);
+        Session {
+            gpu: Gpu::new(cfg),
+            opts: self.opts,
+            params,
+            profiler: self.profiler,
+        }
+    }
+}
+
+/// A handle over the simulated device: owns the [`Gpu`], the default
+/// [`RunOpts`], the cached [`ModelParams`], and an optional [`Profiler`].
+///
+/// Construct with [`Session::new`] (Quadro 6000 defaults),
+/// [`Session::with_config`], or [`Session::builder`]. All methods take
+/// `&self`; the session can be shared across threads (`Gpu` is stateless
+/// between launches, and the profiler is internally synchronized).
+#[derive(Clone, Debug)]
+pub struct Session {
+    gpu: Gpu,
+    opts: RunOpts,
+    params: ModelParams,
+    profiler: Option<Profiler>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A session on the paper's Quadro 6000 with default options.
+    pub fn new() -> Self {
+        Session::builder().build()
+    }
+
+    /// A session on `cfg` with default options.
+    pub fn with_config(cfg: GpuConfig) -> Self {
+        Session::builder().config(cfg).build()
+    }
+
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The owned device handle (stable across calls — launches reuse it).
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    pub fn config(&self) -> &GpuConfig {
+        &self.gpu.cfg
+    }
+
+    /// Model parameters derived once from the session's config.
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    /// The session's default run options.
+    pub fn opts(&self) -> &RunOpts {
+        &self.opts
+    }
+
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
+    }
+
+    /// Replace the default options, keeping device and params.
+    pub fn with_opts(mut self, opts: RunOpts) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Options for one call: the session profiler backfills `trace` when
+    /// the caller didn't set one.
+    fn effective(&self, opts: &RunOpts) -> RunOpts {
+        let mut o = opts.clone();
+        if o.trace.is_none() {
+            o.trace = self.profiler.clone();
+        }
+        o
+    }
+
+    /// Run `op` with the session's default options.
+    pub fn run<T: DeviceScalar>(
+        &self,
+        op: Op,
+        a: &MatBatch<T>,
+        b: Option<&MatBatch<T>>,
+    ) -> Result<OpOutput<T>, ReglaError> {
+        self.run_with(op, a, b, &self.opts)
+    }
+
+    /// Run `op` with explicit options — the one dispatch point every other
+    /// entry point funnels through.
+    pub fn run_with<T: DeviceScalar>(
+        &self,
+        op: Op,
+        a: &MatBatch<T>,
+        b: Option<&MatBatch<T>>,
+        opts: &RunOpts,
+    ) -> Result<OpOutput<T>, ReglaError> {
+        let o = self.effective(opts);
+        let rhs = || {
+            b.ok_or_else(|| {
+                ReglaError::InvalidConfig(format!(
+                    "Op::{op:?} requires a right-hand-side batch"
+                ))
+            })
+        };
+        let (gpu, p) = (&self.gpu, &self.params);
+        match op {
+            Op::Qr => api::qr_run(gpu, p, a, &o).map(OpOutput::plain),
+            Op::Lu => api::lu_run(gpu, p, a, &o).map(OpOutput::plain),
+            Op::GjSolve => {
+                api::solve_multi_driver(
+                    gpu,
+                    p,
+                    a,
+                    rhs()?,
+                    &o,
+                    crate::per_thread::PtAlg::Gj,
+                    true,
+                    false,
+                )
+                .map(OpOutput::plain)
+            }
+            Op::QrSolve => {
+                let b = rhs()?;
+                // The per-thread kernels back-substitute a single carried
+                // column only; wider systems go per-block.
+                api::solve_multi_driver(
+                    gpu,
+                    p,
+                    a,
+                    b,
+                    &o,
+                    crate::per_thread::PtAlg::QrSolve,
+                    b.cols() == 1,
+                    true,
+                )
+                .map(OpOutput::plain)
+            }
+            Op::LeastSquares => api::least_squares_run(gpu, p, a, rhs()?, &o)
+                .map(|(run, x)| OpOutput {
+                    run,
+                    solution: Some(x),
+                }),
+            Op::Cholesky => api::cholesky_run(gpu, p, a, &o).map(OpOutput::plain),
+            Op::Invert => api::invert_run(gpu, p, a, &o).map(|(inv, run)| OpOutput {
+                run,
+                solution: Some(inv),
+            }),
+            Op::Gemm => api::gemm_run(gpu, a, rhs()?, &o).map(OpOutput::plain),
+        }
+    }
+
+    // ---- named sugar -----------------------------------------------------
+
+    /// Batched in-place Householder QR.
+    pub fn qr<T: DeviceScalar>(&self, a: &MatBatch<T>) -> Result<BatchRun<T>, ReglaError> {
+        self.run(Op::Qr, a, None).map(|o| o.run)
+    }
+
+    /// Batched in-place LU without pivoting.
+    pub fn lu<T: DeviceScalar>(&self, a: &MatBatch<T>) -> Result<BatchRun<T>, ReglaError> {
+        self.run(Op::Lu, a, None).map(|o| o.run)
+    }
+
+    /// Batched linear solve via QR of `[A | B]` (any rhs width). Alias:
+    /// [`Session::qr_solve`].
+    pub fn solve<T: DeviceScalar>(
+        &self,
+        a: &MatBatch<T>,
+        b: &MatBatch<T>,
+    ) -> Result<BatchRun<T>, ReglaError> {
+        self.qr_solve(a, b)
+    }
+
+    /// Batched QR solve of `[A | B]`: factor, then back-substitute every
+    /// carried column.
+    pub fn qr_solve<T: DeviceScalar>(
+        &self,
+        a: &MatBatch<T>,
+        b: &MatBatch<T>,
+    ) -> Result<BatchRun<T>, ReglaError> {
+        self.run(Op::QrSolve, a, Some(b)).map(|o| o.run)
+    }
+
+    /// Batched Gauss-Jordan reduction of `[A | B]` (any rhs width).
+    pub fn gj_solve<T: DeviceScalar>(
+        &self,
+        a: &MatBatch<T>,
+        b: &MatBatch<T>,
+    ) -> Result<BatchRun<T>, ReglaError> {
+        self.run(Op::GjSolve, a, Some(b)).map(|o| o.run)
+    }
+
+    /// Batched least squares `min ‖Ax − b‖`; returns the run and `x`.
+    pub fn least_squares<T: DeviceScalar>(
+        &self,
+        a: &MatBatch<T>,
+        b: &MatBatch<T>,
+    ) -> Result<(BatchRun<T>, MatBatch<T>), ReglaError> {
+        self.run(Op::LeastSquares, a, Some(b)).map(|o| {
+            let x = o.solution.expect("least squares always extracts x");
+            (o.run, x)
+        })
+    }
+
+    /// Batched Cholesky factorization of SPD batches.
+    pub fn cholesky<T: DeviceScalar>(&self, a: &MatBatch<T>) -> Result<BatchRun<T>, ReglaError> {
+        self.run(Op::Cholesky, a, None).map(|o| o.run)
+    }
+
+    /// Batched inversion via Gauss-Jordan on `[A | I]`; returns the
+    /// inverses and the run.
+    pub fn invert<T: DeviceScalar>(
+        &self,
+        a: &MatBatch<T>,
+    ) -> Result<(MatBatch<T>, BatchRun<T>), ReglaError> {
+        self.run(Op::Invert, a, None).map(|o| {
+            let inv = o.solution.expect("invert always extracts the inverses");
+            (inv, o.run)
+        })
+    }
+
+    /// Batched `C = A · B`.
+    pub fn gemm<T: DeviceScalar>(
+        &self,
+        a: &MatBatch<T>,
+        b: &MatBatch<T>,
+    ) -> Result<BatchRun<T>, ReglaError> {
+        self.run(Op::Gemm, a, Some(b)).map(|o| o.run)
+    }
+
+    /// Run `op` chunked over streams with copy/compute overlap: the batch
+    /// is split into [`crate::PipelineOpts::chunks`] pieces round-robined
+    /// over [`crate::PipelineOpts::streams`], and the resulting H2D /
+    /// kernel / D2H schedule is resolved on the device's stream timeline.
+    /// Results are bit-identical to [`Session::run`]; the gain (if the
+    /// device's copy engines allow any) is end-to-end time, reported in
+    /// [`crate::PipelinedRun::report`].
+    pub fn pipelined<T: DeviceScalar>(
+        &self,
+        op: Op,
+        a: &MatBatch<T>,
+        b: Option<&MatBatch<T>>,
+        popts: &crate::pipeline::PipelineOpts,
+    ) -> Result<crate::pipeline::PipelinedRun<T>, ReglaError> {
+        crate::pipeline::run_pipelined(self, op, a, b, popts, &self.opts)
+    }
+
+    /// [`Session::pipelined`] with explicit per-call [`RunOpts`].
+    pub fn pipelined_with<T: DeviceScalar>(
+        &self,
+        op: Op,
+        a: &MatBatch<T>,
+        b: Option<&MatBatch<T>>,
+        popts: &crate::pipeline::PipelineOpts,
+        opts: &RunOpts,
+    ) -> Result<crate::pipeline::PipelinedRun<T>, ReglaError> {
+        crate::pipeline::run_pipelined(self, op, a, b, popts, opts)
+    }
+
+    /// Batched least squares via communication-avoiding TSQR (outside the
+    /// [`Op`] dispatch: it returns launch stats, not a [`BatchRun`]).
+    pub fn tsqr_least_squares<T: DeviceScalar>(
+        &self,
+        a: &MatBatch<T>,
+        b: &MatBatch<T>,
+    ) -> Result<(MatBatch<T>, MultiLaunch), ReglaError> {
+        api::tsqr_run(&self.gpu, a, b, &self.effective(&self.opts))
+    }
+
+    /// [`Session::tsqr_least_squares`] with explicit per-call [`RunOpts`].
+    pub fn tsqr_least_squares_with<T: DeviceScalar>(
+        &self,
+        a: &MatBatch<T>,
+        b: &MatBatch<T>,
+        opts: &RunOpts,
+    ) -> Result<(MatBatch<T>, MultiLaunch), ReglaError> {
+        api::tsqr_run(&self.gpu, a, b, &self.effective(opts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dd_batch(n: usize, count: usize) -> MatBatch<f32> {
+        MatBatch::from_fn(n, n, count, |k, i, j| {
+            let v = (((k * 31 + i * 17 + j * 13) % 29) as f32) / 29.0 - 0.4;
+            if i == j {
+                v + n as f32
+            } else {
+                v
+            }
+        })
+    }
+
+    #[test]
+    fn repeated_launches_reuse_device_state_and_stay_bit_identical() {
+        // The regression this API fixes: every free-function call built a
+        // fresh Gpu and re-derived ModelParams. The session's device and
+        // params must be the same objects across calls, and repeated runs
+        // bit-identical.
+        let session = Session::new();
+        let a = dd_batch(12, 96);
+        let gpu0 = session.gpu() as *const Gpu;
+        let params0 = session.params() as *const ModelParams;
+        let r1 = session.qr(&a).unwrap();
+        let r2 = session.qr(&a).unwrap();
+        assert_eq!(gpu0, session.gpu() as *const Gpu);
+        assert_eq!(params0, session.params() as *const ModelParams);
+        assert_eq!(r1.out.data(), r2.out.data());
+        assert_eq!(
+            r1.taus.as_ref().unwrap().data(),
+            r2.taus.as_ref().unwrap().data()
+        );
+        assert_eq!(r1.stats.time_s.to_bits(), r2.stats.time_s.to_bits());
+    }
+
+    #[test]
+    fn run_requires_rhs_for_two_operand_ops() {
+        let session = Session::new();
+        let a = dd_batch(8, 16);
+        for op in Op::ALL {
+            if op.needs_rhs() {
+                assert!(
+                    session.run(op, &a, None).is_err(),
+                    "{} must demand a rhs",
+                    op.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn session_profiler_records_launches() {
+        let prof = Profiler::new();
+        let session = Session::builder().profiler(prof.clone()).build();
+        let a = dd_batch(8, 64);
+        session.qr(&a).unwrap();
+        assert!(prof.launch_count() > 0);
+    }
+}

@@ -5,8 +5,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use regla_core::host;
-use regla_core::{api, C32, Layout, MatBatch, RunOpts};
-use regla_gpu_sim::Gpu;
+use regla_core::{C32, Layout, MatBatch, Op, RunOpts, Session};
 use regla_model::Approach;
 
 fn rng(seed: u64) -> StdRng {
@@ -108,10 +107,10 @@ fn assert_r_gram_matches<T: regla_core::DeviceScalar>(
 
 #[test]
 fn per_thread_lu_matches_host() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(1);
     let a = rand_f32_batch(&mut r, 6, 6, 100, true);
-    let run = api::lu_batch(&gpu, &a, &opts(Approach::PerThread)).unwrap();
+    let run = session.run_with(Op::Lu, &a, None, &opts(Approach::PerThread)).unwrap().run;
     assert_eq!(run.approach, Approach::PerThread);
     for k in 0..a.count() {
         let mut f = a.mat(k);
@@ -122,21 +121,21 @@ fn per_thread_lu_matches_host() {
 
 #[test]
 fn per_thread_qr_matches_host() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(2);
     let a = rand_f32_batch(&mut r, 7, 7, 64, false);
-    let run = api::qr_batch(&gpu, &a, &opts(Approach::PerThread)).unwrap();
+    let run = session.run_with(Op::Qr, &a, None, &opts(Approach::PerThread)).unwrap().run;
     assert_r_gram_matches(&run.out, &a, 1e-2);
     assert_qr_reconstructs(&run, &a, 1e-2);
 }
 
 #[test]
 fn per_thread_gj_solves_systems() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(3);
     let a = rand_f32_batch(&mut r, 6, 6, 50, true);
     let b = rand_f32_batch(&mut r, 6, 1, 50, false);
-    let run = api::gj_solve_batch(&gpu, &a, &b, &opts(Approach::PerThread)).unwrap();
+    let run = session.run_with(Op::GjSolve, &a, Some(&b), &opts(Approach::PerThread)).unwrap().run;
     for k in 0..a.count() {
         let x: Vec<f32> = (0..6).map(|i| run.out.get(k, i, 6)).collect();
         let bk: Vec<f32> = (0..6).map(|i| b.get(k, i, 0)).collect();
@@ -147,10 +146,10 @@ fn per_thread_gj_solves_systems() {
 
 #[test]
 fn per_block_lu_matches_host_2d() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(4);
     let a = rand_f32_batch(&mut r, 24, 24, 6, true);
-    let run = api::lu_batch(&gpu, &a, &opts(Approach::PerBlock)).unwrap();
+    let run = session.run_with(Op::Lu, &a, None, &opts(Approach::PerBlock)).unwrap().run;
     assert_eq!(run.approach, Approach::PerBlock);
     for k in 0..a.count() {
         let mut f = a.mat(k);
@@ -162,39 +161,39 @@ fn per_block_lu_matches_host_2d() {
 
 #[test]
 fn per_block_qr_matches_host_2d() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(5);
     let a = rand_f32_batch(&mut r, 24, 24, 5, false);
-    let run = api::qr_batch(&gpu, &a, &opts(Approach::PerBlock)).unwrap();
+    let run = session.run_with(Op::Qr, &a, None, &opts(Approach::PerBlock)).unwrap().run;
     assert_r_gram_matches(&run.out, &a, 1e-2);
     assert_qr_reconstructs(&run, &a, 1e-2);
 }
 
 #[test]
 fn per_block_qr_tall_matrix() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(6);
     let a = rand_f32_batch(&mut r, 40, 12, 4, false);
-    let run = api::qr_batch(&gpu, &a, &opts(Approach::PerBlock)).unwrap();
+    let run = session.run_with(Op::Qr, &a, None, &opts(Approach::PerBlock)).unwrap().run;
     assert_qr_matches_host(&run.out, &a, 2e-3);
 }
 
 #[test]
 fn per_block_complex_qr_matches_host() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(7);
     let a = rand_c32_batch(&mut r, 16, 16, 4, false);
-    let run = api::qr_batch(&gpu, &a, &opts(Approach::PerBlock)).unwrap();
+    let run = session.run_with(Op::Qr, &a, None, &opts(Approach::PerBlock)).unwrap().run;
     assert_qr_matches_host(&run.out, &a, 5e-3);
 }
 
 #[test]
 fn per_block_gj_solves_2d() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(8);
     let a = rand_f32_batch(&mut r, 20, 20, 4, true);
     let b = rand_f32_batch(&mut r, 20, 1, 4, false);
-    let run = api::gj_solve_batch(&gpu, &a, &b, &opts(Approach::PerBlock)).unwrap();
+    let run = session.run_with(Op::GjSolve, &a, Some(&b), &opts(Approach::PerBlock)).unwrap().run;
     for k in 0..a.count() {
         let x: Vec<f32> = (0..20).map(|i| run.out.get(k, i, 20)).collect();
         let bk: Vec<f32> = (0..20).map(|i| b.get(k, i, 0)).collect();
@@ -204,11 +203,11 @@ fn per_block_gj_solves_2d() {
 
 #[test]
 fn per_block_qr_solve_2d() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(9);
     let a = rand_f32_batch(&mut r, 24, 24, 4, true);
     let b = rand_f32_batch(&mut r, 24, 1, 4, false);
-    let run = api::qr_solve_batch(&gpu, &a, &b, &opts(Approach::PerBlock)).unwrap();
+    let run = session.run_with(Op::QrSolve, &a, Some(&b), &opts(Approach::PerBlock)).unwrap().run;
     for k in 0..a.count() {
         let x: Vec<f32> = (0..24).map(|i| run.out.get(k, i, 24)).collect();
         let bk: Vec<f32> = (0..24).map(|i| b.get(k, i, 0)).collect();
@@ -220,7 +219,7 @@ fn per_block_qr_solve_2d() {
 #[test]
 fn qr_solve_agrees_across_layouts() {
     // Figure 7's three layouts must all produce correct solutions.
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(10);
     let a = rand_f32_batch(&mut r, 16, 16, 3, true);
     let b = rand_f32_batch(&mut r, 16, 1, 3, false);
@@ -229,7 +228,7 @@ fn qr_solve_agrees_across_layouts() {
             .approach(Approach::PerBlock)
             .layout(layout)
             .build();
-        let run = api::qr_solve_batch(&gpu, &a, &b, &o).unwrap();
+        let run = session.run_with(Op::QrSolve, &a, Some(&b), &o).unwrap().run;
         for k in 0..a.count() {
             let x: Vec<f32> = (0..16).map(|i| run.out.get(k, i, 16)).collect();
             let bk: Vec<f32> = (0..16).map(|i| b.get(k, i, 0)).collect();
@@ -241,11 +240,11 @@ fn qr_solve_agrees_across_layouts() {
 
 #[test]
 fn complex_gj_solves() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(11);
     let a = rand_c32_batch(&mut r, 12, 12, 3, true);
     let b = rand_c32_batch(&mut r, 12, 1, 3, false);
-    let run = api::gj_solve_batch(&gpu, &a, &b, &opts(Approach::PerBlock)).unwrap();
+    let run = session.run_with(Op::GjSolve, &a, Some(&b), &opts(Approach::PerBlock)).unwrap().run;
     for k in 0..a.count() {
         let x: Vec<C32> = (0..12).map(|i| run.out.get(k, i, 12)).collect();
         let bk: Vec<C32> = (0..12).map(|i| b.get(k, i, 0)).collect();
@@ -255,11 +254,11 @@ fn complex_gj_solves() {
 
 #[test]
 fn tiled_qr_matches_host_tall_real() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(12);
     // Tall enough to need several panels but small enough to test quickly.
     let a = rand_f32_batch(&mut r, 60, 20, 2, false);
-    let run = api::qr_batch(&gpu, &a, &opts(Approach::Tiled)).unwrap();
+    let run = session.run_with(Op::Qr, &a, None, &opts(Approach::Tiled)).unwrap().run;
     for k in 0..a.count() {
         let mut f = a.mat(k);
         host::householder_qr_in_place(&mut f);
@@ -281,13 +280,13 @@ fn tiled_qr_matches_host_tall_real() {
 
 #[test]
 fn tiled_least_squares_complex_radar_shape() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(13);
     // A miniature 240x66-style problem: tall complex least squares.
     let a = rand_c32_batch(&mut r, 48, 12, 2, false);
     let b = rand_c32_batch(&mut r, 48, 1, 2, false);
     let o = RunOpts::builder().approach(Approach::Tiled).build();
-    let (_, x) = api::least_squares_batch(&gpu, &a, &b, &o).unwrap();
+    let x = session.run_with(Op::LeastSquares, &a, Some(&b), &o).unwrap().solution.unwrap();
     for k in 0..a.count() {
         let bk: Vec<C32> = (0..48).map(|i| b.get(k, i, 0)).collect();
         let xk: Vec<C32> = (0..12).map(|i| x.get(k, i, 0)).collect();
@@ -300,11 +299,11 @@ fn tiled_least_squares_complex_radar_shape() {
 
 #[test]
 fn least_squares_per_block_tall() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(14);
     let a = rand_f32_batch(&mut r, 32, 8, 4, false);
     let b = rand_f32_batch(&mut r, 32, 1, 4, false);
-    let (_, x) = api::least_squares_batch(&gpu, &a, &b, &RunOpts::default()).unwrap();
+    let (_, x) = session.least_squares(&a, &b).unwrap();
     for k in 0..a.count() {
         let bk: Vec<f32> = (0..32).map(|i| b.get(k, i, 0)).collect();
         let xk: Vec<f32> = (0..8).map(|i| x.get(k, i, 0)).collect();
@@ -317,11 +316,11 @@ fn least_squares_per_block_tall() {
 
 #[test]
 fn gemm_batch_matches_host() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(15);
     let a = rand_f32_batch(&mut r, 16, 12, 5, false);
     let b = rand_f32_batch(&mut r, 12, 10, 5, false);
-    let run = api::gemm_batch(&gpu, &a, &b, &RunOpts::default()).unwrap();
+    let run = session.run_with(Op::Gemm, &a, Some(&b), &RunOpts::default()).unwrap().run;
     for k in 0..a.count() {
         let c = a.mat(k).matmul(&b.mat(k));
         assert!(run.out.mat(k).frob_dist(&c) < 1e-3 * c.frob_norm());
@@ -332,11 +331,11 @@ fn gemm_batch_matches_host() {
 fn gemm_complex_gmm_shape() {
     // The speech-recognition motivation: 79x16 complex-free multiplies —
     // here a smaller complex variant to exercise the complex path.
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(16);
     let a = rand_c32_batch(&mut r, 20, 8, 3, false);
     let b = rand_c32_batch(&mut r, 8, 6, 3, false);
-    let run = api::gemm_batch(&gpu, &a, &b, &RunOpts::default()).unwrap();
+    let run = session.run_with(Op::Gemm, &a, Some(&b), &RunOpts::default()).unwrap().run;
     for k in 0..a.count() {
         let c = a.mat(k).matmul(&b.mat(k));
         assert!(run.out.mat(k).frob_dist(&c) < 1e-3 * c.frob_norm().max(1.0));
@@ -347,28 +346,16 @@ fn gemm_complex_gmm_shape() {
 fn fast_math_error_is_bounded() {
     // --use_fast_math (22-bit reciprocal/sqrt) must stay close to precise.
     use regla_gpu_sim::MathMode;
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(17);
     let a = rand_f32_batch(&mut r, 16, 16, 3, true);
     let b = rand_f32_batch(&mut r, 16, 1, 3, false);
-    let fast = api::qr_solve_batch(
-        &gpu,
-        &a,
-        &b,
-        &RunOpts::builder()
-            .math(MathMode::Fast)
-            .approach(Approach::PerBlock)
-            .build(),
-    ).unwrap();
-    let precise = api::qr_solve_batch(
-        &gpu,
-        &a,
-        &b,
-        &RunOpts::builder()
-            .math(MathMode::Precise)
-            .approach(Approach::PerBlock)
-            .build(),
-    ).unwrap();
+    let solve = |math: MathMode| {
+        let o = RunOpts::builder().math(math).approach(Approach::PerBlock).build();
+        session.run_with(Op::QrSolve, &a, Some(&b), &o).unwrap().run
+    };
+    let fast = solve(MathMode::Fast);
+    let precise = solve(MathMode::Precise);
     let d = fast.out.max_frob_dist(&precise.out);
     assert!(d > 0.0, "fast math should differ in the low bits");
     assert!(d < 1e-3, "fast-math drift too large: {d}");
@@ -378,22 +365,22 @@ fn fast_math_error_is_bounded() {
 
 #[test]
 fn auto_dispatch_picks_sensible_approaches() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(18);
     let small = rand_f32_batch(&mut r, 6, 6, 32, true);
-    let run = api::lu_batch(&gpu, &small, &RunOpts::default()).unwrap();
+    let run = session.run_with(Op::Lu, &small, None, &RunOpts::default()).unwrap().run;
     assert_eq!(run.approach, Approach::PerThread);
     let mid = rand_f32_batch(&mut r, 40, 40, 2, true);
-    let run = api::lu_batch(&gpu, &mid, &RunOpts::default()).unwrap();
+    let run = session.run_with(Op::Lu, &mid, None, &RunOpts::default()).unwrap().run;
     assert_eq!(run.approach, Approach::PerBlock);
 }
 
 #[test]
 fn invert_batch_produces_inverses() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(30);
     let a = rand_f32_batch(&mut r, 12, 12, 3, true);
-    let (inv, run) = api::invert_batch(&gpu, &a, &RunOpts::default()).unwrap();
+    let (inv, run) = session.invert(&a).unwrap();
     assert!(run.not_solved().iter().all(|&f| !f));
     for k in 0..3 {
         let prod = a.mat(k).matmul(&inv.mat(k));
@@ -405,11 +392,11 @@ fn invert_batch_produces_inverses() {
 
 #[test]
 fn gj_multi_rhs_solves_all_columns() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(31);
     let a = rand_f32_batch(&mut r, 10, 10, 2, true);
     let b = rand_f32_batch(&mut r, 10, 3, 2, false);
-    let run = api::gj_solve_multi(&gpu, &a, &b, &RunOpts::default()).unwrap();
+    let run = session.run_with(Op::GjSolve, &a, Some(&b), &RunOpts::default()).unwrap().run;
     for k in 0..2 {
         for c in 0..3 {
             let x: Vec<f32> = (0..10).map(|i| run.out.get(k, i, 10 + c)).collect();
@@ -422,29 +409,29 @@ fn gj_multi_rhs_solves_all_columns() {
 
 #[test]
 fn singularity_flags_fire_on_zero_pivot() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut a = MatBatch::<f32>::zeros(8, 8, 2);
     // Problem 0: permutation-like (zero pivot at k=0); problem 1: identity.
     for i in 0..8 {
         a.set(0, i, (i + 1) % 8, 1.0);
         a.set(1, i, i, 1.0);
     }
-    let run = api::lu_batch(&gpu, &a, &opts(Approach::PerBlock)).unwrap();
+    let run = session.run_with(Op::Lu, &a, None, &opts(Approach::PerBlock)).unwrap().run;
     assert!(run.not_solved()[0], "singular problem must raise the flag");
     assert!(!run.not_solved()[1], "identity must not raise the flag");
 }
 
 #[test]
 fn tree_reduction_matches_serial_results() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(32);
     let a = rand_f32_batch(&mut r, 20, 20, 3, true);
-    let serial = api::qr_batch(&gpu, &a, &opts(Approach::PerBlock)).unwrap();
+    let serial = session.run_with(Op::Qr, &a, None, &opts(Approach::PerBlock)).unwrap().run;
     let tree_opts = RunOpts::builder()
         .approach(Approach::PerBlock)
         .tree_reduction(true)
         .build();
-    let tree = api::qr_batch(&gpu, &a, &tree_opts).unwrap();
+    let tree = session.run_with(Op::Qr, &a, None, &tree_opts).unwrap().run;
     // Same algorithm, different summation order: results agree closely.
     let d = serial.out.max_frob_dist(&tree.out);
     assert!(d < 1e-2, "tree vs serial divergence {d}");
@@ -452,15 +439,15 @@ fn tree_reduction_matches_serial_results() {
 
 #[test]
 fn listing7_lu_is_slower_but_equal() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(33);
     let a = rand_f32_batch(&mut r, 24, 24, 2, true);
-    let hoisted = api::lu_batch(&gpu, &a, &opts(Approach::PerBlock)).unwrap();
+    let hoisted = session.run_with(Op::Lu, &a, None, &opts(Approach::PerBlock)).unwrap().run;
     let l7_opts = RunOpts::builder()
         .approach(Approach::PerBlock)
         .lu_listing7(true)
         .build();
-    let l7 = api::lu_batch(&gpu, &a, &l7_opts).unwrap();
+    let l7 = session.run_with(Op::Lu, &a, None, &l7_opts).unwrap().run;
     assert_eq!(hoisted.out.max_frob_dist(&l7.out), 0.0, "identical math");
     assert!(
         l7.time_s() > hoisted.time_s(),
@@ -472,11 +459,11 @@ fn listing7_lu_is_slower_but_equal() {
 
 #[test]
 fn qr_solve_multi_rhs() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(34);
     let a = rand_f32_batch(&mut r, 14, 14, 2, true);
     let b = rand_f32_batch(&mut r, 14, 2, 2, false);
-    let run = api::qr_solve_multi(&gpu, &a, &b, &RunOpts::default()).unwrap();
+    let run = session.run_with(Op::QrSolve, &a, Some(&b), &RunOpts::default()).unwrap().run;
     for k in 0..2 {
         for c in 0..2 {
             let x: Vec<f32> = (0..14).map(|i| run.out.get(k, i, 14 + c)).collect();
@@ -503,10 +490,10 @@ fn spd_f32_batch(r: &mut StdRng, n: usize, count: usize) -> MatBatch<f32> {
 
 #[test]
 fn per_thread_cholesky_matches_host() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(40);
     let a = spd_f32_batch(&mut r, 6, 40);
-    let run = api::cholesky_batch(&gpu, &a, &opts(Approach::PerThread)).unwrap();
+    let run = session.run_with(Op::Cholesky, &a, None, &opts(Approach::PerThread)).unwrap().run;
     assert!(run.not_solved().is_empty() || run.not_solved().iter().all(|&f| !f));
     for k in 0..a.count() {
         let mut f = a.mat(k);
@@ -519,10 +506,10 @@ fn per_thread_cholesky_matches_host() {
 
 #[test]
 fn per_block_cholesky_reconstructs() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(41);
     let a = spd_f32_batch(&mut r, 20, 4);
-    let run = api::cholesky_batch(&gpu, &a, &opts(Approach::PerBlock)).unwrap();
+    let run = session.run_with(Op::Cholesky, &a, None, &opts(Approach::PerBlock)).unwrap().run;
     for k in 0..a.count() {
         assert!(!run.not_solved()[k]);
         let l = host::extract_l(&run.out.mat(k));
@@ -534,7 +521,7 @@ fn per_block_cholesky_reconstructs() {
 
 #[test]
 fn per_block_cholesky_complex_hermitian() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(42);
     let n = 12;
     let mut a = MatBatch::<C32>::zeros(n, n, 2);
@@ -548,7 +535,7 @@ fn per_block_cholesky_complex_hermitian() {
         }
         a.set_mat(k, &h);
     }
-    let run = api::cholesky_batch(&gpu, &a, &opts(Approach::PerBlock)).unwrap();
+    let run = session.run_with(Op::Cholesky, &a, None, &opts(Approach::PerBlock)).unwrap().run;
     for k in 0..2 {
         let l = host::extract_l(&run.out.mat(k));
         let llh = l.matmul(&l.hermitian_transpose());
@@ -559,25 +546,25 @@ fn per_block_cholesky_complex_hermitian() {
 
 #[test]
 fn cholesky_flags_non_spd_problems() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut a = MatBatch::<f32>::zeros(8, 8, 2);
     for i in 0..8 {
         a.set(0, i, i, 1.0);
         a.set(1, i, i, if i == 3 { -1.0 } else { 1.0 });
     }
-    let run = api::cholesky_batch(&gpu, &a, &opts(Approach::PerBlock)).unwrap();
+    let run = session.run_with(Op::Cholesky, &a, None, &opts(Approach::PerBlock)).unwrap().run;
     assert!(!run.not_solved()[0]);
     assert!(run.not_solved()[1], "indefinite problem must be flagged");
 }
 
 #[test]
 fn tsqr_least_squares_matches_host() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(50);
     // Tall enough for two stage-0 blocks plus a combine.
     let a = rand_f32_batch(&mut r, 72, 10, 3, false);
     let b = rand_f32_batch(&mut r, 72, 1, 3, false);
-    let (x, stats) = api::tsqr_least_squares(&gpu, &a, &b, &RunOpts::default()).unwrap();
+    let (x, stats) = session.tsqr_least_squares(&a, &b).unwrap();
     assert!(stats.launches.len() >= 4, "stage-0 blocks + combine + gather");
     for k in 0..3 {
         let bk: Vec<f32> = (0..72).map(|i| b.get(k, i, 0)).collect();
@@ -590,11 +577,11 @@ fn tsqr_least_squares_matches_host() {
 
 #[test]
 fn tsqr_complex_radar_shape() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(51);
     let a = rand_c32_batch(&mut r, 96, 12, 2, false);
     let b = rand_c32_batch(&mut r, 96, 1, 2, false);
-    let (x, _) = api::tsqr_least_squares(&gpu, &a, &b, &RunOpts::default()).unwrap();
+    let (x, _) = session.tsqr_least_squares(&a, &b).unwrap();
     for k in 0..2 {
         let bk: Vec<C32> = (0..96).map(|i| b.get(k, i, 0)).collect();
         let href = host::least_squares(&a.mat(k), &bk);
@@ -607,11 +594,11 @@ fn tsqr_complex_radar_shape() {
 #[test]
 fn tsqr_single_block_degenerates_to_per_block() {
     // m <= block height: one stage-0 factorization, then normalisation.
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut r = rng(52);
     let a = rand_f32_batch(&mut r, 16, 8, 2, false);
     let b = rand_f32_batch(&mut r, 16, 1, 2, false);
-    let (x, _) = api::tsqr_least_squares(&gpu, &a, &b, &RunOpts::default()).unwrap();
+    let (x, _) = session.tsqr_least_squares(&a, &b).unwrap();
     for k in 0..2 {
         let bk: Vec<f32> = (0..16).map(|i| b.get(k, i, 0)).collect();
         let href = host::least_squares(&a.mat(k), &bk);
@@ -626,7 +613,8 @@ fn global_level_qr_matches_host() {
     use regla_core::global_level::{global_level_qr, GlobalLevelOpts};
     use regla_core::per_block::SubMat;
     use regla_gpu_sim::GlobalMemory;
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
+    let gpu = session.gpu();
     let mut r = rng(60);
     let a = rand_f32_batch(&mut r, 12, 12, 3, true);
     let mut gmem = GlobalMemory::new(a.words_per_mat() * 3 + 4096);
@@ -636,7 +624,7 @@ fn global_level_qr_matches_host() {
         ..Default::default()
     };
     let stats = global_level_qr::<regla_gpu_sim::Rv>(
-        &gpu, &mut gmem, SubMat::whole(ptr, 12, 12), 12, 12, 3, opts,
+        gpu, &mut gmem, SubMat::whole(ptr, 12, 12), 12, 12, 3, opts,
     )
     .unwrap();
     // 4 launches per column (minus the last column's updates).
@@ -661,7 +649,8 @@ fn streams_do_not_help_fine_grained_launches() {
     use regla_core::global_level::{global_level_qr, GlobalLevelOpts};
     use regla_core::per_block::SubMat;
     use regla_gpu_sim::GlobalMemory;
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
+    let gpu = session.gpu();
     let mut r = rng(61);
     let a = rand_f32_batch(&mut r, 16, 16, 64, true);
     let run = |streams: usize| {
@@ -672,7 +661,7 @@ fn streams_do_not_help_fine_grained_launches() {
             ..Default::default()
         };
         global_level_qr::<regla_gpu_sim::Rv>(
-            &gpu, &mut gmem, SubMat::whole(ptr, 16, 16), 16, 16, 64, opts,
+            gpu, &mut gmem, SubMat::whole(ptr, 16, 16), 16, 16, 64, opts,
         )
         .unwrap()
         .time_s

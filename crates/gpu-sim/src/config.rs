@@ -143,6 +143,15 @@ pub struct GpuConfig {
     /// concurrent kernels, but small back-to-back launches serialize in
     /// the driver — the paper's "no benefit from using multiple streams".
     pub concurrent_kernels: usize,
+    /// DMA copy engines available to asynchronous transfers. The paper's
+    /// GF100 board exposes a single engine *and* serializes it against the
+    /// compute queue in the driver, which is why the paper measures "no
+    /// benefit from using multiple streams"; the stream timeline scheduler
+    /// (see [`crate::stream`]) reproduces that: with fewer than two engines
+    /// every command serializes in issue order. Tesla-class Fermi boards
+    /// (and everything since) expose two engines — one per direction — and
+    /// get the classic 3-stage copy/compute pipeline.
+    pub copy_engines: usize,
 }
 
 impl GpuConfig {
@@ -197,7 +206,27 @@ impl GpuConfig {
             pcie_latency_us: 15.0,
             launch_overhead_us: 4.0,
             concurrent_kernels: 1,
+            copy_engines: 1,
         }
+    }
+
+    /// The Quadro 6000 with the dual copy engines of the Tesla-class Fermi
+    /// boards (C2050/C2070). Compute parameters are identical; only the
+    /// host-link topology changes, so comparing this preset against
+    /// [`GpuConfig::quadro_6000`] isolates exactly the copy/compute-overlap
+    /// effect the stream scheduler models.
+    pub fn quadro_6000_dual_copy() -> Self {
+        GpuConfig {
+            name: "NVIDIA Quadro 6000 (dual copy engines, simulated)",
+            copy_engines: 2,
+            ..Self::quadro_6000()
+        }
+    }
+
+    /// Builder-style override of the copy-engine count.
+    pub fn with_copy_engines(mut self, n: usize) -> Self {
+        self.copy_engines = n;
+        self
     }
 
     /// A G80-generation part (GeForce 8800 class), used only to cross-check
@@ -253,6 +282,7 @@ impl GpuConfig {
             pcie_latency_us: 15.0,
             launch_overhead_us: 8.0,
             concurrent_kernels: 1,
+            copy_engines: 1,
         }
     }
 
@@ -309,6 +339,7 @@ impl GpuConfig {
             pcie_latency_us: 15.0,
             launch_overhead_us: 6.0,
             concurrent_kernels: 1,
+            copy_engines: 1,
         }
     }
 

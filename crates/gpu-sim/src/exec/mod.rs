@@ -212,6 +212,7 @@ impl<F: Fn(&mut BlockCtx)> BlockKernel for F {
 }
 
 /// The simulated GPU.
+#[derive(Clone, Debug)]
 pub struct Gpu {
     pub cfg: GpuConfig,
 }

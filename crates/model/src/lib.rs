@@ -22,6 +22,7 @@ pub mod logp;
 pub mod params;
 pub mod per_block;
 pub mod per_thread;
+pub mod pipeline;
 pub mod plan;
 
 pub use dispatch::{choose, Candidate, Decision};
@@ -32,6 +33,7 @@ pub use per_block::{
     phase_estimates, predict_block, qr_panels, BlockPrediction, PanelEstimate, PhaseEstimate,
 };
 pub use per_thread::{communication_bound_gflops, register_resident_limit};
+pub use pipeline::PipelineEstimate;
 pub use plan::{
     block_plan, thread_plan, Approach, BlockPlan, ThreadPlan, PER_BLOCK_MAX_DECLARED_REGS,
 };

@@ -8,8 +8,7 @@
 //! systems (one per bin per range segment) this library accelerates.
 
 use crate::datacube::DataCube;
-use regla_core::{api, C32, Mat, MatBatch, RunOpts, Scalar};
-use regla_gpu_sim::Gpu;
+use regla_core::{C32, Mat, MatBatch, Scalar, Session};
 use std::f32::consts::{PI, TAU};
 
 /// The data cube after Doppler filtering:
@@ -88,12 +87,11 @@ pub fn spatial_steering(channels: usize, fs: f32) -> Vec<C32> {
 /// Gauss-Jordan kernel (the systems are `channels x channels`, the MRI-
 /// sized problems of the paper's introduction).
 pub fn post_doppler_weights(
-    gpu: &Gpu,
+    session: &Session,
     dc: &DopplerCube,
     training_gates: &[usize],
     fs: f32,
     loading: f32,
-    opts: &RunOpts,
 ) -> Vec<Vec<C32>> {
     let nc = dc.channels;
     let s = spatial_steering(nc, fs);
@@ -116,7 +114,9 @@ pub fn post_doppler_weights(
         cov.set_mat(b, &r);
     }
     let rhs = MatBatch::from_fn(nc, 1, dc.bins, |_, i, _| s[i]);
-    let run = api::gj_solve_batch(gpu, &cov, &rhs, opts).expect("valid covariance batch");
+    let run = session
+        .gj_solve(&cov, &rhs)
+        .expect("valid covariance batch");
     (0..dc.bins)
         .map(|b| (0..nc).map(|i| run.out.get(b, i, nc)).collect())
         .collect()
@@ -212,10 +212,9 @@ mod tests {
         };
         let cube = crate::datacube::DataCube::synthesize(&p, &[]);
         let dc = doppler_filterbank(&cube);
-        let gpu = Gpu::quadro_6000();
+        let session = Session::new();
         let gates: Vec<usize> = (0..32).collect();
-        let weights =
-            post_doppler_weights(&gpu, &dc, &gates, 0.3, 0.3, &RunOpts::default());
+        let weights = post_doppler_weights(&session, &dc, &gates, 0.3, 0.3);
         assert_eq!(weights.len(), dc.bins);
         // Output clutter power with adaptive weights vs non-adaptive, at
         // every bin: adaptivity must not amplify the interference.

@@ -7,9 +7,9 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use regla_core::{api, C32, MatBatch, RunOpts};
+use regla_core::{C32, MatBatch, Op, RunOpts, Session};
 use regla_cpu::{timed_batch, CpuAlg};
-use regla_gpu_sim::{ExecMode, Gpu};
+use regla_gpu_sim::ExecMode;
 use regla_model::Approach;
 
 /// One RT_STAP benchmark case.
@@ -71,10 +71,13 @@ pub fn case_batch(case: &StapCase, seed: u64) -> MatBatch<C32> {
 
 /// Run one Table VII case: the batched complex QR on the simulated GPU
 /// against the CPU baseline.
-pub fn run_case(gpu: &Gpu, case: &StapCase, exec: ExecMode, cpu_threads: usize) -> StapResult {
+pub fn run_case(session: &Session, case: &StapCase, exec: ExecMode, cpu_threads: usize) -> StapResult {
     let batch = case_batch(case, 0x57A9 + case.m as u64);
     let opts = RunOpts::builder().exec(exec).build();
-    let run = api::qr_batch(gpu, &batch, &opts).expect("valid Table VII batch");
+    let run = session
+        .run_with(Op::Qr, &batch, None, &opts)
+        .expect("valid Table VII batch")
+        .run;
     let flops = regla_model::Algorithm::Qr.flops_complex(case.m, case.n) * case.count as f64;
     let gpu_time = run.time_s();
     let cpu = timed_batch(CpuAlg::Qr, &batch, case.n, cpu_threads);
@@ -103,22 +106,22 @@ mod tests {
     #[test]
     fn eighty_by_sixteen_fits_one_block() {
         // Section VII: "The 80x16 problem fits in a single thread block".
-        let gpu = Gpu::quadro_6000();
+        let session = Session::new();
         let case = StapCase {
             count: 8, // keep the test quick
             ..RT_STAP_CASES[0]
         };
-        let r = run_case(&gpu, &case, ExecMode::Representative, 1);
+        let r = run_case(&session, &case, ExecMode::Representative, 1);
         assert_eq!(r.approach, Approach::PerBlock);
         assert!(r.gpu_gflops > 10.0);
     }
 
     #[test]
     fn tall_cases_take_the_tiled_path() {
-        let gpu = Gpu::quadro_6000();
+        let session = Session::new();
         for case in &RT_STAP_CASES[1..] {
             let small = StapCase { count: 2, ..*case };
-            let r = run_case(&gpu, &small, ExecMode::Representative, 1);
+            let r = run_case(&session, &small, ExecMode::Representative, 1);
             assert_eq!(r.approach, Approach::Tiled, "case {}x{}", case.m, case.n);
         }
     }
@@ -127,12 +130,12 @@ mod tests {
     fn gpu_beats_this_cpu_baseline() {
         // The absolute speedup differs from the paper's 2.8-25x (their
         // comparator is MKL), but the GPU must win on batched problems.
-        let gpu = Gpu::quadro_6000();
+        let session = Session::new();
         let case = StapCase {
             count: 16,
             ..RT_STAP_CASES[0]
         };
-        let r = run_case(&gpu, &case, ExecMode::Representative, 1);
+        let r = run_case(&session, &case, ExecMode::Representative, 1);
         assert!(r.speedup > 1.0, "speedup {}", r.speedup);
     }
 }

@@ -10,9 +10,8 @@
 //! `Rᴴ y = s`, `R w = y`.
 
 use crate::datacube::DataCube;
-use regla_core::{api, C32, Mat, MatBatch, RunOpts};
+use regla_core::{C32, Mat, MatBatch, Op, Session};
 use regla_core::tiled::MultiLaunch;
-use regla_gpu_sim::Gpu;
 
 /// Assemble a training matrix from the snapshots of `gates`, skipping the
 /// cell under test and its guard cells, with `loading` x identity rows
@@ -71,13 +70,15 @@ pub fn triangular_weight_solve(f: &Mat<C32>, s: &[C32]) -> Vec<C32> {
 /// (simulated) GPU; the small triangular solves run on the host, as radar
 /// pipelines do. Returns one weight vector per problem plus the GPU stats.
 pub fn solve_weights_gpu(
-    gpu: &Gpu,
+    session: &Session,
     training: &MatBatch<C32>,
     steering: &[Vec<C32>],
-    opts: &RunOpts,
 ) -> (Vec<Vec<C32>>, MultiLaunch) {
     assert_eq!(training.count(), steering.len());
-    let run = api::qr_batch(gpu, training, opts).expect("valid training batch");
+    let run = session
+        .run(Op::Qr, training, None)
+        .expect("valid training batch")
+        .run;
     let weights = (0..training.count())
         .map(|k| {
             let f = run.out.mat(k);
@@ -160,7 +161,7 @@ mod tests {
 
     #[test]
     fn gpu_weight_solve_matches_host_path() {
-        let gpu = Gpu::quadro_6000();
+        let session = Session::new();
         let p = CubeParams {
             channels: 4,
             pulses: 3,
@@ -172,8 +173,7 @@ mod tests {
         let x = training_matrix(&cube, &gates, &[], 0.5);
         let batch = MatBatch::replicate(&x, 2);
         let s = cube.steering(0.2, 0.1);
-        let (weights, _) =
-            solve_weights_gpu(&gpu, &batch, &[s.clone(), s.clone()], &RunOpts::default());
+        let (weights, _) = solve_weights_gpu(&session, &batch, &[s.clone(), s.clone()]);
         let mut f = x.clone();
         regla_core::host::householder_qr_in_place(&mut f);
         let wh = triangular_weight_solve(&f, &s);

@@ -15,7 +15,7 @@ use regla::core::host;
 use regla::core::prelude::*;
 
 fn main() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let coils = 8; // 8 receive coils -> 8x8 systems per voxel
     let slice = 64 * 64; // one 64x64 slice of voxels
     println!("calibrating {slice} voxels, one {coils}x{coils} complex system each");
@@ -43,7 +43,7 @@ fn main() {
     // The 8x8 complex system (64 complex = 128 words) exceeds one thread's
     // registers, so the dispatcher picks the per-block path automatically;
     // force per-thread to see the spill cost, or let it choose:
-    let run = gj_solve_batch(&gpu, &a, &b, &RunOpts::default()).unwrap();
+    let run = session.gj_solve(&a, &b).unwrap();
     println!(
         "solved with {} in {:.3} ms at {:.1} GFLOPS",
         run.approach.name(),

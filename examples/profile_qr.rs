@@ -9,7 +9,6 @@
 use regla::core::prelude::*;
 
 fn main() {
-    let gpu = Gpu::quadro_6000();
 
     // 300 diagonally dominant 56x56 systems — the paper's flagship
     // per-block size; 300 blocks span two full waves plus a remainder.
@@ -24,14 +23,14 @@ fn main() {
         a.set_mat(k, &m);
     }
 
-    // The trace sink rides on RunOpts; every launch of the run records a
-    // hierarchical launch -> wave -> phase trace into it.
+    // The trace sink rides on the session; every launch of every run
+    // records a hierarchical launch -> wave -> phase trace into it.
     let profiler = Profiler::new();
-    let opts = RunOpts::builder()
-        .approach(Approach::PerBlock)
-        .trace(profiler.clone())
+    let session = Session::builder()
+        .profiler(profiler.clone())
+        .opts(RunOpts::builder().approach(Approach::PerBlock).build())
         .build();
-    let run = qr_batch(&gpu, &a, &opts).unwrap();
+    let run = session.qr(&a).unwrap();
     println!(
         "factored {count} systems of {n}x{n} in {:.3} ms at {:.1} GFLOPS\n",
         run.time_s() * 1e3,

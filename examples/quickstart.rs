@@ -10,8 +10,8 @@ use regla::core::prelude::*;
 use regla::model::{self, Algorithm, ModelParams};
 
 fn main() {
-    let gpu = Gpu::quadro_6000();
-    println!("device: {}\n", gpu.cfg.name);
+    let session = Session::new();
+    println!("device: {}\n", session.config().name);
 
     // 4096 diagonally dominant 32x32 systems A x = b.
     let n = 32;
@@ -28,7 +28,7 @@ fn main() {
 
     // Ask the predictive model what it would do.
     let params = ModelParams::table_iv();
-    let decision = model::choose(&params, &gpu.cfg, Algorithm::QrSolve, n, n, count, 1);
+    let decision = model::choose(&params, session.config(), Algorithm::QrSolve, n, n, count, 1);
     println!("predicted design space for {count} systems of size {n}x{n}:");
     for c in &decision.candidates {
         println!(
@@ -41,7 +41,7 @@ fn main() {
     }
 
     // Solve on the (simulated) GPU via QR.
-    let run = qr_solve_batch(&gpu, &a, &b, &RunOpts::default()).unwrap();
+    let run = session.qr_solve(&a, &b).unwrap();
     println!(
         "\nexecuted with {} in {:.3} ms at {:.1} GFLOPS",
         run.approach.name(),

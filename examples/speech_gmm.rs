@@ -12,7 +12,7 @@ use rand::{RngExt, SeedableRng};
 use regla::core::prelude::*;
 
 fn main() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     // 2048 GMM blocks: mean matrices (79 mixtures x 16 features) times
     // feature-vector batches (16 features x 8 frames).
     let (mix, feat, frames, count) = (79, 16, 8, 2048);
@@ -27,7 +27,7 @@ fn main() {
     );
     // Full functional execution: every product is computed and checked.
     let opts = RunOpts::builder().exec(ExecMode::Full).build();
-    let run = gemm_batch(&gpu, &means, &frames_b, &opts).unwrap();
+    let run = session.run_with(Op::Gemm, &means, Some(&frames_b), &opts).unwrap().run;
     println!(
         "GPU time {:.3} ms at {:.1} GFLOPS ({} per 100 ms real-time budget)",
         run.time_s() * 1e3,

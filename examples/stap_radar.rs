@@ -20,7 +20,7 @@ fn bar(x: f32, max: f32) -> String {
 }
 
 fn main() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
 
     // A small but realistic cube: 8 channels x 8 pulses x 64 range gates,
     // clutter 20 dB above noise, one target well off the clutter ridge.
@@ -72,7 +72,7 @@ fn main() {
     );
 
     let steers: Vec<Vec<C32>> = vec![steering.clone(); segments.len()];
-    let (weights, stats) = solve_weights_gpu(&gpu, &batch, &steers, &RunOpts::default());
+    let (weights, stats) = solve_weights_gpu(&session, &batch, &steers);
     println!(
         "GPU time {:.3} ms at {:.1} GFLOPS\n",
         stats.time_s * 1e3,

@@ -12,7 +12,7 @@ use regla::core::host;
 use regla::core::prelude::*;
 
 fn main() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     // A small batch of the paper's hardest radar shape: 240x66 complex.
     // Too few problems to fill the chip one-block-per-problem — the regime
     // where TSQR's extra parallelism pays.
@@ -31,7 +31,10 @@ fn main() {
         .approach(Approach::Tiled)
         .exec(ExecMode::Full)
         .build();
-    let (tiled_run, x_tiled) = least_squares_batch(&gpu, &a, &b, &tiled_opts).unwrap();
+    let (tiled_run, x_tiled) = session
+        .run_with(Op::LeastSquares, &a, Some(&b), &tiled_opts)
+        .map(|o| (o.run, o.solution.expect("least squares extracts x")))
+        .unwrap();
     println!(
         "sequential tiled QR: {:.3} ms ({:.1} GFLOPS, {} launches)",
         tiled_run.time_s() * 1e3,
@@ -40,7 +43,7 @@ fn main() {
     );
 
     // --- the extension: TSQR reduction tree.
-    let (x_tsqr, tsqr_stats) = tsqr_least_squares(&gpu, &a, &b, &RunOpts::default()).unwrap();
+    let (x_tsqr, tsqr_stats) = session.tsqr_least_squares(&a, &b).unwrap();
     let flops = regla::model::Algorithm::Qr.flops_complex(m, n) * count as f64;
     println!(
         "TSQR tree:           {:.3} ms ({:.1} GFLOPS, {} launches)",

@@ -17,14 +17,13 @@
 //! * [`stap`] — the space-time adaptive radar processing application.
 //!
 //! ```
-//! use regla::core::{api, MatBatch, RunOpts};
-//! use regla::gpu_sim::Gpu;
+//! use regla::core::{MatBatch, Session};
 //!
-//! let gpu = Gpu::quadro_6000();
+//! let session = Session::new();
 //! let batch = MatBatch::from_fn(6, 6, 64, |k, i, j| {
 //!     if i == j { 8.0 } else { ((k + i * j) % 5) as f32 * 0.1 }
 //! });
-//! let run = api::lu_batch(&gpu, &batch, &RunOpts::default()).unwrap();
+//! let run = session.lu(&batch).unwrap();
 //! assert!(run.gflops() > 0.0);
 //! ```
 

@@ -1,9 +1,9 @@
 //! Cross-crate end-to-end scenarios: the comparisons behind Figures 10-11
 //! and Table VII, run at reduced scale with full functional execution.
 
-use regla::core::{api, host, MatBatch, RunOpts};
+use regla::core::{host, MatBatch, Op, RunOpts, Session};
 use regla::cpu::{run_batch, timed_batch, CpuAlg};
-use regla::gpu_sim::{ExecMode, Gpu};
+use regla::gpu_sim::ExecMode;
 use regla::hybrid::{blocked_qr_in_place, hybrid_batch_gflops, HybridCfg, Start};
 use regla::model::{Algorithm, Approach};
 
@@ -22,9 +22,9 @@ fn dd_batch(n: usize, count: usize, seed: u64) -> MatBatch<f32> {
 #[test]
 fn gpu_cpu_and_hybrid_agree_numerically() {
     // The three implementations must produce the same factorizations.
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let a = dd_batch(24, 4, 1);
-    let gpu_out = api::qr_batch(&gpu, &a, &RunOpts::default()).unwrap().out;
+    let gpu_out = session.qr(&a).unwrap().out;
     let cpu_out = run_batch(CpuAlg::Qr, &a, 2);
     for k in 0..4 {
         // Compare through the sign-invariant Gram identity (RᴴR = AᴴA):
@@ -52,16 +52,16 @@ fn gpu_cpu_and_hybrid_agree_numerically() {
 fn batched_gpu_beats_sequential_hybrid_on_small_problems() {
     // Figure 11's headline: orders of magnitude between the batched
     // per-block kernels and the sequential MAGMA-style library.
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let count = 2016;
     let a = dd_batch(56, count, 2);
     let opts = RunOpts::builder()
         .exec(ExecMode::Representative)
         .approach(Approach::PerBlock)
         .build();
-    let gpu_g = api::qr_batch(&gpu, &a, &opts).unwrap().gflops();
+    let gpu_g = session.run_with(Op::Qr, &a, None, &opts).unwrap().run.gflops();
     let magma = hybrid_batch_gflops(
-        &HybridCfg::magma_like(&gpu.cfg),
+        &HybridCfg::magma_like(session.config()),
         Algorithm::Qr,
         56,
         56,
@@ -77,8 +77,8 @@ fn batched_gpu_beats_sequential_hybrid_on_small_problems() {
 #[test]
 fn hybrid_wins_single_large_factorizations() {
     // Figure 10's right-hand side (model level).
-    let gpu = Gpu::quadro_6000();
-    let hybrid = HybridCfg::magma_like(&gpu.cfg);
+    let cfg = regla::gpu_sim::GpuConfig::quadro_6000();
+    let hybrid = HybridCfg::magma_like(&cfg);
     let large = hybrid_batch_gflops(&hybrid, Algorithm::Qr, 4096, 4096, 1, Start::Cpu);
     // The per-block approach on one 4096 problem would use a single block
     // of the chip (and spill catastrophically); even its *peak* batched
@@ -88,24 +88,24 @@ fn hybrid_wins_single_large_factorizations() {
 
 #[test]
 fn gpu_is_faster_than_our_cpu_for_batched_radar_shapes() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let case = regla::stap::StapCase {
         count: 24,
         ..regla::stap::RT_STAP_CASES[0]
     };
-    let r = regla::stap::run_case(&gpu, &case, ExecMode::Representative, 1);
+    let r = regla::stap::run_case(&session, &case, ExecMode::Representative, 1);
     assert!(r.speedup > 1.0);
     assert!(r.gpu_gflops > 5.0 * r.cpu_gflops);
 }
 
 #[test]
 fn solves_are_correct_through_every_path() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     for n in [6usize, 20, 48] {
         let count = 6;
         let a = dd_batch(n, count, n as u64);
         let b = MatBatch::from_fn(n, 1, count, |k, i, _| ((k * 3 + i) % 5) as f32 - 2.0);
-        let run = api::qr_solve_batch(&gpu, &a, &b, &RunOpts::default()).unwrap();
+        let run = session.qr_solve(&a, &b).unwrap();
         for k in 0..count {
             let x: Vec<f32> = (0..n).map(|i| run.out.get(k, i, n)).collect();
             let bk: Vec<f32> = (0..n).map(|i| b.get(k, i, 0)).collect();

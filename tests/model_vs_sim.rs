@@ -3,8 +3,8 @@
 //! model-vs-simulator agreement and the qualitative shapes of Figures 4
 //! and 9.
 
-use regla::core::{api, MatBatch, RunOpts};
-use regla::gpu_sim::{ExecMode, Gpu};
+use regla::core::{MatBatch, Op, RunOpts, Session};
+use regla::gpu_sim::ExecMode;
 use regla::model::{per_block, per_thread, Algorithm, Approach, ModelParams};
 
 fn dd_batch(n: usize, count: usize) -> MatBatch<f32> {
@@ -29,11 +29,11 @@ fn rep(approach: Approach) -> RunOpts {
 #[test]
 fn per_thread_measurement_tracks_roofline_when_resident() {
     // Figure 4, n < 8: measured within ~35% of AI x bandwidth.
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let p = ModelParams::table_iv();
     for n in [4, 5, 6, 7] {
         let a = dd_batch(n, 64_000.min(48_000_000 / (n * n)));
-        let meas = api::lu_batch(&gpu, &a, &rep(Approach::PerThread)).unwrap().gflops();
+        let meas = session.run_with(Op::Lu, &a, None, &rep(Approach::PerThread)).unwrap().run.gflops();
         let pred = per_thread::predicted_gflops(&p, Algorithm::Lu, n, 4);
         let ratio = meas / pred;
         assert!(
@@ -46,10 +46,10 @@ fn per_thread_measurement_tracks_roofline_when_resident() {
 #[test]
 fn per_thread_collapses_past_the_register_file() {
     // Figure 4, n >= 8: measurement falls away from the roofline.
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let p = ModelParams::table_iv();
     let a = dd_batch(12, 8000);
-    let meas = api::qr_batch(&gpu, &a, &rep(Approach::PerThread)).unwrap().gflops();
+    let meas = session.run_with(Op::Qr, &a, None, &rep(Approach::PerThread)).unwrap().run.gflops();
     let pred = per_thread::predicted_gflops(&p, Algorithm::Qr, 12, 4);
     assert!(
         meas < 0.55 * pred,
@@ -60,13 +60,13 @@ fn per_thread_collapses_past_the_register_file() {
 #[test]
 fn per_block_model_within_forty_percent_of_sim() {
     // Figure 9: model vs measurement for the non-spilling sizes.
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let p = ModelParams::table_iv();
     for n in [24, 40, 56] {
         let count = 2016;
         let a = dd_batch(n, count);
-        let meas = api::qr_batch(&gpu, &a, &rep(Approach::PerBlock)).unwrap().gflops();
-        let pred = per_block::predict_block(&p, &gpu.cfg, Algorithm::Qr, n, n, 0, 1, count).gflops;
+        let meas = session.run_with(Op::Qr, &a, None, &rep(Approach::PerBlock)).unwrap().run.gflops();
+        let pred = per_block::predict_block(&p, session.config(), Algorithm::Qr, n, n, 0, 1, count).gflops;
         let ratio = meas / pred;
         assert!(
             (0.6..1.55).contains(&ratio),
@@ -78,10 +78,10 @@ fn per_block_model_within_forty_percent_of_sim() {
 #[test]
 fn per_block_peaks_then_drops_at_the_thread_switch() {
     // Figure 9's signature shape.
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let g = |n: usize| {
         let a = dd_batch(n, 2016);
-        api::qr_batch(&gpu, &a, &rep(Approach::PerBlock)).unwrap().gflops()
+        session.run_with(Op::Qr, &a, None, &rep(Approach::PerBlock)).unwrap().run.gflops()
     };
     let g56 = g(56);
     let g80 = g(80);
@@ -94,10 +94,10 @@ fn per_block_peaks_then_drops_at_the_thread_switch() {
 
 #[test]
 fn table_v_cycle_counts_match_paper_magnitudes() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let a = dd_batch(56, 1120);
     let opts = rep(Approach::PerBlock);
-    let qr = api::qr_batch(&gpu, &a, &opts).unwrap();
+    let qr = session.run_with(Op::Qr, &a, None, &opts).unwrap().run;
     let s = &qr.stats.launches[0];
     let compute = s.wave_cycles() - s.cycles_for("load") - s.cycles_for("store");
     // Paper: 150203 cycles of compute. Accept 0.6x..1.5x.
@@ -105,7 +105,7 @@ fn table_v_cycle_counts_match_paper_magnitudes() {
         (90_000.0..230_000.0).contains(&compute),
         "QR 56x56 compute {compute} cycles (paper: 150203)"
     );
-    let lu = api::lu_batch(&gpu, &a, &opts).unwrap();
+    let lu = session.run_with(Op::Lu, &a, None, &opts).unwrap().run;
     let sl = &lu.stats.launches[0];
     let lu_compute = sl.wave_cycles() - sl.cycles_for("load") - sl.cycles_for("store");
     assert!(
@@ -118,10 +118,10 @@ fn table_v_cycle_counts_match_paper_magnitudes() {
 fn panel_breakdown_model_tracks_sim() {
     // Figure 8: per-panel totals agree within 2x everywhere and the two
     // series are both monotonically decreasing.
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let p = ModelParams::table_iv();
     let a = dd_batch(56, 1120);
-    let run = api::qr_batch(&gpu, &a, &rep(Approach::PerBlock)).unwrap();
+    let run = session.run_with(Op::Qr, &a, None, &rep(Approach::PerBlock)).unwrap().run;
     let stats = &run.stats.launches[0];
     let plan = regla::model::block_plan(56, 56, 0, 1);
     let mut last_sim = f64::INFINITY;
@@ -144,11 +144,11 @@ fn panel_breakdown_model_tracks_sim() {
 fn microbench_derived_params_predict_like_table_iv() {
     // Closing the loop: parameters measured on the simulator feed the
     // model and give essentially the same prediction as Table IV.
-    let gpu = Gpu::quadro_6000();
-    let measured = regla::microbench::derive_params(&gpu);
+    let session = Session::new();
+    let measured = regla::microbench::derive_params(session.gpu());
     let table = ModelParams::table_iv();
-    let a = per_block::predict_block(&measured, &gpu.cfg, Algorithm::Qr, 56, 56, 0, 1, 8000);
-    let b = per_block::predict_block(&table, &gpu.cfg, Algorithm::Qr, 56, 56, 0, 1, 8000);
+    let a = per_block::predict_block(&measured, session.config(), Algorithm::Qr, 56, 56, 0, 1, 8000);
+    let b = per_block::predict_block(&table, session.config(), Algorithm::Qr, 56, 56, 0, 1, 8000);
     let ratio = a.gflops / b.gflops;
     assert!(
         (0.85..1.15).contains(&ratio),

@@ -4,8 +4,7 @@
 //! bit-identity assertions always run).
 
 use proptest::prelude::*;
-use regla::core::{api, MatBatch, RunOpts};
-use regla::gpu_sim::Gpu;
+use regla::core::{MatBatch, Op, RunOpts, Session};
 use regla::model::Approach;
 use std::time::Instant;
 
@@ -19,7 +18,7 @@ fn batch(n: usize, count: usize, seed: u64) -> MatBatch<f32> {
 /// Factor a batch at a fixed host thread count; return the output bits,
 /// tau bits, and per-launch simulated cycles.
 fn qr_at(
-    gpu: &Gpu,
+    session: &Session,
     a: &MatBatch<f32>,
     approach: Approach,
     threads: usize,
@@ -28,7 +27,7 @@ fn qr_at(
         .approach(approach)
         .host_threads(threads)
         .build();
-    let r = api::qr_batch(gpu, a, &opts).unwrap();
+    let r = session.run_with(Op::Qr, a, None, &opts).unwrap().run;
     let out: Vec<u32> = r.out.data().iter().map(|v| v.to_bits()).collect();
     let taus: Vec<u32> = r
         .taus
@@ -50,11 +49,11 @@ proptest! {
         seed in 0u64..500,
         approach in prop::sample::select(vec![Approach::PerThread, Approach::PerBlock]),
     ) {
-        let gpu = Gpu::quadro_6000();
+        let session = Session::new();
         let a = batch(n, count, seed);
-        let t1 = qr_at(&gpu, &a, approach, 1);
-        let t2 = qr_at(&gpu, &a, approach, 2);
-        let t8 = qr_at(&gpu, &a, approach, 8);
+        let t1 = qr_at(&session, &a, approach, 1);
+        let t2 = qr_at(&session, &a, approach, 2);
+        let t8 = qr_at(&session, &a, approach, 8);
         prop_assert_eq!(&t1, &t2, "1 vs 2 host threads");
         prop_assert_eq!(&t1, &t8, "1 vs 8 host threads");
     }
@@ -69,12 +68,12 @@ proptest! {
 fn fig9_style_parallel_speedup_and_bit_identity() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let (n, count) = if cores >= 8 { (56, 8000) } else { (20, 240) };
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let a = batch(n, count, 42);
 
     let timed = |threads: usize| {
         let t0 = Instant::now();
-        let r = qr_at(&gpu, &a, Approach::PerBlock, threads);
+        let r = qr_at(&session, &a, Approach::PerBlock, threads);
         (r, t0.elapsed().as_secs_f64())
     };
     let (r1, wall1) = timed(1);

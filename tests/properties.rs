@@ -2,8 +2,7 @@
 //! random well-conditioned matrices, every path must satisfy the algebra.
 
 use proptest::prelude::*;
-use regla::core::{api, host, C32, Mat, MatBatch, RunOpts, Scalar};
-use regla::gpu_sim::Gpu;
+use regla::core::{host, C32, Mat, MatBatch, Op, RunOpts, Scalar, Session};
 use regla::model::{block_plan, Approach};
 
 fn dd_mat_f32(n: usize, seed: u64) -> Mat<f32> {
@@ -125,7 +124,7 @@ proptest! {
         count in 1usize..6,
         seed in 0u64..100,
     ) {
-        let gpu = Gpu::quadro_6000();
+        let session = Session::new();
         let mut a = MatBatch::from_fn(n, n, count, |k, i, j| {
             ((seed as usize + k * 41 + i * 13 + j * 7) % 27) as f32 / 27.0 - 0.45
         });
@@ -135,7 +134,7 @@ proptest! {
             a.set_mat(k, &m);
         }
         let b = MatBatch::from_fn(n, 1, count, |k, i, _| ((k + i) % 9) as f32 - 4.0);
-        let run = api::gj_solve_batch(&gpu, &a, &b, &RunOpts::default()).unwrap();
+        let run = session.gj_solve(&a, &b).unwrap();
         for k in 0..count {
             let x: Vec<f32> = (0..n).map(|i| run.out.get(k, i, n)).collect();
             let bk: Vec<f32> = (0..n).map(|i| b.get(k, i, 0)).collect();
@@ -149,14 +148,14 @@ proptest! {
         extra in 0usize..8,
         seed in 0u64..100,
     ) {
-        let gpu = Gpu::quadro_6000();
+        let session = Session::new();
         let m = n + extra;
         let a = MatBatch::from_fn(m, n, 2, |k, i, j| {
             ((seed as usize + k * 3 + i * 31 + j * 17) % 23) as f32 / 23.0
                 + if i == j { 1.5 } else { 0.0 }
         });
         let opts = RunOpts::builder().approach(Approach::PerBlock).build();
-        let run = api::qr_batch(&gpu, &a, &opts).unwrap();
+        let run = session.run_with(Op::Qr, &a, None, &opts).unwrap().run;
         for k in 0..2 {
             let am = a.mat(k);
             let r = host::extract_r(&run.out.mat(k));

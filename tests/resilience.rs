@@ -4,9 +4,9 @@
 //! detected, recovered, and bit-reproducible.
 
 use proptest::prelude::*;
-use regla::core::{api, MatBatch, ProblemStatus, RecoveryPolicy, ReglaError, RunOpts};
+use regla::core::{MatBatch, Op, ProblemStatus, RecoveryPolicy, ReglaError, RunOpts, Session};
 use regla::cpu::{run_batch_status, CpuAlg};
-use regla::gpu_sim::{FaultPlan, Gpu};
+use regla::gpu_sim::FaultPlan;
 use regla::model::Approach;
 
 fn dd_batch(n: usize, count: usize, seed: usize) -> MatBatch<f32> {
@@ -27,7 +27,7 @@ fn raw(approach: Approach) -> RunOpts {
 /// the per-thread path, the per-block path, and the CPU baseline.
 #[test]
 fn singular_verdicts_match_cpu_baseline() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let n = 8;
     let count = 12;
     let mut a = dd_batch(n, count, 3);
@@ -48,7 +48,7 @@ fn singular_verdicts_match_cpu_baseline() {
     assert_eq!(cpu_status[7], ProblemStatus::ZeroPivot { col: 3 });
 
     for approach in [Approach::PerThread, Approach::PerBlock] {
-        let run = api::lu_batch(&gpu, &a, &raw(approach)).unwrap();
+        let run = session.run_with(Op::Lu, &a, None, &raw(approach)).unwrap().run;
         assert_eq!(
             run.status, cpu_status,
             "{approach:?} LU verdicts diverge from the CPU baseline"
@@ -62,7 +62,7 @@ fn singular_verdicts_match_cpu_baseline() {
     spd.set(1, 4, 4, -3.0);
     let (_, cpu_chol) = run_batch_status(CpuAlg::Cholesky, &spd, 2);
     for approach in [Approach::PerThread, Approach::PerBlock] {
-        let run = api::cholesky_batch(&gpu, &spd, &raw(approach)).unwrap();
+        let run = session.run_with(Op::Cholesky, &spd, None, &raw(approach)).unwrap().run;
         assert_eq!(
             run.status, cpu_chol,
             "{approach:?} Cholesky verdicts diverge from the CPU baseline"
@@ -75,7 +75,7 @@ fn singular_verdicts_match_cpu_baseline() {
 /// per-thread, per-block, and tiled — matching the CPU baseline's screen.
 #[test]
 fn nonfinite_verdicts_match_across_all_three_paths() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let n = 8;
     let count = 24;
     let mut a = dd_batch(n, count, 9);
@@ -87,7 +87,7 @@ fn nonfinite_verdicts_match_across_all_three_paths() {
     assert_eq!(cpu_status[17], ProblemStatus::NonFinite);
 
     for approach in [Approach::PerThread, Approach::PerBlock, Approach::Tiled] {
-        let run = api::qr_batch(&gpu, &a, &raw(approach)).unwrap();
+        let run = session.run_with(Op::Qr, &a, None, &raw(approach)).unwrap().run;
         assert_eq!(
             run.status, cpu_status,
             "{approach:?} QR verdicts diverge from the CPU baseline"
@@ -99,12 +99,12 @@ fn nonfinite_verdicts_match_across_all_three_paths() {
 /// fallback only when asked, and reports what it did.
 #[test]
 fn recovery_policy_bounds_are_respected() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let mut a = dd_batch(6, 10, 1);
     a.set(4, 2, 2, f32::NAN);
 
     // Policy off: the verdict stays raw, nothing retried.
-    let run = api::lu_batch(&gpu, &a, &raw(Approach::PerBlock)).unwrap();
+    let run = session.run_with(Op::Lu, &a, None, &raw(Approach::PerBlock)).unwrap().run;
     assert_eq!(run.status[4], ProblemStatus::NonFinite);
     assert_eq!(run.recovery.retried, 0);
     assert_eq!(run.recovery.fell_back, 0);
@@ -112,12 +112,15 @@ fn recovery_policy_bounds_are_respected() {
     // Default policy: a NaN input cannot be repaired by retrying or by the
     // host (the data itself is poisoned), so it ends unrecovered — but the
     // policy is bounded: exactly one retry and one fallback, no loops.
-    let run = api::lu_batch(
-        &gpu,
-        &a,
-        &RunOpts::builder().approach(Approach::PerBlock).build(),
-    )
-    .unwrap();
+    let run = session
+        .run_with(
+            Op::Lu,
+            &a,
+            None,
+            &RunOpts::builder().approach(Approach::PerBlock).build(),
+        )
+        .unwrap()
+        .run;
     assert_eq!(run.status[4], ProblemStatus::NonFinite);
     assert_eq!(run.recovery.retried, 1);
     assert_eq!(run.recovery.fell_back, 1);
@@ -131,7 +134,7 @@ fn recovery_policy_bounds_are_respected() {
 /// fallback as the backstop), and the whole run is bit-reproducible.
 #[test]
 fn fault_campaign_detects_and_recovers_everything() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let n = 10;
     let count = 192;
     let a = dd_batch(n, count, 77);
@@ -140,7 +143,7 @@ fn fault_campaign_detects_and_recovers_everything() {
         .fault(FaultPlan::new(0xFEED_BEEF, 24))
         .build();
 
-    let run = api::lu_batch(&gpu, &a, &opts).unwrap();
+    let run = session.run_with(Op::Lu, &a, None, &opts).unwrap().run;
 
     // Detection: the simulator's fault report (per-launch ECC records) and
     // the recovery layer must agree — every applied fault was seen.
@@ -175,7 +178,7 @@ fn fault_campaign_detects_and_recovers_everything() {
 
     // Reproducibility: the same seed faults the same blocks and yields
     // bit-identical output and identical recovery accounting.
-    let rerun = api::lu_batch(&gpu, &a, &opts).unwrap();
+    let rerun = session.run_with(Op::Lu, &a, None, &opts).unwrap().run;
     let bits = |b: &MatBatch<f32>| -> Vec<u32> { b.data().iter().map(|v| v.to_bits()).collect() };
     assert_eq!(bits(&run.out), bits(&rerun.out));
     assert_eq!(run.status, rerun.status);
@@ -185,50 +188,44 @@ fn fault_campaign_detects_and_recovers_everything() {
 /// Malformed configurations come back as structured errors.
 #[test]
 fn malformed_inputs_are_structured_errors() {
-    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
     let a = dd_batch(6, 4, 0);
 
     // Non-perfect-square force_threads under the 2D layout.
-    let err = api::qr_batch(
-        &gpu,
-        &a,
-        &RunOpts::builder().force_threads(7).build(),
-    )
-    .unwrap_err();
+    let err = session
+        .run_with(Op::Qr, &a, None, &RunOpts::builder().force_threads(7).build())
+        .unwrap_err();
     assert!(matches!(err, ReglaError::InvalidConfig(_)), "{err}");
     assert!(err.to_string().contains("perfect square"), "{err}");
 
     // Zero panel width on the tiled path.
-    let err = api::qr_batch(
-        &gpu,
-        &a,
-        &RunOpts::builder().panel(0).build(),
-    )
-    .unwrap_err();
+    let err = session
+        .run_with(Op::Qr, &a, None, &RunOpts::builder().panel(0).build())
+        .unwrap_err();
     assert!(matches!(err, ReglaError::InvalidConfig(_)), "{err}");
 
     // Empty batch.
     let empty = MatBatch::<f32>::zeros(6, 6, 0);
     assert_eq!(
-        api::lu_batch(&gpu, &empty, &RunOpts::default()).unwrap_err(),
+        session.lu(&empty).unwrap_err(),
         ReglaError::EmptyBatch
     );
 
     // Mismatched right-hand sides.
     let b = MatBatch::<f32>::zeros(5, 1, 4);
-    let err = api::gj_solve_batch(&gpu, &a, &b, &RunOpts::default()).unwrap_err();
+    let err = session.gj_solve(&a, &b).unwrap_err();
     assert!(matches!(err, ReglaError::DimensionMismatch(_)), "{err}");
 
     // Non-square systems where square is required.
     let rect = MatBatch::<f32>::zeros(6, 4, 2);
     let rhs = MatBatch::<f32>::zeros(6, 1, 2);
-    let err = api::qr_solve_batch(&gpu, &rect, &rhs, &RunOpts::default()).unwrap_err();
+    let err = session.qr_solve(&rect, &rhs).unwrap_err();
     assert!(matches!(err, ReglaError::DimensionMismatch(_)), "{err}");
 
     // GEMM inner-dimension disagreement.
     let ga = MatBatch::<f32>::zeros(4, 5, 2);
     let gb = MatBatch::<f32>::zeros(6, 3, 2);
-    let err = api::gemm_batch(&gpu, &ga, &gb, &RunOpts::default()).unwrap_err();
+    let err = session.gemm(&ga, &gb).unwrap_err();
     assert!(matches!(err, ReglaError::DimensionMismatch(_)), "{err}");
 }
 
@@ -254,7 +251,7 @@ proptest! {
             Some(Approach::Hybrid),
         ]),
     ) {
-        let gpu = Gpu::quadro_6000();
+        let session = Session::new();
         let a = MatBatch::<f32>::from_fn(m, n, count, |k, i, j| {
             ((k * 7 + i * 3 + j) % 5) as f32 - 1.0 + if i == j { 4.0 } else { 0.0 }
         });
@@ -266,13 +263,19 @@ proptest! {
             .build();
         // Outcomes (Ok or Err) are irrelevant here; the property is the
         // absence of panics on any input.
-        let _ = api::qr_batch(&gpu, &a, &opts);
-        let _ = api::lu_batch(&gpu, &a, &opts);
-        let _ = api::cholesky_batch(&gpu, &a, &opts);
-        let _ = api::gj_solve_batch(&gpu, &a, &b, &opts);
-        let _ = api::qr_solve_batch(&gpu, &a, &b, &opts);
-        let _ = api::least_squares_batch(&gpu, &a, &b, &opts);
-        let _ = api::gemm_batch(&gpu, &a, &b, &opts);
-        let _ = api::tsqr_least_squares(&gpu, &a, &b, &opts);
+        for op in [
+            Op::Qr,
+            Op::Lu,
+            Op::Cholesky,
+            Op::GjSolve,
+            Op::QrSolve,
+            Op::LeastSquares,
+            Op::Gemm,
+            Op::Invert,
+        ] {
+            let rhs = if op.needs_rhs() { Some(&b) } else { None };
+            let _ = session.run_with(op, &a, rhs, &opts);
+        }
+        let _ = session.tsqr_least_squares_with(&a, &b, &opts);
     }
 }

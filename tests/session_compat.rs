@@ -1,0 +1,171 @@
+//! The deprecated free-function wrappers must remain bit-compatible with
+//! the `Session` methods they forward to: same outputs, same taus and
+//! solutions, same statuses. Pins the API migration — a wrapper that
+//! drifts from `Session` would silently fork the two code paths.
+#![allow(deprecated)]
+
+use proptest::prelude::*;
+use regla::core::{api, MatBatch, Op, PipelineOpts, RunOpts, Session};
+use regla::gpu_sim::{ExecMode, Gpu, GpuConfig};
+
+fn dd_batch(n: usize, count: usize, seed: usize) -> MatBatch<f32> {
+    MatBatch::from_fn(n, n, count, |k, i, j| {
+        let h = ((k * 131 + i * 37 + j * 101 + seed) % 97) as f32 / 97.0;
+        h + if i == j { n as f32 } else { 0.0 }
+    })
+}
+
+fn bits(b: &MatBatch<f32>) -> Vec<u32> {
+    b.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Every factorization wrapper against its `Session` equivalent.
+#[test]
+fn factorization_wrappers_match_session_bit_for_bit() {
+    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
+    let a = dd_batch(10, 24, 5);
+    let opts = RunOpts::default();
+
+    let w = api::qr_batch(&gpu, &a, &opts).unwrap();
+    let s = session.qr(&a).unwrap();
+    assert_eq!(bits(&w.out), bits(&s.out));
+    assert_eq!(
+        bits(w.taus.as_ref().unwrap()),
+        bits(s.taus.as_ref().unwrap())
+    );
+    assert_eq!(w.status, s.status);
+
+    let w = api::lu_batch(&gpu, &a, &opts).unwrap();
+    let s = session.lu(&a).unwrap();
+    assert_eq!(bits(&w.out), bits(&s.out));
+
+    // SPD for Cholesky: diagonally dominant symmetric.
+    let spd = MatBatch::from_fn(8, 8, 6, |k, i, j| {
+        if i == j { 4.0 } else { 0.2 + (k as f32) * 0.01 }
+    });
+    let w = api::cholesky_batch(&gpu, &spd, &opts).unwrap();
+    let s = session.cholesky(&spd).unwrap();
+    assert_eq!(bits(&w.out), bits(&s.out));
+    assert_eq!(w.status, s.status);
+}
+
+/// Every solver wrapper against its `Session` equivalent.
+#[test]
+fn solver_wrappers_match_session_bit_for_bit() {
+    let gpu = Gpu::quadro_6000();
+    let session = Session::new();
+    let a = dd_batch(9, 20, 6);
+    let b = MatBatch::from_fn(9, 1, 20, |k, i, _| ((k + i) % 7) as f32 - 3.0);
+    let opts = RunOpts::default();
+
+    let w = api::gj_solve_batch(&gpu, &a, &b, &opts).unwrap();
+    let s = session.gj_solve(&a, &b).unwrap();
+    assert_eq!(bits(&w.out), bits(&s.out));
+    assert_eq!(w.status, s.status);
+
+    let w = api::qr_solve_batch(&gpu, &a, &b, &opts).unwrap();
+    let s = session.qr_solve(&a, &b).unwrap();
+    assert_eq!(bits(&w.out), bits(&s.out));
+
+    // Multi-rhs variants reach the same driver.
+    let bm = MatBatch::from_fn(9, 3, 20, |k, i, j| ((k + i + j) % 5) as f32 - 2.0);
+    let w = api::gj_solve_multi(&gpu, &a, &bm, &opts).unwrap();
+    let s = session.gj_solve(&a, &bm).unwrap();
+    assert_eq!(bits(&w.out), bits(&s.out));
+    let w = api::qr_solve_multi(&gpu, &a, &bm, &opts).unwrap();
+    let s = session.qr_solve(&a, &bm).unwrap();
+    assert_eq!(bits(&w.out), bits(&s.out));
+
+    // Tall shapes: least squares, TSQR, and the rectangular paths.
+    let ta = MatBatch::from_fn(24, 6, 4, |k, i, j| {
+        ((k * 7 + i * 3 + j * 11) % 13) as f32 / 13.0 + if i == j { 2.0 } else { 0.0 }
+    });
+    let tb = MatBatch::from_fn(24, 1, 4, |k, i, _| ((k + i) % 9) as f32 - 4.0);
+    let (wrun, wx) = api::least_squares_batch(&gpu, &ta, &tb, &opts).unwrap();
+    let (srun, sx) = session.least_squares(&ta, &tb).unwrap();
+    assert_eq!(bits(&wx), bits(&sx));
+    assert_eq!(bits(&wrun.out), bits(&srun.out));
+    let (wx, _) = api::tsqr_least_squares(&gpu, &ta, &tb, &opts).unwrap();
+    let (sx, _) = session.tsqr_least_squares(&ta, &tb).unwrap();
+    assert_eq!(bits(&wx), bits(&sx));
+
+    let (winv, _) = api::invert_batch(&gpu, &a, &opts).unwrap();
+    let (sinv, _) = session.invert(&a).unwrap();
+    assert_eq!(bits(&winv), bits(&sinv));
+
+    let ga = MatBatch::from_fn(12, 7, 5, |k, i, j| ((k + i * j) % 11) as f32 * 0.1);
+    let gb = MatBatch::from_fn(7, 9, 5, |k, i, j| ((k * 3 + i + j) % 7) as f32 * 0.2);
+    let w = api::gemm_batch(&gpu, &ga, &gb, &opts).unwrap();
+    let s = session.gemm(&ga, &gb).unwrap();
+    assert_eq!(bits(&w.out), bits(&s.out));
+}
+
+/// The per-call `Gpu` the wrappers construct and the session's cached one
+/// must dispatch identically — the session cache is an optimization, not
+/// a behavior change.
+#[test]
+fn session_cached_params_agree_with_fresh_derivation() {
+    let session = Session::new();
+    let fresh = regla::model::ModelParams::from_config(session.config());
+    assert_eq!(format!("{:?}", session.params()), format!("{fresh:?}"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Pipelined execution is bit-identical to the synchronous run for any
+    /// chunk/stream split, on either copy-engine configuration, under full
+    /// functional execution.
+    #[test]
+    fn pipelined_matches_sync_for_any_split(
+        n in 4usize..14,
+        count in prop::sample::select(vec![17usize, 64, 96, 130]),
+        chunks in 1usize..12,
+        streams in 1usize..6,
+        dual in prop::sample::select(vec![false, true]),
+    ) {
+        let cfg = if dual {
+            GpuConfig::quadro_6000_dual_copy()
+        } else {
+            GpuConfig::quadro_6000()
+        };
+        let session = Session::with_config(cfg);
+        let a = dd_batch(n, count, n + count);
+        let opts = RunOpts::builder().exec(ExecMode::Full).build();
+        let sync = session.run_with(Op::Qr, &a, None, &opts).unwrap();
+        let piped = session
+            .pipelined_with(Op::Qr, &a, None, &PipelineOpts::new(streams, chunks), &opts)
+            .unwrap();
+        prop_assert_eq!(bits(&piped.output.run.out), bits(&sync.run.out));
+        prop_assert_eq!(
+            bits(piped.output.run.taus.as_ref().unwrap()),
+            bits(sync.run.taus.as_ref().unwrap())
+        );
+        prop_assert_eq!(&piped.output.run.status, &sync.run.status);
+        // On the single-copy-engine board the pipeline must buy nothing.
+        if !dual {
+            prop_assert!((piped.report.speedup() - 1.0).abs() < 1e-9);
+        }
+    }
+}
+
+/// The paper's Section VI-C observation as an integration pin: one copy
+/// engine means zero overlap, to the last bit of the timeline.
+#[test]
+fn single_copy_engine_has_zero_overlap_end_to_end() {
+    let session = Session::with_config(GpuConfig::quadro_6000());
+    let a = dd_batch(16, 512, 3);
+    let opts = RunOpts::builder().exec(ExecMode::Representative).build();
+    let r = session
+        .pipelined_with(Op::Qr, &a, None, &PipelineOpts::new(4, 8), &opts)
+        .unwrap();
+    assert!(r.report.serialized);
+    assert_eq!(r.report.copy_engines, 1);
+    assert!(
+        (r.report.pipelined_s - r.report.sync_s).abs() <= 1e-12 * r.report.sync_s,
+        "1-engine pipeline must collapse to the sync schedule: {} vs {}",
+        r.report.pipelined_s,
+        r.report.sync_s
+    );
+}

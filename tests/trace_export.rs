@@ -17,16 +17,17 @@ fn dd_batch(n: usize, count: usize, seed: usize) -> MatBatch<f32> {
 /// simulated Quadro 6000 — exercises both the full-wave and remainder
 /// span paths.
 fn profiled_qr(count: usize, host_threads: Option<usize>) -> (BatchRun<f32>, Profiler) {
-    let gpu = Gpu::quadro_6000();
     let a = dd_batch(24, count, 7);
     let profiler = Profiler::new();
-    let mut b = RunOpts::builder()
-        .approach(Approach::PerBlock)
-        .trace(profiler.clone());
+    let mut b = RunOpts::builder().approach(Approach::PerBlock);
     if let Some(t) = host_threads {
         b = b.host_threads(t);
     }
-    let run = qr_batch(&gpu, &a, &b.build()).unwrap();
+    let session = Session::builder()
+        .profiler(profiler.clone())
+        .opts(b.build())
+        .build();
+    let run = session.qr(&a).unwrap();
     (run, profiler)
 }
 
