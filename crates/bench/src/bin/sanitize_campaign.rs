@@ -1,0 +1,87 @@
+//! Acceptance gate for the compute-sanitizer layer: every deliberately
+//! buggy fixture must be caught by exactly its check, the hung kernel must
+//! come back as `LaunchError::Watchdog` in bounded host time, and the
+//! shipped-solver sweep under `SanitizerMode::Full` must report zero
+//! findings with bit-identical numerics. Exits non-zero on any violation
+//! (`REGLA_FAST=1` shrinks the sweep). The merged buggy-fixture report is
+//! written to `results/sanitizer_report.json`.
+
+use regla_bench::experiments::sanitize::{buggy_fixtures, clean_sweep, watchdog_fixture};
+use regla_gpu_sim::{LaunchError, SanitizerReport};
+
+fn main() {
+    let fast = regla_bench::fast_mode();
+    let mut failures = 0;
+
+    let mut merged = SanitizerReport::default();
+    for f in buggy_fixtures() {
+        merged.merge(&f.report);
+        if f.hits > 0 {
+            println!(
+                "ok   {}: {} x {} ({} collateral)",
+                f.name, f.hits, f.expect, f.other
+            );
+        } else {
+            failures += 1;
+            println!("FAIL {}: {} did not fire ({})", f.name, f.expect, f.report.summary());
+        }
+    }
+
+    match watchdog_fixture() {
+        Err(LaunchError::Watchdog { block, ref phase, ops, limit }) => {
+            println!(
+                "ok   hung kernel: watchdog tripped in block {block} \
+                 phase {phase:?} ({ops} ops > {limit})"
+            );
+        }
+        Err(other) => {
+            failures += 1;
+            println!("FAIL hung kernel: wrong error {other}");
+        }
+        Ok(()) => {
+            failures += 1;
+            println!("FAIL hung kernel: launch completed; watchdog never tripped");
+        }
+    }
+
+    let sweep = clean_sweep(fast);
+    let mut dirty = 0;
+    let mut nonident = 0;
+    for s in &sweep {
+        if s.findings != 0 {
+            dirty += 1;
+            println!(
+                "FAIL {:?} {}x{} {:?}: {} findings on a shipped kernel",
+                s.op, s.n, s.n, s.approach, s.findings
+            );
+        }
+        if !s.bit_identical {
+            nonident += 1;
+            println!(
+                "FAIL {:?} {}x{} {:?}: sanitized run is not bit-identical",
+                s.op, s.n, s.n, s.approach
+            );
+        }
+    }
+    if dirty == 0 && nonident == 0 {
+        println!(
+            "ok   clean sweep: {} cases, 0 findings, all bit-identical",
+            sweep.len()
+        );
+    } else {
+        failures += 1;
+    }
+
+    let path = "results/sanitizer_report.json";
+    match std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write(path, merged.to_json()))
+    {
+        Ok(()) => println!("wrote {path} ({} findings)", merged.total()),
+        Err(e) => println!("report export skipped ({e})"),
+    }
+
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!("sanitizer campaign passed");
+}

@@ -7,6 +7,7 @@ pub mod discrepancy;
 pub mod figures;
 pub mod pipeline;
 pub mod resilience;
+pub mod sanitize;
 pub mod tables;
 
 pub use ablations::*;
@@ -15,6 +16,7 @@ pub use discrepancy::*;
 pub use figures::*;
 pub use pipeline::*;
 pub use resilience::*;
+pub use sanitize::*;
 pub use tables::*;
 
 /// (id, title, runner) for every experiment, in paper order.
@@ -91,5 +93,10 @@ pub const ALL: &[(&str, &str, Runner)] = &[
         "resilience_campaign",
         "Resilience — seeded fault campaigns",
         resilience::resilience_campaign,
+    ),
+    (
+        "sanitize_campaign",
+        "Sanitizer — buggy fixtures + clean sweep",
+        sanitize::sanitize_campaign,
     ),
 ];

@@ -22,7 +22,10 @@ use crate::scalar::Scalar;
 use crate::profile::ProfileReport;
 use crate::status::{record_recovery, ProblemStatus, RecoveryPolicy, RecoveryStats};
 use crate::tiled::{tiled_qr, MultiLaunch, TiledOpts};
-use regla_gpu_sim::{ExecMode, FaultPlan, GlobalMemory, Gpu, LaunchConfig, MathMode, Profiler};
+use regla_gpu_sim::{
+    ExecMode, FaultPlan, GlobalMemory, Gpu, LaunchConfig, MathMode, Profiler, SanitizerMode,
+    SanitizerReport,
+};
 use regla_model::{
     block_plan, thread_plan, Algorithm, Approach, ModelParams, PER_BLOCK_MAX_DECLARED_REGS,
 };
@@ -71,6 +74,15 @@ pub struct RunOpts {
     /// profiler, and [`BatchRun::profile`] carries the per-phase
     /// predicted-vs-simulated discrepancy report.
     pub trace: Option<Profiler>,
+    /// Compute-sanitizer mode for every kernel launch of the run
+    /// (memcheck / racecheck / synccheck / initcheck). Strictly
+    /// observational — outputs are bit-identical with it on or off; the
+    /// merged report lands in [`BatchRun::sanitizer`].
+    pub sanitizer: SanitizerMode,
+    /// Per-block watchdog op budget for every launch (`None` = unlimited):
+    /// a hung kernel surfaces as `LaunchError::Watchdog` instead of
+    /// hanging the host.
+    pub watchdog: Option<u64>,
 }
 
 impl Default for RunOpts {
@@ -88,6 +100,8 @@ impl Default for RunOpts {
             fault: None,
             recovery: RecoveryPolicy::default(),
             trace: None,
+            sanitizer: SanitizerMode::Off,
+            watchdog: None,
         }
     }
 }
@@ -188,6 +202,19 @@ impl RunOptsBuilder {
         self
     }
 
+    /// Run every launch under the compute sanitizer (see
+    /// [`RunOpts::sanitizer`]).
+    pub fn sanitizer(mut self, v: SanitizerMode) -> Self {
+        self.opts.sanitizer = v;
+        self
+    }
+
+    /// Per-block watchdog op budget (see [`RunOpts::watchdog`]).
+    pub fn watchdog(mut self, v: impl Into<Option<u64>>) -> Self {
+        self.opts.watchdog = v.into();
+        self
+    }
+
     pub fn build(self) -> RunOpts {
         self.opts
     }
@@ -213,6 +240,10 @@ pub struct BatchRun<T> {
     /// [`RunOpts::trace`] is set and the model has a phase-level prediction
     /// for the launch (per-block and per-thread approaches).
     pub profile: Option<ProfileReport>,
+    /// Merged compute-sanitizer report over every launch of the run,
+    /// populated when [`RunOpts::sanitizer`] is on. `Some` with zero
+    /// findings means every kernel came back clean.
+    pub sanitizer: Option<SanitizerReport>,
 }
 
 impl<T> BatchRun<T> {
@@ -426,6 +457,9 @@ fn run_inplace<T: DeviceScalar>(
     let ptr = aug.to_device(&mut gmem);
     let d_tau = gmem.alloc(tau_words.max(1));
     let d_flag = gmem.alloc(count);
+    // The kernels read the flag words (to keep earlier failing columns)
+    // before ever writing them: declare the all-clear state as an input.
+    gmem.h2d(d_flag, &vec![0.0; count]);
     let view = SubMat::whole(ptr, m, cols);
     let mut stats = MultiLaunch::default();
 
@@ -450,7 +484,9 @@ fn run_inplace<T: DeviceScalar>(
                 .host_threads(opts.host_threads)
                 .fault(opts.fault)
                 .name(launch_name(alg, m, cols, approach))
-                .trace(opts.trace.clone());
+                .trace(opts.trace.clone())
+                .sanitizer(opts.sanitizer)
+                .watchdog(opts.watchdog);
             stats.push(gpu.launch(&kern, &lc, &mut gmem)?);
         }
         Approach::PerBlock => {
@@ -496,7 +532,9 @@ fn run_inplace<T: DeviceScalar>(
                 .host_threads(opts.host_threads)
                 .fault(opts.fault)
                 .name(launch_name(alg, m, cols, approach))
-                .trace(opts.trace.clone());
+                .trace(opts.trace.clone())
+                .sanitizer(opts.sanitizer)
+                .watchdog(opts.watchdog);
             stats.push(gpu.launch(launch.as_ref(), &lc, &mut gmem)?);
         }
         Approach::Tiled => {
@@ -517,6 +555,8 @@ fn run_inplace<T: DeviceScalar>(
                 host_threads: opts.host_threads,
                 fault: opts.fault,
                 trace: opts.trace.clone(),
+                sanitizer: opts.sanitizer,
+                watchdog: opts.watchdog,
             };
             let agg = tiled_qr::<T::Dev>(gpu, &mut gmem, view, m, nfac, rhs, count, d_tau, topts)?;
             for l in agg.launches {
@@ -744,7 +784,23 @@ fn run_recovered<T: DeviceScalar>(
     Ok((l, rec))
 }
 
+/// Merge the per-launch sanitizer reports of a run (`None` when no launch
+/// ran under the sanitizer).
+pub(crate) fn merge_sanitizer(stats: &MultiLaunch) -> Option<SanitizerReport> {
+    let mut agg: Option<SanitizerReport> = None;
+    for l in &stats.launches {
+        if let Some(r) = &l.sanitizer {
+            match &mut agg {
+                Some(a) => a.merge(r),
+                None => agg = Some(r.clone()),
+            }
+        }
+    }
+    agg
+}
+
 fn into_run<T>(l: Launched<T>, rec: RecoveryStats, approach: Approach, taus: bool) -> BatchRun<T> {
+    let sanitizer = merge_sanitizer(&l.stats);
     BatchRun {
         out: l.out,
         approach,
@@ -753,6 +809,7 @@ fn into_run<T>(l: Launched<T>, rec: RecoveryStats, approach: Approach, taus: boo
         status: l.status,
         recovery: rec,
         profile: l.profile,
+        sanitizer,
     }
 }
 
@@ -977,7 +1034,9 @@ pub(crate) fn gemm_run<T: DeviceScalar>(
         .exec(opts.exec)
         .host_threads(opts.host_threads)
         .name(format!("gemm {m}x{kdim}x{n} per-block"))
-        .trace(opts.trace.clone());
+        .trace(opts.trace.clone())
+        .sanitizer(opts.sanitizer)
+        .watchdog(opts.watchdog);
     let mut stats = MultiLaunch::default();
     stats.push(gpu.launch(&kern, &lc, &mut gmem)?);
     let out = MatBatch::<T>::from_device(m, n, count, &gmem, pc);
@@ -991,6 +1050,7 @@ pub(crate) fn gemm_run<T: DeviceScalar>(
             *st = ProblemStatus::NonFinite;
         }
     }
+    let sanitizer = merge_sanitizer(&stats);
     Ok(BatchRun {
         out,
         approach: Approach::PerBlock,
@@ -999,6 +1059,7 @@ pub(crate) fn gemm_run<T: DeviceScalar>(
         status,
         recovery: RecoveryStats::default(),
         profile: None,
+        sanitizer,
     })
 }
 
@@ -1049,6 +1110,8 @@ pub(crate) fn tsqr_run<T: DeviceScalar>(
         exec: opts.exec,
         host_threads: opts.host_threads,
         trace: opts.trace.clone(),
+        sanitizer: opts.sanitizer,
+        watchdog: opts.watchdog,
         ..Default::default()
     };
     let (rptr, stats) = tsqr::<T::Dev>(gpu, &mut gmem, view, m, n, 1, count, topts)?;

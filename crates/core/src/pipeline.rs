@@ -38,7 +38,10 @@ use regla_model::Algorithm;
 pub struct PipelineOpts {
     /// Streams the chunks are round-robined over.
     pub streams: usize,
-    /// Chunks the batch is split into (clamped to the problem count).
+    /// Chunks the batch is split into. Must be between 1 and the problem
+    /// count: more chunks than problems would run empty launches, so
+    /// [`Session::pipelined`] rejects it with
+    /// [`ReglaError::InvalidConfig`] instead of silently clamping.
     pub chunks: usize,
 }
 
@@ -100,7 +103,14 @@ pub(crate) fn run_pipelined<T: DeviceScalar>(
         ));
     }
     let count = a.count();
-    let chunks = popts.chunks.min(count.max(1));
+    if popts.chunks > count {
+        return Err(ReglaError::InvalidConfig(format!(
+            "cannot split {count} problems into {} chunks: chunks must not \
+             exceed the problem count",
+            popts.chunks
+        )));
+    }
+    let chunks = popts.chunks;
     let streams = popts.streams;
 
     // Balanced contiguous split: the first `count % chunks` chunks carry one
@@ -235,6 +245,7 @@ fn merge_chunks<T: DeviceScalar>(chunks: Vec<OpOutput<T>>, report: &PipelineRepo
     if let Some(p) = profile.as_mut() {
         p.pipeline = Some(report.clone());
     }
+    let sanitizer = crate::api::merge_sanitizer(&stats);
 
     OpOutput {
         run: crate::api::BatchRun {
@@ -245,6 +256,7 @@ fn merge_chunks<T: DeviceScalar>(chunks: Vec<OpOutput<T>>, report: &PipelineRepo
             status,
             recovery,
             profile,
+            sanitizer,
         },
         solution,
     }
@@ -360,5 +372,23 @@ mod tests {
         assert!(session
             .pipelined(Op::Qr, &a, None, &PipelineOpts::new(4, 0))
             .is_err());
+    }
+
+    #[test]
+    fn more_chunks_than_problems_is_a_structured_error() {
+        let session = Session::new();
+        let a = dd_batch(8, 5);
+        let err = session
+            .pipelined(Op::Qr, &a, None, &PipelineOpts::new(2, 6))
+            .unwrap_err();
+        assert!(
+            matches!(&err, ReglaError::InvalidConfig(m) if m.contains("chunks")),
+            "unexpected error: {err}"
+        );
+        // Exactly one chunk per problem is the boundary and stays valid.
+        let r = session
+            .pipelined(Op::Qr, &a, None, &PipelineOpts::new(2, 5))
+            .unwrap();
+        assert_eq!(r.output.run.out.count(), 5);
     }
 }

@@ -23,5 +23,8 @@ pub use crate::profile::{PhaseDiscrepancy, PipelineReport, ProfileReport};
 pub use crate::scalar::C32;
 pub use crate::status::{ProblemStatus, RecoveryPolicy};
 pub use crate::tiled::MultiLaunch;
-pub use regla_gpu_sim::{chrome_trace_json, ExecMode, Gpu, MathMode, Profiler};
+pub use regla_gpu_sim::{
+    chrome_trace_json, ExecMode, Gpu, MathMode, Profiler, SanitizerCheck, SanitizerMode,
+    SanitizerReport, StreamWatchdogReport,
+};
 pub use regla_model::Approach;

@@ -20,7 +20,7 @@ use crate::per_block::{QrApplyKernel, QrBlockKernel, SubMat};
 use crate::status::RecoveryStats;
 use regla_gpu_sim::{
     ExecMode, FaultPlan, GlobalMemory, Gpu, LaunchConfig, LaunchError, LaunchStats, MathMode,
-    Profiler,
+    Profiler, SanitizerMode,
 };
 use std::marker::PhantomData;
 
@@ -84,6 +84,10 @@ pub struct TiledOpts {
     /// Per-launch trace sink; every panel factor and reflector-apply
     /// launch records into it.
     pub trace: Option<Profiler>,
+    /// Compute-sanitizer mode applied to every launch of the factorization.
+    pub sanitizer: SanitizerMode,
+    /// Per-block watchdog op budget for every launch (`None` = unlimited).
+    pub watchdog: Option<u64>,
 }
 
 impl Default for TiledOpts {
@@ -95,6 +99,8 @@ impl Default for TiledOpts {
             host_threads: None,
             fault: None,
             trace: None,
+            sanitizer: SanitizerMode::Off,
+            watchdog: None,
         }
     }
 }
@@ -143,7 +149,9 @@ pub fn tiled_qr<E: Elem>(
             .host_threads(opts.host_threads)
             .fault(opts.fault)
             .name(format!("qr panel {prows}x{pw} tiled"))
-            .trace(opts.trace.clone());
+            .trace(opts.trace.clone())
+            .sanitizer(opts.sanitizer)
+            .watchdog(opts.watchdog);
         agg.push(gpu.launch(&kern, &lc, gmem)?);
 
         // --- apply the reflectors to the trailing columns ---------------
@@ -169,7 +177,9 @@ pub fn tiled_qr<E: Elem>(
                 .host_threads(opts.host_threads)
                 .fault(opts.fault)
                 .name(format!("qr apply {prows}x{tcols} tiled"))
-                .trace(opts.trace.clone());
+                .trace(opts.trace.clone())
+                .sanitizer(opts.sanitizer)
+                .watchdog(opts.watchdog);
             agg.push(gpu.launch(&apply, &lc, gmem)?);
         }
         j0 += pw;

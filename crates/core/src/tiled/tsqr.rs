@@ -20,7 +20,7 @@ use crate::per_block::{QrBlockKernel, SubMat};
 use crate::tiled::MultiLaunch;
 use regla_gpu_sim::{
     BlockCtx, BlockKernel, DPtr, ExecMode, GlobalMemory, Gpu, LaunchConfig, LaunchError, MathMode,
-    Profiler,
+    Profiler, SanitizerMode,
 };
 use std::marker::PhantomData;
 
@@ -37,6 +37,10 @@ pub struct TsqrOpts {
     /// Per-launch trace sink; every stage of the reduction tree records
     /// into it.
     pub trace: Option<Profiler>,
+    /// Compute-sanitizer mode applied to every stage launch.
+    pub sanitizer: SanitizerMode,
+    /// Per-block watchdog op budget for every launch (`None` = unlimited).
+    pub watchdog: Option<u64>,
 }
 
 impl Default for TsqrOpts {
@@ -47,6 +51,8 @@ impl Default for TsqrOpts {
             exec: ExecMode::Full,
             host_threads: None,
             trace: None,
+            sanitizer: SanitizerMode::Off,
+            watchdog: None,
         }
     }
 }
@@ -140,7 +146,9 @@ fn qr_stage<E: Elem>(
         .exec(opts.exec)
         .host_threads(opts.host_threads)
         .name(format!("tsqr factor {rows}x{}", nfac + rhs))
-        .trace(opts.trace.clone());
+        .trace(opts.trace.clone())
+        .sanitizer(opts.sanitizer)
+        .watchdog(opts.watchdog);
     agg.push(gpu.launch(&kern, &lc, gmem)?);
     Ok(())
 }
@@ -218,7 +226,9 @@ pub fn tsqr<E: Elem>(
             .exec(opts.exec)
             .host_threads(opts.host_threads)
             .name(format!("tsqr gather {pairs} pairs"))
-            .trace(opts.trace.clone());
+            .trace(opts.trace.clone())
+            .sanitizer(opts.sanitizer)
+            .watchdog(opts.watchdog);
         agg.push(gpu.launch(&gather, &lc, gmem)?);
 
         // Factor every stacked pair: count*pairs problems of 2n x cols.
@@ -256,7 +266,9 @@ pub fn tsqr<E: Elem>(
         .exec(opts.exec)
         .host_threads(opts.host_threads)
         .name("tsqr compact")
-        .trace(opts.trace.clone());
+        .trace(opts.trace.clone())
+        .sanitizer(opts.sanitizer)
+        .watchdog(opts.watchdog);
     agg.push(gpu.launch(&gather, &lc, gmem)?);
     let out = gmem.alloc(count * n * cols * E::WORDS);
     let compact = CompactTop::<E> {

@@ -28,6 +28,15 @@ pub enum LaunchError {
     /// The kernel panicked while executing `block` (traced or replayed);
     /// the panic was contained and device memory may be partially written.
     KernelPanic { block: usize, message: String },
+    /// `block` exceeded the launch's watchdog op budget (a hung or
+    /// livelocked kernel); the launch was aborted in bounded host time.
+    /// `phase` is the phase label the block was stuck in when it tripped.
+    Watchdog {
+        block: usize,
+        phase: String,
+        ops: u64,
+        limit: u64,
+    },
 }
 
 impl fmt::Display for LaunchError {
@@ -52,6 +61,20 @@ impl fmt::Display for LaunchError {
             LaunchError::InvalidExecMode(why) => write!(f, "invalid exec mode: {why}"),
             LaunchError::KernelPanic { block, message } => {
                 write!(f, "kernel panicked in block {block}: {message}")
+            }
+            LaunchError::Watchdog {
+                block,
+                phase,
+                ops,
+                limit,
+            } => {
+                let phase = if phase.is_empty() { "<unlabelled>" } else { phase };
+                write!(
+                    f,
+                    "watchdog: block {block} exceeded its op budget \
+                     ({ops} > {limit}) in phase {phase:?}; kernel is hung \
+                     or livelocked"
+                )
             }
         }
     }

@@ -14,7 +14,19 @@ use crate::fault::{FaultMap, FaultRecord, FaultState};
 use crate::mem::global::GmemAccess;
 use crate::mem::shared::{bank_conflict_replays, coalesced_transactions, distinct_lines};
 use crate::mem::MemHier;
+use crate::sanitize::{ContextFindings, LaunchShadow, SanitizerState};
 use crate::timing::PhaseRecord;
+
+/// Sanitizer wiring handed to each block context by `Gpu::launch`:
+/// whether checks run, the per-block watchdog budget, and the launch-level
+/// global-memory shadow.
+#[derive(Clone, Copy)]
+pub(crate) struct SanitizeHook<'a> {
+    pub(crate) on: bool,
+    pub(crate) wd_limit: u64,
+    pub(crate) shadow: Option<&'a LaunchShadow>,
+}
+
 
 /// Execution context for one thread block.
 pub struct BlockCtx<'a> {
@@ -38,6 +50,10 @@ pub struct BlockCtx<'a> {
     fault_map: Option<&'a FaultMap>,
     /// This context's armed/applied fault state (re-armed per block).
     fault: FaultState,
+    /// This context's sanitizer/watchdog state (re-armed per block).
+    san: SanitizerState,
+    /// Launch-level global shadow (`Some` iff the sanitizer is on).
+    shadow: Option<&'a LaunchShadow>,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -54,9 +70,12 @@ impl<'a> BlockCtx<'a> {
         gmem: GmemAccess<'a>,
         memhier: &'a mut MemHier,
         fault_map: Option<&'a FaultMap>,
+        sanitize: SanitizeHook<'a>,
     ) -> Self {
         let mut fault = FaultState::default();
         fault.arm(fault_map, block_id);
+        let mut san = SanitizerState::new(sanitize.on, sanitize.wd_limit, shared_words, nthreads);
+        san.arm(block_id);
         BlockCtx {
             block_id,
             grid_blocks,
@@ -76,12 +95,28 @@ impl<'a> BlockCtx<'a> {
             memhier,
             fault_map,
             fault,
+            san,
+            shadow: sanitize.shadow,
         }
     }
 
     /// Drain the fault records applied by every block this context ran.
     pub(crate) fn take_applied_faults(&mut self) -> Vec<FaultRecord> {
         std::mem::take(&mut self.fault.applied)
+    }
+
+    /// Drain the sanitizer findings (and uncapped per-check totals) from
+    /// every block this context ran, flushing the final block's barrier
+    /// check.
+    pub(crate) fn take_findings(&mut self) -> ContextFindings {
+        self.san.take()
+    }
+
+    /// The label the kernel last set (watchdog error provenance; labels
+    /// are maintained on every block whenever the sanitizer or watchdog
+    /// is active).
+    pub(crate) fn current_label(&self) -> &str {
+        &self.label
     }
 
     /// Reuse this context for another (untraced) block without reallocating.
@@ -99,6 +134,7 @@ impl<'a> BlockCtx<'a> {
         self.label.clear();
         self.records.clear();
         self.fault.arm(self.fault_map, block_id);
+        self.san.arm(block_id);
     }
 
     pub fn num_threads(&self) -> usize {
@@ -110,10 +146,14 @@ impl<'a> BlockCtx<'a> {
         self.shared.len()
     }
 
-    /// Name the current phase (applies when the phase closes).
+    /// Name the current phase (applies when the phase closes). Labels are
+    /// also kept on untraced blocks when the sanitizer or watchdog is
+    /// active, so findings and `LaunchError::Watchdog` carry phase
+    /// provenance for every block.
     pub fn phase_label(&mut self, label: impl Into<String>) {
-        if self.traced {
+        if self.traced || self.san.on || self.san.wd_limit != 0 {
             self.label = label.into();
+            self.san.set_phase(&self.label);
         }
     }
 
@@ -134,6 +174,8 @@ impl<'a> BlockCtx<'a> {
                 memhier: self.memhier,
                 spill: self.spill,
                 fault: &mut self.fault,
+                san: &mut self.san,
+                shadow: self.shadow,
             };
             f(&mut t);
         }
@@ -141,6 +183,7 @@ impl<'a> BlockCtx<'a> {
 
     /// `__syncthreads()`: barrier plus phase boundary.
     pub fn sync(&mut self) {
+        self.san.on_sync();
         self.close_phase(true);
     }
 

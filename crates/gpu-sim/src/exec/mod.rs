@@ -9,9 +9,12 @@ use crate::error::LaunchError;
 use crate::fault::{FaultPlan, FaultRecord};
 use crate::mem::global::GmemAccess;
 use crate::mem::{GlobalMemory, MemHier};
+use crate::sanitize::{
+    ContextFindings, LaunchShadow, SanitizerMode, SanitizerReport, WatchdogTrip,
+};
 use crate::timing::{combine, LaunchStats};
 use crate::trace::Profiler;
-use block::BlockCtx;
+use block::{BlockCtx, SanitizeHook};
 use occupancy::occupancy;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
@@ -69,6 +72,16 @@ pub struct LaunchConfig {
     /// profiler. Purely simulated quantities, so traces are bit-identical
     /// across `host_threads` counts.
     pub trace: Option<Profiler>,
+    /// Dynamic-analysis checks (memcheck / racecheck / synccheck /
+    /// initcheck) for this launch. Strictly observational: device results
+    /// and timing are bit-identical with the sanitizer on or off; findings
+    /// land in `LaunchStats::sanitizer`.
+    pub sanitize: SanitizerMode,
+    /// Per-block watchdog budget in scoreboarded ops (`None` = unlimited).
+    /// A block exceeding it aborts the launch with
+    /// [`LaunchError::Watchdog`] instead of hanging the host. Independent
+    /// of `sanitize`.
+    pub watchdog: Option<u64>,
 }
 
 impl LaunchConfig {
@@ -84,6 +97,8 @@ impl LaunchConfig {
             fault: None,
             name: String::from("kernel"),
             trace: None,
+            sanitize: SanitizerMode::Off,
+            watchdog: None,
         }
     }
 
@@ -127,6 +142,18 @@ impl LaunchConfig {
     /// buffer, so one profiler can collect a whole sequence of launches).
     pub fn trace(mut self, sink: impl Into<Option<Profiler>>) -> Self {
         self.trace = sink.into();
+        self
+    }
+
+    /// Enable the compute sanitizer for this launch.
+    pub fn sanitizer(mut self, mode: SanitizerMode) -> Self {
+        self.sanitize = mode;
+        self
+    }
+
+    /// Set (or clear) the per-block watchdog op budget.
+    pub fn watchdog(mut self, ops: impl Into<Option<u64>>) -> Self {
+        self.watchdog = ops.into();
         self
     }
 
@@ -228,16 +255,33 @@ fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Run the kernel on one block with panic containment.
+/// Run the kernel on one block with panic containment. A watchdog trip
+/// (thrown as a typed panic payload by the op scoreboard) becomes
+/// [`LaunchError::Watchdog`] with the phase the block was stuck in; any
+/// other panic becomes [`LaunchError::KernelPanic`].
 fn run_contained<K: BlockKernel + Sync + ?Sized>(
     kernel: &K,
     blk: &mut BlockCtx,
 ) -> Result<(), LaunchError> {
     let block = blk.block_id;
-    catch_unwind(AssertUnwindSafe(|| kernel.run(blk))).map_err(|e| LaunchError::KernelPanic {
-        block,
-        message: panic_message(e.as_ref()),
-    })
+    match catch_unwind(AssertUnwindSafe(|| kernel.run(&mut *blk))) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            if let Some(trip) = e.downcast_ref::<WatchdogTrip>() {
+                Err(LaunchError::Watchdog {
+                    block,
+                    phase: blk.current_label().to_string(),
+                    ops: trip.ops,
+                    limit: trip.limit,
+                })
+            } else {
+                Err(LaunchError::KernelPanic {
+                    block,
+                    message: panic_message(e.as_ref()),
+                })
+            }
+        }
+    }
 }
 
 impl Gpu {
@@ -304,6 +348,20 @@ impl Gpu {
         let fault_map = lc.fault.map(|p| p.materialize(lc.grid_blocks));
         let fault_map = fault_map.as_ref();
         let mut applied: Vec<FaultRecord> = Vec::new();
+        // Sanitizer setup: snapshot host-initialization and allocation
+        // state before any block runs, so initcheck and the cross-block
+        // classifier see the launch's declared inputs.
+        let sanitizing = lc.sanitize.is_on();
+        let shadow = sanitizing.then(|| LaunchShadow::new(&*gmem));
+        if lc.watchdog.is_some() {
+            crate::sanitize::install_quiet_watchdog_hook();
+        }
+        let hook = SanitizeHook {
+            on: sanitizing,
+            wd_limit: lc.watchdog.unwrap_or(0),
+            shadow: shadow.as_ref(),
+        };
+        let mut collected = ContextFindings::default();
         let wall_start = Instant::now();
         let occ = occupancy(
             &self.cfg,
@@ -355,9 +413,11 @@ impl Gpu {
                 GmemAccess::Excl(gmem),
                 &mut memhier,
                 fault_map,
+                hook,
             );
             run_contained(kernel, &mut ctx)?;
             applied.extend(ctx.take_applied_faults());
+            collected.absorb(ctx.take_findings());
             ctx.finish()
         };
 
@@ -385,6 +445,7 @@ impl Gpu {
                     GmemAccess::Excl(gmem),
                     &mut memhier,
                     fault_map,
+                    hook,
                 );
                 run_contained(kernel, &mut blk)?;
                 for &b in &blocks[1..] {
@@ -392,12 +453,15 @@ impl Gpu {
                     run_contained(kernel, &mut blk)?;
                 }
                 applied.extend(blk.take_applied_faults());
+                collected.absorb(blk.take_findings());
             } else {
-                let shared = gmem.share(check);
+                let shared = gmem.share(check, sanitizing);
                 let replay_start = Instant::now();
                 let chunk = blocks.len().div_ceil(workers);
-                type ShardOutcome =
-                    Result<(std::time::Duration, Vec<FaultRecord>), LaunchError>;
+                type ShardOutcome = Result<
+                    (std::time::Duration, Vec<FaultRecord>, ContextFindings),
+                    LaunchError,
+                >;
                 let outcomes: Vec<ShardOutcome> = std::thread::scope(|s| {
                     let handles: Vec<_> = blocks
                         .chunks(chunk)
@@ -419,13 +483,18 @@ impl Gpu {
                                     GmemAccess::Worker(shared.worker(shard[0])),
                                     &mut memhier,
                                     fault_map,
+                                    hook,
                                 );
                                 run_contained(kernel, &mut blk)?;
                                 for &b in &shard[1..] {
                                     blk.reset_for_block(b);
                                     run_contained(kernel, &mut blk)?;
                                 }
-                                Ok((t0.elapsed(), blk.take_applied_faults()))
+                                Ok((
+                                    t0.elapsed(),
+                                    blk.take_applied_faults(),
+                                    blk.take_findings(),
+                                ))
                             })
                         })
                         .collect();
@@ -440,9 +509,10 @@ impl Gpu {
                 let replay_wall = replay_start.elapsed().as_secs_f64();
                 let mut busy_s = 0.0f64;
                 for outcome in outcomes {
-                    let (busy, faults) = outcome?;
+                    let (busy, faults, findings) = outcome?;
                     busy_s += busy.as_secs_f64();
                     applied.extend(faults);
+                    collected.absorb(findings);
                 }
                 if replay_wall > 0.0 {
                     utilization = (busy_s / (workers as f64 * replay_wall)).min(1.0);
@@ -464,6 +534,45 @@ impl Gpu {
         stats.sim_host_threads = workers;
         stats.sim_worker_utilization = utilization;
         applied.sort_unstable_by_key(|f| f.block);
+        if sanitizing {
+            let ContextFindings {
+                mut findings,
+                mut totals,
+                per_block,
+            } = collected;
+            if let Some(shadow) = &shadow {
+                shadow.classify(&mut findings, &mut totals);
+            }
+            // Findings from blocks where an injected fault actually landed
+            // are the fault's doing, not a kernel bug. Attribution uses the
+            // uncapped per-block totals so it stays exact past the
+            // detail cap.
+            let faulted: std::collections::HashSet<usize> =
+                applied.iter().map(|f| f.block).collect();
+            let mut fault_attributed = 0u64;
+            for (b, tot) in &per_block {
+                if faulted.contains(b) {
+                    fault_attributed += tot.iter().sum::<u64>();
+                }
+            }
+            for f in &mut findings {
+                if f.block.is_some_and(|b| faulted.contains(&b)) {
+                    f.fault_attributed = true;
+                }
+            }
+            // Deterministic report order regardless of replay sharding.
+            findings.sort_by(|a, b| {
+                (a.block, a.check, a.addr, a.thread).cmp(&(
+                    b.block, b.check, b.addr, b.thread,
+                ))
+            });
+            stats.sanitizer = Some(SanitizerReport {
+                mode: lc.sanitize,
+                findings,
+                counts: totals,
+                fault_attributed,
+            });
+        }
         crate::telemetry::record_launch(
             wall.as_nanos().min(u128::from(u64::MAX)) as u64,
             blocks.len(),

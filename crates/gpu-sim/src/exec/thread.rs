@@ -13,6 +13,7 @@ use crate::config::{GpuConfig, MathMode};
 use crate::fault::FaultState;
 use crate::mem::global::GmemAccess;
 use crate::mem::{DPtr, MemHier};
+use crate::sanitize::{LaunchShadow, SanitizerState, WatchdogTrip};
 
 /// Functional-unit classes with distinct issue ports/intervals.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -168,9 +169,39 @@ pub struct ThreadCtx<'a, 'm> {
     pub(crate) spill: SpillInfo,
     /// Block-shared fault-injection state (no-op unless a plan armed it).
     pub(crate) fault: &'a mut FaultState,
+    /// Block-shared sanitizer/watchdog state (inert unless the launch
+    /// enabled either).
+    pub(crate) san: &'a mut SanitizerState,
+    /// Launch-level global-memory shadow (`Some` iff the sanitizer is on).
+    pub(crate) shadow: Option<&'a LaunchShadow>,
 }
 
 impl ThreadCtx<'_, '_> {
+    /// Watchdog tick: every scoreboarded op counts against the per-block
+    /// budget, traced or not, so a livelocked replay block trips too. The
+    /// trip unwinds as a typed payload that `Gpu::launch` converts into
+    /// `LaunchError::Watchdog`.
+    #[inline]
+    fn step(&mut self) {
+        if self.san.wd_limit != 0 {
+            self.san.wd_ops += 1;
+            if self.san.wd_ops > self.san.wd_limit {
+                std::panic::panic_any(WatchdogTrip {
+                    ops: self.san.wd_ops,
+                    limit: self.san.wd_limit,
+                });
+            }
+        }
+    }
+
+    /// Announce this thread's arrival at a barrier for the sanitizer's
+    /// synccheck. Call once per thread immediately before the block-level
+    /// `sync()`; threads that skip it (divergent control flow) are
+    /// reported. A no-op unless the sanitizer is on.
+    pub fn barrier(&mut self) {
+        self.san.barrier(self.tid);
+    }
+
     #[inline]
     fn interval(&self, c: Class) -> u64 {
         match c {
@@ -217,6 +248,7 @@ impl ThreadCtx<'_, '_> {
 
     #[inline]
     fn alu(&mut self, v: f32, ready: u64, flops: u64) -> Rv {
+        self.step();
         if !self.traced {
             return Rv { v, ready: 0 };
         }
@@ -288,6 +320,7 @@ impl ThreadCtx<'_, '_> {
     /// counters); occupies an FP-class issue slot but is not a FLOP.
     #[inline]
     pub fn int_op(&mut self) -> u64 {
+        self.step();
         if !self.traced {
             return 0;
         }
@@ -298,6 +331,7 @@ impl ThreadCtx<'_, '_> {
     /// Integer op whose result feeds an address: returns a readiness token.
     #[inline]
     pub fn int_dep(&mut self, dep: u64) -> u64 {
+        self.step();
         if !self.traced {
             return 0;
         }
@@ -322,6 +356,7 @@ impl ThreadCtx<'_, '_> {
     /// pipeline-latency calibration).
     #[inline]
     pub fn int_chain(&mut self, a: Rv) -> Rv {
+        self.step();
         if !self.traced {
             return a;
         }
@@ -334,6 +369,7 @@ impl ThreadCtx<'_, '_> {
 
     #[inline]
     pub fn is_zero(&mut self, a: Rv) -> bool {
+        self.step();
         if self.traced {
             let start = self.issue(Class::Fp, a.ready);
             self.complete(start, self.cfg.alu_latency);
@@ -343,6 +379,7 @@ impl ThreadCtx<'_, '_> {
 
     #[inline]
     pub fn gt(&mut self, a: Rv, b: Rv) -> bool {
+        self.step();
         if self.traced {
             let ready = a.ready.max(b.ready);
             let start = self.issue(Class::Fp, ready);
@@ -356,6 +393,7 @@ impl ThreadCtx<'_, '_> {
     /// Reciprocal. Fast mode uses the SFU (22-bit accurate); precise mode
     /// the correctly-rounded software sequence.
     pub fn recip(&mut self, a: Rv) -> Rv {
+        self.step();
         match self.math {
             MathMode::Fast => {
                 let v = trunc22(1.0 / a.v);
@@ -413,6 +451,7 @@ impl ThreadCtx<'_, '_> {
 
     /// Square root.
     pub fn sqrt(&mut self, a: Rv) -> Rv {
+        self.step();
         match self.math {
             MathMode::Fast => {
                 let v = trunc22(a.v.sqrt());
@@ -442,6 +481,7 @@ impl ThreadCtx<'_, '_> {
 
     /// Reciprocal square root (single SFU op in fast mode).
     pub fn rsqrt(&mut self, a: Rv) -> Rv {
+        self.step();
         match self.math {
             MathMode::Fast => {
                 let v = trunc22(1.0 / a.v.sqrt());
@@ -477,6 +517,10 @@ impl ThreadCtx<'_, '_> {
 
     /// Load a word from block shared memory.
     pub fn shared_load(&mut self, word: usize) -> Rv {
+        self.step();
+        if self.san.on && !self.san.shared_load(self.tid, word) {
+            return Rv { v: 0.0, ready: 0 };
+        }
         let v = self.shared[word];
         if !self.traced {
             return Rv { v, ready: 0 };
@@ -490,6 +534,10 @@ impl ThreadCtx<'_, '_> {
 
     /// Load whose address depends on a previous result (pointer chasing).
     pub fn shared_load_dep(&mut self, word: usize, addr_ready: u64) -> Rv {
+        self.step();
+        if self.san.on && !self.san.shared_load(self.tid, word) {
+            return Rv { v: 0.0, ready: 0 };
+        }
         let v = self.shared[word];
         if !self.traced {
             return Rv { v, ready: 0 };
@@ -503,7 +551,12 @@ impl ThreadCtx<'_, '_> {
 
     /// Store a word to block shared memory.
     pub fn shared_store(&mut self, word: usize, x: Rv) {
-        if let Some(v) = self.fault.on_shared_store(x.v) {
+        self.step();
+        let stored = self.fault.on_shared_store(x.v);
+        if self.san.on && !self.san.shared_store(self.tid, word, stored.is_some()) {
+            return;
+        }
+        if let Some(v) = stored {
             self.shared[word] = v;
         }
         if !self.traced {
@@ -532,6 +585,13 @@ impl ThreadCtx<'_, '_> {
 
     /// Load a word from global memory (bandwidth-accounted path).
     pub fn gload(&mut self, p: DPtr, idx: usize) -> Rv {
+        self.step();
+        if self.san.on {
+            let shadow = self.shadow.expect("sanitized launch has a shadow");
+            if !self.san.global_load(self.tid, p.0 + idx, shadow) {
+                return Rv { v: 0.0, ready: 0 };
+            }
+        }
         let v = self.gmem.read(p, idx);
         if !self.traced {
             return Rv { v, ready: 0 };
@@ -545,6 +605,13 @@ impl ThreadCtx<'_, '_> {
     /// Dependent global load routed through the latency hierarchy
     /// (pointer-chasing microbenchmarks).
     pub fn gload_dep(&mut self, p: DPtr, idx: usize, addr_ready: u64) -> Rv {
+        self.step();
+        if self.san.on {
+            let shadow = self.shadow.expect("sanitized launch has a shadow");
+            if !self.san.global_load(self.tid, p.0 + idx, shadow) {
+                return Rv { v: 0.0, ready: 0 };
+            }
+        }
         let v = self.gmem.read(p, idx);
         if !self.traced {
             return Rv { v, ready: 0 };
@@ -561,7 +628,18 @@ impl ThreadCtx<'_, '_> {
     /// timing is charged either way — a faulted device still issues the
     /// instruction.
     pub fn gstore(&mut self, p: DPtr, idx: usize, x: Rv) {
-        if let Some(v) = self.fault.on_global_store(x.v) {
+        self.step();
+        let stored = self.fault.on_global_store(x.v);
+        if self.san.on {
+            let shadow = self.shadow.expect("sanitized launch has a shadow");
+            if !self
+                .san
+                .global_store(self.tid, p.0 + idx, stored.is_some(), shadow)
+            {
+                return;
+            }
+        }
+        if let Some(v) = stored {
             self.gmem.write(p, idx, v);
         }
         if !self.traced {
@@ -579,6 +657,7 @@ impl ThreadCtx<'_, '_> {
     /// the register file.
     #[inline]
     pub(crate) fn reg_access(&mut self, words: u64, _store: bool) -> Option<u64> {
+        self.step();
         if self.spill.every == 0 {
             return None;
         }
@@ -690,6 +769,10 @@ impl ThreadCtx<'_, '_> {
 
     /// Load a complex (two consecutive words) from global memory.
     pub fn cgload(&mut self, p: DPtr, idx: usize) -> CRv {
+        if self.san.on {
+            let shadow = self.shadow.expect("sanitized launch has a shadow");
+            self.san.complex_global(self.tid, p.0 + 2 * idx, shadow);
+        }
         CRv {
             re: self.gload(p, 2 * idx),
             im: self.gload(p, 2 * idx + 1),
@@ -698,6 +781,10 @@ impl ThreadCtx<'_, '_> {
 
     /// Store a complex to global memory.
     pub fn cgstore(&mut self, p: DPtr, idx: usize, x: CRv) {
+        if self.san.on {
+            let shadow = self.shadow.expect("sanitized launch has a shadow");
+            self.san.complex_global(self.tid, p.0 + 2 * idx, shadow);
+        }
         self.gstore(p, 2 * idx, x.re);
         self.gstore(p, 2 * idx + 1, x.im);
     }

@@ -51,6 +51,7 @@ pub mod exec;
 pub mod fault;
 pub mod host;
 pub mod mem;
+pub mod sanitize;
 pub mod stream;
 pub mod telemetry;
 pub mod timing;
@@ -65,7 +66,10 @@ pub use exec::{BlockKernel, ExecMode, Gpu, LaunchConfig};
 pub use fault::{FaultKind, FaultPlan, FaultRecord};
 pub use host::{cuda_memcpy_gbs, cuda_memcpy_secs, PcieModel};
 pub use mem::{DPtr, GlobalMemory, MemHier};
-pub use stream::{CmdKind, CommandSpan, Event, Stream, Timeline, TimelineReport};
+pub use sanitize::{Finding, MemSpace, SanitizerCheck, SanitizerMode, SanitizerReport};
+pub use stream::{
+    CmdKind, CommandSpan, Event, Stream, StreamWatchdogReport, Timeline, TimelineReport,
+};
 pub use telemetry::SimTelemetry;
 pub use timing::{LaunchStats, PhaseBound, PhaseRecord, PhaseTime};
 pub use trace::{

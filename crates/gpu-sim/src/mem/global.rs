@@ -35,12 +35,19 @@ impl DPtr {
     }
 }
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Flat simulated DRAM with a bump allocator.
 pub struct GlobalMemory {
     data: Vec<f32>,
     next: usize,
+    /// One bit per word: has the word ever been written (by the host or a
+    /// kernel)? Seeds the sanitizer's initcheck; never read otherwise.
+    init: Vec<AtomicU64>,
+    /// Bump-allocation extents `(start, len)`, in allocation order. The
+    /// sanitizer uses these for alignment/straddle checks on complex
+    /// accesses.
+    allocs: Vec<(usize, usize)>,
 }
 
 /// How a block context reaches device memory: exclusively (traced block,
@@ -96,6 +103,9 @@ pub(crate) struct SharedGmem<'m> {
     /// Disjoint-write checker: `owners[w]` holds `block_id + 1` of the
     /// first block that stored to word `w` during this replay (0 = clean).
     owners: Option<Vec<AtomicU32>>,
+    /// Initialization bitmap to stamp on kernel stores (sanitized launches
+    /// only, so later launches see this launch's writes as initialized).
+    init: Option<&'m [AtomicU64]>,
 }
 
 impl GlobalMemory {
@@ -103,9 +113,10 @@ impl GlobalMemory {
     /// `check_writes`, a full-size owner table is allocated and every
     /// store is checked for cross-block overlap (debug builds and
     /// `REGLA_SIM_CHECK=1` runs).
-    pub(crate) fn share(&mut self, check_writes: bool) -> SharedGmem<'_> {
+    pub(crate) fn share(&mut self, check_writes: bool, track_init: bool) -> SharedGmem<'_> {
         let owners = check_writes
             .then(|| (0..self.data.len()).map(|_| AtomicU32::new(0)).collect());
+        let init = track_init.then_some(self.init.as_slice());
         // SAFETY: `AtomicU32` has the same size and alignment as `f32`
         // (both 4-byte plain words), and we hold `&mut self`, so re-typing
         // the unique slice as shared atomics is sound. All aliased access
@@ -116,7 +127,7 @@ impl GlobalMemory {
         let words = unsafe {
             &*(self.data.as_mut_slice() as *mut [f32] as *const [AtomicU32])
         };
-        SharedGmem { words, owners }
+        SharedGmem { words, owners, init }
     }
 }
 
@@ -126,6 +137,7 @@ impl<'m> SharedGmem<'m> {
         WorkerGmem {
             words: self.words,
             owners: self.owners.as_deref(),
+            init: self.init,
             block_id: block_id as u32 + 1,
         }
     }
@@ -149,6 +161,7 @@ impl<'m> SharedGmem<'m> {
 pub(crate) struct WorkerGmem<'m> {
     words: &'m [AtomicU32],
     owners: Option<&'m [AtomicU32]>,
+    init: Option<&'m [AtomicU64]>,
     /// Owner tag (`block_id + 1`) stamped on every word this view writes.
     pub(crate) block_id: u32,
 }
@@ -173,16 +186,23 @@ impl WorkerGmem<'_> {
                 prev - 1,
             );
         }
+        if let Some(init) = self.init {
+            init[word / 64].fetch_or(1 << (word % 64), Ordering::Relaxed);
+        }
         self.words[word].store(v.to_bits(), Ordering::Relaxed);
     }
 }
 
 impl GlobalMemory {
-    /// Create a device memory of `words` 32-bit words (zero initialised).
+    /// Create a device memory of `words` 32-bit words (zero initialised —
+    /// though the sanitizer's initcheck still treats never-written words
+    /// as uninitialized, matching real `cudaMalloc` semantics).
     pub fn new(words: usize) -> Self {
         GlobalMemory {
             data: vec![0.0; words],
             next: 0,
+            init: (0..words.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            allocs: Vec::new(),
         }
     }
 
@@ -200,13 +220,16 @@ impl GlobalMemory {
             self.data.len() - self.next
         );
         let p = DPtr(self.next);
+        self.allocs.push((self.next, words));
         self.next += words;
         p
     }
 
-    /// Release everything allocated so far (contents are kept).
+    /// Release everything allocated so far (contents are kept, and so are
+    /// the initialization bits — the words still hold their old values).
     pub fn reset_allocator(&mut self) {
         self.next = 0;
+        self.allocs.clear();
     }
 
     /// Words currently allocated.
@@ -228,12 +251,15 @@ impl GlobalMemory {
     /// Functional word write.
     #[inline]
     pub fn write(&mut self, p: DPtr, idx: usize, v: f32) {
-        self.data[p.0 + idx] = v;
+        let w = p.0 + idx;
+        self.data[w] = v;
+        *self.init[w / 64].get_mut() |= 1 << (w % 64);
     }
 
     /// Host-to-device copy (functional; PCIe timing is modelled in `host`).
     pub fn h2d(&mut self, p: DPtr, src: &[f32]) {
         self.data[p.0..p.0 + src.len()].copy_from_slice(src);
+        self.mark_init(p.0, src.len());
     }
 
     /// Device-to-host copy.
@@ -246,9 +272,28 @@ impl GlobalMemory {
         &self.data[p.0..p.0 + len]
     }
 
-    /// Borrow a device range mutably (testing convenience).
+    /// Borrow a device range mutably (testing convenience). The whole
+    /// range counts as host-initialized for the sanitizer.
     pub fn slice_mut(&mut self, p: DPtr, len: usize) -> &mut [f32] {
+        self.mark_init(p.0, len);
         &mut self.data[p.0..p.0 + len]
+    }
+
+    fn mark_init(&mut self, start: usize, len: usize) {
+        for w in start..start + len {
+            *self.init[w / 64].get_mut() |= 1 << (w % 64);
+        }
+    }
+
+    /// Snapshot of the initialization bitmap (one bit per word), taken by
+    /// the sanitizer at launch start.
+    pub(crate) fn init_snapshot(&self) -> Vec<u64> {
+        self.init.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Copy of the bump-allocation extents `(start, len)`.
+    pub(crate) fn alloc_table(&self) -> Vec<(usize, usize)> {
+        self.allocs.clone()
     }
 }
 

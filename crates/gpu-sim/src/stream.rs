@@ -145,6 +145,60 @@ impl TimelineReport {
             1.0
         }
     }
+
+    /// Stream-level watchdog over the resolved schedule.
+    ///
+    /// A stream is **unresolved** when one of its spans has a non-finite
+    /// bound — its queue never drains (see [`Timeline::kernel`] on
+    /// modelling a hung kernel as a NaN/infinite duration). On a
+    /// serialized (single-copy-engine) timeline every command issued
+    /// after the hang also never runs, so their streams are unresolved
+    /// too. A stream is **stalled** when its work does resolve but its
+    /// last command ends after `budget_s`.
+    pub fn watchdog(&self, budget_s: f64) -> StreamWatchdogReport {
+        let mut stalled: Vec<usize> = Vec::new();
+        let mut unresolved: Vec<usize> = Vec::new();
+        let mut poisoned = false;
+        for s in &self.spans {
+            let finite = s.start_s.is_finite() && s.end_s.is_finite();
+            if !finite || (self.serialized && poisoned) {
+                poisoned |= !finite;
+                if !unresolved.contains(&s.stream) {
+                    unresolved.push(s.stream);
+                }
+            } else if s.end_s > budget_s && !stalled.contains(&s.stream) {
+                stalled.push(s.stream);
+            }
+        }
+        stalled.retain(|s| !unresolved.contains(s));
+        stalled.sort_unstable();
+        unresolved.sort_unstable();
+        StreamWatchdogReport {
+            budget_s,
+            stalled,
+            unresolved,
+        }
+    }
+}
+
+/// Verdict of [`TimelineReport::watchdog`]: which streams blew the budget
+/// and which never resolve at all.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StreamWatchdogReport {
+    /// The deadline the schedule was checked against, in seconds.
+    pub budget_s: f64,
+    /// Streams whose final command completes after `budget_s`
+    /// ([`Stream::index`] values, ascending).
+    pub stalled: Vec<usize>,
+    /// Streams whose queued commands never resolve (ascending).
+    pub unresolved: Vec<usize>,
+}
+
+impl StreamWatchdogReport {
+    /// No stream stalled and every queue drained.
+    pub fn is_clean(&self) -> bool {
+        self.stalled.is_empty() && self.unresolved.is_empty()
+    }
 }
 
 /// Issue-order command list plus the device's overlap resources; resolves to
@@ -200,10 +254,16 @@ impl Timeline {
     }
 
     /// Enqueue a kernel taking `secs` (including launch overhead) on `s`.
+    ///
+    /// A non-finite duration (NaN or infinity) models a kernel that never
+    /// completes: it is preserved — not clamped — so the spans it produces
+    /// carry non-finite bounds and [`TimelineReport::watchdog`] can flag
+    /// the stream as unresolved.
     pub fn kernel(&mut self, s: Stream, secs: f64, label: impl Into<String>) {
+        let secs = if secs.is_finite() { secs.max(0.0) } else { secs };
         self.cmds.push(Cmd::Kernel {
             stream: s.0,
-            secs: secs.max(0.0),
+            secs,
             label: label.into(),
         });
     }
@@ -461,6 +521,57 @@ mod tests {
             assert_eq!(a.start_s.to_bits(), b.start_s.to_bits());
             assert_eq!(a.end_s.to_bits(), b.end_s.to_bits());
         }
+    }
+
+    #[test]
+    fn watchdog_flags_stalled_and_unresolved_streams() {
+        let cfg = GpuConfig::quadro_6000_dual_copy();
+        let mut tl = Timeline::new(&cfg);
+        let a = tl.stream();
+        let b = tl.stream();
+        let c = tl.stream();
+        tl.kernel(a, 1e-6, "quick");
+        tl.kernel(b, f64::NAN, "hung");
+        // A big copy rides the D2H engine, untouched by the wedged kernel
+        // slot: it resolves, but well past a 1 ms budget.
+        tl.d2h(c, 64 << 20);
+        let wd = tl.resolve().watchdog(1e-3);
+        assert_eq!(wd.unresolved, vec![b.index()]);
+        assert_eq!(wd.stalled, vec![c.index()]);
+        assert!(!wd.is_clean());
+
+        // Under a generous budget only the hung stream remains.
+        let wd = tl.resolve().watchdog(10.0);
+        assert_eq!(wd.unresolved, vec![b.index()]);
+        assert!(wd.stalled.is_empty());
+
+        // A kernel queued behind the hung device (one concurrent kernel
+        // slot) never starts: its stream is unresolved, not stalled.
+        let mut tl2 = Timeline::new(&cfg);
+        let x = tl2.stream();
+        let y = tl2.stream();
+        tl2.kernel(x, f64::NAN, "hung");
+        tl2.kernel(y, 1e-6, "starved");
+        let wd = tl2.resolve().watchdog(10.0);
+        assert_eq!(wd.unresolved, vec![x.index(), y.index()]);
+    }
+
+    #[test]
+    fn serialized_timeline_poisons_streams_issued_after_a_hang() {
+        // With one copy engine every command waits on the previous one, so
+        // a hung kernel wedges every stream issued after it.
+        let cfg = GpuConfig::quadro_6000();
+        let mut tl = Timeline::new(&cfg);
+        let a = tl.stream();
+        let b = tl.stream();
+        tl.kernel(a, f64::INFINITY, "hung");
+        tl.kernel(b, 1e-6, "starved");
+        let wd = tl.resolve().watchdog(1.0);
+        assert_eq!(wd.unresolved, vec![a.index(), b.index()]);
+
+        // A clean serialized pipeline is clean under a generous budget.
+        let r = pipelined(&cfg, 2, 4, 1 << 20, 100e-6);
+        assert!(r.watchdog(10.0).is_clean());
     }
 
     #[test]

@@ -102,6 +102,10 @@ pub struct LaunchStats {
     /// reads it to learn exactly which blocks were corrupted, including
     /// bit flips whose results still look finite.
     pub faults: Vec<crate::fault::FaultRecord>,
+    /// Compute-sanitizer report for this launch (`None` unless the launch
+    /// ran with [`crate::SanitizerMode::Full`]). `Some` with zero findings
+    /// means the kernel came back clean.
+    pub sanitizer: Option<crate::sanitize::SanitizerReport>,
 }
 
 impl LaunchStats {
@@ -310,5 +314,6 @@ pub(crate) fn combine(
         sim_host_threads: 1,
         sim_worker_utilization: 1.0,
         faults: Vec::new(),
+        sanitizer: None,
     }
 }
