@@ -90,6 +90,44 @@ pub fn pipeline_rows() -> Vec<PipelineRow> {
     PIPELINE.lock().unwrap().clone()
 }
 
+/// One (workload, solver, shape) row from the `sim_throughput`
+/// experiment: simulator throughput of the fast (observer-free) execution
+/// path against the fully instrumented slow path over an identical launch
+/// sequence.
+#[derive(Clone, Debug)]
+pub struct ThroughputRow {
+    /// Workload family (`fig10_pt`, `fig10_pb`, `sched_sweep`, ...).
+    pub workload: String,
+    pub op: String,
+    pub shape: String,
+    /// Functional blocks each leg replayed (equal by construction).
+    pub sim_blocks: usize,
+    /// Simulator seconds per leg (`sim_wall_s`, transfers excluded).
+    pub fast_sim_s: f64,
+    pub slow_sim_s: f64,
+    /// Blocks per second per leg.
+    pub fast_blocks_per_sec: f64,
+    pub slow_blocks_per_sec: f64,
+    /// `slow_sim_s / fast_sim_s`.
+    pub speedup: f64,
+    /// Whether the two legs produced bit-identical device results.
+    pub bit_identical: bool,
+}
+
+static THROUGHPUT: Mutex<Vec<ThroughputRow>> = Mutex::new(Vec::new());
+
+/// File the throughput experiment's rows for the harness run;
+/// [`Collector::to_json`] embeds them in `results/BENCH_sim.json`.
+/// Replaces any previously filed rows (the experiment is the only writer).
+pub fn record_throughput(rows: Vec<ThroughputRow>) {
+    *THROUGHPUT.lock().unwrap() = rows;
+}
+
+/// Snapshot of the currently filed throughput rows.
+pub fn throughput_rows() -> Vec<ThroughputRow> {
+    THROUGHPUT.lock().unwrap().clone()
+}
+
 /// One experiment's host-side cost.
 #[derive(Clone, Debug)]
 pub struct ExperimentTelemetry {
@@ -117,6 +155,7 @@ impl Collector {
         recovery_take();
         record_discrepancy(Vec::new());
         record_pipeline(Vec::new());
+        record_throughput(Vec::new());
         Collector::default()
     }
 
@@ -169,6 +208,7 @@ impl Collector {
         for (i, r) in self.records.iter().enumerate() {
             s.push_str(&format!(
                 "    {{\"id\": \"{}\", \"wall_s\": {:.6}, \"sim_wall_s\": {:.6}, \
+                 \"harness_overhead_s\": {:.6}, \
                  \"launches\": {}, \"functional_blocks\": {}, \
                  \"blocks_per_sec\": {:.1}, \"host_threads\": {}, \
                  \"faults_injected\": {}, \"faults_detected\": {}, \
@@ -177,6 +217,7 @@ impl Collector {
                 escape(&r.id),
                 r.wall_s,
                 r.sim.wall_s,
+                (r.wall_s - r.sim.wall_s).max(0.0),
                 r.sim.launches,
                 r.sim.functional_blocks,
                 r.sim.blocks_per_sec(),
@@ -232,6 +273,28 @@ impl Collector {
                 if i + 1 < rows.len() { "," } else { "" },
             ));
         }
+        s.push_str("  ],\n  \"sim_throughput\": [\n");
+        let rows = throughput_rows();
+        for (i, r) in rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"op\": \"{}\", \"shape\": \"{}\", \
+                 \"sim_blocks\": {}, \"fast_sim_s\": {:.6}, \
+                 \"slow_sim_s\": {:.6}, \"fast_blocks_per_sec\": {:.1}, \
+                 \"slow_blocks_per_sec\": {:.1}, \"speedup\": {:.2}, \
+                 \"bit_identical\": {}}}{}\n",
+                escape(&r.workload),
+                escape(&r.op),
+                escape(&r.shape),
+                r.sim_blocks,
+                r.fast_sim_s,
+                r.slow_sim_s,
+                r.fast_blocks_per_sec,
+                r.slow_blocks_per_sec,
+                r.speedup,
+                r.bit_identical,
+                if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
         s.push_str("  ]\n}\n");
         s
     }
@@ -277,6 +340,34 @@ mod tests {
         assert_eq!(j.matches("},\n").count(), 1);
         // The discrepancy section is present even when no rows are filed.
         assert!(j.contains("\"model_discrepancy\": ["));
+        // Harness overhead = wall minus simulator share, clamped at zero.
+        assert!(j.contains("\"harness_overhead_s\": 0.500000"));
+        assert!(j.contains("\"harness_overhead_s\": 1.500000"));
+    }
+
+    #[test]
+    fn throughput_rows_land_in_the_json() {
+        let _g = TEST_LOCK.lock().unwrap();
+        let mut c = Collector::new();
+        c.record("sim_throughput", 0.1);
+        record_throughput(vec![ThroughputRow {
+            workload: "fig10_pt".into(),
+            op: "QrSolve".into(),
+            shape: "32x32x6400".into(),
+            sim_blocks: 100,
+            fast_sim_s: 0.05,
+            slow_sim_s: 1.0,
+            fast_blocks_per_sec: 2000.0,
+            slow_blocks_per_sec: 100.0,
+            speedup: 20.0,
+            bit_identical: true,
+        }]);
+        let j = c.to_json();
+        assert!(j.contains("\"sim_throughput\": ["));
+        assert!(j.contains("\"workload\": \"fig10_pt\""));
+        assert!(j.contains("\"speedup\": 20.00"));
+        assert!(j.contains("\"bit_identical\": true"));
+        record_throughput(Vec::new());
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Acceptance gate for the fast execution path: runs the `sim_throughput`
+//! experiment and fails (non-zero exit) if the observer-free path is less
+//! than 5x faster than the instrumented path on the fig10 per-thread
+//! workload aggregate, or if any fast/slow leg pair disagrees bit for bit.
+//! The full-scale run recorded in `results/BENCH_sim.json` targets >= 10x;
+//! the CI smoke (`REGLA_FAST=1`) uses smaller batches, so the gate here is
+//! the conservative 5x floor from the issue.
+
+use regla_bench::experiments::throughput::sim_throughput_rows;
+
+fn main() {
+    let fast = regla_bench::fast_mode();
+    let (report, rows) = sim_throughput_rows(fast);
+    println!("{report}");
+    let mut failures = 0;
+    for r in rows.iter().filter(|r| !r.bit_identical) {
+        failures += 1;
+        println!(
+            "FAIL {} {} {}: fast and slow legs are not bit-identical",
+            r.workload, r.op, r.shape
+        );
+    }
+    match rows
+        .iter()
+        .find(|r| r.workload == "fig10_pt" && r.shape == "aggregate")
+    {
+        Some(agg) if agg.speedup < 5.0 => {
+            failures += 1;
+            println!(
+                "FAIL fig10_pt aggregate speedup {:.1}x below the 5x gate",
+                agg.speedup
+            );
+        }
+        Some(agg) => println!(
+            "speedup gate ok: fig10_pt aggregate {:.1}x (>= 5x)",
+            agg.speedup
+        ),
+        None => {
+            failures += 1;
+            println!("FAIL no fig10_pt aggregate row produced");
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -9,6 +9,7 @@ pub mod pipeline;
 pub mod resilience;
 pub mod sanitize;
 pub mod tables;
+pub mod throughput;
 
 pub use ablations::*;
 pub use accuracy::*;
@@ -18,6 +19,7 @@ pub use pipeline::*;
 pub use resilience::*;
 pub use sanitize::*;
 pub use tables::*;
+pub use throughput::*;
 
 /// (id, title, runner) for every experiment, in paper order.
 pub type Runner = fn(bool) -> String;
@@ -98,5 +100,10 @@ pub const ALL: &[(&str, &str, Runner)] = &[
         "sanitize_campaign",
         "Sanitizer — buggy fixtures + clean sweep",
         sanitize::sanitize_campaign,
+    ),
+    (
+        "sim_throughput",
+        "Fast path — simulator throughput vs instrumented slow path",
+        throughput::sim_throughput,
     ),
 ];

@@ -83,6 +83,11 @@ pub struct RunOpts {
     /// a hung kernel surfaces as `LaunchError::Watchdog` instead of
     /// hanging the host.
     pub watchdog: Option<u64>,
+    /// Force the simulator's fully-instrumented slow path even when no
+    /// observer (trace / sanitizer / fault plan / watchdog) is attached.
+    /// Results, statuses and modeled cycles are bit-identical either way;
+    /// this is an A/B knob for validating exactly that.
+    pub slow_path: bool,
 }
 
 impl Default for RunOpts {
@@ -102,6 +107,7 @@ impl Default for RunOpts {
             trace: None,
             sanitizer: SanitizerMode::Off,
             watchdog: None,
+            slow_path: false,
         }
     }
 }
@@ -212,6 +218,12 @@ impl RunOptsBuilder {
     /// Per-block watchdog op budget (see [`RunOpts::watchdog`]).
     pub fn watchdog(mut self, v: impl Into<Option<u64>>) -> Self {
         self.opts.watchdog = v.into();
+        self
+    }
+
+    /// Force the instrumented slow path (see [`RunOpts::slow_path`]).
+    pub fn slow_path(mut self, v: bool) -> Self {
+        self.opts.slow_path = v;
         self
     }
 
@@ -402,6 +414,36 @@ fn alg_label(alg: PtAlg) -> &'static str {
     }
 }
 
+/// FNV-1a fold of a few integers into a schedule-cache kernel id.
+fn fnv1a(seed: u64, words: &[u64]) -> u64 {
+    let mut h = seed ^ 0xcbf2_9ce4_8422_2325;
+    for &w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Fold a digest of the traced block's input problems into a schedule-cache
+/// key. The solver kernels branch on their data (zero-pivot and
+/// non-positive-definite early exits), so launches may only share a cached
+/// schedule when block 0 sees bit-identical inputs; hashing the raw f32
+/// bits is the conservative way to guarantee that.
+fn traced_input_digest<T: DeviceScalar>(seed: u64, aug: &MatBatch<T>, nprobs: usize) -> u64 {
+    let take = aug.elems_per_mat() * nprobs.min(aug.count());
+    let mut h = seed ^ 0xcbf2_9ce4_8422_2325;
+    for x in &aug.data()[..take] {
+        let w = x.to_words();
+        for &f in &w[..T::WORDS] {
+            h ^= f.to_bits() as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
 /// Trace name for a launch: `"qr 56x57 per-block"`.
 fn launch_name(alg: PtAlg, m: usize, cols: usize, approach: Approach) -> String {
     let ap = match approach {
@@ -476,6 +518,13 @@ fn run_inplace<T: DeviceScalar>(
                 kern = kern.with_tau(d_tau);
             }
             let tpb = PER_THREAD_TPB;
+            // Schedule-cache id: algorithm + shape, plus a digest of the
+            // problems block 0 computes (its `tpb` threads each factor one).
+            let key = traced_input_digest(
+                fnv1a(0x01, &[alg as u64, m as u64, cols as u64, ew as u64]),
+                aug,
+                tpb,
+            );
             let lc = LaunchConfig::new(count.div_ceil(tpb), tpb)
                 .regs(kern.regs_per_thread())
                 .shared_words(0)
@@ -486,7 +535,9 @@ fn run_inplace<T: DeviceScalar>(
                 .name(launch_name(alg, m, cols, approach))
                 .trace(opts.trace.clone())
                 .sanitizer(opts.sanitizer)
-                .watchdog(opts.watchdog);
+                .watchdog(opts.watchdog)
+                .slow_path(opts.slow_path)
+                .schedule_key(key);
             stats.push(gpu.launch(&kern, &lc, &mut gmem)?);
         }
         Approach::PerBlock => {
@@ -524,6 +575,26 @@ fn run_inplace<T: DeviceScalar>(
                     (k.shared_words(), Box::new(k))
                 }
             };
+            // Schedule-cache id: algorithm + layout + shape + the kernel
+            // ablation knobs that reshape phases, plus a digest of the one
+            // problem the traced block computes.
+            let key = traced_input_digest(
+                fnv1a(
+                    0x02,
+                    &[
+                        alg as u64,
+                        m as u64,
+                        cols as u64,
+                        ew as u64,
+                        opts.layout as u64,
+                        u64::from(back_substitute)
+                            | u64::from(opts.tree_reduction) << 1
+                            | u64::from(opts.lu_listing7) << 2,
+                    ],
+                ),
+                aug,
+                1,
+            );
             let lc = LaunchConfig::new(count, lm.p)
                 .regs(regs)
                 .shared_words(shared_words)
@@ -534,7 +605,9 @@ fn run_inplace<T: DeviceScalar>(
                 .name(launch_name(alg, m, cols, approach))
                 .trace(opts.trace.clone())
                 .sanitizer(opts.sanitizer)
-                .watchdog(opts.watchdog);
+                .watchdog(opts.watchdog)
+                .slow_path(opts.slow_path)
+                .schedule_key(key);
             stats.push(gpu.launch(launch.as_ref(), &lc, &mut gmem)?);
         }
         Approach::Tiled => {
@@ -557,6 +630,7 @@ fn run_inplace<T: DeviceScalar>(
                 trace: opts.trace.clone(),
                 sanitizer: opts.sanitizer,
                 watchdog: opts.watchdog,
+                slow_path: opts.slow_path,
             };
             let agg = tiled_qr::<T::Dev>(gpu, &mut gmem, view, m, nfac, rhs, count, d_tau, topts)?;
             for l in agg.launches {
@@ -1027,6 +1101,9 @@ pub(crate) fn gemm_run<T: DeviceScalar>(
         accumulate: false,
         _e: PhantomData,
     };
+    // GEMM's control flow is data-independent, so shape alone identifies
+    // its schedule — no input digest needed.
+    let key = fnv1a(0x03, &[m as u64, kdim as u64, n as u64, ew as u64]);
     let lc = LaunchConfig::new(count, lm.p)
         .regs(lm.local_len() * ew + 14)
         .shared_words(kern.shared_words())
@@ -1036,7 +1113,9 @@ pub(crate) fn gemm_run<T: DeviceScalar>(
         .name(format!("gemm {m}x{kdim}x{n} per-block"))
         .trace(opts.trace.clone())
         .sanitizer(opts.sanitizer)
-        .watchdog(opts.watchdog);
+        .watchdog(opts.watchdog)
+        .slow_path(opts.slow_path)
+        .schedule_key(key);
     let mut stats = MultiLaunch::default();
     stats.push(gpu.launch(&kern, &lc, &mut gmem)?);
     let out = MatBatch::<T>::from_device(m, n, count, &gmem, pc);
@@ -1112,6 +1191,7 @@ pub(crate) fn tsqr_run<T: DeviceScalar>(
         trace: opts.trace.clone(),
         sanitizer: opts.sanitizer,
         watchdog: opts.watchdog,
+        slow_path: opts.slow_path,
         ..Default::default()
     };
     let (rptr, stats) = tsqr::<T::Dev>(gpu, &mut gmem, view, m, n, 1, count, topts)?;

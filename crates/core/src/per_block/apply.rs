@@ -9,8 +9,8 @@
 
 use crate::elem::Elem;
 use crate::layout::LayoutMap;
-use crate::per_block::common::{load_tile, OwnTables, SubMat};
-use regla_gpu_sim::{BlockCtx, BlockKernel, DPtr, RegArray};
+use crate::per_block::common::{load_tile, OwnTables, SubMat, TileRegs};
+use regla_gpu_sim::{BlockCtx, BlockKernel, DPtr};
 use std::marker::PhantomData;
 
 pub struct QrApplyKernel<E: Elem> {
@@ -45,6 +45,7 @@ impl<E: Elem> BlockKernel for QrApplyKernel<E> {
         }
         let lm = self.lm;
         let own = OwnTables::new(&lm);
+        let lrows = lm.lrows;
         let rows = lm.rows;
         let nb = self.nb;
         let bid = blk.block_id;
@@ -56,13 +57,12 @@ impl<E: Elem> BlockKernel for QrApplyKernel<E> {
         let s_tau = rows + rw;
         let s_tw = rows + rw + nb;
 
-        let mut vregs: Vec<RegArray<E>> =
-            (0..p).map(|_| RegArray::zeroed(lm.local_len())).collect();
+        let mut vregs = TileRegs::<E>::new(p, lm.local_len());
         load_tile(blk, &lm, &own, &self.v, &mut vregs);
 
         // Stage this panel's taus once.
         let (d_tau, tau_stride, tau_off) = (self.d_tau, self.tau_stride, self.tau_off);
-        blk.phase_label("stage-tau");
+        blk.phase_label_with(|| "stage-tau".to_string());
         blk.for_each(|t| {
             if t.tid < nb {
                 let tau = E::gload(t, d_tau, bid * tau_stride + tau_off + t.tid);
@@ -74,7 +74,7 @@ impl<E: Elem> BlockKernel for QrApplyKernel<E> {
         let a = self.a;
         for c in 0..self.tcols {
             // Cooperative load of the trailing column into shared memory.
-            blk.phase_label("apply: stage");
+            blk.phase_label_with(|| "apply: stage".to_string());
             blk.for_each(|t| {
                 let mut i = t.tid;
                 while i < rows {
@@ -88,14 +88,31 @@ impl<E: Elem> BlockKernel for QrApplyKernel<E> {
             for k in 0..nb {
                 let diag_owner = lm.owner(k, k);
                 // Partials of w = vᴴ a over each thread's rows.
-                blk.phase_label("apply: matvec");
+                blk.phase_label_with(|| "apply: matvec".to_string());
                 blk.for_each(|t| {
                     if !lm.owns_col(t.tid, k) {
                         return;
                     }
+                    if t.fast() {
+                        let trows = own.rows_from(t.tid, k + 1);
+                        let r0 = own.row_base(t.tid, k + 1);
+                        let ck = own.col_base(t.tid, k);
+                        let tile = vregs.tile(t.tid);
+                        let mut acc = E::imm(0.0);
+                        for (rr, &i) in trows.iter().enumerate() {
+                            let x = E::v_sload(t, s_col + i);
+                            acc = E::v_conj_fma(tile[(r0 + rr) + lrows * ck], x, acc);
+                        }
+                        if t.tid == diag_owner {
+                            let x = E::v_sload(t, s_col + k);
+                            acc = E::v_add(acc, x);
+                        }
+                        E::v_sstore(t, s_part + lm.owner_rank(t.tid), acc);
+                        return;
+                    }
                     let mut acc = E::imm(0.0);
                     for &i in own.rows_from(t.tid, k + 1) {
-                        let v = vregs[t.tid].get(t, lm.local_index(i, k));
+                        let v = vregs.get(t, lm.local_index(i, k));
                         let x = E::sload(t, s_col + i);
                         acc = E::conj_fma(t, v, x, acc);
                     }
@@ -126,9 +143,25 @@ impl<E: Elem> BlockKernel for QrApplyKernel<E> {
                 blk.sync();
 
                 // a -= v * tw over the column.
-                blk.phase_label("apply: update");
+                blk.phase_label_with(|| "apply: update".to_string());
                 blk.for_each(|t| {
                     if !lm.owns_col(t.tid, k) {
+                        return;
+                    }
+                    if t.fast() {
+                        let tw = E::v_sload(t, s_tw);
+                        if t.tid == diag_owner {
+                            let x = E::v_sload(t, s_col + k);
+                            E::v_sstore(t, s_col + k, E::v_sub(x, tw));
+                        }
+                        let trows = own.rows_from(t.tid, k + 1);
+                        let r0 = own.row_base(t.tid, k + 1);
+                        let ck = own.col_base(t.tid, k);
+                        for (rr, &i) in trows.iter().enumerate() {
+                            let v = vregs.tile(t.tid)[(r0 + rr) + lrows * ck];
+                            let x = E::v_sload(t, s_col + i);
+                            E::v_sstore(t, s_col + i, E::v_fnma(v, tw, x));
+                        }
                         return;
                     }
                     let tw = E::sload(t, s_tw);
@@ -138,7 +171,7 @@ impl<E: Elem> BlockKernel for QrApplyKernel<E> {
                         E::sstore(t, s_col + k, nx);
                     }
                     for &i in own.rows_from(t.tid, k + 1) {
-                        let v = vregs[t.tid].get(t, lm.local_index(i, k));
+                        let v = vregs.get(t, lm.local_index(i, k));
                         let x = E::sload(t, s_col + i);
                         let nx = E::fnma(t, v, tw, x);
                         E::sstore(t, s_col + i, nx);
@@ -148,7 +181,7 @@ impl<E: Elem> BlockKernel for QrApplyKernel<E> {
             }
 
             // Write the updated column back.
-            blk.phase_label("apply: store");
+            blk.phase_label_with(|| "apply: store".to_string());
             blk.for_each(|t| {
                 let mut i = t.tid;
                 while i < rows {

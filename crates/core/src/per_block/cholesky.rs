@@ -6,8 +6,8 @@
 
 use crate::elem::Elem;
 use crate::layout::LayoutMap;
-use crate::per_block::common::{load_tile, store_tile, OwnTables, SharedMap, SubMat};
-use regla_gpu_sim::{BlockCtx, BlockKernel, DPtr, RegArray};
+use crate::per_block::common::{load_tile, store_tile, OwnTables, SharedMap, SubMat, TileRegs};
+use regla_gpu_sim::{BlockCtx, BlockKernel, DPtr};
 use std::marker::PhantomData;
 
 /// Cholesky kernel; L overwrites the lower triangle in place.
@@ -17,6 +17,9 @@ pub struct CholeskyBlockKernel<E: Elem> {
     pub count: usize,
     /// Set to 1 when a non-positive pivot is encountered.
     pub d_flag: Option<DPtr>,
+    /// Ownership tables, hoisted out of `run` so they are built once per
+    /// launch instead of once per simulated block.
+    own: OwnTables,
     pub _e: PhantomData<E>,
 }
 
@@ -24,6 +27,7 @@ impl<E: Elem> CholeskyBlockKernel<E> {
     pub fn new(a: SubMat, lm: LayoutMap, count: usize) -> Self {
         CholeskyBlockKernel {
             a,
+            own: OwnTables::new(&lm),
             lm,
             count,
             d_flag: None,
@@ -43,28 +47,27 @@ impl<E: Elem> BlockKernel for CholeskyBlockKernel<E> {
         }
         let lm = self.lm;
         let sm = SharedMap::new(&lm);
-        let own = OwnTables::new(&lm);
+        let own = &self.own;
+        let lrows = lm.lrows;
         let n = lm.rows;
         assert_eq!(lm.cols, n, "Cholesky needs a square matrix");
         let bid = blk.block_id;
         let d_flag = self.d_flag;
 
-        let mut regs: Vec<RegArray<E>> = (0..lm.p)
-            .map(|_| RegArray::zeroed(lm.local_len()))
-            .collect();
-        load_tile(blk, &lm, &own, &self.a, &mut regs);
+        let mut regs = TileRegs::<E>::new(lm.p, lm.local_len());
+        load_tile(blk, &lm, own, &self.a, &mut regs);
 
         for k in 0..n {
             let panel = k / lm.rdim + 1;
             let diag_owner = lm.owner(k, k);
 
             // Pivot: l_kk = sqrt(a_kk), published with its reciprocal.
-            blk.phase_label(format!("panel {panel}: pivot"));
+            blk.phase_label_with(|| format!("panel {panel}: pivot"));
             blk.for_each(|t| {
                 if t.tid != diag_owner {
                     return;
                 }
-                let akk = regs[t.tid].get(t, lm.local_index(k, k));
+                let akk = regs.get(t, lm.local_index(k, k));
                 let d = akk.re();
                 let zero = t.lit(0.0);
                 if !t.gt(d, zero) {
@@ -81,7 +84,7 @@ impl<E: Elem> BlockKernel for CholeskyBlockKernel<E> {
                 }
                 let lkk = t.sqrt(d);
                 let inv = t.recip(lkk);
-                regs[t.tid].set(t, lm.local_index(k, k), E::from_re(lkk));
+                regs.set(t, lm.local_index(k, k), E::from_re(lkk));
                 E::sstore(t, sm.se(2), E::from_re(inv));
             });
             blk.sync();
@@ -95,13 +98,27 @@ impl<E: Elem> BlockKernel for CholeskyBlockKernel<E> {
                 if rows.is_empty() {
                     return;
                 }
+                if t.fast() {
+                    let inv = E::v_sload(t, sm.se(2));
+                    let inv_re = inv.re();
+                    let r0 = own.row_base(t.tid, k + 1);
+                    let ck = own.col_base(t.tid, k);
+                    let tile = regs.tile_mut(t.tid);
+                    for (rr, &i) in rows.iter().enumerate() {
+                        let idx = (r0 + rr) + lrows * ck;
+                        let l = E::v_scale_re(tile[idx], inv_re);
+                        tile[idx] = l;
+                        E::v_sstore(t, sm.sv(i), l);
+                    }
+                    return;
+                }
                 let inv = E::sload(t, sm.se(2));
                 let inv_re = inv.re();
                 for &i in rows {
                     let idx = lm.local_index(i, k);
-                    let a = regs[t.tid].get(t, idx);
+                    let a = regs.get(t, idx);
                     let l = E::scale_re(t, a, inv_re);
-                    regs[t.tid].set(t, idx, l);
+                    regs.set(t, idx, l);
                     E::sstore(t, sm.sv(i), l);
                 }
             });
@@ -109,11 +126,29 @@ impl<E: Elem> BlockKernel for CholeskyBlockKernel<E> {
 
             // Symmetric trailing update of the lower triangle:
             // a_ij -= l_i * conj(l_j) for k < j <= i.
-            blk.phase_label(format!("panel {panel}: syrk"));
+            blk.phase_label_with(|| format!("panel {panel}: syrk"));
             blk.for_each(|t| {
                 let trows = own.rows_from(t.tid, k + 1);
                 let tcols = own.cols_from(t.tid, k + 1);
                 if trows.is_empty() || tcols.is_empty() {
+                    return;
+                }
+                if t.fast() {
+                    // Fused lower-triangle update: rows are sorted, so the
+                    // i >= j suffix starts at a partition point.
+                    let r0 = own.row_base(t.tid, k + 1);
+                    let c0 = own.col_base(t.tid, k + 1);
+                    let tile = regs.tile_mut(t.tid);
+                    for (cc, &j) in tcols.iter().enumerate() {
+                        let lj = E::v_sload(t, sm.sv(j));
+                        let ljc = E::conj(t, lj);
+                        let start = trows.partition_point(|&i| i < j);
+                        let col = lrows * (c0 + cc) + r0;
+                        for (rr, &i) in trows.iter().enumerate().skip(start) {
+                            let li = E::v_sload(t, sm.sv(i));
+                            tile[col + rr] = E::v_fnma(li, ljc, tile[col + rr]);
+                        }
+                    }
                     return;
                 }
                 let l: Vec<E> = trows.iter().map(|&i| E::sload(t, sm.sv(i))).collect();
@@ -125,15 +160,15 @@ impl<E: Elem> BlockKernel for CholeskyBlockKernel<E> {
                             continue;
                         }
                         let idx = lm.local_index(i, j);
-                        let a = regs[t.tid].get(t, idx);
+                        let a = regs.get(t, idx);
                         let na = E::fnma(t, *li, ljc, a);
-                        regs[t.tid].set(t, idx, na);
+                        regs.set(t, idx, na);
                     }
                 }
             });
             blk.sync();
         }
 
-        store_tile(blk, &lm, &own, &self.a, &mut regs);
+        store_tile(blk, &lm, own, &self.a, &mut regs);
     }
 }

@@ -132,6 +132,72 @@ impl OwnTables {
         let v = &self.cols[t];
         &v[v.partition_point(|&j| j < c0)..]
     }
+
+    /// Local row index of the first element of `rows_from(t, r0)`.
+    ///
+    /// For every shipped layout the w-th entry of a thread's owned-row
+    /// list has local row index w (ownership is an arithmetic
+    /// progression), so fused fast-path loops can index the register tile
+    /// as `(row_base + rr) + lrows * (col_base + cc)` with no divisions;
+    /// `tile_index_matches_layout` pins the invariant.
+    #[inline]
+    pub fn row_base(&self, t: usize, r0: usize) -> usize {
+        self.rows[t].partition_point(|&i| i < r0)
+    }
+
+    /// Local column index of the first element of `cols_from(t, c0)`.
+    #[inline]
+    pub fn col_base(&self, t: usize, c0: usize) -> usize {
+        self.cols[t].partition_point(|&j| j < c0)
+    }
+}
+
+/// Every thread's register tile in one allocation.
+///
+/// One `RegArray` per thread was `p` heap allocations per simulated block;
+/// batch workloads run tens of thousands of blocks, so the flat array
+/// matters. Accessors take the thread context and address the calling
+/// thread's tile, so kernels read exactly as before; the per-access spill
+/// accounting is unchanged (it was always per-thread, not per-array).
+pub struct TileRegs<E: Elem> {
+    regs: RegArray<E>,
+    llen: usize,
+}
+
+impl<E: Elem> TileRegs<E> {
+    /// Zeroed tiles for `p` threads of `llen` local elements each.
+    pub fn new(p: usize, llen: usize) -> Self {
+        TileRegs {
+            regs: RegArray::zeroed(p * llen),
+            llen,
+        }
+    }
+
+    /// Scoreboarded read of the calling thread's local element `i`.
+    #[inline]
+    pub fn get(&self, t: &mut ThreadCtx, i: usize) -> E {
+        debug_assert!(i < self.llen);
+        self.regs.get(t, t.tid * self.llen + i)
+    }
+
+    /// Scoreboarded write of the calling thread's local element `i`.
+    #[inline]
+    pub fn set(&mut self, t: &mut ThreadCtx, i: usize, x: E) {
+        debug_assert!(i < self.llen);
+        self.regs.set(t, t.tid * self.llen + i, x)
+    }
+
+    /// Raw view of thread `tid`'s tile (fast path only).
+    #[inline]
+    pub fn tile(&self, tid: usize) -> &[E] {
+        &self.regs.raw()[tid * self.llen..][..self.llen]
+    }
+
+    /// Raw mutable view of thread `tid`'s tile (fast path only).
+    #[inline]
+    pub fn tile_mut(&mut self, tid: usize) -> &mut [E] {
+        &mut self.regs.raw_mut()[tid * self.llen..][..self.llen]
+    }
 }
 
 /// Load each thread's 2D-cyclic (or 1D) register tile from global memory
@@ -141,15 +207,31 @@ pub fn load_tile<E: Elem>(
     lm: &LayoutMap,
     own: &OwnTables,
     a: &SubMat,
-    regs: &mut [RegArray<E>],
+    regs: &mut TileRegs<E>,
 ) {
     let bid = blk.block_id;
     blk.phase_label("load");
+    let lrows = lm.lrows;
     blk.for_each(|t| {
+        if t.fast() {
+            // Fused macro-op: both loops over the thread's whole tile with
+            // division-free local indexing (position in the owned list IS
+            // the local index — see `OwnTables::row_base`).
+            let rows = own.rows_from(t.tid, 0);
+            let cols = own.cols_from(t.tid, 0);
+            let tile = regs.tile_mut(t.tid);
+            for (lr, &i) in rows.iter().enumerate() {
+                for (lc, &j) in cols.iter().enumerate() {
+                    debug_assert_eq!(lr + lrows * lc, lm.local_index(i, j));
+                    tile[lr + lrows * lc] = E::v_gload(t, a.ptr, a.index(bid, i, j));
+                }
+            }
+            return;
+        }
         for &i in own.rows_from(t.tid, 0) {
             for &j in own.cols_from(t.tid, 0) {
                 let v = E::gload(t, a.ptr, a.index(bid, i, j));
-                regs[t.tid].set(t, lm.local_index(i, j), v);
+                regs.set(t, lm.local_index(i, j), v);
             }
         }
     });
@@ -162,14 +244,26 @@ pub fn store_tile<E: Elem>(
     lm: &LayoutMap,
     own: &OwnTables,
     a: &SubMat,
-    regs: &mut [RegArray<E>],
+    regs: &mut TileRegs<E>,
 ) {
     let bid = blk.block_id;
     blk.phase_label("store");
+    let lrows = lm.lrows;
     blk.for_each(|t| {
+        if t.fast() {
+            let rows = own.rows_from(t.tid, 0);
+            let cols = own.cols_from(t.tid, 0);
+            let tile = regs.tile(t.tid);
+            for (lr, &i) in rows.iter().enumerate() {
+                for (lc, &j) in cols.iter().enumerate() {
+                    E::v_gstore(t, a.ptr, a.index(bid, i, j), tile[lr + lrows * lc]);
+                }
+            }
+            return;
+        }
         for &i in own.rows_from(t.tid, 0) {
             for &j in own.cols_from(t.tid, 0) {
-                let v = regs[t.tid].get(t, lm.local_index(i, j));
+                let v = regs.get(t, lm.local_index(i, j));
                 E::gstore(t, a.ptr, a.index(bid, i, j), v);
             }
         }
@@ -179,6 +273,14 @@ pub fn store_tile<E: Elem>(
 /// Serial reduction of the partials for column `j` (ranks `0..red_width`),
 /// performed by the calling thread; returns the sum.
 pub fn reduce_column<E: Elem>(t: &mut ThreadCtx, sm: &SharedMap, j: usize) -> E {
+    if t.fast() {
+        let mut acc = E::imm(0.0);
+        for r in 0..sm.red_width {
+            let p = E::v_sload(t, sm.part(j, r));
+            acc = E::v_add(p, acc);
+        }
+        return acc;
+    }
     let mut acc = E::imm(0.0);
     for r in 0..sm.red_width {
         let p = E::sload(t, sm.part(j, r));
@@ -222,6 +324,32 @@ mod tests {
         }
         assert_eq!(seen.len(), sm.elems());
         assert_eq!(sm.words::<Rv>(), sm.elems());
+    }
+
+    #[test]
+    fn tile_index_matches_layout() {
+        // The fused fast-path loops index register tiles by position in
+        // the owned lists; that must agree with `LayoutMap::local_index`
+        // for every layout.
+        for layout in [Layout::TwoDCyclic, Layout::RowCyclic, Layout::ColCyclic] {
+            let lm = LayoutMap::new(layout, 16, 12, 13);
+            let own = OwnTables::new(&lm);
+            for t in 0..lm.p {
+                for (lr, &i) in own.rows_from(t, 0).iter().enumerate() {
+                    for (lc, &j) in own.cols_from(t, 0).iter().enumerate() {
+                        assert_eq!(lr + lm.lrows * lc, lm.local_index(i, j));
+                    }
+                }
+                assert_eq!(
+                    own.row_base(t, 5),
+                    own.rows[t].len() - own.rows_from(t, 5).len()
+                );
+                assert_eq!(
+                    own.col_base(t, 7),
+                    own.cols[t].len() - own.cols_from(t, 7).len()
+                );
+            }
+        }
     }
 
     #[test]

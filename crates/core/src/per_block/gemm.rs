@@ -6,8 +6,8 @@
 
 use crate::elem::Elem;
 use crate::layout::LayoutMap;
-use crate::per_block::common::{load_tile, store_tile, OwnTables, SubMat};
-use regla_gpu_sim::{BlockCtx, BlockKernel, RegArray};
+use crate::per_block::common::{load_tile, store_tile, OwnTables, SubMat, TileRegs};
+use regla_gpu_sim::{BlockCtx, BlockKernel};
 use std::marker::PhantomData;
 
 /// Batched `C = A·B + beta*C` kernel (beta = 0 or 1).
@@ -39,20 +39,25 @@ impl<E: Elem> BlockKernel for GemmBlockKernel<E> {
         }
         let lm = self.lm;
         let own = OwnTables::new(&lm);
+        let lrows = lm.lrows;
         let (m, n) = (lm.rows, lm.cols);
         let bid = blk.block_id;
         let p = lm.p;
         let kdim = self.kdim;
         let (a, b) = (self.a, self.b);
 
-        let mut regs: Vec<RegArray<E>> = (0..p).map(|_| RegArray::zeroed(lm.local_len())).collect();
+        let mut regs = TileRegs::<E>::new(p, lm.local_len());
         if self.accumulate {
             load_tile(blk, &lm, &own, &self.c, &mut regs);
         } else {
-            blk.phase_label("zero");
+            blk.phase_label_with(|| "zero".to_string());
             blk.for_each(|t| {
+                if t.fast() {
+                    regs.tile_mut(t.tid).fill(E::imm(0.0));
+                    return;
+                }
                 for l in 0..lm.local_len() {
-                    regs[t.tid].set(t, l, E::imm(0.0));
+                    regs.set(t, l, E::imm(0.0));
                 }
             });
             blk.sync();
@@ -60,8 +65,23 @@ impl<E: Elem> BlockKernel for GemmBlockKernel<E> {
 
         for kk in 0..kdim {
             // Stage A[:, kk] and B[kk, :] into shared memory cooperatively.
-            blk.phase_label("stage");
+            blk.phase_label_with(|| "stage".to_string());
             blk.for_each(|t| {
+                if t.fast() {
+                    let mut i = t.tid;
+                    while i < m {
+                        let v = E::v_gload(t, a.ptr, a.index(bid, i, kk));
+                        E::v_sstore(t, i, v);
+                        i += p;
+                    }
+                    let mut j = t.tid;
+                    while j < n {
+                        let v = E::v_gload(t, b.ptr, b.index(bid, kk, j));
+                        E::v_sstore(t, m + j, v);
+                        j += p;
+                    }
+                    return;
+                }
                 let mut i = t.tid;
                 while i < m {
                     let v = E::gload(t, a.ptr, a.index(bid, i, kk));
@@ -77,11 +97,25 @@ impl<E: Elem> BlockKernel for GemmBlockKernel<E> {
             });
             blk.sync();
 
-            blk.phase_label("update");
+            blk.phase_label_with(|| "update".to_string());
             blk.for_each(|t| {
                 let trows = own.rows_from(t.tid, 0);
                 let tcols = own.cols_from(t.tid, 0);
                 if trows.is_empty() || tcols.is_empty() {
+                    return;
+                }
+                if t.fast() {
+                    // Fused rank-1 accumulate over the full owned tile
+                    // (row/col bases are 0: the lists start at row/col 0).
+                    let tile = regs.tile_mut(t.tid);
+                    for (cc, &j) in tcols.iter().enumerate() {
+                        let bj = E::v_sload(t, m + j);
+                        let col = lrows * cc;
+                        for (rr, &i) in trows.iter().enumerate() {
+                            let ai = E::v_sload(t, i);
+                            tile[col + rr] = E::v_fma(ai, bj, tile[col + rr]);
+                        }
+                    }
                     return;
                 }
                 let av: Vec<E> = trows.iter().map(|&i| E::sload(t, i)).collect();
@@ -89,9 +123,9 @@ impl<E: Elem> BlockKernel for GemmBlockKernel<E> {
                 for (bj, &j) in bv.iter().zip(tcols) {
                     for (ai, &i) in av.iter().zip(trows) {
                         let idx = lm.local_index(i, j);
-                        let c = regs[t.tid].get(t, idx);
+                        let c = regs.get(t, idx);
                         let nc = E::fma(t, *ai, *bj, c);
-                        regs[t.tid].set(t, idx, nc);
+                        regs.set(t, idx, nc);
                     }
                 }
             });

@@ -7,8 +7,8 @@
 
 use crate::elem::Elem;
 use crate::layout::LayoutMap;
-use crate::per_block::common::{load_tile, store_tile, OwnTables, SharedMap, SubMat};
-use regla_gpu_sim::{BlockCtx, BlockKernel, DPtr, RegArray};
+use crate::per_block::common::{load_tile, store_tile, OwnTables, SharedMap, SubMat, TileRegs};
+use regla_gpu_sim::{BlockCtx, BlockKernel, DPtr};
 use std::marker::PhantomData;
 
 /// Gauss-Jordan kernel over `n x (n + rhs)` augmented matrices; on return
@@ -20,6 +20,9 @@ pub struct GjBlockKernel<E: Elem> {
     /// Columns that are right-hand sides (>= 1).
     pub rhs_cols: usize,
     pub d_flag: Option<DPtr>,
+    /// Ownership tables, hoisted out of `run` so they are built once per
+    /// launch instead of once per simulated block.
+    own: OwnTables,
     pub _e: PhantomData<E>,
 }
 
@@ -28,6 +31,7 @@ impl<E: Elem> GjBlockKernel<E> {
         assert!(rhs_cols >= 1);
         GjBlockKernel {
             a,
+            own: OwnTables::new(&lm),
             lm,
             count,
             rhs_cols,
@@ -48,27 +52,26 @@ impl<E: Elem> BlockKernel for GjBlockKernel<E> {
         }
         let lm = self.lm;
         let sm = SharedMap::new(&lm);
-        let own = OwnTables::new(&lm);
+        let own = &self.own;
+        let lrows = lm.lrows;
         let n = lm.cols - self.rhs_cols;
         assert_eq!(lm.rows, n, "Gauss-Jordan needs a square system");
         let bid = blk.block_id;
         let d_flag = self.d_flag;
 
-        let mut regs: Vec<RegArray<E>> = (0..lm.p)
-            .map(|_| RegArray::zeroed(lm.local_len()))
-            .collect();
-        load_tile(blk, &lm, &own, &self.a, &mut regs);
+        let mut regs = TileRegs::<E>::new(lm.p, lm.local_len());
+        load_tile(blk, &lm, own, &self.a, &mut regs);
 
         for k in 0..n {
             let panel = k / lm.rdim + 1;
             let diag_owner = lm.owner(k, k);
 
-            blk.phase_label(format!("panel {panel}: column"));
+            blk.phase_label_with(|| format!("panel {panel}: column"));
             blk.for_each(|t| {
                 if t.tid != diag_owner {
                     return;
                 }
-                let akk = regs[t.tid].get(t, lm.local_index(k, k));
+                let akk = regs.get(t, lm.local_index(k, k));
                 if E::is_zero(t, akk) {
                     E::sstore(t, sm.se(2), E::imm(0.0));
                     // First failure wins: record `column + 1` (0 = solved).
@@ -89,13 +92,41 @@ impl<E: Elem> BlockKernel for GjBlockKernel<E> {
             // Scale the pivot row (j >= k) and publish it; publish the
             // pivot column as the elimination multipliers l_i.
             blk.for_each(|t| {
+                if t.fast() {
+                    // Fused macro-ops over the pivot row and pivot column.
+                    if own.rows_from(t.tid, k).first() == Some(&k) {
+                        let s = E::v_sload(t, sm.se(2));
+                        let rk = own.row_base(t.tid, k);
+                        let c0 = own.col_base(t.tid, k);
+                        let tile = regs.tile_mut(t.tid);
+                        for (cc, &j) in own.cols_from(t.tid, k).iter().enumerate() {
+                            let idx = rk + lrows * (c0 + cc);
+                            let u = E::v_mul(tile[idx], s);
+                            tile[idx] = u;
+                            if j > k {
+                                E::v_sstore(t, sm.sr(j), u);
+                            }
+                        }
+                    }
+                    if lm.owns_col(t.tid, k) {
+                        let ck = own.col_base(t.tid, k);
+                        for (rr, &i) in own.rows_from(t.tid, 0).iter().enumerate() {
+                            if i == k {
+                                continue;
+                            }
+                            let l = regs.tile(t.tid)[rr + lrows * ck];
+                            E::v_sstore(t, sm.sv(i), l);
+                        }
+                    }
+                    return;
+                }
                 if own.rows_from(t.tid, k).first() == Some(&k) {
                     let s = E::sload(t, sm.se(2));
                     for &j in own.cols_from(t.tid, k) {
                         let idx = lm.local_index(k, j);
-                        let a = regs[t.tid].get(t, idx);
+                        let a = regs.get(t, idx);
                         let u = E::mul(t, a, s);
-                        regs[t.tid].set(t, idx, u);
+                        regs.set(t, idx, u);
                         if j > k {
                             E::sstore(t, sm.sr(j), u);
                         }
@@ -106,7 +137,7 @@ impl<E: Elem> BlockKernel for GjBlockKernel<E> {
                         if i == k {
                             continue;
                         }
-                        let l = regs[t.tid].get(t, lm.local_index(i, k));
+                        let l = regs.get(t, lm.local_index(i, k));
                         E::sstore(t, sm.sv(i), l);
                     }
                 }
@@ -115,8 +146,38 @@ impl<E: Elem> BlockKernel for GjBlockKernel<E> {
 
             // Outer-product update of every row but the pivot row, columns
             // right of the pivot, and zero the pivot column.
-            blk.phase_label(format!("panel {panel}: rank-1"));
+            blk.phase_label_with(|| format!("panel {panel}: rank-1"));
             blk.for_each(|t| {
+                if t.fast() {
+                    // Fused outer-product update, skipping the pivot row in
+                    // place instead of collecting the filtered row list.
+                    let tcols = own.cols_from(t.tid, k + 1);
+                    let all = own.rows_from(t.tid, 0);
+                    if !all.is_empty() && !tcols.is_empty() {
+                        let c0 = own.col_base(t.tid, k + 1);
+                        let tile = regs.tile_mut(t.tid);
+                        for (cc, &j) in tcols.iter().enumerate() {
+                            let uj = E::v_sload(t, sm.sr(j));
+                            let col = lrows * (c0 + cc);
+                            for (rr, &i) in all.iter().enumerate() {
+                                if i == k {
+                                    continue;
+                                }
+                                let li = E::v_sload(t, sm.sv(i));
+                                tile[col + rr] = E::v_fnma(li, uj, tile[col + rr]);
+                            }
+                        }
+                    }
+                    if lm.owns_col(t.tid, k) {
+                        let ck = own.col_base(t.tid, k);
+                        let tile = regs.tile_mut(t.tid);
+                        for (rr, &i) in own.rows_from(t.tid, 0).iter().enumerate() {
+                            tile[rr + lrows * ck] =
+                                if i == k { E::imm(1.0) } else { E::imm(0.0) };
+                        }
+                    }
+                    return;
+                }
                 let tcols = own.cols_from(t.tid, k + 1);
                 let trows: Vec<usize> = own
                     .rows_from(t.tid, 0)
@@ -130,9 +191,9 @@ impl<E: Elem> BlockKernel for GjBlockKernel<E> {
                     for (uj, &j) in u.iter().zip(tcols) {
                         for (li, &i) in l.iter().zip(&trows) {
                             let idx = lm.local_index(i, j);
-                            let a = regs[t.tid].get(t, idx);
+                            let a = regs.get(t, idx);
                             let na = E::fnma(t, *li, *uj, a);
-                            regs[t.tid].set(t, idx, na);
+                            regs.set(t, idx, na);
                         }
                     }
                 }
@@ -141,9 +202,9 @@ impl<E: Elem> BlockKernel for GjBlockKernel<E> {
                     for &i in own.rows_from(t.tid, 0) {
                         let idx = lm.local_index(i, k);
                         if i == k {
-                            regs[t.tid].set(t, idx, E::imm(1.0));
+                            regs.set(t, idx, E::imm(1.0));
                         } else {
-                            regs[t.tid].set(t, idx, E::imm(0.0));
+                            regs.set(t, idx, E::imm(0.0));
                         }
                     }
                 }
@@ -151,6 +212,6 @@ impl<E: Elem> BlockKernel for GjBlockKernel<E> {
             blk.sync();
         }
 
-        store_tile(blk, &lm, &own, &self.a, &mut regs);
+        store_tile(blk, &lm, own, &self.a, &mut regs);
     }
 }

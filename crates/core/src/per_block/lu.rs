@@ -4,8 +4,8 @@
 
 use crate::elem::Elem;
 use crate::layout::LayoutMap;
-use crate::per_block::common::{load_tile, store_tile, OwnTables, SharedMap, SubMat};
-use regla_gpu_sim::{BlockCtx, BlockKernel, DPtr, RegArray};
+use crate::per_block::common::{load_tile, store_tile, OwnTables, SharedMap, SubMat, TileRegs};
+use regla_gpu_sim::{BlockCtx, BlockKernel, DPtr};
 use std::marker::PhantomData;
 
 /// LU kernel; L (unit diagonal) and U overwrite the matrix in place.
@@ -22,6 +22,9 @@ pub struct LuBlockKernel<E: Elem> {
     /// pre-loading both vectors into registers. Slower; used by the
     /// fidelity ablation against Table V's measured LU cycles.
     pub listing7: bool,
+    /// Ownership tables, hoisted out of `run` so they are built once per
+    /// launch instead of once per simulated block.
+    own: OwnTables,
     pub _e: PhantomData<E>,
 }
 
@@ -29,6 +32,7 @@ impl<E: Elem> LuBlockKernel<E> {
     pub fn new(a: SubMat, lm: LayoutMap, count: usize) -> Self {
         LuBlockKernel {
             a,
+            own: OwnTables::new(&lm),
             lm,
             count,
             d_flag: None,
@@ -60,16 +64,15 @@ impl<E: Elem> BlockKernel for LuBlockKernel<E> {
         }
         let lm = self.lm;
         let sm = SharedMap::new(&lm);
-        let own = OwnTables::new(&lm);
+        let own = &self.own;
+        let lrows = lm.lrows;
         let (m, cols) = (lm.rows, lm.cols);
         let kmax = m.min(cols);
         let bid = blk.block_id;
         let d_flag = self.d_flag;
 
-        let mut regs: Vec<RegArray<E>> = (0..lm.p)
-            .map(|_| RegArray::zeroed(lm.local_len()))
-            .collect();
-        load_tile(blk, &lm, &own, &self.a, &mut regs);
+        let mut regs = TileRegs::<E>::new(lm.p, lm.local_len());
+        load_tile(blk, &lm, own, &self.a, &mut regs);
 
         for k in 0..kmax {
             let panel = k / lm.rdim + 1;
@@ -77,12 +80,12 @@ impl<E: Elem> BlockKernel for LuBlockKernel<E> {
 
             // The thread on the diagonal determines the scaling factor and
             // assigns it to shared memory (Listing 5).
-            blk.phase_label(format!("panel {panel}: column"));
+            blk.phase_label_with(|| format!("panel {panel}: column"));
             blk.for_each(|t| {
                 if t.tid != diag_owner {
                     return;
                 }
-                let akk = regs[t.tid].get(t, lm.local_index(k, k));
+                let akk = regs.get(t, lm.local_index(k, k));
                 if E::is_zero(t, akk) {
                     E::sstore(t, sm.se(2), E::imm(0.0));
                     // First failure wins: record `column + 1` so the host
@@ -104,22 +107,49 @@ impl<E: Elem> BlockKernel for LuBlockKernel<E> {
             // Scale the column into l while extracting it to shared memory
             // (Listing 6), and publish the pivot row as u.
             blk.for_each(|t| {
+                if t.fast() {
+                    // Fused macro-ops over contiguous column slices.
+                    if lm.owns_col(t.tid, k) {
+                        let rows = own.rows_from(t.tid, k + 1);
+                        if !rows.is_empty() {
+                            let s = E::v_sload(t, sm.se(2));
+                            let r0 = own.row_base(t.tid, k + 1);
+                            let ck = own.col_base(t.tid, k);
+                            let tile = regs.tile_mut(t.tid);
+                            for (rr, &i) in rows.iter().enumerate() {
+                                let idx = (r0 + rr) + lrows * ck;
+                                let l = E::v_mul(tile[idx], s);
+                                tile[idx] = l;
+                                E::v_sstore(t, sm.sv(i), l);
+                            }
+                        }
+                    }
+                    if own.rows_from(t.tid, k).first() == Some(&k) {
+                        let rk = own.row_base(t.tid, k);
+                        let c0 = own.col_base(t.tid, k + 1);
+                        for (cc, &j) in own.cols_from(t.tid, k + 1).iter().enumerate() {
+                            let u = regs.tile(t.tid)[rk + lrows * (c0 + cc)];
+                            E::v_sstore(t, sm.sr(j), u);
+                        }
+                    }
+                    return;
+                }
                 if lm.owns_col(t.tid, k) {
                     let rows = own.rows_from(t.tid, k + 1);
                     if !rows.is_empty() {
                         let s = E::sload(t, sm.se(2));
                         for &i in rows {
                             let idx = lm.local_index(i, k);
-                            let a = regs[t.tid].get(t, idx);
+                            let a = regs.get(t, idx);
                             let l = E::mul(t, a, s);
-                            regs[t.tid].set(t, idx, l);
+                            regs.set(t, idx, l);
                             E::sstore(t, sm.sv(i), l);
                         }
                     }
                 }
                 if own.rows_from(t.tid, k).first() == Some(&k) {
                     for &j in own.cols_from(t.tid, k + 1) {
-                        let u = regs[t.tid].get(t, lm.local_index(k, j));
+                        let u = regs.get(t, lm.local_index(k, j));
                         E::sstore(t, sm.sr(j), u);
                     }
                 }
@@ -130,12 +160,29 @@ impl<E: Elem> BlockKernel for LuBlockKernel<E> {
             // both shared vectors are hoisted into registers first; the
             // `listing7` variant re-reads u per inner iteration, as the
             // paper's source does.
-            blk.phase_label(format!("panel {panel}: rank-1"));
+            blk.phase_label_with(|| format!("panel {panel}: rank-1"));
             let listing7 = self.listing7;
             blk.for_each(|t| {
                 let trows = own.rows_from(t.tid, k + 1);
                 let tcols = own.cols_from(t.tid, k + 1);
                 if trows.is_empty() || tcols.is_empty() {
+                    return;
+                }
+                if t.fast() {
+                    // Fused rank-1: the update is elementwise, so one loop
+                    // order serves both the hoisted and Listing-7 shapes
+                    // (values are identical either way).
+                    let r0 = own.row_base(t.tid, k + 1);
+                    let c0 = own.col_base(t.tid, k + 1);
+                    let tile = regs.tile_mut(t.tid);
+                    for (cc, &j) in tcols.iter().enumerate() {
+                        let uj = E::v_sload(t, sm.sr(j));
+                        let col = lrows * (c0 + cc) + r0;
+                        for (rr, &i) in trows.iter().enumerate() {
+                            let li = E::v_sload(t, sm.sv(i));
+                            tile[col + rr] = E::v_fnma(li, uj, tile[col + rr]);
+                        }
+                    }
                     return;
                 }
                 if listing7 {
@@ -144,9 +191,9 @@ impl<E: Elem> BlockKernel for LuBlockKernel<E> {
                         for &j in tcols {
                             let uj = E::sload(t, sm.sr(j));
                             let idx = lm.local_index(i, j);
-                            let a = regs[t.tid].get(t, idx);
+                            let a = regs.get(t, idx);
                             let na = E::fnma(t, li, uj, a);
-                            regs[t.tid].set(t, idx, na);
+                            regs.set(t, idx, na);
                         }
                     }
                 } else {
@@ -155,9 +202,9 @@ impl<E: Elem> BlockKernel for LuBlockKernel<E> {
                     for (uj, &j) in u.iter().zip(tcols) {
                         for (li, &i) in l.iter().zip(trows) {
                             let idx = lm.local_index(i, j);
-                            let a = regs[t.tid].get(t, idx);
+                            let a = regs.get(t, idx);
                             let na = E::fnma(t, *li, *uj, a);
-                            regs[t.tid].set(t, idx, na);
+                            regs.set(t, idx, na);
                         }
                     }
                 }
@@ -165,6 +212,6 @@ impl<E: Elem> BlockKernel for LuBlockKernel<E> {
             blk.sync();
         }
 
-        store_tile(blk, &lm, &own, &self.a, &mut regs);
+        store_tile(blk, &lm, own, &self.a, &mut regs);
     }
 }

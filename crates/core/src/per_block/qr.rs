@@ -10,8 +10,8 @@
 
 use crate::elem::Elem;
 use crate::layout::LayoutMap;
-use crate::per_block::common::{load_tile, store_tile, OwnTables, SharedMap, SubMat};
-use regla_gpu_sim::{BlockCtx, BlockKernel, DPtr, RegArray};
+use crate::per_block::common::{load_tile, store_tile, OwnTables, SharedMap, SubMat, TileRegs};
+use regla_gpu_sim::{BlockCtx, BlockKernel, DPtr, Rv};
 use std::marker::PhantomData;
 
 /// How cross-thread reductions are performed.
@@ -44,6 +44,9 @@ pub struct QrBlockKernel<E: Elem> {
     pub back_substitute: bool,
     /// Reduction strategy (Section V-D design choice).
     pub reduction: Reduction,
+    /// Ownership tables, hoisted out of `run` so they are built once per
+    /// launch instead of once per simulated block.
+    own: OwnTables,
     pub _e: PhantomData<E>,
 }
 
@@ -51,6 +54,7 @@ impl<E: Elem> QrBlockKernel<E> {
     pub fn new(a: SubMat, lm: LayoutMap, count: usize) -> Self {
         QrBlockKernel {
             a,
+            own: OwnTables::new(&lm),
             lm,
             count,
             rhs_cols: 0,
@@ -102,38 +106,56 @@ impl<E: Elem> BlockKernel for QrBlockKernel<E> {
         }
         let lm = self.lm;
         let sm = SharedMap::new(&lm);
-        let own = OwnTables::new(&lm);
+        let own = &self.own;
+        let lrows = lm.lrows;
         let (m, cols) = (lm.rows, lm.cols);
         let nfac = cols - self.rhs_cols;
         let kmax = nfac.min(m);
         let bid = blk.block_id;
 
-        let mut regs: Vec<RegArray<E>> = (0..lm.p)
-            .map(|_| RegArray::zeroed(lm.local_len()))
-            .collect();
-        load_tile(blk, &lm, &own, &self.a, &mut regs);
+        let mut regs = TileRegs::<E>::new(lm.p, lm.local_len());
+        load_tile(blk, &lm, own, &self.a, &mut regs);
 
         for k in 0..kmax {
             let panel = k / lm.rdim + 1;
             let diag_owner = lm.owner(k, k);
 
             // ---- Form the Householder vector ------------------------------
-            blk.phase_label(format!("panel {panel}: form-hh"));
+            blk.phase_label_with(|| format!("panel {panel}: form-hh"));
             // Partial squared norms of column k below the diagonal, plus the
             // diagonal element published for the reducer.
             blk.for_each(|t| {
                 if !lm.owns_col(t.tid, k) {
                     return;
                 }
+                if t.fast() {
+                    // Fused macro-op: walk the owned column slice directly.
+                    let rows = own.rows_from(t.tid, k + 1);
+                    let r0 = own.row_base(t.tid, k + 1);
+                    let ck = own.col_base(t.tid, k);
+                    let tile = regs.tile(t.tid);
+                    let mut acc = 0.0f32;
+                    for rr in 0..rows.len() {
+                        let a2 = E::v_abs2(tile[(r0 + rr) + lrows * ck]);
+                        acc += a2.v;
+                    }
+                    let rank = lm.owner_rank(t.tid);
+                    E::v_sstore(t, sm.part(k, rank), E::from_re(Rv::imm(acc)));
+                    if t.tid == diag_owner {
+                        let rk = own.row_base(t.tid, k);
+                        E::v_sstore(t, sm.se(0), tile[rk + lrows * ck]);
+                    }
+                    return;
+                }
                 let mut acc = t.lit(0.0);
                 for &i in own.rows_from(t.tid, k + 1) {
-                    let a = regs[t.tid].get(t, lm.local_index(i, k));
+                    let a = regs.get(t, lm.local_index(i, k));
                     let a2 = E::abs2(t, a);
                     acc = t.add(acc, a2);
                 }
                 E::sstore(t, sm.part(k, lm.owner_rank(t.tid)), E::from_re(acc));
                 if t.tid == diag_owner {
-                    let alpha = regs[t.tid].get(t, lm.local_index(k, k));
+                    let alpha = regs.get(t, lm.local_index(k, k));
                     E::sstore(t, sm.se(0), alpha);
                 }
             });
@@ -206,7 +228,7 @@ impl<E: Elem> BlockKernel for QrBlockKernel<E> {
                 let inv = E::recip(t, den);
                 E::sstore(t, sm.se(1), tau);
                 E::sstore(t, sm.se(2), inv);
-                regs[t.tid].set(t, lm.local_index(k, k), beta_e);
+                regs.set(t, lm.local_index(k, k), beta_e);
                 if let Some(dt) = d_tau {
                     E::gstore(t, dt, bid * kmax + k, tau);
                 }
@@ -226,32 +248,73 @@ impl<E: Elem> BlockKernel for QrBlockKernel<E> {
                 if rows.is_empty() {
                     return;
                 }
+                if t.fast() {
+                    let inv = E::v_sload(t, sm.se(2));
+                    let r0 = own.row_base(t.tid, k + 1);
+                    let ck = own.col_base(t.tid, k);
+                    let tile = regs.tile_mut(t.tid);
+                    for (rr, &i) in rows.iter().enumerate() {
+                        let idx = (r0 + rr) + lrows * ck;
+                        let v = E::v_mul(tile[idx], inv);
+                        tile[idx] = v;
+                        E::v_sstore(t, sm.sv(i), v);
+                    }
+                    return;
+                }
                 let inv = E::sload(t, sm.se(2));
                 for &i in rows {
                     let idx = lm.local_index(i, k);
-                    let a = regs[t.tid].get(t, idx);
+                    let a = regs.get(t, idx);
                     let v = E::mul(t, a, inv);
-                    regs[t.tid].set(t, idx, v);
+                    regs.set(t, idx, v);
                     E::sstore(t, sm.sv(i), v);
                 }
             });
             blk.sync();
 
             // ---- w = vᴴ A for the trailing columns ------------------------
-            blk.phase_label(format!("panel {panel}: matvec"));
+            blk.phase_label_with(|| format!("panel {panel}: matvec"));
             blk.for_each(|t| {
                 let tcols = own.cols_from(t.tid, k + 1);
                 if tcols.is_empty() {
                     return;
                 }
-                // Hoist the reflector entries for this thread's rows.
                 let trows = own.rows_from(t.tid, k);
-                let v: Vec<E> = trows.iter().map(|&i| E::sload(t, sm.sv(i))).collect();
                 let rank = lm.owner_rank(t.tid);
+                if t.fast() {
+                    // Fused macro-op: hoist the strided reflector reads
+                    // into a contiguous stack buffer, then run the
+                    // per-column fma chains eight columns at a time. Each
+                    // column still sees its accumulations in the original
+                    // order (bit-identical); blocking only makes the
+                    // chains independent so the host can overlap them.
+                    let r0 = own.row_base(t.tid, k);
+                    let c0 = own.col_base(t.tid, k + 1);
+                    let tile = regs.tile(t.tid);
+                    let mut cc = 0;
+                    while cc < tcols.len() {
+                        let w = (tcols.len() - cc).min(8);
+                        let mut acc = [E::imm(0.0); 8];
+                        for (rr, &i) in trows.iter().enumerate() {
+                            let vi = E::v_sload(t, sm.sv(i));
+                            for (u, a) in acc[..w].iter_mut().enumerate() {
+                                let x = tile[lrows * (c0 + cc + u) + r0 + rr];
+                                *a = E::v_conj_fma(vi, x, *a);
+                            }
+                        }
+                        for (u, a) in acc[..w].iter().enumerate() {
+                            E::v_sstore(t, sm.part(tcols[cc + u], rank), *a);
+                        }
+                        cc += w;
+                    }
+                    return;
+                }
+                // Hoist the reflector entries for this thread's rows.
+                let v: Vec<E> = trows.iter().map(|&i| E::sload(t, sm.sv(i))).collect();
                 for &j in tcols {
                     let mut acc = E::imm(0.0);
                     for (vi, &i) in v.iter().zip(trows) {
-                        let a = regs[t.tid].get(t, lm.local_index(i, j));
+                        let a = regs.get(t, lm.local_index(i, j));
                         acc = E::conj_fma(t, *vi, a, acc);
                     }
                     E::sstore(t, sm.part(j, rank), acc);
@@ -294,6 +357,21 @@ impl<E: Elem> BlockKernel for QrBlockKernel<E> {
                 if j > cols {
                     return;
                 }
+                if t.fast() {
+                    let tau = E::v_sload(t, sm.se(1));
+                    let tch = E::conj(t, tau);
+                    while j < cols {
+                        let w = if tree {
+                            E::v_sload(t, sm.part(j, 0))
+                        } else {
+                            crate::per_block::common::reduce_column::<E>(t, &sm, j)
+                        };
+                        let tw = E::v_mul(tch, w);
+                        E::v_sstore(t, sm.sr(j), tw);
+                        j += p_threads;
+                    }
+                    return;
+                }
                 let tau = E::sload(t, sm.se(1));
                 let tch = E::conj(t, tau);
                 while j < cols {
@@ -310,11 +388,37 @@ impl<E: Elem> BlockKernel for QrBlockKernel<E> {
             blk.sync();
 
             // ---- Rank-1 update: A -= v (tau w)ᵀ ---------------------------
-            blk.phase_label(format!("panel {panel}: rank-1"));
+            blk.phase_label_with(|| format!("panel {panel}: rank-1"));
             blk.for_each(|t| {
                 let tcols = own.cols_from(t.tid, k + 1);
                 let trows = own.rows_from(t.tid, k);
                 if tcols.is_empty() || trows.is_empty() {
+                    return;
+                }
+                if t.fast() {
+                    // Fused macro-op: hoist the reflector into a stack
+                    // buffer once, then each column update is a contiguous
+                    // slice-on-slice axpy (independent elements, so the
+                    // host may vectorize it; values are unchanged).
+                    let r0 = own.row_base(t.tid, k);
+                    let c0 = own.col_base(t.tid, k + 1);
+                    let mut cc = 0;
+                    while cc < tcols.len() {
+                        let w = (tcols.len() - cc).min(8);
+                        let mut twv = [E::imm(0.0); 8];
+                        for (u, tw) in twv[..w].iter_mut().enumerate() {
+                            *tw = E::v_sload(t, sm.sr(tcols[cc + u]));
+                        }
+                        let tile = regs.tile_mut(t.tid);
+                        for (rr, &i) in trows.iter().enumerate() {
+                            let vi = E::v_sload(t, sm.sv(i));
+                            for (u, tw) in twv[..w].iter().enumerate() {
+                                let idx = lrows * (c0 + cc + u) + r0 + rr;
+                                tile[idx] = E::v_fnma(vi, *tw, tile[idx]);
+                            }
+                        }
+                        cc += w;
+                    }
                     return;
                 }
                 let v: Vec<E> = trows.iter().map(|&i| E::sload(t, sm.sv(i))).collect();
@@ -322,9 +426,9 @@ impl<E: Elem> BlockKernel for QrBlockKernel<E> {
                 for (twj, &j) in tw.iter().zip(tcols) {
                     for (vi, &i) in v.iter().zip(trows) {
                         let idx = lm.local_index(i, j);
-                        let a = regs[t.tid].get(t, idx);
+                        let a = regs.get(t, idx);
                         let na = E::fnma(t, *vi, *twj, a);
-                        regs[t.tid].set(t, idx, na);
+                        regs.set(t, idx, na);
                     }
                 }
             });
@@ -336,13 +440,13 @@ impl<E: Elem> BlockKernel for QrBlockKernel<E> {
         if self.back_substitute {
             for rc in nfac..cols {
                 for j in (0..nfac).rev() {
-                    blk.phase_label("back-substitute");
+                    blk.phase_label_with(|| "back-substitute".to_string());
                     let rjj_owner = lm.owner(j, j);
                     let xj_owner = lm.owner(j, rc);
                     // Publish R(j,j).
                     blk.for_each(|t| {
                         if t.tid == rjj_owner {
-                            let r = regs[t.tid].get(t, lm.local_index(j, j));
+                            let r = regs.get(t, lm.local_index(j, j));
                             E::sstore(t, sm.se(0), r);
                         }
                     });
@@ -351,10 +455,10 @@ impl<E: Elem> BlockKernel for QrBlockKernel<E> {
                     blk.for_each(|t| {
                         if t.tid == xj_owner {
                             let rjj = E::sload(t, sm.se(0));
-                            let y = regs[t.tid].get(t, lm.local_index(j, rc));
+                            let y = regs.get(t, lm.local_index(j, rc));
                             let inv = E::recip(t, rjj);
                             let x = E::mul(t, y, inv);
-                            regs[t.tid].set(t, lm.local_index(j, rc), x);
+                            regs.set(t, lm.local_index(j, rc), x);
                             E::sstore(t, sm.se(3), x);
                         }
                     });
@@ -362,6 +466,21 @@ impl<E: Elem> BlockKernel for QrBlockKernel<E> {
                     // Column-j owners publish R(i,j) * x_j for i < j.
                     blk.for_each(|t| {
                         if !lm.owns_col(t.tid, j) {
+                            return;
+                        }
+                        if t.fast() {
+                            let all = own.rows_from(t.tid, 0);
+                            let npre = all.partition_point(|&i| i < j);
+                            if npre == 0 {
+                                return;
+                            }
+                            let xj = E::v_sload(t, sm.se(3));
+                            let cj = own.col_base(t.tid, j);
+                            let tile = regs.tile(t.tid);
+                            for (rr, &i) in all[..npre].iter().enumerate() {
+                                let c = E::v_mul(tile[rr + lrows * cj], xj);
+                                E::v_sstore(t, sm.sv(i), c);
+                            }
                             return;
                         }
                         let rows: Vec<usize> = own
@@ -375,7 +494,7 @@ impl<E: Elem> BlockKernel for QrBlockKernel<E> {
                         }
                         let xj = E::sload(t, sm.se(3));
                         for i in rows {
-                            let r = regs[t.tid].get(t, lm.local_index(i, j));
+                            let r = regs.get(t, lm.local_index(i, j));
                             let c = E::mul(t, r, xj);
                             E::sstore(t, sm.sv(i), c);
                         }
@@ -386,15 +505,27 @@ impl<E: Elem> BlockKernel for QrBlockKernel<E> {
                         if !lm.owns_col(t.tid, rc) {
                             return;
                         }
+                        if t.fast() {
+                            let all = own.rows_from(t.tid, 0);
+                            let npre = all.partition_point(|&i| i < j);
+                            let crc = own.col_base(t.tid, rc);
+                            let tile = regs.tile_mut(t.tid);
+                            for (rr, &i) in all[..npre].iter().enumerate() {
+                                let c = E::v_sload(t, sm.sv(i));
+                                let idx = rr + lrows * crc;
+                                tile[idx] = E::v_sub(tile[idx], c);
+                            }
+                            return;
+                        }
                         for &i in own.rows_from(t.tid, 0) {
                             if i >= j {
                                 break;
                             }
                             let c = E::sload(t, sm.sv(i));
                             let idx = lm.local_index(i, rc);
-                            let y = regs[t.tid].get(t, idx);
+                            let y = regs.get(t, idx);
                             let ny = E::sub(t, y, c);
-                            regs[t.tid].set(t, idx, ny);
+                            regs.set(t, idx, ny);
                         }
                     });
                     blk.sync();
@@ -402,6 +533,6 @@ impl<E: Elem> BlockKernel for QrBlockKernel<E> {
             }
         }
 
-        store_tile(blk, &lm, &own, &self.a, &mut regs);
+        store_tile(blk, &lm, own, &self.a, &mut regs);
     }
 }

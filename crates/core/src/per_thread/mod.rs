@@ -6,7 +6,7 @@
 //! 64-register budget spill to local memory exactly like the `#pragma
 //! unroll`ed CUDA original — producing Figure 4's collapse at n = 8.
 
-use crate::elem::Elem;
+use crate::elem::{Elem, FastVal};
 use crate::per_block::common::SubMat;
 use regla_gpu_sim::{BlockCtx, BlockKernel, DPtr, RegArray, ThreadCtx};
 use std::marker::PhantomData;
@@ -267,6 +267,181 @@ fn back_substitute_serial<E: Elem>(
     }
 }
 
+
+// ---------------------------------------------------------------------------
+// Fast-path serial variants: the same algorithms over a plain element slice
+// with value-only ops. Each mirrors its instrumented twin operation for
+// operation (same expression order, same math-mode rounding), so the results
+// are bit-identical; only the scoreboard/shadow bookkeeping is elided.
+// Register-file spilling affects modeled timing, never values, so the slice
+// stands in for the `RegArray` exactly.
+// ---------------------------------------------------------------------------
+
+// The `_fast` kernels below mirror their scoreboarded twins op for op, in
+// the same order, but walk columns as slices: the bounds checks hoist out
+// of the inner loops and the independent fnma chains autovectorize, which
+// is where most of the fast path's interpreter overhead went.
+
+fn lu_serial_fast<V: FastVal>(t: &ThreadCtx, a: &mut [V], n: usize, cols: usize) -> Option<usize> {
+    debug_assert_eq!(a.len(), n * cols);
+    let mut fail = None;
+    for k in 0..n {
+        let akk = a[idx(n, k, k)];
+        if V::is_zero(akk) {
+            fail.get_or_insert(k);
+            continue;
+        }
+        let inv = V::recip(t, akk);
+        let (lo, hi) = a.split_at_mut((k + 1) * n);
+        let colk = &mut lo[k * n + k + 1..];
+        for x in colk.iter_mut() {
+            *x = V::mul(*x, inv);
+        }
+        for colj in hi.chunks_exact_mut(n) {
+            let u = colj[k];
+            for (x, &l) in colj[k + 1..].iter_mut().zip(colk.iter()) {
+                *x = V::fnma(l, u, *x);
+            }
+        }
+    }
+    fail
+}
+
+fn gj_serial_fast<V: FastVal>(
+    t: &ThreadCtx,
+    a: &mut [V],
+    n: usize,
+    cols: usize,
+    fcol: &mut [V],
+) -> Option<usize> {
+    debug_assert_eq!(a.len(), n * cols);
+    let mut fail = None;
+    for k in 0..n {
+        let akk = a[idx(n, k, k)];
+        if V::is_zero(akk) {
+            fail.get_or_insert(k);
+            continue;
+        }
+        let s = V::recip(t, akk);
+        for colj in a[k * n..].chunks_exact_mut(n) {
+            colj[k] = V::mul(colj[k], s);
+        }
+        // Capture the multiplier column before elimination overwrites it;
+        // every (i, j) update below is then an independent expression, so
+        // walking column-major computes bit-identical values to the
+        // scoreboarded row-major loop.
+        fcol[..n].copy_from_slice(&a[k * n..(k + 1) * n]);
+        for colj in a[k * n..].chunks_exact_mut(n) {
+            let akj = colj[k];
+            for (x, &f) in colj[..k].iter_mut().zip(&fcol[..k]) {
+                *x = V::fnma(f, akj, *x);
+            }
+            for (x, &f) in colj[k + 1..n].iter_mut().zip(&fcol[k + 1..n]) {
+                *x = V::fnma(f, akj, *x);
+            }
+        }
+    }
+    fail
+}
+
+fn qr_serial_fast<E: Elem>(
+    t: &mut ThreadCtx,
+    a: &mut [E::Val],
+    n: usize,
+    cols: usize,
+    tau_out: Option<(DPtr, usize)>,
+) {
+    type V<E> = <E as Elem>::Val;
+    debug_assert_eq!(a.len(), n * cols);
+    for k in 0..n {
+        let (lo, hi) = a.split_at_mut((k + 1) * n);
+        let colk = &mut lo[k * n..];
+        let mut x2 = 0.0f32;
+        for &x in &colk[k + 1..] {
+            x2 += V::<E>::abs2(x);
+        }
+        let alpha = colk[k];
+        let n2 = x2 + V::<E>::abs2(alpha);
+        if n2 == 0.0 {
+            if let Some((dt, base)) = tau_out {
+                E::v_gstore_val(t, dt, base + k, V::<E>::imm(0.0));
+            }
+            continue;
+        }
+        let anorm = t.v_sqrt(n2);
+        let beta = if V::<E>::re(alpha) > 0.0 { -anorm } else { anorm };
+        let beta_e = V::<E>::from_re(beta);
+        let num = V::<E>::sub(beta_e, alpha);
+        let binv = V::<E>::recip(t, beta_e);
+        let tau = V::<E>::mul(num, binv);
+        let den = V::<E>::sub(alpha, beta_e);
+        let inv = V::<E>::recip(t, den);
+        if let Some((dt, base)) = tau_out {
+            E::v_gstore_val(t, dt, base + k, tau);
+        }
+        for x in colk[k + 1..].iter_mut() {
+            *x = V::<E>::mul(*x, inv);
+        }
+        colk[k] = beta_e;
+        let v = &colk[k + 1..];
+        let tch = V::<E>::conj(tau);
+        for colj in hi.chunks_exact_mut(n) {
+            let mut w = colj[k];
+            for (&vi, &x) in v.iter().zip(&colj[k + 1..]) {
+                w = V::<E>::conj_fma(vi, x, w);
+            }
+            let tw = V::<E>::mul(tch, w);
+            colj[k] = V::<E>::sub(colj[k], tw);
+            for (x, &vi) in colj[k + 1..].iter_mut().zip(v) {
+                *x = V::<E>::fnma(vi, tw, *x);
+            }
+        }
+    }
+}
+
+fn cholesky_serial_fast<V: FastVal>(t: &ThreadCtx, a: &mut [V], n: usize) -> Option<usize> {
+    let mut fail = None;
+    for k in 0..n {
+        let d = V::re(a[idx(n, k, k)]);
+        // Non-positive or NaN pivot fails, exactly like the tracked
+        // kernel's `!t.gt(d, zero)`.
+        if d.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            fail.get_or_insert(k);
+            continue;
+        }
+        let lkk = t.v_sqrt(d);
+        let inv = t.v_recip(lkk);
+        let (lo, hi) = a.split_at_mut((k + 1) * n);
+        let colk = &mut lo[k * n..];
+        colk[k] = V::from_re(lkk);
+        for x in colk[k + 1..].iter_mut() {
+            *x = V::scale_re(*x, inv);
+        }
+        for (jj, colj) in hi.chunks_exact_mut(n).take(n - k - 1).enumerate() {
+            let j = k + 1 + jj;
+            let ljc = V::conj(colk[j]);
+            for (x, &v) in colj[j..].iter_mut().zip(&colk[j..]) {
+                *x = V::fnma(v, ljc, *x);
+            }
+        }
+    }
+    fail
+}
+
+fn back_substitute_serial_fast<V: FastVal>(t: &ThreadCtx, a: &mut [V], n: usize, rc: usize) {
+    let (lo, hi) = a.split_at_mut(rc * n);
+    let colrc = &mut hi[..n];
+    for j in (0..n).rev() {
+        let colj = &lo[j * n..(j + 1) * n];
+        let inv = V::recip(t, colj[j]);
+        let x = V::mul(colrc[j], inv);
+        colrc[j] = x;
+        for (r, &v) in colrc[..j].iter_mut().zip(colj) {
+            *r = V::fnma(v, x, *r);
+        }
+    }
+}
+
 impl<E: Elem> BlockKernel for PerThreadKernel<E> {
     fn run(&self, blk: &mut BlockCtx) {
         let tpb = blk.num_threads();
@@ -277,13 +452,63 @@ impl<E: Elem> BlockKernel for PerThreadKernel<E> {
         let count = self.count;
         let d_tau = self.d_tau;
         let d_flag = self.d_flag;
-        blk.phase_label("per-thread");
+        blk.phase_label_with(|| "per-thread".to_string());
+        // One scratch matrix reused across the block's threads: every
+        // problem fully overwrites it during its load loop, so reuse is
+        // indistinguishable from a fresh zeroed array.
+        let mut scratch = RegArray::<E>::zeroed(n * cols);
+        let mut fbuf: Vec<E::Val> = vec![<E::Val as FastVal>::imm(0.0); n * cols];
+        let mut fcol: Vec<E::Val> = vec![<E::Val as FastVal>::imm(0.0); n];
         blk.for_each(|t| {
             let pid = bid * tpb + t.tid;
             if pid >= count {
                 return;
             }
-            let mut regs = RegArray::<E>::zeroed(n * cols);
+            if t.fast() {
+                let buf = &mut fbuf[..];
+                // A full-matrix view stores each problem as one contiguous
+                // column-major span in `buf`'s own order, so the whole
+                // load/store collapses into a fused bulk transfer.
+                let contiguous = a.row0 == 0 && a.col0 == 0 && a.lda == n;
+                if contiguous {
+                    E::v_gload_vals(t, a.ptr, a.index(pid, 0, 0), buf);
+                } else {
+                    for j in 0..cols {
+                        for i in 0..n {
+                            buf[idx(n, i, j)] = E::v_gload(t, a.ptr, a.index(pid, i, j)).val();
+                        }
+                    }
+                }
+                let fail = match alg {
+                    PtAlg::Lu => lu_serial_fast(t, buf, n, cols),
+                    PtAlg::Gj => gj_serial_fast(t, buf, n, cols, &mut fcol),
+                    PtAlg::Qr => {
+                        let sink = d_tau.map(|dt| (dt, pid * n));
+                        qr_serial_fast::<E>(t, buf, n, cols, sink);
+                        None
+                    }
+                    PtAlg::QrSolve => {
+                        qr_serial_fast::<E>(t, buf, n, cols, None);
+                        back_substitute_serial_fast(t, buf, n, n);
+                        None
+                    }
+                    PtAlg::Cholesky => cholesky_serial_fast(t, buf, n),
+                };
+                if contiguous {
+                    E::v_gstore_vals(t, a.ptr, a.index(pid, 0, 0), buf);
+                } else {
+                    for j in 0..cols {
+                        for i in 0..n {
+                            E::v_gstore_val(t, a.ptr, a.index(pid, i, j), buf[idx(n, i, j)]);
+                        }
+                    }
+                }
+                if let (Some(f), Some(col)) = (d_flag, fail) {
+                    t.gset(f, pid, (col + 1) as f32);
+                }
+                return;
+            }
+            let regs = &mut scratch;
             for j in 0..cols {
                 for i in 0..n {
                     let v = E::gload(t, a.ptr, a.index(pid, i, j));
@@ -291,19 +516,19 @@ impl<E: Elem> BlockKernel for PerThreadKernel<E> {
                 }
             }
             let fail = match alg {
-                PtAlg::Lu => lu_serial(t, &mut regs, n, cols),
-                PtAlg::Gj => gj_serial(t, &mut regs, n, cols),
+                PtAlg::Lu => lu_serial(t, regs, n, cols),
+                PtAlg::Gj => gj_serial(t, regs, n, cols),
                 PtAlg::Qr => {
                     let sink = d_tau.map(|dt| (dt, pid * n));
-                    qr_serial(t, &mut regs, n, cols, sink);
+                    qr_serial(t, regs, n, cols, sink);
                     None
                 }
                 PtAlg::QrSolve => {
-                    qr_serial(t, &mut regs, n, cols, None);
-                    back_substitute_serial(t, &mut regs, n, n);
+                    qr_serial(t, regs, n, cols, None);
+                    back_substitute_serial(t, regs, n, n);
                     None
                 }
-                PtAlg::Cholesky => cholesky_serial(t, &mut regs, n),
+                PtAlg::Cholesky => cholesky_serial(t, regs, n),
             };
             for j in 0..cols {
                 for i in 0..n {

@@ -88,6 +88,8 @@ pub struct TiledOpts {
     pub sanitizer: SanitizerMode,
     /// Per-block watchdog op budget for every launch (`None` = unlimited).
     pub watchdog: Option<u64>,
+    /// Force the simulator's instrumented slow path for every launch.
+    pub slow_path: bool,
 }
 
 impl Default for TiledOpts {
@@ -101,6 +103,7 @@ impl Default for TiledOpts {
             trace: None,
             sanitizer: SanitizerMode::Off,
             watchdog: None,
+            slow_path: false,
         }
     }
 }
@@ -151,7 +154,8 @@ pub fn tiled_qr<E: Elem>(
             .name(format!("qr panel {prows}x{pw} tiled"))
             .trace(opts.trace.clone())
             .sanitizer(opts.sanitizer)
-            .watchdog(opts.watchdog);
+            .watchdog(opts.watchdog)
+            .slow_path(opts.slow_path);
         agg.push(gpu.launch(&kern, &lc, gmem)?);
 
         // --- apply the reflectors to the trailing columns ---------------
@@ -179,7 +183,8 @@ pub fn tiled_qr<E: Elem>(
                 .name(format!("qr apply {prows}x{tcols} tiled"))
                 .trace(opts.trace.clone())
                 .sanitizer(opts.sanitizer)
-                .watchdog(opts.watchdog);
+                .watchdog(opts.watchdog)
+                .slow_path(opts.slow_path);
             agg.push(gpu.launch(&apply, &lc, gmem)?);
         }
         j0 += pw;

@@ -41,6 +41,8 @@ pub struct TsqrOpts {
     pub sanitizer: SanitizerMode,
     /// Per-block watchdog op budget for every launch (`None` = unlimited).
     pub watchdog: Option<u64>,
+    /// Force the simulator's instrumented slow path for every launch.
+    pub slow_path: bool,
 }
 
 impl Default for TsqrOpts {
@@ -53,6 +55,7 @@ impl Default for TsqrOpts {
             trace: None,
             sanitizer: SanitizerMode::Off,
             watchdog: None,
+            slow_path: false,
         }
     }
 }
@@ -148,7 +151,8 @@ fn qr_stage<E: Elem>(
         .name(format!("tsqr factor {rows}x{}", nfac + rhs))
         .trace(opts.trace.clone())
         .sanitizer(opts.sanitizer)
-        .watchdog(opts.watchdog);
+        .watchdog(opts.watchdog)
+        .slow_path(opts.slow_path);
     agg.push(gpu.launch(&kern, &lc, gmem)?);
     Ok(())
 }
@@ -228,7 +232,8 @@ pub fn tsqr<E: Elem>(
             .name(format!("tsqr gather {pairs} pairs"))
             .trace(opts.trace.clone())
             .sanitizer(opts.sanitizer)
-            .watchdog(opts.watchdog);
+            .watchdog(opts.watchdog)
+            .slow_path(opts.slow_path);
         agg.push(gpu.launch(&gather, &lc, gmem)?);
 
         // Factor every stacked pair: count*pairs problems of 2n x cols.
@@ -268,7 +273,8 @@ pub fn tsqr<E: Elem>(
         .name("tsqr compact")
         .trace(opts.trace.clone())
         .sanitizer(opts.sanitizer)
-        .watchdog(opts.watchdog);
+        .watchdog(opts.watchdog)
+        .slow_path(opts.slow_path);
     agg.push(gpu.launch(&gather, &lc, gmem)?);
     let out = gmem.alloc(count * n * cols * E::WORDS);
     let compact = CompactTop::<E> {

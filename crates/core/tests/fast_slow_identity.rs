@@ -1,0 +1,225 @@
+//! Fast-path / slow-path bit identity.
+//!
+//! The simulator's fast (observer-free) execution path elides all per-op
+//! scoreboard and shadow bookkeeping on replay blocks, runs fused
+//! macro-op loops, reuses arena-pooled block state and caches traced
+//! schedules across launches. None of that may be observable in the
+//! outputs: results, taus, per-problem statuses and modeled cycle totals
+//! must be *bit-identical* to the fully-instrumented slow path, at every
+//! host thread count, for every shipped solver. These tests pin that
+//! contract, plus the path-selection rule: attaching any observer (trace,
+//! sanitizer, fault plan, watchdog) transparently falls back to the slow
+//! path.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use regla_core::{C32, DeviceScalar, MatBatch, Op, OpOutput, RunOpts, Session};
+use regla_gpu_sim::{FaultPlan, Profiler, SanitizerMode};
+use regla_model::Approach;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn rand_batch(r: &mut StdRng, m: usize, n: usize, count: usize) -> MatBatch<f32> {
+    MatBatch::from_fn(m, n, count, |_, _, _| r.random_range(-1.0f32..1.0))
+}
+
+/// SPD batch for Cholesky: A = MᵀM + n·I.
+fn spd_batch(r: &mut StdRng, n: usize, count: usize) -> MatBatch<f32> {
+    let m = rand_batch(r, n, n, count);
+    MatBatch::from_fn(n, n, count, |k, i, j| {
+        let dot: f32 = (0..n).map(|t| m.get(k, t, i) * m.get(k, t, j)).sum();
+        dot + if i == j { n as f32 } else { 0.0 }
+    })
+}
+
+/// Everything the simulated device produced, as exact bits: output batch,
+/// taus, solution, statuses, and the modeled cycle total of every launch.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    out: Vec<u32>,
+    taus: Option<Vec<u32>>,
+    solution: Option<Vec<u32>>,
+    status: Vec<regla_core::ProblemStatus>,
+    cycles: Vec<u64>,
+}
+
+fn bits<T: DeviceScalar>(b: &MatBatch<T>) -> Vec<u32> {
+    b.data()
+        .iter()
+        .flat_map(|x| {
+            let w = x.to_words();
+            w[..T::WORDS].to_vec()
+        })
+        .map(|f| f.to_bits())
+        .collect()
+}
+
+fn fingerprint<T: DeviceScalar>(o: &OpOutput<T>) -> Fingerprint {
+    Fingerprint {
+        out: bits(&o.run.out),
+        taus: o.run.taus.as_ref().map(bits),
+        solution: o.solution.as_ref().map(bits),
+        status: o.run.status.clone(),
+        cycles: o
+            .run
+            .stats
+            .launches
+            .iter()
+            .map(|l| l.cycles.to_bits())
+            .collect(),
+    }
+}
+
+/// Build op-appropriate inputs from a seed and run `op` under `opts`.
+fn run_op(op: Op, seed: u64, n: usize, count: usize, opts: &RunOpts) -> Fingerprint {
+    let mut r = rng(seed);
+    let s = Session::builder().opts(opts.clone()).build();
+    let (a, b) = match op {
+        Op::Cholesky => (spd_batch(&mut r, n, count), None),
+        Op::LeastSquares => (
+            rand_batch(&mut r, n + 4, n, count),
+            Some(rand_batch(&mut r, n + 4, 1, count)),
+        ),
+        Op::GjSolve => (
+            rand_batch(&mut r, n, n, count),
+            Some(rand_batch(&mut r, n, 2, count)),
+        ),
+        Op::QrSolve => (
+            rand_batch(&mut r, n, n, count),
+            Some(rand_batch(&mut r, n, 1, count)),
+        ),
+        Op::Gemm => (
+            rand_batch(&mut r, n, n + 1, count),
+            Some(rand_batch(&mut r, n + 1, n, count)),
+        ),
+        _ => (rand_batch(&mut r, n, n, count), None),
+    };
+    let out = s.run(op, &a, b.as_ref()).expect("op runs");
+    fingerprint(&out)
+}
+
+fn opts_fast(host_threads: Option<usize>) -> RunOpts {
+    RunOpts::builder().host_threads(host_threads).build()
+}
+
+fn opts_slow(host_threads: Option<usize>) -> RunOpts {
+    RunOpts::builder()
+        .host_threads(host_threads)
+        .slow_path(true)
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole contract: for every op, shape, batch size and host
+    /// thread count, the fast path is bit-identical to the slow path.
+    #[test]
+    fn fast_path_is_bit_identical_to_slow(
+        op in prop::sample::select(Op::ALL.to_vec()),
+        n in 3usize..9,
+        count in 1usize..24,
+        ht in prop::sample::select(vec![Some(1), Some(4), None]),
+        seed in 0u64..1 << 48,
+    ) {
+        let fast = run_op(op, seed, n, count, &opts_fast(ht));
+        let slow = run_op(op, seed, n, count, &opts_slow(ht));
+        prop_assert_eq!(&fast, &slow);
+        // Host thread count must not change anything either.
+        let fast1 = run_op(op, seed, n, count, &opts_fast(Some(1)));
+        prop_assert_eq!(&fast, &fast1);
+    }
+
+    /// Same contract on the forced per-thread and per-block paths (the
+    /// planner may otherwise never pick one of them at these sizes), and
+    /// with batches large enough to span several per-thread blocks.
+    #[test]
+    fn forced_approaches_are_bit_identical(
+        approach in prop::sample::select(vec![Approach::PerThread, Approach::PerBlock]),
+        n in 3usize..8,
+        count in 60usize..80,
+        seed in 0u64..1 << 48,
+    ) {
+        let base = RunOpts::builder().approach(approach);
+        let fast = run_op(Op::QrSolve, seed, n, count, &base.clone().build());
+        let slow = run_op(Op::QrSolve, seed, n, count, &base.slow_path(true).build());
+        prop_assert_eq!(&fast, &slow);
+    }
+}
+
+/// Complex scalars go through the same macro-ops with two words per
+/// element; one deterministic case pins them.
+#[test]
+fn complex_fast_slow_identity() {
+    let mut r = rng(7);
+    let mut gen = |m: usize, n: usize| {
+        MatBatch::from_fn(m, n, 9, |_, _, _| {
+            C32::new(r.random_range(-1.0f32..1.0), r.random_range(-1.0f32..1.0))
+        })
+    };
+    let a = gen(6, 6);
+    let b = gen(6, 1);
+    let fast = Session::new().run(Op::QrSolve, &a, Some(&b)).unwrap();
+    let slow = Session::builder()
+        .opts(RunOpts::builder().slow_path(true).build())
+        .build()
+        .run(Op::QrSolve, &a, Some(&b))
+        .unwrap();
+    assert_eq!(fingerprint(&fast), fingerprint(&slow));
+}
+
+/// Attaching any observer must transparently select the instrumented slow
+/// path; a bare run must take the fast path.
+#[test]
+fn observers_select_the_slow_path() {
+    let mut r = rng(11);
+    let a = rand_batch(&mut r, 6, 6, 8);
+    let paths = |opts: RunOpts| -> Vec<bool> {
+        let s = Session::builder().opts(opts).build();
+        let run = s.run(Op::Lu, &a, None).expect("lu runs");
+        run.run.stats.launches.iter().map(|l| l.sim_fast).collect()
+    };
+
+    for fast in paths(RunOpts::default()) {
+        assert!(fast, "a bare run must take the fast path");
+    }
+    let observed = [
+        RunOpts::builder().trace(Profiler::new()).build(),
+        RunOpts::builder().sanitizer(SanitizerMode::Full).build(),
+        RunOpts::builder().fault(FaultPlan::new(3, 1)).build(),
+        RunOpts::builder().watchdog(1_000_000).build(),
+        RunOpts::builder().slow_path(true).build(),
+    ];
+    for opts in observed {
+        for fast in paths(opts) {
+            assert!(!fast, "an observed run must take the slow path");
+        }
+    }
+}
+
+/// Relaunching the same kernel shape with the same traced-block inputs
+/// hits the schedule cache; the modeled cycles stay bit-identical and
+/// different inputs miss (data-dependent control flow cannot alias).
+#[test]
+fn schedule_cache_hits_preserve_cycles() {
+    let mut r = rng(23);
+    let a = rand_batch(&mut r, 8, 8, 6);
+    let s = Session::new();
+
+    let first = s.run(Op::Lu, &a, None).unwrap();
+    assert!(!first.run.stats.launches[0].sim_sched_cache_hit);
+    let second = s.run(Op::Lu, &a, None).unwrap();
+    assert!(
+        second.run.stats.launches[0].sim_sched_cache_hit,
+        "identical relaunch must hit the schedule cache"
+    );
+    assert_eq!(fingerprint(&first), fingerprint(&second));
+
+    // Same shape, different data: the input digest must force a re-trace.
+    let b = rand_batch(&mut r, 8, 8, 6);
+    let third = s.run(Op::Lu, &b, None).unwrap();
+    assert!(!third.run.stats.launches[0].sim_sched_cache_hit);
+}

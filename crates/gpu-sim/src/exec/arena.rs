@@ -1,0 +1,105 @@
+//! Reusable per-launch buffer arena.
+//!
+//! Every block context needs a shared-memory image, a readiness shadow and
+//! per-thread timing state. Allocating those three `Vec`s per context made
+//! repeated launches (batch drivers, sweeps, proptests) hit the allocator
+//! once per worker per launch; the pool keeps retired buffers on the `Gpu`
+//! so steady-state launches allocate nothing. Buffers are handed out
+//! cleared — `checkout` resizes and zero-fills, so a pooled buffer is
+//! indistinguishable from a fresh one and the fast and slow paths stay
+//! bit-identical.
+
+use crate::exec::thread::ThreadTiming;
+use std::sync::Mutex;
+
+/// Cap on retired buffer sets kept alive. Bounds worst-case memory at
+/// roughly one buffer set per replay worker of the widest launch seen.
+const MAX_POOLED: usize = 64;
+
+/// One block context's worth of reusable storage.
+#[derive(Debug, Default)]
+pub(crate) struct BlockBufs {
+    pub shared: Vec<f32>,
+    pub shared_ready: Vec<u64>,
+    pub threads: Vec<ThreadTiming>,
+}
+
+/// A mutex-guarded free list of retired [`BlockBufs`]. One per [`Gpu`],
+/// shared by every launch; the lock is taken once per worker per launch
+/// (contexts are reused across replay blocks), so contention is nil.
+///
+/// [`Gpu`]: crate::exec::Gpu
+#[derive(Debug, Default)]
+pub(crate) struct BufPool {
+    slots: Mutex<Vec<BlockBufs>>,
+}
+
+impl BufPool {
+    /// Take a cleared buffer set sized for `shared_words` / `nthreads`,
+    /// reusing a retired one when available.
+    pub(crate) fn checkout(&self, shared_words: usize, nthreads: usize) -> BlockBufs {
+        let mut b = self
+            .slots
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default();
+        // clear + resize rewrites every slot with the default value while
+        // keeping whatever capacity the buffer already has.
+        b.shared.clear();
+        b.shared.resize(shared_words, 0.0);
+        b.shared_ready.clear();
+        b.shared_ready.resize(shared_words, 0);
+        b.threads.clear();
+        b.threads.resize(nthreads, ThreadTiming::default());
+        b
+    }
+
+    /// Return a buffer set to the free list (dropped if the pool is full).
+    pub(crate) fn restore(&self, bufs: BlockBufs) {
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        if slots.len() < MAX_POOLED {
+            slots.push(bufs);
+        }
+    }
+
+    /// Number of retired buffer sets currently pooled (tests).
+    #[cfg(test)]
+    pub(crate) fn pooled(&self) -> usize {
+        self.slots.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_reuses_and_clears() {
+        let pool = BufPool::default();
+        let mut b = pool.checkout(8, 4);
+        assert_eq!(b.shared.len(), 8);
+        assert_eq!(b.threads.len(), 4);
+        b.shared[3] = 7.0;
+        b.shared_ready[3] = 9;
+        b.threads[1].clock = 42;
+        pool.restore(b);
+        assert_eq!(pool.pooled(), 1);
+        // Re-checkout at a different shape: cleared and resized.
+        let b2 = pool.checkout(6, 2);
+        assert_eq!(pool.pooled(), 0);
+        assert_eq!(b2.shared, vec![0.0; 6]);
+        assert_eq!(b2.shared_ready, vec![0; 6]);
+        assert_eq!(b2.threads.len(), 2);
+        assert_eq!(b2.threads[1].clock, 0);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let pool = BufPool::default();
+        for _ in 0..(MAX_POOLED + 8) {
+            pool.restore(BlockBufs::default());
+        }
+        assert_eq!(pool.pooled(), MAX_POOLED);
+    }
+}

@@ -9,7 +9,8 @@
 //! DRAM lines) and folds them into a [`PhaseRecord`].
 
 use crate::config::{GpuConfig, MathMode};
-use crate::exec::thread::{AccessRec, PhaseAccum, SpillInfo, ThreadCtx, ThreadTiming};
+use crate::exec::arena::{BlockBufs, BufPool};
+use crate::exec::thread::{AccessRec, PhaseAccum, SpillInfo, ThreadCtx};
 use crate::fault::{FaultMap, FaultRecord, FaultState};
 use crate::mem::global::GmemAccess;
 use crate::mem::shared::{bank_conflict_replays, coalesced_transactions, distinct_lines};
@@ -34,12 +35,16 @@ pub struct BlockCtx<'a> {
     pub grid_blocks: usize,
     nthreads: usize,
     traced: bool,
+    /// True when the launch runs observer-free and this context executes
+    /// replay (untraced) blocks: threads expose the raw fast primitives.
+    fast: bool,
     cfg: &'a GpuConfig,
     math: MathMode,
     spill: SpillInfo,
-    shared: Vec<f32>,
-    shared_ready: Vec<u64>,
-    threads: Vec<ThreadTiming>,
+    /// Shared memory, readiness shadow and per-thread timing, checked out
+    /// of the per-`Gpu` arena and returned on drop.
+    bufs: BlockBufs,
+    pool: &'a BufPool,
     phase: PhaseAccum,
     phase_start: u64,
     label: String,
@@ -62,6 +67,7 @@ impl<'a> BlockCtx<'a> {
         block_id: usize,
         grid_blocks: usize,
         traced: bool,
+        fast: bool,
         nthreads: usize,
         shared_words: usize,
         cfg: &'a GpuConfig,
@@ -71,7 +77,9 @@ impl<'a> BlockCtx<'a> {
         memhier: &'a mut MemHier,
         fault_map: Option<&'a FaultMap>,
         sanitize: SanitizeHook<'a>,
+        pool: &'a BufPool,
     ) -> Self {
+        debug_assert!(!(fast && traced), "the traced block is never fast");
         let mut fault = FaultState::default();
         fault.arm(fault_map, block_id);
         let mut san = SanitizerState::new(sanitize.on, sanitize.wd_limit, shared_words, nthreads);
@@ -81,12 +89,12 @@ impl<'a> BlockCtx<'a> {
             grid_blocks,
             nthreads,
             traced,
+            fast,
             cfg,
             math,
             spill,
-            shared: vec![0.0; shared_words],
-            shared_ready: vec![0; shared_words],
-            threads: vec![ThreadTiming::default(); nthreads],
+            bufs: pool.checkout(shared_words, nthreads),
+            pool,
             phase: PhaseAccum::default(),
             phase_start: 0,
             label: String::new(),
@@ -123,9 +131,9 @@ impl<'a> BlockCtx<'a> {
     pub(crate) fn reset_for_block(&mut self, block_id: usize) {
         self.block_id = block_id;
         self.gmem.set_block(block_id);
-        self.shared.fill(0.0);
-        self.shared_ready.fill(0);
-        for t in &mut self.threads {
+        self.bufs.shared.fill(0.0);
+        self.bufs.shared_ready.fill(0);
+        for t in &mut self.bufs.threads {
             t.reset_phase(0);
             t.regctr = 0;
         }
@@ -143,7 +151,15 @@ impl<'a> BlockCtx<'a> {
 
     /// Size of the shared-memory allocation in 32-bit words.
     pub fn shared_words(&self) -> usize {
-        self.shared.len()
+        self.bufs.shared.len()
+    }
+
+    /// Whether labels are being kept (traced block, sanitizer or watchdog
+    /// active). Kernels use this to skip building `format!`ed labels on
+    /// replay blocks.
+    #[inline]
+    pub fn wants_labels(&self) -> bool {
+        self.traced || self.san.on || self.san.wd_limit != 0
     }
 
     /// Name the current phase (applies when the phase closes). Labels are
@@ -151,8 +167,18 @@ impl<'a> BlockCtx<'a> {
     /// active, so findings and `LaunchError::Watchdog` carry phase
     /// provenance for every block.
     pub fn phase_label(&mut self, label: impl Into<String>) {
-        if self.traced || self.san.on || self.san.wd_limit != 0 {
+        if self.wants_labels() {
             self.label = label.into();
+            self.san.set_phase(&self.label);
+        }
+    }
+
+    /// Lazily-built variant of [`phase_label`](Self::phase_label): the
+    /// closure runs only when labels are kept, so fast replay blocks never
+    /// pay for a `format!`.
+    pub fn phase_label_with(&mut self, label: impl FnOnce() -> String) {
+        if self.wants_labels() {
+            self.label = label();
             self.san.set_phase(&self.label);
         }
     }
@@ -164,11 +190,12 @@ impl<'a> BlockCtx<'a> {
                 tid,
                 block_id: self.block_id,
                 traced: self.traced,
+                fast: self.fast,
                 cfg: self.cfg,
                 math: self.math,
-                tt: &mut self.threads[tid],
-                shared: &mut self.shared,
-                shared_ready: &mut self.shared_ready,
+                tt: &mut self.bufs.threads[tid],
+                shared: &mut self.bufs.shared,
+                shared_ready: &mut self.bufs.shared_ready,
                 gmem: &mut self.gmem,
                 phase: &mut self.phase,
                 memhier: self.memhier,
@@ -192,6 +219,7 @@ impl<'a> BlockCtx<'a> {
             return;
         }
         let raw_end = self
+            .bufs
             .threads
             .iter()
             .map(|t| t.clock.max(t.horizon))
@@ -214,7 +242,7 @@ impl<'a> BlockCtx<'a> {
         let mut ldst_instrs = 0u64;
         let mut sfu_instrs = 0u64;
         let mut block_issue = 0u64;
-        for warp in self.threads.chunks(ws) {
+        for warp in self.bufs.threads.chunks(ws) {
             let wfp = warp.iter().map(|t| t.fp).max().unwrap_or(0);
             let wldst = warp.iter().map(|t| t.ldst).max().unwrap_or(0);
             let wsfu = warp.iter().map(|t| t.sfu).max().unwrap_or(0);
@@ -234,7 +262,7 @@ impl<'a> BlockCtx<'a> {
         }
         block_issue += conflict_replays * replay_interval;
 
-        let flops: u64 = self.threads.iter().map(|t| t.flops).sum();
+        let flops: u64 = self.bufs.threads.iter().map(|t| t.flops).sum();
 
         let sync_cycles = if with_sync {
             self.cfg.sync_cycles(self.nthreads)
@@ -264,7 +292,7 @@ impl<'a> BlockCtx<'a> {
         });
 
         let new_start = self.phase_start + critical;
-        for t in &mut self.threads {
+        for t in &mut self.bufs.threads {
             t.reset_phase(new_start);
         }
         self.phase_start = new_start;
@@ -339,6 +367,14 @@ impl<'a> BlockCtx<'a> {
     /// Close the final phase and return the records (traced block only).
     pub(crate) fn finish(mut self) -> Vec<PhaseRecord> {
         self.close_phase(false);
-        self.records
+        std::mem::take(&mut self.records)
+    }
+}
+
+impl Drop for BlockCtx<'_> {
+    fn drop(&mut self) {
+        // Retire the buffers to the per-`Gpu` arena so the next launch's
+        // contexts allocate nothing.
+        self.pool.restore(std::mem::take(&mut self.bufs));
     }
 }

@@ -1,7 +1,9 @@
 //! Kernel launch machinery.
 
+mod arena;
 pub mod block;
 pub mod occupancy;
+mod schedule;
 pub mod thread;
 
 use crate::config::{GpuConfig, MathMode};
@@ -12,11 +14,14 @@ use crate::mem::{GlobalMemory, MemHier};
 use crate::sanitize::{
     ContextFindings, LaunchShadow, SanitizerMode, SanitizerReport, WatchdogTrip,
 };
-use crate::timing::{combine, LaunchStats};
+use crate::timing::{combine, LaunchStats, PhaseRecord};
 use crate::trace::Profiler;
+use arena::BufPool;
 use block::{BlockCtx, SanitizeHook};
 use occupancy::occupancy;
+use schedule::{ScheduleCache, ScheduleKey};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Instant;
 use thread::SpillInfo;
 
@@ -82,6 +87,17 @@ pub struct LaunchConfig {
     /// [`LaunchError::Watchdog`] instead of hanging the host. Independent
     /// of `sanitize`.
     pub watchdog: Option<u64>,
+    /// Force the fully-instrumented slow path even when no observer is
+    /// attached (see [`LaunchConfig::fast_eligible`]). The environment
+    /// variable `REGLA_SIM_SLOW=1` does the same process-wide.
+    pub slow_path: bool,
+    /// Opaque kernel identity for the cross-launch schedule cache (`None`
+    /// = never cache). Launches sharing a key *and* shape promise to
+    /// produce identical traced-block schedules; kernels with data-
+    /// dependent control flow must fold a digest of the traced block's
+    /// inputs into the key. Only consulted on the fast path; set
+    /// `REGLA_SCHED_CACHE=0` to disable caching process-wide.
+    pub schedule_key: Option<u64>,
 }
 
 impl LaunchConfig {
@@ -99,6 +115,8 @@ impl LaunchConfig {
             trace: None,
             sanitize: SanitizerMode::Off,
             watchdog: None,
+            slow_path: false,
+            schedule_key: None,
         }
     }
 
@@ -157,6 +175,31 @@ impl LaunchConfig {
         self
     }
 
+    /// Force the fully-instrumented slow path for this launch.
+    pub fn slow_path(mut self, slow: bool) -> Self {
+        self.slow_path = slow;
+        self
+    }
+
+    /// Set the opaque kernel identity for the schedule cache.
+    pub fn schedule_key(mut self, key: impl Into<Option<u64>>) -> Self {
+        self.schedule_key = key.into();
+        self
+    }
+
+    /// Whether this configuration is eligible for the fast (observer-free)
+    /// execution path: no trace sink, sanitizer, fault plan, or watchdog,
+    /// and `slow_path` not forced. On the fast path replay blocks elide
+    /// all per-op scoreboard/shadow bookkeeping; results, statuses, and
+    /// modeled cycle totals are bit-identical to the slow path.
+    pub fn fast_eligible(&self) -> bool {
+        !self.slow_path
+            && self.trace.is_none()
+            && !self.sanitize.is_on()
+            && self.fault.is_none()
+            && self.watchdog.is_none()
+    }
+
     /// The blocks this configuration executes functionally, in ascending
     /// order, always including the traced block 0. Post-launch screens use
     /// this to restrict themselves to problems whose outputs are real.
@@ -206,6 +249,25 @@ fn check_writes_enabled() -> bool {
     }
 }
 
+/// `REGLA_SIM_SLOW=1` forces every launch onto the instrumented slow path
+/// (A/B comparisons, perf debugging).
+fn force_slow_path() -> bool {
+    matches!(std::env::var("REGLA_SIM_SLOW"),
+             Ok(v) if v.trim() != "0" && !v.trim().is_empty())
+}
+
+/// The schedule cache defaults on; `REGLA_SCHED_CACHE=0` disables it.
+fn schedule_cache_enabled() -> bool {
+    !matches!(std::env::var("REGLA_SCHED_CACHE"), Ok(v) if v.trim() == "0")
+}
+
+/// `REGLA_SIM_VERBOSE=1` logs one stderr line per launch naming the path
+/// it took, so perf mysteries are diagnosable without a debugger.
+fn sim_verbose() -> bool {
+    matches!(std::env::var("REGLA_SIM_VERBOSE"),
+             Ok(v) if v.trim() != "0" && !v.trim().is_empty())
+}
+
 /// The blocks (besides traced block 0) to execute functionally.
 fn replay_blocks(lc: &LaunchConfig) -> Vec<usize> {
     match lc.exec {
@@ -239,9 +301,18 @@ impl<F: Fn(&mut BlockCtx)> BlockKernel for F {
 }
 
 /// The simulated GPU.
+///
+/// Cheap to clone: the buffer arena and schedule cache are shared across
+/// clones (and therefore across every launch issued through them), which is
+/// what lets `Session`-driven batch workloads stop hitting the allocator
+/// and re-decode after the first launch.
 #[derive(Clone, Debug)]
 pub struct Gpu {
     pub cfg: GpuConfig,
+    /// Reusable block-context buffers (see [`arena::BufPool`]).
+    pool: Arc<BufPool>,
+    /// Cross-launch traced-schedule cache (see [`schedule::ScheduleCache`]).
+    sched: Arc<ScheduleCache>,
 }
 
 /// Extract a human-readable message from a caught panic payload.
@@ -286,7 +357,11 @@ fn run_contained<K: BlockKernel + Sync + ?Sized>(
 
 impl Gpu {
     pub fn new(cfg: GpuConfig) -> Self {
-        Gpu { cfg }
+        Gpu {
+            cfg,
+            pool: Arc::default(),
+            sched: Arc::default(),
+        }
     }
 
     /// The paper's device: a Quadro 6000.
@@ -399,12 +474,42 @@ impl Gpu {
 
         let mut memhier = MemHier::new(&self.cfg);
 
-        // Traced representative block.
-        let ctx = {
+        // Fast (observer-free) path: replay blocks elide all per-op
+        // bookkeeping; results and modeled timing stay bit-identical.
+        let fast = lc.fast_eligible() && !force_slow_path();
+
+        // Schedule cache: only consulted on the fast path and only when the
+        // caller supplied a kernel identity (its promise that launches
+        // sharing key + shape trace identically).
+        let sched_key = (fast && schedule_cache_enabled())
+            .then_some(lc.schedule_key)
+            .flatten()
+            .map(|kernel| ScheduleKey {
+                kernel,
+                threads_per_block: lc.threads_per_block,
+                regs_per_thread: lc.regs_per_thread,
+                shared_words: lc.shared_words,
+                math: lc.math as u8,
+            });
+        let cached: Option<Arc<Vec<PhaseRecord>>> =
+            sched_key.as_ref().and_then(|k| self.sched.get(k));
+
+        let mut blocks = replay_blocks(lc);
+        let ctx: Vec<PhaseRecord> = if let Some(records) = &cached {
+            // Cache hit: no block needs tracing. Block 0 is demoted to a
+            // plain functional block (it still has to produce problem 0's
+            // output) and the cached records feed the timing model, which
+            // is a pure function of records + shape — so cycle totals are
+            // bit-identical to a traced run.
+            blocks.insert(0, 0);
+            records.as_ref().clone()
+        } else {
+            // Traced representative block.
             let mut ctx = BlockCtx::new(
                 0,
                 lc.grid_blocks,
                 true,
+                false,
                 lc.threads_per_block,
                 lc.shared_words,
                 &self.cfg,
@@ -414,18 +519,22 @@ impl Gpu {
                 &mut memhier,
                 fault_map,
                 hook,
+                &self.pool,
             );
             run_contained(kernel, &mut ctx)?;
             applied.extend(ctx.take_applied_faults());
             collected.absorb(ctx.take_findings());
-            ctx.finish()
+            let records = ctx.finish();
+            if let Some(k) = sched_key {
+                self.sched.insert(k, &records);
+            }
+            records
         };
 
         // Functional execution of the rest of the grid, sharded over host
         // worker threads. Each worker gets a contiguous chunk of the block
         // list, its own reused block context and memory hierarchy, and a
         // shared read / per-block write view of device memory.
-        let blocks = replay_blocks(lc);
         let mut workers = 1usize;
         let mut utilization = 1.0f64;
         if !blocks.is_empty() {
@@ -437,6 +546,7 @@ impl Gpu {
                     blocks[0],
                     lc.grid_blocks,
                     false,
+                    fast,
                     lc.threads_per_block,
                     lc.shared_words,
                     &self.cfg,
@@ -446,6 +556,7 @@ impl Gpu {
                     &mut memhier,
                     fault_map,
                     hook,
+                    &self.pool,
                 );
                 run_contained(kernel, &mut blk)?;
                 for &b in &blocks[1..] {
@@ -468,6 +579,7 @@ impl Gpu {
                         .map(|shard| {
                             let shared = &shared;
                             let cfg = &self.cfg;
+                            let pool = &*self.pool;
                             s.spawn(move || -> ShardOutcome {
                                 let t0 = Instant::now();
                                 let mut memhier = MemHier::new(cfg);
@@ -475,6 +587,7 @@ impl Gpu {
                                     shard[0],
                                     lc.grid_blocks,
                                     false,
+                                    fast,
                                     lc.threads_per_block,
                                     lc.shared_words,
                                     cfg,
@@ -484,6 +597,7 @@ impl Gpu {
                                     &mut memhier,
                                     fault_map,
                                     hook,
+                                    pool,
                                 );
                                 run_contained(kernel, &mut blk)?;
                                 for &b in &shard[1..] {
@@ -533,6 +647,8 @@ impl Gpu {
         stats.sim_blocks = blocks.len();
         stats.sim_host_threads = workers;
         stats.sim_worker_utilization = utilization;
+        stats.sim_fast = fast;
+        stats.sim_sched_cache_hit = cached.is_some();
         applied.sort_unstable_by_key(|f| f.block);
         if sanitizing {
             let ContextFindings {
@@ -573,15 +689,30 @@ impl Gpu {
                 fault_attributed,
             });
         }
+        // The traced block also executes functionally (problem 0's output
+        // is real), so it counts; on a schedule-cache hit block 0 is
+        // already in the replay list.
+        let functional_blocks = blocks.len() + usize::from(cached.is_none());
         crate::telemetry::record_launch(
             wall.as_nanos().min(u128::from(u64::MAX)) as u64,
-            blocks.len(),
+            functional_blocks,
             workers,
             applied.len() as u64,
         );
         stats.faults = applied;
         if let Some(sink) = &lc.trace {
             sink.record(crate::trace::build_trace(&self.cfg, &stats, &lc.name));
+        }
+        if sim_verbose() {
+            eprintln!(
+                "regla-gpu-sim: launch '{}' took the {} path ({}{} functional \
+                 blocks, {} workers)",
+                lc.name,
+                if fast { "fast" } else { "slow" },
+                if cached.is_some() { "cached schedule, " } else { "" },
+                functional_blocks,
+                workers,
+            );
         }
         Ok(stats)
     }

@@ -1,0 +1,112 @@
+//! Cross-launch schedule cache.
+//!
+//! Tracing block 0 of a launch is the expensive part of the fast path: the
+//! scoreboard, bank-conflict and coalescing analyses all run there even
+//! when every other block replays functionally. Batch drivers and design-
+//! space sweeps relaunch the same kernel shape over and over, so the `Gpu`
+//! keeps the traced block's phase records in a small cache keyed by an
+//! opaque caller-supplied kernel id plus the launch shape. On a hit the
+//! traced block is demoted to a plain functional block and the cached
+//! records feed the timing model directly — modeled cycles are
+//! bit-identical because `timing::combine` is a pure function of the
+//! records and the launch shape.
+//!
+//! The kernel id is the caller's promise: launches sharing an id (and
+//! shape) must produce identical traced schedules. Kernels whose control
+//! flow depends on the data (e.g. a zero-pivot early exit) must fold a
+//! digest of the traced block's inputs into the id. `regla-core` does
+//! exactly that, so a cache entry can never be replayed against a block
+//! that would have traced differently. Set `REGLA_SCHED_CACHE=0` to
+//! disable the cache entirely.
+
+use crate::timing::PhaseRecord;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Everything launch-visible that shapes the traced block's records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) struct ScheduleKey {
+    /// Caller-supplied kernel identity (`LaunchConfig::schedule_key`).
+    pub kernel: u64,
+    pub threads_per_block: usize,
+    pub regs_per_thread: usize,
+    pub shared_words: usize,
+    /// `MathMode` discriminant (fast SFU vs precise sequences change both
+    /// the values and the issue schedule).
+    pub math: u8,
+}
+
+/// Bound on retained entries; a sweep touches tens of shapes, not
+/// thousands, so this is a leak guard rather than an eviction policy.
+const MAX_ENTRIES: usize = 256;
+
+/// Per-[`Gpu`] cache of traced-block phase records.
+///
+/// [`Gpu`]: crate::exec::Gpu
+#[derive(Debug, Default)]
+pub(crate) struct ScheduleCache {
+    map: Mutex<HashMap<ScheduleKey, Arc<Vec<PhaseRecord>>>>,
+}
+
+impl ScheduleCache {
+    pub(crate) fn get(&self, key: &ScheduleKey) -> Option<Arc<Vec<PhaseRecord>>> {
+        self.map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .cloned()
+    }
+
+    pub(crate) fn insert(&self, key: ScheduleKey, records: &[PhaseRecord]) {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        if map.len() >= MAX_ENTRIES && !map.contains_key(&key) {
+            // Shapes past the guard rail simply stop caching; correctness
+            // never depends on a hit.
+            return;
+        }
+        map.insert(key, Arc::new(records.to_vec()));
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(kernel: u64) -> ScheduleKey {
+        ScheduleKey {
+            kernel,
+            threads_per_block: 64,
+            regs_per_thread: 20,
+            shared_words: 128,
+            math: 0,
+        }
+    }
+
+    #[test]
+    fn insert_then_get_round_trips() {
+        let cache = ScheduleCache::default();
+        assert!(cache.get(&key(1)).is_none());
+        cache.insert(key(1), &[]);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key(1)).is_some());
+        // A different kernel id or shape misses.
+        assert!(cache.get(&key(2)).is_none());
+        let mut k = key(1);
+        k.shared_words = 64;
+        assert!(cache.get(&k).is_none());
+    }
+
+    #[test]
+    fn cache_is_bounded() {
+        let cache = ScheduleCache::default();
+        for i in 0..(MAX_ENTRIES as u64 + 16) {
+            cache.insert(key(i), &[]);
+        }
+        assert_eq!(cache.len(), MAX_ENTRIES);
+    }
+}

@@ -158,6 +158,13 @@ pub struct ThreadCtx<'a, 'm> {
     pub tid: usize,
     pub block_id: usize,
     pub(crate) traced: bool,
+    /// Fast-path flag: true only on replay blocks of a launch with no
+    /// observers attached (no trace sink, sanitizer, fault plan, or
+    /// watchdog). Kernels may then use the raw `sget`/`sset`/`gget`/`gset`
+    /// primitives and value-only arithmetic, skipping per-op bookkeeping
+    /// entirely; results are bit-identical because the raw ops perform the
+    /// same `f32` operations in the same order.
+    pub(crate) fast: bool,
     pub(crate) cfg: &'a GpuConfig,
     pub(crate) math: MathMode,
     pub(crate) tt: &'a mut ThreadTiming,
@@ -658,7 +665,10 @@ impl ThreadCtx<'_, '_> {
     #[inline]
     pub(crate) fn reg_access(&mut self, words: u64, _store: bool) -> Option<u64> {
         self.step();
-        if self.spill.every == 0 {
+        // The spill counter feeds nothing but the traced block's spill
+        // accounting, so untraced (replay) threads skip the divisions
+        // entirely — on heavily-spilled kernels they dominate replay cost.
+        if self.spill.every == 0 || !self.traced {
             return None;
         }
         self.tt.regctr += words;
@@ -668,9 +678,6 @@ impl ThreadCtx<'_, '_> {
         if hits == 0 {
             return None;
         }
-        if !self.traced {
-            return None;
-        }
         self.phase.spill_words += hits;
         let mut ready = 0;
         for _ in 0..hits {
@@ -678,6 +685,106 @@ impl ThreadCtx<'_, '_> {
             ready = self.complete(start, self.spill.latency);
         }
         Some(ready)
+    }
+
+    // ---- fast-path raw primitives ----
+    //
+    // Available only when `fast()` is true (replay block, no observers).
+    // They perform exactly the same memory/`f32` operations as the
+    // scoreboarded equivalents but skip all per-op bookkeeping: no
+    // watchdog tick, no access records, no readiness tracking. Because the
+    // launch was only eligible for the fast path with the sanitizer off and
+    // no fault plan armed, skipping those hooks cannot change behaviour.
+
+    /// Whether this thread runs on the fast (observer-free) path. Kernels
+    /// branch on this once per fused loop, not per op.
+    #[inline]
+    pub fn fast(&self) -> bool {
+        self.fast
+    }
+
+    /// Raw shared-memory load (fast path only).
+    #[inline]
+    pub fn sget(&self, word: usize) -> f32 {
+        debug_assert!(self.fast, "sget is a fast-path primitive");
+        self.shared[word]
+    }
+
+    /// Raw shared-memory store (fast path only).
+    #[inline]
+    pub fn sset(&mut self, word: usize, v: f32) {
+        debug_assert!(self.fast, "sset is a fast-path primitive");
+        self.shared[word] = v;
+    }
+
+    /// Raw global-memory load (fast path only). Still routed through the
+    /// `GmemAccess` handle so the `REGLA_SIM_CHECK` disjoint-write checker
+    /// keeps seeing every access.
+    #[inline]
+    pub fn gget(&mut self, p: DPtr, idx: usize) -> f32 {
+        debug_assert!(self.fast, "gget is a fast-path primitive");
+        self.gmem.read(p, idx)
+    }
+
+    /// Raw global-memory store (fast path only).
+    #[inline]
+    pub fn gset(&mut self, p: DPtr, idx: usize, v: f32) {
+        debug_assert!(self.fast, "gset is a fast-path primitive");
+        self.gmem.write(p, idx, v);
+    }
+
+    /// Bulk raw load of `len` consecutive words (fast path only): the
+    /// access-path dispatch and bounds check are hoisted out of the loop,
+    /// which matters when a kernel streams whole problems to registers.
+    #[inline]
+    pub fn gget_span(&mut self, p: DPtr, idx: usize, len: usize, f: impl FnMut(usize, f32)) {
+        debug_assert!(self.fast, "gget_span is a fast-path primitive");
+        self.gmem.read_span(p, idx, len, f);
+    }
+
+    /// Bulk raw store of `len` consecutive words (fast path only).
+    #[inline]
+    pub fn gset_span(&mut self, p: DPtr, idx: usize, len: usize, f: impl FnMut(usize) -> f32) {
+        debug_assert!(self.fast, "gset_span is a fast-path primitive");
+        self.gmem.write_span(p, idx, len, f);
+    }
+
+    /// Value-only reciprocal with the launch's math-mode semantics
+    /// (bit-identical to `recip`).
+    #[inline]
+    pub fn v_recip(&self, a: f32) -> f32 {
+        match self.math {
+            MathMode::Fast => trunc22(1.0 / a),
+            MathMode::Precise => 1.0 / a,
+        }
+    }
+
+    /// Value-only division (bit-identical to `div`).
+    #[inline]
+    pub fn v_div(&self, a: f32, b: f32) -> f32 {
+        match self.math {
+            MathMode::Fast => trunc22(a / b),
+            MathMode::Precise => a / b,
+        }
+    }
+
+    /// Value-only square root (bit-identical to `sqrt`).
+    #[inline]
+    pub fn v_sqrt(&self, a: f32) -> f32 {
+        match self.math {
+            MathMode::Fast => trunc22(a.sqrt()),
+            MathMode::Precise => a.sqrt(),
+        }
+    }
+
+    /// Value-only reciprocal square root (bit-identical to `rsqrt`).
+    #[inline]
+    pub fn v_rsqrt(&self, a: f32) -> f32 {
+        match self.math {
+            MathMode::Fast => trunc22(1.0 / a.sqrt()),
+            // Precise mode composes sqrt then recip, both exact.
+            MathMode::Precise => 1.0 / a.sqrt(),
+        }
     }
 
     // ---- complex arithmetic (built from counted real ops) ----
@@ -873,5 +980,19 @@ impl<T: RegVal> RegArray<T> {
             Some(bit) => x.flip_bit(bit),
             None => x,
         };
+    }
+
+    /// Raw view of the backing storage (fast path only): bypasses spill
+    /// accounting and fault hooks, which are inert on an observer-free
+    /// replay block anyway.
+    #[inline]
+    pub fn raw(&self) -> &[T] {
+        &self.v
+    }
+
+    /// Mutable raw view of the backing storage (fast path only).
+    #[inline]
+    pub fn raw_mut(&mut self) -> &mut [T] {
+        &mut self.v
     }
 }

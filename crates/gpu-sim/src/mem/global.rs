@@ -90,6 +90,53 @@ impl GmemAccess<'_> {
             w.block_id = block_id as u32 + 1;
         }
     }
+
+    /// Read `len` consecutive words starting at `p + idx`, handing each
+    /// `(offset, value)` to `f`. One access-path dispatch and one bounds
+    /// check cover the whole span, instead of one of each per word.
+    #[inline]
+    pub(crate) fn read_span(&self, p: DPtr, idx: usize, len: usize, mut f: impl FnMut(usize, f32)) {
+        match self {
+            GmemAccess::Excl(g) => {
+                for (k, &v) in g.slice(p.offset(idx), len).iter().enumerate() {
+                    f(k, v);
+                }
+            }
+            GmemAccess::Worker(w) => {
+                let base = p.0 + idx;
+                let words = &w.words[base..base + len];
+                for (k, word) in words.iter().enumerate() {
+                    f(k, f32::from_bits(word.load(Ordering::Relaxed)));
+                }
+            }
+        }
+    }
+
+    /// Write `len` consecutive words starting at `p + idx`, pulling word
+    /// `k` from `f(k)`. Keeps the disjoint-write checker and the
+    /// initialization bitmap exactly as word-at-a-time stores would.
+    #[inline]
+    pub(crate) fn write_span(
+        &mut self,
+        p: DPtr,
+        idx: usize,
+        len: usize,
+        mut f: impl FnMut(usize) -> f32,
+    ) {
+        match self {
+            GmemAccess::Excl(g) => {
+                for (k, d) in g.slice_mut(p.offset(idx), len).iter_mut().enumerate() {
+                    *d = f(k);
+                }
+            }
+            GmemAccess::Worker(w) => {
+                let base = p.0 + idx;
+                for k in 0..len {
+                    w.write(base + k, f(k));
+                }
+            }
+        }
+    }
 }
 
 /// Device memory re-viewed as shared atomic words for the parallel

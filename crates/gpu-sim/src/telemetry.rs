@@ -29,7 +29,10 @@ static FAULTS: AtomicU64 = AtomicU64::new(0);
 pub struct SimTelemetry {
     /// Kernel launches since the last reset.
     pub launches: u64,
-    /// Blocks executed functionally on the host (excludes traced blocks).
+    /// Blocks executed functionally on the host. Includes the traced
+    /// block, which also produces real outputs — so timing-only launches
+    /// (`ExecMode::Representative`) still count one block per launch and
+    /// throughput trends stay visible for every experiment.
     pub functional_blocks: u64,
     /// Host wall-clock seconds spent inside `Gpu::launch`.
     pub wall_s: f64,

@@ -87,11 +87,19 @@ pub struct LaunchStats {
     /// plus functional replay). Unlike every field above, this measures the
     /// *simulator*, not the simulated device, and varies run to run.
     pub sim_wall_s: f64,
-    /// Blocks executed functionally on the host (0 under
-    /// `ExecMode::Representative`; excludes the traced block).
+    /// Blocks executed functionally on the host, excluding the traced
+    /// block when one ran (0 under `ExecMode::Representative` unless a
+    /// schedule-cache hit demoted block 0 to a functional block).
     pub sim_blocks: usize,
     /// Host worker threads used for the functional replay (1 = sequential).
     pub sim_host_threads: usize,
+    /// Whether the launch took the fast (observer-free) execution path.
+    /// Purely host-side telemetry: fast and slow launches produce
+    /// bit-identical results, statuses and modeled cycles.
+    pub sim_fast: bool,
+    /// Whether the traced block's schedule came from the cross-launch
+    /// cache (block 0 was demoted to a plain functional block).
+    pub sim_sched_cache_hit: bool,
     /// Mean busy fraction of the replay workers: sum of per-worker busy
     /// time over `workers x replay wall time`. 1.0 when the block shards
     /// finish in lockstep; lower when the tail worker straggles.
@@ -312,6 +320,8 @@ pub(crate) fn combine(
         sim_wall_s: 0.0,
         sim_blocks: 0,
         sim_host_threads: 1,
+        sim_fast: false,
+        sim_sched_cache_hit: false,
         sim_worker_utilization: 1.0,
         faults: Vec::new(),
         sanitizer: None,
