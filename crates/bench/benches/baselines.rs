@@ -62,7 +62,9 @@ fn bench_model(c: &mut Criterion) {
         b.iter(|| black_box(per_block::qr_panels(&p, &plan, 8).len()))
     });
     g.bench_function("dispatch_decision", |b| {
-        b.iter(|| black_box(regla_model::choose(&p, &cfg, Algorithm::Qr, 56, 56, 5000, 1).choice))
+        b.iter(|| {
+            black_box(regla_model::choose(&p, &cfg, Algorithm::Qr, 56, 56, 5000, 1).unwrap().choice)
+        })
     });
     g.finish();
 }

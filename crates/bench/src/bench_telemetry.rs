@@ -13,7 +13,13 @@
 //! `results/BENCH_sim.json` shows whether a resilience experiment left
 //! anything unrecovered.
 
-use regla_core::{recovery_take, RecoveryTelemetry};
+// The process-wide recovery counters are deprecated in favor of
+// per-Session totals, but the harness is a single-session-at-a-time
+// process and wants one cross-experiment drain point — exactly what the
+// shim still provides.
+#[allow(deprecated)]
+use regla_core::recovery_take;
+use regla_core::RecoveryTelemetry;
 use regla_gpu_sim::{telemetry, SimTelemetry};
 use std::sync::Mutex;
 
@@ -128,6 +134,44 @@ pub fn throughput_rows() -> Vec<ThroughputRow> {
     THROUGHPUT.lock().unwrap().clone()
 }
 
+/// One (campaign, device) row from the `chaos_campaign` experiment: what
+/// the fleet scheduler did on one device — planned shard, chunks actually
+/// run, steals/rescues, failed dispatches, breaker activity — plus a
+/// `cpu-pool` pseudo-device for work degraded to the host.
+#[derive(Clone, Debug)]
+pub struct FleetRow {
+    pub campaign: String,
+    /// Device config name, or `"cpu-pool"` for the degraded mode.
+    pub device: String,
+    /// Problems the throughput-proportional sharding planned here.
+    pub planned_problems: usize,
+    pub chunks_run: usize,
+    pub problems_run: usize,
+    pub steals: usize,
+    pub rescues: usize,
+    pub failed_dispatches: usize,
+    pub deadline_misses: usize,
+    pub breaker_trips: usize,
+    /// Breaker state at campaign end (`Closed` / `Open` / `HalfOpen`).
+    pub breaker_state: String,
+    /// The device's simulated clock at campaign end.
+    pub sim_time_s: f64,
+}
+
+static FLEET: Mutex<Vec<FleetRow>> = Mutex::new(Vec::new());
+
+/// File the chaos experiment's per-device rows for the harness run;
+/// [`Collector::to_json`] embeds them in `results/BENCH_sim.json`.
+/// Replaces any previously filed rows (the experiment is the only writer).
+pub fn record_fleet(rows: Vec<FleetRow>) {
+    *FLEET.lock().unwrap() = rows;
+}
+
+/// Snapshot of the currently filed fleet rows.
+pub fn fleet_rows() -> Vec<FleetRow> {
+    FLEET.lock().unwrap().clone()
+}
+
 /// One experiment's host-side cost.
 #[derive(Clone, Debug)]
 pub struct ExperimentTelemetry {
@@ -150,17 +194,20 @@ pub struct Collector {
 impl Collector {
     /// Start collecting; resets the simulator's and recovery counters so
     /// the first experiment doesn't inherit earlier launches.
+    #[allow(deprecated)]
     pub fn new() -> Self {
         telemetry::take();
         recovery_take();
         record_discrepancy(Vec::new());
         record_pipeline(Vec::new());
         record_throughput(Vec::new());
+        record_fleet(Vec::new());
         Collector::default()
     }
 
     /// Close out one experiment: drain the simulator and recovery counters
     /// accumulated since the previous call and file them under `id`.
+    #[allow(deprecated)]
     pub fn record(&mut self, id: &str, wall_s: f64) -> &ExperimentTelemetry {
         self.records.push(ExperimentTelemetry {
             id: id.to_string(),
@@ -213,7 +260,9 @@ impl Collector {
                  \"blocks_per_sec\": {:.1}, \"host_threads\": {}, \
                  \"faults_injected\": {}, \"faults_detected\": {}, \
                  \"retried\": {}, \"fell_back\": {}, \"recovered\": {}, \
-                 \"unrecovered\": {}}}{}\n",
+                 \"unrecovered\": {}, \"device_failovers\": {}, \
+                 \"shards_stolen\": {}, \"deadline_misses\": {}, \
+                 \"breaker_trips\": {}, \"cpu_degraded\": {}}}{}\n",
                 escape(&r.id),
                 r.wall_s,
                 r.sim.wall_s,
@@ -228,6 +277,11 @@ impl Collector {
                 r.recovery.fell_back,
                 r.recovery.recovered,
                 r.recovery.unrecovered,
+                r.recovery.device_failovers,
+                r.recovery.shards_stolen,
+                r.recovery.deadline_misses,
+                r.recovery.breaker_trips,
+                r.recovery.cpu_degraded,
                 if i + 1 < self.records.len() { "," } else { "" },
             ));
         }
@@ -292,6 +346,31 @@ impl Collector {
                 r.slow_blocks_per_sec,
                 r.speedup,
                 r.bit_identical,
+                if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n  \"fleet\": [\n");
+        let rows = fleet_rows();
+        for (i, r) in rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"campaign\": \"{}\", \"device\": \"{}\", \
+                 \"planned_problems\": {}, \"chunks_run\": {}, \
+                 \"problems_run\": {}, \"steals\": {}, \"rescues\": {}, \
+                 \"failed_dispatches\": {}, \"deadline_misses\": {}, \
+                 \"breaker_trips\": {}, \"breaker_state\": \"{}\", \
+                 \"sim_time_s\": {:.6}}}{}\n",
+                escape(&r.campaign),
+                escape(&r.device),
+                r.planned_problems,
+                r.chunks_run,
+                r.problems_run,
+                r.steals,
+                r.rescues,
+                r.failed_dispatches,
+                r.deadline_misses,
+                r.breaker_trips,
+                escape(&r.breaker_state),
+                r.sim_time_s,
                 if i + 1 < rows.len() { "," } else { "" },
             ));
         }
@@ -393,6 +472,36 @@ mod tests {
     }
 
     #[test]
+    fn fleet_rows_land_in_the_json() {
+        let _g = TEST_LOCK.lock().unwrap();
+        let mut c = Collector::new();
+        c.record("chaos_campaign", 0.2);
+        record_fleet(vec![FleetRow {
+            campaign: "QR 8x8".into(),
+            device: "quadro-6000".into(),
+            planned_problems: 1365,
+            chunks_run: 9,
+            problems_run: 2048,
+            steals: 3,
+            rescues: 2,
+            failed_dispatches: 1,
+            deadline_misses: 1,
+            breaker_trips: 1,
+            breaker_state: "Closed".into(),
+            sim_time_s: 0.0123,
+        }]);
+        let j = c.to_json();
+        assert!(j.contains("\"fleet\": ["));
+        assert!(j.contains("\"device\": \"quadro-6000\""));
+        assert!(j.contains("\"rescues\": 2"));
+        assert!(j.contains("\"breaker_state\": \"Closed\""));
+        // The experiment records carry the device-level counters too.
+        assert!(j.contains("\"device_failovers\""));
+        assert!(j.contains("\"cpu_degraded\""));
+        record_fleet(Vec::new());
+    }
+
+    #[test]
     fn escape_handles_quotes() {
         assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
     }
@@ -412,6 +521,7 @@ mod tests {
                 fell_back: 1,
                 recovered: 5,
                 unrecovered: 0,
+                ..RecoveryTelemetry::default()
             },
         };
         let line = Collector::summary_line(&r);

@@ -3,6 +3,7 @@
 
 pub mod ablations;
 pub mod accuracy;
+pub mod chaos;
 pub mod discrepancy;
 pub mod figures;
 pub mod pipeline;
@@ -13,6 +14,7 @@ pub mod throughput;
 
 pub use ablations::*;
 pub use accuracy::*;
+pub use chaos::*;
 pub use discrepancy::*;
 pub use figures::*;
 pub use pipeline::*;
@@ -95,6 +97,11 @@ pub const ALL: &[(&str, &str, Runner)] = &[
         "resilience_campaign",
         "Resilience — seeded fault campaigns",
         resilience::resilience_campaign,
+    ),
+    (
+        "chaos_campaign",
+        "Chaos — multi-device failure campaigns",
+        chaos::chaos_campaign,
     ),
     (
         "sanitize_campaign",

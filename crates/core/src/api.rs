@@ -88,6 +88,15 @@ pub struct RunOpts {
     /// Results, statuses and modeled cycles are bit-identical either way;
     /// this is an A/B knob for validating exactly that.
     pub slow_path: bool,
+    /// Simulated-cycle budget applied to every kernel launch of the run
+    /// (`None` = unlimited): a launch whose modeled duration exceeds it
+    /// fails with `LaunchError::DeadlineExceeded`. The fleet layer derives
+    /// this from the predictive model's estimate × a slack factor.
+    pub deadline_cycles: Option<u64>,
+    /// Extra simulated cycles injected into every launch of the run (a
+    /// chaos knob modeling a stalled stream). Functional results are
+    /// unaffected; only modeled timing moves.
+    pub stall_cycles: u64,
 }
 
 impl Default for RunOpts {
@@ -108,6 +117,8 @@ impl Default for RunOpts {
             sanitizer: SanitizerMode::Off,
             watchdog: None,
             slow_path: false,
+            deadline_cycles: None,
+            stall_cycles: 0,
         }
     }
 }
@@ -224,6 +235,20 @@ impl RunOptsBuilder {
     /// Force the instrumented slow path (see [`RunOpts::slow_path`]).
     pub fn slow_path(mut self, v: bool) -> Self {
         self.opts.slow_path = v;
+        self
+    }
+
+    /// Per-launch simulated-cycle deadline (see
+    /// [`RunOpts::deadline_cycles`]).
+    pub fn deadline_cycles(mut self, v: impl Into<Option<u64>>) -> Self {
+        self.opts.deadline_cycles = v.into();
+        self
+    }
+
+    /// Inject a stream stall into every launch (see
+    /// [`RunOpts::stall_cycles`]).
+    pub fn stall_cycles(mut self, v: u64) -> Self {
+        self.opts.stall_cycles = v;
         self
     }
 
@@ -464,7 +489,7 @@ struct Launched<T> {
 }
 
 /// All words of problem `k` (and its taus, if any) are finite.
-fn problem_is_finite<T: DeviceScalar>(
+pub(crate) fn problem_is_finite<T: DeviceScalar>(
     out: &MatBatch<T>,
     taus: Option<&MatBatch<T>>,
     k: usize,
@@ -537,6 +562,8 @@ fn run_inplace<T: DeviceScalar>(
                 .sanitizer(opts.sanitizer)
                 .watchdog(opts.watchdog)
                 .slow_path(opts.slow_path)
+                .deadline_cycles(opts.deadline_cycles)
+                .stall_cycles(opts.stall_cycles)
                 .schedule_key(key);
             stats.push(gpu.launch(&kern, &lc, &mut gmem)?);
         }
@@ -607,6 +634,8 @@ fn run_inplace<T: DeviceScalar>(
                 .sanitizer(opts.sanitizer)
                 .watchdog(opts.watchdog)
                 .slow_path(opts.slow_path)
+                .deadline_cycles(opts.deadline_cycles)
+                .stall_cycles(opts.stall_cycles)
                 .schedule_key(key);
             stats.push(gpu.launch(launch.as_ref(), &lc, &mut gmem)?);
         }
@@ -631,6 +660,8 @@ fn run_inplace<T: DeviceScalar>(
                 sanitizer: opts.sanitizer,
                 watchdog: opts.watchdog,
                 slow_path: opts.slow_path,
+                deadline_cycles: opts.deadline_cycles,
+                stall_cycles: opts.stall_cycles,
             };
             let agg = tiled_qr::<T::Dev>(gpu, &mut gmem, view, m, nfac, rhs, count, d_tau, topts)?;
             for l in agg.launches {
@@ -713,7 +744,7 @@ fn run_inplace<T: DeviceScalar>(
 
 /// Recompute problem `p` with the host baseline and splice the result into
 /// `out`/`taus`. Returns the problem's new status.
-fn host_fallback<T: DeviceScalar>(
+pub(crate) fn host_fallback<T: DeviceScalar>(
     aug: &MatBatch<T>,
     nfac: usize,
     alg: PtAlg,
@@ -1115,6 +1146,8 @@ pub(crate) fn gemm_run<T: DeviceScalar>(
         .sanitizer(opts.sanitizer)
         .watchdog(opts.watchdog)
         .slow_path(opts.slow_path)
+        .deadline_cycles(opts.deadline_cycles)
+        .stall_cycles(opts.stall_cycles)
         .schedule_key(key);
     let mut stats = MultiLaunch::default();
     stats.push(gpu.launch(&kern, &lc, &mut gmem)?);

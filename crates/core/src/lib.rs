@@ -45,6 +45,7 @@ pub mod api;
 pub mod batch;
 pub mod elem;
 pub mod error;
+pub mod fleet;
 pub mod global_level;
 pub mod host;
 pub mod layout;
@@ -75,9 +76,12 @@ pub use error::ReglaError;
 pub use layout::{Layout, LayoutMap};
 pub use matrix::Mat;
 pub use scalar::{Scalar, C32};
-pub use status::{
-    recovery_snapshot, recovery_take, ProblemStatus, RecoveryPolicy, RecoveryStats,
-    RecoveryTelemetry,
+#[allow(deprecated)]
+pub use status::{recovery_snapshot, recovery_take};
+pub use status::{ProblemStatus, RecoveryPolicy, RecoveryStats, RecoveryTelemetry};
+pub use fleet::{
+    BreakerPolicy, BreakerState, ChaosEvent, ChaosPlan, DeviceReport, Fleet, FleetBuilder,
+    FleetPolicy, FleetReport, FleetRun,
 };
 pub use global_level::{global_level_qr, GlobalLevelOpts};
 pub use tiled::{MultiLaunch, TiledOpts};

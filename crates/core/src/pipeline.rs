@@ -72,7 +72,7 @@ pub struct PipelinedRun<T> {
 
 /// The model-side algorithm for an [`Op`], where one exists (GEMM has no
 /// analytic kernel-time model).
-fn model_alg(op: Op) -> Option<Algorithm> {
+pub(crate) fn model_alg(op: Op) -> Option<Algorithm> {
     match op {
         Op::Qr => Some(Algorithm::Qr),
         Op::Lu => Some(Algorithm::Lu),
@@ -167,7 +167,8 @@ pub(crate) fn run_pipelined<T: DeviceScalar>(
             a.cols(),
             chunk0,
             T::WORDS,
-        );
+        )
+        .ok()?;
         d.candidates
             .iter()
             .find(|cand| cand.approach == approach)
@@ -232,11 +233,7 @@ fn merge_chunks<T: DeviceScalar>(chunks: Vec<OpOutput<T>>, report: &PipelineRepo
             stats.push(l);
         }
         status.extend(o.run.status);
-        recovery.faults_detected += o.run.recovery.faults_detected;
-        recovery.retried += o.run.recovery.retried;
-        recovery.fell_back += o.run.recovery.fell_back;
-        recovery.recovered += o.run.recovery.recovered;
-        recovery.unrecovered += o.run.recovery.unrecovered;
+        recovery.merge(&o.run.recovery);
         if profile.is_none() {
             profile = o.run.profile;
         }

@@ -14,6 +14,10 @@ pub use crate::api::{
 };
 pub use crate::api::{BatchRun, RunOpts, RunOptsBuilder};
 pub use crate::session::{Op, OpOutput, Session, SessionBuilder};
+pub use crate::fleet::{
+    BreakerPolicy, BreakerState, ChaosEvent, ChaosPlan, DeviceReport, Fleet, FleetBuilder,
+    FleetPolicy, FleetReport, FleetRun,
+};
 pub use crate::pipeline::{PipelineOpts, PipelinedRun};
 pub use crate::batch::MatBatch;
 pub use crate::error::ReglaError;

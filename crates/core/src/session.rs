@@ -23,9 +23,11 @@ use crate::api::{self, BatchRun, RunOpts};
 use crate::batch::MatBatch;
 use crate::elem::DeviceScalar;
 use crate::error::ReglaError;
+use crate::status::{RecoveryCounters, RecoveryTelemetry};
 use crate::tiled::MultiLaunch;
 use regla_gpu_sim::{Gpu, GpuConfig, Profiler};
 use regla_model::ModelParams;
+use std::sync::Arc;
 
 /// The batched operations a [`Session`] can run — the single dispatch
 /// surface behind the named sugar methods.
@@ -141,6 +143,7 @@ impl SessionBuilder {
             opts: self.opts,
             params,
             profiler: self.profiler,
+            counters: Arc::new(RecoveryCounters::new()),
         }
     }
 }
@@ -158,6 +161,9 @@ pub struct Session {
     opts: RunOpts,
     params: ModelParams,
     profiler: Option<Profiler>,
+    /// Per-session recovery totals, accumulated across every run. Clones
+    /// of a session share the same counters (like the profiler buffer).
+    counters: Arc<RecoveryCounters>,
 }
 
 impl Default for Session {
@@ -204,6 +210,20 @@ impl Session {
         self.profiler.as_ref()
     }
 
+    /// Cumulative recovery totals for every run made through *this*
+    /// session (and its clones), without resetting them. Unlike the
+    /// deprecated process-wide [`crate::recovery_snapshot`], concurrent
+    /// sessions do not smear each other's numbers.
+    pub fn recovery_totals(&self) -> RecoveryTelemetry {
+        self.counters.snapshot()
+    }
+
+    /// Read and reset this session's recovery totals (one experiment's
+    /// worth of runs).
+    pub fn take_recovery_totals(&self) -> RecoveryTelemetry {
+        self.counters.take()
+    }
+
     /// Replace the default options, keeping device and params.
     pub fn with_opts(mut self, opts: RunOpts) -> Self {
         self.opts = opts;
@@ -248,7 +268,7 @@ impl Session {
             })
         };
         let (gpu, p) = (&self.gpu, &self.params);
-        match op {
+        let res = match op {
             Op::Qr => api::qr_run(gpu, p, a, &o).map(OpOutput::plain),
             Op::Lu => api::lu_run(gpu, p, a, &o).map(OpOutput::plain),
             Op::GjSolve => {
@@ -291,7 +311,11 @@ impl Session {
                 solution: Some(inv),
             }),
             Op::Gemm => api::gemm_run(gpu, a, rhs()?, &o).map(OpOutput::plain),
+        };
+        if let Ok(out) = &res {
+            self.counters.record(&out.run.recovery);
         }
+        res
     }
 
     // ---- named sugar -----------------------------------------------------
@@ -409,7 +433,11 @@ impl Session {
         a: &MatBatch<T>,
         b: &MatBatch<T>,
     ) -> Result<(MatBatch<T>, MultiLaunch), ReglaError> {
-        api::tsqr_run(&self.gpu, a, b, &self.effective(&self.opts))
+        let res = api::tsqr_run(&self.gpu, a, b, &self.effective(&self.opts));
+        if let Ok((_, ml)) = &res {
+            self.counters.record(&ml.recovery);
+        }
+        res
     }
 
     /// [`Session::tsqr_least_squares`] with explicit per-call [`RunOpts`].
@@ -419,7 +447,11 @@ impl Session {
         b: &MatBatch<T>,
         opts: &RunOpts,
     ) -> Result<(MatBatch<T>, MultiLaunch), ReglaError> {
-        api::tsqr_run(&self.gpu, a, b, &self.effective(opts))
+        let res = api::tsqr_run(&self.gpu, a, b, &self.effective(opts));
+        if let Ok((_, ml)) = &res {
+            self.counters.record(&ml.recovery);
+        }
+        res
     }
 }
 
@@ -473,6 +505,37 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn per_session_counters_do_not_smear_across_sessions() {
+        use regla_gpu_sim::{FaultKind, FaultPlan};
+
+        // A faulted session accumulates recovery events; a clean session
+        // started alongside it stays at zero — the regression the
+        // process-wide statics could not express.
+        let faulted = Session::builder()
+            .opts(
+                RunOpts::builder()
+                    .fault(FaultPlan::new(7, 6).kind(FaultKind::RegisterBitFlip))
+                    .build(),
+            )
+            .build();
+        let clean = Session::new();
+        let a = dd_batch(8, 64);
+        let run = faulted.qr(&a).unwrap();
+        clean.qr(&a).unwrap();
+
+        let ft = faulted.recovery_totals();
+        assert_eq!(ft.faults_detected, run.recovery.faults_detected as u64);
+        assert!(ft.faults_detected > 0, "fault plan must land faults");
+        assert_eq!(clean.recovery_totals(), RecoveryTelemetry::default());
+
+        // Clones share the same counter cell; take() drains it for both.
+        let twin = faulted.clone();
+        assert_eq!(twin.recovery_totals(), ft);
+        faulted.take_recovery_totals();
+        assert_eq!(twin.recovery_totals(), RecoveryTelemetry::default());
     }
 
     #[test]

@@ -74,6 +74,10 @@ impl RecoveryPolicy {
 }
 
 /// What the recovery layer did for one batched run.
+///
+/// The first five fields are per-problem events from the single-device
+/// retry/fallback policy; the rest are device-level events recorded by a
+/// [`crate::fleet::Fleet`] (zero on plain `Session` runs).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RecoveryStats {
     /// Problems whose block the simulator reported a fault in.
@@ -87,6 +91,18 @@ pub struct RecoveryStats {
     /// Problems still fault-tainted or non-finite after the policy was
     /// exhausted (only possible with a truncated policy).
     pub unrecovered: usize,
+    /// Shards re-dispatched to another device after theirs failed.
+    pub device_failovers: usize,
+    /// Shards executed by a device other than their planned owner because
+    /// the owner was a straggler (work stealing).
+    pub shards_stolen: usize,
+    /// Launches that blew their model-derived deadline budget.
+    pub deadline_misses: usize,
+    /// Times a device circuit breaker tripped open.
+    pub breaker_trips: usize,
+    /// Problems computed by the CPU degraded mode because no device could
+    /// take them.
+    pub cpu_degraded: usize,
 }
 
 impl RecoveryStats {
@@ -96,27 +112,109 @@ impl RecoveryStats {
         self.fell_back += other.fell_back;
         self.recovered += other.recovered;
         self.unrecovered += other.unrecovered;
+        self.device_failovers += other.device_failovers;
+        self.shards_stolen += other.shards_stolen;
+        self.deadline_misses += other.deadline_misses;
+        self.breaker_trips += other.breaker_trips;
+        self.cpu_degraded += other.cpu_degraded;
     }
 }
 
-// Process-wide recovery counters, mirrored after every recovered run so
-// the benchmark harness can report campaign totals without threading a
-// collector through the API (same pattern as `regla_gpu_sim::telemetry`).
-static FAULTS_DETECTED: AtomicU64 = AtomicU64::new(0);
-static RETRIED: AtomicU64 = AtomicU64::new(0);
-static FELL_BACK: AtomicU64 = AtomicU64::new(0);
-static RECOVERED: AtomicU64 = AtomicU64::new(0);
-static UNRECOVERED: AtomicU64 = AtomicU64::new(0);
-
-pub(crate) fn record_recovery(s: &RecoveryStats) {
-    FAULTS_DETECTED.fetch_add(s.faults_detected as u64, Relaxed);
-    RETRIED.fetch_add(s.retried as u64, Relaxed);
-    FELL_BACK.fetch_add(s.fell_back as u64, Relaxed);
-    RECOVERED.fetch_add(s.recovered as u64, Relaxed);
-    UNRECOVERED.fetch_add(s.unrecovered as u64, Relaxed);
+/// Monotonic recovery counters: one instance per [`crate::Session`] (and
+/// per fleet), plus one process-wide instance backing the deprecated
+/// free-function reads.
+#[derive(Debug)]
+pub(crate) struct RecoveryCounters {
+    faults_detected: AtomicU64,
+    retried: AtomicU64,
+    fell_back: AtomicU64,
+    recovered: AtomicU64,
+    unrecovered: AtomicU64,
+    device_failovers: AtomicU64,
+    shards_stolen: AtomicU64,
+    deadline_misses: AtomicU64,
+    breaker_trips: AtomicU64,
+    cpu_degraded: AtomicU64,
 }
 
-/// Cumulative recovery totals across every run in this process.
+impl RecoveryCounters {
+    pub(crate) const fn new() -> Self {
+        RecoveryCounters {
+            faults_detected: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            fell_back: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
+            unrecovered: AtomicU64::new(0),
+            device_failovers: AtomicU64::new(0),
+            shards_stolen: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
+            cpu_degraded: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record(&self, s: &RecoveryStats) {
+        self.faults_detected.fetch_add(s.faults_detected as u64, Relaxed);
+        self.retried.fetch_add(s.retried as u64, Relaxed);
+        self.fell_back.fetch_add(s.fell_back as u64, Relaxed);
+        self.recovered.fetch_add(s.recovered as u64, Relaxed);
+        self.unrecovered.fetch_add(s.unrecovered as u64, Relaxed);
+        self.device_failovers.fetch_add(s.device_failovers as u64, Relaxed);
+        self.shards_stolen.fetch_add(s.shards_stolen as u64, Relaxed);
+        self.deadline_misses.fetch_add(s.deadline_misses as u64, Relaxed);
+        self.breaker_trips.fetch_add(s.breaker_trips as u64, Relaxed);
+        self.cpu_degraded.fetch_add(s.cpu_degraded as u64, Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> RecoveryTelemetry {
+        RecoveryTelemetry {
+            faults_detected: self.faults_detected.load(Relaxed),
+            retried: self.retried.load(Relaxed),
+            fell_back: self.fell_back.load(Relaxed),
+            recovered: self.recovered.load(Relaxed),
+            unrecovered: self.unrecovered.load(Relaxed),
+            device_failovers: self.device_failovers.load(Relaxed),
+            shards_stolen: self.shards_stolen.load(Relaxed),
+            deadline_misses: self.deadline_misses.load(Relaxed),
+            breaker_trips: self.breaker_trips.load(Relaxed),
+            cpu_degraded: self.cpu_degraded.load(Relaxed),
+        }
+    }
+
+    pub(crate) fn take(&self) -> RecoveryTelemetry {
+        RecoveryTelemetry {
+            faults_detected: self.faults_detected.swap(0, Relaxed),
+            retried: self.retried.swap(0, Relaxed),
+            fell_back: self.fell_back.swap(0, Relaxed),
+            recovered: self.recovered.swap(0, Relaxed),
+            unrecovered: self.unrecovered.swap(0, Relaxed),
+            device_failovers: self.device_failovers.swap(0, Relaxed),
+            shards_stolen: self.shards_stolen.swap(0, Relaxed),
+            deadline_misses: self.deadline_misses.swap(0, Relaxed),
+            breaker_trips: self.breaker_trips.swap(0, Relaxed),
+            cpu_degraded: self.cpu_degraded.swap(0, Relaxed),
+        }
+    }
+}
+
+impl Default for RecoveryCounters {
+    fn default() -> Self {
+        RecoveryCounters::new()
+    }
+}
+
+// Process-wide recovery counters, mirrored after every recovered run.
+// Deprecated data source: concurrent Sessions smear each other's campaign
+// numbers here; the per-Session counters (`Session::recovery_totals`)
+// are the replacement. Kept so existing harness code keeps reading
+// sensible totals in single-Session processes.
+static GLOBAL: RecoveryCounters = RecoveryCounters::new();
+
+pub(crate) fn record_recovery(s: &RecoveryStats) {
+    GLOBAL.record(s);
+}
+
+/// Cumulative recovery totals (a [`RecoveryStats`] summed over many runs).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RecoveryTelemetry {
     pub faults_detected: u64,
@@ -124,29 +222,32 @@ pub struct RecoveryTelemetry {
     pub fell_back: u64,
     pub recovered: u64,
     pub unrecovered: u64,
+    pub device_failovers: u64,
+    pub shards_stolen: u64,
+    pub deadline_misses: u64,
+    pub breaker_trips: u64,
+    pub cpu_degraded: u64,
 }
 
 /// Read the process-wide recovery counters without resetting them.
+#[deprecated(
+    since = "0.1.0",
+    note = "process-wide counters smear concurrent Sessions; \
+            use Session::recovery_totals instead"
+)]
 pub fn recovery_snapshot() -> RecoveryTelemetry {
-    RecoveryTelemetry {
-        faults_detected: FAULTS_DETECTED.load(Relaxed),
-        retried: RETRIED.load(Relaxed),
-        fell_back: FELL_BACK.load(Relaxed),
-        recovered: RECOVERED.load(Relaxed),
-        unrecovered: UNRECOVERED.load(Relaxed),
-    }
+    GLOBAL.snapshot()
 }
 
 /// Read and reset the process-wide recovery counters (one experiment's
 /// worth of runs).
+#[deprecated(
+    since = "0.1.0",
+    note = "process-wide counters smear concurrent Sessions; \
+            use Session::take_recovery_totals instead"
+)]
 pub fn recovery_take() -> RecoveryTelemetry {
-    RecoveryTelemetry {
-        faults_detected: FAULTS_DETECTED.swap(0, Relaxed),
-        retried: RETRIED.swap(0, Relaxed),
-        fell_back: FELL_BACK.swap(0, Relaxed),
-        recovered: RECOVERED.swap(0, Relaxed),
-        unrecovered: UNRECOVERED.swap(0, Relaxed),
-    }
+    GLOBAL.take()
 }
 
 #[cfg(test)]
@@ -181,9 +282,37 @@ mod tests {
             fell_back: 3,
             recovered: 4,
             unrecovered: 0,
+            device_failovers: 5,
+            shards_stolen: 6,
+            deadline_misses: 7,
+            breaker_trips: 8,
+            cpu_degraded: 9,
         };
         a.merge(&a.clone());
         assert_eq!(a.retried, 4);
         assert_eq!(a.recovered, 8);
+        assert_eq!(a.device_failovers, 10);
+        assert_eq!(a.breaker_trips, 16);
+        assert_eq!(a.cpu_degraded, 18);
+    }
+
+    #[test]
+    fn counters_record_snapshot_take() {
+        let c = RecoveryCounters::new();
+        let s = RecoveryStats {
+            faults_detected: 2,
+            retried: 1,
+            recovered: 2,
+            shards_stolen: 3,
+            ..Default::default()
+        };
+        c.record(&s);
+        c.record(&s);
+        let snap = c.snapshot();
+        assert_eq!(snap.faults_detected, 4);
+        assert_eq!(snap.shards_stolen, 6);
+        // take() drains.
+        assert_eq!(c.take(), snap);
+        assert_eq!(c.snapshot(), RecoveryTelemetry::default());
     }
 }

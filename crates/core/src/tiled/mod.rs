@@ -90,6 +90,10 @@ pub struct TiledOpts {
     pub watchdog: Option<u64>,
     /// Force the simulator's instrumented slow path for every launch.
     pub slow_path: bool,
+    /// Simulated-cycle deadline budget applied to every launch.
+    pub deadline_cycles: Option<u64>,
+    /// Injected stream-stall cycles applied to every launch (chaos knob).
+    pub stall_cycles: u64,
 }
 
 impl Default for TiledOpts {
@@ -104,6 +108,8 @@ impl Default for TiledOpts {
             sanitizer: SanitizerMode::Off,
             watchdog: None,
             slow_path: false,
+            deadline_cycles: None,
+            stall_cycles: 0,
         }
     }
 }
@@ -155,7 +161,9 @@ pub fn tiled_qr<E: Elem>(
             .trace(opts.trace.clone())
             .sanitizer(opts.sanitizer)
             .watchdog(opts.watchdog)
-            .slow_path(opts.slow_path);
+            .slow_path(opts.slow_path)
+            .deadline_cycles(opts.deadline_cycles)
+            .stall_cycles(opts.stall_cycles);
         agg.push(gpu.launch(&kern, &lc, gmem)?);
 
         // --- apply the reflectors to the trailing columns ---------------
@@ -184,7 +192,9 @@ pub fn tiled_qr<E: Elem>(
                 .trace(opts.trace.clone())
                 .sanitizer(opts.sanitizer)
                 .watchdog(opts.watchdog)
-                .slow_path(opts.slow_path);
+                .slow_path(opts.slow_path)
+                .deadline_cycles(opts.deadline_cycles)
+                .stall_cycles(opts.stall_cycles);
             agg.push(gpu.launch(&apply, &lc, gmem)?);
         }
         j0 += pw;

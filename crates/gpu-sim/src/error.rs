@@ -37,6 +37,22 @@ pub enum LaunchError {
         ops: u64,
         limit: u64,
     },
+    /// The launch's simulated duration exceeded its deadline budget.
+    ///
+    /// The budget is normally derived from the predictive model's cycle
+    /// estimate times a slack factor (the model acts as the timeout
+    /// oracle), so a launch that blows its deadline is a device that is
+    /// not behaving like the model says it should — a stalled stream, a
+    /// clock-throttled part, or a hung kernel the watchdog did not catch.
+    /// Both fields are whole simulated cycles so the error stays `Eq`.
+    DeadlineExceeded { cycles: u64, budget: u64 },
+    /// The device is gone: every launch on it fails until it is replaced.
+    ///
+    /// The simulator itself never produces this — a fleet-level
+    /// `ChaosPlan` synthesizes it to model the CUDA "device lost" sticky
+    /// error state (XID errors, fell-off-the-bus). `device` is the fleet
+    /// index of the dead device.
+    DeviceLost { device: usize },
 }
 
 impl fmt::Display for LaunchError {
@@ -75,6 +91,14 @@ impl fmt::Display for LaunchError {
                      ({ops} > {limit}) in phase {phase:?}; kernel is hung \
                      or livelocked"
                 )
+            }
+            LaunchError::DeadlineExceeded { cycles, budget } => write!(
+                f,
+                "deadline exceeded: launch took {cycles} simulated cycles \
+                 against a budget of {budget}"
+            ),
+            LaunchError::DeviceLost { device } => {
+                write!(f, "device {device} is lost; all launches on it fail")
             }
         }
     }

@@ -98,6 +98,18 @@ pub struct LaunchConfig {
     /// inputs into the key. Only consulted on the fast path; set
     /// `REGLA_SCHED_CACHE=0` to disable caching process-wide.
     pub schedule_key: Option<u64>,
+    /// Simulated-cycle budget for the whole launch (`None` = unlimited).
+    /// When the modeled cycle total (including any injected stall)
+    /// exceeds it, the launch fails with [`LaunchError::DeadlineExceeded`]
+    /// after device memory is written — mirroring a host-side timeout
+    /// that fires once the launch has already run too long.
+    pub deadline_cycles: Option<u64>,
+    /// Extra simulated cycles added to the launch's modeled total before
+    /// the deadline check — a chaos-injection knob modeling a stalled
+    /// stream or a clock-throttled device. Purely a timing perturbation:
+    /// functional results are unaffected and the fast path stays
+    /// eligible.
+    pub stall_cycles: u64,
 }
 
 impl LaunchConfig {
@@ -117,6 +129,8 @@ impl LaunchConfig {
             watchdog: None,
             slow_path: false,
             schedule_key: None,
+            deadline_cycles: None,
+            stall_cycles: 0,
         }
     }
 
@@ -184,6 +198,18 @@ impl LaunchConfig {
     /// Set the opaque kernel identity for the schedule cache.
     pub fn schedule_key(mut self, key: impl Into<Option<u64>>) -> Self {
         self.schedule_key = key.into();
+        self
+    }
+
+    /// Set (or clear) the simulated-cycle deadline budget.
+    pub fn deadline_cycles(mut self, budget: impl Into<Option<u64>>) -> Self {
+        self.deadline_cycles = budget.into();
+        self
+    }
+
+    /// Inject a stream stall of `cycles` simulated cycles.
+    pub fn stall_cycles(mut self, cycles: u64) -> Self {
+        self.stall_cycles = cycles;
         self
     }
 
@@ -649,6 +675,22 @@ impl Gpu {
         stats.sim_worker_utilization = utilization;
         stats.sim_fast = fast;
         stats.sim_sched_cache_hit = cached.is_some();
+        // Chaos-injected stream stall: a pure timing perturbation applied
+        // before the deadline check, so a stalled stream on an otherwise
+        // healthy device is exactly what a deadline exists to catch.
+        if lc.stall_cycles > 0 {
+            stats.cycles += lc.stall_cycles as f64;
+            stats.time_s += self.cfg.cycles_to_secs(lc.stall_cycles as f64);
+        }
+        if let Some(budget) = lc.deadline_cycles {
+            let cycles = stats.cycles.ceil() as u64;
+            if cycles > budget {
+                // Like a watchdog trip, the deadline fires after device
+                // memory is written: the launch ran, it just ran too long
+                // for anyone to still be waiting on it.
+                return Err(LaunchError::DeadlineExceeded { cycles, budget });
+            }
+        }
         applied.sort_unstable_by_key(|f| f.block);
         if sanitizing {
             let ContextFindings {
@@ -761,6 +803,44 @@ mod tests {
         assert_eq!(stats.dram_bytes, (2 * n * 4) as f64);
         assert!(stats.cycles > 0.0);
         assert!(stats.time_s > 0.0);
+    }
+
+    #[test]
+    fn stall_inflates_timing_and_deadline_trips() {
+        let gpu = Gpu::quadro_6000();
+        let mut mem = GlobalMemory::with_bytes(1 << 20);
+        let n = 64 * 16 * 8;
+        let src = mem.alloc(n);
+        let dst = mem.alloc(n);
+        for i in 0..n {
+            mem.write(src, i, i as f32);
+        }
+        let base_lc = LaunchConfig::new(8, 64).regs(16).shared_words(0);
+        let base = gpu.launch(&copy_kernel(16, src, dst), &base_lc, &mut mem).unwrap();
+
+        // A stall is a pure timing perturbation: cycles shift by exactly
+        // the injected amount and the functional output is untouched.
+        let lc = base_lc.clone().stall_cycles(1_000_000);
+        assert!(lc.fast_eligible(), "stall must not force the slow path");
+        let stalled = gpu.launch(&copy_kernel(16, src, dst), &lc, &mut mem).unwrap();
+        assert_eq!(stalled.cycles, base.cycles + 1_000_000.0);
+        for i in 0..n {
+            assert_eq!(mem.read(dst, i), i as f32);
+        }
+
+        // A generous budget passes; the stalled launch blows the same one.
+        let budget = base.cycles.ceil() as u64 + 1000;
+        let ok_lc = base_lc.clone().deadline_cycles(budget);
+        gpu.launch(&copy_kernel(16, src, dst), &ok_lc, &mut mem).unwrap();
+        let bad_lc = base_lc.stall_cycles(1_000_000).deadline_cycles(budget);
+        let err = gpu.launch(&copy_kernel(16, src, dst), &bad_lc, &mut mem);
+        match err {
+            Err(LaunchError::DeadlineExceeded { cycles, budget: b }) => {
+                assert_eq!(b, budget);
+                assert!(cycles > b);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
     }
 
     #[test]

@@ -21,6 +21,45 @@ pub struct Candidate {
     pub gflops: f64,
 }
 
+/// Why the predictive model could not produce a dispatch decision.
+///
+/// These conditions cannot arise from the design space as currently wired
+/// (the hybrid candidate is unconditional), but the dispatcher is public
+/// API and the conditions must surface as structured errors rather than
+/// panics if a future pruning rule or a hand-built [`Decision`] violates
+/// the invariants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// No approach was feasible for the requested shape.
+    NoCandidates {
+        alg: Algorithm,
+        m: usize,
+        n: usize,
+        batch: usize,
+    },
+    /// A [`Decision`]'s `choice` is not among its `candidates`.
+    ChoiceNotCandidate { choice: Approach },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::NoCandidates { alg, m, n, batch } => write!(
+                f,
+                "no feasible approach for {} on {m}x{n} x {batch} problems",
+                alg.name()
+            ),
+            ModelError::ChoiceNotCandidate { choice } => write!(
+                f,
+                "decision chose {} but it is not among the candidates",
+                choice.name()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
 /// A dispatch decision with the full predicted design space.
 #[derive(Clone, Debug)]
 pub struct Decision {
@@ -29,11 +68,15 @@ pub struct Decision {
 }
 
 impl Decision {
-    pub fn chosen(&self) -> &Candidate {
+    /// The candidate backing `choice`.
+    ///
+    /// Errors (rather than panics) if the decision was constructed with a
+    /// `choice` missing from `candidates`.
+    pub fn chosen(&self) -> Result<&Candidate, ModelError> {
         self.candidates
             .iter()
             .find(|c| c.approach == self.choice)
-            .expect("chosen approach is always a candidate")
+            .ok_or(ModelError::ChoiceNotCandidate { choice: self.choice })
     }
 }
 
@@ -89,7 +132,7 @@ pub fn choose(
     n: usize,
     batch: usize,
     elem_words: usize,
-) -> Decision {
+) -> Result<Decision, ModelError> {
     let mut candidates = Vec::new();
     let rhs = match alg {
         Algorithm::GaussJordan | Algorithm::LeastSquares | Algorithm::QrSolve => 1,
@@ -171,8 +214,34 @@ pub fn choose(
         .iter()
         .min_by(|a, b| a.time_s.total_cmp(&b.time_s))
         .map(|c| c.approach)
-        .expect("at least the hybrid candidate exists");
-    Decision { choice, candidates }
+        .ok_or(ModelError::NoCandidates { alg, m, n, batch })?;
+    Ok(Decision { choice, candidates })
+}
+
+/// Predicted whole-launch cycle count for running `batch` problems with
+/// `approach` — the predictive model acting as a timeout oracle.
+///
+/// A fleet derives per-launch deadline budgets from this (estimate × slack
+/// factor): a launch that takes materially longer than the model predicts
+/// is a sick device, not a slow problem. Returns `None` when the model has
+/// no candidate for the requested approach (the caller should then run
+/// without a deadline rather than guess one).
+#[allow(clippy::too_many_arguments)]
+pub fn predicted_cycles(
+    p: &ModelParams,
+    cfg: &GpuConfig,
+    alg: Algorithm,
+    approach: Approach,
+    m: usize,
+    n: usize,
+    batch: usize,
+    elem_words: usize,
+) -> Option<f64> {
+    let d = choose(p, cfg, alg, m, n, batch, elem_words).ok()?;
+    d.candidates
+        .iter()
+        .find(|c| c.approach == approach)
+        .map(|c| cfg.secs_to_cycles(c.time_s))
 }
 
 #[cfg(test)]
@@ -186,37 +255,37 @@ mod tests {
     #[test]
     fn tiny_batched_problems_go_per_thread() {
         let (p, cfg) = setup();
-        let d = choose(&p, &cfg, Algorithm::Lu, 6, 6, 64000, 1);
+        let d = choose(&p, &cfg, Algorithm::Lu, 6, 6, 64000, 1).unwrap();
         assert_eq!(d.choice, Approach::PerThread);
     }
 
     #[test]
     fn mid_sized_batched_problems_go_per_block() {
         let (p, cfg) = setup();
-        let d = choose(&p, &cfg, Algorithm::Qr, 56, 56, 8000, 1);
+        let d = choose(&p, &cfg, Algorithm::Qr, 56, 56, 8000, 1).unwrap();
         assert_eq!(d.choice, Approach::PerBlock);
     }
 
     #[test]
     fn stap_240x66_goes_tiled() {
         let (p, cfg) = setup();
-        let d = choose(&p, &cfg, Algorithm::Qr, 240, 66, 128, 2);
+        let d = choose(&p, &cfg, Algorithm::Qr, 240, 66, 128, 2).unwrap();
         assert_eq!(d.choice, Approach::Tiled);
     }
 
     #[test]
     fn single_huge_problem_goes_hybrid() {
         let (p, cfg) = setup();
-        let d = choose(&p, &cfg, Algorithm::Qr, 4096, 4096, 1, 1);
+        let d = choose(&p, &cfg, Algorithm::Qr, 4096, 4096, 1, 1).unwrap();
         assert_eq!(d.choice, Approach::Hybrid);
     }
 
     #[test]
     fn decision_exposes_the_design_space() {
         let (p, cfg) = setup();
-        let d = choose(&p, &cfg, Algorithm::Qr, 56, 56, 8000, 1);
+        let d = choose(&p, &cfg, Algorithm::Qr, 56, 56, 8000, 1).unwrap();
         assert!(d.candidates.len() >= 2);
-        let chosen = d.chosen();
+        let chosen = d.chosen().unwrap();
         for c in &d.candidates {
             assert!(chosen.time_s <= c.time_s + 1e-12);
         }

@@ -109,8 +109,8 @@ proptest! {
     ) {
         let p = ModelParams::table_iv();
         let cfg = GpuConfig::quadro_6000();
-        let d = regla_model::choose(&p, &cfg, Algorithm::Qr, n, n, batch, 1);
-        let c = d.chosen();
+        let d = regla_model::choose(&p, &cfg, Algorithm::Qr, n, n, batch, 1).unwrap();
+        let c = d.chosen().unwrap();
         prop_assert!(c.time_s.is_finite() && c.time_s > 0.0);
         prop_assert!(c.gflops.is_finite() && c.gflops > 0.0);
         for cand in &d.candidates {

@@ -23,8 +23,8 @@ fn main() {
     for &n in &sizes {
         let mut cells = Vec::new();
         for &batch in &batches {
-            let d = choose(&params, &cfg, Algorithm::Qr, n, n, batch, 1);
-            let c = d.chosen();
+            let d = choose(&params, &cfg, Algorithm::Qr, n, n, batch, 1).unwrap();
+            let c = d.chosen().unwrap();
             cells.push(format!("{} ({:.0} GF)", short(c.approach.name()), c.gflops));
         }
         println!(
@@ -42,7 +42,7 @@ fn main() {
 
     // Show the full candidate list for the paper's flagship size.
     println!("\nfull design space at 56x56, batch 5000:");
-    let d = choose(&params, &cfg, Algorithm::Qr, 56, 56, 5000, 1);
+    let d = choose(&params, &cfg, Algorithm::Qr, 56, 56, 5000, 1).unwrap();
     for c in &d.candidates {
         println!(
             "  {:28} {:>8.1} GFLOPS  ({:.3} ms){}",

@@ -28,7 +28,8 @@ fn main() {
 
     // Ask the predictive model what it would do.
     let params = ModelParams::table_iv();
-    let decision = model::choose(&params, session.config(), Algorithm::QrSolve, n, n, count, 1);
+    let decision =
+        model::choose(&params, session.config(), Algorithm::QrSolve, n, n, count, 1).unwrap();
     println!("predicted design space for {count} systems of size {n}x{n}:");
     for c in &decision.candidates {
         println!(
