@@ -8,20 +8,44 @@
 //! serde, and the schema is flat.
 //!
 //! Fault campaigns ride on the same channel: each record also drains the
-//! simulator's injected-fault count and `regla-core`'s recovery counters
+//! simulator's injected-fault count and the recovery totals experiments
+//! file via [`file_recovery`] from their `Session`/`Fleet` counters
 //! (detected / retried / fell-back / recovered / unrecovered), so
 //! `results/BENCH_sim.json` shows whether a resilience experiment left
 //! anything unrecovered.
 
-// The process-wide recovery counters are deprecated in favor of
-// per-Session totals, but the harness is a single-session-at-a-time
-// process and wants one cross-experiment drain point — exactly what the
-// shim still provides.
-#[allow(deprecated)]
-use regla_core::recovery_take;
 use regla_core::RecoveryTelemetry;
 use regla_gpu_sim::{telemetry, SimTelemetry};
 use std::sync::Mutex;
+
+// Recovery counters live on each `Session`/`Fleet` (there is no
+// process-wide shim anymore), so experiments that exercise the recovery
+// layer file their drained totals here and [`Collector::record`] folds
+// everything filed since the previous experiment into that record.
+static RECOVERY: Mutex<Option<RecoveryTelemetry>> = Mutex::new(None);
+
+/// File recovery totals drained from a `Session::take_recovery_totals` /
+/// `Fleet::take_recovery_totals` for the current experiment. Totals
+/// accumulate until the next [`Collector::record`] call drains them.
+pub fn file_recovery(t: RecoveryTelemetry) {
+    let mut g = RECOVERY.lock().unwrap();
+    let acc = g.get_or_insert_with(RecoveryTelemetry::default);
+    acc.faults_detected += t.faults_detected;
+    acc.retried += t.retried;
+    acc.fell_back += t.fell_back;
+    acc.recovered += t.recovered;
+    acc.unrecovered += t.unrecovered;
+    acc.device_failovers += t.device_failovers;
+    acc.shards_stolen += t.shards_stolen;
+    acc.deadline_misses += t.deadline_misses;
+    acc.breaker_trips += t.breaker_trips;
+    acc.cpu_degraded += t.cpu_degraded;
+}
+
+/// Drain the filed recovery totals.
+fn take_recovery() -> RecoveryTelemetry {
+    RECOVERY.lock().unwrap().take().unwrap_or_default()
+}
 
 /// One (algorithm, shape) summary row from the `model_discrepancy`
 /// experiment: how far the analytic model's per-phase cycle estimates sit
@@ -172,6 +196,52 @@ pub fn fleet_rows() -> Vec<FleetRow> {
     FLEET.lock().unwrap().clone()
 }
 
+/// One scenario row from the `serve_load` experiment: the aggregate
+/// metrics of a served open-loop campaign (see `regla_serve::ServeReport`)
+/// under one service configuration.
+#[derive(Clone, Debug)]
+pub struct ServeRow {
+    /// Scenario label (`coalesced`, `uncoalesced`, `overload`, `chaos`).
+    pub scenario: String,
+    pub offered: usize,
+    pub served: usize,
+    pub shed: usize,
+    pub request_errors: usize,
+    /// Coalesced fleet dispatches issued.
+    pub dispatches: usize,
+    pub problems: usize,
+    /// Served requests per dispatch.
+    pub coalescing: f64,
+    pub shed_rate: f64,
+    /// Request latency percentiles on the simulated clock, milliseconds.
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub p999_ms: f64,
+    /// Served requests that blew their latency budget.
+    pub late: usize,
+    /// Served problems per simulated second of makespan.
+    pub problems_per_sec: f64,
+    /// Served problems per simulated second of busy time (the coalescing
+    /// gate's capacity metric).
+    pub busy_problems_per_sec: f64,
+    /// Flattened per-device dispatch counts (`name:count; ...`).
+    pub device_dispatches: String,
+}
+
+static SERVE: Mutex<Vec<ServeRow>> = Mutex::new(Vec::new());
+
+/// File the serve experiment's scenario rows for the harness run;
+/// [`Collector::to_json`] embeds them in `results/BENCH_sim.json`.
+/// Replaces any previously filed rows (the experiment is the only writer).
+pub fn record_serve(rows: Vec<ServeRow>) {
+    *SERVE.lock().unwrap() = rows;
+}
+
+/// Snapshot of the currently filed serve rows.
+pub fn serve_rows() -> Vec<ServeRow> {
+    SERVE.lock().unwrap().clone()
+}
+
 /// One experiment's host-side cost.
 #[derive(Clone, Debug)]
 pub struct ExperimentTelemetry {
@@ -192,28 +262,28 @@ pub struct Collector {
 }
 
 impl Collector {
-    /// Start collecting; resets the simulator's and recovery counters so
-    /// the first experiment doesn't inherit earlier launches.
-    #[allow(deprecated)]
+    /// Start collecting; resets the simulator's and the filed recovery
+    /// counters so the first experiment doesn't inherit earlier launches.
     pub fn new() -> Self {
         telemetry::take();
-        recovery_take();
+        take_recovery();
         record_discrepancy(Vec::new());
         record_pipeline(Vec::new());
         record_throughput(Vec::new());
         record_fleet(Vec::new());
+        record_serve(Vec::new());
         Collector::default()
     }
 
-    /// Close out one experiment: drain the simulator and recovery counters
-    /// accumulated since the previous call and file them under `id`.
-    #[allow(deprecated)]
+    /// Close out one experiment: drain the simulator counters and the
+    /// recovery totals filed via [`file_recovery`] since the previous
+    /// call, and file them under `id`.
     pub fn record(&mut self, id: &str, wall_s: f64) -> &ExperimentTelemetry {
         self.records.push(ExperimentTelemetry {
             id: id.to_string(),
             wall_s,
             sim: telemetry::take(),
-            recovery: recovery_take(),
+            recovery: take_recovery(),
         });
         self.records.last().unwrap()
     }
@@ -374,6 +444,37 @@ impl Collector {
                 if i + 1 < rows.len() { "," } else { "" },
             ));
         }
+        s.push_str("  ],\n  \"serve\": [\n");
+        let rows = serve_rows();
+        for (i, r) in rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"scenario\": \"{}\", \"offered\": {}, \"served\": {}, \
+                 \"shed\": {}, \"request_errors\": {}, \"dispatches\": {}, \
+                 \"problems\": {}, \"coalescing\": {:.2}, \
+                 \"shed_rate\": {:.4}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \
+                 \"p999_ms\": {:.4}, \"late\": {}, \
+                 \"problems_per_sec\": {:.1}, \
+                 \"busy_problems_per_sec\": {:.1}, \
+                 \"device_dispatches\": \"{}\"}}{}\n",
+                escape(&r.scenario),
+                r.offered,
+                r.served,
+                r.shed,
+                r.request_errors,
+                r.dispatches,
+                r.problems,
+                r.coalescing,
+                r.shed_rate,
+                r.p50_ms,
+                r.p99_ms,
+                r.p999_ms,
+                r.late,
+                r.problems_per_sec,
+                r.busy_problems_per_sec,
+                escape(&r.device_dispatches),
+                if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
         s.push_str("  ]\n}\n");
         s
     }
@@ -499,6 +600,39 @@ mod tests {
         assert!(j.contains("\"device_failovers\""));
         assert!(j.contains("\"cpu_degraded\""));
         record_fleet(Vec::new());
+    }
+
+    #[test]
+    fn serve_rows_land_in_the_json() {
+        let _g = TEST_LOCK.lock().unwrap();
+        let mut c = Collector::new();
+        c.record("serve_load", 0.3);
+        record_serve(vec![ServeRow {
+            scenario: "coalesced".into(),
+            offered: 400,
+            served: 398,
+            shed: 2,
+            request_errors: 0,
+            dispatches: 40,
+            problems: 25000,
+            coalescing: 9.95,
+            shed_rate: 0.005,
+            p50_ms: 1.25,
+            p99_ms: 4.5,
+            p999_ms: 6.0,
+            late: 3,
+            problems_per_sec: 120000.0,
+            busy_problems_per_sec: 300000.0,
+            device_dispatches: "quadro:25; gt200:15".into(),
+        }]);
+        let j = c.to_json();
+        assert!(j.contains("\"serve\": ["));
+        assert!(j.contains("\"scenario\": \"coalesced\""));
+        assert!(j.contains("\"coalescing\": 9.95"));
+        assert!(j.contains("\"p99_ms\": 4.5000"));
+        assert!(j.contains("\"busy_problems_per_sec\": 300000.0"));
+        assert!(j.contains("\"device_dispatches\": \"quadro:25; gt200:15\""));
+        record_serve(Vec::new());
     }
 
     #[test]

@@ -69,9 +69,12 @@ pub fn run_chaos_campaign(op: Op, n: usize, count: usize, seed: u64) -> ChaosOut
     let a = f32_batch(n, n, count, true, seed ^ 0x000C_4A05);
     let b = op.needs_rhs().then(|| f32_batch(n, 1, count, false, seed ^ 0xB0_07));
     let once = || {
-        campaign_fleet(seed)
+        let fleet = campaign_fleet(seed);
+        let run = fleet
             .run(op, &a, b.as_ref())
-            .expect("chaos campaign batch is valid")
+            .expect("chaos campaign batch is valid");
+        crate::bench_telemetry::file_recovery(fleet.take_recovery_totals());
+        run
     };
     let run = once();
     let rerun = once();

@@ -9,6 +9,7 @@ pub mod figures;
 pub mod pipeline;
 pub mod resilience;
 pub mod sanitize;
+pub mod serve;
 pub mod tables;
 pub mod throughput;
 
@@ -20,6 +21,7 @@ pub use figures::*;
 pub use pipeline::*;
 pub use resilience::*;
 pub use sanitize::*;
+pub use serve::*;
 pub use tables::*;
 pub use throughput::*;
 
@@ -112,5 +114,10 @@ pub const ALL: &[(&str, &str, Runner)] = &[
         "sim_throughput",
         "Fast path — simulator throughput vs instrumented slow path",
         throughput::sim_throughput,
+    ),
+    (
+        "serve_load",
+        "Serving — admission control and micro-batching under load",
+        serve::serve_load,
     ),
 ];

@@ -99,6 +99,7 @@ pub fn run_campaign(
     let reproducible = bits(&run.out) == bits(&rerun.out)
         && run.status == rerun.status
         && run.recovery == rerun.recovery;
+    crate::bench_telemetry::file_recovery(session.take_recovery_totals());
 
     CampaignOutcome {
         injected: run.stats.launches.iter().map(|l| l.faults.len()).sum(),

@@ -20,8 +20,8 @@ use crate::per_block::{
 use crate::per_thread::{PerThreadKernel, PtAlg};
 use crate::scalar::Scalar;
 use crate::profile::ProfileReport;
-use crate::status::{record_recovery, ProblemStatus, RecoveryPolicy, RecoveryStats};
-use crate::tiled::{tiled_qr, MultiLaunch, TiledOpts};
+use crate::status::{ProblemStatus, RecoveryPolicy, RecoveryStats};
+use crate::tiled::{tiled_qr, MultiLaunch};
 use regla_gpu_sim::{
     ExecMode, FaultPlan, GlobalMemory, Gpu, LaunchConfig, MathMode, Profiler, SanitizerMode,
     SanitizerReport,
@@ -97,6 +97,9 @@ pub struct RunOpts {
     /// chaos knob modeling a stalled stream). Functional results are
     /// unaffected; only modeled timing moves.
     pub stall_cycles: u64,
+    /// Target row-block height of the TSQR first stage (`0` resolves it
+    /// per matrix: twice the column count).
+    pub tsqr_block_rows: usize,
 }
 
 impl Default for RunOpts {
@@ -119,6 +122,7 @@ impl Default for RunOpts {
             slow_path: false,
             deadline_cycles: None,
             stall_cycles: 0,
+            tsqr_block_rows: 0,
         }
     }
 }
@@ -128,6 +132,21 @@ impl RunOpts {
     /// crate) to construct a non-default [`RunOpts`].
     pub fn builder() -> RunOptsBuilder {
         RunOptsBuilder::default()
+    }
+
+    /// Apply the observability and execution knobs every launch of a run
+    /// shares — math mode, exec mode, host threads, trace sink, sanitizer,
+    /// watchdog, slow path — to a launch config. This is the single place
+    /// the observability config fans out to launches; call sites chain the
+    /// path-specific extras (fault plan, deadline, stall) on top.
+    pub(crate) fn apply_observability(&self, lc: LaunchConfig) -> LaunchConfig {
+        lc.math(self.math)
+            .exec(self.exec)
+            .host_threads(self.host_threads)
+            .trace(self.trace.clone())
+            .sanitizer(self.sanitizer)
+            .watchdog(self.watchdog)
+            .slow_path(self.slow_path)
     }
 }
 
@@ -249,6 +268,13 @@ impl RunOptsBuilder {
     /// [`RunOpts::stall_cycles`]).
     pub fn stall_cycles(mut self, v: u64) -> Self {
         self.opts.stall_cycles = v;
+        self
+    }
+
+    /// Target TSQR first-stage row-block height (see
+    /// [`RunOpts::tsqr_block_rows`]).
+    pub fn tsqr_block_rows(mut self, v: usize) -> Self {
+        self.opts.tsqr_block_rows = v;
         self
     }
 
@@ -550,18 +576,14 @@ fn run_inplace<T: DeviceScalar>(
                 aug,
                 tpb,
             );
-            let lc = LaunchConfig::new(count.div_ceil(tpb), tpb)
-                .regs(kern.regs_per_thread())
-                .shared_words(0)
-                .math(opts.math)
-                .exec(opts.exec)
-                .host_threads(opts.host_threads)
+            let lc = opts
+                .apply_observability(
+                    LaunchConfig::new(count.div_ceil(tpb), tpb)
+                        .regs(kern.regs_per_thread())
+                        .shared_words(0),
+                )
                 .fault(opts.fault)
                 .name(launch_name(alg, m, cols, approach))
-                .trace(opts.trace.clone())
-                .sanitizer(opts.sanitizer)
-                .watchdog(opts.watchdog)
-                .slow_path(opts.slow_path)
                 .deadline_cycles(opts.deadline_cycles)
                 .stall_cycles(opts.stall_cycles)
                 .schedule_key(key);
@@ -622,18 +644,10 @@ fn run_inplace<T: DeviceScalar>(
                 aug,
                 1,
             );
-            let lc = LaunchConfig::new(count, lm.p)
-                .regs(regs)
-                .shared_words(shared_words)
-                .math(opts.math)
-                .exec(opts.exec)
-                .host_threads(opts.host_threads)
+            let lc = opts
+                .apply_observability(LaunchConfig::new(count, lm.p).regs(regs).shared_words(shared_words))
                 .fault(opts.fault)
                 .name(launch_name(alg, m, cols, approach))
-                .trace(opts.trace.clone())
-                .sanitizer(opts.sanitizer)
-                .watchdog(opts.watchdog)
-                .slow_path(opts.slow_path)
                 .deadline_cycles(opts.deadline_cycles)
                 .stall_cycles(opts.stall_cycles)
                 .schedule_key(key);
@@ -650,20 +664,7 @@ fn run_inplace<T: DeviceScalar>(
                     "tiled QR needs a tall system, got {m} rows for {nfac} factored columns"
                 )));
             }
-            let topts = TiledOpts {
-                panel: opts.panel,
-                math: opts.math,
-                exec: opts.exec,
-                host_threads: opts.host_threads,
-                fault: opts.fault,
-                trace: opts.trace.clone(),
-                sanitizer: opts.sanitizer,
-                watchdog: opts.watchdog,
-                slow_path: opts.slow_path,
-                deadline_cycles: opts.deadline_cycles,
-                stall_cycles: opts.stall_cycles,
-            };
-            let agg = tiled_qr::<T::Dev>(gpu, &mut gmem, view, m, nfac, rhs, count, d_tau, topts)?;
+            let agg = tiled_qr::<T::Dev>(gpu, &mut gmem, view, m, nfac, rhs, count, d_tau, opts)?;
             for l in agg.launches {
                 stats.push(l);
             }
@@ -885,7 +886,6 @@ fn run_recovered<T: DeviceScalar>(
         .count();
     rec.unrecovered = failed.len();
     l.stats.recovery = rec;
-    record_recovery(&rec);
     Ok((l, rec))
 }
 
@@ -919,7 +919,7 @@ fn into_run<T>(l: Launched<T>, rec: RecoveryStats, approach: Approach, taus: boo
 }
 
 /// Batched in-place Householder QR — implementation behind
-/// [`crate::Session::qr`] and the deprecated [`qr_batch`].
+/// [`crate::Session::qr`].
 pub(crate) fn qr_run<T: DeviceScalar>(
     gpu: &Gpu,
     params: &ModelParams,
@@ -950,83 +950,6 @@ pub(crate) fn lu_run<T: DeviceScalar>(
     Ok(into_run(l, rec, approach, false))
 }
 
-/// Batched in-place Householder QR (R above the diagonal, reflectors
-/// below), dispatched across the paper's approaches.
-#[deprecated(note = "use regla_core::Session: Session::with_config(gpu.cfg.clone()).qr(&a)")]
-pub fn qr_batch<T: DeviceScalar>(
-    gpu: &Gpu,
-    a: &MatBatch<T>,
-    opts: &RunOpts,
-) -> Result<BatchRun<T>, ReglaError> {
-    one_shot(gpu, opts).qr(a)
-}
-
-/// Batched in-place LU without pivoting.
-#[deprecated(note = "use regla_core::Session: Session::with_config(gpu.cfg.clone()).lu(&a)")]
-pub fn lu_batch<T: DeviceScalar>(
-    gpu: &Gpu,
-    a: &MatBatch<T>,
-    opts: &RunOpts,
-) -> Result<BatchRun<T>, ReglaError> {
-    one_shot(gpu, opts).lu(a)
-}
-
-/// Batched Gauss-Jordan solve of `A x = b` (no pivoting). `out` is the
-/// reduced augmented system; `solution()` extracts x.
-#[deprecated(note = "use regla_core::Session::gj_solve")]
-pub fn gj_solve_batch<T: DeviceScalar>(
-    gpu: &Gpu,
-    a: &MatBatch<T>,
-    b: &MatBatch<T>,
-    opts: &RunOpts,
-) -> Result<BatchRun<T>, ReglaError> {
-    one_shot(gpu, opts).gj_solve(a, b)
-}
-
-/// Batched linear solve via QR: factor `[A|b]`, then eliminate R
-/// (Figure 12's "Solving Linear Systems with QR").
-#[deprecated(note = "use regla_core::Session::qr_solve")]
-pub fn qr_solve_batch<T: DeviceScalar>(
-    gpu: &Gpu,
-    a: &MatBatch<T>,
-    b: &MatBatch<T>,
-    opts: &RunOpts,
-) -> Result<BatchRun<T>, ReglaError> {
-    validate_opts(opts)?;
-    validate_batch(a)?;
-    validate_square(a)?;
-    validate_rhs(a, b)?;
-    if b.cols() != 1 {
-        return Err(ReglaError::DimensionMismatch(
-            "qr_solve_batch takes a single right-hand side; use qr_solve_multi".into(),
-        ));
-    }
-    one_shot(gpu, opts).qr_solve(a, b)
-}
-
-/// One-shot [`crate::Session`] for the deprecated free-function wrappers:
-/// same config, the caller's options as the session defaults.
-fn one_shot(gpu: &Gpu, opts: &RunOpts) -> crate::Session {
-    crate::Session::builder()
-        .config(gpu.cfg.clone())
-        .opts(opts.clone())
-        .build()
-}
-
-/// Batched least squares `min ‖Ax − b‖` for tall A via QR of `[A|b]`.
-/// Uses the per-block kernel when the problem fits, the tiled path
-/// otherwise (with the final triangular solve on the host, as the radar
-/// pipeline does).
-#[deprecated(note = "use regla_core::Session::least_squares")]
-pub fn least_squares_batch<T: DeviceScalar>(
-    gpu: &Gpu,
-    a: &MatBatch<T>,
-    b: &MatBatch<T>,
-    opts: &RunOpts,
-) -> Result<(BatchRun<T>, MatBatch<T>), ReglaError> {
-    one_shot(gpu, opts).least_squares(a, b)
-}
-
 /// Implementation behind [`crate::Session::least_squares`].
 pub(crate) fn least_squares_run<T: DeviceScalar>(
     gpu: &Gpu,
@@ -1046,7 +969,7 @@ pub(crate) fn least_squares_run<T: DeviceScalar>(
     validate_rhs(a, b)?;
     if b.cols() != 1 {
         return Err(ReglaError::DimensionMismatch(
-            "least_squares_batch takes a single right-hand side".into(),
+            "least_squares takes a single right-hand side".into(),
         ));
     }
     let aug = MatBatch::augment(a, b);
@@ -1076,20 +999,9 @@ pub(crate) fn least_squares_run<T: DeviceScalar>(
     }
 }
 
-/// Batched GEMM `C = A·B` with one problem per block. GEMM has no failure
+/// Implementation behind [`crate::Session::gemm`]. GEMM has no failure
 /// modes of its own, so fault injection and recovery do not apply; the
 /// statuses still screen for non-finite results from non-finite inputs.
-#[deprecated(note = "use regla_core::Session::gemm")]
-pub fn gemm_batch<T: DeviceScalar>(
-    gpu: &Gpu,
-    a: &MatBatch<T>,
-    b: &MatBatch<T>,
-    opts: &RunOpts,
-) -> Result<BatchRun<T>, ReglaError> {
-    one_shot(gpu, opts).gemm(a, b)
-}
-
-/// Implementation behind [`crate::Session::gemm`].
 pub(crate) fn gemm_run<T: DeviceScalar>(
     gpu: &Gpu,
     a: &MatBatch<T>,
@@ -1135,17 +1047,13 @@ pub(crate) fn gemm_run<T: DeviceScalar>(
     // GEMM's control flow is data-independent, so shape alone identifies
     // its schedule — no input digest needed.
     let key = fnv1a(0x03, &[m as u64, kdim as u64, n as u64, ew as u64]);
-    let lc = LaunchConfig::new(count, lm.p)
-        .regs(lm.local_len() * ew + 14)
-        .shared_words(kern.shared_words())
-        .math(opts.math)
-        .exec(opts.exec)
-        .host_threads(opts.host_threads)
+    let lc = opts
+        .apply_observability(
+            LaunchConfig::new(count, lm.p)
+                .regs(lm.local_len() * ew + 14)
+                .shared_words(kern.shared_words()),
+        )
         .name(format!("gemm {m}x{kdim}x{n} per-block"))
-        .trace(opts.trace.clone())
-        .sanitizer(opts.sanitizer)
-        .watchdog(opts.watchdog)
-        .slow_path(opts.slow_path)
         .deadline_cycles(opts.deadline_cycles)
         .stall_cycles(opts.stall_cycles)
         .schedule_key(key);
@@ -1175,29 +1083,18 @@ pub(crate) fn gemm_run<T: DeviceScalar>(
     })
 }
 
-/// Batched least squares via TSQR (communication-avoiding tall-skinny QR;
-/// extension — see `tiled::tsqr`): factors the row blocks independently
-/// and combines R factors in a tree, then back-substitutes on the host.
-/// Preferred over the sequential tiled path when the batch is too small
-/// to fill the chip.
-#[deprecated(note = "use regla_core::Session::tsqr_least_squares")]
-pub fn tsqr_least_squares<T: DeviceScalar>(
-    gpu: &Gpu,
-    a: &MatBatch<T>,
-    b: &MatBatch<T>,
-    opts: &RunOpts,
-) -> Result<(MatBatch<T>, crate::tiled::MultiLaunch), ReglaError> {
-    one_shot(gpu, opts).tsqr_least_squares(a, b)
-}
-
-/// Implementation behind [`crate::Session::tsqr_least_squares`].
+/// Implementation behind [`crate::Session::tsqr_least_squares`]
+/// (communication-avoiding tall-skinny QR; extension — see `tiled::tsqr`):
+/// factors the row blocks independently and combines R factors in a tree,
+/// then back-substitutes on the host. Preferred over the sequential tiled
+/// path when the batch is too small to fill the chip.
 pub(crate) fn tsqr_run<T: DeviceScalar>(
     gpu: &Gpu,
     a: &MatBatch<T>,
     b: &MatBatch<T>,
     opts: &RunOpts,
 ) -> Result<(MatBatch<T>, crate::tiled::MultiLaunch), ReglaError> {
-    use crate::tiled::tsqr::{tsqr, TsqrOpts};
+    use crate::tiled::tsqr::tsqr;
     validate_opts(opts)?;
     validate_batch(a)?;
     let (m, n, count) = (a.rows(), a.cols(), a.count());
@@ -1217,17 +1114,7 @@ pub(crate) fn tsqr_run<T: DeviceScalar>(
     let mut gmem = device_for(&aug, 4 * aug.words_per_mat() * count);
     let ptr = aug.to_device(&mut gmem);
     let view = SubMat::whole(ptr, m, n + 1);
-    let topts = TsqrOpts {
-        math: opts.math,
-        exec: opts.exec,
-        host_threads: opts.host_threads,
-        trace: opts.trace.clone(),
-        sanitizer: opts.sanitizer,
-        watchdog: opts.watchdog,
-        slow_path: opts.slow_path,
-        ..Default::default()
-    };
-    let (rptr, stats) = tsqr::<T::Dev>(gpu, &mut gmem, view, m, n, 1, count, topts)?;
+    let (rptr, stats) = tsqr::<T::Dev>(gpu, &mut gmem, view, m, n, 1, count, opts)?;
     let compact = MatBatch::<T>::from_device(n, n + 1, count, &gmem, rptr);
     let mut x = MatBatch::zeros(n, 1, count);
     for k in 0..count {
@@ -1241,20 +1128,10 @@ pub(crate) fn tsqr_run<T: DeviceScalar>(
     Ok((x, stats))
 }
 
-/// Batched Cholesky factorization of SPD / Hermitian-positive-definite
-/// matrices (extension beyond the paper's four algorithms): L overwrites
-/// the lower triangle; `status[k]` reports `ZeroPivot` when problem k is
-/// not positive definite.
-#[deprecated(note = "use regla_core::Session::cholesky")]
-pub fn cholesky_batch<T: DeviceScalar>(
-    gpu: &Gpu,
-    a: &MatBatch<T>,
-    opts: &RunOpts,
-) -> Result<BatchRun<T>, ReglaError> {
-    one_shot(gpu, opts).cholesky(a)
-}
-
-/// Implementation behind [`crate::Session::cholesky`].
+/// Implementation behind [`crate::Session::cholesky`] (extension beyond
+/// the paper's four algorithms): L overwrites the lower triangle;
+/// `status[k]` reports `ZeroPivot` when problem k is not positive
+/// definite.
 pub(crate) fn cholesky_run<T: DeviceScalar>(
     gpu: &Gpu,
     params: &ModelParams,
@@ -1272,19 +1149,10 @@ pub(crate) fn cholesky_run<T: DeviceScalar>(
     Ok(into_run(l, rec, approach, false))
 }
 
-/// Batched matrix inversion by Gauss-Jordan reduction of `[A | I]`
-/// (no pivoting; intended for diagonally dominant / well-conditioned
-/// batches, like the paper's solver benchmarks). Returns the inverses.
-#[deprecated(note = "use regla_core::Session::invert")]
-pub fn invert_batch<T: DeviceScalar>(
-    gpu: &Gpu,
-    a: &MatBatch<T>,
-    opts: &RunOpts,
-) -> Result<(MatBatch<T>, BatchRun<T>), ReglaError> {
-    one_shot(gpu, opts).invert(a)
-}
-
-/// Implementation behind [`crate::Session::invert`].
+/// Implementation behind [`crate::Session::invert`]: batched matrix
+/// inversion by Gauss-Jordan reduction of `[A | I]` (no pivoting; intended
+/// for diagonally dominant / well-conditioned batches, like the paper's
+/// solver benchmarks). Returns the inverses.
 pub(crate) fn invert_run<T: DeviceScalar>(
     gpu: &Gpu,
     params: &ModelParams,
@@ -1333,30 +1201,6 @@ pub(crate) fn solve_multi_driver<T: DeviceScalar>(
     };
     let (l, rec) = run_recovered(gpu, params, &aug, a.cols(), alg, approach, opts, back_substitute)?;
     Ok(into_run(l, rec, approach, false))
-}
-
-/// Batched QR solve with multiple right-hand sides: factor `[A | B]`
-/// carrying every column of B, then back-substitute each one.
-#[deprecated(note = "use regla_core::Session::qr_solve (handles any rhs width)")]
-pub fn qr_solve_multi<T: DeviceScalar>(
-    gpu: &Gpu,
-    a: &MatBatch<T>,
-    b: &MatBatch<T>,
-    opts: &RunOpts,
-) -> Result<BatchRun<T>, ReglaError> {
-    one_shot(gpu, opts).qr_solve(a, b)
-}
-
-/// Batched Gauss-Jordan with multiple right-hand sides: reduces
-/// `[A | B]` so the trailing columns hold `A^-1 B`.
-#[deprecated(note = "use regla_core::Session::gj_solve (handles any rhs width)")]
-pub fn gj_solve_multi<T: DeviceScalar>(
-    gpu: &Gpu,
-    a: &MatBatch<T>,
-    b: &MatBatch<T>,
-    opts: &RunOpts,
-) -> Result<BatchRun<T>, ReglaError> {
-    one_shot(gpu, opts).gj_solve(a, b)
 }
 
 #[cfg(test)]

@@ -402,13 +402,42 @@ impl FleetBuilder {
                 "fleet has no devices; add at least one GpuConfig".into(),
             ));
         }
+        // Degenerate configs used to slip through and only blow up later
+        // inside sharding or clock arithmetic; reject them here with a
+        // structured error instead.
+        for (i, cfg) in self.devices.iter().enumerate() {
+            if cfg.num_sms == 0 || cfg.fpus_per_sm == 0 || cfg.warp_size == 0 {
+                return Err(ReglaError::InvalidConfig(format!(
+                    "fleet device {i} ({}) has zero throughput \
+                     (num_sms={}, fpus_per_sm={}, warp_size={})",
+                    cfg.name, cfg.num_sms, cfg.fpus_per_sm, cfg.warp_size,
+                )));
+            }
+            if !cfg.core_clock_ghz.is_finite() || cfg.core_clock_ghz <= 0.0 {
+                return Err(ReglaError::InvalidConfig(format!(
+                    "fleet device {i} ({}) has a non-positive core clock \
+                     ({} GHz); the simulated clock cannot advance",
+                    cfg.name, cfg.core_clock_ghz,
+                )));
+            }
+        }
         let mut policy = self.policy;
         policy.chunks_per_device = policy.chunks_per_device.max(1);
+        // Fleets of identical hardware are legal; disambiguate repeated
+        // config names deterministically so reports and per-device
+        // telemetry stay unambiguous ("quadro-6000", "quadro-6000#1", …).
+        let mut seen: std::collections::HashMap<&'static str, usize> = std::collections::HashMap::new();
         let devices: Vec<FleetDevice> = self
             .devices
             .into_iter()
             .map(|cfg| {
-                let name = cfg.name.to_string();
+                let dup = seen.entry(cfg.name).or_insert(0);
+                let name = if *dup == 0 {
+                    cfg.name.to_string()
+                } else {
+                    format!("{}#{dup}", cfg.name)
+                };
+                *dup += 1;
                 FleetDevice {
                     session: Session::builder().config(cfg).build(),
                     name,
@@ -544,6 +573,34 @@ impl Fleet {
         self.devices.iter().map(|d| &d.session)
     }
 
+    /// Device names, in fleet index order (duplicated configs are
+    /// disambiguated with a `#k` suffix at build time).
+    pub fn device_names(&self) -> Vec<String> {
+        self.devices.iter().map(|d| d.name.clone()).collect()
+    }
+
+    /// Each device's simulated clock, in seconds, as of the last
+    /// completed run (clocks persist across runs).
+    pub fn device_clocks(&self) -> Vec<f64> {
+        self.runtime
+            .lock()
+            .expect("fleet runtime lock poisoned")
+            .iter()
+            .map(|s| s.clock_s)
+            .collect()
+    }
+
+    /// Cumulative dispatch count per device (the index chaos events key
+    /// on), as of the last completed run.
+    pub fn device_dispatches(&self) -> Vec<usize> {
+        self.runtime
+            .lock()
+            .expect("fleet runtime lock poisoned")
+            .iter()
+            .map(|s| s.dispatches)
+            .collect()
+    }
+
     /// Cumulative recovery totals across every fleet run (the fleet's
     /// own counter cell — device sessions also keep theirs).
     pub fn recovery_totals(&self) -> RecoveryTelemetry {
@@ -639,6 +696,21 @@ impl Fleet {
         op: Op,
         a: &MatBatch<T>,
         b: Option<&MatBatch<T>>,
+    ) -> Result<FleetRun<T>, ReglaError> {
+        self.run_with(op, a, b, &self.opts)
+    }
+
+    /// [`Fleet::run`] with per-call options overriding the fleet's base
+    /// [`RunOpts`] (the fleet still layers its own deadline / stall /
+    /// fault knobs on top per dispatch). This is the submission surface
+    /// the serving layer uses to carry request-level math/exec settings
+    /// through a shared fleet.
+    pub fn run_with<T: DeviceScalar>(
+        &self,
+        op: Op,
+        a: &MatBatch<T>,
+        b: Option<&MatBatch<T>>,
+        opts: &RunOpts,
     ) -> Result<FleetRun<T>, ReglaError> {
         let count = a.count();
         if count == 0 {
@@ -752,7 +824,7 @@ impl Fleet {
                 // A dead device rejects the launch without running it.
                 Err(ReglaError::Launch(LaunchError::DeviceLost { device: dev }))
             } else {
-                let mut o = self.opts.clone();
+                let mut o = opts.clone();
                 o.deadline_cycles = budget;
                 if let Some(plan) = &self.chaos {
                     o.stall_cycles += plan.stall(dev, launch_idx);
@@ -1044,6 +1116,50 @@ mod tests {
         let err = Fleet::builder().build().unwrap_err();
         assert!(matches!(err, ReglaError::FleetUnavailable(_)));
         assert!(err.to_string().contains("no devices"));
+    }
+
+    #[test]
+    fn zero_throughput_device_is_rejected_at_build() {
+        let mut cfg = GpuConfig::quadro_6000();
+        cfg.num_sms = 0;
+        let err = Fleet::builder().device(cfg).build().unwrap_err();
+        assert!(matches!(err, ReglaError::InvalidConfig(_)), "{err}");
+        assert!(err.to_string().contains("zero throughput"), "{err}");
+    }
+
+    #[test]
+    fn non_positive_clock_is_rejected_at_build() {
+        for bad in [0.0, -1.2, f64::NAN] {
+            let mut cfg = GpuConfig::gt200();
+            cfg.core_clock_ghz = bad;
+            let err = Fleet::builder()
+                .device(GpuConfig::quadro_6000())
+                .device(cfg)
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, ReglaError::InvalidConfig(_)), "{err}");
+            assert!(err.to_string().contains("device 1"), "{err}");
+        }
+    }
+
+    #[test]
+    fn duplicate_device_configs_stay_legal_and_get_distinct_names() {
+        let fleet = Fleet::builder()
+            .device(GpuConfig::quadro_6000())
+            .device(GpuConfig::quadro_6000())
+            .device(GpuConfig::quadro_6000())
+            .build()
+            .unwrap();
+        let names = fleet.device_names();
+        assert_eq!(names.len(), 3);
+        assert_eq!(names[0], GpuConfig::quadro_6000().name);
+        assert_eq!(names[1], format!("{}#1", names[0]));
+        assert_eq!(names[2], format!("{}#2", names[0]));
+        // Homogeneous twins still run and agree with a single session.
+        let a = dd_batch(6, 40);
+        let run = fleet.run(Op::Lu, &a, None).unwrap();
+        let sref = Session::new().run(Op::Lu, &a, None).unwrap();
+        assert_eq!(run.output.run.out.data(), sref.run.out.data());
     }
 
     #[test]

@@ -60,12 +60,6 @@ pub mod session;
 pub mod status;
 pub mod tiled;
 
-#[allow(deprecated)]
-pub use api::{
-    cholesky_batch, gemm_batch, gj_solve_batch, gj_solve_multi, invert_batch, qr_solve_multi,
-    least_squares_batch, lu_batch, tsqr_least_squares,
-    qr_batch, qr_solve_batch,
-};
 pub use api::{BatchRun, RunOpts, RunOptsBuilder};
 pub use session::{Op, OpOutput, Session, SessionBuilder};
 pub use pipeline::{PipelineOpts, PipelinedRun};
@@ -76,12 +70,10 @@ pub use error::ReglaError;
 pub use layout::{Layout, LayoutMap};
 pub use matrix::Mat;
 pub use scalar::{Scalar, C32};
-#[allow(deprecated)]
-pub use status::{recovery_snapshot, recovery_take};
 pub use status::{ProblemStatus, RecoveryPolicy, RecoveryStats, RecoveryTelemetry};
 pub use fleet::{
     BreakerPolicy, BreakerState, ChaosEvent, ChaosPlan, DeviceReport, Fleet, FleetBuilder,
     FleetPolicy, FleetReport, FleetRun,
 };
 pub use global_level::{global_level_qr, GlobalLevelOpts};
-pub use tiled::{MultiLaunch, TiledOpts};
+pub use tiled::MultiLaunch;

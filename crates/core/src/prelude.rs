@@ -1,17 +1,12 @@
 //! One-line import for the batch solver API:
 //! `use regla_core::prelude::*;`
 //!
-//! Brings in the batch entry points, the [`RunOpts`] builder, the
-//! container types, and the handful of simulator/model enums every
+//! Brings in the [`Session`]/[`Fleet`] entry points, the [`RunOpts`]
+//! builder, the container types, and the handful of simulator/model enums every
 //! driver program ends up naming (`Gpu`, `MathMode`, `ExecMode`,
 //! `Approach`, `Layout`). Deliberately small: per-kernel plumbing and
 //! the tiled/TSQR internals stay behind their modules.
 
-#[allow(deprecated)]
-pub use crate::api::{
-    cholesky_batch, gemm_batch, gj_solve_batch, gj_solve_multi, invert_batch, least_squares_batch,
-    lu_batch, qr_batch, qr_solve_batch, qr_solve_multi, tsqr_least_squares,
-};
 pub use crate::api::{BatchRun, RunOpts, RunOptsBuilder};
 pub use crate::session::{Op, OpOutput, Session, SessionBuilder};
 pub use crate::fleet::{

@@ -86,6 +86,14 @@ impl Op {
             Op::GjSolve | Op::QrSolve | Op::LeastSquares | Op::Gemm
         )
     }
+
+    /// The predictive-model algorithm this operation is priced as, or
+    /// `None` for operations the model has no estimate for (GEMM). This
+    /// is what fleets and serving layers use to derive deadline budgets,
+    /// admission prices and flush targets.
+    pub fn model_algorithm(&self) -> Option<regla_model::Algorithm> {
+        crate::pipeline::model_alg(*self)
+    }
 }
 
 /// Result of [`Session::run`]: the batch run plus, for the operations that
@@ -104,6 +112,54 @@ impl<T> OpOutput<T> {
             run,
             solution: None,
         }
+    }
+}
+
+impl<T: crate::scalar::Scalar> OpOutput<T> {
+    /// Split a coalesced output back into per-request outputs: `lens[i]`
+    /// problems each, in order, covering the whole batch. The de-interleave
+    /// step of a serving front-end — every per-problem artifact (`out`,
+    /// `taus`, `status`, `solution`) is sliced problem-wise, so each piece
+    /// is bit-identical to running that request's problems alone (the
+    /// kernels are batch-size-independent per problem).
+    ///
+    /// Aggregate run artifacts (launch stats, recovery, profile, sanitizer)
+    /// describe the coalesced dispatch and are not divisible; each split
+    /// piece carries empty aggregates.
+    pub fn split_problems(&self, lens: &[usize]) -> Vec<OpOutput<T>> {
+        let total: usize = lens.iter().sum();
+        assert_eq!(
+            total,
+            self.run.out.count(),
+            "split lengths must cover the whole batch"
+        );
+        let mut start = 0;
+        lens.iter()
+            .map(|&len| {
+                let piece = OpOutput {
+                    run: BatchRun {
+                        out: self.run.out.slice_problems(start, len),
+                        approach: self.run.approach,
+                        stats: MultiLaunch::default(),
+                        taus: self
+                            .run
+                            .taus
+                            .as_ref()
+                            .map(|t| t.slice_problems(start, len)),
+                        status: self.run.status[start..start + len].to_vec(),
+                        recovery: crate::status::RecoveryStats::default(),
+                        profile: None,
+                        sanitizer: None,
+                    },
+                    solution: self
+                        .solution
+                        .as_ref()
+                        .map(|s| s.slice_problems(start, len)),
+                };
+                start += len;
+                piece
+            })
+            .collect()
     }
 }
 
@@ -211,9 +267,9 @@ impl Session {
     }
 
     /// Cumulative recovery totals for every run made through *this*
-    /// session (and its clones), without resetting them. Unlike the
-    /// deprecated process-wide [`crate::recovery_snapshot`], concurrent
-    /// sessions do not smear each other's numbers.
+    /// session (and its clones), without resetting them. The counters are
+    /// per-session, so concurrent sessions do not smear each other's
+    /// numbers.
     pub fn recovery_totals(&self) -> RecoveryTelemetry {
         self.counters.snapshot()
     }

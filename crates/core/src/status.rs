@@ -121,8 +121,8 @@ impl RecoveryStats {
 }
 
 /// Monotonic recovery counters: one instance per [`crate::Session`] (and
-/// per fleet), plus one process-wide instance backing the deprecated
-/// free-function reads.
+/// per fleet), read via `Session::recovery_totals` /
+/// `Fleet::recovery_totals`.
 #[derive(Debug)]
 pub(crate) struct RecoveryCounters {
     faults_detected: AtomicU64,
@@ -203,17 +203,6 @@ impl Default for RecoveryCounters {
     }
 }
 
-// Process-wide recovery counters, mirrored after every recovered run.
-// Deprecated data source: concurrent Sessions smear each other's campaign
-// numbers here; the per-Session counters (`Session::recovery_totals`)
-// are the replacement. Kept so existing harness code keeps reading
-// sensible totals in single-Session processes.
-static GLOBAL: RecoveryCounters = RecoveryCounters::new();
-
-pub(crate) fn record_recovery(s: &RecoveryStats) {
-    GLOBAL.record(s);
-}
-
 /// Cumulative recovery totals (a [`RecoveryStats`] summed over many runs).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RecoveryTelemetry {
@@ -227,27 +216,6 @@ pub struct RecoveryTelemetry {
     pub deadline_misses: u64,
     pub breaker_trips: u64,
     pub cpu_degraded: u64,
-}
-
-/// Read the process-wide recovery counters without resetting them.
-#[deprecated(
-    since = "0.1.0",
-    note = "process-wide counters smear concurrent Sessions; \
-            use Session::recovery_totals instead"
-)]
-pub fn recovery_snapshot() -> RecoveryTelemetry {
-    GLOBAL.snapshot()
-}
-
-/// Read and reset the process-wide recovery counters (one experiment's
-/// worth of runs).
-#[deprecated(
-    since = "0.1.0",
-    note = "process-wide counters smear concurrent Sessions; \
-            use Session::take_recovery_totals instead"
-)]
-pub fn recovery_take() -> RecoveryTelemetry {
-    GLOBAL.take()
 }
 
 #[cfg(test)]

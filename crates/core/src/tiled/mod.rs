@@ -14,17 +14,15 @@
 
 pub mod tsqr;
 
+use crate::api::RunOpts;
 use crate::elem::Elem;
 use crate::layout::{Layout, LayoutMap};
 use crate::per_block::{QrApplyKernel, QrBlockKernel, SubMat};
 use crate::status::RecoveryStats;
-use regla_gpu_sim::{
-    ExecMode, FaultPlan, GlobalMemory, Gpu, LaunchConfig, LaunchError, LaunchStats, MathMode,
-    Profiler, SanitizerMode,
-};
+use regla_gpu_sim::{GlobalMemory, Gpu, LaunchConfig, LaunchError, LaunchStats};
 use std::marker::PhantomData;
 
-pub use tsqr::{tsqr, TsqrOpts};
+pub use tsqr::tsqr;
 
 /// Aggregate statistics of a multi-launch operation.
 #[derive(Clone, Debug, Default)]
@@ -69,55 +67,14 @@ impl MultiLaunch {
     }
 }
 
-/// Options for the tiled factorization.
-#[derive(Clone, Debug)]
-pub struct TiledOpts {
-    /// Panel width (defaults to 16, one 256-thread block column round).
-    pub panel: usize,
-    pub math: MathMode,
-    pub exec: ExecMode,
-    /// Host worker threads for the simulator's functional replay.
-    pub host_threads: Option<usize>,
-    /// Seeded fault-injection plan applied to every launch of the
-    /// factorization (resilience campaigns).
-    pub fault: Option<FaultPlan>,
-    /// Per-launch trace sink; every panel factor and reflector-apply
-    /// launch records into it.
-    pub trace: Option<Profiler>,
-    /// Compute-sanitizer mode applied to every launch of the factorization.
-    pub sanitizer: SanitizerMode,
-    /// Per-block watchdog op budget for every launch (`None` = unlimited).
-    pub watchdog: Option<u64>,
-    /// Force the simulator's instrumented slow path for every launch.
-    pub slow_path: bool,
-    /// Simulated-cycle deadline budget applied to every launch.
-    pub deadline_cycles: Option<u64>,
-    /// Injected stream-stall cycles applied to every launch (chaos knob).
-    pub stall_cycles: u64,
-}
-
-impl Default for TiledOpts {
-    fn default() -> Self {
-        TiledOpts {
-            panel: 16,
-            math: MathMode::Fast,
-            exec: ExecMode::Full,
-            host_threads: None,
-            fault: None,
-            trace: None,
-            sanitizer: SanitizerMode::Off,
-            watchdog: None,
-            slow_path: false,
-            deadline_cycles: None,
-            stall_cycles: 0,
-        }
-    }
-}
-
 /// Tiled QR of a batch of `count` tall matrices (`m x (n + rhs_cols)`,
 /// the trailing `rhs_cols` carried but not factored) already resident on
 /// the device at view `a`. Reflector scales are written to `d_tau`
 /// (`count * n` elements, allocated by the caller).
+///
+/// The panel width and every observability/chaos knob (trace sink,
+/// sanitizer, watchdog, fault plan, deadline, stall) come straight from
+/// the one [`RunOpts`] the whole run shares.
 #[allow(clippy::too_many_arguments)]
 pub fn tiled_qr<E: Elem>(
     gpu: &Gpu,
@@ -128,7 +85,7 @@ pub fn tiled_qr<E: Elem>(
     rhs_cols: usize,
     count: usize,
     d_tau: regla_gpu_sim::DPtr,
-    opts: TiledOpts,
+    opts: &RunOpts,
 ) -> Result<MultiLaunch, LaunchError> {
     assert!(m >= n, "tiled QR requires m >= n");
     assert!(opts.panel >= 1, "panel width must be >= 1");
@@ -150,18 +107,14 @@ pub fn tiled_qr<E: Elem>(
         // (tau_stride = pw, tau_off = 0).
         let kern = QrBlockKernel::<E>::new(panel_view, lm, count).with_tau(d_tau);
         let regs = lm.local_len() * E::WORDS + 14;
-        let lc = LaunchConfig::new(count, threads)
-            .regs(regs)
-            .shared_words(kern.shared_words())
-            .math(opts.math)
-            .exec(opts.exec)
-            .host_threads(opts.host_threads)
+        let lc = opts
+            .apply_observability(
+                LaunchConfig::new(count, threads)
+                    .regs(regs)
+                    .shared_words(kern.shared_words()),
+            )
             .fault(opts.fault)
             .name(format!("qr panel {prows}x{pw} tiled"))
-            .trace(opts.trace.clone())
-            .sanitizer(opts.sanitizer)
-            .watchdog(opts.watchdog)
-            .slow_path(opts.slow_path)
             .deadline_cycles(opts.deadline_cycles)
             .stall_cycles(opts.stall_cycles);
         agg.push(gpu.launch(&kern, &lc, gmem)?);
@@ -181,18 +134,14 @@ pub fn tiled_qr<E: Elem>(
                 count,
                 _e: PhantomData,
             };
-            let lc = LaunchConfig::new(count, threads)
-                .regs(regs)
-                .shared_words(apply.shared_words())
-                .math(opts.math)
-                .exec(opts.exec)
-                .host_threads(opts.host_threads)
+            let lc = opts
+                .apply_observability(
+                    LaunchConfig::new(count, threads)
+                        .regs(regs)
+                        .shared_words(apply.shared_words()),
+                )
                 .fault(opts.fault)
                 .name(format!("qr apply {prows}x{tcols} tiled"))
-                .trace(opts.trace.clone())
-                .sanitizer(opts.sanitizer)
-                .watchdog(opts.watchdog)
-                .slow_path(opts.slow_path)
                 .deadline_cycles(opts.deadline_cycles)
                 .stall_cycles(opts.stall_cycles);
             agg.push(gpu.launch(&apply, &lc, gmem)?);

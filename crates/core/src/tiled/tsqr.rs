@@ -14,51 +14,13 @@
 //! Q is left implicit (the reflector tree is not materialised) — exactly
 //! what the radar pipeline needs, which only consumes `R` and `Qᴴb`.
 
+use crate::api::RunOpts;
 use crate::elem::Elem;
 use crate::layout::{Layout, LayoutMap};
 use crate::per_block::{QrBlockKernel, SubMat};
 use crate::tiled::MultiLaunch;
-use regla_gpu_sim::{
-    BlockCtx, BlockKernel, DPtr, ExecMode, GlobalMemory, Gpu, LaunchConfig, LaunchError, MathMode,
-    Profiler, SanitizerMode,
-};
+use regla_gpu_sim::{BlockCtx, BlockKernel, DPtr, GlobalMemory, Gpu, LaunchConfig, LaunchError};
 use std::marker::PhantomData;
-
-/// Options for the TSQR factorization.
-#[derive(Clone, Debug)]
-pub struct TsqrOpts {
-    /// Target row-block height of the first stage (clamped to >= the
-    /// column count; the default doubles the columns).
-    pub block_rows: usize,
-    pub math: MathMode,
-    pub exec: ExecMode,
-    /// Host worker threads for the simulator's functional replay.
-    pub host_threads: Option<usize>,
-    /// Per-launch trace sink; every stage of the reduction tree records
-    /// into it.
-    pub trace: Option<Profiler>,
-    /// Compute-sanitizer mode applied to every stage launch.
-    pub sanitizer: SanitizerMode,
-    /// Per-block watchdog op budget for every launch (`None` = unlimited).
-    pub watchdog: Option<u64>,
-    /// Force the simulator's instrumented slow path for every launch.
-    pub slow_path: bool,
-}
-
-impl Default for TsqrOpts {
-    fn default() -> Self {
-        TsqrOpts {
-            block_rows: 0, // resolved per matrix
-            math: MathMode::Fast,
-            exec: ExecMode::Full,
-            host_threads: None,
-            trace: None,
-            sanitizer: SanitizerMode::Off,
-            watchdog: None,
-            slow_path: false,
-        }
-    }
-}
 
 /// Gather the top `n x cols` triangles of two factored row blocks into a
 /// stacked `2n x cols` combine buffer (one pair per thread block).
@@ -136,23 +98,19 @@ fn qr_stage<E: Elem>(
     nfac: usize,
     rhs: usize,
     count: usize,
-    opts: &TsqrOpts,
+    opts: &RunOpts,
     agg: &mut MultiLaunch,
 ) -> Result<(), LaunchError> {
     let plan = regla_model::block_plan(rows, nfac, rhs, E::WORDS);
     let lm = LayoutMap::new(Layout::TwoDCyclic, plan.threads, rows, nfac + rhs);
     let kern = QrBlockKernel::<E>::new(view, lm, count).with_rhs(rhs);
-    let lc = LaunchConfig::new(count, lm.p)
-        .regs(lm.local_len() * E::WORDS + 14)
-        .shared_words(kern.shared_words())
-        .math(opts.math)
-        .exec(opts.exec)
-        .host_threads(opts.host_threads)
-        .name(format!("tsqr factor {rows}x{}", nfac + rhs))
-        .trace(opts.trace.clone())
-        .sanitizer(opts.sanitizer)
-        .watchdog(opts.watchdog)
-        .slow_path(opts.slow_path);
+    let lc = opts
+        .apply_observability(
+            LaunchConfig::new(count, lm.p)
+                .regs(lm.local_len() * E::WORDS + 14)
+                .shared_words(kern.shared_words()),
+        )
+        .name(format!("tsqr factor {rows}x{}", nfac + rhs));
     agg.push(gpu.launch(&kern, &lc, gmem)?);
     Ok(())
 }
@@ -160,6 +118,10 @@ fn qr_stage<E: Elem>(
 /// TSQR of a device batch at `a` (`m x (n + rhs)` per problem): on return,
 /// the returned pointer holds `count` matrices of `n x (n + rhs)` whose
 /// upper triangle is R and whose trailing columns are `Qᴴ b`.
+///
+/// Every stage launch applies the one observability config of `opts`; the
+/// first-stage row-block height comes from [`RunOpts::tsqr_block_rows`]
+/// (`0` = twice the column count).
 #[allow(clippy::too_many_arguments)]
 pub fn tsqr<E: Elem>(
     gpu: &Gpu,
@@ -169,15 +131,15 @@ pub fn tsqr<E: Elem>(
     n: usize,
     rhs: usize,
     count: usize,
-    opts: TsqrOpts,
+    opts: &RunOpts,
 ) -> Result<(DPtr, MultiLaunch), LaunchError> {
     assert!(m >= n, "TSQR needs a tall matrix");
     let cols = n + rhs;
     let mut agg = MultiLaunch::default();
 
     // ---- Stage 0: independent QR of each row block, in place -----------
-    let h0 = if opts.block_rows >= n {
-        opts.block_rows
+    let h0 = if opts.tsqr_block_rows >= n {
+        opts.tsqr_block_rows
     } else {
         (2 * cols).max(n)
     };
@@ -197,7 +159,7 @@ pub fn tsqr<E: Elem>(
         }
     }
     for &(r0, rows) in &row_blocks {
-        qr_stage::<E>(gpu, gmem, a.offset(r0, 0), rows, n, rhs, count, &opts, &mut agg)?;
+        qr_stage::<E>(gpu, gmem, a.offset(r0, 0), rows, n, rhs, count, opts, &mut agg)?;
     }
 
     // ---- Combine stages: pairwise QR of stacked R factors --------------
@@ -223,22 +185,14 @@ pub fn tsqr<E: Elem>(
             count,
             _e: PhantomData,
         };
-        let lc = LaunchConfig::new(count * pairs, 64)
-            .regs(16)
-            .shared_words(0)
-            .math(opts.math)
-            .exec(opts.exec)
-            .host_threads(opts.host_threads)
-            .name(format!("tsqr gather {pairs} pairs"))
-            .trace(opts.trace.clone())
-            .sanitizer(opts.sanitizer)
-            .watchdog(opts.watchdog)
-            .slow_path(opts.slow_path);
+        let lc = opts
+            .apply_observability(LaunchConfig::new(count * pairs, 64).regs(16).shared_words(0))
+            .name(format!("tsqr gather {pairs} pairs"));
         agg.push(gpu.launch(&gather, &lc, gmem)?);
 
         // Factor every stacked pair: count*pairs problems of 2n x cols.
         let view = SubMat::whole(stacked, 2 * n, cols);
-        qr_stage::<E>(gpu, gmem, view, 2 * n, n, rhs, count * pairs, &opts, &mut agg)?;
+        qr_stage::<E>(gpu, gmem, view, 2 * n, n, rhs, count * pairs, opts, &mut agg)?;
 
         src = SubMat {
             ptr: stacked,
@@ -264,17 +218,9 @@ pub fn tsqr<E: Elem>(
         count,
         _e: PhantomData,
     };
-    let lc = LaunchConfig::new(count, 64)
-        .regs(16)
-        .shared_words(0)
-        .math(opts.math)
-        .exec(opts.exec)
-        .host_threads(opts.host_threads)
-        .name("tsqr compact")
-        .trace(opts.trace.clone())
-        .sanitizer(opts.sanitizer)
-        .watchdog(opts.watchdog)
-        .slow_path(opts.slow_path);
+    let lc = opts
+        .apply_observability(LaunchConfig::new(count, 64).regs(16).shared_words(0))
+        .name("tsqr compact");
     agg.push(gpu.launch(&gather, &lc, gmem)?);
     let out = gmem.alloc(count * n * cols * E::WORDS);
     let compact = CompactTop::<E> {

@@ -244,6 +244,57 @@ pub fn predicted_cycles(
         .map(|c| cfg.secs_to_cycles(c.time_s))
 }
 
+/// Predicted wall time, in simulated seconds, for the *chosen* approach on
+/// a `batch`-problem launch — the estimate a serving layer prices
+/// admission and flush decisions with. `None` when the model has no
+/// candidate for the shape.
+pub fn predicted_seconds(
+    p: &ModelParams,
+    cfg: &GpuConfig,
+    alg: Algorithm,
+    m: usize,
+    n: usize,
+    batch: usize,
+    elem_words: usize,
+) -> Option<f64> {
+    choose(p, cfg, alg, m, n, batch, elem_words)
+        .ok()?
+        .chosen()
+        .ok()
+        .map(|c| c.time_s)
+}
+
+/// Smallest batch size at which the device saturates for this shape: the
+/// point where doubling the batch roughly doubles the predicted time
+/// (adding problems no longer rides for free on unused occupancy).
+///
+/// A micro-batcher flushes once a coalesced launch reaches this size —
+/// beyond it, holding requests back buys latency without throughput.
+/// Returns `None` when the model has no estimate for the shape.
+pub fn saturation_batch(
+    p: &ModelParams,
+    cfg: &GpuConfig,
+    alg: Algorithm,
+    m: usize,
+    n: usize,
+    elem_words: usize,
+) -> Option<usize> {
+    const CAP: usize = 1 << 20;
+    let mut b = 1usize;
+    let mut t = predicted_seconds(p, cfg, alg, m, n, b, elem_words)?;
+    while b < CAP {
+        let t2 = predicted_seconds(p, cfg, alg, m, n, 2 * b, elem_words)?;
+        // Doubling the batch costs ~double the time: scaling is linear
+        // from here on, so the chip is full at `b`.
+        if t > 0.0 && t2 >= 1.9 * t {
+            return Some(b);
+        }
+        b *= 2;
+        t = t2;
+    }
+    Some(CAP)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +340,26 @@ mod tests {
         for c in &d.candidates {
             assert!(chosen.time_s <= c.time_s + 1e-12);
         }
+    }
+
+    #[test]
+    fn predicted_seconds_tracks_the_chosen_candidate() {
+        let (p, cfg) = setup();
+        let t = predicted_seconds(&p, &cfg, Algorithm::Lu, 8, 8, 4096, 1).unwrap();
+        let d = choose(&p, &cfg, Algorithm::Lu, 8, 8, 4096, 1).unwrap();
+        assert_eq!(t, d.chosen().unwrap().time_s);
+        assert!(t > 0.0 && t.is_finite());
+    }
+
+    #[test]
+    fn saturation_batch_is_finite_and_marks_linear_scaling() {
+        let (p, cfg) = setup();
+        let b = saturation_batch(&p, &cfg, Algorithm::Lu, 8, 8, 1).unwrap();
+        assert!((1..1 << 20).contains(&b), "b = {b}");
+        // Past saturation, doubling the batch ~doubles the time.
+        let t1 = predicted_seconds(&p, &cfg, Algorithm::Lu, 8, 8, b, 1).unwrap();
+        let t2 = predicted_seconds(&p, &cfg, Algorithm::Lu, 8, 8, 2 * b, 1).unwrap();
+        assert!(t2 >= 1.9 * t1, "t1 = {t1}, t2 = {t2}");
     }
 
     #[test]

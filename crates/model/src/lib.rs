@@ -25,7 +25,9 @@ pub mod per_thread;
 pub mod pipeline;
 pub mod plan;
 
-pub use dispatch::{choose, predicted_cycles, Candidate, Decision, ModelError};
+pub use dispatch::{
+    choose, predicted_cycles, predicted_seconds, saturation_batch, Candidate, Decision, ModelError,
+};
 pub use intensity::{arithmetic_intensity, bytes_moved, Algorithm};
 pub use logp::{tau_global, tau_local};
 pub use params::ModelParams;

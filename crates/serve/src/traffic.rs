@@ -1,0 +1,146 @@
+//! Seeded open-loop synthetic traffic: Poisson-ish arrivals on the
+//! simulated clock over N independent client streams.
+//!
+//! Each client stream owns its own [`StdRng`] seeded from the campaign
+//! seed and the client index, draws exponential inter-arrival gaps
+//! (`-ln(u)/λ`), and picks its request shape and batch size from the
+//! configured [`ShapeMix`]. Streams are generated independently and then
+//! merged by `(arrival, client)`, so the offered load is a pure function
+//! of the seed — deterministic at any host-thread count, before the
+//! engine even sees it.
+
+use crate::engine::SolveRequest;
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SeedableRng};
+use regla_core::{MatBatch, Op};
+
+/// One entry of the traffic shape menu.
+#[derive(Clone, Copy, Debug)]
+pub struct ShapeMix {
+    pub op: Op,
+    /// Problem rows/columns (square systems; `rhs_cols` > 0 appends a
+    /// right-hand-side batch).
+    pub n: usize,
+    pub rhs_cols: usize,
+    /// Problems per request, drawn uniformly from this range.
+    pub min_problems: usize,
+    pub max_problems: usize,
+}
+
+/// Tuning for [`generate_requests`].
+#[derive(Clone, Debug)]
+pub struct TrafficConfig {
+    /// Independent client streams.
+    pub clients: usize,
+    /// Total offered request rate across all clients, in requests per
+    /// simulated second.
+    pub rate_rps: f64,
+    /// Requests to offer in total (split evenly across clients).
+    pub requests: usize,
+    /// Campaign seed; every stream derives its own PRNG from it.
+    pub seed: u64,
+    /// Shape menu each request draws from (uniformly).
+    pub shapes: Vec<ShapeMix>,
+}
+
+impl TrafficConfig {
+    /// A small mixed workload: LU and QR factorizations plus Gauss-Jordan
+    /// solves on paper-sized problems.
+    pub fn mixed(requests: usize, rate_rps: f64, seed: u64) -> Self {
+        TrafficConfig {
+            clients: 8,
+            rate_rps,
+            requests,
+            seed,
+            shapes: vec![
+                ShapeMix {
+                    op: Op::Lu,
+                    n: 8,
+                    rhs_cols: 0,
+                    min_problems: 16,
+                    max_problems: 128,
+                },
+                ShapeMix {
+                    op: Op::Qr,
+                    n: 10,
+                    rhs_cols: 0,
+                    min_problems: 16,
+                    max_problems: 96,
+                },
+                ShapeMix {
+                    op: Op::GjSolve,
+                    n: 8,
+                    rhs_cols: 1,
+                    min_problems: 8,
+                    max_problems: 64,
+                },
+            ],
+        }
+    }
+}
+
+/// Deterministic diagonally-dominant problem batch for one request.
+fn request_batch(n: usize, cols: usize, count: usize, seed: u64, dd: bool) -> MatBatch<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut vals = Vec::with_capacity(count * n * cols);
+    for _ in 0..count * n * cols {
+        vals.push(rng.random_range(-1.0f32..1.0));
+    }
+    MatBatch::from_fn(n, cols, count, |k, i, j| {
+        let v = vals[(k * cols + j) * n + i];
+        if dd && i == j {
+            v + n as f32
+        } else {
+            v
+        }
+    })
+}
+
+/// Generate the offered request stream: `cfg.requests` requests over
+/// `cfg.clients` seeded Poisson streams, merged by `(arrival, client)`.
+/// Request ids number the merged stream 0..N in arrival order.
+pub fn generate_requests(cfg: &TrafficConfig) -> Vec<SolveRequest<f32>> {
+    let clients = cfg.clients.max(1);
+    let per_client_rate = cfg.rate_rps / clients as f64;
+    let mut all: Vec<SolveRequest<f32>> = Vec::with_capacity(cfg.requests);
+    for client in 0..clients {
+        // Even split; earlier clients absorb the remainder.
+        let quota = cfg.requests / clients + usize::from(client < cfg.requests % clients);
+        let mut rng = StdRng::seed_from_u64(
+            cfg.seed ^ ((client as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        let mut t = 0.0f64;
+        for _ in 0..quota {
+            // Exponential inter-arrival: -ln(u)/λ with u in (0, 1].
+            let u = 1.0 - rng.random_range(0.0f64..1.0);
+            t += -u.ln() / per_client_rate;
+            let shape = cfg.shapes[rng.random_range(0..cfg.shapes.len())];
+            let count = rng.random_range(shape.min_problems..shape.max_problems + 1);
+            let data_seed = rng.next_u64();
+            let a = request_batch(shape.n, shape.n, count, data_seed, true);
+            let mut req = SolveRequest::new(0, shape.op, a)
+                .arrival_s(t)
+                .client(client);
+            if shape.rhs_cols > 0 {
+                req = req.rhs(request_batch(
+                    shape.n,
+                    shape.rhs_cols,
+                    count,
+                    data_seed ^ 0xB007,
+                    false,
+                ));
+            }
+            all.push(req);
+        }
+    }
+    // Merge deterministically and hand out ids in arrival order.
+    all.sort_by(|a, b| {
+        a.arrival_s
+            .total_cmp(&b.arrival_s)
+            .then(a.client.cmp(&b.client))
+    });
+    for (i, r) in all.iter_mut().enumerate() {
+        r.id = i as u64;
+    }
+    all
+}

@@ -97,6 +97,26 @@ macro_rules! impl_range_strategy_float {
 
 impl_range_strategy_float!(f32 => 24, f64 => 53);
 
+// Tuples of strategies sample componentwise, left to right.
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
 /// A strategy producing a fixed value (`Just`).
 #[derive(Clone, Debug)]
 pub struct Just<T: Clone>(pub T);

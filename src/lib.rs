@@ -12,6 +12,8 @@
 //! * [`microbench`] — Section II's bandwidth/latency microbenchmarks.
 //! * [`core`] — the batched factorization kernels: one-problem-per-thread,
 //!   one-problem-per-block (2D/1D cyclic layouts), tiled QR.
+//! * [`serve`] — the async solve service: admission control,
+//!   micro-batching and deadline-driven flushing over a `Fleet`.
 //! * [`cpu`] — the multicore CPU baseline (the "MKL" comparator).
 //! * [`hybrid`] — the MAGMA/CULA-style hybrid CPU+GPU blocked baseline.
 //! * [`stap`] — the space-time adaptive radar processing application.
@@ -33,4 +35,5 @@ pub use regla_gpu_sim as gpu_sim;
 pub use regla_hybrid as hybrid;
 pub use regla_microbench as microbench;
 pub use regla_model as model;
+pub use regla_serve as serve;
 pub use regla_stap as stap;

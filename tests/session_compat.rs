@@ -1,12 +1,12 @@
-//! The deprecated free-function wrappers must remain bit-compatible with
-//! the `Session` methods they forward to: same outputs, same taus and
-//! solutions, same statuses. Pins the API migration — a wrapper that
-//! drifts from `Session` would silently fork the two code paths.
-#![allow(deprecated)]
+//! `Session` invariants that pin the finalized API surface: cached model
+//! parameters match a fresh derivation, and the pipelined execution path
+//! is bit-identical to the synchronous one for any split. (The deprecated
+//! free-function wrappers these tests once compared against are gone —
+//! `Session`/`Fleet` are the only entry points.)
 
 use proptest::prelude::*;
-use regla::core::{api, MatBatch, Op, PipelineOpts, RunOpts, Session};
-use regla::gpu_sim::{ExecMode, Gpu, GpuConfig};
+use regla::core::{MatBatch, Op, PipelineOpts, RunOpts, Session};
+use regla::gpu_sim::{ExecMode, GpuConfig};
 
 fn dd_batch(n: usize, count: usize, seed: usize) -> MatBatch<f32> {
     MatBatch::from_fn(n, n, count, |k, i, j| {
@@ -19,91 +19,9 @@ fn bits(b: &MatBatch<f32>) -> Vec<u32> {
     b.data().iter().map(|v| v.to_bits()).collect()
 }
 
-/// Every factorization wrapper against its `Session` equivalent.
-#[test]
-fn factorization_wrappers_match_session_bit_for_bit() {
-    let gpu = Gpu::quadro_6000();
-    let session = Session::new();
-    let a = dd_batch(10, 24, 5);
-    let opts = RunOpts::default();
-
-    let w = api::qr_batch(&gpu, &a, &opts).unwrap();
-    let s = session.qr(&a).unwrap();
-    assert_eq!(bits(&w.out), bits(&s.out));
-    assert_eq!(
-        bits(w.taus.as_ref().unwrap()),
-        bits(s.taus.as_ref().unwrap())
-    );
-    assert_eq!(w.status, s.status);
-
-    let w = api::lu_batch(&gpu, &a, &opts).unwrap();
-    let s = session.lu(&a).unwrap();
-    assert_eq!(bits(&w.out), bits(&s.out));
-
-    // SPD for Cholesky: diagonally dominant symmetric.
-    let spd = MatBatch::from_fn(8, 8, 6, |k, i, j| {
-        if i == j { 4.0 } else { 0.2 + (k as f32) * 0.01 }
-    });
-    let w = api::cholesky_batch(&gpu, &spd, &opts).unwrap();
-    let s = session.cholesky(&spd).unwrap();
-    assert_eq!(bits(&w.out), bits(&s.out));
-    assert_eq!(w.status, s.status);
-}
-
-/// Every solver wrapper against its `Session` equivalent.
-#[test]
-fn solver_wrappers_match_session_bit_for_bit() {
-    let gpu = Gpu::quadro_6000();
-    let session = Session::new();
-    let a = dd_batch(9, 20, 6);
-    let b = MatBatch::from_fn(9, 1, 20, |k, i, _| ((k + i) % 7) as f32 - 3.0);
-    let opts = RunOpts::default();
-
-    let w = api::gj_solve_batch(&gpu, &a, &b, &opts).unwrap();
-    let s = session.gj_solve(&a, &b).unwrap();
-    assert_eq!(bits(&w.out), bits(&s.out));
-    assert_eq!(w.status, s.status);
-
-    let w = api::qr_solve_batch(&gpu, &a, &b, &opts).unwrap();
-    let s = session.qr_solve(&a, &b).unwrap();
-    assert_eq!(bits(&w.out), bits(&s.out));
-
-    // Multi-rhs variants reach the same driver.
-    let bm = MatBatch::from_fn(9, 3, 20, |k, i, j| ((k + i + j) % 5) as f32 - 2.0);
-    let w = api::gj_solve_multi(&gpu, &a, &bm, &opts).unwrap();
-    let s = session.gj_solve(&a, &bm).unwrap();
-    assert_eq!(bits(&w.out), bits(&s.out));
-    let w = api::qr_solve_multi(&gpu, &a, &bm, &opts).unwrap();
-    let s = session.qr_solve(&a, &bm).unwrap();
-    assert_eq!(bits(&w.out), bits(&s.out));
-
-    // Tall shapes: least squares, TSQR, and the rectangular paths.
-    let ta = MatBatch::from_fn(24, 6, 4, |k, i, j| {
-        ((k * 7 + i * 3 + j * 11) % 13) as f32 / 13.0 + if i == j { 2.0 } else { 0.0 }
-    });
-    let tb = MatBatch::from_fn(24, 1, 4, |k, i, _| ((k + i) % 9) as f32 - 4.0);
-    let (wrun, wx) = api::least_squares_batch(&gpu, &ta, &tb, &opts).unwrap();
-    let (srun, sx) = session.least_squares(&ta, &tb).unwrap();
-    assert_eq!(bits(&wx), bits(&sx));
-    assert_eq!(bits(&wrun.out), bits(&srun.out));
-    let (wx, _) = api::tsqr_least_squares(&gpu, &ta, &tb, &opts).unwrap();
-    let (sx, _) = session.tsqr_least_squares(&ta, &tb).unwrap();
-    assert_eq!(bits(&wx), bits(&sx));
-
-    let (winv, _) = api::invert_batch(&gpu, &a, &opts).unwrap();
-    let (sinv, _) = session.invert(&a).unwrap();
-    assert_eq!(bits(&winv), bits(&sinv));
-
-    let ga = MatBatch::from_fn(12, 7, 5, |k, i, j| ((k + i * j) % 11) as f32 * 0.1);
-    let gb = MatBatch::from_fn(7, 9, 5, |k, i, j| ((k * 3 + i + j) % 7) as f32 * 0.2);
-    let w = api::gemm_batch(&gpu, &ga, &gb, &opts).unwrap();
-    let s = session.gemm(&ga, &gb).unwrap();
-    assert_eq!(bits(&w.out), bits(&s.out));
-}
-
-/// The per-call `Gpu` the wrappers construct and the session's cached one
-/// must dispatch identically — the session cache is an optimization, not
-/// a behavior change.
+/// The session's cached model parameters and a fresh derivation must
+/// dispatch identically — the session cache is an optimization, not a
+/// behavior change.
 #[test]
 fn session_cached_params_agree_with_fresh_derivation() {
     let session = Session::new();
