@@ -14,7 +14,7 @@ fn rep(approach: Approach) -> RunOpts {
     RunOpts::builder()
         .exec(ExecMode::Representative)
         .approach(approach)
-        .build()
+        .build().unwrap()
 }
 
 /// Figure 4's hot path: the per-thread kernels.
@@ -61,7 +61,7 @@ fn bench_layouts(c: &mut Criterion) {
             .exec(ExecMode::Representative)
             .approach(Approach::PerBlock)
             .layout(layout)
-            .build();
+            .build().unwrap();
         g.bench_function(layout.name(), |bch| {
             bch.iter(|| black_box(session.run_with(Op::QrSolve, &a, Some(&b2), &opts).unwrap().run.gflops()))
         });

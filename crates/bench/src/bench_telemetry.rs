@@ -242,6 +242,51 @@ pub fn serve_rows() -> Vec<ServeRow> {
     SERVE.lock().unwrap().clone()
 }
 
+/// One (alg, shape, batch) row from the `autotune` experiment: the tuned
+/// plan against the paper's hand heuristic and the exhaustive-search
+/// winner, with regret in simulated cycles.
+#[derive(Clone, Debug)]
+pub struct TuneRow {
+    pub alg: String,
+    /// `m x n` (+`rhs` carried columns when nonzero).
+    pub shape: String,
+    pub batch: usize,
+    /// Model-priced candidates in the enumerated design space.
+    pub candidates: usize,
+    /// Distinct execution shapes the tuner validated in the simulator.
+    pub validated: usize,
+    /// Compact plan strings (`approach/layout/threads/panel`).
+    pub heuristic: String,
+    pub tuned: String,
+    pub best: String,
+    /// Model-predicted cycles of the tuned plan.
+    pub predicted_cycles: f64,
+    /// Simulated cycles: tuned pick, heuristic pick, exhaustive winner.
+    pub tuned_sim_cycles: f64,
+    pub heuristic_sim_cycles: f64,
+    pub exhaustive_sim_cycles: f64,
+    /// `(tuned - exhaustive) / exhaustive`, percent (the gate metric).
+    pub regret_pct: f64,
+    /// `(heuristic - exhaustive) / exhaustive`, percent.
+    pub heuristic_regret_pct: f64,
+    /// Whether tuning changed the execution shape vs the hand heuristic.
+    pub plan_changed: bool,
+}
+
+static TUNE: Mutex<Vec<TuneRow>> = Mutex::new(Vec::new());
+
+/// File the autotune experiment's per-key rows for the harness run;
+/// [`Collector::to_json`] embeds them in `results/BENCH_sim.json`.
+/// Replaces any previously filed rows (the experiment is the only writer).
+pub fn record_tune(rows: Vec<TuneRow>) {
+    *TUNE.lock().unwrap() = rows;
+}
+
+/// Snapshot of the currently filed autotune rows.
+pub fn tune_rows() -> Vec<TuneRow> {
+    TUNE.lock().unwrap().clone()
+}
+
 /// One experiment's host-side cost.
 #[derive(Clone, Debug)]
 pub struct ExperimentTelemetry {
@@ -272,6 +317,7 @@ impl Collector {
         record_throughput(Vec::new());
         record_fleet(Vec::new());
         record_serve(Vec::new());
+        record_tune(Vec::new());
         Collector::default()
     }
 
@@ -472,6 +518,35 @@ impl Collector {
                 r.problems_per_sec,
                 r.busy_problems_per_sec,
                 escape(&r.device_dispatches),
+                if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n  \"tune\": [\n");
+        let rows = tune_rows();
+        for (i, r) in rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"alg\": \"{}\", \"shape\": \"{}\", \"batch\": {}, \
+                 \"candidates\": {}, \"validated\": {}, \
+                 \"heuristic\": \"{}\", \"tuned\": \"{}\", \"best\": \"{}\", \
+                 \"predicted_cycles\": {:.1}, \"tuned_sim_cycles\": {:.1}, \
+                 \"heuristic_sim_cycles\": {:.1}, \
+                 \"exhaustive_sim_cycles\": {:.1}, \"regret_pct\": {:.3}, \
+                 \"heuristic_regret_pct\": {:.3}, \"plan_changed\": {}}}{}\n",
+                escape(&r.alg),
+                escape(&r.shape),
+                r.batch,
+                r.candidates,
+                r.validated,
+                escape(&r.heuristic),
+                escape(&r.tuned),
+                escape(&r.best),
+                r.predicted_cycles,
+                r.tuned_sim_cycles,
+                r.heuristic_sim_cycles,
+                r.exhaustive_sim_cycles,
+                r.regret_pct,
+                r.heuristic_regret_pct,
+                r.plan_changed,
                 if i + 1 < rows.len() { "," } else { "" },
             ));
         }

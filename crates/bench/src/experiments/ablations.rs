@@ -11,7 +11,7 @@ fn base(approach: Approach) -> RunOpts {
     RunOpts::builder()
         .exec(ExecMode::Representative)
         .approach(approach)
-        .build()
+        .build().unwrap()
 }
 
 /// Fast-math (22-bit SFU) vs full-precision division/sqrt. The paper:
@@ -215,10 +215,10 @@ pub fn ablation_tsqr(fast: bool) -> String {
             let o = RunOpts::builder()
                 .exec(ExecMode::Representative)
                 .approach(Approach::Tiled)
-                .build();
+                .build().unwrap();
             let tiled_run = session.run_with(Op::LeastSquares, &a, Some(&b), &o).unwrap().run;
             let tiled_g = flops / tiled_run.time_s() / 1e9;
-            let ot = RunOpts::builder().exec(ExecMode::Representative).build();
+            let ot = RunOpts::builder().exec(ExecMode::Representative).build().unwrap();
             let (_, tsqr_stats) = session.tsqr_least_squares_with(&a, &b, &ot).unwrap();
             let tsqr_g = flops / tsqr_stats.time_s / 1e9;
             t.row(&[

@@ -13,7 +13,7 @@ fn rep(approach: Approach) -> RunOpts {
     RunOpts::builder()
         .exec(ExecMode::Representative)
         .approach(approach)
-        .build()
+        .build().unwrap()
 }
 
 /// Prediction error across the Figure 4 + Figure 9 size ranges.

@@ -70,7 +70,7 @@ pub fn model_discrepancy(fast: bool) -> String {
         RunOpts::builder()
             .approach(approach)
             .trace(profiler.clone())
-            .build()
+            .build().unwrap()
     };
 
     // Per-thread roofline (Section IV): one whole-launch comparison.

@@ -13,7 +13,7 @@ fn rep_opts(approach: Approach) -> RunOpts {
     RunOpts::builder()
         .exec(ExecMode::Representative)
         .approach(approach)
-        .build()
+        .build().unwrap()
 }
 
 /// Sampled execution: timing is still traced-block exact, but `k`
@@ -25,7 +25,7 @@ fn sampled_opts(approach: Approach, k: usize) -> RunOpts {
     RunOpts::builder()
         .exec(ExecMode::Sampled(k))
         .approach(approach)
-        .build()
+        .build().unwrap()
 }
 
 /// Figure 1 — global memory latency as a function of access stride.
@@ -123,7 +123,7 @@ pub fn fig7(fast: bool) -> String {
                 .exec(ExecMode::Representative)
                 .approach(Approach::PerBlock)
                 .layout(layout)
-                .build();
+                .build().unwrap();
             let run = session.run_with(Op::QrSolve, &a, Some(&b), &opts).unwrap().run;
             cells.push(f(run.gflops()));
         }

@@ -12,6 +12,7 @@ pub mod sanitize;
 pub mod serve;
 pub mod tables;
 pub mod throughput;
+pub mod tune;
 
 pub use ablations::*;
 pub use accuracy::*;
@@ -24,6 +25,7 @@ pub use sanitize::*;
 pub use serve::*;
 pub use tables::*;
 pub use throughput::*;
+pub use tune::*;
 
 /// (id, title, runner) for every experiment, in paper order.
 pub type Runner = fn(bool) -> String;
@@ -119,5 +121,10 @@ pub const ALL: &[(&str, &str, Runner)] = &[
         "serve_load",
         "Serving — admission control and micro-batching under load",
         serve::serve_load,
+    ),
+    (
+        "autotune",
+        "Autotune — model-picked plans vs exhaustive search",
+        tune::autotune,
     ),
 ];

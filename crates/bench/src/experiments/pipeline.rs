@@ -33,7 +33,7 @@ pub fn pipeline(fast: bool) -> String {
         ("quadro_6000_dual_copy", GpuConfig::quadro_6000_dual_copy()),
     ];
     let popts = PipelineOpts::new(4, 8);
-    let opts = RunOpts::builder().exec(ExecMode::Representative).build();
+    let opts = RunOpts::builder().exec(ExecMode::Representative).build().unwrap();
 
     let mut t = Table::new(
         "Stream pipelining — chunked copy/compute overlap (4 streams, 8 chunks)",

@@ -49,7 +49,7 @@ pub fn run_campaign(
     let opts = RunOpts::builder()
         .approach(approach)
         .fault(FaultPlan::new(seed, faults))
-        .build();
+        .build().unwrap();
     let once = |o: &RunOpts| {
         let op = match alg {
             CampaignAlg::Qr => Op::Qr,

@@ -236,11 +236,11 @@ pub fn clean_sweep(fast: bool) -> Vec<SweepOutcome> {
                 }
                 let b = MatBatch::from_fn(n, 1, count, |k, i, _| ((k + i) % 9) as f32 - 4.0);
                 let rhs = op.needs_rhs().then_some(&b);
-                let plain = RunOpts::builder().approach(approach).build();
+                let plain = RunOpts::builder().approach(approach).build().unwrap();
                 let checked = RunOpts::builder()
                     .approach(approach)
                     .sanitizer(SanitizerMode::Full)
-                    .build();
+                    .build().unwrap();
                 let base = session.run_with(op, &a, rhs, &plain).expect("valid case").run;
                 let run = session.run_with(op, &a, rhs, &checked).expect("valid case").run;
                 let bits =

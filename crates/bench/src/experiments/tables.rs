@@ -149,7 +149,7 @@ pub fn table5(fast: bool) -> String {
     let opts = RunOpts::builder()
         .exec(ExecMode::Representative)
         .approach(regla_model::Approach::PerBlock)
-        .build();
+        .build().unwrap();
     let mut t = Table::new(
         "Table V — cycle counts for 56x56 decompositions (per block)",
         &[

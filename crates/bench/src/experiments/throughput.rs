@@ -148,7 +148,7 @@ fn opts(c: &Case, slow: bool) -> RunOpts {
         .exec(c.exec)
         .approach(c.approach)
         .slow_path(slow)
-        .build()
+        .build().unwrap()
 }
 
 /// Run the experiment and return (rendered report, per-case rows).

@@ -23,12 +23,10 @@ use crate::profile::ProfileReport;
 use crate::status::{ProblemStatus, RecoveryPolicy, RecoveryStats};
 use crate::tiled::{tiled_qr, MultiLaunch};
 use regla_gpu_sim::{
-    ExecMode, FaultPlan, GlobalMemory, Gpu, LaunchConfig, MathMode, Profiler, SanitizerMode,
-    SanitizerReport,
+    ExecMode, FaultPlan, GlobalMemory, GpuConfig, Gpu, LaunchConfig, MathMode, Profiler,
+    SanitizerMode, SanitizerReport,
 };
-use regla_model::{
-    block_plan, thread_plan, Algorithm, Approach, ModelParams, PER_BLOCK_MAX_DECLARED_REGS,
-};
+use regla_model::{block_plan, Algorithm, Approach, ModelParams, Plan, PlanKey, Planner};
 use std::marker::PhantomData;
 
 /// Options controlling a batched run.
@@ -40,14 +38,24 @@ use std::marker::PhantomData;
 #[derive(Clone, Debug)]
 #[non_exhaustive]
 pub struct RunOpts {
-    /// Register-file data layout for the per-block kernels.
-    pub layout: Layout,
+    /// Complete dispatch-[`Plan`] override: when set, neither the planner
+    /// nor any forced knob below is consulted — the plan is dispatched
+    /// verbatim (highest precedence).
+    pub plan: Option<Plan>,
+    /// How a dispatch plan is produced when `plan` is unset: the paper's
+    /// hand rules (default, bit-identical to the pre-planner dispatch),
+    /// the predictive model, or a tuned decision table from `regla-tune`.
+    pub planner: Planner,
+    /// Force the register-file data layout for the per-block kernels;
+    /// `None` defers to the planner's plan.
+    pub layout: Option<Layout>,
     pub math: MathMode,
     pub exec: ExecMode,
-    /// Force an approach instead of letting the plan choose.
+    /// Force an approach instead of letting the planner choose.
     pub approach: Option<Approach>,
-    /// Panel width for the tiled path.
-    pub panel: usize,
+    /// Force the panel width for the tiled path; `None` defers to the
+    /// planner's plan (default 16, the paper's choice).
+    pub panel: Option<usize>,
     /// Use tree reductions in the per-block QR (ablation; the paper uses
     /// serial reductions).
     pub tree_reduction: bool,
@@ -105,11 +113,13 @@ pub struct RunOpts {
 impl Default for RunOpts {
     fn default() -> Self {
         RunOpts {
-            layout: Layout::TwoDCyclic,
+            plan: None,
+            planner: Planner::Heuristic,
+            layout: None,
             math: MathMode::Fast,
             exec: ExecMode::Full,
             approach: None,
-            panel: 16,
+            panel: None,
             tree_reduction: false,
             lu_listing7: false,
             force_threads: None,
@@ -152,6 +162,10 @@ impl RunOpts {
 
 /// Fluent builder for [`RunOpts`].
 ///
+/// [`RunOptsBuilder::build`] validates the dispatch knobs (panel width,
+/// forced thread counts, explicit plans) and reports bad combinations as
+/// [`ReglaError::InvalidConfig`] — before any batch is uploaded.
+///
 /// ```
 /// use regla_core::RunOpts;
 /// use regla_gpu_sim::ExecMode;
@@ -159,8 +173,10 @@ impl RunOpts {
 /// let opts = RunOpts::builder()
 ///     .exec(ExecMode::Representative)
 ///     .panel(8)
-///     .build();
-/// assert_eq!(opts.panel, 8);
+///     .build()
+///     .unwrap();
+/// assert_eq!(opts.panel, Some(8));
+/// assert!(RunOpts::builder().panel(0).build().is_err());
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct RunOptsBuilder {
@@ -168,9 +184,24 @@ pub struct RunOptsBuilder {
 }
 
 impl RunOptsBuilder {
-    /// Register-file data layout for the per-block kernels.
-    pub fn layout(mut self, v: Layout) -> Self {
-        self.opts.layout = v;
+    /// Dispatch this exact [`Plan`] — skip the planner and every forced
+    /// knob. The old per-knob setters (`approach`, `layout`, `panel`,
+    /// `force_threads`) remain for targeted overrides of a *planned*
+    /// dispatch; precedence is `plan` > forced knobs > planner.
+    pub fn plan(mut self, v: impl Into<Option<Plan>>) -> Self {
+        self.opts.plan = v.into();
+        self
+    }
+
+    /// Select how dispatch plans are produced (see [`Planner`]).
+    pub fn planner(mut self, v: Planner) -> Self {
+        self.opts.planner = v;
+        self
+    }
+
+    /// Force the register-file data layout for the per-block kernels.
+    pub fn layout(mut self, v: impl Into<Option<Layout>>) -> Self {
+        self.opts.layout = v.into();
         self
     }
 
@@ -190,9 +221,9 @@ impl RunOptsBuilder {
         self
     }
 
-    /// Panel width for the tiled path.
-    pub fn panel(mut self, v: usize) -> Self {
-        self.opts.panel = v;
+    /// Force the panel width for the tiled path.
+    pub fn panel(mut self, v: impl Into<Option<usize>>) -> Self {
+        self.opts.panel = v.into();
         self
     }
 
@@ -278,8 +309,10 @@ impl RunOptsBuilder {
         self
     }
 
-    pub fn build(self) -> RunOpts {
-        self.opts
+    /// Validate the dispatch knobs and produce the [`RunOpts`].
+    pub fn build(self) -> Result<RunOpts, ReglaError> {
+        validate_opts(&self.opts)?;
+        Ok(self.opts)
     }
 }
 
@@ -326,20 +359,66 @@ impl<T> BatchRun<T> {
     }
 }
 
-pub(crate) fn choose_approach(m: usize, n: usize, rhs: usize, ew: usize, opts: &RunOpts) -> Approach {
+/// Resolve the dispatch plan for one batched operation: the explicit
+/// [`RunOpts::plan`] when set; otherwise the [`Planner`]'s plan for the
+/// problem's [`PlanKey`], with any forced knob (`approach`, `layout`,
+/// `panel`, `force_threads`) overriding the corresponding planned field.
+///
+/// The approach choice and the per-block layout mapping are thin consumers
+/// of the plan this returns — every layer (core entry points, fleet,
+/// serve, bench) dispatches through it.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn resolve_plan(
+    params: &ModelParams,
+    cfg: &GpuConfig,
+    alg: Algorithm,
+    m: usize,
+    n: usize,
+    rhs: usize,
+    ew: usize,
+    batch: usize,
+    opts: &RunOpts,
+) -> Plan {
+    if let Some(p) = opts.plan {
+        return p;
+    }
+    let key = PlanKey::new(alg, m, n, rhs, ew, batch, opts.math);
+    let mut plan = opts.planner.plan(params, cfg, &key);
     if let Some(a) = opts.approach {
-        return a;
+        plan.approach = a;
     }
-    if m == n && thread_plan(n, rhs, ew).fits_registers() {
-        Approach::PerThread
-    } else if m >= n && block_plan(m, n, rhs, ew).regs_per_thread <= PER_BLOCK_MAX_DECLARED_REGS {
-        Approach::PerBlock
-    } else {
-        Approach::Tiled
+    if let Some(l) = opts.layout {
+        plan.layout = l;
     }
+    if let Some(ft) = opts.force_threads {
+        plan.threads = Some(ft);
+    }
+    if let Some(pw) = opts.panel {
+        plan.panel = pw;
+    }
+    plan
 }
 
-/// Reject option combinations that the kernels cannot run.
+/// Require a positive perfect-square thread count for 2D-cyclic plans
+/// (the float `sqrt().round()` round-trip misreports perfect squares once
+/// the count exceeds 2^52, hence `isqrt`).
+fn validate_square_threads(ft: usize, what: &str) -> Result<(), ReglaError> {
+    if ft == 0 {
+        return Err(ReglaError::InvalidConfig(format!("{what} must be >= 1")));
+    }
+    let r = ft.isqrt();
+    if r * r != ft {
+        return Err(ReglaError::InvalidConfig(format!(
+            "{what} = {ft} must be a perfect square for the 2D cyclic layout"
+        )));
+    }
+    Ok(())
+}
+
+/// Reject option combinations that the kernels cannot run. This is the
+/// validation [`RunOptsBuilder::build`] applies up front; the entry points
+/// re-run it as a cheap guard for options assembled by direct field
+/// mutation inside the workspace.
 fn validate_opts(opts: &RunOpts) -> Result<(), ReglaError> {
     if let Some(ft) = opts.force_threads {
         if ft == 0 {
@@ -347,21 +426,29 @@ fn validate_opts(opts: &RunOpts) -> Result<(), ReglaError> {
                 "force_threads must be >= 1".into(),
             ));
         }
-        if opts.layout == Layout::TwoDCyclic {
-            // Integer square root: the float round-trip misreports perfect
-            // squares once ft exceeds 2^52 and can accept near-squares.
-            let r = ft.isqrt();
-            if r * r != ft {
-                return Err(ReglaError::InvalidConfig(format!(
-                    "force_threads = {ft} must be a perfect square for the 2D cyclic layout"
-                )));
-            }
+        // An unset layout resolves to the planner's choice, which is
+        // 2D cyclic for every shipped planner — so it must satisfy the
+        // stricter (square) requirement too.
+        if opts.layout.unwrap_or_default() == Layout::TwoDCyclic {
+            validate_square_threads(ft, "force_threads")?;
         }
     }
-    if opts.panel == 0 {
+    if opts.panel == Some(0) {
         return Err(ReglaError::InvalidConfig(
             "panel width must be >= 1 on the tiled path".into(),
         ));
+    }
+    if let Some(p) = &opts.plan {
+        if p.panel == 0 {
+            return Err(ReglaError::InvalidConfig(
+                "plan panel width must be >= 1 on the tiled path".into(),
+            ));
+        }
+        if p.layout == Layout::TwoDCyclic {
+            if let Some(t) = p.threads {
+                validate_square_threads(t, "plan threads")?;
+            }
+        }
     }
     Ok(())
 }
@@ -413,25 +500,12 @@ fn validate_square<T: Scalar>(a: &MatBatch<T>) -> Result<(), ReglaError> {
     Ok(())
 }
 
-/// Threads and layout map for a per-block launch under the chosen layout.
-fn layout_for(opts: &RunOpts, m: usize, cols: usize, ew: usize) -> LayoutMap {
-    match opts.layout {
-        Layout::TwoDCyclic => {
-            // Same 64/256 rule as `block_plan`, but directly on the full
-            // augmented shape (which may be wider than tall).
-            let tile64 = m.div_ceil(8) * cols.div_ceil(8) * ew;
-            let threads = opts.force_threads.unwrap_or(if tile64
-                <= regla_model::plan::TILE_WORDS_64T_MAX
-            {
-                64
-            } else {
-                256
-            });
-            LayoutMap::new(Layout::TwoDCyclic, threads, m, cols)
-        }
-        // The 1D comparisons of Figure 7 run with the paper's 64 threads.
-        l => LayoutMap::new(l, 64, m, cols),
-    }
+/// Threads and layout map for a per-block launch under the resolved plan:
+/// the plan's forced thread count, or the 64/256 rule applied directly to
+/// the full augmented shape (which may be wider than tall). The 1D
+/// comparisons of Figure 7 run with the paper's 64 threads.
+fn layout_for(plan: &Plan, m: usize, cols: usize, ew: usize) -> LayoutMap {
+    LayoutMap::new(plan.layout, plan.block_threads_for(m, cols, ew), m, cols)
 }
 
 fn device_for<T: DeviceScalar>(batch: &MatBatch<T>, extra_words: usize) -> GlobalMemory {
@@ -538,10 +612,11 @@ fn run_inplace<T: DeviceScalar>(
     aug: &MatBatch<T>,
     nfac: usize,
     alg: PtAlg,
-    approach: Approach,
+    plan: Plan,
     opts: &RunOpts,
     back_substitute: bool,
 ) -> Result<Launched<T>, ReglaError> {
+    let approach = plan.approach;
     let (m, cols, count) = (aug.rows(), aug.cols(), aug.count());
     let rhs = cols - nfac;
     let ew = T::WORDS;
@@ -590,7 +665,7 @@ fn run_inplace<T: DeviceScalar>(
             stats.push(gpu.launch(&kern, &lc, &mut gmem)?);
         }
         Approach::PerBlock => {
-            let lm = layout_for(opts, m, cols, ew);
+            let lm = layout_for(&plan, m, cols, ew);
             let regs = lm.local_len() * ew + 14;
             let (shared_words, launch): (usize, Box<dyn regla_gpu_sim::BlockKernel + Sync>) = match alg
             {
@@ -618,7 +693,7 @@ fn run_inplace<T: DeviceScalar>(
                     if back_substitute {
                         k = k.solving();
                     }
-                    if opts.tree_reduction && opts.layout == Layout::TwoDCyclic {
+                    if opts.tree_reduction && plan.layout == Layout::TwoDCyclic {
                         k = k.with_tree_reduction();
                     }
                     (k.shared_words(), Box::new(k))
@@ -635,7 +710,7 @@ fn run_inplace<T: DeviceScalar>(
                         m as u64,
                         cols as u64,
                         ew as u64,
-                        opts.layout as u64,
+                        plan.layout as u64,
                         u64::from(back_substitute)
                             | u64::from(opts.tree_reduction) << 1
                             | u64::from(opts.lu_listing7) << 2,
@@ -664,7 +739,9 @@ fn run_inplace<T: DeviceScalar>(
                     "tiled QR needs a tall system, got {m} rows for {nfac} factored columns"
                 )));
             }
-            let agg = tiled_qr::<T::Dev>(gpu, &mut gmem, view, m, nfac, rhs, count, d_tau, opts)?;
+            let agg = tiled_qr::<T::Dev>(
+                gpu, &mut gmem, view, m, nfac, rhs, count, d_tau, plan.panel, opts,
+            )?;
             for l in agg.launches {
                 stats.push(l);
             }
@@ -809,12 +886,13 @@ fn run_recovered<T: DeviceScalar>(
     aug: &MatBatch<T>,
     nfac: usize,
     alg: PtAlg,
-    approach: Approach,
+    plan: Plan,
     opts: &RunOpts,
     back_substitute: bool,
 ) -> Result<(Launched<T>, RecoveryStats), ReglaError> {
+    let approach = plan.approach;
     let trace_start = opts.trace.as_ref().map_or(0, |t| t.launch_count());
-    let mut l = run_inplace(gpu, aug, nfac, alg, approach, opts, back_substitute)?;
+    let mut l = run_inplace(gpu, aug, nfac, alg, plan, opts, back_substitute)?;
     // Join the first launch this run recorded against the model's phase
     // estimates (retry launches repeat the same kernel; the first is the
     // representative one).
@@ -861,7 +939,7 @@ fn run_recovered<T: DeviceScalar>(
         let mut ropts = opts.clone();
         ropts.fault = None;
         ropts.exec = ExecMode::Full;
-        let r = run_inplace(gpu, &sub, nfac, alg, approach, &ropts, back_substitute)?;
+        let r = run_inplace(gpu, &sub, nfac, alg, plan, &ropts, back_substitute)?;
         for (i, &p) in failed.iter().enumerate() {
             l.out.set_mat(p, &r.out.mat(i));
             if let (Some(dst), Some(src)) = (l.taus.as_mut(), r.taus.as_ref()) {
@@ -928,9 +1006,19 @@ pub(crate) fn qr_run<T: DeviceScalar>(
 ) -> Result<BatchRun<T>, ReglaError> {
     validate_opts(opts)?;
     validate_batch(a)?;
-    let approach = choose_approach(a.rows(), a.cols(), 0, T::WORDS, opts);
-    let (l, rec) = run_recovered(gpu, params, a, a.cols(), PtAlg::Qr, approach, opts, false)?;
-    Ok(into_run(l, rec, approach, true))
+    let plan = resolve_plan(
+        params,
+        &gpu.cfg,
+        Algorithm::Qr,
+        a.rows(),
+        a.cols(),
+        0,
+        T::WORDS,
+        a.count(),
+        opts,
+    );
+    let (l, rec) = run_recovered(gpu, params, a, a.cols(), PtAlg::Qr, plan, opts, false)?;
+    Ok(into_run(l, rec, plan.approach, true))
 }
 
 /// Batched in-place LU — implementation behind [`crate::Session::lu`].
@@ -942,12 +1030,22 @@ pub(crate) fn lu_run<T: DeviceScalar>(
 ) -> Result<BatchRun<T>, ReglaError> {
     validate_opts(opts)?;
     validate_batch(a)?;
-    let approach = match choose_approach(a.rows(), a.cols(), 0, T::WORDS, opts) {
-        Approach::Tiled => Approach::PerBlock, // large LU runs with spills
-        other => other,
-    };
-    let (l, rec) = run_recovered(gpu, params, a, a.cols(), PtAlg::Lu, approach, opts, false)?;
-    Ok(into_run(l, rec, approach, false))
+    let mut plan = resolve_plan(
+        params,
+        &gpu.cfg,
+        Algorithm::Lu,
+        a.rows(),
+        a.cols(),
+        0,
+        T::WORDS,
+        a.count(),
+        opts,
+    );
+    if plan.approach == Approach::Tiled {
+        plan.approach = Approach::PerBlock; // large LU runs with spills
+    }
+    let (l, rec) = run_recovered(gpu, params, a, a.cols(), PtAlg::Lu, plan, opts, false)?;
+    Ok(into_run(l, rec, plan.approach, false))
 }
 
 /// Implementation behind [`crate::Session::least_squares`].
@@ -973,17 +1071,29 @@ pub(crate) fn least_squares_run<T: DeviceScalar>(
         ));
     }
     let aug = MatBatch::augment(a, b);
-    let approach = choose_approach(m, n, 1, T::WORDS, opts);
-    match approach {
+    let mut plan = resolve_plan(
+        params,
+        &gpu.cfg,
+        Algorithm::LeastSquares,
+        m,
+        n,
+        1,
+        T::WORDS,
+        a.count(),
+        opts,
+    );
+    match plan.approach {
         Approach::PerThread | Approach::PerBlock => {
-            let approach = if m == n { approach } else { Approach::PerBlock };
-            let (l, rec) = run_recovered(gpu, params, &aug, n, PtAlg::QrSolve, approach, opts, true)?;
+            if m != n {
+                plan.approach = Approach::PerBlock;
+            }
+            let (l, rec) = run_recovered(gpu, params, &aug, n, PtAlg::QrSolve, plan, opts, true)?;
             let x = l.out.sub(0, n, n, 1);
-            Ok((into_run(l, rec, approach, false), x))
+            Ok((into_run(l, rec, plan.approach, false), x))
         }
         _ => {
-            let (l, rec) =
-                run_recovered(gpu, params, &aug, n, PtAlg::Qr, Approach::Tiled, opts, false)?;
+            plan.approach = Approach::Tiled;
+            let (l, rec) = run_recovered(gpu, params, &aug, n, PtAlg::Qr, plan, opts, false)?;
             // Host back-substitution of R x = (Qᴴ b)[..n].
             let mut x = MatBatch::zeros(n, 1, aug.count());
             for k in 0..aug.count() {
@@ -1141,12 +1251,22 @@ pub(crate) fn cholesky_run<T: DeviceScalar>(
     validate_opts(opts)?;
     validate_batch(a)?;
     validate_square(a)?;
-    let approach = match choose_approach(a.rows(), a.cols(), 0, T::WORDS, opts) {
-        Approach::Tiled => Approach::PerBlock,
-        other => other,
-    };
-    let (l, rec) = run_recovered(gpu, params, a, a.cols(), PtAlg::Cholesky, approach, opts, false)?;
-    Ok(into_run(l, rec, approach, false))
+    let mut plan = resolve_plan(
+        params,
+        &gpu.cfg,
+        Algorithm::Cholesky,
+        a.rows(),
+        a.cols(),
+        0,
+        T::WORDS,
+        a.count(),
+        opts,
+    );
+    if plan.approach == Approach::Tiled {
+        plan.approach = Approach::PerBlock;
+    }
+    let (l, rec) = run_recovered(gpu, params, a, a.cols(), PtAlg::Cholesky, plan, opts, false)?;
+    Ok(into_run(l, rec, plan.approach, false))
 }
 
 /// Implementation behind [`crate::Session::invert`]: batched matrix
@@ -1194,40 +1314,55 @@ pub(crate) fn solve_multi_driver<T: DeviceScalar>(
     validate_square(a)?;
     validate_rhs(a, b)?;
     let aug = MatBatch::augment(a, b);
-    let approach = match choose_approach(a.rows(), a.cols(), b.cols(), T::WORDS, opts) {
+    let mut plan = resolve_plan(
+        params,
+        &gpu.cfg,
+        model_alg(alg),
+        a.rows(),
+        a.cols(),
+        b.cols(),
+        T::WORDS,
+        a.count(),
+        opts,
+    );
+    plan.approach = match plan.approach {
         Approach::Tiled => Approach::PerBlock,
         Approach::PerThread if !allow_per_thread => Approach::PerBlock,
         other => other,
     };
-    let (l, rec) = run_recovered(gpu, params, &aug, a.cols(), alg, approach, opts, back_substitute)?;
-    Ok(into_run(l, rec, approach, false))
+    let (l, rec) = run_recovered(gpu, params, &aug, a.cols(), alg, plan, opts, back_substitute)?;
+    Ok(into_run(l, rec, plan.approach, false))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn forced(ft: usize) -> RunOpts {
+    fn forced(ft: usize) -> Result<RunOpts, ReglaError> {
         RunOpts::builder().force_threads(ft).build()
     }
 
     #[test]
     fn perfect_square_thread_counts_pass() {
         for ft in [1usize, 4, 16, 64, 144, 256, 1024] {
-            assert!(validate_opts(&forced(ft)).is_ok(), "{ft} is a square");
+            assert!(forced(ft).is_ok(), "{ft} is a square");
         }
     }
 
     #[test]
-    fn near_square_thread_counts_are_rejected_at_the_boundary() {
+    fn near_square_thread_counts_are_rejected_at_build_time() {
         // k^2 - 1 and k^2 + 1 must both fail for every k in range: the old
         // float sqrt().round() check accepted whichever side rounded to k.
         for k in 2usize..=64 {
             let sq = k * k;
-            assert!(validate_opts(&forced(sq)).is_ok(), "{sq}");
-            assert!(validate_opts(&forced(sq - 1)).is_err(), "{} = {k}^2 - 1", sq - 1);
-            assert!(validate_opts(&forced(sq + 1)).is_err(), "{} = {k}^2 + 1", sq + 1);
+            assert!(forced(sq).is_ok(), "{sq}");
+            assert!(forced(sq - 1).is_err(), "{} = {k}^2 - 1", sq - 1);
+            assert!(forced(sq + 1).is_err(), "{} = {k}^2 + 1", sq + 1);
         }
+        assert!(matches!(
+            forced(63),
+            Err(ReglaError::InvalidConfig(msg)) if msg.contains("perfect square")
+        ));
     }
 
     #[test]
@@ -1237,9 +1372,23 @@ mod tests {
         // limits, but the option validation must still be correct.)
         let k = (1usize << 31) - 1;
         let sq = k * k;
-        assert!(validate_opts(&forced(sq)).is_ok());
-        assert!(validate_opts(&forced(sq - 1)).is_err());
-        assert!(validate_opts(&forced(sq + 1)).is_err());
+        assert!(forced(sq).is_ok());
+        assert!(forced(sq - 1).is_err());
+        assert!(forced(sq + 1).is_err());
+    }
+
+    #[test]
+    fn zero_panel_is_rejected_at_build_time() {
+        assert!(matches!(
+            RunOpts::builder().panel(0).build(),
+            Err(ReglaError::InvalidConfig(msg)) if msg.contains("panel")
+        ));
+        assert!(RunOpts::builder().panel(1).build().is_ok());
+        // The same validation covers an explicit plan override.
+        let bad = Plan::new(Approach::Tiled).with_panel(0);
+        assert!(RunOpts::builder().plan(bad).build().is_err());
+        let bad_threads = Plan::new(Approach::PerBlock).with_threads(63);
+        assert!(RunOpts::builder().plan(bad_threads).build().is_err());
     }
 
     #[test]
@@ -1248,7 +1397,7 @@ mod tests {
             .layout(Layout::RowCyclic)
             .force_threads(63)
             .build();
-        assert!(validate_opts(&opts).is_ok());
+        assert!(opts.is_ok());
     }
 
     #[test]
@@ -1266,14 +1415,68 @@ mod tests {
             .host_threads(2)
             .recovery(RecoveryPolicy::default())
             .trace(prof.clone())
-            .build();
+            .build()
+            .unwrap();
         assert_eq!(opts.math, MathMode::Precise);
         assert_eq!(opts.exec, ExecMode::Representative);
         assert_eq!(opts.approach, Some(Approach::PerBlock));
-        assert_eq!(opts.panel, 8);
+        assert_eq!(opts.layout, Some(Layout::TwoDCyclic));
+        assert_eq!(opts.panel, Some(8));
         assert!(opts.tree_reduction && opts.lu_listing7);
         assert_eq!(opts.force_threads, Some(256));
         assert_eq!(opts.host_threads, Some(2));
         assert!(opts.trace.is_some());
+    }
+
+    #[test]
+    fn forced_knobs_override_the_planned_fields() {
+        let params = ModelParams::table_iv();
+        let cfg = GpuConfig::quadro_6000();
+        let opts = RunOpts::builder()
+            .approach(Approach::PerBlock)
+            .layout(Layout::RowCyclic)
+            .panel(4)
+            .build()
+            .unwrap();
+        // 6x6 would plan per-thread; the forced knobs must win.
+        let plan = resolve_plan(&params, &cfg, Algorithm::Lu, 6, 6, 0, 1, 1024, &opts);
+        assert_eq!(plan.approach, Approach::PerBlock);
+        assert_eq!(plan.layout, Layout::RowCyclic);
+        assert_eq!(plan.panel, 4);
+    }
+
+    #[test]
+    fn explicit_plan_outranks_forced_knobs_and_planner() {
+        let params = ModelParams::table_iv();
+        let cfg = GpuConfig::quadro_6000();
+        let exact = Plan::new(Approach::Tiled).with_panel(8);
+        let opts = RunOpts::builder()
+            .approach(Approach::PerThread)
+            .panel(32)
+            .plan(exact)
+            .build()
+            .unwrap();
+        let plan = resolve_plan(&params, &cfg, Algorithm::Qr, 240, 66, 0, 2, 128, &opts);
+        assert_eq!(plan, exact, "the explicit plan is dispatched verbatim");
+    }
+
+    #[test]
+    fn default_planner_matches_the_seed_heuristic() {
+        let params = ModelParams::table_iv();
+        let cfg = GpuConfig::quadro_6000();
+        let opts = RunOpts::default();
+        let cases = [
+            (6, 6, 0, 1, Approach::PerThread),
+            (56, 56, 0, 1, Approach::PerBlock),
+            (56, 56, 1, 1, Approach::PerBlock),
+            (240, 66, 0, 2, Approach::Tiled),
+            (16, 32, 0, 1, Approach::Tiled),
+        ];
+        for (m, n, rhs, ew, want) in cases {
+            let plan = resolve_plan(&params, &cfg, Algorithm::Qr, m, n, rhs, ew, 512, &opts);
+            assert_eq!(plan.approach, want, "{m}x{n} rhs={rhs} ew={ew}");
+            assert_eq!(plan.layout, Layout::TwoDCyclic);
+            assert_eq!(plan.threads, None);
+        }
     }
 }

@@ -8,27 +8,10 @@
 //! are generic over a [`LayoutMap`], so the comparison falls out of one
 //! kernel source.
 
-/// The three classic distributed layouts of Figure 6.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
-pub enum Layout {
-    /// Elements (i, j) are owned by thread (i mod √p, j mod √p).
-    #[default]
-    TwoDCyclic,
-    /// Thread t owns the rows {i : i ≡ t (mod p)}.
-    RowCyclic,
-    /// Thread t owns the columns {j : j ≡ t (mod p)}.
-    ColCyclic,
-}
-
-impl Layout {
-    pub fn name(self) -> &'static str {
-        match self {
-            Layout::TwoDCyclic => "2D cyclic",
-            Layout::RowCyclic => "1D row cyclic",
-            Layout::ColCyclic => "1D column cyclic",
-        }
-    }
-}
+/// The three classic distributed layouts of Figure 6, defined in
+/// `regla-model` (so a dispatch [`regla_model::Plan`] is self-contained)
+/// and re-exported here where the kernels consume it.
+pub use regla_model::Layout;
 
 /// Ownership and local-index map for one `rows x cols` matrix distributed
 /// over `p` threads.

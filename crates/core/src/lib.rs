@@ -61,6 +61,7 @@ pub mod status;
 pub mod tiled;
 
 pub use api::{BatchRun, RunOpts, RunOptsBuilder};
+pub use regla_model::{DecisionTable, Plan, PlanKey, Planner};
 pub use session::{Op, OpOutput, Session, SessionBuilder};
 pub use pipeline::{PipelineOpts, PipelinedRun};
 pub use profile::{PhaseDiscrepancy, PipelineReport, ProfileReport};

@@ -574,7 +574,7 @@ mod tests {
             .opts(
                 RunOpts::builder()
                     .fault(FaultPlan::new(7, 6).kind(FaultKind::RegisterBitFlip))
-                    .build(),
+                    .build().unwrap(),
             )
             .build();
         let clean = Session::new();

@@ -72,9 +72,10 @@ impl MultiLaunch {
 /// the device at view `a`. Reflector scales are written to `d_tau`
 /// (`count * n` elements, allocated by the caller).
 ///
-/// The panel width and every observability/chaos knob (trace sink,
-/// sanitizer, watchdog, fault plan, deadline, stall) come straight from
-/// the one [`RunOpts`] the whole run shares.
+/// The panel width `nb` comes from the resolved dispatch plan (the tuned
+/// knob); every observability/chaos knob (trace sink, sanitizer, watchdog,
+/// fault plan, deadline, stall) comes straight from the one [`RunOpts`]
+/// the whole run shares.
 #[allow(clippy::too_many_arguments)]
 pub fn tiled_qr<E: Elem>(
     gpu: &Gpu,
@@ -85,11 +86,11 @@ pub fn tiled_qr<E: Elem>(
     rhs_cols: usize,
     count: usize,
     d_tau: regla_gpu_sim::DPtr,
+    nb: usize,
     opts: &RunOpts,
 ) -> Result<MultiLaunch, LaunchError> {
     assert!(m >= n, "tiled QR requires m >= n");
-    assert!(opts.panel >= 1, "panel width must be >= 1");
-    let nb = opts.panel;
+    assert!(nb >= 1, "panel width must be >= 1");
     let mut agg = MultiLaunch::default();
     let cols = n + rhs_cols;
     let mut j0 = 0;

@@ -102,14 +102,14 @@ fn run_op(op: Op, seed: u64, n: usize, count: usize, opts: &RunOpts) -> Fingerpr
 }
 
 fn opts_fast(host_threads: Option<usize>) -> RunOpts {
-    RunOpts::builder().host_threads(host_threads).build()
+    RunOpts::builder().host_threads(host_threads).build().unwrap()
 }
 
 fn opts_slow(host_threads: Option<usize>) -> RunOpts {
     RunOpts::builder()
         .host_threads(host_threads)
         .slow_path(true)
-        .build()
+        .build().unwrap()
 }
 
 proptest! {
@@ -144,8 +144,8 @@ proptest! {
         seed in 0u64..1 << 48,
     ) {
         let base = RunOpts::builder().approach(approach);
-        let fast = run_op(Op::QrSolve, seed, n, count, &base.clone().build());
-        let slow = run_op(Op::QrSolve, seed, n, count, &base.slow_path(true).build());
+        let fast = run_op(Op::QrSolve, seed, n, count, &base.clone().build().unwrap());
+        let slow = run_op(Op::QrSolve, seed, n, count, &base.slow_path(true).build().unwrap());
         prop_assert_eq!(&fast, &slow);
     }
 }
@@ -164,7 +164,7 @@ fn complex_fast_slow_identity() {
     let b = gen(6, 1);
     let fast = Session::new().run(Op::QrSolve, &a, Some(&b)).unwrap();
     let slow = Session::builder()
-        .opts(RunOpts::builder().slow_path(true).build())
+        .opts(RunOpts::builder().slow_path(true).build().unwrap())
         .build()
         .run(Op::QrSolve, &a, Some(&b))
         .unwrap();
@@ -187,11 +187,11 @@ fn observers_select_the_slow_path() {
         assert!(fast, "a bare run must take the fast path");
     }
     let observed = [
-        RunOpts::builder().trace(Profiler::new()).build(),
-        RunOpts::builder().sanitizer(SanitizerMode::Full).build(),
-        RunOpts::builder().fault(FaultPlan::new(3, 1)).build(),
-        RunOpts::builder().watchdog(1_000_000).build(),
-        RunOpts::builder().slow_path(true).build(),
+        RunOpts::builder().trace(Profiler::new()).build().unwrap(),
+        RunOpts::builder().sanitizer(SanitizerMode::Full).build().unwrap(),
+        RunOpts::builder().fault(FaultPlan::new(3, 1)).build().unwrap(),
+        RunOpts::builder().watchdog(1_000_000).build().unwrap(),
+        RunOpts::builder().slow_path(true).build().unwrap(),
     ];
     for opts in observed {
         for fast in paths(opts) {

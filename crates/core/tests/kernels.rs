@@ -39,7 +39,7 @@ fn rand_c32_batch(r: &mut StdRng, m: usize, n: usize, count: usize, dd: bool) ->
 }
 
 fn opts(approach: Approach) -> RunOpts {
-    RunOpts::builder().approach(approach).build()
+    RunOpts::builder().approach(approach).build().unwrap()
 }
 
 /// Compare a device QR factorization against the host reference.
@@ -227,7 +227,7 @@ fn qr_solve_agrees_across_layouts() {
         let o = RunOpts::builder()
             .approach(Approach::PerBlock)
             .layout(layout)
-            .build();
+            .build().unwrap();
         let run = session.run_with(Op::QrSolve, &a, Some(&b), &o).unwrap().run;
         for k in 0..a.count() {
             let x: Vec<f32> = (0..16).map(|i| run.out.get(k, i, 16)).collect();
@@ -285,7 +285,7 @@ fn tiled_least_squares_complex_radar_shape() {
     // A miniature 240x66-style problem: tall complex least squares.
     let a = rand_c32_batch(&mut r, 48, 12, 2, false);
     let b = rand_c32_batch(&mut r, 48, 1, 2, false);
-    let o = RunOpts::builder().approach(Approach::Tiled).build();
+    let o = RunOpts::builder().approach(Approach::Tiled).build().unwrap();
     let x = session.run_with(Op::LeastSquares, &a, Some(&b), &o).unwrap().solution.unwrap();
     for k in 0..a.count() {
         let bk: Vec<C32> = (0..48).map(|i| b.get(k, i, 0)).collect();
@@ -351,7 +351,7 @@ fn fast_math_error_is_bounded() {
     let a = rand_f32_batch(&mut r, 16, 16, 3, true);
     let b = rand_f32_batch(&mut r, 16, 1, 3, false);
     let solve = |math: MathMode| {
-        let o = RunOpts::builder().math(math).approach(Approach::PerBlock).build();
+        let o = RunOpts::builder().math(math).approach(Approach::PerBlock).build().unwrap();
         session.run_with(Op::QrSolve, &a, Some(&b), &o).unwrap().run
     };
     let fast = solve(MathMode::Fast);
@@ -430,7 +430,7 @@ fn tree_reduction_matches_serial_results() {
     let tree_opts = RunOpts::builder()
         .approach(Approach::PerBlock)
         .tree_reduction(true)
-        .build();
+        .build().unwrap();
     let tree = session.run_with(Op::Qr, &a, None, &tree_opts).unwrap().run;
     // Same algorithm, different summation order: results agree closely.
     let d = serial.out.max_frob_dist(&tree.out);
@@ -446,7 +446,7 @@ fn listing7_lu_is_slower_but_equal() {
     let l7_opts = RunOpts::builder()
         .approach(Approach::PerBlock)
         .lu_listing7(true)
-        .build();
+        .build().unwrap();
     let l7 = session.run_with(Op::Lu, &a, None, &l7_opts).unwrap().run;
     assert_eq!(hoisted.out.max_frob_dist(&l7.out), 0.0, "identical math");
     assert!(

@@ -13,7 +13,7 @@
 /// low mantissa bits of the IEEE result). `Precise` models the full-precision
 /// software sequences nvcc emits otherwise: correctly rounded results at a
 /// much higher cycle cost.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum MathMode {
     #[default]
     Fast,

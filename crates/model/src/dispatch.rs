@@ -8,9 +8,12 @@
 
 use crate::intensity::Algorithm;
 use crate::params::ModelParams;
-use crate::per_block::{block_compute_cycles, predict_block};
+use crate::per_block::{block_compute_cycles, predict_block_plan};
 use crate::per_thread;
-use crate::plan::{block_plan, thread_plan, Approach};
+use crate::plan::{
+    block_plan, block_plan_with_threads, thread_plan, Approach, Layout, Plan, PlanKey,
+    PER_BLOCK_MAX_DECLARED_REGS,
+};
 use regla_gpu_sim::{occupancy, GpuConfig};
 
 /// Predicted cost of one approach.
@@ -123,7 +126,9 @@ pub fn tiled_qr_cycles(
     compute + ops * dram_per_tile_op
 }
 
-/// Predict and choose an execution strategy for a batch.
+/// Predict and choose an execution strategy for a batch, with the
+/// conventional right-hand-side width for the algorithm (one carried
+/// column for the solve variants, none for the factorizations).
 pub fn choose(
     p: &ModelParams,
     cfg: &GpuConfig,
@@ -133,11 +138,28 @@ pub fn choose(
     batch: usize,
     elem_words: usize,
 ) -> Result<Decision, ModelError> {
-    let mut candidates = Vec::new();
     let rhs = match alg {
         Algorithm::GaussJordan | Algorithm::LeastSquares | Algorithm::QrSolve => 1,
         _ => 0,
     };
+    choose_with_rhs(p, cfg, alg, m, n, rhs, batch, elem_words)
+}
+
+/// [`choose`] with an explicit carried right-hand-side width — the entry
+/// point the planner prices dispatches through (a Gauss-Jordan inversion
+/// carries `n` columns, not 1).
+#[allow(clippy::too_many_arguments)]
+pub fn choose_with_rhs(
+    p: &ModelParams,
+    cfg: &GpuConfig,
+    alg: Algorithm,
+    m: usize,
+    n: usize,
+    rhs: usize,
+    batch: usize,
+    elem_words: usize,
+) -> Result<Decision, ModelError> {
+    let mut candidates = Vec::new();
     let flops = match elem_words {
         2 => alg.flops_complex(m, n),
         _ => alg.flops(m, n),
@@ -156,8 +178,8 @@ pub fn choose(
     // --- one problem per block: while the tile (with tolerable spilling)
     // fits; the paper runs this up to n = 144.
     let bp = block_plan(m.max(n), n, rhs, elem_words);
-    if bp.regs_per_thread <= 110 && m >= n {
-        let pred = predict_block(p, cfg, alg, m, n, rhs, elem_words, batch);
+    if bp.regs_per_thread <= PER_BLOCK_MAX_DECLARED_REGS && m >= n {
+        let pred = predict_block_plan(p, cfg, alg, bp, batch);
         candidates.push(Candidate {
             approach: Approach::PerBlock,
             time_s: pred.time_s,
@@ -216,6 +238,147 @@ pub fn choose(
         .map(|c| c.approach)
         .ok_or(ModelError::NoCandidates { alg, m, n, batch })?;
     Ok(Decision { choice, candidates })
+}
+
+/// The `Planner::Model` rule: rank the feasible design space for `key`
+/// by predicted time and plan the fastest *device-executable* approach
+/// (the hybrid CPU+GPU library is a baseline, not a dispatch target).
+/// Falls back to the hand rules when the model has no device candidate.
+pub fn model_plan(p: &ModelParams, cfg: &GpuConfig, key: &PlanKey) -> Plan {
+    let best = choose_with_rhs(
+        p,
+        cfg,
+        key.alg,
+        key.m,
+        key.n,
+        key.rhs,
+        key.batch(),
+        key.elem_words,
+    )
+    .ok()
+    .and_then(|d| {
+        d.candidates
+            .into_iter()
+            .filter(|c| c.approach != Approach::Hybrid)
+            .min_by(|a, b| a.time_s.total_cmp(&b.time_s))
+    });
+    match best {
+        Some(c) => Plan::new(c.approach),
+        None => crate::plan::heuristic_plan(key),
+    }
+}
+
+/// Cycle estimate for the *sequential panel* tiled QR `regla-core`
+/// actually launches (per panel: a per-block factor kernel over the
+/// `prows x pw` panel, then a reflector-apply kernel over the trailing
+/// columns), as opposed to [`tiled_qr_cycles`]'s PLASMA-style tile
+/// algorithm. This is what ranks panel-width candidates in the tuner.
+#[allow(clippy::too_many_arguments)]
+pub fn tiled_panel_cycles(
+    p: &ModelParams,
+    cfg: &GpuConfig,
+    m: usize,
+    n: usize,
+    rhs: usize,
+    elem_words: usize,
+    panel: usize,
+    batch: usize,
+) -> f64 {
+    let cols = n + rhs;
+    let mut total = 0.0;
+    let mut j0 = 0;
+    while j0 < n {
+        let pw = panel.min(n - j0);
+        let prows = m - j0;
+        let plan = block_plan(prows, pw, 0, elem_words);
+        let occ = occupancy(
+            cfg,
+            plan.threads,
+            plan.regs_per_thread.min(cfg.max_regs_per_thread),
+            plan.shared_words * 4,
+        );
+        let bpw = (occ.blocks_per_sm * cfg.num_sms).max(1);
+        let waves = (batch as f64 / bpw as f64).ceil();
+        let wave_blocks = bpw.min(batch) as f64;
+        let factor = block_compute_cycles(p, &plan, Algorithm::Qr, occ.blocks_per_sm);
+        let panel_bytes = 2.0 * (prows * pw * elem_words * 4) as f64;
+        total += (factor + panel_bytes * wave_blocks / p.glb_bytes_per_cycle()) * waves;
+        let tcols = cols - (j0 + pw);
+        if tcols > 0 {
+            // Applying pw reflectors to tcols trailing columns does
+            // ~2·prows·pw·tcols FLOPs against the factor's ~2·prows·pw²,
+            // on the same layout and sync cadence.
+            let apply = factor * 1.5 * tcols as f64 / pw as f64;
+            let apply_bytes = 2.0 * (prows * (pw + tcols) * elem_words * 4) as f64;
+            total += (apply + apply_bytes * wave_blocks / p.glb_bytes_per_cycle()) * waves;
+        }
+        j0 += pw;
+    }
+    total
+}
+
+/// Predicted cycles for dispatching `key` with one specific [`Plan`] —
+/// the ranking function of the tuner's design-space sweep. `None` when
+/// the model cannot price the combination (infeasible approach for the
+/// shape, or a 1D layout, which only the simulator can judge).
+pub fn plan_cycles(p: &ModelParams, cfg: &GpuConfig, key: &PlanKey, plan: &Plan) -> Option<f64> {
+    let PlanKey {
+        alg,
+        m,
+        n,
+        rhs,
+        elem_words,
+        ..
+    } = *key;
+    let batch = key.batch();
+    match plan.approach {
+        Approach::PerThread => {
+            if m != n {
+                return None;
+            }
+            // The paper's per-thread model is bandwidth-bound and assumes
+            // a register-resident matrix. Moderate spill (the n = 8
+            // regime, where Figure 4 still has per-thread winning) is
+            // priced with a local-traffic penalty proportional to the
+            // spilled fraction so the tuner can rank it and let the
+            // simulator arbitrate; past 2x the register budget the spill
+            // traffic dominates and the plan is not priced at all.
+            let tp = thread_plan(n, rhs, elem_words);
+            let budget = 64.0;
+            let over = tp.regs_per_thread as f64 - budget;
+            if over > budget {
+                return None;
+            }
+            let penalty = 1.0 + over.max(0.0) / budget;
+            let t = per_thread::predicted_time_s(p, alg, n, batch, 4 * elem_words) * penalty;
+            Some(cfg.secs_to_cycles(t))
+        }
+        Approach::PerBlock => {
+            if m < n || plan.layout != Layout::TwoDCyclic {
+                return None;
+            }
+            let threads = plan.block_threads_for(m, n + rhs, elem_words);
+            let bp = block_plan_with_threads(m, n, rhs, elem_words, threads);
+            if bp.regs_per_thread > PER_BLOCK_MAX_DECLARED_REGS {
+                return None;
+            }
+            let pred = predict_block_plan(p, cfg, alg, bp, batch);
+            Some(cfg.secs_to_cycles(pred.time_s))
+        }
+        Approach::Tiled => {
+            if m < n || !matches!(alg, Algorithm::Qr | Algorithm::LeastSquares | Algorithm::QrSolve)
+            {
+                return None;
+            }
+            if plan.panel == 0 {
+                return None;
+            }
+            Some(tiled_panel_cycles(
+                p, cfg, m, n, rhs, elem_words, plan.panel, batch,
+            ))
+        }
+        Approach::Hybrid => None,
+    }
 }
 
 /// Predicted whole-launch cycle count for running `batch` problems with
@@ -368,5 +531,60 @@ mod tests {
         let small = tiled_qr_cycles(&p, 128, 64, 56, 1);
         let large = tiled_qr_cycles(&p, 512, 256, 56, 1);
         assert!(large > 4.0 * small);
+    }
+
+    #[test]
+    fn model_plan_never_picks_hybrid() {
+        use regla_gpu_sim::MathMode;
+        let (p, cfg) = setup();
+        // A single huge QR chooses Hybrid in `choose`, but a Plan must be
+        // device-executable, so the model planner picks something else.
+        let key = PlanKey::new(Algorithm::Qr, 4096, 4096, 0, 1, 1, MathMode::Fast);
+        let plan = model_plan(&p, &cfg, &key);
+        assert_ne!(plan.approach, Approach::Hybrid);
+    }
+
+    #[test]
+    fn model_plan_agrees_with_choose_on_batched_shapes() {
+        use regla_gpu_sim::MathMode;
+        let (p, cfg) = setup();
+        let cases = [
+            (Algorithm::Lu, 6, 6, 0, 65536, 1, Approach::PerThread),
+            (Algorithm::Qr, 56, 56, 0, 8192, 1, Approach::PerBlock),
+            (Algorithm::Qr, 240, 66, 0, 128, 2, Approach::Tiled),
+        ];
+        for (alg, m, n, rhs, batch, ew, want) in cases {
+            let key = PlanKey::new(alg, m, n, rhs, ew, batch, MathMode::Fast);
+            let plan = model_plan(&p, &cfg, &key);
+            assert_eq!(plan.approach, want, "{alg:?} {m}x{n} x{batch}");
+        }
+    }
+
+    #[test]
+    fn plan_cycles_prices_the_feasible_space() {
+        use regla_gpu_sim::MathMode;
+        let (p, cfg) = setup();
+        let key = PlanKey::new(Algorithm::Qr, 56, 56, 0, 1, 8192, MathMode::Fast);
+        let pb64 = plan_cycles(&p, &cfg, &key, &Plan::new(Approach::PerBlock)).unwrap();
+        let pb256 = plan_cycles(
+            &p,
+            &cfg,
+            &key,
+            &Plan::new(Approach::PerBlock).with_threads(256),
+        )
+        .unwrap();
+        assert!(pb64 > 0.0 && pb256 > 0.0);
+        assert_ne!(pb64, pb256, "the thread knob changes the estimate");
+        // 56x56 is not register-resident per thread.
+        assert!(plan_cycles(&p, &cfg, &key, &Plan::new(Approach::PerThread)).is_none());
+        // Hybrid and 1D layouts are unpriceable by the model.
+        assert!(plan_cycles(&p, &cfg, &key, &Plan::new(Approach::Hybrid)).is_none());
+        let row = Plan::new(Approach::PerBlock).with_layout(Layout::RowCyclic);
+        assert!(plan_cycles(&p, &cfg, &key, &row).is_none());
+        // Tiled pricing responds to the panel-width knob.
+        let kt = PlanKey::new(Algorithm::Qr, 240, 66, 0, 2, 128, MathMode::Fast);
+        let t16 = plan_cycles(&p, &cfg, &kt, &Plan::new(Approach::Tiled)).unwrap();
+        let t8 = plan_cycles(&p, &cfg, &kt, &Plan::new(Approach::Tiled).with_panel(8)).unwrap();
+        assert!(t16 > 0.0 && t8 > 0.0 && t16 != t8);
     }
 }

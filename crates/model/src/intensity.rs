@@ -1,7 +1,7 @@
 //! FLOP counts and arithmetic intensity (Section III and IV).
 
 /// Which factorization/solver is being modelled.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Algorithm {
     /// Gauss-Jordan elimination solve of `[A|b]` (n^3 FLOPs).
     GaussJordan,
@@ -18,6 +18,33 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
+    /// Every modelled algorithm, for exhaustive tuning sweeps.
+    pub const ALL: [Algorithm; 6] = [
+        Algorithm::GaussJordan,
+        Algorithm::Lu,
+        Algorithm::Qr,
+        Algorithm::LeastSquares,
+        Algorithm::QrSolve,
+        Algorithm::Cholesky,
+    ];
+
+    /// Short stable token used by the decision-table text format.
+    pub fn code(self) -> &'static str {
+        match self {
+            Algorithm::GaussJordan => "gj",
+            Algorithm::Lu => "lu",
+            Algorithm::Qr => "qr",
+            Algorithm::LeastSquares => "ls",
+            Algorithm::QrSolve => "qrs",
+            Algorithm::Cholesky => "chol",
+        }
+    }
+
+    /// Inverse of [`Algorithm::code`].
+    pub fn from_code(s: &str) -> Option<Algorithm> {
+        Algorithm::ALL.into_iter().find(|a| a.code() == s)
+    }
+
     pub fn name(self) -> &'static str {
         match self {
             Algorithm::GaussJordan => "Gauss-Jordan",

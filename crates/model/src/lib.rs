@@ -26,16 +26,20 @@ pub mod pipeline;
 pub mod plan;
 
 pub use dispatch::{
-    choose, predicted_cycles, predicted_seconds, saturation_batch, Candidate, Decision, ModelError,
+    choose, choose_with_rhs, model_plan, plan_cycles, predicted_cycles, predicted_seconds,
+    saturation_batch, tiled_panel_cycles, Candidate, Decision, ModelError,
 };
 pub use intensity::{arithmetic_intensity, bytes_moved, Algorithm};
 pub use logp::{tau_global, tau_local};
 pub use params::ModelParams;
 pub use per_block::{
-    phase_estimates, predict_block, qr_panels, BlockPrediction, PanelEstimate, PhaseEstimate,
+    phase_estimates, predict_block, predict_block_plan, qr_panels, BlockPrediction, PanelEstimate,
+    PhaseEstimate,
 };
 pub use per_thread::{communication_bound_gflops, register_resident_limit};
 pub use pipeline::PipelineEstimate;
 pub use plan::{
-    block_plan, thread_plan, Approach, BlockPlan, ThreadPlan, PER_BLOCK_MAX_DECLARED_REGS,
+    block_plan, block_plan_with_threads, block_threads, heuristic_plan, thread_plan, Approach,
+    BlockPlan, DecisionTable, Layout, Plan, PlanKey, Planner, TableEntry, TableParseError,
+    ThreadPlan, DEFAULT_PANEL, PER_BLOCK_MAX_DECLARED_REGS,
 };

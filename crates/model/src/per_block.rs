@@ -359,6 +359,19 @@ pub fn predict_block(
     batch: usize,
 ) -> BlockPrediction {
     let plan = crate::plan::block_plan(m, n, rhs_cols, elem_words);
+    predict_block_plan(p, cfg, alg, plan, batch)
+}
+
+/// [`predict_block`] for an explicit [`BlockPlan`] — the entry point the
+/// tuner prices forced-thread-count candidates through.
+pub fn predict_block_plan(
+    p: &ModelParams,
+    cfg: &GpuConfig,
+    alg: Algorithm,
+    plan: crate::plan::BlockPlan,
+    batch: usize,
+) -> BlockPrediction {
+    let (m, n, elem_words) = (plan.m, plan.n, plan.elem_words);
     let occ = occupancy(
         cfg,
         plan.threads,

@@ -113,7 +113,7 @@ fn served_campaign_is_deterministic_across_host_threads() {
     }
 
     let outcome_with = |threads: usize| {
-        let opts = RunOpts::builder().host_threads(threads).build();
+        let opts = RunOpts::builder().host_threads(threads).build().unwrap();
         let mut engine = single_device_engine(ServeConfig::default().opts(opts));
         engine.serve(generate_requests(&traffic))
     };

@@ -73,7 +73,7 @@ pub fn case_batch(case: &StapCase, seed: u64) -> MatBatch<C32> {
 /// against the CPU baseline.
 pub fn run_case(session: &Session, case: &StapCase, exec: ExecMode, cpu_threads: usize) -> StapResult {
     let batch = case_batch(case, 0x57A9 + case.m as u64);
-    let opts = RunOpts::builder().exec(exec).build();
+    let opts = RunOpts::builder().exec(exec).build().expect("valid opts");
     let run = session
         .run_with(Op::Qr, &batch, None, &opts)
         .expect("valid Table VII batch")

@@ -28,7 +28,7 @@ fn main() {
     let profiler = Profiler::new();
     let session = Session::builder()
         .profiler(profiler.clone())
-        .opts(RunOpts::builder().approach(Approach::PerBlock).build())
+        .opts(RunOpts::builder().approach(Approach::PerBlock).build().unwrap())
         .build();
     let run = session.qr(&a).unwrap();
     println!(

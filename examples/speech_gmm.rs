@@ -26,7 +26,7 @@ fn main() {
         "scoring {count} GMM blocks: ({mix}x{feat}) x ({feat}x{frames}) per block"
     );
     // Full functional execution: every product is computed and checked.
-    let opts = RunOpts::builder().exec(ExecMode::Full).build();
+    let opts = RunOpts::builder().exec(ExecMode::Full).build().unwrap();
     let run = session.run_with(Op::Gemm, &means, Some(&frames_b), &opts).unwrap().run;
     println!(
         "GPU time {:.3} ms at {:.1} GFLOPS ({} per 100 ms real-time budget)",

@@ -30,7 +30,7 @@ fn main() {
     let tiled_opts = RunOpts::builder()
         .approach(Approach::Tiled)
         .exec(ExecMode::Full)
-        .build();
+        .build().unwrap();
     let (tiled_run, x_tiled) = session
         .run_with(Op::LeastSquares, &a, Some(&b), &tiled_opts)
         .map(|o| (o.run, o.solution.expect("least squares extracts x")))

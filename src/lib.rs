@@ -14,6 +14,9 @@
 //!   one-problem-per-block (2D/1D cyclic layouts), tiled QR.
 //! * [`serve`] — the async solve service: admission control,
 //!   micro-batching and deadline-driven flushing over a `Fleet`.
+//! * [`tune`] — the model-driven autotuner: enumerate the dispatch design
+//!   space, rank it by predicted cycles, validate the top candidates in
+//!   the simulator and emit a [`model::DecisionTable`].
 //! * [`cpu`] — the multicore CPU baseline (the "MKL" comparator).
 //! * [`hybrid`] — the MAGMA/CULA-style hybrid CPU+GPU blocked baseline.
 //! * [`stap`] — the space-time adaptive radar processing application.
@@ -37,3 +40,4 @@ pub use regla_microbench as microbench;
 pub use regla_model as model;
 pub use regla_serve as serve;
 pub use regla_stap as stap;
+pub use regla_tune as tune;

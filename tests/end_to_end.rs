@@ -58,7 +58,7 @@ fn batched_gpu_beats_sequential_hybrid_on_small_problems() {
     let opts = RunOpts::builder()
         .exec(ExecMode::Representative)
         .approach(Approach::PerBlock)
-        .build();
+        .build().unwrap();
     let gpu_g = session.run_with(Op::Qr, &a, None, &opts).unwrap().run.gflops();
     let magma = hybrid_batch_gflops(
         &HybridCfg::magma_like(session.config()),

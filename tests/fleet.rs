@@ -39,7 +39,7 @@ fn killed_device_campaign(
             RunOpts::builder()
                 .host_threads(host_threads)
                 .slow_path(slow_path)
-                .build(),
+                .build().unwrap(),
         )
         .chaos(ChaosPlan::new(0xDEAD).device_death(1, 1).fault_storm(0, 1, 2, 4))
         .build()
@@ -161,7 +161,7 @@ fn deadline_misses_surface_as_structured_launch_errors() {
     // structured launch error (the fleet turns these into failovers).
     let session = Session::new();
     let a = dd_batch(8, 32, 9);
-    let opts = RunOpts::builder().deadline_cycles(1).build();
+    let opts = RunOpts::builder().deadline_cycles(1).build().unwrap();
     match session.run_with(Op::Lu, &a, None, &opts) {
         Err(ReglaError::Launch(e)) => {
             let msg = e.to_string();

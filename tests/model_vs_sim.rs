@@ -23,7 +23,7 @@ fn rep(approach: Approach) -> RunOpts {
     RunOpts::builder()
         .exec(ExecMode::Representative)
         .approach(approach)
-        .build()
+        .build().unwrap()
 }
 
 #[test]

@@ -26,7 +26,7 @@ fn qr_at(
     let opts = RunOpts::builder()
         .approach(approach)
         .host_threads(threads)
-        .build();
+        .build().unwrap();
     let r = session.run_with(Op::Qr, a, None, &opts).unwrap().run;
     let out: Vec<u32> = r.out.data().iter().map(|v| v.to_bits()).collect();
     let taus: Vec<u32> = r

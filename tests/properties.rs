@@ -154,7 +154,7 @@ proptest! {
             ((seed as usize + k * 3 + i * 31 + j * 17) % 23) as f32 / 23.0
                 + if i == j { 1.5 } else { 0.0 }
         });
-        let opts = RunOpts::builder().approach(Approach::PerBlock).build();
+        let opts = RunOpts::builder().approach(Approach::PerBlock).build().unwrap();
         let run = session.run_with(Op::Qr, &a, None, &opts).unwrap().run;
         for k in 0..2 {
             let am = a.mat(k);

@@ -20,7 +20,7 @@ fn raw(approach: Approach) -> RunOpts {
     RunOpts::builder()
         .approach(approach)
         .recovery(RecoveryPolicy::off())
-        .build()
+        .build().unwrap()
 }
 
 /// Singular problems get the same `ZeroPivot` verdict — same column — from
@@ -117,7 +117,7 @@ fn recovery_policy_bounds_are_respected() {
             Op::Lu,
             &a,
             None,
-            &RunOpts::builder().approach(Approach::PerBlock).build(),
+            &RunOpts::builder().approach(Approach::PerBlock).build().unwrap(),
         )
         .unwrap()
         .run;
@@ -141,7 +141,7 @@ fn fault_campaign_detects_and_recovers_everything() {
     let opts = RunOpts::builder()
         .approach(Approach::PerBlock)
         .fault(FaultPlan::new(0xFEED_BEEF, 24))
-        .build();
+        .build().unwrap();
 
     let run = session.run_with(Op::Lu, &a, None, &opts).unwrap().run;
 
@@ -191,17 +191,21 @@ fn malformed_inputs_are_structured_errors() {
     let session = Session::new();
     let a = dd_batch(6, 4, 0);
 
-    // Non-perfect-square force_threads under the 2D layout.
-    let err = session
-        .run_with(Op::Qr, &a, None, &RunOpts::builder().force_threads(7).build())
-        .unwrap_err();
+    // Non-perfect-square force_threads under the 2D layout — rejected at
+    // build time, before any batch is uploaded.
+    let err = RunOpts::builder().force_threads(7).build().unwrap_err();
     assert!(matches!(err, ReglaError::InvalidConfig(_)), "{err}");
     assert!(err.to_string().contains("perfect square"), "{err}");
 
     // Zero panel width on the tiled path.
-    let err = session
-        .run_with(Op::Qr, &a, None, &RunOpts::builder().panel(0).build())
-        .unwrap_err();
+    let err = RunOpts::builder().panel(0).build().unwrap_err();
+    assert!(matches!(err, ReglaError::InvalidConfig(_)), "{err}");
+
+    // Options assembled by direct field mutation still hit the same
+    // validation at the entry points.
+    let mut opts = RunOpts::default();
+    opts.force_threads = Some(7);
+    let err = session.run_with(Op::Qr, &a, None, &opts).unwrap_err();
     assert!(matches!(err, ReglaError::InvalidConfig(_)), "{err}");
 
     // Empty batch.
@@ -256,26 +260,31 @@ proptest! {
             ((k * 7 + i * 3 + j) % 5) as f32 - 1.0 + if i == j { 4.0 } else { 0.0 }
         });
         let b = MatBatch::<f32>::from_fn(rhs_rows, 1, rhs_count, |_, i, _| i as f32);
-        let opts = RunOpts::builder()
+        // Invalid knob combinations (zero panel, non-square thread
+        // counts) surface as structured errors at build time; everything
+        // buildable must then run every op without panicking. Outcomes
+        // (Ok or Err) are irrelevant here; the property is the absence of
+        // panics on any input.
+        if let Ok(opts) = RunOpts::builder()
             .approach(approach)
             .force_threads(ft)
             .panel(panel)
-            .build();
-        // Outcomes (Ok or Err) are irrelevant here; the property is the
-        // absence of panics on any input.
-        for op in [
-            Op::Qr,
-            Op::Lu,
-            Op::Cholesky,
-            Op::GjSolve,
-            Op::QrSolve,
-            Op::LeastSquares,
-            Op::Gemm,
-            Op::Invert,
-        ] {
-            let rhs = if op.needs_rhs() { Some(&b) } else { None };
-            let _ = session.run_with(op, &a, rhs, &opts);
+            .build()
+        {
+            for op in [
+                Op::Qr,
+                Op::Lu,
+                Op::Cholesky,
+                Op::GjSolve,
+                Op::QrSolve,
+                Op::LeastSquares,
+                Op::Gemm,
+                Op::Invert,
+            ] {
+                let rhs = if op.needs_rhs() { Some(&b) } else { None };
+                let _ = session.run_with(op, &a, rhs, &opts);
+            }
+            let _ = session.tsqr_least_squares_with(&a, &b, &opts);
         }
-        let _ = session.tsqr_least_squares_with(&a, &b, &opts);
     }
 }

@@ -268,7 +268,7 @@ fn injected_faults_are_attributed_not_blamed_on_the_kernel() {
         .approach(Approach::PerBlock)
         .fault(FaultPlan::new(0xFEED_BEEF, 24))
         .sanitizer(SanitizerMode::Full)
-        .build();
+        .build().unwrap();
     let run = session.run_with(Op::Lu, &a, None, &opts).unwrap().run;
     let report = run.sanitizer.as_ref().expect("sanitized run carries a report");
 
@@ -334,12 +334,12 @@ proptest! {
         let b = MatBatch::from_fn(n, 1, count, |k, i, _| ((k + i) % 9) as f32 - 4.0);
         let rhs = op.needs_rhs().then_some(&b);
 
-        let plain = RunOpts::builder().approach(approach).build();
+        let plain = RunOpts::builder().approach(approach).build().unwrap();
         let checked = RunOpts::builder()
             .approach(approach)
             .sanitizer(SanitizerMode::Full)
             .watchdog(Some(200_000_000))
-            .build();
+            .build().unwrap();
         let base = session.run_with(op, &a, rhs, &plain).unwrap().run;
         let run = session.run_with(op, &a, rhs, &checked).unwrap().run;
 

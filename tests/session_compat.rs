@@ -50,7 +50,7 @@ proptest! {
         };
         let session = Session::with_config(cfg);
         let a = dd_batch(n, count, n + count);
-        let opts = RunOpts::builder().exec(ExecMode::Full).build();
+        let opts = RunOpts::builder().exec(ExecMode::Full).build().unwrap();
         let sync = session.run_with(Op::Qr, &a, None, &opts).unwrap();
         let piped = session
             .pipelined_with(Op::Qr, &a, None, &PipelineOpts::new(streams, chunks), &opts)
@@ -74,7 +74,7 @@ proptest! {
 fn single_copy_engine_has_zero_overlap_end_to_end() {
     let session = Session::with_config(GpuConfig::quadro_6000());
     let a = dd_batch(16, 512, 3);
-    let opts = RunOpts::builder().exec(ExecMode::Representative).build();
+    let opts = RunOpts::builder().exec(ExecMode::Representative).build().unwrap();
     let r = session
         .pipelined_with(Op::Qr, &a, None, &PipelineOpts::new(4, 8), &opts)
         .unwrap();

@@ -25,7 +25,7 @@ fn profiled_qr(count: usize, host_threads: Option<usize>) -> (BatchRun<f32>, Pro
     }
     let session = Session::builder()
         .profiler(profiler.clone())
-        .opts(b.build())
+        .opts(b.build().unwrap())
         .build();
     let run = session.qr(&a).unwrap();
     (run, profiler)
