@@ -40,6 +40,8 @@ pub fn file_recovery(t: RecoveryTelemetry) {
     acc.deadline_misses += t.deadline_misses;
     acc.breaker_trips += t.breaker_trips;
     acc.cpu_degraded += t.cpu_degraded;
+    acc.verify_failures += t.verify_failures;
+    acc.verify_recovered += t.verify_recovered;
 }
 
 /// Drain the filed recovery totals.
@@ -287,6 +289,52 @@ pub fn tune_rows() -> Vec<TuneRow> {
     TUNE.lock().unwrap().clone()
 }
 
+/// One (alg, shape) row from the `verify_campaign` experiment: silent
+/// corruption injected by the simulator against what the ABFT checksum /
+/// residual screens caught, plus the measured and model-predicted cost of
+/// screening a clean sweep.
+#[derive(Clone, Debug)]
+pub struct VerifyRow {
+    pub alg: String,
+    pub shape: String,
+    pub approach: String,
+    pub problems: usize,
+    /// Silent faults the simulator actually fired (ground truth from
+    /// `LaunchStats::silent_faults`; invisible to the recovery layer).
+    pub injected: usize,
+    /// Injected faults whose block produced at least one `VerifyFailed`.
+    pub detected: usize,
+    /// `detected / injected` (1.0 when nothing was injected).
+    pub detection_rate: f64,
+    /// `VerifyFailed` verdicts on problems no silent fault touched.
+    pub false_positives: usize,
+    /// Flagged problems the recovery layer re-solved to a settled verdict.
+    pub recovered: usize,
+    /// Whether the clean sweep's outputs with verification on and off
+    /// match bit for bit (the screens must be strictly observational).
+    pub bit_identical: bool,
+    /// Measured host wall-clock of the screens over the clean sweep,
+    /// milliseconds (best-of-N delta between verified and unverified).
+    pub measured_screen_ms: f64,
+    /// The model's predicted screen cost for the same sweep,
+    /// milliseconds (`regla_model::verify_seconds`).
+    pub predicted_screen_ms: f64,
+}
+
+static VERIFY: Mutex<Vec<VerifyRow>> = Mutex::new(Vec::new());
+
+/// File the verify experiment's rows for the harness run;
+/// [`Collector::to_json`] embeds them in `results/BENCH_sim.json`.
+/// Replaces any previously filed rows (the experiment is the only writer).
+pub fn record_verify(rows: Vec<VerifyRow>) {
+    *VERIFY.lock().unwrap() = rows;
+}
+
+/// Snapshot of the currently filed verify rows.
+pub fn verify_rows() -> Vec<VerifyRow> {
+    VERIFY.lock().unwrap().clone()
+}
+
 /// One experiment's host-side cost.
 #[derive(Clone, Debug)]
 pub struct ExperimentTelemetry {
@@ -318,6 +366,7 @@ impl Collector {
         record_fleet(Vec::new());
         record_serve(Vec::new());
         record_tune(Vec::new());
+        record_verify(Vec::new());
         Collector::default()
     }
 
@@ -362,6 +411,12 @@ impl Collector {
                 r.recovery.unrecovered,
             ));
         }
+        if r.recovery.verify_failures > 0 {
+            line.push_str(&format!(
+                " [verify: {} flagged, {} recovered]",
+                r.recovery.verify_failures, r.recovery.verify_recovered,
+            ));
+        }
         line
     }
 
@@ -378,7 +433,8 @@ impl Collector {
                  \"retried\": {}, \"fell_back\": {}, \"recovered\": {}, \
                  \"unrecovered\": {}, \"device_failovers\": {}, \
                  \"shards_stolen\": {}, \"deadline_misses\": {}, \
-                 \"breaker_trips\": {}, \"cpu_degraded\": {}}}{}\n",
+                 \"breaker_trips\": {}, \"cpu_degraded\": {}, \
+                 \"verify_failures\": {}, \"verify_recovered\": {}}}{}\n",
                 escape(&r.id),
                 r.wall_s,
                 r.sim.wall_s,
@@ -398,6 +454,8 @@ impl Collector {
                 r.recovery.deadline_misses,
                 r.recovery.breaker_trips,
                 r.recovery.cpu_degraded,
+                r.recovery.verify_failures,
+                r.recovery.verify_recovered,
                 if i + 1 < self.records.len() { "," } else { "" },
             ));
         }
@@ -547,6 +605,31 @@ impl Collector {
                 r.regret_pct,
                 r.heuristic_regret_pct,
                 r.plan_changed,
+                if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n  \"verify\": [\n");
+        let rows = verify_rows();
+        for (i, r) in rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"alg\": \"{}\", \"shape\": \"{}\", \
+                 \"approach\": \"{}\", \"problems\": {}, \"injected\": {}, \
+                 \"detected\": {}, \"detection_rate\": {:.4}, \
+                 \"false_positives\": {}, \"recovered\": {}, \
+                 \"bit_identical\": {}, \"measured_screen_ms\": {:.3}, \
+                 \"predicted_screen_ms\": {:.3}}}{}\n",
+                escape(&r.alg),
+                escape(&r.shape),
+                escape(&r.approach),
+                r.problems,
+                r.injected,
+                r.detected,
+                r.detection_rate,
+                r.false_positives,
+                r.recovered,
+                r.bit_identical,
+                r.measured_screen_ms,
+                r.predicted_screen_ms,
                 if i + 1 < rows.len() { "," } else { "" },
             ));
         }
@@ -708,6 +791,37 @@ mod tests {
         assert!(j.contains("\"busy_problems_per_sec\": 300000.0"));
         assert!(j.contains("\"device_dispatches\": \"quadro:25; gt200:15\""));
         record_serve(Vec::new());
+    }
+
+    #[test]
+    fn verify_rows_land_in_the_json() {
+        let _g = TEST_LOCK.lock().unwrap();
+        let mut c = Collector::new();
+        c.record("verify_campaign", 0.2);
+        record_verify(vec![VerifyRow {
+            alg: "Householder QR".into(),
+            shape: "16x16".into(),
+            approach: "PerThread".into(),
+            problems: 4096,
+            injected: 64,
+            detected: 64,
+            detection_rate: 1.0,
+            false_positives: 0,
+            recovered: 64,
+            bit_identical: true,
+            measured_screen_ms: 3.5,
+            predicted_screen_ms: 2.75,
+        }]);
+        let j = c.to_json();
+        assert!(j.contains("\"verify\": ["));
+        assert!(j.contains("\"detection_rate\": 1.0000"));
+        assert!(j.contains("\"false_positives\": 0"));
+        assert!(j.contains("\"bit_identical\": true"));
+        assert!(j.contains("\"predicted_screen_ms\": 2.750"));
+        // The experiment records carry the per-run verify counters too.
+        assert!(j.contains("\"verify_failures\""));
+        assert!(j.contains("\"verify_recovered\""));
+        record_verify(Vec::new());
     }
 
     #[test]

@@ -59,8 +59,14 @@ fn main() {
     telemetry
         .write("results/BENCH_sim.json")
         .expect("write BENCH_sim.json");
+    // Mirror the per-experiment summary to the repo root so CI jobs (and
+    // humans) can diff it without digging into results/.
+    telemetry
+        .write("BENCH_sim.json")
+        .expect("write root BENCH_sim.json");
     eprintln!(
         "all experiments written to results/ (markdown + CSV); simulator \
-         wall-clock telemetry in results/BENCH_sim.json"
+         wall-clock telemetry in results/BENCH_sim.json (mirrored to \
+         ./BENCH_sim.json)"
     );
 }

@@ -13,6 +13,7 @@ pub mod serve;
 pub mod tables;
 pub mod throughput;
 pub mod tune;
+pub mod verify;
 
 pub use ablations::*;
 pub use accuracy::*;
@@ -26,6 +27,7 @@ pub use serve::*;
 pub use tables::*;
 pub use throughput::*;
 pub use tune::*;
+pub use verify::*;
 
 /// (id, title, runner) for every experiment, in paper order.
 pub type Runner = fn(bool) -> String;
@@ -126,5 +128,10 @@ pub const ALL: &[(&str, &str, Runner)] = &[
         "autotune",
         "Autotune — model-picked plans vs exhaustive search",
         tune::autotune,
+    ),
+    (
+        "verify_campaign",
+        "Verification — silent corruption vs ABFT screens",
+        verify::verify_campaign,
     ),
 ];

@@ -156,9 +156,12 @@ pub fn resilience_campaign(fast: bool) -> String {
         ]);
     }
     t.note(
-        "Every applied fault is recorded by the simulator (the ECC/machine-check \
-         report a real device would provide), so detection cannot miss a flipped \
-         bit that still produced a finite value. Per-thread blocks carry 64 \
+        "Every fault in this campaign is recorded by the simulator (the \
+         ECC/machine-check report a real device would provide), so detection \
+         cannot miss a flipped bit that still produced a finite value. Silent \
+         corruption — flips the ECC report does *not* carry — is exercised \
+         separately by the verify_campaign experiment, where only the ABFT \
+         checksum/residual screens can catch it. Per-thread blocks carry 64 \
          problems, so one faulted block taints 64 problems there. Residuals are \
          measured over the faulted problems only, after recovery.",
     );

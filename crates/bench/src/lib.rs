@@ -14,6 +14,7 @@ pub use report::Table;
 
 /// Scale factor for quick runs: set `REGLA_FAST=1` to shrink batches and
 /// sweeps (used by smoke runs; the full harness uses the paper's sizes).
+/// Unrecognized spellings warn once and fall back to the full-size run.
 pub fn fast_mode() -> bool {
-    std::env::var("REGLA_FAST").map(|v| v != "0").unwrap_or(false)
+    regla_gpu_sim::env_flag("REGLA_FAST", false)
 }

@@ -108,6 +108,12 @@ pub struct RunOpts {
     /// Target row-block height of the TSQR first stage (`0` resolves it
     /// per matrix: twice the column count).
     pub tsqr_block_rows: usize,
+    /// Algorithm-based result verification ([`crate::verify`]): checksum
+    /// and/or residual screens run on the host after each launch.
+    /// Strictly observational — outputs are bit-identical on or off —
+    /// but finite-looking silent corruption is demoted from `Ok` to
+    /// [`ProblemStatus::VerifyFailed`] and recovered by `recovery`.
+    pub verify: crate::verify::VerifyMode,
 }
 
 impl Default for RunOpts {
@@ -133,6 +139,7 @@ impl Default for RunOpts {
             deadline_cycles: None,
             stall_cycles: 0,
             tsqr_block_rows: 0,
+            verify: crate::verify::VerifyMode::Off,
         }
     }
 }
@@ -306,6 +313,12 @@ impl RunOptsBuilder {
     /// [`RunOpts::tsqr_block_rows`]).
     pub fn tsqr_block_rows(mut self, v: usize) -> Self {
         self.opts.tsqr_block_rows = v;
+        self
+    }
+
+    /// Algorithm-based result verification (see [`RunOpts::verify`]).
+    pub fn verify(mut self, v: crate::verify::VerifyMode) -> Self {
+        self.opts.verify = v;
         self
     }
 
@@ -811,6 +824,26 @@ fn run_inplace<T: DeviceScalar>(
         }
     }
 
+    // Checksum/residual screens over the problems that still look Ok —
+    // running here (not in run_recovered) means retry sub-batches are
+    // re-screened automatically, so a recovery pass cannot launder a
+    // still-corrupt result back to Ok. The rhs columns hold a solution on
+    // the solving paths (GJ always; QR when the kernel back-substituted —
+    // the tiled path defers back-substitution to the host).
+    let solved = (alg == PtAlg::Gj && rhs > 0)
+        || (back_substitute && approach != Approach::Tiled);
+    crate::verify::screen_problems(
+        aug,
+        nfac,
+        alg,
+        solved,
+        &out,
+        taus.as_ref(),
+        &executed,
+        &mut status,
+        opts.verify,
+    );
+
     Ok(Launched {
         out,
         stats,
@@ -921,6 +954,10 @@ fn run_recovered<T: DeviceScalar>(
             .count(),
         ..RecoveryStats::default()
     };
+    let verify_failed: Vec<usize> = (0..count)
+        .filter(|&p| matches!(l.status[p], ProblemStatus::VerifyFailed { .. }))
+        .collect();
+    rec.verify_failures = verify_failed.len();
     let initially_failed: Vec<usize> = (0..count).filter(|&p| !l.status[p].is_settled()).collect();
     let mut failed = initially_failed.clone();
     let policy = opts.recovery;
@@ -959,6 +996,10 @@ fn run_recovered<T: DeviceScalar>(
     }
 
     rec.recovered = initially_failed
+        .iter()
+        .filter(|&&p| l.status[p].is_settled())
+        .count();
+    rec.verify_recovered = verify_failed
         .iter()
         .filter(|&&p| l.status[p].is_settled())
         .count();

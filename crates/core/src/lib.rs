@@ -59,6 +59,7 @@ pub mod scalar;
 pub mod session;
 pub mod status;
 pub mod tiled;
+pub mod verify;
 
 pub use api::{BatchRun, RunOpts, RunOptsBuilder};
 pub use regla_model::{DecisionTable, Plan, PlanKey, Planner};
@@ -71,7 +72,8 @@ pub use error::ReglaError;
 pub use layout::{Layout, LayoutMap};
 pub use matrix::Mat;
 pub use scalar::{Scalar, C32};
-pub use status::{ProblemStatus, RecoveryPolicy, RecoveryStats, RecoveryTelemetry};
+pub use status::{ProblemStatus, RecoveryPolicy, RecoveryStats, RecoveryTelemetry, VerifyScreen};
+pub use verify::VerifyMode;
 pub use fleet::{
     BreakerPolicy, BreakerState, ChaosEvent, ChaosPlan, DeviceReport, Fleet, FleetBuilder,
     FleetPolicy, FleetReport, FleetRun,

@@ -10,8 +10,19 @@
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
-/// Outcome of one problem in a batch.
+/// Which verification screen flagged a problem.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerifyScreen {
+    /// The ABFT checksum relation of the factorization (e.g. `L(Ue)=Ae`
+    /// for LU, `Q(Re)=Ae` for QR) broke tolerance.
+    Checksum,
+    /// The solve-path residual `‖A·x̂ − b‖ / (‖A‖·‖x̂‖ + ‖b‖)` broke
+    /// tolerance.
+    Residual,
+}
+
+/// Outcome of one problem in a batch.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum ProblemStatus {
     /// Factorization/solve completed.
     Ok,
@@ -25,7 +36,17 @@ pub enum ProblemStatus {
     /// in the block that computed this problem; the result is untrusted
     /// even if it looks plausible.
     FaultDetected,
+    /// The result is finite but failed an algorithm-based verification
+    /// screen ([`crate::verify`]): silent corruption the hardware did not
+    /// report. `norm` is the normalized screen value that broke
+    /// tolerance. Not settled, so the usual retry/fallback recovery
+    /// re-runs the problem.
+    VerifyFailed { screen: VerifyScreen, norm: f64 },
 }
+
+// `norm` is invariantly finite (a screen that produced NaN reports the
+// problem as NonFinite instead), so equality is reflexive.
+impl Eq for ProblemStatus {}
 
 impl ProblemStatus {
     /// Whether the result is numerically trustworthy. `ZeroPivot` counts
@@ -82,6 +103,12 @@ impl RecoveryPolicy {
 pub struct RecoveryStats {
     /// Problems whose block the simulator reported a fault in.
     pub faults_detected: usize,
+    /// Problems flagged `VerifyFailed` by a checksum/residual screen
+    /// before recovery ran (silent corruption detected by verification,
+    /// not by the hardware).
+    pub verify_failures: usize,
+    /// Verify-flagged problems that ended settled after recovery.
+    pub verify_recovered: usize,
     /// Problems re-run on the device (summed over retry rounds).
     pub retried: usize,
     /// Problems recomputed by the host baseline.
@@ -108,6 +135,8 @@ pub struct RecoveryStats {
 impl RecoveryStats {
     pub fn merge(&mut self, other: &RecoveryStats) {
         self.faults_detected += other.faults_detected;
+        self.verify_failures += other.verify_failures;
+        self.verify_recovered += other.verify_recovered;
         self.retried += other.retried;
         self.fell_back += other.fell_back;
         self.recovered += other.recovered;
@@ -126,6 +155,8 @@ impl RecoveryStats {
 #[derive(Debug)]
 pub(crate) struct RecoveryCounters {
     faults_detected: AtomicU64,
+    verify_failures: AtomicU64,
+    verify_recovered: AtomicU64,
     retried: AtomicU64,
     fell_back: AtomicU64,
     recovered: AtomicU64,
@@ -141,6 +172,8 @@ impl RecoveryCounters {
     pub(crate) const fn new() -> Self {
         RecoveryCounters {
             faults_detected: AtomicU64::new(0),
+            verify_failures: AtomicU64::new(0),
+            verify_recovered: AtomicU64::new(0),
             retried: AtomicU64::new(0),
             fell_back: AtomicU64::new(0),
             recovered: AtomicU64::new(0),
@@ -155,6 +188,8 @@ impl RecoveryCounters {
 
     pub(crate) fn record(&self, s: &RecoveryStats) {
         self.faults_detected.fetch_add(s.faults_detected as u64, Relaxed);
+        self.verify_failures.fetch_add(s.verify_failures as u64, Relaxed);
+        self.verify_recovered.fetch_add(s.verify_recovered as u64, Relaxed);
         self.retried.fetch_add(s.retried as u64, Relaxed);
         self.fell_back.fetch_add(s.fell_back as u64, Relaxed);
         self.recovered.fetch_add(s.recovered as u64, Relaxed);
@@ -169,6 +204,8 @@ impl RecoveryCounters {
     pub(crate) fn snapshot(&self) -> RecoveryTelemetry {
         RecoveryTelemetry {
             faults_detected: self.faults_detected.load(Relaxed),
+            verify_failures: self.verify_failures.load(Relaxed),
+            verify_recovered: self.verify_recovered.load(Relaxed),
             retried: self.retried.load(Relaxed),
             fell_back: self.fell_back.load(Relaxed),
             recovered: self.recovered.load(Relaxed),
@@ -184,6 +221,8 @@ impl RecoveryCounters {
     pub(crate) fn take(&self) -> RecoveryTelemetry {
         RecoveryTelemetry {
             faults_detected: self.faults_detected.swap(0, Relaxed),
+            verify_failures: self.verify_failures.swap(0, Relaxed),
+            verify_recovered: self.verify_recovered.swap(0, Relaxed),
             retried: self.retried.swap(0, Relaxed),
             fell_back: self.fell_back.swap(0, Relaxed),
             recovered: self.recovered.swap(0, Relaxed),
@@ -207,6 +246,8 @@ impl Default for RecoveryCounters {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RecoveryTelemetry {
     pub faults_detected: u64,
+    pub verify_failures: u64,
+    pub verify_recovered: u64,
     pub retried: u64,
     pub fell_back: u64,
     pub recovered: u64,
@@ -230,6 +271,13 @@ mod tests {
         assert!(ProblemStatus::ZeroPivot { col: 2 }.is_settled());
         assert!(!ProblemStatus::NonFinite.is_settled());
         assert!(!ProblemStatus::FaultDetected.is_settled());
+        let vf = ProblemStatus::VerifyFailed {
+            screen: VerifyScreen::Checksum,
+            norm: 1e-2,
+        };
+        assert!(!vf.is_ok());
+        assert!(!vf.is_settled(), "verify failures must reach recovery");
+        assert_eq!(vf, vf, "Eq must be reflexive for finite norms");
     }
 
     #[test]
@@ -246,6 +294,8 @@ mod tests {
     fn merge_sums_fields() {
         let mut a = RecoveryStats {
             faults_detected: 1,
+            verify_failures: 10,
+            verify_recovered: 11,
             retried: 2,
             fell_back: 3,
             recovered: 4,
@@ -258,6 +308,8 @@ mod tests {
         };
         a.merge(&a.clone());
         assert_eq!(a.retried, 4);
+        assert_eq!(a.verify_failures, 20);
+        assert_eq!(a.verify_recovered, 22);
         assert_eq!(a.recovered, 8);
         assert_eq!(a.device_failovers, 10);
         assert_eq!(a.breaker_trips, 16);

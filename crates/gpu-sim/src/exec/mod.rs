@@ -275,23 +275,58 @@ fn check_writes_enabled() -> bool {
     }
 }
 
+/// Parse one boolean flag value: `1`/`true`/`on` and `0`/`false`/`off`
+/// (case-insensitive, trimmed); anything else — including empty — is
+/// unrecognised.
+pub(crate) fn parse_flag(value: &str) -> Option<bool> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" => Some(true),
+        "0" | "false" | "off" => Some(false),
+        _ => None,
+    }
+}
+
+/// Read a boolean `REGLA_*` environment flag. Unset yields `default`;
+/// an unrecognised value warns once per variable and then yields
+/// `default` — a typo'd flag must not silently change behaviour (the
+/// same contract `REGLA_SIM_THREADS` gets above).
+pub fn env_flag(name: &str, default: bool) -> bool {
+    let Ok(v) = std::env::var(name) else {
+        return default;
+    };
+    parse_flag(&v).unwrap_or_else(|| {
+        use std::collections::HashSet;
+        use std::sync::{Mutex, OnceLock};
+        static WARNED: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
+        let mut warned = WARNED
+            .get_or_init(|| Mutex::new(HashSet::new()))
+            .lock()
+            .unwrap();
+        if warned.insert(name.to_string()) {
+            eprintln!(
+                "regla-gpu-sim: ignoring unrecognised {name}={v:?} \
+                 (expected 0/1, true/false, on/off); defaulting to {default}"
+            );
+        }
+        default
+    })
+}
+
 /// `REGLA_SIM_SLOW=1` forces every launch onto the instrumented slow path
 /// (A/B comparisons, perf debugging).
 fn force_slow_path() -> bool {
-    matches!(std::env::var("REGLA_SIM_SLOW"),
-             Ok(v) if v.trim() != "0" && !v.trim().is_empty())
+    env_flag("REGLA_SIM_SLOW", false)
 }
 
 /// The schedule cache defaults on; `REGLA_SCHED_CACHE=0` disables it.
 fn schedule_cache_enabled() -> bool {
-    !matches!(std::env::var("REGLA_SCHED_CACHE"), Ok(v) if v.trim() == "0")
+    env_flag("REGLA_SCHED_CACHE", true)
 }
 
 /// `REGLA_SIM_VERBOSE=1` logs one stderr line per launch naming the path
 /// it took, so perf mysteries are diagnosable without a debugger.
 fn sim_verbose() -> bool {
-    matches!(std::env::var("REGLA_SIM_VERBOSE"),
-             Ok(v) if v.trim() != "0" && !v.trim().is_empty())
+    env_flag("REGLA_SIM_VERBOSE", false)
 }
 
 /// The blocks (besides traced block 0) to execute functionally.
@@ -741,7 +776,14 @@ impl Gpu {
             workers,
             applied.len() as u64,
         );
-        stats.faults = applied;
+        // Silent flips are withheld from the ECC report: `faults` carries
+        // only the kinds a real machine-check would surface, while
+        // `silent_faults` is ground truth for verification campaigns.
+        let (silent, reported): (Vec<_>, Vec<_>) = applied
+            .into_iter()
+            .partition(|f| f.kind == crate::fault::FaultKind::SilentFlip);
+        stats.faults = reported;
+        stats.silent_faults = silent;
         if let Some(sink) = &lc.trace {
             sink.record(crate::trace::build_trace(&self.cfg, &stats, &lc.name));
         }
@@ -782,6 +824,35 @@ mod tests {
                 }
             });
         }
+    }
+
+    #[test]
+    fn flag_parsing_accepts_common_spellings_and_rejects_garbage() {
+        for v in ["1", "true", "TRUE", "on", " On "] {
+            assert_eq!(parse_flag(v), Some(true), "{v:?}");
+        }
+        for v in ["0", "false", "False", "off", " OFF "] {
+            assert_eq!(parse_flag(v), Some(false), "{v:?}");
+        }
+        for v in ["", "yes", "2", "enable", "0x1", "tru e"] {
+            assert_eq!(parse_flag(v), None, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn env_flag_defaults_on_unset_and_invalid() {
+        // Unset: default passes through either way.
+        assert!(env_flag("REGLA_TEST_FLAG_UNSET", true));
+        assert!(!env_flag("REGLA_TEST_FLAG_UNSET", false));
+        // Invalid: warn-once path, default preserved (not treated as set).
+        std::env::set_var("REGLA_TEST_FLAG_BAD", "maybe");
+        assert!(env_flag("REGLA_TEST_FLAG_BAD", true));
+        assert!(!env_flag("REGLA_TEST_FLAG_BAD", false));
+        std::env::remove_var("REGLA_TEST_FLAG_BAD");
+        // Valid values override the default.
+        std::env::set_var("REGLA_TEST_FLAG_SET", "off");
+        assert!(!env_flag("REGLA_TEST_FLAG_SET", true));
+        std::env::remove_var("REGLA_TEST_FLAG_SET");
     }
 
     #[test]

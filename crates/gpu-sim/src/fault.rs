@@ -26,6 +26,15 @@ pub enum FaultKind {
     /// Kill the block mid-kernel: from the n-th global store on, every
     /// store (global and shared) is silently dropped.
     BlockAbort,
+    /// Silent data corruption: flip a *low-order mantissa* bit of the
+    /// first well-scaled (|v| >= 0.5) global store at or after the n-th,
+    /// so the corrupted value stays finite and plausible. Unlike every
+    /// other kind, an applied `SilentFlip` is reported in
+    /// `LaunchStats::silent_faults`, not `LaunchStats::faults` — the
+    /// simulated ECC/machine-check does *not* see it, which models the
+    /// undetected-error regime that algorithm-based verification
+    /// (checksum/residual screens) exists to catch.
+    SilentFlip,
 }
 
 const MIXED_KINDS: [FaultKind; 4] = [
@@ -175,6 +184,16 @@ impl FaultState {
                 self.fire(f, n);
                 Some(f32::from_bits(v.to_bits() ^ (1 << f.bit)))
             }
+            // First well-scaled store at or after the trigger point: the
+            // |v| >= 0.5 guard keeps the flip finite (mantissa bits of a
+            // normal float) and bounds the relative error to [1/8, 1/2],
+            // large enough for a checksum screen yet invisible to the
+            // finite screen. Bits 21-22 only: lower bits would shrink the
+            // relative change below verification tolerances.
+            FaultKind::SilentFlip if n >= f.nth_store && v.abs() >= 0.5 => {
+                self.fire(f, n);
+                Some(f32::from_bits(v.to_bits() ^ (1 << (21 + f.bit % 2))))
+            }
             FaultKind::BlockAbort if n == f.nth_store => {
                 self.fire(f, n);
                 self.aborted = true;
@@ -308,6 +327,36 @@ mod tests {
         st.arm(Some(&map), 4);
         assert_eq!(st.on_global_store(5.0), Some(5.0));
         assert_eq!(st.applied.len(), 1);
+    }
+
+    #[test]
+    fn silent_flip_waits_for_well_scaled_store_and_stays_finite() {
+        let mut map = FaultMap::new();
+        map.insert(
+            5,
+            BlockFault {
+                kind: FaultKind::SilentFlip,
+                bit: 3, // 21 + 3 % 2 = bit 22
+                nth_store: 1,
+            },
+        );
+        let mut st = FaultState::default();
+        st.arm(Some(&map), 5);
+        // Store 0 is before the trigger point; store 1 is too small.
+        assert_eq!(st.on_global_store(2.0), Some(2.0));
+        assert_eq!(st.on_global_store(1e-3), Some(1e-3));
+        // Store 2 is the first well-scaled store at/after nth_store.
+        let v = -0.75f32;
+        let flipped = st.on_global_store(v).unwrap();
+        assert!(flipped.is_finite());
+        assert_ne!(flipped, v);
+        assert_eq!(flipped.to_bits(), v.to_bits() ^ (1 << 22));
+        let rel = ((flipped - v) / v).abs();
+        assert!((0.125..=0.5).contains(&rel), "rel change {rel}");
+        // Fired once; later stores are clean.
+        assert_eq!(st.on_global_store(0.9), Some(0.9));
+        assert_eq!(st.applied.len(), 1);
+        assert_eq!(st.applied[0].kind, FaultKind::SilentFlip);
     }
 
     #[test]

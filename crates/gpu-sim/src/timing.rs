@@ -110,6 +110,12 @@ pub struct LaunchStats {
     /// reads it to learn exactly which blocks were corrupted, including
     /// bit flips whose results still look finite.
     pub faults: Vec<crate::fault::FaultRecord>,
+    /// [`crate::FaultKind::SilentFlip`] faults applied to this launch,
+    /// kept out of `faults` on purpose: silent corruption is exactly the
+    /// class the simulated ECC/machine-check does *not* report, so a
+    /// recovery layer must not read this field — it exists only as
+    /// campaign ground truth for verification experiments.
+    pub silent_faults: Vec<crate::fault::FaultRecord>,
     /// Compute-sanitizer report for this launch (`None` unless the launch
     /// ran with [`crate::SanitizerMode::Full`]). `Some` with zero findings
     /// means the kernel came back clean.
@@ -324,6 +330,7 @@ pub(crate) fn combine(
         sim_sched_cache_hit: false,
         sim_worker_utilization: 1.0,
         faults: Vec::new(),
+        silent_faults: Vec::new(),
         sanitizer: None,
     }
 }

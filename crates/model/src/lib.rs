@@ -24,6 +24,7 @@ pub mod per_block;
 pub mod per_thread;
 pub mod pipeline;
 pub mod plan;
+pub mod verify;
 
 pub use dispatch::{
     choose, choose_with_rhs, model_plan, plan_cycles, predicted_cycles, predicted_seconds,
@@ -38,6 +39,7 @@ pub use per_block::{
 };
 pub use per_thread::{communication_bound_gflops, register_resident_limit};
 pub use pipeline::PipelineEstimate;
+pub use verify::{verify_cycles, verify_flops, verify_seconds, VerifyMode, HOST_VERIFY_GFLOPS};
 pub use plan::{
     block_plan, block_plan_with_threads, block_threads, heuristic_plan, thread_plan, Approach,
     BlockPlan, DecisionTable, Layout, Plan, PlanKey, Planner, TableEntry, TableParseError,

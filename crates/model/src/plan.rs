@@ -783,6 +783,52 @@ mod tests {
         assert!(e.msg.contains("zz"), "{e}");
     }
 
+    /// Negative paths the round-trip test cannot reach: corrupted cycle
+    /// bits, truncated documents, and a future format version must all
+    /// come back as structured `TableParseError`s, never as a panic or a
+    /// silently half-loaded table.
+    #[test]
+    fn decision_table_rejects_corrupt_and_truncated_documents() {
+        // Non-hex predicted-cycle bits (field 14).
+        let bad_hex = "regla-decision-table v1\ndevice x\n\
+                       entry qr 8 8 0 1 0 fast pt 2d - 16 1 1 zzzznothex000000 -";
+        let e = DecisionTable::from_text(bad_hex).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.msg.contains("bad cycle bits"), "{e}");
+        assert!(e.to_string().contains("line 3"), "{e}");
+
+        // Non-hex simulated-cycle bits (field 15, optional but validated).
+        let bad_sim = "regla-decision-table v1\ndevice x\n\
+                       entry qr 8 8 0 1 0 fast pt 2d - 16 1 1 0000000000000000 nope";
+        let e = DecisionTable::from_text(bad_sim).unwrap_err();
+        assert!(e.msg.contains("bad cycle bits `nope`"), "{e}");
+
+        // Truncated documents: empty, header-only, and an entry cut off
+        // mid-line (as a partial write would leave behind).
+        assert_eq!(DecisionTable::from_text("").unwrap_err().line, 1);
+        let header_only = "regla-decision-table v1";
+        let e = DecisionTable::from_text(header_only).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("missing `device"), "{e}");
+        let cut = "regla-decision-table v1\ndevice x\n\
+                   entry qr 8 8 0 1 0 fast pt 2d - 16";
+        let e = DecisionTable::from_text(cut).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.msg.contains("15 fields"), "{e}");
+
+        // A future header version is a line-1 header error, not a guess.
+        let v2 = "regla-decision-table v2\ndevice x";
+        let e = DecisionTable::from_text(v2).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.msg.contains("regla-decision-table v1"), "{e}");
+
+        // Bad integer fields still name the offending token.
+        let bad_int = "regla-decision-table v1\ndevice x\n\
+                       entry qr 8 eight 0 1 0 fast pt 2d - 16 1 1 0000000000000000 -";
+        let e = DecisionTable::from_text(bad_int).unwrap_err();
+        assert!(e.msg.contains("bad integer `eight`"), "{e}");
+    }
+
     #[test]
     fn table_planner_falls_back_to_heuristic_on_miss() {
         use crate::intensity::Algorithm;

@@ -1,0 +1,171 @@
+//! Pricing for algorithm-based result verification.
+//!
+//! The verification screens in `regla-core::verify` (Huang–Abraham-style
+//! checksum relations through the factorizations, one-matvec residual
+//! screens on the solve paths) run on the host after a launch. They are
+//! cheap — a handful of matrix-vector products per problem against the
+//! O(n³) factorization — but not free, so this module prices them the
+//! same way the dispatch model prices kernels: a FLOP count per (alg,
+//! shape) turned into seconds/cycles through an assumed host throughput.
+//! The serve layer adds this cost to its admission estimate when a
+//! request asks for the verified tier, and the `verify_campaign`
+//! experiment reports measured vs predicted overhead side by side.
+
+use crate::intensity::Algorithm;
+use crate::params::ModelParams;
+
+/// How much algorithm-based verification to run on a batch's results.
+///
+/// Verification is strictly observational: outputs, taus and
+/// pre-verification statuses are bit-identical whatever the mode. The
+/// only effect of turning a screen on is that finite-but-wrong results
+/// can be demoted from `Ok` to `VerifyFailed` (and then recovered).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// No verification (today's behaviour, and the default).
+    #[default]
+    Off,
+    /// Solve-path residual screen only: `‖A·x̂ − b‖ / (‖A‖·‖x̂‖ + ‖b‖)`
+    /// on ops that return a solution. A no-op for factor-only ops.
+    Residual,
+    /// Factorization checksum screens only: `L(Ue)=Ae` for LU,
+    /// `L(Lᴴe)=Ae` for Cholesky, `Q(Re)=Ae` for QR with taus,
+    /// `Rᴴ(Re)=Aᴴ(Ae)` for tau-less QR. A no-op for ops with no
+    /// factorization (Gauss-Jordan).
+    Checksum,
+    /// Both screens.
+    Full,
+}
+
+impl VerifyMode {
+    /// Whether any screen runs at all.
+    pub fn is_on(self) -> bool {
+        !matches!(self, VerifyMode::Off)
+    }
+
+    /// Whether the factorization checksum screen runs.
+    pub fn checksum(self) -> bool {
+        matches!(self, VerifyMode::Checksum | VerifyMode::Full)
+    }
+
+    /// Whether the solve-path residual screen runs.
+    pub fn residual(self) -> bool {
+        matches!(self, VerifyMode::Residual | VerifyMode::Full)
+    }
+}
+
+/// Assumed host throughput of the screens' f64 accumulation loops in
+/// GFLOP/s. Small-n matvecs over strided batch storage run far below
+/// peak; this constant is calibrated against the measured overhead the
+/// `verify_campaign` experiment reports.
+pub const HOST_VERIFY_GFLOPS: f64 = 1.0;
+
+/// FLOPs of the verification screens for ONE problem of shape
+/// `m x n` (+`rhs` carried right-hand-side columns) under `mode`.
+///
+/// Counts are matvec-level estimates (multiply+add = 2 FLOPs), not
+/// exact op counts — they feed a throughput model, so the shape terms
+/// matter and the constants are calibrated once.
+pub fn verify_flops(alg: Algorithm, m: usize, n: usize, rhs: usize, mode: VerifyMode) -> f64 {
+    let (mf, nf, rf) = (m as f64, n as f64, rhs as f64);
+    let mut fl = 0.0;
+    if mode.checksum() {
+        fl += match alg {
+            // L(Ue) vs Ae: one row-sum of A plus two triangular matvecs.
+            Algorithm::Lu => 2.0 * mf * nf + 2.0 * nf * nf,
+            // L(Lᴴe) vs Ae over the lower triangle.
+            Algorithm::Cholesky => 2.0 * nf * nf + 2.0 * nf * nf,
+            // Ae + Re + the reverse reflector sweep (≈4 FLOPs per stored
+            // reflector element).
+            Algorithm::Qr => 3.0 * mf * nf + 4.0 * mf * nf,
+            // Gram relation Rᴴ(Re) vs Aᴴ(Ae): two matvecs per side.
+            Algorithm::LeastSquares | Algorithm::QrSolve => 4.0 * mf * nf + 2.0 * nf * nf,
+            // Gauss-Jordan leaves no factorization to checksum.
+            Algorithm::GaussJordan => 0.0,
+        };
+    }
+    if mode.residual() {
+        fl += match alg {
+            // A(Xe) vs Be plus ‖A‖_F: a matvec, two column sums, a norm.
+            Algorithm::GaussJordan | Algorithm::QrSolve | Algorithm::LeastSquares => {
+                2.0 * nf * nf + 2.0 * nf * rf.max(1.0) + mf * nf
+            }
+            // Factor-only ops return no solution to screen.
+            Algorithm::Lu | Algorithm::Qr | Algorithm::Cholesky => 0.0,
+        };
+    }
+    fl
+}
+
+/// Host seconds to verify a `count`-problem batch.
+pub fn verify_seconds(
+    alg: Algorithm,
+    m: usize,
+    n: usize,
+    rhs: usize,
+    count: usize,
+    mode: VerifyMode,
+) -> f64 {
+    count as f64 * verify_flops(alg, m, n, rhs, mode) / (HOST_VERIFY_GFLOPS * 1e9)
+}
+
+/// Verification overhead expressed in device hot-clock cycles, so it can
+/// be compared against (and added to) kernel cycle estimates.
+pub fn verify_cycles(
+    p: &ModelParams,
+    alg: Algorithm,
+    m: usize,
+    n: usize,
+    rhs: usize,
+    count: usize,
+    mode: VerifyMode,
+) -> f64 {
+    verify_seconds(alg, m, n, rhs, count, mode) * p.clock_ghz * 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_costs_nothing_and_full_dominates() {
+        for alg in crate::intensity::Algorithm::ALL {
+            assert_eq!(verify_flops(alg, 24, 24, 1, VerifyMode::Off), 0.0);
+            let r = verify_flops(alg, 24, 24, 1, VerifyMode::Residual);
+            let c = verify_flops(alg, 24, 24, 1, VerifyMode::Checksum);
+            let f = verify_flops(alg, 24, 24, 1, VerifyMode::Full);
+            assert_eq!(f, r + c, "{alg:?}");
+            assert!(f > 0.0, "{alg:?} must have at least one screen");
+        }
+    }
+
+    #[test]
+    fn mode_predicates() {
+        assert!(!VerifyMode::Off.is_on());
+        assert!(VerifyMode::Residual.is_on() && VerifyMode::Residual.residual());
+        assert!(!VerifyMode::Residual.checksum());
+        assert!(VerifyMode::Checksum.checksum() && !VerifyMode::Checksum.residual());
+        assert!(VerifyMode::Full.checksum() && VerifyMode::Full.residual());
+        assert_eq!(VerifyMode::default(), VerifyMode::Off);
+    }
+
+    #[test]
+    fn cycles_track_seconds_through_the_clock() {
+        let p = ModelParams::table_iv();
+        let s = verify_seconds(Algorithm::Qr, 24, 24, 0, 4096, VerifyMode::Checksum);
+        let c = verify_cycles(&p, Algorithm::Qr, 24, 24, 0, 4096, VerifyMode::Checksum);
+        assert!(s > 0.0);
+        assert!((c - s * p.clock_ghz * 1e9).abs() < 1e-6 * c);
+        assert!((p.cycles_to_secs(c) - s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn verify_is_cheap_relative_to_factorization() {
+        // The screens are O(n²) per problem against the O(n³) kernels;
+        // at the paper's shapes they must stay a small fraction of the
+        // predicted solve cost.
+        let fl = verify_flops(Algorithm::Qr, 56, 56, 0, VerifyMode::Full);
+        let kernel = 4.0 / 3.0 * 56f64.powi(3);
+        assert!(fl < kernel / 4.0, "verify {fl} vs kernel {kernel}");
+    }
+}

@@ -317,7 +317,8 @@ impl ServeEngine {
     /// sharded optimum).
     fn service_estimate_s<T: DeviceScalar>(&self, key: &GroupKey, problems: usize) -> f64 {
         let session = self.fleet.sessions().next().expect("fleet has devices");
-        key.op
+        let kernel = key
+            .op
             .model_algorithm()
             .and_then(|alg| {
                 regla_model::predicted_seconds(
@@ -330,7 +331,25 @@ impl ServeEngine {
                     T::WORDS,
                 )
             })
-            .unwrap_or(FALLBACK_EST_PER_PROBLEM_S * problems as f64)
+            .unwrap_or(FALLBACK_EST_PER_PROBLEM_S * problems as f64);
+        // The verified tier pays its host-side screens up front in the
+        // admission price, so turning verification on tightens (never
+        // silently overruns) the backlog budget.
+        let verify = key
+            .op
+            .model_algorithm()
+            .map(|alg| {
+                regla_model::verify_seconds(
+                    alg,
+                    key.m,
+                    key.n,
+                    key.rhs_cols,
+                    problems,
+                    self.cfg.opts.verify,
+                )
+            })
+            .unwrap_or(0.0);
+        kernel + verify
     }
 
     /// Problems at which a coalesced dispatch of `key` is predicted to
@@ -741,5 +760,59 @@ impl ServeEngine {
             reqs: vec![req],
             problems: count,
         });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regla_core::VerifyMode;
+    use regla_gpu_sim::GpuConfig;
+
+    fn one_device_fleet() -> Fleet {
+        Fleet::builder()
+            .device(GpuConfig::quadro_6000())
+            .build()
+            .expect("fleet has a device")
+    }
+
+    /// Tentpole (c): the verified tier must price its host-side screens
+    /// into the admission estimate, so `VerifyMode::Full` strictly raises
+    /// the modeled service time while `Off` stays at the kernel price.
+    #[test]
+    fn verified_tier_prices_above_the_unverified_tier() {
+        let key = GroupKey {
+            op: Op::QrSolve,
+            m: 12,
+            n: 12,
+            rhs_cols: 1,
+            math: MathMode::default(),
+        };
+        let plain = ServeEngine::new(one_device_fleet(), ServeConfig::default());
+        let verified = ServeEngine::new(
+            one_device_fleet(),
+            ServeConfig::default().opts(
+                RunOpts::builder()
+                    .verify(VerifyMode::Full)
+                    .build()
+                    .expect("valid opts"),
+            ),
+        );
+        let base = plain.service_estimate_s::<f32>(&key, 256);
+        let priced = verified.service_estimate_s::<f32>(&key, 256);
+        assert!(base > 0.0);
+        assert!(
+            priced > base,
+            "verified estimate {priced:.3e}s must exceed unverified {base:.3e}s"
+        );
+        let expected = regla_model::verify_seconds(
+            regla_model::Algorithm::QrSolve,
+            key.m,
+            key.n,
+            key.rhs_cols,
+            256,
+            VerifyMode::Full,
+        );
+        assert!((priced - base - expected).abs() < 1e-12 * priced.max(1.0));
     }
 }
